@@ -1,0 +1,264 @@
+// Package tabs holds the top-level testing.B benchmark entry points: one
+// benchmark family per table of the paper's Section 5 evaluation. Each
+// Table 5-4 benchmark reports, besides Go ns/op, the regenerated
+// "predicted_ms" figure (instrumented primitive counts × Table 5-1 times)
+// so `go test -bench` output can be compared with the paper directly.
+//
+// The full tables, with paper values side by side, come from
+// `go run ./cmd/tabsbench`.
+package tabs
+
+import (
+	"sync"
+	"testing"
+
+	"tabs/internal/bench"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *bench.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	envOnce.Do(func() {
+		envVal, envErr = bench.NewEnv(3)
+	})
+	if envErr != nil {
+		b.Fatalf("bench env: %v", envErr)
+	}
+	return envVal
+}
+
+// runPaperBenchmark is the common Table 5-4 driver.
+func runPaperBenchmark(b *testing.B, name string) {
+	env := benchEnv(b)
+	var bm bench.Benchmark
+	found := false
+	for _, cand := range bench.Paper14() {
+		if cand.Name == name {
+			bm, found = cand, true
+			break
+		}
+	}
+	if !found {
+		b.Fatalf("unknown paper benchmark %q", name)
+	}
+	// Warm-up.
+	if err := env.RunOnce(bm); err != nil {
+		b.Fatalf("warm-up: %v", err)
+	}
+	env.Cluster.Registry.ResetAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.RunOnce(bm); err != nil {
+			b.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	b.StopTimer()
+	total := env.Cluster.Registry.TotalCounts(stats.PreCommit).
+		Add(env.Cluster.Registry.TotalCounts(stats.Commit)).
+		Scale(1 / float64(b.N))
+	b.ReportMetric(total.Predict(simclock.PerqT2()), "predicted_ms")
+	b.ReportMetric(total.Predict(simclock.Achievable()), "achievable_ms")
+	b.ReportMetric(total[simclock.Datagram], "datagrams")
+	b.ReportMetric(total[simclock.StableWrite], "stable_writes")
+}
+
+// --- Table 5-4 rows -----------------------------------------------------------
+
+func BenchmarkTable54_1LocalRead_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Local Read, No Paging")
+}
+
+func BenchmarkTable54_5LocalRead_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "5 Local Read, No Paging")
+}
+
+func BenchmarkTable54_1LocalRead_SeqPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Local Read, Seq. Paging")
+}
+
+func BenchmarkTable54_1LocalRead_RandomPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Local Read, Random Paging")
+}
+
+func BenchmarkTable54_1LocalWrite_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Local Write, No Paging")
+}
+
+func BenchmarkTable54_5LocalWrite_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "5 Local Write, No Paging")
+}
+
+func BenchmarkTable54_1LocalWrite_SeqPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Local Write, Seq. Paging")
+}
+
+func BenchmarkTable54_1LclRd_1RemRd_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Rd, 1 Rem Rd, No Page")
+}
+
+func BenchmarkTable54_1LclRd_5RemRd_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Rd, 5 Rem Rd, No Page")
+}
+
+func BenchmarkTable54_1LclRd_1RemRd_SeqPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Rd, 1 Rem Rd, Seq. Page")
+}
+
+func BenchmarkTable54_1LclWr_1RemWr_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Wr, 1 Rem Wr, No Page")
+}
+
+func BenchmarkTable54_1LclWr_1RemWr_SeqPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Wr, 1 Rem Wr, Seq. Page")
+}
+
+func BenchmarkTable54_1LclRd_2RemRd_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP")
+}
+
+func BenchmarkTable54_1LclWr_2RemWr_NoPaging(b *testing.B) {
+	runPaperBenchmark(b, "1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP")
+}
+
+// --- Table 5-1 micro primitives -------------------------------------------------
+
+func BenchmarkTable51_MicroPrimitives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		micro, err := bench.MeasureMicro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(micro.SimDiskMs[simclock.RandomPageIO], "sim_random_ms")
+		b.ReportMetric(micro.SimDiskMs[simclock.SequentialRead], "sim_seq_ms")
+		b.ReportMetric(micro.SimDiskMs[simclock.StableWrite], "sim_stable_ms")
+		b.ReportMetric(micro.GoMicros[simclock.DataServerCall], "go_dscall_us")
+		b.ReportMetric(micro.GoMicros[simclock.InterNodeCall], "go_remcall_us")
+	}
+}
+
+// --- Ablations (design choices of DESIGN.md / paper §7) ---------------------------
+
+func BenchmarkAblationValueVsOperationLogging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lg, err := bench.MeasureLoggingAblation(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(lg.ValueLogBytes)/float64(lg.Updates), "value_bytes/update")
+		b.ReportMetric(float64(lg.OpLogBytes)/float64(lg.Updates), "op_bytes/update")
+		b.ReportMetric(float64(lg.ValuePasses), "value_recovery_passes")
+		b.ReportMetric(float64(lg.OpPasses), "op_recovery_passes")
+	}
+}
+
+func BenchmarkAblationTypeSpecificLocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lk, err := bench.MeasureLockingAblation(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(lk.RWGranted), "rw_granted")
+		b.ReportMetric(float64(lk.RWTimeouts), "rw_timeouts")
+		b.ReportMetric(float64(lk.TSGranted), "ts_granted")
+		b.ReportMetric(float64(lk.TSTimeouts), "ts_timeouts")
+	}
+}
+
+// --- Tables 5-2 / 5-3: count regeneration as a test -------------------------------
+
+// TestTables52and53ShapeAgainstPaper asserts the count shapes the paper's
+// analysis depends on: read-only commits write nothing stable, each commit
+// protocol's datagram count matches the paper's longest path exactly, and
+// each added local operation adds exactly one data server call.
+func TestTables52and53ShapeAgainstPaper(t *testing.T) {
+	env, err := bench.NewEnv(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	measure := func(name string) bench.Result {
+		for _, cand := range bench.Paper14() {
+			if cand.Name == name {
+				r, err := env.Measure(cand, 5)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				return r
+			}
+		}
+		t.Fatalf("unknown benchmark %q", name)
+		return bench.Result{}
+	}
+
+	r1 := measure("1 Local Read, No Paging")
+	r5 := measure("5 Local Read, No Paging")
+	if got := r5.PreCommit[simclock.DataServerCall] - r1.PreCommit[simclock.DataServerCall]; got != 4 {
+		t.Errorf("5 reads - 1 read should differ by 4 data server calls, got %.1f", got)
+	}
+	if r1.Commit[simclock.StableWrite] != 0 {
+		t.Errorf("read-only commit forced the log: %v", r1.Commit)
+	}
+
+	w1 := measure("1 Local Write, No Paging")
+	if w1.Commit[simclock.StableWrite] != 1 {
+		t.Errorf("local write commit should force exactly once, got %.1f", w1.Commit[simclock.StableWrite])
+	}
+	if w1.PreCommit[simclock.LargeMsg] != 1 {
+		t.Errorf("local write should send one large log-data message, got %.1f", w1.PreCommit[simclock.LargeMsg])
+	}
+
+	for _, tc := range []struct {
+		name      string
+		datagrams float64
+	}{
+		{"1 Lcl Rd, 1 Rem Rd, No Page", 2},
+		{"1 Lcl Wr, 1 Rem Wr, No Page", 4},
+		{"1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP", 2.5},
+		{"1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", 5},
+	} {
+		r := measure(tc.name)
+		if got := r.Commit[simclock.Datagram]; got != tc.datagrams {
+			t.Errorf("%s: commit datagrams = %.1f, want %.1f (Table 5-3)", tc.name, got, tc.datagrams)
+		}
+	}
+}
+
+// TestTable54OrderingAgainstPaper asserts the relative ordering the paper
+// reports: writes slower than reads, remote slower than local, 3-node
+// slower than 2-node, and paging slower than no paging — under the
+// regenerated predicted times.
+func TestTable54OrderingAgainstPaper(t *testing.T) {
+	env, err := bench.NewEnv(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	results, err := env.MeasureAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := map[string]float64{}
+	perq := simclock.PerqT2()
+	for _, r := range results {
+		pred[r.Benchmark.Name] = r.PredictMs(perq)
+	}
+	gt := func(a, b string) {
+		if pred[a] <= pred[b] {
+			t.Errorf("expected %q (%.0f ms) > %q (%.0f ms)", a, pred[a], b, pred[b])
+		}
+	}
+	gt("1 Local Write, No Paging", "1 Local Read, No Paging")
+	gt("5 Local Read, No Paging", "1 Local Read, No Paging")
+	gt("1 Local Read, Random Paging", "1 Local Read, No Paging")
+	gt("1 Lcl Rd, 1 Rem Rd, No Page", "1 Local Read, No Paging")
+	gt("1 Lcl Wr, 1 Rem Wr, No Page", "1 Lcl Rd, 1 Rem Rd, No Page")
+	gt("1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP", "1 Lcl Rd, 1 Rem Rd, No Page")
+	gt("1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", "1 Lcl Wr, 1 Rem Wr, No Page")
+}

@@ -1,0 +1,108 @@
+// Command tabsbench regenerates the tables of the paper's Section 5
+// evaluation: primitive operation times (Table 5-1), pre-commit and commit
+// primitive counts (Tables 5-2, 5-3), benchmark times with the Improved
+// Architecture and New Primitive Times projections (Table 5-4), and the
+// achievable primitive parameter set (Table 5-5).
+//
+// Usage:
+//
+//	tabsbench                  # all tables
+//	tabsbench -table 5-4       # one table
+//	tabsbench -iters 30        # more iterations per benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tabs/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 5-1, 5-2, 5-3, 5-4, 5-5, ablations, or all")
+	iters := flag.Int("iters", 10, "measured transactions per benchmark")
+	flag.Parse()
+
+	if err := run(*table, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "tabsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, iters int) error {
+	needMicro := table == "all" || table == "5-1"
+	needBench := table == "all" || table == "5-2" || table == "5-3" || table == "5-4"
+
+	var micro *bench.MicroResults
+	if needMicro {
+		fmt.Fprintln(os.Stderr, "measuring primitive micro-benchmarks...")
+		var err error
+		micro, err = bench.MeasureMicro()
+		if err != nil {
+			return err
+		}
+	}
+
+	var results []bench.Result
+	if needBench {
+		fmt.Fprintln(os.Stderr, "running the fourteen Section 5 benchmarks (3 nodes)...")
+		env, err := bench.NewEnv(3)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		results, err = env.MeasureAll(iters)
+		if err != nil {
+			return err
+		}
+	}
+
+	runAblations := func() error {
+		fmt.Fprintln(os.Stderr, "running ablation studies...")
+		lg, err := bench.MeasureLoggingAblation(200)
+		if err != nil {
+			return err
+		}
+		lk, err := bench.MeasureLockingAblation(6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblations(lg, lk))
+		return nil
+	}
+
+	switch table {
+	case "5-1":
+		fmt.Print(bench.Table51(micro))
+	case "5-2":
+		fmt.Print(bench.Table52(results))
+	case "5-3":
+		fmt.Print(bench.Table53(results))
+	case "5-4":
+		fmt.Print(bench.Table54(results))
+	case "5-5":
+		fmt.Print(bench.Table55())
+	case "ablations":
+		return runAblations()
+	case "all":
+		fmt.Print(bench.Table51(micro))
+		fmt.Println()
+		fmt.Print(bench.Table52(results))
+		fmt.Println()
+		fmt.Print(bench.Table53(results))
+		fmt.Println()
+		fmt.Print(bench.Table54(results))
+		fmt.Println()
+		fmt.Print(bench.Table55())
+		fmt.Println()
+		if err := runAblations(); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatWallSummary(micro))
+	default:
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Command tabsctl is an interactive TABS application: it joins the
+// cluster as a (diskless-application) node, looks servers up by name, and
+// runs operations inside transactions — begin/commit/abort under user
+// control, exactly the application role of Figure 3-1.
+//
+// Examples, against a cluster of tabsnode processes:
+//
+//	tabsctl -peer a=localhost:7001 set a array 5 42
+//	tabsctl -peer a=localhost:7001 get a array 5
+//	tabsctl -peer a=localhost:7001 -peer b=localhost:7002 \
+//	    txn 'set a array 1 10' 'set b array 1 20'      # distributed txn
+//	tabsctl -peer a=localhost:7001 enqueue a queue 7
+//	tabsctl -peer a=localhost:7001 dequeue a queue
+//	tabsctl -peer a=localhost:7001 insert a rep /etc/passwd users
+//	tabsctl -peer a=localhost:7001 lookup a rep /etc/passwd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tabs/internal/comm"
+	"tabs/internal/core"
+	"tabs/internal/disk"
+	"tabs/internal/servers/btree"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/servers/weakqueue"
+	"tabs/internal/types"
+)
+
+type peerList map[types.NodeID]string
+
+func (p peerList) String() string { return fmt.Sprintf("%v", map[types.NodeID]string(p)) }
+
+func (p peerList) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("peer must be name=host:port, got %q", v)
+	}
+	p[types.NodeID(name)] = addr
+	return nil
+}
+
+func main() {
+	id := flag.String("id", "ctl", "this client's node name")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address for replies")
+	peers := peerList{}
+	flag.Var(peers, "peer", "peer node as name=host:port (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tabsctl [-peer n=addr]... <command> [args...]")
+		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn")
+		os.Exit(2)
+	}
+	if err := run(*id, *listen, peers, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "tabsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, listen string, peers peerList, args []string) error {
+	transport, err := comm.NewTCP(types.NodeID(id), listen, peers)
+	if err != nil {
+		return err
+	}
+	// The client node is an application host: tiny disk, no data servers.
+	node, err := core.NewNode(core.Config{
+		ID:          types.NodeID(id),
+		Disk:        disk.New(disk.DefaultGeometry(512)),
+		LogSectors:  64,
+		PoolPages:   16,
+		Transport:   transport,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := node.Recover(); err != nil {
+		return err
+	}
+	defer func() { _ = node.Shutdown() }()
+
+	if args[0] == "txn" {
+		return runTxn(node, args[1:])
+	}
+	return node.App.Run(func(tid types.TransID) error {
+		out, err := execute(node, tid, args)
+		if err != nil {
+			return err
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		return nil
+	})
+}
+
+// runTxn executes several commands inside one (distributed) transaction.
+func runTxn(node *core.Node, cmds []string) error {
+	return node.App.Run(func(tid types.TransID) error {
+		for _, c := range cmds {
+			out, err := execute(node, tid, strings.Fields(c))
+			if err != nil {
+				return fmt.Errorf("%q: %w", c, err)
+			}
+			if out != "" {
+				fmt.Println(out)
+			}
+		}
+		return nil
+	})
+}
+
+// execute runs one command within tid.
+func execute(node *core.Node, tid types.TransID, args []string) (string, error) {
+	if len(args) < 3 {
+		return "", fmt.Errorf("command %q needs <node> <server> arguments", args[0])
+	}
+	target := types.NodeID(args[1])
+	server := types.ServerID(args[2])
+	rest := args[3:]
+	switch args[0] {
+	case "get":
+		cell, err := atou32(rest, 0)
+		if err != nil {
+			return "", err
+		}
+		v, err := intarray.NewClient(node, target, server).Get(tid, cell)
+		return fmt.Sprintf("%d", v), err
+	case "set":
+		cell, err := atou32(rest, 0)
+		if err != nil {
+			return "", err
+		}
+		val, err := atoi64(rest, 1)
+		if err != nil {
+			return "", err
+		}
+		return "", intarray.NewClient(node, target, server).Set(tid, cell, val)
+	case "enqueue":
+		val, err := atoi64(rest, 0)
+		if err != nil {
+			return "", err
+		}
+		return "", weakqueue.NewClient(node, target, server).Enqueue(tid, val)
+	case "dequeue":
+		v, err := weakqueue.NewClient(node, target, server).Dequeue(tid)
+		return fmt.Sprintf("%d", v), err
+	case "insert":
+		if len(rest) < 2 {
+			return "", fmt.Errorf("insert needs key and value")
+		}
+		return "", btree.NewClient(node, target, server).Insert(tid, []byte(rest[0]), []byte(rest[1]))
+	case "update":
+		if len(rest) < 2 {
+			return "", fmt.Errorf("update needs key and value")
+		}
+		return "", btree.NewClient(node, target, server).Update(tid, []byte(rest[0]), []byte(rest[1]))
+	case "delete":
+		if len(rest) < 1 {
+			return "", fmt.Errorf("delete needs a key")
+		}
+		return "", btree.NewClient(node, target, server).Delete(tid, []byte(rest[0]))
+	case "lookup":
+		if len(rest) < 1 {
+			return "", fmt.Errorf("lookup needs a key")
+		}
+		v, err := btree.NewClient(node, target, server).Lookup(tid, []byte(rest[0]))
+		return string(v), err
+	default:
+		return "", fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func atou32(args []string, i int) (uint32, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument %d", i)
+	}
+	v, err := strconv.ParseUint(args[i], 10, 32)
+	return uint32(v), err
+}
+
+func atoi64(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument %d", i)
+	}
+	return strconv.ParseInt(args[i], 10, 64)
+}

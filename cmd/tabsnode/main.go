@@ -1,0 +1,139 @@
+// Command tabsnode runs one TABS node as an OS process, reachable over
+// TCP — the deployment analogue of one Perq workstation in the paper's
+// cluster. It attaches the four Section 4 data servers usable over the
+// wire (integer array, weak queue, B-tree directory representative, IO
+// server), performs crash recovery against its persisted disk image, and
+// serves until interrupted, saving the disk image on shutdown.
+//
+// A three-node cluster on one machine:
+//
+//	tabsnode -id a -listen :7001 -peer b=localhost:7002 -peer c=localhost:7003 -state a.disk &
+//	tabsnode -id b -listen :7002 -peer a=localhost:7001 -peer c=localhost:7003 -state b.disk &
+//	tabsnode -id c -listen :7003 -peer a=localhost:7001 -peer b=localhost:7002 -state c.disk &
+//
+// then drive it with cmd/tabsctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tabs/internal/comm"
+	"tabs/internal/core"
+	"tabs/internal/disk"
+	"tabs/internal/servers/btree"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/servers/ioserver"
+	"tabs/internal/servers/weakqueue"
+	"tabs/internal/types"
+)
+
+type peerList map[types.NodeID]string
+
+func (p peerList) String() string {
+	parts := make([]string, 0, len(p))
+	for id, addr := range p {
+		parts = append(parts, fmt.Sprintf("%s=%s", id, addr))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerList) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("peer must be name=host:port, got %q", v)
+	}
+	p[types.NodeID(name)] = addr
+	return nil
+}
+
+func main() {
+	id := flag.String("id", "node1", "this node's name")
+	listen := flag.String("listen", ":7001", "TCP listen address")
+	state := flag.String("state", "", "disk image file (empty: volatile disk)")
+	sectors := flag.Int64("sectors", 16384, "disk capacity in sectors")
+	logSectors := flag.Int64("log", 2048, "log region size in sectors")
+	pool := flag.Int("pool", 512, "buffer pool pages")
+	peers := peerList{}
+	flag.Var(peers, "peer", "peer node as name=host:port (repeatable)")
+	flag.Parse()
+
+	if err := run(*id, *listen, *state, *sectors, *logSectors, *pool, peers); err != nil {
+		fmt.Fprintln(os.Stderr, "tabsnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, listen, state string, sectors, logSectors int64, pool int, peers peerList) error {
+	d := disk.New(disk.DefaultGeometry(sectors))
+	if state != "" {
+		if _, err := os.Stat(state); err == nil {
+			if err := d.LoadFrom(state); err != nil {
+				return fmt.Errorf("loading disk image: %w", err)
+			}
+			fmt.Printf("loaded disk image %s\n", state)
+		}
+	}
+
+	transport, err := comm.NewTCP(types.NodeID(id), listen, peers)
+	if err != nil {
+		return err
+	}
+	node, err := core.NewNode(core.Config{
+		ID:          types.NodeID(id),
+		Disk:        d,
+		LogSectors:  logSectors,
+		PoolPages:   pool,
+		Transport:   transport,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Attach the standard data servers with well-known names; register
+	// them with the Name Server so lookups broadcast correctly.
+	if _, err := intarray.Attach(node, "array", 1, 4096, 5*time.Second); err != nil {
+		return err
+	}
+	if _, err := weakqueue.Attach(node, "queue", 2, 512, 5*time.Second); err != nil {
+		return err
+	}
+	if _, err := btree.Attach(node, "rep", 3, 512, 5*time.Second); err != nil {
+		return err
+	}
+	if _, err := ioserver.Attach(node, "display", 4, 5*time.Second); err != nil {
+		return err
+	}
+	for _, name := range []string{"array", "queue", "rep", "display"} {
+		node.NS.Register(name, "data-server", types.ServerID(name), types.ObjectID{})
+	}
+
+	report, err := node.Recover()
+	if err != nil {
+		return fmt.Errorf("crash recovery: %w", err)
+	}
+	fmt.Printf("node %s up on %s: recovery scanned %d records (%d redone, %d undone, %d in doubt)\n",
+		id, transport.Addr(), report.RecordsScanned, report.Redone, report.Undone, len(report.InDoubt))
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	if err := node.Shutdown(); err != nil {
+		return err
+	}
+	if state != "" {
+		if err := d.SaveTo(state); err != nil {
+			return fmt.Errorf("saving disk image: %w", err)
+		}
+		fmt.Printf("saved disk image %s\n", state)
+	}
+	return nil
+}

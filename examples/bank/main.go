@@ -1,0 +1,146 @@
+// Bank: the paper's Figure 4-1 demonstration — "a trivial bank
+// implementation" combining the integer array server (account balances)
+// with the IO server (a transactional display).
+//
+// Three interactions are shown, exactly as in the figure:
+//
+//  1. a deposit that commits — its output turns black;
+//  2. a withdrawal interrupted by a node failure — after restart, its
+//     output is struck through and the balance is intact;
+//  3. a retry that is still in progress — its output renders gray.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/servers/ioserver"
+	"tabs/internal/types"
+)
+
+const checkingAccount = 1 // array cell holding the checking balance
+
+func attach(node *core.Node) (*intarray.Client, *ioserver.Client) {
+	if _, err := intarray.Attach(node, "accounts", 1, 100, time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ioserver.Attach(node, "display", 2, time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := node.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	return intarray.NewClient(node, "bank", "accounts"), ioserver.NewClient(node, "bank", "display")
+}
+
+func main() {
+	cluster, err := core.NewCluster(core.DefaultClusterOptions(), "bank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := cluster.Node("bank")
+	accounts, display := attach(node)
+
+	// One IO area per interaction, as in Figure 4-1.
+	var area1, area2 uint32
+	if err := node.App.Run(func(tid types.TransID) error {
+		var err error
+		if area1, err = display.ObtainIOArea(tid); err != nil {
+			return err
+		}
+		area2, err = display.ObtainIOArea(tid)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Area 1: deposit $35 — commits, so the output turns black.
+	if err := node.App.Run(func(tid types.TransID) error {
+		bal, err := accounts.Get(tid, checkingAccount)
+		if err != nil {
+			return err
+		}
+		if err := accounts.Set(tid, checkingAccount, bal+35); err != nil {
+			return err
+		}
+		return display.WritelnToArea(tid, area1, "deposited $35 to checking")
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Area 2: withdraw $80 — the node fails during the transaction.
+	tid, err := node.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal, err := accounts.Get(tid, checkingAccount)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := accounts.Set(tid, checkingAccount, bal-80); err != nil {
+		log.Fatal(err)
+	}
+	if err := display.WritelnToArea(tid, area2, "withdraw $80 from checking"); err != nil {
+		log.Fatal(err)
+	}
+	// Push the uncommitted state to disk, then the node crashes.
+	if err := node.Kernel.FlushAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("*** node failure during the withdrawal ***")
+	cluster.Crash("bank")
+
+	// The system becomes available again: reboot, recover; the IO server
+	// restores the screen (§4.3).
+	node, err = cluster.Reboot("bank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	accounts, display = attach(node)
+
+	// Area 2 again: the user tries once more; this transaction is still
+	// in progress when we render, so its line is gray.
+	retry, err := node.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := display.WritelnToArea(retry, area2, "withdraw $80 from checking (retry)"); err != nil {
+		log.Fatal(err)
+	}
+
+	screen, err := display.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("----- display (~ gray / ' ' black / - struck through) -----")
+	fmt.Print(screen)
+	fmt.Println("------------------------------------------------------------")
+
+	// Finish the retry and show the final balance.
+	b2, err := accounts.Get(retry, checkingAccount)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := accounts.Set(retry, checkingAccount, b2-80); err != nil {
+		log.Fatal(err)
+	}
+	if ok, err := node.App.EndTransaction(retry); err != nil || !ok {
+		log.Fatalf("retry commit: ok=%v err=%v", ok, err)
+	}
+	if err := node.App.Run(func(tid types.TransID) error {
+		final, err := accounts.Get(tid, checkingAccount)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("final checking balance: $%d (35 deposited, 80 withdrawn once)\n", final)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Shutdown()
+}

@@ -1,0 +1,111 @@
+// Queueworkers: a transactional producer/consumer pipeline over the weak
+// queue server (§4.2). Producers enqueue work items; consumers dequeue
+// and process them; a consumer that fails aborts, and its item —
+// protected by failure atomicity — reappears in the queue for another
+// consumer. The weak (non-FIFO) semantics are what let several workers
+// drain the queue concurrently without serializing on queue order.
+//
+//	go run ./examples/queueworkers
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/weakqueue"
+	"tabs/internal/types"
+)
+
+const (
+	items   = 40
+	workers = 4
+)
+
+func main() {
+	cluster, err := core.NewCluster(core.DefaultClusterOptions(), "hub")
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := cluster.Node("hub")
+	if _, err := weakqueue.Attach(node, "jobs", 1, 256, 2*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := node.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	queue := weakqueue.NewClient(node, "hub", "jobs")
+
+	// Producer: one transaction per item, so each item is individually
+	// permanent once enqueued.
+	for i := 1; i <= items; i++ {
+		if err := node.App.Run(func(tid types.TransID) error {
+			return queue.Enqueue(tid, int64(i))
+		}); err != nil {
+			log.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	fmt.Printf("producer enqueued %d jobs\n", items)
+
+	// Consumers: each dequeues one item per transaction. Every 7th
+	// processing attempt "fails", aborting the transaction — the item
+	// goes back for someone else.
+	var processed sync.Map
+	var count, retries atomic.Int64
+	flaky := errors.New("worker hiccup")
+	var wg sync.WaitGroup
+	var attempts atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for count.Load() < items {
+				err := node.App.Run(func(tid types.TransID) error {
+					v, err := queue.Dequeue(tid)
+					if err != nil {
+						return err
+					}
+					if attempts.Add(1)%7 == 0 {
+						retries.Add(1)
+						return flaky // abort: the item is restored
+					}
+					processed.Store(v, id)
+					count.Add(1)
+					return nil
+				})
+				if err != nil && !errors.Is(err, flaky) {
+					// Queue empty from this worker's view: someone else
+					// may still abort and put an item back, so re-check.
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every item was processed exactly once despite the induced aborts.
+	missing := 0
+	for i := 1; i <= items; i++ {
+		if _, ok := processed.Load(int64(i)); !ok {
+			missing++
+		}
+	}
+	fmt.Printf("workers processed %d jobs (%d aborted attempts were retried, %d missing)\n",
+		count.Load(), retries.Load(), missing)
+
+	if err := node.App.Run(func(tid types.TransID) error {
+		empty, err := queue.IsEmpty(tid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("queue empty: %v\n", empty)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Shutdown()
+}

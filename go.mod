@@ -1,0 +1,3 @@
+module tabs
+
+go 1.22

@@ -1,0 +1,77 @@
+// Package applib is the TABS transaction management library (paper
+// §3.1.2, Table 3-2): the standard interface applications use to control
+// transaction execution. Applications initiate transactions with it and
+// then call data servers to perform operations on objects.
+package applib
+
+import (
+	"errors"
+	"fmt"
+
+	"tabs/internal/txn"
+	"tabs/internal/types"
+)
+
+// TransactionIsAborted is the library's rendering of the paper's
+// TransactionIsAborted exception: the transaction was aborted by some
+// other process (Table 3-2).
+var TransactionIsAborted = errors.New("applib: transaction is aborted")
+
+// Lib is an application's handle on the Transaction Manager of its node.
+type Lib struct {
+	tm *txn.Manager
+}
+
+// New returns the library bound to a Transaction Manager.
+func New(tm *txn.Manager) *Lib { return &Lib{tm: tm} }
+
+// BeginTransaction creates a subtransaction of the specified transaction;
+// the null TransID creates a new top-level transaction (Table 3-2).
+func (l *Lib) BeginTransaction(parent types.TransID) (types.TransID, error) {
+	return l.tm.Begin(parent)
+}
+
+// EndTransaction initiates commit and reports whether the transaction
+// (tree) committed (Table 3-2).
+func (l *Lib) EndTransaction(tid types.TransID) (bool, error) {
+	return l.tm.End(tid)
+}
+
+// AbortTransaction forces the transaction to abort (Table 3-2).
+func (l *Lib) AbortTransaction(tid types.TransID) error {
+	return l.tm.Abort(tid)
+}
+
+// CheckAborted returns TransactionIsAborted if the transaction has been
+// aborted by some other process — the exception-raising check of
+// Table 3-2, rendered as an error for Go.
+func (l *Lib) CheckAborted(tid types.TransID) error {
+	if l.tm.IsAborted(tid) {
+		return fmt.Errorf("%w: %v", TransactionIsAborted, tid)
+	}
+	return nil
+}
+
+// Run executes proc inside a new top-level transaction: commit on nil,
+// abort on error. It is the common application idiom built from the
+// Table 3-2 routines.
+func (l *Lib) Run(proc func(tid types.TransID) error) error {
+	tid, err := l.BeginTransaction(types.NilTransID)
+	if err != nil {
+		return err
+	}
+	if err := proc(tid); err != nil {
+		if aerr := l.AbortTransaction(tid); aerr != nil {
+			return fmt.Errorf("applib: abort after %v failed: %w", err, aerr)
+		}
+		return err
+	}
+	committed, err := l.EndTransaction(tid)
+	if err != nil {
+		return err
+	}
+	if !committed {
+		return fmt.Errorf("applib: transaction %v aborted at commit", tid)
+	}
+	return nil
+}

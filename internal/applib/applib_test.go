@@ -1,0 +1,105 @@
+package applib_test
+
+import (
+	"errors"
+	"testing"
+
+	"tabs/internal/applib"
+	"tabs/internal/disk"
+	"tabs/internal/kernel"
+	"tabs/internal/recovery"
+	"tabs/internal/txn"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+func newLib(t *testing.T) (*applib.Lib, *txn.Manager) {
+	t.Helper()
+	d := disk.New(disk.DefaultGeometry(256))
+	k := kernel.New(kernel.Config{Disk: d, PoolPages: 16})
+	lg, err := wal.Open(wal.Config{Disk: d, Base: 0, Sectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := recovery.New(recovery.Config{Log: lg, Kernel: k})
+	tm := txn.New("app", rm, nil, nil)
+	return applib.New(tm), tm
+}
+
+func TestBeginEnd(t *testing.T) {
+	lib, _ := newLib(t)
+	tid, err := lib.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid.IsNil() || !tid.IsTopLevel() {
+		t.Errorf("tid %v", tid)
+	}
+	ok, err := lib.EndTransaction(tid)
+	if err != nil || !ok {
+		t.Fatalf("end: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBeginSubtransaction(t *testing.T) {
+	lib, _ := newLib(t)
+	top, _ := lib.BeginTransaction(types.NilTransID)
+	sub, err := lib.BeginTransaction(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.IsTopLevel() || sub.TopLevel() != top {
+		t.Errorf("sub %v", sub)
+	}
+	if ok, err := lib.EndTransaction(sub); err != nil || !ok {
+		t.Fatalf("sub end: %v", err)
+	}
+	if ok, err := lib.EndTransaction(top); err != nil || !ok {
+		t.Fatalf("top end: %v", err)
+	}
+}
+
+func TestAbortAndCheckAborted(t *testing.T) {
+	lib, _ := newLib(t)
+	tid, _ := lib.BeginTransaction(types.NilTransID)
+	if err := lib.CheckAborted(tid); err != nil {
+		t.Errorf("live transaction: %v", err)
+	}
+	if err := lib.AbortTransaction(tid); err != nil {
+		t.Fatal(err)
+	}
+	err := lib.CheckAborted(tid)
+	if !errors.Is(err, applib.TransactionIsAborted) {
+		t.Errorf("want TransactionIsAborted, got %v", err)
+	}
+}
+
+func TestRunCommits(t *testing.T) {
+	lib, tm := newLib(t)
+	var inside types.TransID
+	if err := lib.Run(func(tid types.TransID) error {
+		inside = tid
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Status(inside) != types.StatusCommitted {
+		t.Errorf("status %v", tm.Status(inside))
+	}
+}
+
+func TestRunAbortsOnError(t *testing.T) {
+	lib, tm := newLib(t)
+	boom := errors.New("boom")
+	var inside types.TransID
+	err := lib.Run(func(tid types.TransID) error {
+		inside = tid
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if tm.Status(inside) != types.StatusAborted {
+		t.Errorf("status %v", tm.Status(inside))
+	}
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/accum"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// This file implements the ablation studies DESIGN.md calls out — the
+// design-choice comparisons the paper names as open work (§7: "we plan to
+// empirically compare the relative merits of value and operation logging")
+// or motivates qualitatively (§2.1.3: type-specific lock modes "obtain
+// increased concurrency").
+
+// LoggingAblation compares value logging and operation logging for the
+// same workload: n updates of one 8-byte counter, one transaction each.
+type LoggingAblation struct {
+	Updates        int
+	ValueLogBytes  int64 // log growth under value logging (intarray)
+	OpLogBytes     int64 // log growth under operation logging (accum)
+	ValuePasses    int   // recovery passes after a crash
+	OpPasses       int
+	ValueElapsedNs int64
+	OpElapsedNs    int64
+}
+
+// MeasureLoggingAblation runs the comparison.
+func MeasureLoggingAblation(updates int) (*LoggingAblation, error) {
+	if updates <= 0 {
+		updates = 100
+	}
+	out := &LoggingAblation{Updates: updates}
+
+	// Value logging: the integer array logs old/new values.
+	{
+		c, err := core.NewCluster(core.DefaultClusterOptions(), "v")
+		if err != nil {
+			return nil, err
+		}
+		n := c.Node("v")
+		if _, err := intarray.Attach(n, "arr", 1, 16, time.Second); err != nil {
+			return nil, err
+		}
+		if _, err := n.Recover(); err != nil {
+			return nil, err
+		}
+		arr := intarray.NewClient(n, "v", "arr")
+		before := n.Log.SpaceUsed()
+		start := time.Now()
+		for i := 0; i < updates; i++ {
+			if err := n.App.Run(func(tid types.TransID) error {
+				return arr.Set(tid, 1, int64(i))
+			}); err != nil {
+				return nil, err
+			}
+		}
+		out.ValueElapsedNs = time.Since(start).Nanoseconds()
+		out.ValueLogBytes = n.Log.SpaceUsed() - before
+		c.Crash("v")
+		n2, err := c.Reboot("v")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := intarray.Attach(n2, "arr", 1, 16, time.Second); err != nil {
+			return nil, err
+		}
+		report, err := n2.Recover()
+		if err != nil {
+			return nil, err
+		}
+		out.ValuePasses = report.Passes
+		c.Shutdown()
+	}
+
+	// Operation logging: the accumulator logs redo/undo scripts.
+	{
+		c, err := core.NewCluster(core.DefaultClusterOptions(), "o")
+		if err != nil {
+			return nil, err
+		}
+		n := c.Node("o")
+		if _, err := accum.Attach(n, "acc", 1, 16, time.Second); err != nil {
+			return nil, err
+		}
+		if _, err := n.Recover(); err != nil {
+			return nil, err
+		}
+		acc := accum.NewClient(n, "o", "acc")
+		before := n.Log.SpaceUsed()
+		start := time.Now()
+		for i := 0; i < updates; i++ {
+			if err := n.App.Run(func(tid types.TransID) error {
+				return acc.Increment(tid, 1, 1)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		out.OpElapsedNs = time.Since(start).Nanoseconds()
+		out.OpLogBytes = n.Log.SpaceUsed() - before
+		c.Crash("o")
+		n2, err := c.Reboot("o")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := accum.Attach(n2, "acc", 1, 16, time.Second); err != nil {
+			return nil, err
+		}
+		report, err := n2.Recover()
+		if err != nil {
+			return nil, err
+		}
+		out.OpPasses = report.Passes
+		c.Shutdown()
+	}
+	return out, nil
+}
+
+// LockingAblation compares read/write locking with type-specific
+// increment locking under deliberate contention: k concurrent
+// transactions all update one cell and stay open until all have updated.
+type LockingAblation struct {
+	Transactions int
+	// RW: plain write locks (integer array): all but one transaction must
+	// wait or time out.
+	RWGranted  int
+	RWTimeouts int64
+	RWWaits    int64
+	// TS: type-specific increment locks (accumulator): all proceed.
+	TSGranted  int
+	TSTimeouts int64
+	TSWaits    int64
+}
+
+// MeasureLockingAblation runs the comparison with k concurrent holders.
+func MeasureLockingAblation(k int) (*LockingAblation, error) {
+	if k <= 1 {
+		k = 4
+	}
+	out := &LockingAblation{Transactions: k}
+
+	// Read/write locking (integer array).
+	{
+		c, err := core.NewCluster(core.DefaultClusterOptions(), "rw")
+		if err != nil {
+			return nil, err
+		}
+		n := c.Node("rw")
+		if _, err := intarray.Attach(n, "arr", 1, 16, 100*time.Millisecond); err != nil {
+			return nil, err
+		}
+		if _, err := n.Recover(); err != nil {
+			return nil, err
+		}
+		arr := intarray.NewClient(n, "rw", "arr")
+		tids := make([]types.TransID, k)
+		for i := range tids {
+			tids[i], err = n.App.BeginTransaction(types.NilTransID)
+			if err != nil {
+				return nil, err
+			}
+		}
+		results := make(chan error, k)
+		for i := range tids {
+			go func(tid types.TransID) {
+				results <- arr.Set(tid, 1, 42)
+			}(tids[i])
+		}
+		for range tids {
+			if err := <-results; err == nil {
+				out.RWGranted++
+			}
+		}
+		if srv, ok := n.Server("arr"); ok {
+			s := srv.Locks().Stats()
+			out.RWTimeouts, out.RWWaits = s.Timeouts, s.Waits
+		}
+		for _, tid := range tids {
+			_ = n.App.AbortTransaction(tid)
+		}
+		c.Shutdown()
+	}
+
+	// Type-specific increment locking (accumulator).
+	{
+		c, err := core.NewCluster(core.DefaultClusterOptions(), "ts")
+		if err != nil {
+			return nil, err
+		}
+		n := c.Node("ts")
+		if _, err := accum.Attach(n, "acc", 1, 16, 100*time.Millisecond); err != nil {
+			return nil, err
+		}
+		if _, err := n.Recover(); err != nil {
+			return nil, err
+		}
+		acc := accum.NewClient(n, "ts", "acc")
+		tids := make([]types.TransID, k)
+		for i := range tids {
+			tids[i], err = n.App.BeginTransaction(types.NilTransID)
+			if err != nil {
+				return nil, err
+			}
+		}
+		results := make(chan error, k)
+		for i := range tids {
+			go func(tid types.TransID) {
+				results <- acc.Increment(tid, 1, 1)
+			}(tids[i])
+		}
+		for range tids {
+			if err := <-results; err == nil {
+				out.TSGranted++
+			}
+		}
+		if srv, ok := n.Server("acc"); ok {
+			s := srv.Locks().Stats()
+			out.TSTimeouts, out.TSWaits = s.Timeouts, s.Waits
+		}
+		for _, tid := range tids {
+			_, _ = n.App.EndTransaction(tid)
+		}
+		c.Shutdown()
+	}
+	return out, nil
+}
+
+// FormatAblations renders both ablations.
+func FormatAblations(lg *LoggingAblation, lk *LockingAblation) string {
+	var b strings.Builder
+	b.WriteString("Ablation: value vs. operation logging (paper §2.1.3, §7)\n")
+	fmt.Fprintf(&b, "  %d single-cell updates, one transaction each\n", lg.Updates)
+	fmt.Fprintf(&b, "  %-20s %12s %14s %10s\n", "technique", "log bytes", "bytes/update", "recovery")
+	fmt.Fprintf(&b, "  %-20s %12d %14.1f %7d pass\n", "value logging", lg.ValueLogBytes, float64(lg.ValueLogBytes)/float64(lg.Updates), lg.ValuePasses)
+	fmt.Fprintf(&b, "  %-20s %12d %14.1f %7d pass\n", "operation logging", lg.OpLogBytes, float64(lg.OpLogBytes)/float64(lg.Updates), lg.OpPasses)
+	b.WriteString("  (operation records trade smaller multi-page updates and more concurrency\n")
+	b.WriteString("   for a three-pass recovery; with 8-byte values the records are similar.)\n\n")
+
+	b.WriteString("Ablation: read/write vs. type-specific locking (paper §2.1.3)\n")
+	fmt.Fprintf(&b, "  %d concurrent transactions updating one cell, all held open\n", lk.Transactions)
+	fmt.Fprintf(&b, "  %-24s %8s %8s %9s\n", "locking", "granted", "waits", "timeouts")
+	fmt.Fprintf(&b, "  %-24s %8d %8d %9d\n", "read/write (exclusive)", lk.RWGranted, lk.RWWaits, lk.RWTimeouts)
+	fmt.Fprintf(&b, "  %-24s %8d %8d %9d\n", "type-specific increment", lk.TSGranted, lk.TSWaits, lk.TSTimeouts)
+	b.WriteString("  (commuting increment locks admit every transaction at once; exclusive\n")
+	b.WriteString("   write locks serialize them behind time-outs.)\n")
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"math"
+	"strings"
+
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+)
+
+// PaperRow holds the paper's published Table 5-4 milliseconds for one
+// benchmark, for side-by-side comparison with this implementation's
+// regenerated numbers.
+type PaperRow struct {
+	Predicted float64 // System Time Predicted by Primitives
+	Process   float64 // Measured TABS Process Time
+	Elapsed   float64 // Measured Elapsed Time
+	Improved  float64 // Improved TABS Architecture projection
+	NewPrim   float64 // New Primitive Times projection
+}
+
+// PaperTable54 maps benchmark name to the paper's Table 5-4 row.
+var PaperTable54 = map[string]PaperRow{
+	"1 Local Read, No Paging":          {53, 41, 110, 107, 67},
+	"5 Local Read, No Paging":          {157, 41, 217, 213, 80},
+	"1 Local Read, Seq. Paging":        {71, 41, 126, 123, 75},
+	"1 Local Read, Random Paging":      {81, 41, 140, 137, 98},
+	"1 Local Write, No Paging":         {156, 83, 247, 228, 136},
+	"5 Local Write, No Paging":         {302, 119, 467, 424, 225},
+	"1 Local Write, Seq. Paging":       {232, 104, 371, 345, 249},
+	"1 Lcl Rd, 1 Rem Rd, No Page":      {306, 223, 469, 459, 228},
+	"1 Lcl Rd, 5 Rem Rd, No Page":      {662, 368, 829, 819, 268},
+	"1 Lcl Rd, 1 Rem Rd, Seq. Page":    {341, 226, 514, 504, 257},
+	"1 Lcl Wr, 1 Rem Wr, No Page":      {697, 407, 989, 775, 442},
+	"1 Lcl Wr, 1 Rem Wr, Seq. Page":    {864, 441, 1125, 873, 539},
+	"1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP": {416, 381, 621, 611, 282},
+	"1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP": {831, 670, 1200, 968, 534},
+}
+
+// ProcessMs returns the modelled TABS system-process CPU time for a
+// benchmark: the paper's measured Communication, Recovery and Transaction
+// Manager process times (Table 5-4, column 2). These are 1985 Pascal
+// process CPU times on a Perq and cannot be derived from a reimplemen-
+// tation, so they enter the regenerated table as calibrated constants —
+// see DESIGN.md §1 and EXPERIMENTS.md.
+func ProcessMs(name string) float64 {
+	if row, ok := PaperTable54[name]; ok {
+		return row.Process
+	}
+	return 0
+}
+
+// Projection carries the regenerated Table 5-4 row for one benchmark.
+type Projection struct {
+	Result Result
+	// PredictedMs is counts × Table 5-1 times (column 1).
+	PredictedMs float64
+	// ProcessMs is the modelled TABS process time (column 2).
+	ProcessMs float64
+	// ElapsedMs composes the two, following the paper's reconciliation
+	// that predicted-plus-process approximates measured elapsed (§5.2).
+	ElapsedMs float64
+	// ImprovedMs re-prices the benchmark under the architectural changes
+	// of §5.3 (Recovery and Transaction Managers merged into the kernel,
+	// optimized commit) — the primitives that would no longer be
+	// performed are removed before pricing.
+	ImprovedMs float64
+	// NewPrimMs additionally substitutes the achievable primitive times
+	// of Table 5-5.
+	NewPrimMs float64
+	// KernelSmallMsgs is how many small messages belonged to the pager
+	// protocol (eliminated by the merge).
+	KernelSmallMsgs float64
+}
+
+// improvedCounts removes the primitives the §5.3 architecture no longer
+// performs: the kernel↔Recovery-Manager pager messages become procedure
+// calls, and for distributed write transactions the second commit phase
+// (commit datagram round and the participant's commit force) overlaps
+// succeeding transactions instead of sitting on the critical path.
+func improvedCounts(total stats.Counts, kernelSmall float64, b Benchmark) stats.Counts {
+	out := total
+	out[simclock.SmallMsg] = math.Max(0, out[simclock.SmallMsg]-kernelSmall)
+	if b.Write && b.Nodes() > 1 {
+		// Commit round (1 + ½(k-1) sends) and the ack arrival leave the
+		// critical path; one participant commit force overlaps too.
+		k := float64(b.Nodes() - 1)
+		out[simclock.Datagram] = math.Max(0, out[simclock.Datagram]-(1+0.5*(k-1))-1)
+		out[simclock.StableWrite] = math.Max(0, out[simclock.StableWrite]-k)
+	}
+	return out
+}
+
+// Project prices one measured benchmark under the paper's four analyses.
+func Project(r Result, kernelSmall float64) Projection {
+	perq := simclock.PerqT2()
+	ach := simclock.Achievable()
+	total := r.Total()
+	proc := ProcessMs(r.Benchmark.Name)
+	improved := improvedCounts(total, kernelSmall, r.Benchmark)
+	return Projection{
+		Result:          r,
+		PredictedMs:     total.Predict(perq),
+		ProcessMs:       proc,
+		ElapsedMs:       total.Predict(perq) + proc,
+		ImprovedMs:      improved.Predict(perq) + proc,
+		NewPrimMs:       improved.Predict(ach) + proc,
+		KernelSmallMsgs: kernelSmall,
+	}
+}
+
+// PaperTable52 holds the legible primitive counts of the paper's Table
+// 5-2 (pre-commit scope) for comparison: data server calls, inter-node
+// calls, and small local messages. Entries the scan of the paper left
+// ambiguous are NaN.
+type PaperCounts struct {
+	DSCalls   float64
+	RemCalls  float64
+	SmallMsgs float64
+	LargeMsgs float64
+}
+
+// PaperTable52Counts maps benchmark name to the paper's Table 5-2 row.
+var PaperTable52Counts = map[string]PaperCounts{
+	"1 Local Read, No Paging":          {1, 0, 4, 0},
+	"5 Local Read, No Paging":          {5, 0, 4, 0},
+	"1 Local Read, Seq. Paging":        {1, 0, 4, 0},
+	"1 Local Read, Random Paging":      {1, 0, 4, 0},
+	"1 Local Write, No Paging":         {1, 0, 6, 1},
+	"5 Local Write, No Paging":         {5, 0, 14, 5},
+	"1 Local Write, Seq. Paging":       {1, 0, 10, 1},
+	"1 Lcl Rd, 1 Rem Rd, No Page":      {1, 1, 8, 0},
+	"1 Lcl Rd, 5 Rem Rd, No Page":      {1, 5, 8, 0},
+	"1 Lcl Rd, 1 Rem Rd, Seq. Page":    {1, 1, 8, 0},
+	"1 Lcl Wr, 1 Rem Wr, No Page":      {1, 1, 12, 2},
+	"1 Lcl Wr, 1 Rem Wr, Seq. Page":    {1, 1, 20, 2},
+	"1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP": {1, 2, 11, 1},
+	"1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP": {1, 2, 17, 3},
+}
+
+// CommitClass names the Table 5-3 protocol row a benchmark exercises.
+func CommitClass(b Benchmark) string {
+	var s strings.Builder
+	switch b.Nodes() {
+	case 1:
+		s.WriteString("1 Node")
+	case 2:
+		s.WriteString("2 Node")
+	default:
+		s.WriteString("3 Node")
+	}
+	if b.Write {
+		s.WriteString(", Write")
+	} else {
+		s.WriteString(", Read Only")
+	}
+	return s.String()
+}
+
+// PaperTable53Datagrams gives the paper's longest-path datagram counts per
+// commit protocol (Table 5-3): read-only commits use prepare + vote; write
+// commits add the commit + ack round; each extra parallel child adds half
+// a datagram per round.
+var PaperTable53Datagrams = map[string]float64{
+	"1 Node, Read Only": 0,
+	"1 Node, Write":     0,
+	"2 Node, Read Only": 2,
+	"2 Node, Write":     4,
+	"3 Node, Read Only": 2.5,
+	"3 Node, Write":     5,
+}
+
+// PaperTable53StableWrites gives the stable-storage writes on the commit
+// path: none for read-only commits, the forced commit record for writes.
+var PaperTable53StableWrites = map[string]float64{
+	"1 Node, Read Only": 0,
+	"1 Node, Write":     1,
+	"2 Node, Read Only": 0,
+	"2 Node, Write":     1,
+	"3 Node, Read Only": 0,
+	"3 Node, Write":     1,
+}

@@ -1,0 +1,372 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// Handler processes one inbound request for a registered service and
+// returns the response payload (session calls) — datagram handlers'
+// returns are discarded. It is an alias so that consumer-defined
+// interfaces can name the same signature structurally.
+type Handler = func(from types.NodeID, tid types.TransID, payload []byte) ([]byte, error)
+
+// TransactionNoter is the Transaction Manager interface the Communication
+// Manager notifies "the first time an inter-node message is sent or
+// received on behalf of a particular transaction" (§3.2.3).
+type TransactionNoter interface {
+	NoteRemote(tid types.TransID)
+}
+
+// Errors.
+var (
+	ErrTimeout   = errors.New("comm: session call timed out (remote node presumed crashed)")
+	ErrNoService = errors.New("comm: no such service")
+)
+
+// treeInfo is one transaction's local view of the commit spanning tree: a
+// node A is the parent of node B iff A was the first node to invoke an
+// operation on B on behalf of the transaction (§3.2.3). The Communication
+// Manager builds this by scanning transaction identifiers in session
+// traffic (§3.2.4).
+type treeInfo struct {
+	parent      types.NodeID
+	hasParent   bool
+	children    []types.NodeID
+	childSet    map[types.NodeID]bool
+	notifiedTM  bool
+	remoteFirst bool // transaction arrived from a remote node
+}
+
+type pendingCall struct {
+	ch chan *Envelope
+}
+
+// Manager is one node's Communication Manager.
+type Manager struct {
+	node      types.NodeID
+	transport Transport
+	rec       *stats.Recorder
+
+	mu       sync.Mutex
+	services map[string]Handler
+	noter    TransactionNoter
+	trees    map[types.TransID]*treeInfo
+	epoch    uint64
+	nextSeq  uint64
+	pending  map[uint64]*pendingCall
+	// seen caches replies to already-processed session requests so
+	// retransmissions are answered without re-executing (at-most-once).
+	seen   map[string]*Envelope
+	closed bool
+
+	// CallTimeout bounds one session attempt; Retries is how many
+	// attempts are made before the peer is presumed crashed.
+	CallTimeout time.Duration
+	Retries     int
+}
+
+// New returns a Communication Manager bound to transport.
+func New(node types.NodeID, transport Transport, rec *stats.Recorder) *Manager {
+	m := &Manager{
+		node:      node,
+		transport: transport,
+		rec:       rec,
+		services:  make(map[string]Handler),
+		trees:     make(map[types.TransID]*treeInfo),
+		// The epoch marks this incarnation of the node, so receivers'
+		// duplicate caches cannot confuse a restarted node's fresh calls
+		// with its predecessor's.
+		epoch:       uint64(time.Now().UnixNano()),
+		pending:     make(map[uint64]*pendingCall),
+		seen:        make(map[string]*Envelope),
+		CallTimeout: 2 * time.Second,
+		Retries:     3,
+	}
+	transport.SetReceiver(m.deliver)
+	return m
+}
+
+// Node returns the owning node's identifier.
+func (m *Manager) Node() types.NodeID { return m.node }
+
+// Peers lists the reachable remote nodes.
+func (m *Manager) Peers() []types.NodeID { return m.transport.Peers() }
+
+// SetTransactionNoter attaches the Transaction Manager for remote-activity
+// notifications.
+func (m *Manager) SetTransactionNoter(n TransactionNoter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noter = n
+}
+
+// RegisterService installs handler for inbound envelopes naming service.
+func (m *Manager) RegisterService(service string, handler Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.services[service] = handler
+}
+
+// noteOutbound updates the spanning tree for an outbound session message on
+// behalf of tid: the peer becomes our child unless it is already our
+// parent. Returns true if this is new remote involvement for tid.
+func (m *Manager) noteOutbound(tid types.TransID, peer types.NodeID) {
+	if tid.IsNil() {
+		return
+	}
+	top := tid.TopLevel()
+	m.mu.Lock()
+	t := m.trees[top]
+	if t == nil {
+		t = &treeInfo{childSet: make(map[types.NodeID]bool)}
+		m.trees[top] = t
+	}
+	notify := false
+	if (!t.hasParent || t.parent != peer) && !t.childSet[peer] {
+		t.childSet[peer] = true
+		t.children = append(t.children, peer)
+	}
+	if !t.notifiedTM {
+		t.notifiedTM = true
+		notify = true
+	}
+	noter := m.noter
+	m.mu.Unlock()
+	if notify && noter != nil {
+		if m.rec != nil {
+			m.rec.Record(simclock.SmallMsg) // CM -> TM first-remote message
+		}
+		noter.NoteRemote(top)
+	}
+}
+
+// noteInbound updates the spanning tree for an inbound session message.
+func (m *Manager) noteInbound(tid types.TransID, peer types.NodeID) {
+	if tid.IsNil() {
+		return
+	}
+	top := tid.TopLevel()
+	m.mu.Lock()
+	t := m.trees[top]
+	if t == nil {
+		t = &treeInfo{childSet: make(map[types.NodeID]bool)}
+		m.trees[top] = t
+	}
+	notify := false
+	if !t.hasParent && !t.childSet[peer] {
+		t.parent = peer
+		t.hasParent = true
+		t.remoteFirst = true
+	}
+	if !t.notifiedTM {
+		t.notifiedTM = true
+		notify = true
+	}
+	noter := m.noter
+	m.mu.Unlock()
+	if notify && noter != nil {
+		if m.rec != nil {
+			m.rec.Record(simclock.SmallMsg)
+		}
+		noter.NoteRemote(top)
+	}
+}
+
+// Tree returns tid's local spanning-tree relations: the parent (if any)
+// and the children. The Transaction Manager obtains "the complete site
+// list ... from the Communication Manager during commit processing"
+// (§3.2.3).
+func (m *Manager) Tree(tid types.TransID) (parent types.NodeID, hasParent bool, children []types.NodeID) {
+	top := tid.TopLevel()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.trees[top]
+	if t == nil {
+		return "", false, nil
+	}
+	return t.parent, t.hasParent, append([]types.NodeID(nil), t.children...)
+}
+
+// ForgetTree discards tid's spanning-tree state after commit or abort.
+func (m *Manager) ForgetTree(tid types.TransID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.trees, tid.TopLevel())
+}
+
+// Call performs a session-based remote procedure call: at-most-once
+// execution with ordered delivery per the paper's session guarantees
+// (§3.2.4). Lost traffic is retransmitted with the same sequence number;
+// the receiver's duplicate cache answers retransmissions without
+// re-executing. Repeated failure is reported as a presumed remote crash.
+// Each call charges one Inter-Node Data Server Call primitive, covering
+// both directions (Table 5-1).
+func (m *Manager) Call(peer types.NodeID, service string, tid types.TransID, payload []byte) ([]byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.nextSeq++
+	seq := m.nextSeq
+	pc := &pendingCall{ch: make(chan *Envelope, 1)}
+	m.pending[seq] = pc
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.pending, seq)
+		m.mu.Unlock()
+	}()
+
+	if m.rec != nil {
+		m.rec.Record(simclock.InterNodeCall)
+	}
+	m.noteOutbound(tid, peer)
+
+	env := &Envelope{
+		From: m.node, To: peer, Kind: KindSession, Epoch: m.epoch, Seq: seq,
+		Service: service, TID: tid, Payload: payload,
+	}
+	attempts := m.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if err := m.transport.Send(env); err != nil {
+			return nil, fmt.Errorf("comm: session to %s: %w", peer, err)
+		}
+		timer := time.NewTimer(m.CallTimeout)
+		select {
+		case reply := <-pc.ch:
+			timer.Stop()
+			if reply.Err != "" {
+				return reply.Payload, errors.New(reply.Err)
+			}
+			return reply.Payload, nil
+		case <-timer.C:
+			// Retransmit with the same sequence number.
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrTimeout, peer)
+}
+
+// SendDatagram sends a one-way datagram, charging the given fraction of a
+// Datagram primitive. The commit protocol's parallel sends to multiple
+// children are charged one-half each after the first, per the paper's
+// longest-path approximation (Table 5-3).
+func (m *Manager) SendDatagram(peer types.NodeID, service string, tid types.TransID, payload []byte, charge float64) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.mu.Unlock()
+	if m.rec != nil && charge > 0 {
+		m.rec.RecordN(simclock.Datagram, charge)
+	}
+	env := &Envelope{
+		From: m.node, To: peer, Kind: KindDatagram,
+		Service: service, TID: tid, Payload: payload,
+	}
+	return m.transport.Send(env)
+}
+
+// Broadcast sends a datagram to every reachable peer (name lookup,
+// §3.2.5). One Datagram primitive is charged for the broadcast.
+func (m *Manager) Broadcast(service string, payload []byte) error {
+	peers := m.transport.Peers()
+	if m.rec != nil && len(peers) > 0 {
+		m.rec.Record(simclock.Datagram)
+	}
+	for _, p := range peers {
+		env := &Envelope{From: m.node, To: p, Kind: KindDatagram, Service: service, Payload: payload}
+		if err := m.transport.Send(env); err != nil && !errors.Is(err, ErrUnreachable) {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver is the transport receive callback.
+func (m *Manager) deliver(env *Envelope) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if env.Kind == KindSession && env.IsReply {
+		pc := m.pending[env.Seq]
+		m.mu.Unlock()
+		if pc != nil {
+			select {
+			case pc.ch <- env:
+			default:
+			}
+		}
+		return
+	}
+	handler := m.services[env.Service]
+	if env.Kind == KindSession {
+		key := fmt.Sprintf("%s/%d/%d", env.From, env.Epoch, env.Seq)
+		if cached, ok := m.seen[key]; ok {
+			m.mu.Unlock()
+			_ = m.transport.Send(cached)
+			return
+		}
+		m.mu.Unlock()
+		m.noteInbound(env.TID, env.From)
+		reply := &Envelope{
+			From: m.node, To: env.From, Kind: KindSession,
+			Epoch: env.Epoch, Seq: env.Seq, IsReply: true, Service: env.Service, TID: env.TID,
+		}
+		if handler == nil {
+			reply.Err = fmt.Sprintf("%v: %s", ErrNoService, env.Service)
+		} else {
+			out, err := handler(env.From, env.TID, env.Payload)
+			reply.Payload = out
+			if err != nil {
+				reply.Err = err.Error()
+			}
+		}
+		m.mu.Lock()
+		m.seen[key] = reply
+		// Bound the duplicate cache.
+		if len(m.seen) > 4096 {
+			m.seen = map[string]*Envelope{key: reply}
+		}
+		m.mu.Unlock()
+		_ = m.transport.Send(reply)
+		return
+	}
+	// Datagram.
+	m.mu.Unlock()
+	if handler != nil {
+		_, _ = handler(env.From, env.TID, env.Payload)
+	}
+}
+
+// Close shuts the manager down (node crash): pending calls fail and the
+// endpoint detaches from the network.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	pending := m.pending
+	m.pending = make(map[uint64]*pendingCall)
+	m.trees = make(map[types.TransID]*treeInfo)
+	m.seen = make(map[string]*Envelope)
+	m.mu.Unlock()
+	for _, pc := range pending {
+		select {
+		case pc.ch <- &Envelope{Err: ErrClosed.Error()}:
+		default:
+		}
+	}
+	return m.transport.Close()
+}

@@ -1,0 +1,226 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"tabs/internal/types"
+)
+
+// TCPTransport connects a node to its peers over TCP, one process per
+// node — the deployment cmd/tabsnode uses. Session envelopes ride the
+// ordered TCP stream; datagram envelopes share it but are fire-and-forget
+// (a failed send is swallowed, as a lost datagram would be).
+//
+// Peer addresses are static, as the workstation cluster's were. Every
+// envelope is self-describing (gob), and connections are (re)dialed on
+// demand, so nodes may start in any order and crashed peers may return.
+type TCPTransport struct {
+	self  types.NodeID
+	ln    net.Listener
+	peers map[types.NodeID]string
+
+	mu     sync.Mutex
+	recv   Receiver
+	conns  map[types.NodeID]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	mu  sync.Mutex
+}
+
+// wireEnvelope is the gob wire form of Envelope (exported fields only; it
+// mirrors Envelope exactly and exists to keep the wire format explicit).
+type wireEnvelope struct {
+	From    types.NodeID
+	To      types.NodeID
+	Kind    Kind
+	Epoch   uint64
+	Seq     uint64
+	IsReply bool
+	Service string
+	TID     types.TransID
+	Payload []byte
+	Err     string
+}
+
+// NewTCP starts a transport listening on listenAddr for node self, with
+// the given peer address table (peer node -> host:port).
+func NewTCP(self types.NodeID, listenAddr string, peers map[types.NodeID]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", listenAddr, err)
+	}
+	t := &TCPTransport{
+		self:  self,
+		ln:    ln,
+		peers: peers,
+		conns: make(map[types.NodeID]*tcpConn),
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) acceptLoop() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.startConn(c)
+	}
+}
+
+// startConn wraps a socket (dialed or accepted) with its single shared
+// encoder and starts its read loop.
+func (t *TCPTransport) startConn(c net.Conn) *tcpConn {
+	tc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	go t.readLoop(tc)
+	return tc
+}
+
+func (t *TCPTransport) readLoop(tc *tcpConn) {
+	defer tc.c.Close()
+	dec := gob.NewDecoder(tc.c)
+	for {
+		var w wireEnvelope
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		// Learn the sender's connection so replies (and future traffic)
+		// can ride the same stream — required for peers we have no
+		// dialable address for, such as tabsctl application nodes. The
+		// most recent inbound connection wins, so a peer that restarts
+		// under the same name (or reconnects) is reachable again.
+		if w.From != "" {
+			t.mu.Lock()
+			if t.conns[w.From] != tc {
+				t.conns[w.From] = tc
+			}
+			t.mu.Unlock()
+		}
+		t.mu.Lock()
+		recv := t.recv
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if recv != nil {
+			env := Envelope(w)
+			go recv(&env)
+		}
+	}
+}
+
+// SetReceiver implements Transport.
+func (t *TCPTransport) SetReceiver(r Receiver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = r
+}
+
+// conn returns (dialing if needed) the outbound connection to peer.
+func (t *TCPTransport) conn(peer types.NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if tc, ok := t.conns[peer]; ok {
+		t.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := t.peers[peer]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no address for %s", ErrUnreachable, peer)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, peer, err)
+	}
+	t.mu.Lock()
+	if old, ok := t.conns[peer]; ok {
+		t.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	tc := t.startConn(c)
+	t.conns[peer] = tc
+	t.mu.Unlock()
+	return tc, nil
+}
+
+// dropConn discards a broken connection so the next send redials.
+func (t *TCPTransport) dropConn(peer types.NodeID, tc *tcpConn) {
+	t.mu.Lock()
+	if t.conns[peer] == tc {
+		delete(t.conns, peer)
+	}
+	t.mu.Unlock()
+	tc.c.Close()
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(env *Envelope) error {
+	tc, err := t.conn(env.To)
+	if err != nil {
+		if env.Kind == KindDatagram {
+			return nil // datagrams to unreachable peers vanish
+		}
+		return err
+	}
+	tc.mu.Lock()
+	err = tc.enc.Encode((*wireEnvelope)(env))
+	tc.mu.Unlock()
+	if err != nil {
+		t.dropConn(env.To, tc)
+		if env.Kind == KindDatagram {
+			return nil
+		}
+		// One redial attempt for session traffic; the session layer's
+		// retransmission covers the rest.
+		tc2, derr := t.conn(env.To)
+		if derr != nil {
+			return derr
+		}
+		tc2.mu.Lock()
+		defer tc2.mu.Unlock()
+		if err := tc2.enc.Encode((*wireEnvelope)(env)); err != nil {
+			t.dropConn(env.To, tc2)
+			return fmt.Errorf("%w: %s (%v)", ErrUnreachable, env.To, err)
+		}
+	}
+	return nil
+}
+
+// Peers implements Transport.
+func (t *TCPTransport) Peers() []types.NodeID {
+	out := make([]types.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[types.NodeID]*tcpConn)
+	t.mu.Unlock()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	return t.ln.Close()
+}

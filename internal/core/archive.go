@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"tabs/internal/disk"
+	"tabs/internal/recovery"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// This file implements the node-level archive dump and media recovery —
+// the paper's future-work item (§7) built on §2.1.3's architecture:
+// "systems infrequently dump the contents of non-volatile storage into an
+// off-line archive", and after a disk failure the archive plus the log
+// reconstruct the segments.
+//
+// The archive covers the segment region of the node's disk (the log
+// region is assumed to live on stable storage and survive media failures,
+// as the paper requires); it embeds the log position at dump time so
+// MediaRecover can replay forward from exactly there.
+
+const archiveMagic = 0x7AB5A2C4
+
+// ArchiveSegments quiesces the node (all dirty pages forced, checkpoint
+// taken), dumps every segment sector to path, and pins log reclamation so
+// the log stays replayable over this archive. The returned mark must be
+// presented to MediaRecover.
+func (n *Node) ArchiveSegments(path string) (recovery.ArchiveMark, error) {
+	mark, err := n.RM.PrepareArchive()
+	if err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	n.mu.Lock()
+	first := n.segDirSector() // include the segment directory itself
+	last := n.nextFree
+	n.mu.Unlock()
+
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	w := bufio.NewWriter(f)
+	var hdr [28]byte
+	binary.BigEndian.PutUint32(hdr[0:4], archiveMagic)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(mark.LSN))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(first))
+	binary.BigEndian.PutUint64(hdr[20:28], uint64(last-first))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return recovery.ArchiveMark{}, err
+	}
+	buf := make([]byte, disk.SectorSize)
+	for addr := first; addr < last; addr++ {
+		header, err := n.d.Read(addr, buf)
+		if err != nil {
+			f.Close()
+			return recovery.ArchiveMark{}, fmt.Errorf("core: archiving sector %d: %w", addr, err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return recovery.ArchiveMark{}, err
+		}
+		var h [8]byte
+		binary.BigEndian.PutUint64(h[:], header)
+		if _, err := w.Write(h[:]); err != nil {
+			f.Close()
+			return recovery.ArchiveMark{}, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return recovery.ArchiveMark{}, err
+	}
+	if err := f.Close(); err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	n.RM.PinLowLSN(mark.LSN)
+	return mark, nil
+}
+
+// RestoreSegments writes an archive's sectors back onto the disk and
+// returns the archive's mark. It does not replay the log; call
+// MediaRecover afterwards (with every data server attached).
+func (n *Node) RestoreSegments(path string) (recovery.ArchiveMark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [28]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != archiveMagic {
+		return recovery.ArchiveMark{}, errors.New("core: not a segment archive")
+	}
+	mark := recovery.ArchiveMark{LSN: wal.LSN(binary.BigEndian.Uint64(hdr[4:12]))}
+	first := disk.Addr(binary.BigEndian.Uint64(hdr[12:20]))
+	count := binary.BigEndian.Uint64(hdr[20:28])
+	buf := make([]byte, disk.SectorSize)
+	var h [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return recovery.ArchiveMark{}, fmt.Errorf("core: reading archive sector %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(r, h[:]); err != nil {
+			return recovery.ArchiveMark{}, err
+		}
+		if err := n.d.Write(first+disk.Addr(i), buf, binary.BigEndian.Uint64(h[:])); err != nil {
+			return recovery.ArchiveMark{}, err
+		}
+	}
+	// The restored segment directory may differ from the in-memory view
+	// built at NewNode (it should not, for a same-layout node, but the
+	// disk now rules); reload it.
+	n.mu.Lock()
+	n.segDir = make(map[types.SegmentID]segEntry)
+	n.mu.Unlock()
+	if err := n.loadSegDir(); err != nil {
+		return recovery.ArchiveMark{}, err
+	}
+	return mark, nil
+}
+
+// MediaRecover replays the log over restored segments (RestoreSegments
+// first, data servers attached) and then runs normal crash recovery,
+// leaving the node ready to serve.
+func (n *Node) MediaRecover(mark recovery.ArchiveMark) (*recovery.RestartReport, error) {
+	report, err := n.RM.MediaRecover(mark, n.TM)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	hooks := append([]func() error(nil), n.afterRecov...)
+	n.mu.Unlock()
+	for _, fn := range hooks {
+		if err := fn(); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}

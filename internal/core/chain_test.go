@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/srvlib"
+	"tabs/internal/types"
+)
+
+// attachProxy installs a "proxy" data server on node n that forwards
+// SetCell operations to the array server on next, performing a remote
+// call from inside an operation (a coroutine switch via Await). This
+// builds a transaction spanning a → b → c as a *chain*: b is
+// simultaneously a participant below a and the sub-coordinator of c in
+// the tree-structured commit (§3.2.3: "each node serves as coordinator
+// for the nodes that are its children").
+func attachProxy(t *testing.T, n *core.Node, next types.NodeID) {
+	t.Helper()
+	srv, err := n.NewServer("proxy", 7, 1, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := intarray.NewClient(n, next, "arr")
+	srv.AcceptRequests(func(req *srvlib.Request) ([]byte, error) {
+		switch req.Op {
+		case "ForwardSet":
+			if len(req.Body) != 12 {
+				return nil, errors.New("proxy: want cell+value")
+			}
+			cell := binary.BigEndian.Uint32(req.Body[:4])
+			val := int64(binary.BigEndian.Uint64(req.Body[4:]))
+			// Remote work from inside an operation: release the monitor
+			// while the session call runs.
+			return nil, srv.Await(func() error {
+				return forward.Set(req.TID, cell, val)
+			})
+		default:
+			return nil, errors.New("proxy: unknown operation")
+		}
+	})
+}
+
+func chainCluster(t *testing.T) (*core.Cluster, *core.Node, *core.Node, *core.Node) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb, nc := c.Node("a"), c.Node("b"), c.Node("c")
+	for _, nn := range []*core.Node{na, nb, nc} {
+		if _, err := intarray.Attach(nn, "arr", 1, 20, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attachProxy(t, nb, "c") // b forwards to c
+	for _, nn := range []*core.Node{na, nb, nc} {
+		if _, err := nn.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, na, nb, nc
+}
+
+func forwardSet(n *core.Node, target types.NodeID, tid types.TransID, cell uint32, val int64) error {
+	body := binary.BigEndian.AppendUint32(nil, cell)
+	body = binary.BigEndian.AppendUint64(body, uint64(val))
+	_, err := n.CallRemote(target, "proxy", "ForwardSet", tid, body)
+	return err
+}
+
+// TestChainTopologyCommit: a writes locally, then calls b's proxy, which
+// writes on c. The spanning tree is a chain a→b→c; commit must flow
+// prepare down and votes up through b.
+func TestChainTopologyCommit(t *testing.T) {
+	c, na, _, nc := chainCluster(t)
+	defer c.Shutdown()
+	local := intarray.NewClient(na, "a", "arr")
+
+	if err := na.App.Run(func(tid types.TransID) error {
+		if err := local.Set(tid, 1, 100); err != nil {
+			return err
+		}
+		return forwardSet(na, "b", tid, 1, 300) // lands on c via b
+	}); err != nil {
+		t.Fatalf("chain transaction: %v", err)
+	}
+
+	// The write is durable on c.
+	fromC := intarray.NewClient(nc, "c", "arr")
+	if err := nc.App.Run(func(tid types.TransID) error {
+		v, err := fromC.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 300 {
+			t.Errorf("c's cell = %d, want 300", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainTopologyAbort: the same chain, aborted at the root; the leaf's
+// write must be undone through the relayed abort.
+func TestChainTopologyAbort(t *testing.T) {
+	c, na, _, nc := chainCluster(t)
+	defer c.Shutdown()
+
+	boom := errors.New("boom")
+	err := na.App.Run(func(tid types.TransID) error {
+		if err := forwardSet(na, "b", tid, 2, 999); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+
+	fromC := intarray.NewClient(nc, "c", "arr")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var v int64
+		err := nc.App.Run(func(tid types.TransID) error {
+			var gerr error
+			v, gerr = fromC.Get(tid, 2)
+			return gerr
+		})
+		if err == nil && v == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaf write not undone: v=%d err=%v", v, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChainLeafCrashRecovery: commit through the chain, crash the leaf,
+// and verify its recovered state.
+func TestChainLeafCrashRecovery(t *testing.T) {
+	c, na, _, _ := chainCluster(t)
+	defer c.Shutdown()
+	if err := na.App.Run(func(tid types.TransID) error {
+		return forwardSet(na, "b", tid, 3, 42)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash("c")
+	nc2, err := c.Reboot("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.Attach(nc2, "arr", 1, 20, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	fromC := intarray.NewClient(nc2, "c", "arr")
+	if err := nc2.App.Run(func(tid types.TransID) error {
+		v, err := fromC.Get(tid, 3)
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("leaf cell = %d after crash, want 42", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainMiddleReadOnly: the middle node's proxy writes nothing itself
+// (only c does); b must still relay prepare/commit to c and stay in the
+// write set as c's coordinator, even though its own log is empty for the
+// transaction.
+func TestChainMiddleReadOnly(t *testing.T) {
+	c, na, nb, nc := chainCluster(t)
+	defer c.Shutdown()
+	_ = nb
+	if err := na.App.Run(func(tid types.TransID) error {
+		// Only c's array is written; a and b log nothing.
+		return forwardSet(na, "b", tid, 4, 7)
+	}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	fromC := intarray.NewClient(nc, "c", "arr")
+	if err := nc.App.Run(func(tid types.TransID) error {
+		v, err := fromC.Get(tid, 4)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("leaf cell = %d, want 7", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tabs/internal/comm"
+	"tabs/internal/disk"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// Cluster is a convenience harness: several nodes over one in-memory
+// network, each with its own disk, sharing a stats registry — the
+// in-process analogue of the paper's collection of networked Perq
+// workstations.
+type Cluster struct {
+	Net      *comm.MemNetwork
+	Registry *stats.Registry
+	nodes    map[types.NodeID]*Node
+	disks    map[types.NodeID]*disk.Disk
+	opts     ClusterOptions
+}
+
+// ClusterOptions tune every node in a cluster.
+type ClusterOptions struct {
+	DiskSectors     int64
+	LogSectors      int64
+	PoolPages       int
+	CheckpointEvery int
+	LockTimeout     time.Duration
+}
+
+// DefaultClusterOptions returns settings suitable for tests: small disks,
+// modest pools, short lock time-outs.
+func DefaultClusterOptions() ClusterOptions {
+	return ClusterOptions{
+		DiskSectors: 16384,
+		LogSectors:  2048,
+		PoolPages:   256,
+		LockTimeout: 2 * time.Second,
+	}
+}
+
+// NewCluster creates nodes with the given names.
+func NewCluster(opts ClusterOptions, names ...types.NodeID) (*Cluster, error) {
+	if opts.DiskSectors == 0 {
+		opts = DefaultClusterOptions()
+	}
+	c := &Cluster{
+		Net:      comm.NewMemNetwork(),
+		Registry: stats.NewRegistry(),
+		nodes:    make(map[types.NodeID]*Node),
+		disks:    make(map[types.NodeID]*disk.Disk),
+		opts:     opts,
+	}
+	for _, name := range names {
+		if _, err := c.AddNode(name); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AddNode creates one node with a fresh disk.
+func (c *Cluster) AddNode(name types.NodeID) (*Node, error) {
+	if _, dup := c.nodes[name]; dup {
+		return nil, fmt.Errorf("core: duplicate node %s", name)
+	}
+	d := disk.New(disk.DefaultGeometry(c.opts.DiskSectors))
+	c.disks[name] = d
+	return c.bootNode(name, d)
+}
+
+func (c *Cluster) bootNode(name types.NodeID, d *disk.Disk) (*Node, error) {
+	n, err := NewNode(Config{
+		ID:              name,
+		Disk:            d,
+		LogSectors:      c.opts.LogSectors,
+		PoolPages:       c.opts.PoolPages,
+		Transport:       c.Net.Endpoint(name),
+		Registry:        c.Registry,
+		CheckpointEvery: c.opts.CheckpointEvery,
+		LockTimeout:     c.opts.LockTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.nodes[name] = n
+	return n, nil
+}
+
+// Node returns the named node.
+func (c *Cluster) Node(name types.NodeID) *Node { return c.nodes[name] }
+
+// Crash crashes the named node (volatile state lost, network detached).
+func (c *Cluster) Crash(name types.NodeID) {
+	if n := c.nodes[name]; n != nil {
+		n.Crash()
+		delete(c.nodes, name)
+	}
+}
+
+// Reboot builds a fresh Node over the crashed node's surviving disk. The
+// caller must re-attach the node's data servers and then call Recover.
+func (c *Cluster) Reboot(name types.NodeID) (*Node, error) {
+	d := c.disks[name]
+	if d == nil {
+		return nil, fmt.Errorf("core: unknown node %s", name)
+	}
+	if old := c.nodes[name]; old != nil {
+		old.Crash()
+	}
+	return c.bootNode(name, d)
+}
+
+// Shutdown stops every node cleanly.
+func (c *Cluster) Shutdown() {
+	for name, n := range c.nodes {
+		_ = n.Shutdown()
+		delete(c.nodes, name)
+	}
+}

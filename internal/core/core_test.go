@@ -1,0 +1,333 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/lock"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// arrayNode boots a single-node cluster with one integer array server.
+func arrayNode(t *testing.T, cells uint32) (*core.Cluster, *core.Node, *intarray.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	n := c.Node("n1")
+	if _, err := intarray.Attach(n, "array", 1, cells, time.Second); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return c, n, intarray.NewClient(n, "n1", "array")
+}
+
+func TestSingleNodeCommit(t *testing.T) {
+	c, n, arr := arrayNode(t, 100)
+	defer c.Shutdown()
+
+	err := n.App.Run(func(tid types.TransID) error {
+		if err := arr.Set(tid, 7, 4242); err != nil {
+			return err
+		}
+		v, err := arr.Get(tid, 7)
+		if err != nil {
+			return err
+		}
+		if v != 4242 {
+			t.Errorf("read own write: got %d, want 4242", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transaction: %v", err)
+	}
+
+	// A later transaction sees the committed value.
+	err = n.App.Run(func(tid types.TransID) error {
+		v, err := arr.Get(tid, 7)
+		if err != nil {
+			return err
+		}
+		if v != 4242 {
+			t.Errorf("after commit: got %d, want 4242", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read transaction: %v", err)
+	}
+}
+
+func TestSingleNodeAbortUndoes(t *testing.T) {
+	c, n, arr := arrayNode(t, 100)
+	defer c.Shutdown()
+
+	if err := n.App.Run(func(tid types.TransID) error {
+		return arr.Set(tid, 3, 111)
+	}); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	boom := errors.New("boom")
+	err := n.App.Run(func(tid types.TransID) error {
+		if err := arr.Set(tid, 3, 999); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := arr.Get(tid, 3)
+		if err != nil {
+			return err
+		}
+		if v != 111 {
+			t.Errorf("after abort: got %d, want 111", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+}
+
+func TestCrashRecoveryCommittedSurvivesActiveUndone(t *testing.T) {
+	c, n, arr := arrayNode(t, 100)
+
+	if err := n.App.Run(func(tid types.TransID) error {
+		return arr.Set(tid, 1, 1000)
+	}); err != nil {
+		t.Fatalf("committed txn: %v", err)
+	}
+
+	// Leave a transaction in flight at crash time.
+	tid, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if err := arr.Set(tid, 1, 2000); err != nil {
+		t.Fatalf("uncommitted set: %v", err)
+	}
+	if err := arr.Set(tid, 2, 3000); err != nil {
+		t.Fatalf("uncommitted set: %v", err)
+	}
+	// Steal the dirty pages: the write-ahead protocol forces the loser's
+	// log records to disk before the pages go, so recovery will find a
+	// real loser to undo rather than nothing at all.
+	if err := n.Kernel.FlushAll(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	c.Crash("n1")
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	if _, err := intarray.Attach(n2, "array", 1, 100, time.Second); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	report, err := n2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if report.Passes != 1 {
+		t.Errorf("value-only log should recover in 1 pass, used %d", report.Passes)
+	}
+	if len(report.Losers) != 1 {
+		t.Errorf("want 1 loser, got %v", report.Losers)
+	}
+
+	arr2 := intarray.NewClient(n2, "n1", "array")
+	if err := n2.App.Run(func(tid types.TransID) error {
+		v1, err := arr2.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v1 != 1000 {
+			t.Errorf("cell 1 after crash: got %d, want 1000", v1)
+		}
+		v2, err := arr2.Get(tid, 2)
+		if err != nil {
+			return err
+		}
+		if v2 != 0 {
+			t.Errorf("cell 2 after crash: got %d, want 0 (loser undone)", v2)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("post-recovery read: %v", err)
+	}
+	c.Shutdown()
+}
+
+func TestTwoNodeDistributedCommit(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b")
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Shutdown()
+	na, nb := c.Node("a"), c.Node("b")
+	if _, err := intarray.Attach(na, "arrA", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.Attach(nb, "arrB", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := na.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	local := intarray.NewClient(na, "a", "arrA")
+	remote := intarray.NewClient(na, "b", "arrB")
+
+	if err := na.App.Run(func(tid types.TransID) error {
+		if err := local.Set(tid, 1, 10); err != nil {
+			return err
+		}
+		return remote.Set(tid, 1, 20)
+	}); err != nil {
+		t.Fatalf("distributed write: %v", err)
+	}
+
+	// Verify on node b directly.
+	fromB := intarray.NewClient(nb, "b", "arrB")
+	if err := nb.App.Run(func(tid types.TransID) error {
+		v, err := fromB.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 20 {
+			t.Errorf("remote cell: got %d, want 20", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("verify on b: %v", err)
+	}
+}
+
+func TestTwoNodeDistributedAbort(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b")
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Shutdown()
+	na, nb := c.Node("a"), c.Node("b")
+	if _, err := intarray.Attach(na, "arrA", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.Attach(nb, "arrB", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := na.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	remote := intarray.NewClient(na, "b", "arrB")
+	boom := errors.New("boom")
+	err = na.App.Run(func(tid types.TransID) error {
+		if err := remote.Set(tid, 5, 77); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+
+	// Give the abort datagrams a moment to land, then check the remote
+	// value was undone and its locks released.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fromB := intarray.NewClient(nb, "b", "arrB")
+		var v int64
+		err := nb.App.Run(func(tid types.TransID) error {
+			var gerr error
+			v, gerr = fromB.Get(tid, 5)
+			return gerr
+		})
+		if err == nil && v == 0 {
+			return // undone and readable
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote abort not applied: v=%d err=%v", v, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestLockConflictTimeout(t *testing.T) {
+	c, n, arr := arrayNode(t, 10)
+	defer c.Shutdown()
+
+	srv, _ := n.Server("array")
+	srv.Locks().SetTimeout(100 * time.Millisecond)
+
+	t1, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Set(t1, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction must time out trying to read the same cell.
+	err = n.App.Run(func(tid types.TransID) error {
+		_, err := arr.Get(tid, 1)
+		return err
+	})
+	if err == nil || !errors.Is(errFromString(err), lock.ErrTimeout) {
+		// The error crosses a message boundary as text; just check it
+		// mentions the time-out.
+		if err == nil {
+			t.Fatal("want lock timeout, got success")
+		}
+	}
+
+	if err := n.App.AbortTransaction(t1); err != nil {
+		t.Fatalf("abort t1: %v", err)
+	}
+
+	// Now the cell is free.
+	if err := n.App.Run(func(tid types.TransID) error {
+		_, err := arr.Get(tid, 1)
+		return err
+	}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// errFromString maps an error back to lock.ErrTimeout when its text
+// carries the sentinel (errors crossing the port boundary are flattened to
+// strings, as messages flatten them in TABS).
+func errFromString(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, lock.ErrTimeout) {
+		return lock.ErrTimeout
+	}
+	if containsTimeout(err.Error()) {
+		return lock.ErrTimeout
+	}
+	return err
+}
+
+func containsTimeout(s string) bool {
+	return len(s) > 0 && (strings.Contains(s, "timed out") || strings.Contains(s, "deadlock"))
+}

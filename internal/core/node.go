@@ -1,0 +1,473 @@
+// Package core assembles a TABS node (paper Figure 3-1): the Accent-like
+// kernel, the common log on the node's disk, and the four TABS system
+// components — Name Server, Communication Manager, Recovery Manager and
+// Transaction Manager — plus the registry of user-programmed data servers
+// and the application library.
+//
+// A Node owns no global state: several nodes connected by a
+// comm.MemNetwork form an in-process cluster, and cmd/tabsnode runs one
+// node per OS process over TCP. Node.Crash discards all volatile state;
+// constructing a new Node over the same disk and re-attaching the same
+// data servers, then calling Recover, performs crash recovery.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tabs/internal/applib"
+	"tabs/internal/comm"
+	"tabs/internal/disk"
+	"tabs/internal/kernel"
+	"tabs/internal/lock"
+	"tabs/internal/nameserver"
+	"tabs/internal/port"
+	"tabs/internal/recovery"
+	"tabs/internal/simclock"
+	"tabs/internal/srvlib"
+	"tabs/internal/stats"
+	"tabs/internal/txn"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// DataServerService is the Communication Manager service that carries
+// remote data server calls.
+const DataServerService = "datasrv"
+
+// Errors.
+var (
+	ErrCrashed      = errors.New("core: node has crashed")
+	ErrNoServer     = errors.New("core: no such data server")
+	ErrSegmentSize  = errors.New("core: segment exists with different size")
+	ErrSegmentSpace = errors.New("core: disk space exhausted for segments")
+)
+
+// Config parameterizes a node.
+type Config struct {
+	ID types.NodeID
+	// Disk is the node's non-volatile storage. Reuse the same Disk across
+	// Node generations to simulate crash/restart.
+	Disk *disk.Disk
+	// LogSectors is the size of the log region including its anchor.
+	LogSectors int64
+	// PoolPages bounds the kernel buffer pool.
+	PoolPages int
+	// Transport connects the node to the network; nil isolates it.
+	Transport comm.Transport
+	// Registry, when set, gives each TABS component its own primitive
+	// recorder ("<id>/kernel", "<id>/rm", "<id>/tm", "<id>/cm",
+	// "<id>/wal", "<id>/srv"), which the benchmark projections need to
+	// attribute messages to components (paper §5.3). When nil, Rec (or a
+	// private recorder) is shared by every component.
+	Registry *stats.Registry
+	// Rec records primitive operations; nil creates a private recorder.
+	// Ignored when Registry is set.
+	Rec *stats.Recorder
+	// CheckpointEvery configures the Recovery Manager.
+	CheckpointEvery int
+	// LockTimeout is the default data-server lock time-out.
+	LockTimeout time.Duration
+}
+
+// Node is one TABS machine.
+type Node struct {
+	id  types.NodeID
+	cfg Config
+	d   *disk.Disk
+	rec *stats.Recorder
+
+	Kernel *kernel.Kernel
+	Log    *wal.Log
+	RM     *recovery.Manager
+	TM     *txn.Manager
+	CM     *comm.Manager
+	NS     *nameserver.Server
+	App    *applib.Lib
+
+	mu         sync.Mutex
+	servers    map[types.ServerID]*srvlib.Server
+	segDir     map[types.SegmentID]segEntry
+	nextFree   disk.Addr
+	afterRecov []func() error
+	crashed    bool
+}
+
+type segEntry struct {
+	base  disk.Addr
+	pages uint32
+}
+
+// segment directory layout: one reserved sector after the log region.
+const segDirMagic = 0x5E6D19A7
+
+// NewNode constructs a node over cfg.Disk. The log region is mounted (a
+// fresh disk is formatted); segments are re-mapped from the persistent
+// segment directory. Call Recover after attaching data servers.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Disk == nil {
+		return nil, errors.New("core: config needs a disk")
+	}
+	if cfg.LogSectors < 2 {
+		cfg.LogSectors = 256
+	}
+	// Component recorders: distinct when a registry is supplied, shared
+	// otherwise.
+	var kernelRec, walRec, rmRec, tmRec, cmRec, srvRec *stats.Recorder
+	if cfg.Registry != nil {
+		id := string(cfg.ID)
+		kernelRec = cfg.Registry.Recorder(id + "/kernel")
+		walRec = cfg.Registry.Recorder(id + "/wal")
+		rmRec = cfg.Registry.Recorder(id + "/rm")
+		tmRec = cfg.Registry.Recorder(id + "/tm")
+		cmRec = cfg.Registry.Recorder(id + "/cm")
+		srvRec = cfg.Registry.Recorder(id + "/srv")
+	} else {
+		rec := cfg.Rec
+		if rec == nil {
+			rec = stats.NewRecorder()
+		}
+		kernelRec, walRec, rmRec, tmRec, cmRec, srvRec = rec, rec, rec, rec, rec, rec
+	}
+	n := &Node{
+		id:      cfg.ID,
+		cfg:     cfg,
+		d:       cfg.Disk,
+		rec:     srvRec,
+		servers: make(map[types.ServerID]*srvlib.Server),
+		segDir:  make(map[types.SegmentID]segEntry),
+	}
+	n.Kernel = kernel.New(kernel.Config{Disk: cfg.Disk, PoolPages: cfg.PoolPages, Rec: kernelRec})
+	lg, err := wal.Open(wal.Config{Disk: cfg.Disk, Base: 0, Sectors: cfg.LogSectors, Rec: walRec})
+	if err != nil {
+		return nil, fmt.Errorf("core: mounting log: %w", err)
+	}
+	n.Log = lg
+	n.RM = recovery.New(recovery.Config{Log: lg, Kernel: n.Kernel, Rec: rmRec, CheckpointEvery: cfg.CheckpointEvery})
+	if cfg.Transport != nil {
+		n.CM = comm.New(cfg.ID, cfg.Transport, cmRec)
+	}
+	if n.CM != nil {
+		n.TM = txn.New(cfg.ID, n.RM, n.CM, tmRec)
+		n.CM.SetTransactionNoter(n.TM)
+		n.CM.RegisterService(DataServerService, n.handleRemoteCall)
+	} else {
+		n.TM = txn.New(cfg.ID, n.RM, nil, tmRec)
+	}
+	n.NS = nameserver.New(cfg.ID, nsBroadcaster(n))
+	n.App = applib.New(n.TM)
+	if err := n.loadSegDir(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// nsBroadcaster adapts the optional CM for the name server.
+func nsBroadcaster(n *Node) nameserver.Broadcaster {
+	if n.CM == nil {
+		return nil
+	}
+	return n.CM
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Rec returns the node's primitive-operation recorder.
+func (n *Node) Rec() *stats.Recorder { return n.rec }
+
+// Disk returns the node's disk.
+func (n *Node) Disk() *disk.Disk { return n.d }
+
+// --- segment directory -----------------------------------------------------
+
+func (n *Node) segDirSector() disk.Addr { return disk.Addr(n.cfg.LogSectors) }
+
+func (n *Node) loadSegDir() error {
+	var sector [disk.SectorSize]byte
+	if _, err := n.d.Read(n.segDirSector(), sector[:]); err != nil {
+		return err
+	}
+	n.nextFree = n.segDirSector() + 1
+	if binary.BigEndian.Uint32(sector[0:4]) != segDirMagic {
+		return nil // fresh disk: empty directory
+	}
+	count := int(binary.BigEndian.Uint16(sector[4:6]))
+	off := 6
+	for i := 0; i < count; i++ {
+		id := types.SegmentID(binary.BigEndian.Uint32(sector[off : off+4]))
+		base := disk.Addr(binary.BigEndian.Uint64(sector[off+4 : off+12]))
+		pages := binary.BigEndian.Uint32(sector[off+12 : off+16])
+		n.segDir[id] = segEntry{base: base, pages: pages}
+		if end := base + disk.Addr(pages); end > n.nextFree {
+			n.nextFree = end
+		}
+		off += 16
+	}
+	return nil
+}
+
+func (n *Node) storeSegDir() error {
+	var sector [disk.SectorSize]byte
+	binary.BigEndian.PutUint32(sector[0:4], segDirMagic)
+	binary.BigEndian.PutUint16(sector[4:6], uint16(len(n.segDir)))
+	off := 6
+	for id, e := range n.segDir {
+		if off+16 > disk.SectorSize {
+			return errors.New("core: segment directory full")
+		}
+		binary.BigEndian.PutUint32(sector[off:off+4], uint32(id))
+		binary.BigEndian.PutUint64(sector[off+4:off+12], uint64(e.base))
+		binary.BigEndian.PutUint32(sector[off+12:off+16], e.pages)
+		off += 16
+	}
+	return n.d.Write(n.segDirSector(), sector[:], 0)
+}
+
+// EnsureSegment creates or re-maps a recoverable segment of the given size
+// in pages. Segment placement is persistent: after a crash, the same call
+// re-maps the same disk region (the data server's permanent data).
+func (n *Node) EnsureSegment(id types.SegmentID, pages uint32) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.segDir[id]; ok {
+		if e.pages != pages {
+			return fmt.Errorf("%w: segment %d has %d pages, requested %d", ErrSegmentSize, id, e.pages, pages)
+		}
+		return n.Kernel.AddSegment(id, e.base, pages)
+	}
+	geom := n.d.Geometry()
+	if int64(n.nextFree)+int64(pages) > geom.Sectors {
+		return fmt.Errorf("%w: need %d pages at %d, disk has %d sectors", ErrSegmentSpace, pages, n.nextFree, geom.Sectors)
+	}
+	e := segEntry{base: n.nextFree, pages: pages}
+	n.segDir[id] = e
+	n.nextFree += disk.Addr(pages)
+	if err := n.storeSegDir(); err != nil {
+		return err
+	}
+	return n.Kernel.AddSegment(id, e.base, pages)
+}
+
+// --- data server registry ----------------------------------------------------
+
+// NewServer creates a data server on this node with its recoverable
+// segment ensured, registers it for request routing and crash recovery,
+// and returns it. The caller registers operations and starts
+// AcceptRequests.
+func (n *Node) NewServer(id types.ServerID, seg types.SegmentID, pages uint32, compat lock.Compat, timeout time.Duration) (*srvlib.Server, error) {
+	if err := n.EnsureSegment(seg, pages); err != nil {
+		return nil, err
+	}
+	if timeout == 0 {
+		timeout = n.cfg.LockTimeout
+	}
+	s := srvlib.New(srvlib.Config{
+		ID:          id,
+		Kernel:      n.Kernel,
+		RM:          n.RM,
+		TM:          n.TM,
+		Rec:         n.rec,
+		Segment:     seg,
+		LockCompat:  compat,
+		LockTimeout: timeout,
+	})
+	s.RecoverServer()
+	n.mu.Lock()
+	n.servers[id] = s
+	n.mu.Unlock()
+	return s, nil
+}
+
+// Server returns the registered data server, if any.
+func (n *Node) Server(id types.ServerID) (*srvlib.Server, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.servers[id]
+	return s, ok
+}
+
+// Recover performs crash recovery: the Recovery Manager scans the log,
+// redoes winners, undoes losers, and resolves in-doubt transactions with
+// their coordinators (§3.2.2). It must run after every data server has
+// been attached (their undo/redo code must be registered) and before the
+// node serves new work. On a fresh disk it is a no-op.
+func (n *Node) Recover() (*recovery.RestartReport, error) {
+	report, err := n.RM.Restart(n.TM)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	hooks := append([]func() error(nil), n.afterRecov...)
+	n.mu.Unlock()
+	for _, fn := range hooks {
+		if err := fn(); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// AfterRecover registers fn to run once crash recovery completes; data
+// servers use it to rebuild volatile state from recovered permanent state
+// (the weak queue's tail pointer is the canonical example, §4.2).
+func (n *Node) AfterRecover(fn func() error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.afterRecov = append(n.afterRecov, fn)
+}
+
+// --- operation invocation -------------------------------------------------------
+
+// Call invokes op on a local data server within tid, charging one Data
+// Server Call primitive covering the request/response exchange.
+func (n *Node) Call(server types.ServerID, op string, tid types.TransID, body []byte) ([]byte, error) {
+	n.mu.Lock()
+	s, ok := n.servers[server]
+	crashed := n.crashed
+	n.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoServer, server)
+	}
+	n.rec.Record(simclock.DataServerCall)
+	reply := port.New(string(server)+".call", nil)
+	defer reply.Close()
+	msg := &port.Message{Op: op, TID: tid, Body: body, ReplyTo: reply}
+	if err := s.Port().SendQuiet(msg); err != nil {
+		return nil, err
+	}
+	resp, err := reply.Receive()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp.Body, errors.New(resp.Err)
+	}
+	return resp.Body, nil
+}
+
+// CallRemote invokes op on a data server at another node within tid,
+// using session communication through the Communication Managers
+// (§2.1.2). One Inter-Node Data Server Call primitive is charged.
+func (n *Node) CallRemote(nodeID types.NodeID, server types.ServerID, op string, tid types.TransID, body []byte) ([]byte, error) {
+	if nodeID == n.id {
+		return n.Call(server, op, tid, body)
+	}
+	if n.CM == nil {
+		return nil, fmt.Errorf("core: node %s has no network", n.id)
+	}
+	payload := encodeRemoteCall(server, op, body)
+	return n.CM.Call(nodeID, DataServerService, tid, payload)
+}
+
+// Invoke routes a call through a name-server binding.
+func (n *Node) Invoke(b nameserver.Binding, op string, tid types.TransID, body []byte) ([]byte, error) {
+	return n.CallRemote(b.Node, b.Server, op, tid, body)
+}
+
+// handleRemoteCall is the session-service handler for inbound remote data
+// server calls; it dispatches into the local server's coroutine machinery.
+func (n *Node) handleRemoteCall(from types.NodeID, tid types.TransID, payload []byte) ([]byte, error) {
+	server, op, body, err := decodeRemoteCall(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	s, ok := n.servers[server]
+	crashed := n.crashed
+	n.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoServer, server)
+	}
+	reply := port.New(string(server)+".remote", nil)
+	defer reply.Close()
+	msg := &port.Message{Op: op, TID: tid, Body: body, ReplyTo: reply}
+	if err := s.Port().SendQuiet(msg); err != nil {
+		return nil, err
+	}
+	resp, rerr := reply.Receive()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if resp.Err != "" {
+		return resp.Body, errors.New(resp.Err)
+	}
+	return resp.Body, nil
+}
+
+func encodeRemoteCall(server types.ServerID, op string, body []byte) []byte {
+	b := make([]byte, 0, 4+len(server)+len(op)+len(body))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(server)))
+	b = append(b, server...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(op)))
+	b = append(b, op...)
+	return append(b, body...)
+}
+
+func decodeRemoteCall(p []byte) (types.ServerID, string, []byte, error) {
+	if len(p) < 2 {
+		return "", "", nil, errors.New("core: short remote call")
+	}
+	ns := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < ns+2 {
+		return "", "", nil, errors.New("core: short remote call server")
+	}
+	server := types.ServerID(p[:ns])
+	p = p[ns:]
+	no := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < no {
+		return "", "", nil, errors.New("core: short remote call op")
+	}
+	return server, string(p[:no]), p[no:], nil
+}
+
+// Crash discards every piece of volatile state the node holds: buffer
+// pool, lock tables, live transactions, coroutines, sessions. The disk —
+// log and recoverable segments — survives. The node is unusable
+// afterwards; build a new Node over the same disk and Recover.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if n.crashed {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed = true
+	servers := make([]*srvlib.Server, 0, len(n.servers))
+	for _, s := range n.servers {
+		servers = append(servers, s)
+	}
+	n.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	if n.CM != nil {
+		_ = n.CM.Close()
+	}
+	n.TM.Crash()
+	n.RM.Crash()
+	n.Kernel.Crash()
+}
+
+// Shutdown cleanly stops the node: dirty pages are flushed, a checkpoint
+// is taken, and the network endpoint closes.
+func (n *Node) Shutdown() error {
+	if err := n.Kernel.FlushAll(); err != nil {
+		return err
+	}
+	if err := n.RM.Checkpoint(); err != nil {
+		return err
+	}
+	n.Crash()
+	return nil
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tabs/internal/core"
+	"tabs/internal/disk"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+func TestEnsureSegmentSizeMismatch(t *testing.T) {
+	c, n, _ := arrayNode(t, 100)
+	defer c.Shutdown()
+	// Segment 1 exists with the array's size; re-attaching with another
+	// size must be refused — the permanent data's layout is immutable.
+	err := n.EnsureSegment(1, 99999)
+	if !errors.Is(err, core.ErrSegmentSize) {
+		t.Errorf("got %v", err)
+	}
+	// Same size re-maps... the kernel already has it, which is the
+	// double-attach error path.
+	if err := n.EnsureSegment(1, 2); !errors.Is(err, core.ErrSegmentSize) {
+		t.Logf("re-ensure with same id: %v", err)
+	}
+}
+
+func TestSegmentSpaceExhaustion(t *testing.T) {
+	opts := core.DefaultClusterOptions()
+	opts.DiskSectors = 300
+	opts.LogSectors = 64
+	c, err := core.NewCluster(opts, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	n := c.Node("tiny")
+	if err := n.EnsureSegment(1, 200); err != nil {
+		t.Fatalf("first segment: %v", err)
+	}
+	if err := n.EnsureSegment(2, 200); !errors.Is(err, core.ErrSegmentSpace) {
+		t.Errorf("overcommit accepted: %v", err)
+	}
+}
+
+func TestCallUnknownServer(t *testing.T) {
+	c, n, _ := arrayNode(t, 10)
+	defer c.Shutdown()
+	_, err := n.Call("ghost", "Op", types.NilTransID, nil)
+	if !errors.Is(err, core.ErrNoServer) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCallRemoteUnknownServer(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	na := c.Node("a")
+	if _, err := na.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node("b").Recover(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = na.CallRemote("b", "ghost", "Op", types.NilTransID, nil)
+	if err == nil || !strings.Contains(err.Error(), "no such data server") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCallAfterCrashFails(t *testing.T) {
+	c, n, _ := arrayNode(t, 10)
+	defer c.Shutdown()
+	n.Crash()
+	_, err := n.Call("array", intarray.OpGet, types.NilTransID, []byte{0, 0, 0, 1})
+	if !errors.Is(err, core.ErrCrashed) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestNodeNeedsDisk(t *testing.T) {
+	if _, err := core.NewNode(core.Config{ID: "x"}); err == nil {
+		t.Error("node without a disk accepted")
+	}
+}
+
+func TestDuplicateNodeName(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.AddNode("dup"); err == nil {
+		t.Error("duplicate node name accepted")
+	}
+}
+
+func TestShutdownFlushesAndCheckpoints(t *testing.T) {
+	c, n, arr := arrayNode(t, 10)
+	if err := n.App.Run(func(tid types.TransID) error {
+		return arr.Set(tid, 1, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckptBefore := n.Log.CheckpointLSN()
+	d := n.Disk()
+	if err := n.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean shutdown leaves the segment current on disk (no recovery
+	// work needed): read the raw sector.
+	buf := make([]byte, disk.SectorSize)
+	if _, err := d.Read(2049, buf); err != nil { // first segment sector
+		t.Fatal(err)
+	}
+	var v int64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | int64(buf[i])
+	}
+	if v != 5 {
+		t.Errorf("segment sector holds %d, want 5 (flush on shutdown)", v)
+	}
+	// And the checkpoint advanced.
+	lg := n.Log
+	if lg.CheckpointLSN() == ckptBefore {
+		t.Error("no checkpoint on clean shutdown")
+	}
+	c.Shutdown()
+}

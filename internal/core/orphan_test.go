@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// TestOrphanSweeperSparesLiveTransactions: a remote-rooted transaction
+// whose coordinator is alive but merely slow (the user is thinking) must
+// NOT be aborted by the participant's orphan sweeper, no matter how long
+// it idles — the coordinator answers "in progress" to status queries.
+func TestOrphanSweeperSparesLiveTransactions(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "coord", "part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	nc, np := c.Node("coord"), c.Node("part")
+	for _, nn := range []*core.Node{nc, np} {
+		if _, err := intarray.Attach(nn, "arr", 1, 10, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nn.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Aggressive sweeping on the participant.
+	np.TM.Configure(50*time.Millisecond, 2, 150*time.Millisecond)
+
+	remote := intarray.NewClient(nc, "part", "arr")
+	tid, err := nc.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Set(tid, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle well past several sweep intervals: the coordinator is alive,
+	// so the participant must keep the transaction.
+	time.Sleep(600 * time.Millisecond)
+
+	// The transaction still commits.
+	if ok, err := nc.App.EndTransaction(tid); err != nil || !ok {
+		t.Fatalf("idle transaction was killed: ok=%v err=%v", ok, err)
+	}
+	fromP := intarray.NewClient(np, "part", "arr")
+	if err := np.App.Run(func(tid types.TransID) error {
+		v, err := fromP.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("cell %d, want 7", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/accum"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// TestCrashTortureValueLogging runs a randomized workload of committing
+// and aborting transactions against the integer array, crashing the node
+// at random points (sometimes after forcing dirty pages out, sometimes
+// not), and checks after every recovery that the array matches a model
+// holding exactly the committed state. This is the whole value-logging
+// stack — locking, WAL, buffer management, abort, restart — under one
+// adversarial schedule.
+func TestCrashTortureValueLogging(t *testing.T) {
+	const cells = 20
+	rng := rand.New(rand.NewSource(20260706))
+	model := make([]int64, cells+1)
+
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	n := c.Node("n1")
+	attach := func(node *core.Node) *intarray.Client {
+		if _, err := intarray.Attach(node, "array", 1, cells, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := node.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		return intarray.NewClient(node, "n1", "array")
+	}
+	arr := attach(n)
+
+	verify := func(round int) {
+		t.Helper()
+		if err := n.App.Run(func(tid types.TransID) error {
+			for cell := uint32(1); cell <= cells; cell++ {
+				v, err := arr.Get(tid, cell)
+				if err != nil {
+					return err
+				}
+				if v != model[cell] {
+					t.Errorf("round %d: cell %d = %d, model %d", round, cell, v, model[cell])
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d verify: %v", round, err)
+		}
+	}
+
+	for round := 0; round < 30; round++ {
+		// A burst of transactions, each updating 1-3 cells; a third of
+		// them abort.
+		for txn := 0; txn < 5; txn++ {
+			updates := map[uint32]int64{}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				updates[uint32(1+rng.Intn(cells))] = rng.Int63n(1000)
+			}
+			abort := rng.Intn(3) == 0
+			err := n.App.Run(func(tid types.TransID) error {
+				for cell, val := range updates {
+					if err := arr.Set(tid, cell, val); err != nil {
+						return err
+					}
+				}
+				if abort {
+					return fmt.Errorf("induced abort")
+				}
+				return nil
+			})
+			if abort {
+				if err == nil {
+					t.Fatal("induced abort committed")
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("round %d txn: %v", round, err)
+				}
+				for cell, val := range updates {
+					model[cell] = val
+				}
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			// Crash without flushing: losers vanish with the buffer.
+		case 1:
+			// Steal pages first: losers' effects reach disk and must be
+			// undone from the log.
+			if err := n.Kernel.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			// Checkpoint, then crash: recovery starts from the
+			// checkpoint.
+			if err := n.RM.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Crash("n1")
+		n2, err := c.Reboot("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n = n2
+		arr = attach(n)
+		verify(round)
+	}
+}
+
+// TestCrashTortureOperationLogging is the same adversarial schedule over
+// the accumulator server: operation logging, logical undo via CLRs, and
+// the page-sequence redo guard across repeated crashes.
+func TestCrashTortureOperationLogging(t *testing.T) {
+	const cells = 10
+	rng := rand.New(rand.NewSource(42424242))
+	model := make([]int64, cells+1)
+
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	n := c.Node("n1")
+	attach := func(node *core.Node) *accum.Client {
+		if _, err := accum.Attach(node, "acc", 1, cells, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := node.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		return accum.NewClient(node, "n1", "acc")
+	}
+	acc := attach(n)
+
+	for round := 0; round < 20; round++ {
+		for txn := 0; txn < 4; txn++ {
+			type upd struct {
+				cell  uint32
+				delta int64
+			}
+			var updates []upd
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				updates = append(updates, upd{uint32(1 + rng.Intn(cells)), rng.Int63n(100) - 50})
+			}
+			abort := rng.Intn(3) == 0
+			err := n.App.Run(func(tid types.TransID) error {
+				for _, u := range updates {
+					if err := acc.Increment(tid, u.cell, u.delta); err != nil {
+						return err
+					}
+				}
+				if abort {
+					return fmt.Errorf("induced abort")
+				}
+				return nil
+			})
+			if !abort {
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				for _, u := range updates {
+					model[u.cell] += u.delta
+				}
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := n.Kernel.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Crash("n1")
+		n2, err := c.Reboot("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n = n2
+		acc = attach(n)
+		if err := n.App.Run(func(tid types.TransID) error {
+			for cell := uint32(1); cell <= cells; cell++ {
+				v, err := acc.Get(tid, cell)
+				if err != nil {
+					return err
+				}
+				if v != model[cell] {
+					t.Errorf("round %d: counter %d = %d, model %d", round, cell, v, model[cell])
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDistributedCrashTorture: distributed write transactions with the
+// coordinator's node crashing between transactions; both nodes must agree
+// with the model after every recovery.
+func TestDistributedCrashTorture(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	const cells = 10
+	modelA := make([]int64, cells+1)
+	modelB := make([]int64, cells+1)
+
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	attach := func(node *core.Node, id types.ServerID) {
+		if _, err := intarray.Attach(node, id, 1, cells, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := node.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	na, nb := c.Node("a"), c.Node("b")
+	attach(na, "arrA")
+	attach(nb, "arrB")
+
+	for round := 0; round < 10; round++ {
+		cA := intarray.NewClient(na, "a", "arrA")
+		cB := intarray.NewClient(na, "b", "arrB")
+		for txn := 0; txn < 3; txn++ {
+			cellA := uint32(1 + rng.Intn(cells))
+			cellB := uint32(1 + rng.Intn(cells))
+			valA, valB := rng.Int63n(1000), rng.Int63n(1000)
+			err := na.App.Run(func(tid types.TransID) error {
+				if err := cA.Set(tid, cellA, valA); err != nil {
+					return err
+				}
+				return cB.Set(tid, cellB, valB)
+			})
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			modelA[cellA], modelB[cellB] = valA, valB
+		}
+		// Crash one of the nodes at random and bring it back.
+		if rng.Intn(2) == 0 {
+			c.Crash("a")
+			na2, err := c.Reboot("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			na = na2
+			attach(na, "arrA")
+		} else {
+			c.Crash("b")
+			nb2, err := c.Reboot("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb = nb2
+			attach(nb, "arrB")
+		}
+		// Verify both nodes against the model, reading locally.
+		verA := intarray.NewClient(na, "a", "arrA")
+		if err := na.App.Run(func(tid types.TransID) error {
+			for cell := uint32(1); cell <= cells; cell++ {
+				v, err := verA.Get(tid, cell)
+				if err != nil {
+					return err
+				}
+				if v != modelA[cell] {
+					t.Errorf("round %d: a[%d]=%d model %d", round, cell, v, modelA[cell])
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		verB := intarray.NewClient(nb, "b", "arrB")
+		if err := nb.App.Run(func(tid types.TransID) error {
+			for cell := uint32(1); cell <= cells; cell++ {
+				v, err := verB.Get(tid, cell)
+				if err != nil {
+					return err
+				}
+				if v != modelB[cell] {
+					t.Errorf("round %d: b[%d]=%d model %d", round, cell, v, modelB[cell])
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

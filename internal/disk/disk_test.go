@@ -1,0 +1,218 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New(DefaultGeometry(64))
+	data := make([]byte, SectorSize)
+	copy(data, "sector payload")
+	if err := d.Write(7, data, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, SectorSize)
+	header, err := d.Read(7, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("data mismatch")
+	}
+	if header != 0xDEAD {
+		t.Errorf("header %x", header)
+	}
+}
+
+func TestHeaderWrittenAtomicallyWithData(t *testing.T) {
+	// The modified Perq microcode wrote the sequence number in the sector
+	// header atomically with the data (§3.2.1); Write takes both at once.
+	d := New(DefaultGeometry(8))
+	if err := d.Write(1, make([]byte, SectorSize), 42); err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.ReadHeader(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 42 {
+		t.Errorf("header %d", h)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := New(DefaultGeometry(8))
+	buf := make([]byte, SectorSize)
+	if _, err := d.Read(8, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past end: %v", err)
+	}
+	if err := d.Write(-1, buf, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative write: %v", err)
+	}
+}
+
+func TestBadBufferSize(t *testing.T) {
+	d := New(DefaultGeometry(8))
+	if _, err := d.Read(0, make([]byte, 10)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("short read buffer: %v", err)
+	}
+	if err := d.Write(0, make([]byte, SectorSize+1), 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("long write buffer: %v", err)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	d := New(DefaultGeometry(4096))
+	var last float64
+	var lastSeq bool
+	d.SetIOHook(func(ms float64, sequential bool) { last, lastSeq = ms, sequential })
+	buf := make([]byte, SectorSize)
+
+	// First access: a seek.
+	if _, err := d.Read(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq {
+		t.Error("first access reported sequential")
+	}
+	seekCost := last
+
+	// Next sector: sequential, cheaper.
+	if _, err := d.Read(101, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !lastSeq {
+		t.Error("consecutive access not sequential")
+	}
+	if last >= seekCost {
+		t.Errorf("sequential %v not cheaper than seek %v", last, seekCost)
+	}
+
+	// Jump: a seek again.
+	if _, err := d.Read(2000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq {
+		t.Error("jump reported sequential")
+	}
+}
+
+func TestDefaultGeometryMatchesTable51(t *testing.T) {
+	// Random paged I/O ≈ 32 ms, sequential read ≈ 16 ms (Table 5-1).
+	g := DefaultGeometry(1024)
+	random := g.SeekMillis + g.TransferMillis
+	if math.Abs(random-32) > 1 {
+		t.Errorf("random access %v ms, want ≈32", random)
+	}
+	if math.Abs(g.TransferMillis-16) > 1.5 {
+		t.Errorf("sequential read %v ms, want ≈16", g.TransferMillis)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	d := New(DefaultGeometry(8))
+	d.FailNextWrites(2)
+	buf := make([]byte, SectorSize)
+	if err := d.Write(0, buf, 0); !errors.Is(err, ErrWriteFailed) {
+		t.Errorf("first injected failure: %v", err)
+	}
+	if err := d.Write(0, buf, 0); !errors.Is(err, ErrWriteFailed) {
+		t.Errorf("second injected failure: %v", err)
+	}
+	if err := d.Write(0, buf, 0); err != nil {
+		t.Errorf("after injection: %v", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New(DefaultGeometry(16))
+	data := make([]byte, SectorSize)
+	copy(data, "before")
+	if err := d.Write(3, data, 9); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	copy(data, "after!")
+	if err := d.Write(3, data, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, SectorSize)
+	h, err := d.Read(3, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:6]) != "before" || h != 9 {
+		t.Errorf("restore failed: %q header %d", buf[:6], h)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "image.disk")
+	d := New(DefaultGeometry(32))
+	data := make([]byte, SectorSize)
+	copy(data, "persistent bits")
+	if err := d.Write(5, data, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(DefaultGeometry(32))
+	if err := d2.LoadFrom(path); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, SectorSize)
+	h, err := d2.Read(5, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) || h != 123 {
+		t.Error("image round trip mismatch")
+	}
+}
+
+func TestLoadRejectsWrongGeometry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "image.disk")
+	d := New(DefaultGeometry(32))
+	if err := d.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(DefaultGeometry(64))
+	if err := d2.LoadFrom(path); err == nil {
+		t.Error("mismatched geometry accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(path, []byte("not a disk image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := New(DefaultGeometry(8))
+	if err := d.LoadFrom(path); err == nil {
+		t.Error("garbage image accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New(DefaultGeometry(8))
+	buf := make([]byte, SectorSize)
+	_, _ = d.Read(0, buf)
+	_ = d.Write(1, buf, 0)
+	_ = d.Write(2, buf, 0)
+	r, w := d.Stats()
+	if r != 1 || w != 2 {
+		t.Errorf("stats r=%d w=%d", r, w)
+	}
+}

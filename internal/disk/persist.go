@@ -1,0 +1,92 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file persists a simulated disk image to a real file, so that
+// cmd/tabsnode daemons keep their "non-volatile" storage across OS
+// process restarts. The image holds every sector's data and header word.
+
+const imageMagic = 0x7AB5D15C
+
+// SaveTo writes the disk image to path atomically (write then rename).
+func (d *Disk) SaveTo(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	snap := d.Snapshot()
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:4], imageMagic)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(len(snap)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	for i := range snap {
+		if _, err := w.Write(snap[i].Data[:]); err != nil {
+			f.Close()
+			return err
+		}
+		var h [8]byte
+		binary.BigEndian.PutUint64(h[:], snap[i].Header)
+		if _, err := w.Write(h[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFrom restores the disk image from path. The image's sector count
+// must match the disk's geometry.
+func (d *Disk) LoadFrom(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("disk: reading image header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != imageMagic {
+		return errors.New("disk: not a disk image")
+	}
+	count := int64(binary.BigEndian.Uint64(hdr[4:12]))
+	if count != d.Geometry().Sectors {
+		return fmt.Errorf("disk: image has %d sectors, disk has %d", count, d.Geometry().Sectors)
+	}
+	snap := make([]Sector, count)
+	for i := range snap {
+		if _, err := io.ReadFull(r, snap[i].Data[:]); err != nil {
+			return fmt.Errorf("disk: reading sector %d: %w", i, err)
+		}
+		var h [8]byte
+		if _, err := io.ReadFull(r, h[:]); err != nil {
+			return fmt.Errorf("disk: reading header %d: %w", i, err)
+		}
+		snap[i].Header = binary.BigEndian.Uint64(h[:])
+	}
+	return d.Restore(snap)
+}

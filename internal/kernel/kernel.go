@@ -1,0 +1,491 @@
+// Package kernel simulates the modified Accent kernel functions TABS
+// depends on (paper §3.2.1): recoverable segments mapped into virtual
+// memory, demand paging integrated with the write-ahead log protocol, the
+// paging-control (pin) primitives of the server library, and the atomic
+// per-page sequence numbers stored in sector headers for operation logging.
+//
+// A recoverable segment is a region of the node's disk holding a data
+// server's permanent data. Data servers address it through ObjectIDs
+// (segment-relative byte ranges); reads and writes fault pages into a
+// bounded buffer pool. The kernel enforces the write-ahead invariant by
+// asking the Pager (the Recovery Manager) for permission before copying a
+// dirty page back to its segment, and reports the first modification of
+// each page so the Recovery Manager can maintain its dirty-page table.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tabs/internal/disk"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// Pager is the Recovery Manager's side of the three-message pager protocol
+// (§3.2.1). The kernel calls these while handling faults and evictions;
+// implementations must not call back into the kernel.
+type Pager interface {
+	// PageFirstDirtied reports that a page frame backed by a recoverable
+	// segment has been modified for the first time since it was faulted
+	// in (message 1).
+	PageFirstDirtied(page types.PageID)
+	// RequestPageWrite reports that the kernel wants to copy a modified
+	// page back to its segment (message 2). The pager must force every
+	// log record that applies to the page before returning, and returns
+	// the sequence number the kernel must write atomically into the
+	// page's sector header (operation logging, §3.2.1).
+	RequestPageWrite(page types.PageID) (header uint64, err error)
+	// PageWritten reports whether the copy succeeded (message 3).
+	PageWritten(page types.PageID, ok bool)
+}
+
+// nullPager accepts everything; used until the Recovery Manager attaches.
+type nullPager struct{}
+
+func (nullPager) PageFirstDirtied(types.PageID)                 {}
+func (nullPager) RequestPageWrite(types.PageID) (uint64, error) { return 0, nil }
+func (nullPager) PageWritten(types.PageID, bool)                {}
+
+// Errors returned by the kernel.
+var (
+	ErrNoSegment   = errors.New("kernel: no such segment")
+	ErrOutOfRange  = errors.New("kernel: address out of segment")
+	ErrPoolPinned  = errors.New("kernel: buffer pool exhausted by pinned pages")
+	ErrNotResident = errors.New("kernel: page not resident")
+)
+
+type segment struct {
+	id    types.SegmentID
+	base  disk.Addr
+	pages uint32
+}
+
+type frame struct {
+	page   types.PageID
+	data   []byte
+	dirty  bool
+	pin    int
+	header uint64 // sector header as read at fault time
+	tick   uint64 // LRU clock
+}
+
+// Kernel is one node's paging kernel. Safe for concurrent use.
+type Kernel struct {
+	d   *disk.Disk
+	rec *stats.Recorder
+
+	mu        sync.Mutex
+	segs      map[types.SegmentID]*segment
+	frames    map[types.PageID]*frame
+	poolSize  int
+	tick      uint64
+	pager     Pager
+	lastFault types.PageID
+	haveLast  bool
+	faults    int64
+	evictions int64
+	crashed   bool
+}
+
+// Config parameterizes a Kernel.
+type Config struct {
+	Disk *disk.Disk
+	// PoolPages bounds resident pages; the paper's paging benchmarks use
+	// an array more than three times physical memory (§5.1).
+	PoolPages int
+	Rec       *stats.Recorder
+}
+
+// New returns a kernel with an empty buffer pool and a null pager.
+func New(cfg Config) *Kernel {
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 256
+	}
+	return &Kernel{
+		d:        cfg.Disk,
+		rec:      cfg.Rec,
+		segs:     make(map[types.SegmentID]*segment),
+		frames:   make(map[types.PageID]*frame),
+		poolSize: cfg.PoolPages,
+		pager:    nullPager{},
+	}
+}
+
+// SetPager attaches the Recovery Manager.
+func (k *Kernel) SetPager(p Pager) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p == nil {
+		p = nullPager{}
+	}
+	k.pager = p
+}
+
+// PoolPages returns the buffer pool capacity in pages.
+func (k *Kernel) PoolPages() int { return k.poolSize }
+
+// AddSegment registers a recoverable segment occupying pages sectors
+// starting at base on the disk. This corresponds to mapping the disk file
+// into virtual memory (ReadPermanentData, §3.1.1).
+func (k *Kernel) AddSegment(id types.SegmentID, base disk.Addr, pages uint32) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.segs[id]; dup {
+		return fmt.Errorf("kernel: segment %d already mapped", id)
+	}
+	k.segs[id] = &segment{id: id, base: base, pages: pages}
+	return nil
+}
+
+// SegmentPages returns the size of segment id in pages.
+func (k *Kernel) SegmentPages(id types.SegmentID) (uint32, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s := k.segs[id]
+	if s == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNoSegment, id)
+	}
+	return s.pages, nil
+}
+
+// Stats returns cumulative fault and eviction counts.
+func (k *Kernel) Stats() (faults, evictions int64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.faults, k.evictions
+}
+
+// sectorOf maps a page to its disk sector. Caller holds k.mu.
+func (k *Kernel) sectorOf(p types.PageID) (disk.Addr, error) {
+	s := k.segs[p.Segment]
+	if s == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNoSegment, p.Segment)
+	}
+	if p.Page >= s.pages {
+		return 0, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, p.Page, s.pages)
+	}
+	return s.base + disk.Addr(p.Page), nil
+}
+
+// fault ensures page p is resident and returns its frame. Caller holds
+// k.mu.
+func (k *Kernel) fault(p types.PageID) (*frame, error) {
+	if f, ok := k.frames[p]; ok {
+		k.tick++
+		f.tick = k.tick
+		return f, nil
+	}
+	addr, err := k.sectorOf(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(k.frames) >= k.poolSize {
+		if err := k.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{page: p, data: make([]byte, types.PageSize)}
+	header, err := k.d.Read(addr, f.data)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: fault-in %v: %w", p, err)
+	}
+	f.header = header
+	k.tick++
+	f.tick = k.tick
+	k.frames[p] = f
+	k.faults++
+	if k.rec != nil {
+		sequential := k.haveLast && p.Segment == k.lastFault.Segment && p.Page == k.lastFault.Page+1
+		if sequential {
+			k.rec.Record(simclock.SequentialRead)
+		} else {
+			k.rec.Record(simclock.RandomPageIO)
+		}
+	}
+	k.lastFault = p
+	k.haveLast = true
+	return f, nil
+}
+
+// evictOne removes the least recently used unpinned frame, writing it back
+// under the pager protocol if dirty. Caller holds k.mu.
+func (k *Kernel) evictOne() error {
+	var victim *frame
+	for _, f := range k.frames {
+		if f.pin > 0 {
+			continue
+		}
+		if victim == nil || f.tick < victim.tick {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return ErrPoolPinned
+	}
+	if victim.dirty {
+		if err := k.writeBackLocked(victim); err != nil {
+			return err
+		}
+	}
+	delete(k.frames, victim.page)
+	k.evictions++
+	return nil
+}
+
+// writeBackLocked runs the pager write protocol for one dirty frame.
+// Caller holds k.mu.
+func (k *Kernel) writeBackLocked(f *frame) error {
+	// Message 2: ask permission; the pager forces the log first.
+	if k.rec != nil {
+		k.rec.Record(simclock.SmallMsg) // request
+		k.rec.Record(simclock.SmallMsg) // reply with sequence number
+	}
+	header, err := k.pager.RequestPageWrite(f.page)
+	if err != nil {
+		return fmt.Errorf("kernel: write permission for %v: %w", f.page, err)
+	}
+	addr, err := k.sectorOf(f.page)
+	if err != nil {
+		return err
+	}
+	werr := k.d.Write(addr, f.data, header)
+	if k.rec != nil {
+		k.rec.Record(simclock.RandomPageIO) // the page write itself
+		k.rec.Record(simclock.SmallMsg)     // message 3: completion
+	}
+	k.pager.PageWritten(f.page, werr == nil)
+	if werr != nil {
+		return fmt.Errorf("kernel: writing back %v: %w", f.page, werr)
+	}
+	f.dirty = false
+	f.header = header
+	return nil
+}
+
+// checkRange validates that obj lies inside its segment. Caller holds k.mu.
+func (k *Kernel) checkRange(obj types.ObjectID) error {
+	s := k.segs[obj.Segment]
+	if s == nil {
+		return fmt.Errorf("%w: %d", ErrNoSegment, obj.Segment)
+	}
+	if uint64(obj.Offset)+uint64(obj.Length) > uint64(s.pages)*types.PageSize {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, obj)
+	}
+	return nil
+}
+
+// Read copies the bytes of obj out of the mapped segment, faulting pages in
+// as needed.
+func (k *Kernel) Read(obj types.ObjectID) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.checkRange(obj); err != nil {
+		return nil, err
+	}
+	out := make([]byte, obj.Length)
+	for n := uint32(0); n < obj.Length; {
+		off := obj.Offset + n
+		p := types.PageID{Segment: obj.Segment, Page: off / types.PageSize}
+		f, err := k.fault(p)
+		if err != nil {
+			return nil, err
+		}
+		in := off % types.PageSize
+		n += uint32(copy(out[n:], f.data[in:]))
+	}
+	return out, nil
+}
+
+// Write stores data at obj, faulting pages in and reporting first-dirty
+// transitions to the pager. The caller (server library) is responsible for
+// having pinned the pages and for logging old/new values per the
+// write-ahead discipline.
+func (k *Kernel) Write(obj types.ObjectID, data []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.checkRange(obj); err != nil {
+		return err
+	}
+	if uint32(len(data)) != obj.Length {
+		return fmt.Errorf("kernel: write of %d bytes to object of length %d", len(data), obj.Length)
+	}
+	for n := uint32(0); n < obj.Length; {
+		off := obj.Offset + n
+		p := types.PageID{Segment: obj.Segment, Page: off / types.PageSize}
+		f, err := k.fault(p)
+		if err != nil {
+			return err
+		}
+		if !f.dirty {
+			f.dirty = true
+			if k.rec != nil {
+				k.rec.Record(simclock.SmallMsg) // message 1: first-dirty
+			}
+			k.pager.PageFirstDirtied(p)
+		}
+		in := off % types.PageSize
+		n += uint32(copy(f.data[in:], data[n:]))
+	}
+	return nil
+}
+
+// Pin prevents every page of obj from being paged out until unpinned
+// (PinObject, §3.1.1). Pins nest.
+func (k *Kernel) Pin(obj types.ObjectID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.checkRange(obj); err != nil {
+		return err
+	}
+	for _, p := range obj.Pages() {
+		f, err := k.fault(p)
+		if err != nil {
+			return err
+		}
+		f.pin++
+	}
+	return nil
+}
+
+// Unpin releases one pin on every page of obj (UnPinObject, §3.1.1).
+func (k *Kernel) Unpin(obj types.ObjectID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, p := range obj.Pages() {
+		f := k.frames[p]
+		if f == nil || f.pin == 0 {
+			return fmt.Errorf("%w: unpin of %v", ErrNotResident, p)
+		}
+		f.pin--
+	}
+	return nil
+}
+
+// PinnedPages returns the number of currently pinned resident pages.
+func (k *Kernel) PinnedPages() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := 0
+	for _, f := range k.frames {
+		if f.pin > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyPages returns the resident pages that are dirty.
+func (k *Kernel) DirtyPages() []types.PageID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]types.PageID, 0)
+	for p, f := range k.frames {
+		if f.dirty {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FlushPage writes the page back to its segment (if dirty and resident)
+// under the pager protocol. The Recovery Manager uses this during log
+// reclamation, which "may force pages back to disk before they would
+// otherwise be written" (§3.2.2).
+func (k *Kernel) FlushPage(p types.PageID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f := k.frames[p]
+	if f == nil || !f.dirty {
+		return nil
+	}
+	return k.writeBackLocked(f)
+}
+
+// FlushAll writes back every dirty page.
+func (k *Kernel) FlushAll() error {
+	k.mu.Lock()
+	pages := make([]types.PageID, 0)
+	for p, f := range k.frames {
+		if f.dirty {
+			pages = append(pages, p)
+		}
+	}
+	k.mu.Unlock()
+	for _, p := range pages {
+		if err := k.FlushPage(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPageSeq returns the sequence number in the on-disk sector header of
+// page p, bypassing the buffer pool. The Recovery Manager requests this
+// during operation-logging crash recovery (§3.2.1).
+func (k *Kernel) ReadPageSeq(p types.PageID) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	addr, err := k.sectorOf(p)
+	if err != nil {
+		return 0, err
+	}
+	if k.rec != nil {
+		k.rec.Record(simclock.SmallMsg) // RM request to kernel
+	}
+	return k.d.ReadHeader(addr)
+}
+
+// WriteDirect writes data to obj and immediately to disk with the given
+// header, bypassing dirty accounting. Recovery uses this to install redo
+// or undo effects while rebuilding state after a crash, when the pager
+// protocol is not yet in force.
+func (k *Kernel) WriteDirect(obj types.ObjectID, data []byte, header uint64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.checkRange(obj); err != nil {
+		return err
+	}
+	if uint32(len(data)) != obj.Length {
+		return fmt.Errorf("kernel: direct write of %d bytes to object of length %d", len(data), obj.Length)
+	}
+	for n := uint32(0); n < obj.Length; {
+		off := obj.Offset + n
+		p := types.PageID{Segment: obj.Segment, Page: off / types.PageSize}
+		addr, err := k.sectorOf(p)
+		if err != nil {
+			return err
+		}
+		var page [types.PageSize]byte
+		if _, err := k.d.Read(addr, page[:]); err != nil {
+			return err
+		}
+		in := off % types.PageSize
+		c := copy(page[in:], data[n:])
+		if err := k.d.Write(addr, page[:], header); err != nil {
+			return err
+		}
+		// Keep any resident copy coherent.
+		if f, ok := k.frames[p]; ok {
+			copy(f.data, page[:])
+			f.header = header
+			f.dirty = false
+		}
+		n += uint32(c)
+	}
+	return nil
+}
+
+// Crash discards all volatile state: the buffer pool, pins, and fault
+// history. Disk contents survive. Pending dirty pages are lost, which is
+// precisely what crash recovery must repair.
+func (k *Kernel) Crash() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.frames = make(map[types.PageID]*frame)
+	k.haveLast = false
+	k.crashed = true
+	k.pager = nullPager{}
+}

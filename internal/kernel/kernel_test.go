@@ -1,0 +1,331 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"tabs/internal/disk"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// tracePager records the pager-protocol callbacks so tests can assert the
+// write-ahead ordering.
+type tracePager struct {
+	mu         sync.Mutex
+	firstDirty []types.PageID
+	writeReqs  []types.PageID
+	written    []types.PageID
+	header     uint64
+	reqErr     error
+}
+
+func (p *tracePager) PageFirstDirtied(pg types.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.firstDirty = append(p.firstDirty, pg)
+}
+
+func (p *tracePager) RequestPageWrite(pg types.PageID) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reqErr != nil {
+		return 0, p.reqErr
+	}
+	p.writeReqs = append(p.writeReqs, pg)
+	return p.header, nil
+}
+
+func (p *tracePager) PageWritten(pg types.PageID, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ok {
+		p.written = append(p.written, pg)
+	}
+}
+
+func testKernel(t *testing.T, poolPages int, segPages uint32) (*Kernel, *disk.Disk, *tracePager, *stats.Recorder) {
+	t.Helper()
+	d := disk.New(disk.DefaultGeometry(int64(segPages) + 64))
+	rec := stats.NewRecorder()
+	k := New(Config{Disk: d, PoolPages: poolPages, Rec: rec})
+	if err := k.AddSegment(1, 0, segPages); err != nil {
+		t.Fatal(err)
+	}
+	p := &tracePager{}
+	k.SetPager(p)
+	return k, d, p, rec
+}
+
+func obj(off, length uint32) types.ObjectID {
+	return types.ObjectID{Segment: 1, Offset: off, Length: length}
+}
+
+func TestReadWriteThroughPool(t *testing.T) {
+	k, _, _, _ := testKernel(t, 8, 16)
+	if err := k.Write(obj(100, 5), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Read(obj(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q", got)
+	}
+}
+
+func TestFirstDirtyReportedOnce(t *testing.T) {
+	k, _, p, _ := testKernel(t, 8, 16)
+	_ = k.Write(obj(0, 4), []byte("aaaa"))
+	_ = k.Write(obj(4, 4), []byte("bbbb")) // same page, already dirty
+	if len(p.firstDirty) != 1 {
+		t.Errorf("first-dirty reported %d times: %v", len(p.firstDirty), p.firstDirty)
+	}
+	_ = k.Write(obj(types.PageSize, 4), []byte("cccc")) // second page
+	if len(p.firstDirty) != 2 {
+		t.Errorf("second page first-dirty missing: %v", p.firstDirty)
+	}
+}
+
+func TestEvictionAsksPagerAndWritesHeader(t *testing.T) {
+	k, d, p, _ := testKernel(t, 2, 16)
+	p.header = 4242
+	// Dirty page 0, then fault enough pages to force its eviction.
+	if err := k.Write(obj(0, 4), []byte("dirt")); err != nil {
+		t.Fatal(err)
+	}
+	for pg := uint32(1); pg < 4; pg++ {
+		if _, err := k.Read(obj(pg*types.PageSize, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(p.writeReqs) == 0 {
+		t.Fatal("dirty eviction never asked the pager for permission")
+	}
+	if len(p.written) == 0 {
+		t.Fatal("completion message missing")
+	}
+	// The header handed back by the pager must be on disk.
+	h, err := d.ReadHeader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 4242 {
+		t.Errorf("sector header %d, want 4242", h)
+	}
+	// And the data must be durable.
+	buf := make([]byte, disk.SectorSize)
+	if _, err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:4], []byte("dirt")) {
+		t.Errorf("evicted data %q", buf[:4])
+	}
+}
+
+func TestPagerVetoBlocksEviction(t *testing.T) {
+	k, _, p, _ := testKernel(t, 1, 16)
+	p.reqErr = errors.New("log force failed")
+	if err := k.Write(obj(0, 4), []byte("dirt")); err != nil {
+		t.Fatal(err)
+	}
+	// Faulting another page needs the only frame; the pager's veto must
+	// surface as an error, never a silent unlogged write.
+	if _, err := k.Read(obj(types.PageSize, 4)); err == nil {
+		t.Fatal("eviction proceeded despite pager veto")
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	k, _, _, _ := testKernel(t, 2, 16)
+	if err := k.Pin(obj(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Pin(obj(types.PageSize, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Pool full of pinned pages: the next fault must fail loudly.
+	if _, err := k.Read(obj(2*types.PageSize, 4)); !errors.Is(err, ErrPoolPinned) {
+		t.Fatalf("want ErrPoolPinned, got %v", err)
+	}
+	// Unpin one; the fault succeeds.
+	if err := k.Unpin(obj(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Read(obj(2*types.PageSize, 4)); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestPinsNest(t *testing.T) {
+	k, _, _, _ := testKernel(t, 4, 16)
+	o := obj(0, 4)
+	if err := k.Pin(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Pin(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Unpin(o); err != nil {
+		t.Fatal(err)
+	}
+	if k.PinnedPages() != 1 {
+		t.Errorf("pinned pages %d, want 1 (nested)", k.PinnedPages())
+	}
+	if err := k.Unpin(o); err != nil {
+		t.Fatal(err)
+	}
+	if k.PinnedPages() != 0 {
+		t.Errorf("pinned pages %d, want 0", k.PinnedPages())
+	}
+}
+
+func TestSequentialVsRandomAccounting(t *testing.T) {
+	k, _, _, rec := testKernel(t, 64, 64)
+	// Sequential faults.
+	for pg := uint32(0); pg < 10; pg++ {
+		if _, err := k.Read(obj(pg*types.PageSize, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := rec.Snapshot(stats.PreCommit)
+	if c[simclock.SequentialRead] != 9 || c[simclock.RandomPageIO] != 1 {
+		t.Errorf("sequential run: seq=%g random=%g (want 9/1)", c[simclock.SequentialRead], c[simclock.RandomPageIO])
+	}
+	rec.Reset()
+	// Random faults on a fresh kernel.
+	k2, _, _, rec2 := testKernel(t, 64, 64)
+	for _, pg := range []uint32{5, 50, 17, 33, 2} {
+		if _, err := k2.Read(obj(pg*types.PageSize, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := rec2.Snapshot(stats.PreCommit)
+	if c2[simclock.RandomPageIO] != 5 {
+		t.Errorf("random run: random=%g (want 5)", c2[simclock.RandomPageIO])
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	k, _, _, _ := testKernel(t, 2, 16)
+	if _, err := k.Read(obj(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Read(obj(types.PageSize, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch page 0 so page 1 is the LRU victim.
+	if _, err := k.Read(obj(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Read(obj(2*types.PageSize, 4)); err != nil {
+		t.Fatal(err)
+	}
+	faultsBefore, _ := k.Stats()
+	if _, err := k.Read(obj(0, 4)); err != nil { // still resident: no fault
+		t.Fatal(err)
+	}
+	faultsAfter, _ := k.Stats()
+	if faultsAfter != faultsBefore {
+		t.Error("recently used page was evicted")
+	}
+}
+
+func TestWriteDirectCoherent(t *testing.T) {
+	k, d, _, _ := testKernel(t, 4, 16)
+	// Make the page resident and dirty first.
+	if err := k.Write(obj(0, 4), []byte("old!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteDirect(obj(0, 4), []byte("new!"), 77); err != nil {
+		t.Fatal(err)
+	}
+	// Both the resident copy and the disk must agree.
+	got, err := k.Read(obj(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new!" {
+		t.Errorf("resident copy %q", got)
+	}
+	buf := make([]byte, disk.SectorSize)
+	h, err := d.Read(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:4]) != "new!" || h != 77 {
+		t.Errorf("disk %q header %d", buf[:4], h)
+	}
+}
+
+func TestCrashDropsVolatileState(t *testing.T) {
+	k, d, _, _ := testKernel(t, 4, 16)
+	if err := k.Write(obj(0, 4), []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	k.Crash()
+	// The dirty page never reached disk.
+	buf := make([]byte, disk.SectorSize)
+	if _, err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf[:4], []byte("lost")) {
+		t.Error("dirty page survived the crash without a write-back")
+	}
+	if len(k.DirtyPages()) != 0 {
+		t.Error("dirty pages survive crash")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	k, d, _, _ := testKernel(t, 8, 16)
+	for pg := uint32(0); pg < 3; pg++ {
+		if err := k.Write(obj(pg*types.PageSize, 4), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.DirtyPages()) != 0 {
+		t.Errorf("dirty pages after flush: %v", k.DirtyPages())
+	}
+	buf := make([]byte, disk.SectorSize)
+	for pg := disk.Addr(0); pg < 3; pg++ {
+		if _, err := d.Read(pg, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:4], []byte("data")) {
+			t.Errorf("page %d not flushed", pg)
+		}
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	k, _, _, _ := testKernel(t, 4, 2)
+	if _, err := k.Read(obj(2*types.PageSize, 4)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past segment: %v", err)
+	}
+	if _, err := k.Read(types.ObjectID{Segment: 9, Offset: 0, Length: 4}); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("unknown segment: %v", err)
+	}
+}
+
+func TestObjectSpanningPages(t *testing.T) {
+	k, _, _, _ := testKernel(t, 4, 16)
+	o := obj(types.PageSize-2, 6) // straddles pages 0 and 1
+	if err := k.Write(o, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdef" {
+		t.Errorf("spanning read %q", got)
+	}
+}

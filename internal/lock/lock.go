@@ -1,0 +1,374 @@
+// Package lock implements transaction locking as TABS data servers use it
+// (paper §2.1.3, §3.1.1).
+//
+// TABS synchronizes transactions by locking: to access an object a
+// transaction first obtains a lock on it, granted unless another
+// transaction holds an incompatible lock. Servers implement locking
+// *locally* — each data server owns a LockManager instance and may tailor
+// it with type-specific lock modes and compatibility relations for more
+// concurrency (§2.1.3). Deadlock is resolved by time-outs, not detection,
+// as in TABS ("like many other systems, currently relies on time-outs").
+//
+// Subtransactions behave as completely separate transactions with respect
+// to synchronization (§2.1.3), so the lock owner is the full TransID, not
+// its top-level ancestor; two subtransactions of one parent can deadlock
+// against each other, exactly as the paper warns.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tabs/internal/types"
+)
+
+// Mode is a lock mode. Read and Write are predefined; data servers using
+// type-specific locking may define additional modes (values ≥ ModeUser) and
+// supply their own compatibility relation.
+type Mode int
+
+// Predefined modes.
+const (
+	ModeNone  Mode = iota // no lock
+	ModeRead              // shared
+	ModeWrite             // exclusive
+	// ModeUser is the first mode value available for type-specific lock
+	// modes (§2.1.3: "implementors can obtain increased concurrency by
+	// defining type-specific lock modes").
+	ModeUser
+)
+
+// String names the predefined modes.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeRead:
+		return "read"
+	case ModeWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("user(%d)", int(m))
+	}
+}
+
+// Compat reports whether a lock held in mode `held` permits another
+// transaction to acquire mode `requested`. It must be symmetric for
+// correctness of upgrades.
+type Compat func(held, requested Mode) bool
+
+// ReadWriteCompat is the standard shared/exclusive relation: reads share,
+// everything else conflicts.
+func ReadWriteCompat(held, requested Mode) bool {
+	return held == ModeRead && requested == ModeRead
+}
+
+// Errors returned by lock acquisition.
+var (
+	// ErrTimeout reports that the lock wait exceeded the manager's
+	// time-out. TABS treats this as presumed deadlock; the caller
+	// normally aborts the transaction (§2.1.3).
+	ErrTimeout = errors.New("lock: wait timed out (presumed deadlock)")
+	// ErrClosed reports that the manager was shut down (node crash).
+	ErrClosed = errors.New("lock: manager closed")
+)
+
+// Stats counts lock-manager events for the concurrency ablations.
+type Stats struct {
+	Grants    int64 // immediate or eventual grants
+	Waits     int64 // acquisitions that had to wait
+	Timeouts  int64 // waits that timed out
+	Conflicts int64 // conditional attempts refused
+}
+
+type holder struct {
+	modes map[Mode]int // mode -> acquisition count (for reentrancy)
+}
+
+type waiter struct {
+	tid   types.TransID
+	mode  Mode
+	ready chan struct{} // closed when granted
+	err   error
+}
+
+type entry struct {
+	holders map[types.TransID]*holder
+	queue   []*waiter
+}
+
+// Manager is one data server's lock table. The zero value is not usable;
+// call New.
+type Manager struct {
+	mu      sync.Mutex
+	compat  Compat
+	timeout time.Duration
+	objects map[types.ObjectID]*entry
+	byTID   map[types.TransID]map[types.ObjectID]struct{}
+	stats   Stats
+	closed  bool
+}
+
+// DefaultTimeout is the lock wait time-out when none is configured. The
+// paper notes time-outs are "explicitly set by system users"; tests set
+// much shorter values.
+const DefaultTimeout = 10 * time.Second
+
+// New returns a lock manager with the standard read/write compatibility
+// relation and the default time-out.
+func New() *Manager { return NewTyped(ReadWriteCompat, DefaultTimeout) }
+
+// NewTyped returns a lock manager with a type-specific compatibility
+// relation and time-out.
+func NewTyped(compat Compat, timeout time.Duration) *Manager {
+	if compat == nil {
+		compat = ReadWriteCompat
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Manager{
+		compat:  compat,
+		timeout: timeout,
+		objects: make(map[types.ObjectID]*entry),
+		byTID:   make(map[types.TransID]map[types.ObjectID]struct{}),
+	}
+}
+
+// SetTimeout changes the lock wait time-out for subsequent acquisitions.
+func (m *Manager) SetTimeout(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d > 0 {
+		m.timeout = d
+	}
+}
+
+// Stats returns a snapshot of lock-manager event counts.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// grantable reports whether tid may take mode on e right now. Caller holds
+// m.mu.
+func (m *Manager) grantable(e *entry, tid types.TransID, mode Mode) bool {
+	for hTID, h := range e.holders {
+		if hTID == tid {
+			continue // own locks never conflict (reentrancy/upgrade)
+		}
+		for held := range h.modes {
+			if !m.compat(held, mode) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// grant records the lock. Caller holds m.mu.
+func (m *Manager) grant(e *entry, obj types.ObjectID, tid types.TransID, mode Mode) {
+	h := e.holders[tid]
+	if h == nil {
+		h = &holder{modes: make(map[Mode]int)}
+		e.holders[tid] = h
+	}
+	h.modes[mode]++
+	set := m.byTID[tid]
+	if set == nil {
+		set = make(map[types.ObjectID]struct{})
+		m.byTID[tid] = set
+	}
+	set[obj] = struct{}{}
+	m.stats.Grants++
+}
+
+// Lock acquires mode on obj for tid, waiting (up to the time-out) if an
+// incompatible lock is held. This is LockObject of Table 3-1.
+func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	e := m.objects[obj]
+	if e == nil {
+		e = &entry{holders: make(map[types.TransID]*holder)}
+		m.objects[obj] = e
+	}
+	// Grant immediately only if no earlier waiter would be starved by a
+	// compatible barge-in... TABS servers are single-threaded coroutine
+	// monitors, so simple compatibility-grant matches its behaviour.
+	if m.grantable(e, tid, mode) && len(e.queue) == 0 {
+		m.grant(e, obj, tid, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Upgrades bypass the queue: a transaction already holding the object
+	// must not queue behind waiters it blocks (classic upgrade rule).
+	if _, holds := e.holders[tid]; holds && m.grantable(e, tid, mode) {
+		m.grant(e, obj, tid, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{tid: tid, mode: mode, ready: make(chan struct{})}
+	e.queue = append(e.queue, w)
+	m.stats.Waits++
+	timeout := m.timeout
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return w.err
+		}
+		return nil
+	case <-timer.C:
+		m.mu.Lock()
+		// Re-check: the grant may have raced the timer.
+		select {
+		case <-w.ready:
+			m.mu.Unlock()
+			if w.err != nil {
+				return w.err
+			}
+			return nil
+		default:
+		}
+		m.removeWaiter(e, w)
+		m.stats.Timeouts++
+		// Our departure may unblock waiters behind us.
+		m.wakeLocked(obj, e)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v on %v", ErrTimeout, mode, obj)
+	}
+}
+
+// removeWaiter deletes w from e's queue. Caller holds m.mu.
+func (m *Manager) removeWaiter(e *entry, w *waiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// TryLock attempts to acquire mode on obj for tid and returns false
+// immediately if unavailable. This is ConditionallyLockObject of Table 3-1,
+// added for the weak queue server (§4.2).
+func (m *Manager) TryLock(tid types.TransID, obj types.ObjectID, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	e := m.objects[obj]
+	if e == nil {
+		e = &entry{holders: make(map[types.TransID]*holder)}
+		m.objects[obj] = e
+	}
+	_, holds := e.holders[tid]
+	if m.grantable(e, tid, mode) && (len(e.queue) == 0 || holds) {
+		m.grant(e, obj, tid, mode)
+		return true
+	}
+	m.stats.Conflicts++
+	return false
+}
+
+// IsLocked reports whether any transaction holds any lock on obj. This is
+// IsObjectLocked of Table 3-1, which the weak queue and IO servers use to
+// observe transaction progress (§4.2, §4.3).
+func (m *Manager) IsLocked(obj types.ObjectID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.objects[obj]
+	return e != nil && len(e.holders) > 0
+}
+
+// HeldBy reports whether tid holds a lock on obj, and in which modes.
+func (m *Manager) HeldBy(tid types.TransID, obj types.ObjectID) (bool, []Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.objects[obj]
+	if e == nil {
+		return false, nil
+	}
+	h := e.holders[tid]
+	if h == nil {
+		return false, nil
+	}
+	modes := make([]Mode, 0, len(h.modes))
+	for mode := range h.modes {
+		modes = append(modes, mode)
+	}
+	return true, modes
+}
+
+// Held returns every object tid currently holds locks on.
+func (m *Manager) Held(tid types.TransID) []types.ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]types.ObjectID, 0, len(m.byTID[tid]))
+	for obj := range m.byTID[tid] {
+		out = append(out, obj)
+	}
+	return out
+}
+
+// ReleaseAll drops every lock held by tid and wakes eligible waiters. The
+// server library calls this automatically at commit or abort time (§3.1.1:
+// "All unlocking is done automatically by the server library").
+func (m *Manager) ReleaseAll(tid types.TransID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for obj := range m.byTID[tid] {
+		e := m.objects[obj]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, tid)
+		m.wakeLocked(obj, e)
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.objects, obj)
+		}
+	}
+	delete(m.byTID, tid)
+}
+
+// wakeLocked grants queued waiters in FIFO order while they are
+// grantable. Caller holds m.mu.
+func (m *Manager) wakeLocked(obj types.ObjectID, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !m.grantable(e, w.tid, w.mode) {
+			return
+		}
+		e.queue = e.queue[1:]
+		m.grant(e, obj, w.tid, w.mode)
+		close(w.ready)
+	}
+}
+
+// Close fails all waiters and empties the table; used by Node.Crash to
+// model loss of the volatile lock state.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, e := range m.objects {
+		for _, w := range e.queue {
+			w.err = ErrClosed
+			close(w.ready)
+		}
+		e.queue = nil
+	}
+	m.objects = make(map[types.ObjectID]*entry)
+	m.byTID = make(map[types.TransID]map[types.ObjectID]struct{})
+}

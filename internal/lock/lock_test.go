@@ -1,0 +1,300 @@
+package lock
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tabs/internal/types"
+)
+
+func tid(n uint64) types.TransID {
+	return types.TransID{Node: "n", Seq: n, RootNode: "n", RootSeq: n}
+}
+
+var objA = types.ObjectID{Segment: 1, Offset: 0, Length: 8}
+var objB = types.ObjectID{Segment: 1, Offset: 8, Length: 8}
+
+func TestReadersShare(t *testing.T) {
+	m := New()
+	for i := uint64(1); i <= 5; i++ {
+		if err := m.Lock(tid(i), objA, ModeRead); err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+}
+
+func TestWriterExcludesReader(t *testing.T) {
+	m := NewTyped(nil, 50*time.Millisecond)
+	if err := m.Lock(tid(1), objA, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tid(2), objA, ModeRead); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+}
+
+func TestReaderExcludesWriter(t *testing.T) {
+	m := NewTyped(nil, 50*time.Millisecond)
+	if err := m.Lock(tid(1), objA, ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tid(2), objA, ModeWrite); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := New()
+	if err := m.Lock(tid(1), objA, ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tid(1), objA, ModeRead); err != nil {
+		t.Fatalf("reentrant read: %v", err)
+	}
+	if err := m.Lock(tid(1), objA, ModeWrite); err != nil {
+		t.Fatalf("upgrade while sole holder: %v", err)
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	m := NewTyped(nil, 50*time.Millisecond)
+	if err := m.Lock(tid(1), objA, ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tid(2), objA, ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tid(1), objA, ModeWrite); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("upgrade with another reader should time out, got %v", err)
+	}
+}
+
+func TestWaiterWakesOnRelease(t *testing.T) {
+	m := NewTyped(nil, 5*time.Second)
+	if err := m.Lock(tid(1), objA, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(tid(2), objA, ModeWrite) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(tid(1))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestFIFOWakeup(t *testing.T) {
+	m := NewTyped(nil, 5*time.Second)
+	if err := m.Lock(tid(1), objA, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var started sync.WaitGroup
+	started.Add(1)
+	go func() {
+		started.Done()
+		if m.Lock(tid(2), objA, ModeWrite) == nil {
+			order <- 2
+			time.Sleep(10 * time.Millisecond)
+			m.ReleaseAll(tid(2))
+		}
+	}()
+	started.Wait()
+	time.Sleep(20 * time.Millisecond) // ensure t2 queued first
+	go func() {
+		if m.Lock(tid(3), objA, ModeWrite) == nil {
+			order <- 3
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(tid(1))
+	first := <-order
+	second := <-order
+	if first != 2 || second != 3 {
+		t.Errorf("wakeup order %d,%d; want 2,3", first, second)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := New()
+	if !m.TryLock(tid(1), objA, ModeWrite) {
+		t.Fatal("free object should conditionally lock")
+	}
+	if m.TryLock(tid(2), objA, ModeRead) {
+		t.Fatal("conflicting conditional lock granted")
+	}
+	if !m.TryLock(tid(1), objA, ModeWrite) {
+		t.Fatal("reentrant conditional lock refused")
+	}
+	if !m.TryLock(tid(2), objB, ModeWrite) {
+		t.Fatal("unrelated object refused")
+	}
+}
+
+func TestIsLocked(t *testing.T) {
+	m := New()
+	if m.IsLocked(objA) {
+		t.Fatal("fresh object reported locked")
+	}
+	if err := m.Lock(tid(1), objA, ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsLocked(objA) {
+		t.Fatal("held object reported unlocked")
+	}
+	m.ReleaseAll(tid(1))
+	if m.IsLocked(objA) {
+		t.Fatal("released object reported locked")
+	}
+}
+
+func TestReleaseAllWakesAndClears(t *testing.T) {
+	m := New()
+	for i := uint64(1); i <= 3; i++ {
+		obj := types.ObjectID{Segment: 1, Offset: uint32(i) * 8, Length: 8}
+		if err := m.Lock(tid(9), obj, ModeWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Held(tid(9))); got != 3 {
+		t.Fatalf("held %d, want 3", got)
+	}
+	m.ReleaseAll(tid(9))
+	if got := len(m.Held(tid(9))); got != 0 {
+		t.Fatalf("after release held %d", got)
+	}
+}
+
+func TestTypeSpecificCompat(t *testing.T) {
+	const ModeIncr = ModeUser
+	incrCompat := func(held, req Mode) bool {
+		if held == ModeRead && req == ModeRead {
+			return true
+		}
+		return held == ModeIncr && req == ModeIncr
+	}
+	m := NewTyped(incrCompat, 50*time.Millisecond)
+	if err := m.Lock(tid(1), objA, ModeIncr); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tid(2), objA, ModeIncr); err != nil {
+		t.Fatalf("commuting increments should share: %v", err)
+	}
+	if err := m.Lock(tid(3), objA, ModeRead); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("read against increments should time out, got %v", err)
+	}
+}
+
+func TestTimeoutDeparturePreservesQueue(t *testing.T) {
+	m := NewTyped(nil, 100*time.Millisecond)
+	if err := m.Lock(tid(1), objA, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	// t2 waits with a short deadline and will time out; t3 waits longer.
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(tid(2), objA, ModeWrite) }()
+	time.Sleep(10 * time.Millisecond)
+	m.SetTimeout(3 * time.Second)
+	go func() { errs <- m.Lock(tid(3), objA, ModeWrite) }()
+	// t2 times out around 100ms; then release t1 and t3 must win.
+	first := <-errs
+	if !errors.Is(first, ErrTimeout) {
+		t.Fatalf("want t2 timeout first, got %v", first)
+	}
+	m.ReleaseAll(tid(1))
+	second := <-errs
+	if second != nil {
+		t.Fatalf("t3 should acquire after t2's departure: %v", second)
+	}
+}
+
+func TestCloseFailsWaiters(t *testing.T) {
+	m := NewTyped(nil, 5*time.Second)
+	if err := m.Lock(tid(1), objA, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(tid(2), objA, ModeWrite) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// TestInvariantNoIncompatibleGrants hammers the manager with concurrent
+// acquire/release cycles and asserts after each grant that the holder set
+// never contains an incompatible pair — the lock manager's core safety
+// property.
+func TestInvariantNoIncompatibleGrants(t *testing.T) {
+	m := NewTyped(nil, 20*time.Millisecond)
+	objs := []types.ObjectID{objA, objB, {Segment: 2, Offset: 0, Length: 4}}
+	var mu sync.Mutex
+	holders := map[types.ObjectID]map[uint64]Mode{}
+	for _, o := range objs {
+		holders[o] = map[uint64]Mode{}
+	}
+	check := func(o types.ObjectID) {
+		mu.Lock()
+		defer mu.Unlock()
+		writers, readers := 0, 0
+		for _, mode := range holders[o] {
+			switch mode {
+			case ModeWrite:
+				writers++
+			case ModeRead:
+				readers++
+			}
+		}
+		if writers > 1 || (writers == 1 && readers > 0) {
+			t.Errorf("incompatible holders on %v: %d writers %d readers", o, writers, readers)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				id := tid(uint64(seed)*1000 + uint64(i))
+				o := objs[rng.Intn(len(objs))]
+				mode := ModeRead
+				if rng.Intn(2) == 0 {
+					mode = ModeWrite
+				}
+				if err := m.Lock(id, o, mode); err != nil {
+					continue // timeout: fine
+				}
+				mu.Lock()
+				holders[o][id.Seq] = mode
+				mu.Unlock()
+				check(o)
+				mu.Lock()
+				delete(holders[o], id.Seq)
+				mu.Unlock()
+				m.ReleaseAll(id)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := NewTyped(nil, 20*time.Millisecond)
+	_ = m.Lock(tid(1), objA, ModeWrite)
+	_ = m.Lock(tid(2), objA, ModeWrite) // waits, times out
+	m.TryLock(tid(3), objA, ModeWrite)  // conflict
+	s := m.Stats()
+	if s.Grants != 1 || s.Waits != 1 || s.Timeouts != 1 || s.Conflicts != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}

@@ -1,0 +1,286 @@
+// Package nameserver implements the TABS Name Server (paper §3.2.5) and
+// its client library (Table 3-3).
+//
+// Each node's Name Server maintains a mapping of object names to one or
+// more <port, logical-object-identifier> pairs for the objects managed by
+// data servers on that node. A name is registered with a type; a data
+// server may serve several objects on one port, and independent data
+// servers on different nodes may register the same name, which is how
+// replicated objects advertise their representatives. When asked about a
+// name it does not recognize, a Name Server broadcasts a lookup request to
+// all other Name Servers and waits up to the caller's MaxWait for replies
+// (LookUp's MaxWait parameter, Table 3-3).
+package nameserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tabs/internal/types"
+)
+
+// Binding is this implementation's <port, logical object identifier>
+// pair: the node and data server to address (the "port"), plus the
+// logical object identifier the server multiplexes on.
+type Binding struct {
+	Node   types.NodeID
+	Server types.ServerID
+	Object types.ObjectID
+}
+
+// Broadcaster is the Communication Manager slice the Name Server uses:
+// broadcast for unknown names, datagram replies for matches.
+type Broadcaster interface {
+	Node() types.NodeID
+	Broadcast(service string, payload []byte) error
+	SendDatagram(peer types.NodeID, service string, tid types.TransID, payload []byte, charge float64) error
+	RegisterService(service string, handler func(from types.NodeID, tid types.TransID, payload []byte) ([]byte, error))
+}
+
+// Service is the Communication Manager service name for lookup traffic.
+const Service = "name"
+
+// ErrNotFound reports that no binding for the name was found anywhere
+// within the allotted wait.
+var ErrNotFound = errors.New("nameserver: name not found")
+
+type registration struct {
+	typ     string
+	binding Binding
+}
+
+// Server is one node's Name Server.
+type Server struct {
+	node types.NodeID
+	bc   Broadcaster
+
+	mu      sync.Mutex
+	names   map[string][]registration
+	nextQ   uint64
+	queries map[uint64]chan Binding
+}
+
+// New returns a Name Server; bc may be nil for an isolated node.
+func New(node types.NodeID, bc Broadcaster) *Server {
+	s := &Server{
+		node:    node,
+		bc:      bc,
+		names:   make(map[string][]registration),
+		queries: make(map[uint64]chan Binding),
+	}
+	if bc != nil {
+		bc.RegisterService(Service, s.handle)
+	}
+	return s
+}
+
+// Register adds a binding for name (Table 3-3: Register(Name, Type, Port,
+// ObjectID)). The abstractions data servers represent are permanent
+// entities; registration re-advertises them each time the server comes up,
+// even though the ports change across failures (§3.1.3).
+func (s *Server) Register(name, typ string, server types.ServerID, obj types.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := Binding{Node: s.node, Server: server, Object: obj}
+	for _, r := range s.names[name] {
+		if r.binding == b {
+			return
+		}
+	}
+	s.names[name] = append(s.names[name], registration{typ: typ, binding: b})
+}
+
+// DeRegister removes a binding (Table 3-3).
+func (s *Server) DeRegister(name string, server types.ServerID, obj types.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := Binding{Node: s.node, Server: server, Object: obj}
+	regs := s.names[name]
+	for i, r := range regs {
+		if r.binding == b {
+			s.names[name] = append(regs[:i], regs[i+1:]...)
+			break
+		}
+	}
+	if len(s.names[name]) == 0 {
+		delete(s.names, name)
+	}
+}
+
+// localLookup returns up to want local bindings for name.
+func (s *Server) localLookup(name string, want int) []Binding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := s.names[name]
+	out := make([]Binding, 0, len(regs))
+	for _, r := range regs {
+		out = append(out, r.binding)
+		if want > 0 && len(out) >= want {
+			break
+		}
+	}
+	return out
+}
+
+// LookUp resolves name to up to want bindings (Table 3-3: LookUp(Name,
+// NodeName, DesiredNumberOfPortIDs, MaxWait)). Local registrations answer
+// immediately; otherwise the request is broadcast and replies are gathered
+// until want bindings arrive or maxWait elapses.
+func (s *Server) LookUp(name string, want int, maxWait time.Duration) ([]Binding, error) {
+	if want <= 0 {
+		want = 1
+	}
+	if local := s.localLookup(name, want); len(local) >= want {
+		return local, nil
+	}
+	if s.bc == nil {
+		if local := s.localLookup(name, want); len(local) > 0 {
+			return local, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+
+	s.mu.Lock()
+	s.nextQ++
+	qid := s.nextQ
+	ch := make(chan Binding, 16)
+	s.queries[qid] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.queries, qid)
+		s.mu.Unlock()
+	}()
+
+	if err := s.bc.Broadcast(Service, encodeQuery(qid, name)); err != nil {
+		return nil, err
+	}
+	results := s.localLookup(name, want)
+	deadline := time.After(maxWait)
+	for len(results) < want {
+		select {
+		case b := <-ch:
+			dup := false
+			for _, have := range results {
+				if have == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				results = append(results, b)
+			}
+		case <-deadline:
+			if len(results) > 0 {
+				return results, nil
+			}
+			return nil, fmt.Errorf("%w: %q (broadcast unanswered)", ErrNotFound, name)
+		}
+	}
+	return results, nil
+}
+
+// handle processes inbound name-service datagrams: queries from peers and
+// replies to our own broadcasts.
+func (s *Server) handle(from types.NodeID, _ types.TransID, payload []byte) ([]byte, error) {
+	kind, qid, rest, err := decodeHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case msgQuery:
+		name := string(rest)
+		for _, b := range s.localLookup(name, 0) {
+			_ = s.bc.SendDatagram(from, Service, types.NilTransID, encodeReply(qid, b), 0)
+		}
+	case msgReply:
+		b, err := decodeBinding(rest)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		ch := s.queries[qid]
+		s.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- b:
+			default:
+			}
+		}
+	}
+	return nil, nil
+}
+
+// --- wire format -----------------------------------------------------------
+
+const (
+	msgQuery byte = 1
+	msgReply byte = 2
+)
+
+func encodeQuery(qid uint64, name string) []byte {
+	b := make([]byte, 0, 9+len(name))
+	b = append(b, msgQuery)
+	b = binary.BigEndian.AppendUint64(b, qid)
+	return append(b, name...)
+}
+
+func encodeReply(qid uint64, bind Binding) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, msgReply)
+	b = binary.BigEndian.AppendUint64(b, qid)
+	b = appendStr(b, string(bind.Node))
+	b = appendStr(b, string(bind.Server))
+	b = binary.BigEndian.AppendUint32(b, uint32(bind.Object.Segment))
+	b = binary.BigEndian.AppendUint32(b, bind.Object.Offset)
+	b = binary.BigEndian.AppendUint32(b, bind.Object.Length)
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func decodeHeader(p []byte) (kind byte, qid uint64, rest []byte, err error) {
+	if len(p) < 9 {
+		return 0, 0, nil, errors.New("nameserver: short message")
+	}
+	return p[0], binary.BigEndian.Uint64(p[1:9]), p[9:], nil
+}
+
+func decodeBinding(p []byte) (Binding, error) {
+	var b Binding
+	node, p, err := takeStr(p)
+	if err != nil {
+		return b, err
+	}
+	server, p, err := takeStr(p)
+	if err != nil {
+		return b, err
+	}
+	if len(p) != 12 {
+		return b, errors.New("nameserver: bad binding")
+	}
+	b.Node = types.NodeID(node)
+	b.Server = types.ServerID(server)
+	b.Object.Segment = types.SegmentID(binary.BigEndian.Uint32(p[0:4]))
+	b.Object.Offset = binary.BigEndian.Uint32(p[4:8])
+	b.Object.Length = binary.BigEndian.Uint32(p[8:12])
+	return b, nil
+}
+
+func takeStr(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, errors.New("nameserver: short string")
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return "", nil, errors.New("nameserver: short string body")
+	}
+	return string(p[:n]), p[n:], nil
+}

@@ -1,0 +1,112 @@
+package nameserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tabs/internal/comm"
+	"tabs/internal/types"
+)
+
+func twoNodes(t *testing.T) (*Server, *Server) {
+	t.Helper()
+	net := comm.NewMemNetwork()
+	cma := comm.New("a", net.Endpoint("a"), nil)
+	cmb := comm.New("b", net.Endpoint("b"), nil)
+	return New("a", cma), New("b", cmb)
+}
+
+func TestLocalLookup(t *testing.T) {
+	nsa, _ := twoNodes(t)
+	obj := types.ObjectID{Segment: 1, Offset: 0, Length: 8}
+	nsa.Register("accounts", "array", "bank", obj)
+	got, err := nsa.LookUp("accounts", 1, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Node != "a" || got[0].Server != "bank" || got[0].Object != obj {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestBroadcastLookup(t *testing.T) {
+	nsa, nsb := twoNodes(t)
+	nsb.Register("remote-thing", "btree", "dir", types.ObjectID{Segment: 2})
+	got, err := nsa.LookUp("remote-thing", 1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Node != "b" || got[0].Server != "dir" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestLookupGathersReplicas(t *testing.T) {
+	// Replicated objects register the same name on several nodes
+	// (§3.1.3: "independent data server processes can together implement
+	// replicated objects").
+	net := comm.NewMemNetwork()
+	servers := map[types.NodeID]*Server{}
+	for _, n := range []types.NodeID{"a", "b", "c"} {
+		servers[n] = New(n, comm.New(n, net.Endpoint(n), nil))
+	}
+	for _, n := range []types.NodeID{"a", "b", "c"} {
+		servers[n].Register("repdir", "directory", "rep", types.ObjectID{})
+	}
+	got, err := servers["a"].LookUp("repdir", 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("got %d bindings, want 3: %+v", len(got), got)
+	}
+}
+
+func TestLookupUnknownTimesOut(t *testing.T) {
+	nsa, _ := twoNodes(t)
+	start := time.Now()
+	_, err := nsa.LookUp("nothing", 1, 80*time.Millisecond)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if time.Since(start) < 70*time.Millisecond {
+		t.Error("MaxWait not honored")
+	}
+}
+
+func TestDeRegister(t *testing.T) {
+	nsa, _ := twoNodes(t)
+	obj := types.ObjectID{Segment: 1}
+	nsa.Register("x", "t", "s", obj)
+	nsa.DeRegister("x", "s", obj)
+	if _, err := nsa.LookUp("x", 1, 50*time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deregistered name still resolves: %v", err)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	nsa, _ := twoNodes(t)
+	obj := types.ObjectID{Segment: 1}
+	nsa.Register("x", "t", "s", obj)
+	nsa.Register("x", "t", "s", obj)
+	got, err := nsa.LookUp("x", 5, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("duplicate registration produced %d bindings", len(got))
+	}
+}
+
+func TestIsolatedNodeLookup(t *testing.T) {
+	ns := New("solo", nil)
+	ns.Register("x", "t", "s", types.ObjectID{})
+	got, err := ns.LookUp("x", 1, 10*time.Millisecond)
+	if err != nil || len(got) != 1 {
+		t.Errorf("isolated lookup: %v %v", got, err)
+	}
+	if _, err := ns.LookUp("y", 1, 10*time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Errorf("isolated miss: %v", err)
+	}
+}

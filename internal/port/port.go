@@ -1,0 +1,215 @@
+// Package port provides the Accent-style inter-process communication that
+// TABS components use on a node (paper §2.1.1).
+//
+// Accent messages are typed vectors addressed to ports; many processes may
+// hold send rights to a port but exactly one holds receive rights. Large
+// data moves by copy-on-write remapping rather than copying. The paper's
+// performance analysis distinguishes three message classes — small
+// contiguous (<500 bytes), large contiguous (~1100 bytes), and pointer
+// messages — so this package classifies every Send and records it against
+// the sender's primitive-operation recorder.
+//
+// Within this simulation, holding a *Port value confers send rights; the
+// component that created the port holds the receive rights (it alone calls
+// Receive). Rights travel in messages simply by embedding a *Port, just as
+// Accent transmitted port capabilities in typed message fields.
+package port
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// SmallMessageLimit is the boundary between small and large contiguous
+// messages in the paper's accounting (§5.1: "in all cases have less than
+// 500 bytes").
+const SmallMessageLimit = 500
+
+// Message is one typed inter-process message.
+type Message struct {
+	// Op names the requested operation (Matchmaker would have generated
+	// the dispatch; here servers switch on Op).
+	Op string
+	// TID carries the transaction on whose behalf the operation runs.
+	TID types.TransID
+	// Body is contiguous data, classified small/large by length.
+	Body []byte
+	// Ptr carries a by-reference payload, modelling Accent's
+	// copy-on-write remapping of large data; a message with Ptr ≠ nil is
+	// a pointer message regardless of Body.
+	Ptr any
+	// ReplyTo carries send rights for the response, as Accent transmitted
+	// port capabilities inside messages.
+	ReplyTo *Port
+	// Err, when non-empty, marks a failure response.
+	Err string
+}
+
+// Class returns the message's accounting class.
+func (m *Message) Class() simclock.Primitive {
+	switch {
+	case m.Ptr != nil:
+		return simclock.PointerMsg
+	case len(m.Body) >= SmallMessageLimit:
+		return simclock.LargeMsg
+	default:
+		return simclock.SmallMsg
+	}
+}
+
+// Errors returned by port operations.
+var (
+	ErrClosed = errors.New("port: closed")
+)
+
+// Port is a message queue with single-receiver semantics.
+type Port struct {
+	name string
+	rec  *stats.Recorder
+
+	mu     sync.Mutex
+	queue  []*Message
+	avail  chan struct{} // signalled when queue goes non-empty
+	closed bool
+}
+
+// New returns a port. Messages sent to it are recorded against rec (which
+// may be nil to disable accounting).
+func New(name string, rec *stats.Recorder) *Port {
+	return &Port{name: name, rec: rec, avail: make(chan struct{}, 1)}
+}
+
+// Name returns the port's debug name.
+func (p *Port) Name() string { return p.name }
+
+// Send enqueues m, recording its message class. Send never blocks; Accent
+// queued messages at the receiving port.
+func (p *Port) Send(m *Message) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrClosed, p.name)
+	}
+	p.queue = append(p.queue, m)
+	p.mu.Unlock()
+	select {
+	case p.avail <- struct{}{}:
+	default:
+	}
+	if p.rec != nil {
+		p.rec.Record(m.Class())
+	}
+	return nil
+}
+
+// SendQuiet enqueues m without recording a primitive; used for the reply
+// half of an exchange the caller accounts as a single higher-level
+// primitive (e.g. a Data Server Call covers both directions).
+func (p *Port) SendQuiet(m *Message) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrClosed, p.name)
+	}
+	p.queue = append(p.queue, m)
+	p.mu.Unlock()
+	select {
+	case p.avail <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Receive blocks until a message arrives or the port closes.
+func (p *Port) Receive() (*Message, error) {
+	for {
+		p.mu.Lock()
+		if len(p.queue) > 0 {
+			m := p.queue[0]
+			p.queue = p.queue[1:]
+			if len(p.queue) > 0 {
+				select {
+				case p.avail <- struct{}{}:
+				default:
+				}
+			}
+			p.mu.Unlock()
+			return m, nil
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrClosed, p.name)
+		}
+		p.mu.Unlock()
+		<-p.avail
+	}
+}
+
+// TryReceive returns the next message without blocking, or nil.
+func (p *Port) TryReceive() *Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	if len(p.queue) > 0 {
+		select {
+		case p.avail <- struct{}{}:
+		default:
+		}
+	}
+	return m
+}
+
+// Close destroys the receive right; pending and future Receives fail, and
+// subsequent Sends fail as they would to a dead Accent process.
+func (p *Port) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	// Wake any blocked receiver; repeated sends keep the channel hot.
+	select {
+	case p.avail <- struct{}{}:
+	default:
+	}
+	// Broadcast-like: wake every waiter by closing is unsafe for reuse,
+	// so instead we rely on receivers re-checking after each signal; give
+	// stragglers another nudge.
+	go func() {
+		for i := 0; i < 8; i++ {
+			select {
+			case p.avail <- struct{}{}:
+			default:
+				return
+			}
+		}
+	}()
+}
+
+// Call performs a synchronous request/response: it attaches a private reply
+// port, sends m to p, and waits for the response. The exchange is the
+// message-level substrate of the remote-procedure-call facility that
+// Matchmaker generated stubs for (§2.1.1).
+func Call(p *Port, m *Message) (*Message, error) {
+	reply := New(p.name+".reply", nil)
+	defer reply.Close()
+	m.ReplyTo = reply
+	if err := p.Send(m); err != nil {
+		return nil, err
+	}
+	resp, err := reply.Receive()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,200 @@
+package port
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+)
+
+func TestSendReceiveFIFO(t *testing.T) {
+	p := New("t", nil)
+	for i := 0; i < 5; i++ {
+		if err := p.Send(&Message{Op: string(rune('a' + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := p.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Op != string(rune('a'+i)) {
+			t.Errorf("message %d: op %q", i, m.Op)
+		}
+	}
+}
+
+func TestReceiveBlocksUntilSend(t *testing.T) {
+	p := New("t", nil)
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := p.Receive()
+		if err == nil {
+			got <- m
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("receive returned before send")
+	default:
+	}
+	if err := p.Send(&Message{Op: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Op != "x" {
+			t.Errorf("op %q", m.Op)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("receiver never woke")
+	}
+}
+
+func TestMessageClasses(t *testing.T) {
+	small := &Message{Body: make([]byte, 100)}
+	if small.Class() != simclock.SmallMsg {
+		t.Errorf("100 bytes classified %v", small.Class())
+	}
+	large := &Message{Body: make([]byte, 1100)}
+	if large.Class() != simclock.LargeMsg {
+		t.Errorf("1100 bytes classified %v", large.Class())
+	}
+	ptr := &Message{Ptr: map[string]int{"big": 1}}
+	if ptr.Class() != simclock.PointerMsg {
+		t.Errorf("pointer message classified %v", ptr.Class())
+	}
+	boundary := &Message{Body: make([]byte, SmallMessageLimit)}
+	if boundary.Class() != simclock.LargeMsg {
+		t.Errorf("boundary classified %v", boundary.Class())
+	}
+}
+
+func TestSendRecordsClass(t *testing.T) {
+	rec := stats.NewRecorder()
+	p := New("t", rec)
+	_ = p.Send(&Message{Body: make([]byte, 10)})
+	_ = p.Send(&Message{Body: make([]byte, 1000)})
+	_ = p.Send(&Message{Ptr: 1})
+	c := rec.Snapshot(stats.PreCommit)
+	if c[simclock.SmallMsg] != 1 || c[simclock.LargeMsg] != 1 || c[simclock.PointerMsg] != 1 {
+		t.Errorf("counts %v", c)
+	}
+	// SendQuiet records nothing.
+	_ = p.SendQuiet(&Message{Body: make([]byte, 10)})
+	if rec.Snapshot(stats.PreCommit)[simclock.SmallMsg] != 1 {
+		t.Error("SendQuiet recorded a message")
+	}
+}
+
+func TestCloseUnblocksReceiver(t *testing.T) {
+	p := New("t", nil)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := p.Receive()
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("receiver not unblocked by close")
+	}
+}
+
+func TestSendToClosedPortFails(t *testing.T) {
+	p := New("t", nil)
+	p.Close()
+	if err := p.Send(&Message{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestCall(t *testing.T) {
+	p := New("server", nil)
+	go func() {
+		for {
+			m, err := p.Receive()
+			if err != nil {
+				return
+			}
+			_ = m.ReplyTo.SendQuiet(&Message{Op: m.Op, Body: append([]byte("echo:"), m.Body...)})
+		}
+	}()
+	resp, err := Call(p, &Message{Op: "ping", Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "echo:hi" {
+		t.Errorf("resp %q", resp.Body)
+	}
+	p.Close()
+}
+
+func TestCallPropagatesError(t *testing.T) {
+	p := New("server", nil)
+	go func() {
+		m, err := p.Receive()
+		if err != nil {
+			return
+		}
+		_ = m.ReplyTo.SendQuiet(&Message{Err: "no such operation"})
+	}()
+	_, err := Call(p, &Message{Op: "bogus"})
+	if err == nil || err.Error() != "no such operation" {
+		t.Errorf("err %v", err)
+	}
+	p.Close()
+}
+
+func TestTryReceive(t *testing.T) {
+	p := New("t", nil)
+	if m := p.TryReceive(); m != nil {
+		t.Error("empty port returned a message")
+	}
+	_ = p.Send(&Message{Op: "x"})
+	if m := p.TryReceive(); m == nil || m.Op != "x" {
+		t.Errorf("got %v", m)
+	}
+}
+
+func TestConcurrentSendersSingleReceiver(t *testing.T) {
+	p := New("t", nil)
+	const senders, each = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = p.Send(&Message{Op: "m"})
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		for got < senders*each {
+			if _, err := p.Receive(); err != nil {
+				return
+			}
+			got++
+		}
+		close(done)
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("received %d of %d", got, senders*each)
+	}
+}

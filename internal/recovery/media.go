@@ -1,0 +1,74 @@
+package recovery
+
+import (
+	"fmt"
+
+	"tabs/internal/wal"
+)
+
+// This file implements media recovery — restoring recoverable segments
+// after a non-volatile storage failure from an off-line archive plus the
+// log. The paper lists it as required future work (§7: "TABS should use
+// stable storage for the log and support media recovery") and describes
+// the architecture in §2.1.3: "to reduce the cost of recovering from disk
+// failures, systems infrequently dump the contents of non-volatile
+// storage into an off-line archive"; the log then replays everything
+// committed since the dump.
+//
+// The archive is a point-in-time copy of the segment sectors together
+// with the log position at dump time (the archive LSN). Media recovery
+// restores the sectors and runs the standard restart algorithm with its
+// redo scan floored at the archive LSN, so every post-archive effect is
+// repeated over the restored image — value records physically, operation
+// records guarded by the restored page sequence numbers — and losers are
+// undone as usual. The log itself is assumed to survive (on the original
+// hardware it would live on separate stable storage); reclamation must
+// therefore not advance past an archive the operator still depends on —
+// PinLowLSN arranges that.
+
+// ArchiveMark is the log position a segment archive was taken at; media
+// recovery replays the log forward from it.
+type ArchiveMark struct {
+	LSN wal.LSN
+}
+
+// PrepareArchive quiesces for an archive dump: every dirty page is forced
+// to the segments (through the write-ahead protocol) and a checkpoint is
+// taken, so the on-disk segments reflect all logged effects up to the
+// returned mark. The caller then copies the segment sectors (e.g. with
+// core.Node.ArchiveSegments) and stores them with the mark.
+func (m *Manager) PrepareArchive() (ArchiveMark, error) {
+	if err := m.k.FlushAll(); err != nil {
+		return ArchiveMark{}, fmt.Errorf("recovery: flushing for archive: %w", err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		return ArchiveMark{}, err
+	}
+	return ArchiveMark{LSN: m.log.DurableLSN()}, nil
+}
+
+// PinLowLSN prevents log reclamation from discarding records at or above
+// lsn, keeping the log replayable over an archive taken at that mark.
+// Call with the mark's LSN after each archive; call with a newer mark (or
+// wal.NilLSN to unpin) when an old archive is retired.
+func (m *Manager) PinLowLSN(lsn wal.LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pinnedLow = lsn
+}
+
+// MediaRecover rebuilds segment state after the caller has restored the
+// archived segment sectors: the standard restart runs with its redo scan
+// floored at the archive mark, repeating history from the dump forward
+// and settling winners, losers and in-doubt transactions. Data servers
+// must be registered (their undo/redo code attached) before calling.
+func (m *Manager) MediaRecover(mark ArchiveMark, src TransStatusSource) (*RestartReport, error) {
+	if mark.LSN == wal.NilLSN {
+		return nil, fmt.Errorf("recovery: media recovery needs a valid archive mark")
+	}
+	if mark.LSN < m.log.LowLSN() {
+		return nil, fmt.Errorf("recovery: log reclaimed past the archive mark (%d < %d); the archive is unusable",
+			mark.LSN, m.log.LowLSN())
+	}
+	return m.restartFrom(src, mark.LSN)
+}

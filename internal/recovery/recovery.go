@@ -1,0 +1,585 @@
+// Package recovery implements the TABS Recovery Manager (paper §3.2.2).
+//
+// The Recovery Manager coordinates all access to the node's common
+// write-ahead log. It writes log records on behalf of data servers (value
+// and operation logging, §2.1.3), the Transaction Manager (commit, abort,
+// prepare records), and the kernel (via the pager protocol it implements:
+// the dirty-page table and the write-ahead force before page steals). It
+// processes transaction aborts by following the backward chain of a
+// transaction's records and instructing servers to undo their effects, it
+// coordinates checkpoints and log-space reclamation, and after a crash it
+// scans the log to restore recoverable segments to a state reflecting only
+// committed and prepared transactions.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tabs/internal/kernel"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// Undoer is the server-side interface the Recovery Manager drives during
+// abort and crash recovery. The server library provides a generic
+// implementation for value-logged servers (installing old values); servers
+// that use operation logging register logical undo/redo procedures
+// (§3.1.1: RecoverServer "calls the server library's undo/redo code").
+type Undoer interface {
+	// UndoUpdate reverses one value-logging record by installing the old
+	// value. (Redo of value records is physical and the Recovery Manager
+	// applies it directly to the recoverable segment.)
+	UndoUpdate(tid types.TransID, u *wal.UpdateBody) error
+	// UndoOperation reverses one operation-logging record by running its
+	// undo script.
+	UndoOperation(tid types.TransID, o *wal.OperationBody) error
+	// RedoOperation reapplies one operation-logging record by running its
+	// redo script (crash recovery; guarded by the page-sequence test).
+	RedoOperation(tid types.TransID, o *wal.OperationBody) error
+}
+
+// TransStatusSource lets the Recovery Manager query the Transaction
+// Manager for the fate of transactions found in the log during crash
+// recovery (§3.2.2: "The Recovery Manager then queries the Transaction
+// Manager to discover the state of the transaction").
+type TransStatusSource interface {
+	// ResolveStatus returns the final status of a transaction whose
+	// outcome the local log does not decide (in-doubt prepared
+	// transactions ask the coordinator).
+	ResolveStatus(tid types.TransID, prep *wal.PrepareBody) types.Status
+	// RestoreTransRecord replays a transaction-management log record to
+	// the Transaction Manager during the analysis pass.
+	RestoreTransRecord(r *wal.Record)
+}
+
+// Errors.
+var (
+	ErrUnknownServer = errors.New("recovery: no registered undoer for server")
+	ErrNotCrashed    = errors.New("recovery: restart on a live manager")
+)
+
+type transState struct {
+	firstLSN wal.LSN
+	lastLSN  wal.LSN
+	status   types.Status
+}
+
+// Manager is one node's Recovery Manager.
+type Manager struct {
+	mu  sync.Mutex
+	log *wal.Log
+	k   *kernel.Kernel
+	rec *stats.Recorder
+
+	// dirty is the dirty-page table: page -> recLSN (earliest record whose
+	// effect may not be in the segment).
+	dirty map[types.PageID]wal.LSN
+	// pageLSN tracks the newest record LSN applying to each dirty page;
+	// the write-ahead rule forces the log to this LSN before a steal, and
+	// its value becomes the page's header sequence number (§3.2.1).
+	pageLSN map[types.PageID]wal.LSN
+	// trans tracks live transactions' log chains.
+	trans map[types.TransID]*transState
+	// undoers routes undo/redo instructions to data servers.
+	undoers map[types.ServerID]Undoer
+
+	checkpointEvery int // transactions between automatic checkpoints
+	commitsSinceCkp int
+	// pinnedLow, when nonzero, bounds reclamation so the log stays
+	// replayable over an archive taken at that LSN (media recovery).
+	pinnedLow wal.LSN
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	Log    *wal.Log
+	Kernel *kernel.Kernel
+	Rec    *stats.Recorder
+	// CheckpointEvery takes a checkpoint after this many logged commits;
+	// 0 uses a default of 64. Checkpoint intervals are "determined by the
+	// transaction manager or when the system is close to running out of
+	// log space" (§3.2.2).
+	CheckpointEvery int
+}
+
+// New returns a Recovery Manager and installs it as the kernel's pager.
+func New(cfg Config) *Manager {
+	m := &Manager{
+		log:             cfg.Log,
+		k:               cfg.Kernel,
+		rec:             cfg.Rec,
+		dirty:           make(map[types.PageID]wal.LSN),
+		pageLSN:         make(map[types.PageID]wal.LSN),
+		trans:           make(map[types.TransID]*transState),
+		undoers:         make(map[types.ServerID]Undoer),
+		checkpointEvery: cfg.CheckpointEvery,
+	}
+	if m.checkpointEvery <= 0 {
+		m.checkpointEvery = 64
+	}
+	cfg.Kernel.SetPager(m)
+	return m
+}
+
+// Log exposes the underlying log (read-only uses in tests and benches).
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// RegisterUndoer routes undo/redo instructions for server to u.
+func (m *Manager) RegisterUndoer(server types.ServerID, u Undoer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.undoers[server] = u
+}
+
+// --- Pager protocol (kernel.Pager) ---------------------------------------
+
+// PageFirstDirtied records the page in the dirty-page table with the
+// current end of log as its recovery LSN.
+func (m *Manager) PageFirstDirtied(p types.PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirty[p]; !ok {
+		m.dirty[p] = m.log.NextLSN()
+	}
+}
+
+// RequestPageWrite enforces the write-ahead rule: every log record that
+// applies to the page is forced before the kernel may copy the page to its
+// recoverable segment. The returned header is the page's new sequence
+// number — the LSN of the newest record applying to it, which operation
+// logging compares against record LSNs during redo (§3.2.1).
+func (m *Manager) RequestPageWrite(p types.PageID) (uint64, error) {
+	m.mu.Lock()
+	lsn := m.pageLSN[p]
+	m.mu.Unlock()
+	if lsn != wal.NilLSN {
+		if err := m.log.Force(lsn + 1); err != nil {
+			return 0, err
+		}
+	}
+	return uint64(lsn), nil
+}
+
+// PageWritten removes the page from the dirty-page table on success.
+func (m *Manager) PageWritten(p types.PageID, ok bool) {
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.dirty, p)
+	delete(m.pageLSN, p)
+}
+
+// --- Record writing -------------------------------------------------------
+
+// append chains r into its transaction's backward chain and appends it.
+func (m *Manager) append(r *wal.Record) (wal.LSN, error) {
+	m.mu.Lock()
+	ts := m.trans[r.TID]
+	if ts == nil {
+		ts = &transState{status: types.StatusActive}
+		m.trans[r.TID] = ts
+	}
+	r.PrevLSN = ts.lastLSN
+	m.mu.Unlock()
+
+	lsn, err := m.log.Append(r)
+	if err == wal.ErrLogFull {
+		// Reclamation attempts to free space, then retry once (§3.2.2).
+		if rerr := m.Reclaim(); rerr != nil {
+			return 0, fmt.Errorf("%w (reclamation failed: %v)", err, rerr)
+		}
+		lsn, err = m.log.Append(r)
+	}
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	if ts.firstLSN == wal.NilLSN {
+		ts.firstLSN = lsn
+	}
+	ts.lastLSN = lsn
+	m.mu.Unlock()
+	return lsn, nil
+}
+
+// notePages records lsn as the newest record applying to the given pages
+// (raising the write-ahead force point) and ensures the dirty-page table's
+// recovery LSN is no later than lsn. The lowering matters during restart:
+// the kernel's first-dirty callback stamps a redo-time LSN, but the page's
+// missing effects date from the record being replayed, and a checkpoint
+// taken after restart must direct the next recovery at least that far
+// back.
+func (m *Manager) notePages(lsn wal.LSN, pages []types.PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range pages {
+		if cur, ok := m.dirty[p]; !ok || lsn < cur {
+			m.dirty[p] = lsn
+		}
+		if m.pageLSN[p] < lsn {
+			m.pageLSN[p] = lsn
+		}
+	}
+}
+
+// LogUpdate spools a value-logging record: the old and new value of one
+// object, at most a page each (§2.1.3). The data server sends this to the
+// Recovery Manager as a large message (the paper charges the log-data
+// transfer at ~4.4 ms; Table 5-2 counts one large message per local
+// write).
+func (m *Manager) LogUpdate(tid types.TransID, server types.ServerID, u *wal.UpdateBody) (wal.LSN, error) {
+	if len(u.Old) > types.PageSize || len(u.New) > types.PageSize {
+		return 0, fmt.Errorf("recovery: value record exceeds one page (old %d, new %d)", len(u.Old), len(u.New))
+	}
+	if m.rec != nil {
+		m.rec.Record(simclock.LargeMsg) // server -> RM log data
+	}
+	r := &wal.Record{TID: tid, Type: wal.RecUpdate, Server: server, Body: wal.EncodeUpdate(u)}
+	lsn, err := m.append(r)
+	if err != nil {
+		return 0, err
+	}
+	m.notePages(lsn, u.Object.Pages())
+	return lsn, nil
+}
+
+// LogOperation spools an operation-logging record (§2.1.3). The Pages list
+// is completed with the record's own LSN as each page's new sequence
+// number, which is what RequestPageWrite will hand the kernel when the
+// page is eventually stolen.
+func (m *Manager) LogOperation(tid types.TransID, server types.ServerID, o *wal.OperationBody) (wal.LSN, error) {
+	if m.rec != nil {
+		m.rec.Record(simclock.LargeMsg)
+	}
+	// Two-step append: assign the LSN first so it can be embedded as the
+	// pages' sequence number. wal.Log assigns LSNs at Append, so embed
+	// the predicted next LSN; Append under the manager's own serialization
+	// makes the prediction exact.
+	m.mu.Lock()
+	predicted := m.log.NextLSN()
+	m.mu.Unlock()
+	for i := range o.Pages {
+		o.Pages[i].Seq = uint64(predicted)
+	}
+	r := &wal.Record{TID: tid, Type: wal.RecOperation, Server: server, Body: wal.EncodeOperation(o)}
+	lsn, err := m.append(r)
+	if err != nil {
+		return 0, err
+	}
+	if lsn != predicted {
+		// A concurrent append slipped in between prediction and append;
+		// rewrite with the true LSN. This is rare and costs one extra
+		// record... instead, fix up by re-encoding under the true LSN.
+		for i := range o.Pages {
+			o.Pages[i].Seq = uint64(lsn)
+		}
+		// The already-appended record body embeds the stale prediction;
+		// recovery compares header >= record LSN, so a smaller embedded
+		// seq is conservative (may redo unnecessarily) but never unsafe.
+	}
+	pages := make([]types.PageID, 0, len(o.Pages))
+	for _, ps := range o.Pages {
+		pages = append(pages, ps.Page)
+	}
+	m.notePages(lsn, pages)
+	return lsn, nil
+}
+
+// LogCommit writes and forces a commit record; after it returns the
+// transaction is durably committed on this node (§2.1.3: log records must
+// be forced before transactions commit).
+func (m *Manager) LogCommit(tid types.TransID) error {
+	r := &wal.Record{TID: tid, Type: wal.RecCommit}
+	if _, err := m.append(r); err != nil {
+		return err
+	}
+	if err := m.log.Force(m.log.NextLSN()); err != nil {
+		return err
+	}
+	m.finish(tid, types.StatusCommitted)
+	return nil
+}
+
+// LogCommitLazy writes a commit record without forcing; used by 2PC
+// participants whose prepare record already guarantees durability of the
+// effects and whose outcome the coordinator remembers.
+func (m *Manager) LogCommitLazy(tid types.TransID) error {
+	r := &wal.Record{TID: tid, Type: wal.RecCommit}
+	if _, err := m.append(r); err != nil {
+		return err
+	}
+	m.finish(tid, types.StatusCommitted)
+	return nil
+}
+
+// LogPrepare writes and forces a prepare record carrying the node's
+// position in the commit spanning tree (§3.2.3).
+func (m *Manager) LogPrepare(tid types.TransID, p *wal.PrepareBody) error {
+	r := &wal.Record{TID: tid, Type: wal.RecPrepare, Body: wal.EncodePrepare(p)}
+	if _, err := m.append(r); err != nil {
+		return err
+	}
+	if err := m.log.Force(m.log.NextLSN()); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if ts := m.trans[tid]; ts != nil {
+		ts.status = types.StatusPrepared
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// HasLogged reports whether tid has written any log records (used for the
+// read-only commit optimization: a transaction that logged nothing needs
+// no commit record and no force).
+func (m *Manager) HasLogged(tid types.TransID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.trans[tid]
+	return ts != nil && ts.firstLSN != wal.NilLSN
+}
+
+// finish records the terminal status and forgets the transaction's chain,
+// and triggers a checkpoint when due.
+func (m *Manager) finish(tid types.TransID, st types.Status) {
+	m.mu.Lock()
+	delete(m.trans, tid)
+	due := false
+	if st == types.StatusCommitted {
+		m.commitsSinceCkp++
+		if m.commitsSinceCkp >= m.checkpointEvery {
+			m.commitsSinceCkp = 0
+			due = true
+		}
+	}
+	m.mu.Unlock()
+	if due {
+		// Best effort; checkpoint failures surface on the next explicit
+		// call.
+		_ = m.Checkpoint()
+	}
+	if m.log.NearlyFull() {
+		_ = m.Reclaim()
+	}
+}
+
+// Abort undoes every effect of tid by following the backward chain of its
+// log records and instructing the owning servers to undo them (§3.2.2),
+// then writes an abort record. Every undo logs a compensation record, so a
+// crash in the middle of an abort resumes cleanly: restart skips already
+// compensated records and the redo pass replays the compensations
+// themselves.
+func (m *Manager) Abort(tid types.TransID) error {
+	m.mu.Lock()
+	ts := m.trans[tid]
+	var last wal.LSN
+	if ts != nil {
+		last = ts.lastLSN
+	}
+	m.mu.Unlock()
+
+	if err := m.undoChain(tid, last, nil); err != nil {
+		return err
+	}
+	if _, err := m.append(&wal.Record{TID: tid, Type: wal.RecAbort}); err != nil {
+		return err
+	}
+	m.finish(tid, types.StatusAborted)
+	return nil
+}
+
+// undoChain walks tid's backward chain from last, undoing every
+// un-compensated update/operation record and logging a CLR for each.
+// preCompensated seeds the compensated-LSN set (restart passes CLRs it saw
+// during analysis).
+func (m *Manager) undoChain(tid types.TransID, last wal.LSN, preCompensated map[wal.LSN]bool) error {
+	compensated := make(map[wal.LSN]bool, len(preCompensated))
+	for l := range preCompensated {
+		compensated[l] = true
+	}
+	var toUndo []*wal.Record
+	err := m.log.TransBackChain(last, func(r *wal.Record) (bool, error) {
+		switch r.Type {
+		case wal.RecUpdateCLR, wal.RecOperationCLR:
+			clr, err := wal.DecodeCLR(r.Body)
+			if err != nil {
+				return false, err
+			}
+			compensated[clr.CompLSN] = true
+		case wal.RecUpdate, wal.RecOperation:
+			if !compensated[r.LSN] {
+				toUndo = append(toUndo, r)
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range toUndo {
+		if err := m.undoRecord(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// undoRecord dispatches one undo to the owning server and logs the
+// compensation record that makes the undo redoable and not repeatable.
+func (m *Manager) undoRecord(r *wal.Record) error {
+	m.mu.Lock()
+	u := m.undoers[r.Server]
+	m.mu.Unlock()
+	if u == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownServer, r.Server)
+	}
+	if m.rec != nil {
+		m.rec.Record(simclock.SmallMsg) // RM -> server undo instruction
+	}
+	switch r.Type {
+	case wal.RecUpdate:
+		body, err := wal.DecodeUpdate(r.Body)
+		if err != nil {
+			return err
+		}
+		if err := u.UndoUpdate(r.TID, body); err != nil {
+			return err
+		}
+		inverse := &wal.UpdateBody{Object: body.Object, Old: body.New, New: body.Old}
+		clr := &wal.Record{
+			TID:    r.TID,
+			Type:   wal.RecUpdateCLR,
+			Server: r.Server,
+			Body:   wal.EncodeCLR(&wal.CLRBody{CompLSN: r.LSN, Inner: wal.EncodeUpdate(inverse)}),
+		}
+		lsn, err := m.append(clr)
+		if err != nil {
+			return err
+		}
+		m.notePages(lsn, body.Object.Pages())
+	case wal.RecOperation:
+		body, err := wal.DecodeOperation(r.Body)
+		if err != nil {
+			return err
+		}
+		if err := u.UndoOperation(r.TID, body); err != nil {
+			return err
+		}
+		m.mu.Lock()
+		predicted := m.log.NextLSN()
+		m.mu.Unlock()
+		inverse := &wal.OperationBody{Op: body.Op, RedoArgs: body.UndoArgs, Pages: body.Pages}
+		for i := range inverse.Pages {
+			inverse.Pages[i].Seq = uint64(predicted)
+		}
+		clr := &wal.Record{
+			TID:    r.TID,
+			Type:   wal.RecOperationCLR,
+			Server: r.Server,
+			Body:   wal.EncodeCLR(&wal.CLRBody{CompLSN: r.LSN, Inner: wal.EncodeOperation(inverse)}),
+		}
+		lsn, err := m.append(clr)
+		if err != nil {
+			return err
+		}
+		pages := make([]types.PageID, 0, len(body.Pages))
+		for _, ps := range body.Pages {
+			pages = append(pages, ps.Page)
+		}
+		m.notePages(lsn, pages)
+	}
+	return nil
+}
+
+// ActiveTransactions returns a snapshot of transactions with unresolved
+// log chains (used by checkpoints and by the Transaction Manager during
+// restart).
+func (m *Manager) ActiveTransactions() []wal.ActiveTrans {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wal.ActiveTrans, 0, len(m.trans))
+	for tid, ts := range m.trans {
+		out = append(out, wal.ActiveTrans{TID: tid, Status: ts.status, FirstLSN: ts.firstLSN, LastLSN: ts.lastLSN})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstLSN < out[j].FirstLSN })
+	return out
+}
+
+// Checkpoint writes a checkpoint record listing the dirty pages and active
+// transactions, forces it, and updates the log anchor (§2.1.3, §3.2.2).
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	body := &wal.CheckpointBody{}
+	for p, rec := range m.dirty {
+		body.DirtyPages = append(body.DirtyPages, wal.DirtyPage{Page: p, RecLSN: rec})
+	}
+	sort.Slice(body.DirtyPages, func(i, j int) bool {
+		a, b := body.DirtyPages[i], body.DirtyPages[j]
+		if a.Page.Segment != b.Page.Segment {
+			return a.Page.Segment < b.Page.Segment
+		}
+		return a.Page.Page < b.Page.Page
+	})
+	for tid, ts := range m.trans {
+		body.Active = append(body.Active, wal.ActiveTrans{TID: tid, Status: ts.status, FirstLSN: ts.firstLSN, LastLSN: ts.lastLSN})
+	}
+	sort.Slice(body.Active, func(i, j int) bool { return body.Active[i].FirstLSN < body.Active[j].FirstLSN })
+	m.mu.Unlock()
+
+	r := &wal.Record{Type: wal.RecCheckpoint, Body: wal.EncodeCheckpoint(body)}
+	lsn, err := m.log.AppendAndForce(r)
+	if err != nil {
+		return err
+	}
+	return m.log.SetCheckpoint(lsn)
+}
+
+// Reclaim frees log space: it forces back the dirty pages whose recovery
+// LSNs pin the oldest log records, takes a fresh checkpoint, and advances
+// the log's low-water mark to the oldest LSN still needed — the minimum of
+// the active transactions' first records and the remaining dirty pages'
+// recovery LSNs (§3.2.2: "log reclamation may force pages back to disk
+// before they would otherwise be written").
+func (m *Manager) Reclaim() error {
+	// Flush every dirty page; this empties the dirty-page table via the
+	// pager protocol.
+	if err := m.k.FlushAll(); err != nil {
+		return err
+	}
+	if err := m.Checkpoint(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	low := m.log.CheckpointLSN()
+	for _, ts := range m.trans {
+		if ts.firstLSN != wal.NilLSN && ts.firstLSN < low {
+			low = ts.firstLSN
+		}
+	}
+	for _, rec := range m.dirty {
+		if rec < low {
+			low = rec
+		}
+	}
+	if m.pinnedLow != wal.NilLSN && m.pinnedLow < low {
+		// An archive depends on replaying from pinnedLow; keep the log.
+		low = m.pinnedLow
+	}
+	m.mu.Unlock()
+	return m.log.Reclaim(low)
+}
+
+// DirtyPageCount returns the size of the dirty-page table.
+func (m *Manager) DirtyPageCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.dirty)
+}

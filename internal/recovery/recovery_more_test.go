@@ -1,0 +1,150 @@
+package recovery
+
+import (
+	"testing"
+
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// TestInDoubtStaysPreparedAcrossRestarts: the coordinator is unreachable
+// at the first restart; the prepared transaction's effects must persist
+// and the transaction must still be live (prepared) afterwards. A later
+// restart that does reach the coordinator resolves it.
+func TestInDoubtStaysPreparedAcrossRestarts(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "dbt4")
+	if err := r.rm.LogPrepare(tid(1), &wal.PrepareBody{Parent: "coord"}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Crash()
+	r.rm.Crash()
+
+	// First restart: the coordinator cannot be reached (source answers
+	// "still prepared").
+	r2 := newRig(t, r.d)
+	src := &fakeStatusSource{answer: types.StatusPrepared}
+	report, err := r2.rm.Restart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.InDoubt) != 1 {
+		t.Fatalf("in doubt: %v", report.InDoubt)
+	}
+	// Effects persist (prepared transactions are winners for redo).
+	if got := r2.read(t); got != "dbt4" {
+		t.Errorf("prepared effect lost: %q", got)
+	}
+	// The transaction is still live in the Recovery Manager's table.
+	live := r2.rm.ActiveTransactions()
+	if len(live) != 1 || live[0].Status != types.StatusPrepared {
+		t.Fatalf("live transactions: %+v", live)
+	}
+
+	// Second crash and restart: now the coordinator answers committed.
+	r2.k.Crash()
+	r2.rm.Crash()
+	r3 := newRig(t, r.d)
+	src3 := &fakeStatusSource{answer: types.StatusCommitted}
+	if _, err := r3.rm.Restart(src3); err != nil {
+		t.Fatal(err)
+	}
+	if got := r3.read(t); got != "dbt4" {
+		t.Errorf("committed effect lost: %q", got)
+	}
+	if n := len(r3.rm.ActiveTransactions()); n != 0 {
+		t.Errorf("%d transactions still live after resolution", n)
+	}
+}
+
+// TestLogCommitLazyDoesNotForce: the participant's lazy commit appends
+// without forcing; a following force makes it durable.
+func TestLogCommitLazyDoesNotForce(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "lazy")
+	durable := r.lg.DurableLSN()
+	if err := r.rm.LogCommitLazy(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.lg.DurableLSN() != durable {
+		t.Error("lazy commit forced the log")
+	}
+	if err := r.lg.Force(r.lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if r.lg.DurableLSN() <= durable {
+		t.Error("force after lazy commit did nothing")
+	}
+}
+
+// TestAutoCheckpoint: the Recovery Manager takes a checkpoint after the
+// configured number of commits (the Transaction Manager determines the
+// interval, §3.2.2).
+func TestAutoCheckpoint(t *testing.T) {
+	d := newRig(t, nil).d
+	// Build a manager with a tiny checkpoint interval over the same disk
+	// layout helpers.
+	r := newRig(t, d)
+	_ = r
+	// newRig uses CheckpointEvery 1<<30; construct the behavior through a
+	// direct Config here.
+	r2 := newRigWithCheckpointEvery(t, 3)
+	before := r2.lg.CheckpointLSN()
+	for i := uint64(1); i <= 3; i++ {
+		r2.write(t, tid(i), "ckpt")
+		if err := r2.rm.LogCommit(tid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r2.lg.CheckpointLSN() == before {
+		t.Error("no checkpoint after CheckpointEvery commits")
+	}
+}
+
+func newRigWithCheckpointEvery(t *testing.T, every int) *rig {
+	t.Helper()
+	base := newRig(t, nil)
+	rm := New(Config{Log: base.lg, Kernel: base.k, CheckpointEvery: every})
+	rm.RegisterUndoer("srv", base.und)
+	base.rm = rm
+	return base
+}
+
+// TestAbortOfUnloggedTransactionIsCheap: aborting a transaction that
+// never wrote is a no-op plus an abort record.
+func TestAbortOfUnloggedTransaction(t *testing.T) {
+	r := newRig(t, nil)
+	if err := r.rm.Abort(tid(9)); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to undo; the log contains just the abort record.
+	count := 0
+	if err := r.lg.ScanForward(0, func(rec *wal.Record) (bool, error) {
+		count++
+		if rec.Type != wal.RecAbort {
+			t.Errorf("unexpected record %v", rec.Type)
+		}
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		// The abort record may still be buffered; force and recount.
+		if err := r.lg.Force(r.lg.NextLSN()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUndoerMissingIsAnError: undo instructions for an unregistered
+// server must fail loudly, not silently skip.
+func TestUndoerMissing(t *testing.T) {
+	r := newRig(t, nil)
+	u := &wal.UpdateBody{Object: obj, Old: []byte{0, 0, 0, 0}, New: []byte("oops")}
+	if _, err := r.rm.LogUpdate(tid(1), "ghost-server", u); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rm.Abort(tid(1)); err == nil {
+		t.Error("abort with no registered undoer succeeded")
+	}
+}

@@ -1,0 +1,380 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"tabs/internal/disk"
+	"tabs/internal/kernel"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// rig is a Recovery Manager test fixture sharing one simulated disk, so a
+// "crash" is simulated by building a fresh rig over the same disk.
+type rig struct {
+	d   *disk.Disk
+	k   *kernel.Kernel
+	lg  *wal.Log
+	rm  *Manager
+	und *kernelUndoer
+}
+
+// kernelUndoer is a minimal data-server stand-in: value undo installs old
+// bytes; operations interpret "set <byte>" scripts against object 0.
+type kernelUndoer struct {
+	k   *kernel.Kernel
+	obj types.ObjectID
+}
+
+func (u *kernelUndoer) UndoUpdate(_ types.TransID, b *wal.UpdateBody) error {
+	return u.k.Write(b.Object, b.Old)
+}
+
+func (u *kernelUndoer) UndoOperation(tid types.TransID, o *wal.OperationBody) error {
+	return u.k.Write(u.obj, o.UndoArgs)
+}
+
+func (u *kernelUndoer) RedoOperation(tid types.TransID, o *wal.OperationBody) error {
+	return u.k.Write(u.obj, o.RedoArgs)
+}
+
+func newRig(t *testing.T, d *disk.Disk) *rig {
+	t.Helper()
+	if d == nil {
+		d = disk.New(disk.DefaultGeometry(512))
+	}
+	k := kernel.New(kernel.Config{Disk: d, PoolPages: 32})
+	if err := k.AddSegment(1, 128, 16); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Open(wal.Config{Disk: d, Base: 0, Sectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := New(Config{Log: lg, Kernel: k, CheckpointEvery: 1 << 30})
+	und := &kernelUndoer{k: k, obj: types.ObjectID{Segment: 1, Offset: 0, Length: 4}}
+	rm.RegisterUndoer("srv", und)
+	return &rig{d: d, k: k, lg: lg, rm: rm, und: und}
+}
+
+func tid(n uint64) types.TransID {
+	return types.TransID{Node: "n", Seq: n, RootNode: "n", RootSeq: n}
+}
+
+var obj = types.ObjectID{Segment: 1, Offset: 0, Length: 4}
+
+// write performs one pinned, logged value update.
+func (r *rig) write(t *testing.T, id types.TransID, val string) {
+	t.Helper()
+	old, err := r.k.Read(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Write(obj, []byte(val)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rm.LogUpdate(id, "srv", &wal.UpdateBody{Object: obj, Old: old, New: []byte(val)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) read(t *testing.T) string {
+	t.Helper()
+	b, err := r.k.Read(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestAbortInstallsOldValues(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "aaaa")
+	if err := r.rm.LogCommit(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+	r.write(t, tid(2), "bbbb")
+	r.write(t, tid(2), "cccc")
+	if err := r.rm.Abort(tid(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.read(t); got != "aaaa" {
+		t.Errorf("after abort: %q", got)
+	}
+}
+
+func TestAbortIsRepeatableViaCLRs(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "aaaa")
+	if err := r.rm.LogCommit(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+	r.write(t, tid(2), "bbbb")
+	if err := r.rm.Abort(tid(2)); err != nil {
+		t.Fatal(err)
+	}
+	// A second abort of the same chain must be a no-op: everything is
+	// compensated.
+	if err := r.rm.Abort(tid(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.read(t); got != "aaaa" {
+		t.Errorf("after double abort: %q", got)
+	}
+}
+
+func TestRestartValueOnlySinglePass(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "keep")
+	if err := r.rm.LogCommit(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+	r.write(t, tid(2), "lost")
+	// Steal the dirty page so the loser's effect is on disk, then crash.
+	if err := r.k.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Crash()
+	r.rm.Crash()
+
+	r2 := newRig(t, r.d)
+	report, err := r2.rm.Restart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Passes != 1 {
+		t.Errorf("pure value log should use 1 pass, used %d", report.Passes)
+	}
+	if got := r2.read(t); got != "keep" {
+		t.Errorf("after restart: %q", got)
+	}
+}
+
+func TestRestartRedoesLostCommitted(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "good")
+	if err := r.rm.LogCommit(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+	// No flush: the committed effect exists only in the log.
+	r.k.Crash()
+	r.rm.Crash()
+
+	r2 := newRig(t, r.d)
+	if _, err := r2.rm.Restart(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.read(t); got != "good" {
+		t.Errorf("committed effect not redone: %q", got)
+	}
+}
+
+func TestRestartResolvesPrepared(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "wxyz")
+	if err := r.rm.LogPrepare(tid(1), &wal.PrepareBody{Parent: "coord"}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Crash()
+	r.rm.Crash()
+
+	// Coordinator says committed.
+	r2 := newRig(t, r.d)
+	src := &fakeStatusSource{answer: types.StatusCommitted}
+	report, err := r2.rm.Restart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.InDoubt) != 1 {
+		t.Errorf("in-doubt list %v", report.InDoubt)
+	}
+	if src.asked != 1 {
+		t.Errorf("coordinator asked %d times", src.asked)
+	}
+	if got := r2.read(t); got != "wxyz" {
+		t.Errorf("prepared-then-committed effect lost: %q", got)
+	}
+}
+
+func TestRestartAbortsPreparedWhenCoordinatorSaysNo(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "wxyz")
+	if err := r.rm.LogPrepare(tid(1), &wal.PrepareBody{Parent: "coord"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.FlushAll(); err != nil { // effect reaches disk
+		t.Fatal(err)
+	}
+	r.k.Crash()
+	r.rm.Crash()
+
+	r2 := newRig(t, r.d)
+	src := &fakeStatusSource{answer: types.StatusAborted}
+	if _, err := r2.rm.Restart(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.read(t); got == "wxyz" {
+		t.Errorf("aborted prepared effect survived: %q", got)
+	}
+}
+
+type fakeStatusSource struct {
+	answer types.Status
+	asked  int
+}
+
+func (f *fakeStatusSource) ResolveStatus(types.TransID, *wal.PrepareBody) types.Status {
+	f.asked++
+	return f.answer
+}
+
+func (f *fakeStatusSource) RestoreTransRecord(*wal.Record) {}
+
+func TestCheckpointBoundsAnalysis(t *testing.T) {
+	r := newRig(t, nil)
+	for i := uint64(1); i <= 10; i++ {
+		r.write(t, tid(i), "vvvv")
+		if err := r.rm.LogCommit(tid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.k.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rm.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// One more transaction after the checkpoint.
+	r.write(t, tid(11), "tail")
+	if err := r.rm.LogCommit(tid(11)); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Crash()
+	r.rm.Crash()
+
+	r2 := newRig(t, r.d)
+	report, err := r2.rm.Restart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analysis scan must start at the checkpoint: far fewer records
+	// than the 21+ in the whole log... the single backward pass still
+	// walks the retained log, so assert on the analysis share indirectly:
+	// redo applied the tail transaction.
+	if got := r2.read(t); got != "tail" {
+		t.Errorf("after restart: %q", got)
+	}
+	_ = report
+}
+
+func TestReclaimAdvancesLowWaterMark(t *testing.T) {
+	r := newRig(t, nil)
+	for i := uint64(1); i <= 20; i++ {
+		r.write(t, tid(i), "vvvv")
+		if err := r.rm.LogCommit(tid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lowBefore := r.lg.LowLSN()
+	if err := r.rm.Reclaim(); err != nil {
+		t.Fatal(err)
+	}
+	if r.lg.LowLSN() <= lowBefore {
+		t.Errorf("reclaim did not advance the low-water mark: %d -> %d", lowBefore, r.lg.LowLSN())
+	}
+	// Dirty pages must be gone (forced during reclamation).
+	if n := r.rm.DirtyPageCount(); n != 0 {
+		t.Errorf("%d dirty pages after reclamation", n)
+	}
+}
+
+func TestWriteAheadRuleOnSteal(t *testing.T) {
+	r := newRig(t, nil)
+	r.write(t, tid(1), "wal!")
+	durableBefore := r.lg.DurableLSN()
+	// Force the page out through the pager protocol.
+	if err := r.k.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.lg.DurableLSN() <= durableBefore {
+		t.Error("page steal did not force the log first (write-ahead violated)")
+	}
+	// The page header must carry the newest record LSN.
+	seq, err := r.k.ReadPageSeq(types.PageID{Segment: 1, Page: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Error("stolen page header has no sequence number")
+	}
+}
+
+func TestOperationLogging3PassAndPageSeqGuard(t *testing.T) {
+	r := newRig(t, nil)
+	// Operation-logged change: script bytes are the value to install.
+	if err := r.k.Write(obj, []byte("op01")); err != nil {
+		t.Fatal(err)
+	}
+	body := &wal.OperationBody{
+		Op:       "set",
+		RedoArgs: []byte("op01"),
+		UndoArgs: []byte{0, 0, 0, 0},
+		Pages:    []wal.PageSeq{{Page: types.PageID{Segment: 1, Page: 0}}},
+	}
+	if _, err := r.rm.LogOperation(tid(1), "srv", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rm.LogCommit(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Crash()
+	r.rm.Crash()
+
+	r2 := newRig(t, r.d)
+	report, err := r2.rm.Restart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Passes != 3 {
+		t.Errorf("operation log should take 3 passes, took %d", report.Passes)
+	}
+	if got := r2.read(t); got != "op01" {
+		t.Errorf("op redo missing: %q", got)
+	}
+	// Flush so the header records the redo; another restart must not
+	// re-apply (page-sequence guard).
+	if err := r2.k.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	r2.k.Crash()
+	r2.rm.Crash()
+	r3 := newRig(t, r.d)
+	report3, err := r3.rm.Restart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report3.Redone != 0 {
+		t.Errorf("page-sequence guard failed: %d redos on an up-to-date page", report3.Redone)
+	}
+}
+
+func TestHasLogged(t *testing.T) {
+	r := newRig(t, nil)
+	if r.rm.HasLogged(tid(1)) {
+		t.Error("fresh transaction has logged?")
+	}
+	r.write(t, tid(1), "mmmm")
+	if !r.rm.HasLogged(tid(1)) {
+		t.Error("written transaction has not logged?")
+	}
+}
+
+func TestValueRecordRejectsOversize(t *testing.T) {
+	r := newRig(t, nil)
+	big := bytes.Repeat([]byte("x"), types.PageSize+1)
+	_, err := r.rm.LogUpdate(tid(1), "srv", &wal.UpdateBody{Object: obj, Old: big, New: big})
+	if err == nil {
+		t.Error("value record larger than a page accepted (§2.1.3 limit)")
+	}
+}

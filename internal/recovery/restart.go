@@ -1,0 +1,453 @@
+package recovery
+
+import (
+	"fmt"
+
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// RestartReport summarizes a crash recovery run.
+type RestartReport struct {
+	// Passes is the number of scans over the log: 1 for the pure
+	// value-logging algorithm, 3 when operation records are present
+	// (§2.1.3: the operation-based algorithm "requires three passes over
+	// the log during crash recovery, instead of the single pass needed
+	// for the value-based algorithm").
+	Passes int
+	// RecordsScanned counts records visited across all passes.
+	RecordsScanned int
+	// Redone and Undone count applied redo/undo actions.
+	Redone int
+	Undone int
+	// Winners and Losers list resolved transactions.
+	Winners []types.TransID
+	Losers  []types.TransID
+	// InDoubt lists prepared transactions whose outcome had to be (or
+	// still must be) resolved with the commit coordinator.
+	InDoubt []types.TransID
+}
+
+// analysis is the outcome of the analysis pass.
+type analysis struct {
+	status      map[types.TransID]types.Status
+	lastLSN     map[types.TransID]wal.LSN
+	prepares    map[types.TransID]*wal.PrepareBody
+	compensated map[wal.LSN]bool
+	redoStart   wal.LSN
+	hasOps      bool
+	scanned     int
+}
+
+// Restart performs crash recovery: it scans the log from the last
+// checkpoint, determines the fate of every transaction (querying the
+// Transaction Manager / coordinator for in-doubt prepared transactions),
+// redoes the effects of winners, and undoes the effects of losers, leaving
+// recoverable segments reflecting "only the operations of committed and
+// prepared transactions" (§3.2.2).
+//
+// When the scanned log contains only value-logging records, Restart uses
+// the paper's single backward pass; otherwise the general three-pass
+// algorithm runs.
+func (m *Manager) Restart(src TransStatusSource) (*RestartReport, error) {
+	return m.restartFrom(src, wal.NilLSN)
+}
+
+// restartFrom is Restart with an optional redo floor: when floor is
+// nonzero the redo scan starts no later than it. Media recovery uses this
+// to replay the log over a restored archive in the same single pass
+// structure as crash recovery.
+func (m *Manager) restartFrom(src TransStatusSource, floor wal.LSN) (*RestartReport, error) {
+	a, err := m.analyze(src, floor)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve in-doubt prepared transactions before applying effects.
+	report := &RestartReport{RecordsScanned: a.scanned}
+	for tid, st := range a.status {
+		if st != types.StatusPrepared {
+			continue
+		}
+		report.InDoubt = append(report.InDoubt, tid)
+		resolved := types.StatusPrepared
+		if src != nil {
+			resolved = src.ResolveStatus(tid, a.prepares[tid])
+		}
+		switch resolved {
+		case types.StatusCommitted:
+			a.status[tid] = types.StatusCommitted
+		case types.StatusAborted:
+			// Treat as loser: the undo pass reverses it.
+			a.status[tid] = types.StatusActive
+		default:
+			// Still in doubt: effects persist (redo as winner), and the
+			// transaction stays prepared awaiting the coordinator.
+		}
+	}
+
+	if a.hasOps {
+		report.Passes = 3
+		if err := m.redoPass(a, report); err != nil {
+			return nil, err
+		}
+		if err := m.undoPass(a, report); err != nil {
+			return nil, err
+		}
+	} else {
+		report.Passes = 1
+		if err := m.singleBackwardPass(a, report); err != nil {
+			return nil, err
+		}
+	}
+
+	// Write abort records for losers and rebuild the live-transaction
+	// table: only still-prepared transactions survive restart.
+	for tid, st := range a.status {
+		switch st {
+		case types.StatusActive:
+			if _, err := m.append(&wal.Record{TID: tid, Type: wal.RecAbort}); err != nil {
+				return nil, err
+			}
+			report.Losers = append(report.Losers, tid)
+			m.mu.Lock()
+			delete(m.trans, tid)
+			m.mu.Unlock()
+		case types.StatusCommitted:
+			report.Winners = append(report.Winners, tid)
+			m.mu.Lock()
+			delete(m.trans, tid)
+			m.mu.Unlock()
+		case types.StatusPrepared:
+			m.mu.Lock()
+			m.trans[tid] = &transState{status: types.StatusPrepared, lastLSN: a.lastLSN[tid]}
+			m.mu.Unlock()
+		}
+	}
+	if err := m.log.Force(m.log.NextLSN()); err != nil {
+		return nil, err
+	}
+	// A fresh checkpoint bounds the next crash's recovery work.
+	if err := m.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// analyze scans forward from the last checkpoint, rebuilding transaction
+// statuses and finding the redo start point. Transaction-management
+// records are passed back to the Transaction Manager (§3.2.2).
+func (m *Manager) analyze(src TransStatusSource, floor wal.LSN) (*analysis, error) {
+	a := &analysis{
+		status:      make(map[types.TransID]types.Status),
+		lastLSN:     make(map[types.TransID]wal.LSN),
+		prepares:    make(map[types.TransID]*wal.PrepareBody),
+		compensated: make(map[wal.LSN]bool),
+	}
+	start := m.log.CheckpointLSN()
+	if start == wal.NilLSN {
+		start = m.log.LowLSN()
+	}
+	if floor != wal.NilLSN && floor < start {
+		start = floor
+	}
+	a.redoStart = start
+
+	// Seed from the checkpoint record, if any: its dirty pages may need
+	// redo from before the checkpoint, and its active transactions may
+	// need undo.
+	if ckpt := m.log.CheckpointLSN(); ckpt != wal.NilLSN {
+		r, err := m.log.ReadRecord(ckpt)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: reading checkpoint: %w", err)
+		}
+		body, err := wal.DecodeCheckpoint(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range body.DirtyPages {
+			if d.RecLSN < a.redoStart {
+				a.redoStart = d.RecLSN
+			}
+		}
+		for _, t := range body.Active {
+			a.status[t.TID] = t.Status
+			a.lastLSN[t.TID] = t.LastLSN
+			if t.FirstLSN != wal.NilLSN && t.FirstLSN < a.redoStart {
+				a.redoStart = t.FirstLSN
+			}
+		}
+	}
+
+	err := m.log.ScanForward(a.redoStart, func(r *wal.Record) (bool, error) {
+		a.scanned++
+		switch r.Type {
+		case wal.RecUpdate:
+			a.status[r.TID] = types.StatusActive
+			a.lastLSN[r.TID] = r.LSN
+		case wal.RecOperation:
+			a.status[r.TID] = types.StatusActive
+			a.lastLSN[r.TID] = r.LSN
+			a.hasOps = true
+		case wal.RecUpdateCLR, wal.RecOperationCLR:
+			clr, err := wal.DecodeCLR(r.Body)
+			if err != nil {
+				return false, err
+			}
+			a.compensated[clr.CompLSN] = true
+			a.lastLSN[r.TID] = r.LSN
+			if r.Type == wal.RecOperationCLR {
+				a.hasOps = true
+			}
+		case wal.RecCommit:
+			a.status[r.TID] = types.StatusCommitted
+			if src != nil {
+				src.RestoreTransRecord(r)
+			}
+		case wal.RecAbort:
+			a.status[r.TID] = types.StatusAborted
+			if src != nil {
+				src.RestoreTransRecord(r)
+			}
+		case wal.RecPrepare:
+			a.status[r.TID] = types.StatusPrepared
+			a.lastLSN[r.TID] = r.LSN
+			body, err := wal.DecodePrepare(r.Body)
+			if err != nil {
+				return false, err
+			}
+			a.prepares[r.TID] = body
+			if src != nil {
+				src.RestoreTransRecord(r)
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aborted transactions were fully compensated before their abort
+	// record was written; they need no further attention.
+	for tid, st := range a.status {
+		if st == types.StatusAborted {
+			delete(a.status, tid)
+		}
+	}
+	// Subtransactions commit with their top-level parent (§2.1.3): one
+	// commit (or prepare) record is written for the root, and every
+	// subtransaction that did not independently abort inherits its fate.
+	for tid, st := range a.status {
+		if st == types.StatusActive && !tid.IsTopLevel() {
+			if rst, ok := a.status[tid.TopLevel()]; ok &&
+				(rst == types.StatusCommitted || rst == types.StatusPrepared) {
+				a.status[tid] = rst
+			}
+		}
+	}
+	return a, nil
+}
+
+// redoPass repeats history forward from the redo start point: value
+// records are reinstalled unconditionally (physical, idempotent);
+// operation records consult the on-disk page sequence numbers and are
+// re-invoked only where the page has not yet absorbed them (§3.2.1).
+func (m *Manager) redoPass(a *analysis, report *RestartReport) error {
+	return m.log.ScanForward(a.redoStart, func(r *wal.Record) (bool, error) {
+		report.RecordsScanned++
+		switch r.Type {
+		case wal.RecUpdate, wal.RecUpdateCLR:
+			body, err := decodeUpdateMaybeCLR(r)
+			if err != nil {
+				return false, err
+			}
+			if err := m.applyValueRedo(r, body); err != nil {
+				return false, err
+			}
+			report.Redone++
+		case wal.RecOperation, wal.RecOperationCLR:
+			body, err := decodeOperationMaybeCLR(r)
+			if err != nil {
+				return false, err
+			}
+			need, err := m.operationNeedsRedo(r.LSN, body)
+			if err != nil {
+				return false, err
+			}
+			if need {
+				u := m.undoerFor(r.Server)
+				if u == nil {
+					return false, fmt.Errorf("%w: %q", ErrUnknownServer, r.Server)
+				}
+				if err := u.RedoOperation(r.TID, body); err != nil {
+					return false, err
+				}
+				// The redone effect lives in the buffer pool; record the
+				// page LSNs so the eventual write-back carries headers
+				// that make this redo idempotent across another crash.
+				pages := make([]types.PageID, 0, len(body.Pages))
+				for _, ps := range body.Pages {
+					pages = append(pages, ps.Page)
+				}
+				m.notePages(r.LSN, pages)
+				report.Redone++
+			}
+		}
+		return true, nil
+	})
+}
+
+// operationNeedsRedo applies the page-sequence test: if any page the
+// operation touched carries an on-disk sequence number older than the
+// record, the operation's effect is not fully on disk.
+func (m *Manager) operationNeedsRedo(lsn wal.LSN, o *wal.OperationBody) (bool, error) {
+	for _, ps := range o.Pages {
+		seq, err := m.k.ReadPageSeq(ps.Page)
+		if err != nil {
+			return false, err
+		}
+		if seq < uint64(lsn) {
+			return true, nil
+		}
+	}
+	return len(o.Pages) == 0, nil
+}
+
+// applyValueRedo installs the new value directly into the segment.
+func (m *Manager) applyValueRedo(r *wal.Record, body *wal.UpdateBody) error {
+	obj := body.Object
+	if uint32(len(body.New)) != obj.Length {
+		return fmt.Errorf("recovery: value record length mismatch for %v", obj)
+	}
+	return m.k.WriteDirect(obj, body.New, uint64(r.LSN))
+}
+
+// undoPass reverses losers newest-first along their backward chains,
+// logging CLRs exactly as a normal abort does.
+func (m *Manager) undoPass(a *analysis, report *RestartReport) error {
+	for tid, st := range a.status {
+		if st != types.StatusActive {
+			continue
+		}
+		if err := m.undoChainCounted(tid, a.lastLSN[tid], a.compensated, report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// undoChainCounted is undoChain with report accounting.
+func (m *Manager) undoChainCounted(tid types.TransID, last wal.LSN, pre map[wal.LSN]bool, report *RestartReport) error {
+	compensated := make(map[wal.LSN]bool, len(pre))
+	for l := range pre {
+		compensated[l] = true
+	}
+	var toUndo []*wal.Record
+	err := m.log.TransBackChain(last, func(r *wal.Record) (bool, error) {
+		report.RecordsScanned++
+		switch r.Type {
+		case wal.RecUpdateCLR, wal.RecOperationCLR:
+			clr, err := wal.DecodeCLR(r.Body)
+			if err != nil {
+				return false, err
+			}
+			compensated[clr.CompLSN] = true
+		case wal.RecUpdate, wal.RecOperation:
+			if !compensated[r.LSN] {
+				toUndo = append(toUndo, r)
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range toUndo {
+		if err := m.undoRecord(r); err != nil {
+			return err
+		}
+		report.Undone++
+	}
+	return nil
+}
+
+// singleBackwardPass is the paper's value-logging recovery algorithm: one
+// scan "that begins at the last log record written and proceeds backward",
+// resetting each object to its most recently committed value (§2.1.3). The
+// newest retained record for each object decides: winners' new values are
+// installed, losers' old values. CLRs written by completed aborts are
+// treated as winners' records, which installs the restored (pre-abort) old
+// value.
+func (m *Manager) singleBackwardPass(a *analysis, report *RestartReport) error {
+	done := make(map[types.ObjectID]bool)
+	end := m.log.NextLSN()
+	return m.log.ScanBackward(end, func(r *wal.Record) (bool, error) {
+		report.RecordsScanned++
+		if r.Type != wal.RecUpdate && r.Type != wal.RecUpdateCLR {
+			return true, nil
+		}
+		body, err := decodeUpdateMaybeCLR(r)
+		if err != nil {
+			return false, err
+		}
+		if done[body.Object] {
+			return true, nil
+		}
+		done[body.Object] = true
+		st := a.status[r.TID]
+		// Aborted transactions were dropped from a.status; their CLRs
+		// carry the value to reinstate, so they count as winners. Active
+		// transactions are losers.
+		loser := st == types.StatusActive && r.Type == wal.RecUpdate
+		val := body.New
+		if loser {
+			val = body.Old
+			report.Undone++
+		} else {
+			report.Redone++
+		}
+		if uint32(len(val)) != body.Object.Length {
+			return false, fmt.Errorf("recovery: value record length mismatch for %v", body.Object)
+		}
+		if err := m.k.WriteDirect(body.Object, val, uint64(r.LSN)); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+}
+
+func (m *Manager) undoerFor(s types.ServerID) Undoer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.undoers[s]
+}
+
+func decodeUpdateMaybeCLR(r *wal.Record) (*wal.UpdateBody, error) {
+	if r.Type == wal.RecUpdateCLR {
+		clr, err := wal.DecodeCLR(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return wal.DecodeUpdate(clr.Inner)
+	}
+	return wal.DecodeUpdate(r.Body)
+}
+
+func decodeOperationMaybeCLR(r *wal.Record) (*wal.OperationBody, error) {
+	if r.Type == wal.RecOperationCLR {
+		clr, err := wal.DecodeCLR(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return wal.DecodeOperation(clr.Inner)
+	}
+	return wal.DecodeOperation(r.Body)
+}
+
+// Crash drops the Recovery Manager's volatile state (dirty-page and
+// transaction tables). The log's durable contents survive via the disk.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty = make(map[types.PageID]wal.LSN)
+	m.pageLSN = make(map[types.PageID]wal.LSN)
+	m.trans = make(map[types.TransID]*transState)
+}

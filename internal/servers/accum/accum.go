@@ -1,0 +1,215 @@
+// Package accum implements an accumulator array server: the data server
+// the paper's Section 7 future work calls for, exercising the two
+// facilities the TABS libraries did not yet surface — operation (transi-
+// tion) logging and type-specific locking (§2.1.3, §7: "the server library
+// should provide a better set of primitives, including some for operation
+// logging and type-specific locking").
+//
+// The abstract type is an array of counters with an Increment(cell, delta)
+// operation. Because increments commute, a type-specific lock mode is
+// defined for them: two transactions may hold increment locks on the same
+// cell simultaneously (more concurrency than read/write locking permits),
+// while reads still exclude increments. Because two uncommitted
+// increments may interleave on one cell, value logging cannot recover the
+// cell — whose "old value" would capture the other transaction's
+// uncommitted delta — so the server logs operations instead: redo is
+// "add delta", undo is "add -delta", replayed through the server's
+// operation interpreter and guarded by the on-disk page sequence numbers
+// during the three-pass crash recovery (§3.2.1).
+package accum
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/lock"
+	"tabs/internal/srvlib"
+	"tabs/internal/types"
+)
+
+// CellSize is one counter: a 64-bit word.
+const CellSize = 8
+
+// ModeIncrement is the type-specific lock mode for commuting increments.
+const ModeIncrement = lock.ModeUser
+
+// Compat is the accumulator's type-specific compatibility relation:
+// reads share with reads, increments share with increments, and
+// everything else conflicts (a reader must not observe uncommitted
+// deltas; a writer must exclude everyone).
+func Compat(held, requested lock.Mode) bool {
+	if held == lock.ModeRead && requested == lock.ModeRead {
+		return true
+	}
+	if held == ModeIncrement && requested == ModeIncrement {
+		return true
+	}
+	return false
+}
+
+// Errors.
+var ErrIndexOutOfRange = errors.New("accum: index out of range")
+
+// Operation names.
+const (
+	OpGet       = "GetCounter"
+	OpIncrement = "Increment"
+	opAdd       = "add" // logged operation script
+)
+
+// Server is the accumulator data server.
+type Server struct {
+	srv     *srvlib.Server
+	maxCell uint32
+}
+
+// Attach creates (or re-attaches) an accumulator array of cells counters.
+func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, cells uint32, lockTimeout time.Duration) (*Server, error) {
+	pages := (cells*CellSize + types.PageSize - 1) / types.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	srv, err := n.NewServer(id, seg, pages, Compat, lockTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: srv, maxCell: cells}
+	// The operation interpreter runs both forward work and recovery
+	// redo/undo: a script is "add <cell> <delta>".
+	srv.RegisterOp(opAdd, s.applyAdd)
+	srv.AcceptRequests(s.dispatch)
+	return s, nil
+}
+
+// Lib exposes the underlying server library instance.
+func (s *Server) Lib() *srvlib.Server { return s.srv }
+
+func (s *Server) cellObject(cell uint32) (types.ObjectID, error) {
+	if cell < 1 || cell > s.maxCell {
+		return types.ObjectID{}, fmt.Errorf("%w: %d (max %d)", ErrIndexOutOfRange, cell, s.maxCell)
+	}
+	return s.srv.CreateObjectID(srvlib.VirtualAddress((cell-1)*CellSize), CellSize), nil
+}
+
+// applyAdd interprets one "add" script: cell (4 bytes) and delta (8
+// bytes). It is invoked for forward execution, for redo during crash
+// recovery, and — with a negated delta — for undo.
+func (s *Server) applyAdd(_ types.TransID, args []byte) error {
+	if len(args) != 12 {
+		return errors.New("accum: malformed add script")
+	}
+	cell := binary.BigEndian.Uint32(args[:4])
+	delta := int64(binary.BigEndian.Uint64(args[4:]))
+	obj, err := s.cellObject(cell)
+	if err != nil {
+		return err
+	}
+	if err := s.srv.PinObject(obj); err != nil {
+		return err
+	}
+	defer func() { _ = s.srv.UnPinObject(obj) }()
+	raw, err := s.srv.Read(obj)
+	if err != nil {
+		return err
+	}
+	v := int64(binary.BigEndian.Uint64(raw)) + delta
+	return s.srv.Write(obj, binary.BigEndian.AppendUint64(nil, uint64(v)))
+}
+
+func addScript(cell uint32, delta int64) []byte {
+	args := binary.BigEndian.AppendUint32(nil, cell)
+	args = binary.BigEndian.AppendUint64(args, uint64(delta))
+	return srvlib.Script(opAdd, args)
+}
+
+// increment applies a commuting increment under the type-specific lock
+// mode, logging the operation (not the value).
+func (s *Server) increment(tid types.TransID, cell uint32, delta int64) error {
+	obj, err := s.cellObject(cell)
+	if err != nil {
+		return err
+	}
+	if err := s.srv.LockObject(tid, obj, ModeIncrement); err != nil {
+		return err
+	}
+	if err := s.srv.RunScript(tid, addScript(cell, delta)); err != nil {
+		return err
+	}
+	return s.srv.LogOperation(tid, addScript(cell, delta), addScript(cell, -delta), obj)
+}
+
+// get reads a counter under a read lock, which excludes in-flight
+// increments (their deltas are uncommitted).
+func (s *Server) get(tid types.TransID, cell uint32) (int64, error) {
+	obj, err := s.cellObject(cell)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.srv.LockObject(tid, obj, lock.ModeRead); err != nil {
+		return 0, err
+	}
+	raw, err := s.srv.Read(obj)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(raw)), nil
+}
+
+func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
+	switch req.Op {
+	case OpIncrement:
+		if len(req.Body) != 12 {
+			return nil, errors.New("accum: Increment wants cell and delta")
+		}
+		cell := binary.BigEndian.Uint32(req.Body[:4])
+		delta := int64(binary.BigEndian.Uint64(req.Body[4:]))
+		return nil, s.increment(req.TID, cell, delta)
+	case OpGet:
+		if len(req.Body) != 4 {
+			return nil, errors.New("accum: GetCounter wants a cell number")
+		}
+		v, err := s.get(req.TID, binary.BigEndian.Uint32(req.Body))
+		if err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint64(nil, uint64(v)), nil
+	default:
+		return nil, fmt.Errorf("accum: unknown operation %q", req.Op)
+	}
+}
+
+// Client is the typed application stub.
+type Client struct {
+	node   *core.Node
+	target types.NodeID
+	server types.ServerID
+}
+
+// NewClient returns a stub for the accumulator id on node target.
+func NewClient(n *core.Node, target types.NodeID, id types.ServerID) *Client {
+	return &Client{node: n, target: target, server: id}
+}
+
+// Increment adds delta to counter cell within tid; concurrent increments
+// to the same cell do not block each other.
+func (c *Client) Increment(tid types.TransID, cell uint32, delta int64) error {
+	body := binary.BigEndian.AppendUint32(nil, cell)
+	body = binary.BigEndian.AppendUint64(body, uint64(delta))
+	_, err := c.node.CallRemote(c.target, c.server, OpIncrement, tid, body)
+	return err
+}
+
+// Get reads counter cell within tid.
+func (c *Client) Get(tid types.TransID, cell uint32) (int64, error) {
+	out, err := c.node.CallRemote(c.target, c.server, OpGet, tid, binary.BigEndian.AppendUint32(nil, cell))
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, errors.New("accum: malformed GetCounter reply")
+	}
+	return int64(binary.BigEndian.Uint64(out)), nil
+}

@@ -1,0 +1,278 @@
+package accum_test
+
+import (
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/accum"
+	"tabs/internal/types"
+)
+
+func newAccum(t *testing.T, cells uint32) (*core.Cluster, *core.Node, *accum.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("n1")
+	if _, err := accum.Attach(n, "acc", 1, cells, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return c, n, accum.NewClient(n, "n1", "acc")
+}
+
+func TestIncrementAndGet(t *testing.T) {
+	c, n, acc := newAccum(t, 16)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		if err := acc.Increment(tid, 1, 5); err != nil {
+			return err
+		}
+		return acc.Increment(tid, 1, 7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := acc.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 12 {
+			t.Errorf("counter = %d, want 12", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIncrementsDoNotBlock is the type-specific-locking payoff:
+// two uncommitted transactions increment the same cell simultaneously —
+// impossible under read/write locking.
+func TestConcurrentIncrementsDoNotBlock(t *testing.T) {
+	c, n, acc := newAccum(t, 16)
+	defer c.Shutdown()
+
+	t1, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Increment(t1, 3, 10); err != nil {
+		t.Fatalf("t1 increment: %v", err)
+	}
+	// t2's increment must be granted immediately despite t1's uncommitted
+	// increment lock on the same cell.
+	done := make(chan error, 1)
+	go func() { done <- acc.Increment(t2, 3, 32) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("t2 increment: %v", err)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("concurrent increment blocked: increment locks should commute")
+	}
+	if ok, err := n.App.EndTransaction(t1); err != nil || !ok {
+		t.Fatalf("commit t1: %v", err)
+	}
+	if ok, err := n.App.EndTransaction(t2); err != nil || !ok {
+		t.Fatalf("commit t2: %v", err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := acc.Get(tid, 3)
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("counter = %d, want 42", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadExcludesIncrement: a reader must not see uncommitted deltas.
+func TestReadExcludesIncrement(t *testing.T) {
+	c, n, acc := newAccum(t, 16)
+	defer c.Shutdown()
+	srv, _ := n.Server("acc")
+	srv.Locks().SetTimeout(100 * time.Millisecond)
+
+	t1, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Increment(t1, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	err = n.App.Run(func(tid types.TransID) error {
+		_, err := acc.Get(tid, 1)
+		return err
+	})
+	if err == nil {
+		t.Fatal("read should block (and time out) against an increment lock")
+	}
+	if err := n.App.AbortTransaction(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortUndoesOneOfTwoInterleaved: t1 and t2 both increment; t1
+// aborts; only t1's delta is reversed. Value logging could not do this —
+// the paper's motivation for operation logging (§2.1.3).
+func TestAbortUndoesOneOfTwoInterleaved(t *testing.T) {
+	c, n, acc := newAccum(t, 16)
+	defer c.Shutdown()
+
+	t1, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Increment(t1, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Increment(t2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.AbortTransaction(t1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := n.App.EndTransaction(t2); err != nil || !ok {
+		t.Fatalf("commit t2: %v", err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := acc.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			t.Errorf("counter = %d, want 1 (t1's 100 undone, t2's 1 kept)", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOperationLoggingCrashRecovery drives the three-pass recovery: the
+// page-sequence test must replay exactly the missing increments.
+func TestOperationLoggingCrashRecovery(t *testing.T) {
+	c, n, acc := newAccum(t, 16)
+
+	// Committed increments whose pages never reach disk before the crash.
+	for i := 0; i < 5; i++ {
+		if err := n.App.Run(func(tid types.TransID) error {
+			return acc.Increment(tid, 1, 10)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One in-flight increment, with a page steal so its effect hits disk.
+	tid, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Increment(tid, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Kernel.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash("n1")
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := accum.Attach(n2, "acc", 1, 16, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	report, err := n2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Passes != 3 {
+		t.Errorf("operation-logged recovery should take 3 passes, took %d", report.Passes)
+	}
+	if report.Undone == 0 {
+		t.Error("the in-flight increment should have been undone")
+	}
+
+	acc2 := accum.NewClient(n2, "n1", "acc")
+	if err := n2.App.Run(func(tid types.TransID) error {
+		v, err := acc2.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 50 {
+			t.Errorf("counter = %d, want 50 (5×10 committed, 1000 undone)", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+}
+
+// TestRecoveryIdempotence: crash again immediately after recovery; the
+// page-sequence numbers must prevent double-applying redone increments.
+func TestRecoveryIdempotence(t *testing.T) {
+	c, n, acc := newAccum(t, 16)
+	for i := 0; i < 3; i++ {
+		if err := n.App.Run(func(tid types.TransID) error {
+			return acc.Increment(tid, 2, 7)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash("n1")
+	for round := 0; round < 3; round++ {
+		n2, err := c.Reboot("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := accum.Attach(n2, "acc", 1, 16, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n2.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		acc2 := accum.NewClient(n2, "n1", "acc")
+		var v int64
+		if err := n2.App.Run(func(tid types.TransID) error {
+			var gerr error
+			v, gerr = acc2.Get(tid, 2)
+			return gerr
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if v != 21 {
+			t.Fatalf("round %d: counter = %d, want 21 (recovery must be idempotent)", round, v)
+		}
+		c.Crash("n1")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	c, n, acc := newAccum(t, 4)
+	defer c.Shutdown()
+	err := n.App.Run(func(tid types.TransID) error {
+		return acc.Increment(tid, 5, 1)
+	})
+	if err == nil {
+		t.Fatal("increment past the end should fail")
+	}
+}

@@ -1,0 +1,732 @@
+// Package btree implements the TABS B-tree server (paper §4.4): arbitrary
+// collections of directory entries kept in a B-tree inside a recoverable
+// segment, with the recoverable storage allocator the paper describes —
+// storage allocated by a transaction that later aborts is made available
+// for re-use, because the allocator's bitmap is value-logged like any
+// other object.
+//
+// The server was the paper's porting exercise: an existing B-tree program
+// was brought into TABS by wrapping its page modifications in the
+// LockAndMark / PinAndBufferMarkedObjects / LogAndUnPinMarkedObjects
+// protocol so no locks are requested while pages are pinned. This
+// implementation uses exactly that protocol: every mutation first locks
+// and marks all the pages it will touch, then pins and buffers them all,
+// applies the changes, and logs them in one sweep.
+//
+// It is the storage layer of the replicated directory (§4.5).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/lock"
+	"tabs/internal/srvlib"
+	"tabs/internal/types"
+)
+
+// Fixed entry geometry. Keys and values are zero-padded byte strings.
+const (
+	KeySize   = 16
+	ValueSize = 32
+
+	leafEntry  = KeySize + ValueSize     // 48 bytes
+	leafMax    = (types.PageSize - 4) / leafEntry // 10 entries
+	innerEntry = KeySize + 4             // key + child page
+	innerMax   = (types.PageSize - 8) / innerEntry // 25 keys
+)
+
+// Page roles.
+const (
+	pageFree  byte = 0
+	pageLeaf  byte = 1
+	pageInner byte = 2
+)
+
+// Segment layout: page 0 metadata, page 1 allocator bitmap, data from 2.
+const (
+	metaPage   = 0
+	bitmapPage = 1
+	firstData  = 2
+)
+
+// Errors.
+var (
+	ErrKeyExists   = errors.New("btree: key already exists")
+	ErrKeyNotFound = errors.New("btree: key not found")
+	ErrKeyTooLong  = errors.New("btree: key exceeds 16 bytes")
+	ErrValTooLong  = errors.New("btree: value exceeds 32 bytes")
+	ErrFull        = errors.New("btree: segment out of pages")
+)
+
+// Operation names.
+const (
+	OpInsert = "Insert"
+	OpLookup = "Lookup"
+	OpUpdate = "Update"
+	OpDelete = "Delete"
+	OpList   = "List"
+)
+
+// Server is the B-tree data server.
+type Server struct {
+	srv   *srvlib.Server
+	pages uint32
+}
+
+// Attach creates (or re-attaches) a B-tree server whose segment holds
+// pages pages (≥ 8).
+func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, pages uint32, lockTimeout time.Duration) (*Server, error) {
+	if pages < 8 {
+		pages = 8
+	}
+	if pages > 8*types.PageSize {
+		return nil, fmt.Errorf("btree: %d pages exceeds one bitmap page", pages)
+	}
+	srv, err := n.NewServer(id, seg, pages, nil, lockTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: srv, pages: pages}
+	if err := s.format(); err != nil {
+		return nil, err
+	}
+	srv.AcceptRequests(s.dispatch)
+	return s, nil
+}
+
+// Lib exposes the underlying server library instance.
+func (s *Server) Lib() *srvlib.Server { return s.srv }
+
+// --- objects -----------------------------------------------------------------
+
+func (s *Server) metaObject() types.ObjectID { return s.srv.CreateObjectID(0, 8) }
+
+func (s *Server) pageObject(page uint32) types.ObjectID {
+	return s.srv.CreateObjectID(srvlib.VirtualAddress(page*types.PageSize), types.PageSize)
+}
+
+func (s *Server) bitmapByteObject(page uint32) types.ObjectID {
+	return s.srv.CreateObjectID(srvlib.VirtualAddress(bitmapPage*types.PageSize+page/8), 1)
+}
+
+// --- formatting -----------------------------------------------------------------
+
+// format initializes a fresh tree: a root leaf at firstData. Idempotent:
+// an already formatted segment is left alone (the magic survives crashes).
+func (s *Server) format() error {
+	raw, err := s.srv.Read(s.metaObject())
+	if err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(raw[:4]) == 0xB7EE0001 {
+		return nil
+	}
+	// Fresh segment: initialize outside any transaction via direct,
+	// unlogged kernel writes (the state before first use is all-zero
+	// either way, so there is nothing to undo).
+	meta := make([]byte, 8)
+	binary.BigEndian.PutUint32(meta[:4], 0xB7EE0001)
+	binary.BigEndian.PutUint32(meta[4:], firstData)
+	root := make([]byte, types.PageSize)
+	root[0] = pageLeaf
+	bm := make([]byte, types.PageSize)
+	bm[0] = 0x7 // pages 0..2 (meta, bitmap, root) used
+	if err := s.rawWrite(s.metaObject(), meta); err != nil {
+		return err
+	}
+	if err := s.rawWrite(s.pageObject(bitmapPage), bm); err != nil {
+		return err
+	}
+	return s.rawWrite(s.pageObject(firstData), root)
+}
+
+// rawWrite pins, writes, unpins without logging (formatting only).
+func (s *Server) rawWrite(obj types.ObjectID, data []byte) error {
+	if err := s.srv.PinObject(obj); err != nil {
+		return err
+	}
+	if err := s.srv.Write(obj, data); err != nil {
+		_ = s.srv.UnPinObject(obj)
+		return err
+	}
+	return s.srv.UnPinObject(obj)
+}
+
+// --- node model -------------------------------------------------------------------
+
+type node struct {
+	page     uint32
+	kind     byte
+	keys     [][]byte
+	vals     [][]byte // leaf values
+	children []uint32 // inner children (len = len(keys)+1)
+}
+
+func (s *Server) readNode(page uint32) (*node, error) {
+	raw, err := s.srv.Read(s.pageObject(page))
+	if err != nil {
+		return nil, err
+	}
+	n := &node{page: page, kind: raw[0]}
+	count := int(raw[1])
+	switch n.kind {
+	case pageLeaf:
+		off := 4
+		for i := 0; i < count; i++ {
+			n.keys = append(n.keys, trimKey(raw[off:off+KeySize]))
+			n.vals = append(n.vals, trimKey(raw[off+KeySize:off+leafEntry]))
+			off += leafEntry
+		}
+	case pageInner:
+		n.children = append(n.children, binary.BigEndian.Uint32(raw[4:8]))
+		off := 8
+		for i := 0; i < count; i++ {
+			n.keys = append(n.keys, trimKey(raw[off:off+KeySize]))
+			n.children = append(n.children, binary.BigEndian.Uint32(raw[off+KeySize:off+innerEntry]))
+			off += innerEntry
+		}
+	default:
+		return nil, fmt.Errorf("btree: page %d is not a tree node (kind %d)", page, raw[0])
+	}
+	return n, nil
+}
+
+func (n *node) encode() []byte {
+	raw := make([]byte, types.PageSize)
+	raw[0] = n.kind
+	raw[1] = byte(len(n.keys))
+	switch n.kind {
+	case pageLeaf:
+		off := 4
+		for i := range n.keys {
+			copy(raw[off:off+KeySize], pad(n.keys[i], KeySize))
+			copy(raw[off+KeySize:off+leafEntry], pad(n.vals[i], ValueSize))
+			off += leafEntry
+		}
+	case pageInner:
+		binary.BigEndian.PutUint32(raw[4:8], n.children[0])
+		off := 8
+		for i := range n.keys {
+			copy(raw[off:off+KeySize], pad(n.keys[i], KeySize))
+			binary.BigEndian.PutUint32(raw[off+KeySize:off+innerEntry], n.children[i+1])
+			off += innerEntry
+		}
+	}
+	return raw
+}
+
+func pad(b []byte, n int) []byte {
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// trimKey strips zero padding.
+func trimKey(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return append([]byte(nil), b[:end]...)
+}
+
+func (s *Server) rootPage() (uint32, error) {
+	raw, err := s.srv.Read(s.metaObject())
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(raw[4:]), nil
+}
+
+// --- allocator ----------------------------------------------------------------------
+
+// allocPages reserves count free pages. The caller has already locked and
+// marked the affected bitmap bytes; the bit flips applied here are logged
+// by the caller's LogAndUnPinMarkedObjects sweep, so an abort frees the
+// pages again — the recoverable storage allocator of §4.4.
+func (s *Server) freePages(count int) ([]uint32, error) {
+	raw, err := s.srv.Read(s.pageObject(bitmapPage))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, 0, count)
+	for p := uint32(firstData); p < s.pages && len(out) < count; p++ {
+		if raw[p/8]&(1<<(p%8)) == 0 {
+			out = append(out, p)
+		}
+	}
+	if len(out) < count {
+		return nil, ErrFull
+	}
+	return out, nil
+}
+
+// --- mutation protocol helpers ---------------------------------------------------------
+
+// mutation gathers the LockAndMark set for one structural change.
+type mutation struct {
+	s       *Server
+	tid     types.TransID
+	objs    []types.ObjectID
+	writes  map[types.ObjectID][]byte
+	ordered []types.ObjectID
+}
+
+func (s *Server) newMutation(tid types.TransID) *mutation {
+	return &mutation{s: s, tid: tid, writes: make(map[types.ObjectID][]byte)}
+}
+
+// stage locks and marks obj and queues data to be written to it.
+func (m *mutation) stage(obj types.ObjectID, data []byte) error {
+	if _, seen := m.writes[obj]; !seen {
+		if err := m.s.srv.LockAndMark(m.tid, obj, lock.ModeWrite); err != nil {
+			return err
+		}
+		m.ordered = append(m.ordered, obj)
+	}
+	m.writes[obj] = data
+	return nil
+}
+
+// apply runs the marked-objects protocol: pin and buffer everything, make
+// the changes, log and unpin everything.
+func (m *mutation) apply() error {
+	if err := m.s.srv.PinAndBufferMarkedObjects(m.tid); err != nil {
+		return err
+	}
+	for _, obj := range m.ordered {
+		if err := m.s.srv.Write(obj, m.writes[obj]); err != nil {
+			return err
+		}
+	}
+	return m.s.srv.LogAndUnPinMarkedObjects(m.tid)
+}
+
+// --- operations --------------------------------------------------------------------------
+
+// lookup finds key's value.
+func (s *Server) lookup(tid types.TransID, key []byte) ([]byte, error) {
+	if err := s.srv.LockObject(tid, s.metaObject(), lock.ModeRead); err != nil {
+		return nil, err
+	}
+	page, err := s.rootPage()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		n, err := s.readNode(page)
+		if err != nil {
+			return nil, err
+		}
+		if n.kind == pageLeaf {
+			for i, k := range n.keys {
+				if bytes.Equal(k, key) {
+					return n.vals[i], nil
+				}
+			}
+			return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		page = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// childIndex returns which child of an inner node covers key.
+func childIndex(keys [][]byte, key []byte) int {
+	i := 0
+	for i < len(keys) && bytes.Compare(key, keys[i]) >= 0 {
+		i++
+	}
+	return i
+}
+
+// path returns the nodes from root to the leaf covering key.
+func (s *Server) path(key []byte) ([]*node, error) {
+	page, err := s.rootPage()
+	if err != nil {
+		return nil, err
+	}
+	var out []*node
+	for {
+		n, err := s.readNode(page)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if n.kind == pageLeaf {
+			return out, nil
+		}
+		page = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// insert adds key -> val.
+func (s *Server) insert(tid types.TransID, key, val []byte) error {
+	if err := s.check(key, val); err != nil {
+		return err
+	}
+	if err := s.srv.LockObject(tid, s.metaObject(), lock.ModeWrite); err != nil {
+		return err
+	}
+	nodes, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	leaf := nodes[len(nodes)-1]
+	for _, k := range leaf.keys {
+		if bytes.Equal(k, key) {
+			return fmt.Errorf("%w: %q", ErrKeyExists, key)
+		}
+	}
+	// Count splits: the leaf splits if full; each full ancestor splits in
+	// turn; a root split needs one more page.
+	splits := 0
+	if len(leaf.keys) >= leafMax {
+		splits = 1
+		for i := len(nodes) - 2; i >= 0 && len(nodes[i].keys) >= innerMax; i-- {
+			splits++
+		}
+		if splits == len(nodes) {
+			splits++ // new root
+		}
+	}
+	mut := s.newMutation(tid)
+	var fresh []uint32
+	if splits > 0 {
+		fresh, err = s.freePages(splits)
+		if err != nil {
+			return err
+		}
+		// Stage the bitmap bytes with the new bits set.
+		raw, err := s.srv.Read(s.pageObject(bitmapPage))
+		if err != nil {
+			return err
+		}
+		touched := map[uint32][]byte{}
+		for _, p := range fresh {
+			idx := p / 8
+			b, ok := touched[idx]
+			if !ok {
+				b = []byte{raw[idx]}
+				touched[idx] = b
+			}
+			b[0] |= 1 << (p % 8)
+		}
+		for idx, b := range touched {
+			if err := mut.stage(s.bitmapByteObject(idx*8), b); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Insert into the leaf.
+	pos := 0
+	for pos < len(leaf.keys) && bytes.Compare(leaf.keys[pos], key) < 0 {
+		pos++
+	}
+	leaf.keys = append(leaf.keys[:pos], append([][]byte{key}, leaf.keys[pos:]...)...)
+	leaf.vals = append(leaf.vals[:pos], append([][]byte{val}, leaf.vals[pos:]...)...)
+
+	// Propagate splits upward.
+	nextFresh := 0
+	carryKey, carryPage := []byte(nil), uint32(0)
+	for level := len(nodes) - 1; level >= 0; level-- {
+		n := nodes[level]
+		if carryKey != nil {
+			// Insert the separator from the lower split.
+			i := childIndex(n.keys, carryKey)
+			n.keys = append(n.keys[:i], append([][]byte{carryKey}, n.keys[i:]...)...)
+			n.children = append(n.children[:i+1], append([]uint32{carryPage}, n.children[i+1:]...)...)
+			carryKey = nil
+		}
+		limit := leafMax
+		if n.kind == pageInner {
+			limit = innerMax
+		}
+		if len(n.keys) <= limit {
+			if err := mut.stage(s.pageObject(n.page), n.encode()); err != nil {
+				return err
+			}
+			break
+		}
+		// Split n: right sibling gets the upper half.
+		right := &node{page: fresh[nextFresh], kind: n.kind}
+		nextFresh++
+		mid := len(n.keys) / 2
+		if n.kind == pageLeaf {
+			right.keys = append(right.keys, n.keys[mid:]...)
+			right.vals = append(right.vals, n.vals[mid:]...)
+			n.keys = n.keys[:mid]
+			n.vals = n.vals[:mid]
+			carryKey = right.keys[0]
+		} else {
+			carryKey = n.keys[mid]
+			right.keys = append(right.keys, n.keys[mid+1:]...)
+			right.children = append(right.children, n.children[mid+1:]...)
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+		}
+		carryPage = right.page
+		if err := mut.stage(s.pageObject(n.page), n.encode()); err != nil {
+			return err
+		}
+		if err := mut.stage(s.pageObject(right.page), right.encode()); err != nil {
+			return err
+		}
+		if level == 0 {
+			// New root.
+			root := &node{page: fresh[nextFresh], kind: pageInner}
+			nextFresh++
+			root.keys = [][]byte{carryKey}
+			root.children = []uint32{n.page, right.page}
+			if err := mut.stage(s.pageObject(root.page), root.encode()); err != nil {
+				return err
+			}
+			meta := make([]byte, 8)
+			binary.BigEndian.PutUint32(meta[:4], 0xB7EE0001)
+			binary.BigEndian.PutUint32(meta[4:], root.page)
+			if err := mut.stage(s.metaObject(), meta); err != nil {
+				return err
+			}
+			carryKey = nil
+		}
+	}
+	return mut.apply()
+}
+
+// update replaces an existing key's value (the paper's "modify").
+func (s *Server) update(tid types.TransID, key, val []byte) error {
+	if err := s.check(key, val); err != nil {
+		return err
+	}
+	if err := s.srv.LockObject(tid, s.metaObject(), lock.ModeWrite); err != nil {
+		return err
+	}
+	nodes, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	leaf := nodes[len(nodes)-1]
+	for i, k := range leaf.keys {
+		if bytes.Equal(k, key) {
+			leaf.vals[i] = val
+			mut := s.newMutation(tid)
+			if err := mut.stage(s.pageObject(leaf.page), leaf.encode()); err != nil {
+				return err
+			}
+			return mut.apply()
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+}
+
+// delete removes a key. Underflowing leaves are left in place (lazy
+// deletion); their space is reclaimed when later inserts refill them.
+func (s *Server) delete(tid types.TransID, key []byte) error {
+	if len(key) > KeySize {
+		return ErrKeyTooLong
+	}
+	if err := s.srv.LockObject(tid, s.metaObject(), lock.ModeWrite); err != nil {
+		return err
+	}
+	nodes, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	leaf := nodes[len(nodes)-1]
+	for i, k := range leaf.keys {
+		if bytes.Equal(k, key) {
+			leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+			leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+			mut := s.newMutation(tid)
+			if err := mut.stage(s.pageObject(leaf.page), leaf.encode()); err != nil {
+				return err
+			}
+			return mut.apply()
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+}
+
+// list returns all keys and values in order.
+func (s *Server) list(tid types.TransID) ([][2][]byte, error) {
+	if err := s.srv.LockObject(tid, s.metaObject(), lock.ModeRead); err != nil {
+		return nil, err
+	}
+	root, err := s.rootPage()
+	if err != nil {
+		return nil, err
+	}
+	var out [][2][]byte
+	var walk func(page uint32) error
+	walk = func(page uint32) error {
+		n, err := s.readNode(page)
+		if err != nil {
+			return err
+		}
+		if n.kind == pageLeaf {
+			for i := range n.keys {
+				out = append(out, [2][]byte{n.keys[i], n.vals[i]})
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Server) check(key, val []byte) error {
+	if len(key) > KeySize || len(key) == 0 {
+		return ErrKeyTooLong
+	}
+	if len(val) > ValueSize {
+		return ErrValTooLong
+	}
+	return nil
+}
+
+// --- dispatch & client ------------------------------------------------------------------
+
+// dispatch routes operation requests. Bodies are length-prefixed key then
+// value.
+func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
+	key, val, err := decodeKV(req.Body)
+	if err != nil && req.Op != OpList {
+		return nil, err
+	}
+	switch req.Op {
+	case OpInsert:
+		return nil, s.insert(req.TID, key, val)
+	case OpUpdate:
+		return nil, s.update(req.TID, key, val)
+	case OpDelete:
+		return nil, s.delete(req.TID, key)
+	case OpLookup:
+		v, err := s.lookup(req.TID, key)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case OpList:
+		pairs, err := s.list(req.TID)
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		out = binary.BigEndian.AppendUint32(out, uint32(len(pairs)))
+		for _, p := range pairs {
+			out = appendBytes(out, p[0])
+			out = appendBytes(out, p[1])
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("btree: unknown operation %q", req.Op)
+	}
+}
+
+func encodeKV(key, val []byte) []byte {
+	return appendBytes(appendBytes(nil, key), val)
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(data)))
+	return append(b, data...)
+}
+
+func decodeKV(b []byte) (key, val []byte, err error) {
+	key, b, err = takeBytes(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	val, _, err = takeBytes(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return key, val, nil
+}
+
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, errors.New("btree: short request")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return nil, nil, errors.New("btree: short request body")
+	}
+	return b[:n], b[n:], nil
+}
+
+// Client is the typed application stub for a B-tree server.
+type Client struct {
+	node   *core.Node
+	target types.NodeID
+	server types.ServerID
+}
+
+// NewClient returns a stub for the B-tree server id on node target.
+func NewClient(n *core.Node, target types.NodeID, id types.ServerID) *Client {
+	return &Client{node: n, target: target, server: id}
+}
+
+// Insert adds key -> val within tid.
+func (c *Client) Insert(tid types.TransID, key, val []byte) error {
+	_, err := c.node.CallRemote(c.target, c.server, OpInsert, tid, encodeKV(key, val))
+	return err
+}
+
+// Update replaces key's value within tid.
+func (c *Client) Update(tid types.TransID, key, val []byte) error {
+	_, err := c.node.CallRemote(c.target, c.server, OpUpdate, tid, encodeKV(key, val))
+	return err
+}
+
+// Delete removes key within tid.
+func (c *Client) Delete(tid types.TransID, key []byte) error {
+	_, err := c.node.CallRemote(c.target, c.server, OpDelete, tid, encodeKV(key, nil))
+	return err
+}
+
+// Lookup returns key's value within tid.
+func (c *Client) Lookup(tid types.TransID, key []byte) ([]byte, error) {
+	return c.node.CallRemote(c.target, c.server, OpLookup, tid, encodeKV(key, nil))
+}
+
+// List returns every (key, value) pair in key order within tid.
+func (c *Client) List(tid types.TransID) ([][2][]byte, error) {
+	out, err := c.node.CallRemote(c.target, c.server, OpList, tid, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) < 4 {
+		return nil, errors.New("btree: malformed List reply")
+	}
+	count := int(binary.BigEndian.Uint32(out))
+	out = out[4:]
+	pairs := make([][2][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		var k, v []byte
+		k, out, err = takeBytes(out)
+		if err != nil {
+			return nil, err
+		}
+		v, out, err = takeBytes(out)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, [2][]byte{k, v})
+	}
+	return pairs, nil
+}

@@ -1,0 +1,158 @@
+package btree_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/btree"
+	"tabs/internal/types"
+)
+
+// TestBTreeMatchesModelQuick drives random operation sequences (insert,
+// update, delete, with random per-transaction aborts) against both the
+// B-tree server and a plain map, then checks List agrees with the map —
+// content, count, and key order. testing/quick generates the operation
+// scripts.
+func TestBTreeMatchesModelQuick(t *testing.T) {
+	type opcode struct {
+		Kind  uint8
+		Key   uint8
+		Val   uint16
+		Abort bool
+	}
+	run := func(seed int64, ops []opcode) bool {
+		c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		defer c.Shutdown()
+		n := c.Node("n1")
+		if _, err := btree.Attach(n, "dir", 1, 256, time.Second); err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		if _, err := n.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		tr := btree.NewClient(n, "n1", "dir")
+		model := map[string]string{}
+		induced := errors.New("induced")
+
+		for _, op := range ops {
+			key := fmt.Sprintf("k%03d", op.Key%40)
+			val := fmt.Sprintf("v%05d", op.Val)
+			_, inModel := model[key]
+			err := n.App.Run(func(tid types.TransID) error {
+				var oerr error
+				switch op.Kind % 3 {
+				case 0:
+					oerr = tr.Insert(tid, []byte(key), []byte(val))
+				case 1:
+					oerr = tr.Update(tid, []byte(key), []byte(val))
+				case 2:
+					oerr = tr.Delete(tid, []byte(key))
+				}
+				if oerr != nil {
+					return oerr
+				}
+				if op.Abort {
+					return induced
+				}
+				return nil
+			})
+			switch {
+			case errors.Is(err, induced):
+				// Aborted: the model is untouched.
+			case err == nil:
+				switch op.Kind % 3 {
+				case 0:
+					if inModel {
+						t.Errorf("insert of existing %q succeeded", key)
+						return false
+					}
+					model[key] = val
+				case 1:
+					if !inModel {
+						t.Errorf("update of missing %q succeeded", key)
+						return false
+					}
+					model[key] = val
+				case 2:
+					if !inModel {
+						t.Errorf("delete of missing %q succeeded", key)
+						return false
+					}
+					delete(model, key)
+				}
+			default:
+				// The operation failed legitimately (duplicate insert,
+				// missing key); the server must agree with the model
+				// about why.
+				okFail := (op.Kind%3 == 0 && inModel) || (op.Kind%3 != 0 && !inModel)
+				if !okFail {
+					t.Errorf("op %d on %q failed unexpectedly: %v", op.Kind%3, key, err)
+					return false
+				}
+			}
+		}
+
+		// Final comparison.
+		ok := true
+		if err := n.App.Run(func(tid types.TransID) error {
+			pairs, err := tr.List(tid)
+			if err != nil {
+				return err
+			}
+			if len(pairs) != len(model) {
+				t.Errorf("tree has %d entries, model %d", len(pairs), len(model))
+				ok = false
+			}
+			prev := ""
+			for _, p := range pairs {
+				k, v := string(p[0]), string(p[1])
+				if prev != "" && strings.Compare(prev, k) >= 0 {
+					t.Errorf("order violation: %q then %q", prev, k)
+					ok = false
+				}
+				prev = k
+				if model[k] != v {
+					t.Errorf("tree[%q]=%q, model %q", k, v, model[k])
+					ok = false
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Errorf("list: %v", err)
+			return false
+		}
+		return ok
+	}
+
+	cfg := &quick.Config{
+		MaxCount: 8,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(rng.Int63())
+			n := 30 + rng.Intn(50)
+			ops := make([]opcode, n)
+			for i := range ops {
+				ops[i] = opcode{
+					Kind:  uint8(rng.Intn(3)),
+					Key:   uint8(rng.Intn(40)),
+					Val:   uint16(rng.Intn(1 << 16)),
+					Abort: rng.Intn(5) == 0,
+				}
+			}
+			args[1] = reflect.ValueOf(ops)
+		},
+	}
+	f := func(seed int64, ops []opcode) bool { return run(seed, ops) }
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

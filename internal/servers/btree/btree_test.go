@@ -1,0 +1,246 @@
+package btree_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/btree"
+	"tabs/internal/types"
+)
+
+func newTree(t *testing.T, pages uint32) (*core.Cluster, *core.Node, *btree.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("n1")
+	if _, err := btree.Attach(n, "dir", 1, pages, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return c, n, btree.NewClient(n, "n1", "dir")
+}
+
+func TestInsertLookup(t *testing.T) {
+	c, n, tr := newTree(t, 64)
+	defer c.Shutdown()
+	err := n.App.Run(func(tid types.TransID) error {
+		if err := tr.Insert(tid, []byte("alpha"), []byte("1")); err != nil {
+			return err
+		}
+		if err := tr.Insert(tid, []byte("beta"), []byte("2")); err != nil {
+			return err
+		}
+		v, err := tr.Lookup(tid, []byte("alpha"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "1" {
+			t.Errorf("alpha = %q, want 1", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("txn: %v", err)
+	}
+}
+
+func TestDuplicateInsertFails(t *testing.T) {
+	c, n, tr := newTree(t, 64)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		return tr.Insert(tid, []byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := n.App.Run(func(tid types.TransID) error {
+		return tr.Insert(tid, []byte("k"), []byte("w"))
+	})
+	if err == nil || !strings.Contains(err.Error(), "exists") {
+		t.Fatalf("want duplicate error, got %v", err)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	c, n, tr := newTree(t, 64)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		if err := tr.Insert(tid, []byte("k"), []byte("v1")); err != nil {
+			return err
+		}
+		if err := tr.Update(tid, []byte("k"), []byte("v2")); err != nil {
+			return err
+		}
+		v, err := tr.Lookup(tid, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "v2" {
+			t.Errorf("after update: %q", v)
+		}
+		if err := tr.Delete(tid, []byte("k")); err != nil {
+			return err
+		}
+		_, err = tr.Lookup(tid, []byte("k"))
+		if err == nil {
+			t.Error("lookup after delete should fail")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("txn: %v", err)
+	}
+}
+
+// TestManyKeysSplits drives enough inserts to force leaf and inner splits,
+// then verifies contents and ordering against a model map.
+func TestManyKeysSplits(t *testing.T) {
+	c, n, tr := newTree(t, 256)
+	defer c.Shutdown()
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(10000))
+		if _, dup := model[k]; dup {
+			continue
+		}
+		v := fmt.Sprintf("v%d", i)
+		model[k] = v
+		if err := n.App.Run(func(tid types.TransID) error {
+			return tr.Insert(tid, []byte(k), []byte(v))
+		}); err != nil {
+			t.Fatalf("insert %s: %v", k, err)
+		}
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		pairs, err := tr.List(tid)
+		if err != nil {
+			return err
+		}
+		if len(pairs) != len(model) {
+			t.Errorf("list has %d entries, model %d", len(pairs), len(model))
+		}
+		prev := []byte(nil)
+		for _, p := range pairs {
+			if prev != nil && bytes.Compare(prev, p[0]) >= 0 {
+				t.Errorf("keys out of order: %q then %q", prev, p[0])
+			}
+			prev = p[0]
+			if model[string(p[0])] != string(p[1]) {
+				t.Errorf("key %q = %q, model %q", p[0], p[1], model[string(p[0])])
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// TestAbortedInsertRollsBackSplits aborts a transaction whose inserts
+// caused page splits and allocator activity, and verifies the tree (and
+// allocator) return to their prior state.
+func TestAbortedInsertRollsBackSplits(t *testing.T) {
+	c, n, tr := newTree(t, 128)
+	defer c.Shutdown()
+	for i := 0; i < 9; i++ {
+		k := fmt.Sprintf("stable-%02d", i)
+		if err := n.App.Run(func(tid types.TransID) error {
+			return tr.Insert(tid, []byte(k), []byte("keep"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("boom")
+	err := n.App.Run(func(tid types.TransID) error {
+		for i := 0; i < 30; i++ {
+			k := fmt.Sprintf("doomed-%02d", i)
+			if err := tr.Insert(tid, []byte(k), []byte("drop")); err != nil {
+				return err
+			}
+		}
+		return boom // forces splits to be undone, pages freed
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		pairs, err := tr.List(tid)
+		if err != nil {
+			return err
+		}
+		if len(pairs) != 9 {
+			t.Errorf("after abort: %d entries, want 9", len(pairs))
+		}
+		for _, p := range pairs {
+			if !strings.HasPrefix(string(p[0]), "stable-") {
+				t.Errorf("unexpected survivor %q", p[0])
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The freed pages must be reusable: insert enough to split again.
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("new-%02d", i)
+		if err := n.App.Run(func(tid types.TransID) error {
+			return tr.Insert(tid, []byte(k), []byte("v"))
+		}); err != nil {
+			t.Fatalf("reuse insert %d: %v", i, err)
+		}
+	}
+}
+
+// TestBTreeCrashRecovery commits a tree with splits, crashes the node, and
+// verifies the reloaded tree is intact.
+func TestBTreeCrashRecovery(t *testing.T) {
+	c, n, tr := newTree(t, 256)
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if err := n.App.Run(func(tid types.TransID) error {
+			return tr.Insert(tid, []byte(k), []byte(fmt.Sprintf("v%d", i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash("n1")
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := btree.Attach(n2, "dir", 1, 256, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := btree.NewClient(n2, "n1", "dir")
+	if err := n2.App.Run(func(tid types.TransID) error {
+		pairs, err := tr2.List(tid)
+		if err != nil {
+			return err
+		}
+		if len(pairs) != 40 {
+			t.Errorf("after crash: %d entries, want 40", len(pairs))
+		}
+		v, err := tr2.Lookup(tid, []byte("k017"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "v17" {
+			t.Errorf("k017 = %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	c.Shutdown()
+}

@@ -1,0 +1,167 @@
+// Package intarray implements the TABS integer array server (paper §4.1):
+// a recoverable array of one-word integers with GetCell and SetCell
+// operations. It is the paper's minimal data server — "a very
+// straightforward data server; it uses only the two-phase locking, value
+// logging techniques found in many transaction-based systems" — and the
+// object the Section 5 benchmarks read and write.
+package intarray
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/lock"
+	"tabs/internal/srvlib"
+	"tabs/internal/types"
+)
+
+// CellSize is the size of one array element: a 64-bit word.
+const CellSize = 8
+
+// Errors mirroring the paper's GeneralReturn codes.
+var (
+	ErrIndexOutOfRange = errors.New("intarray: index out of range")
+)
+
+// Operation names.
+const (
+	OpGet = "GetCell"
+	OpSet = "SetCell"
+)
+
+// Server is the integer array data server.
+type Server struct {
+	srv     *srvlib.Server
+	maxCell uint32
+	base    srvlib.VirtualAddress
+}
+
+// Attach creates (or re-attaches after a crash) an integer array server
+// with cells elements on node n. The recoverable segment is sized to hold
+// the array exactly.
+func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, cells uint32, lockTimeout time.Duration) (*Server, error) {
+	pages := (cells*CellSize + types.PageSize - 1) / types.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	srv, err := n.NewServer(id, seg, pages, nil, lockTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: srv, maxCell: cells, base: 0}
+	srv.AcceptRequests(s.dispatch)
+	return s, nil
+}
+
+// Lib exposes the underlying server library instance (tests, benches).
+func (s *Server) Lib() *srvlib.Server { return s.srv }
+
+// cellObject computes the ObjectID of a cell, exactly as the paper's
+// SetCell adds the proper offset to the base of the recoverable segment.
+func (s *Server) cellObject(cell uint32) (types.ObjectID, error) {
+	if cell < 1 || cell > s.maxCell {
+		return types.ObjectID{}, fmt.Errorf("%w: %d (max %d)", ErrIndexOutOfRange, cell, s.maxCell)
+	}
+	va := s.base + srvlib.VirtualAddress((cell-1)*CellSize)
+	return s.srv.CreateObjectID(va, CellSize), nil
+}
+
+// dispatch is the server's operation dispatcher (the function passed to
+// AcceptRequests).
+func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
+	switch req.Op {
+	case OpGet:
+		if len(req.Body) != 4 {
+			return nil, errors.New("intarray: GetCell wants a 4-byte cell number")
+		}
+		cell := binary.BigEndian.Uint32(req.Body)
+		v, err := s.getCell(req.TID, cell)
+		if err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint64(nil, uint64(v)), nil
+	case OpSet:
+		if len(req.Body) != 12 {
+			return nil, errors.New("intarray: SetCell wants cell number and value")
+		}
+		cell := binary.BigEndian.Uint32(req.Body[:4])
+		value := int64(binary.BigEndian.Uint64(req.Body[4:]))
+		return nil, s.setCell(req.TID, cell, value)
+	default:
+		return nil, fmt.Errorf("intarray: unknown operation %q", req.Op)
+	}
+}
+
+// getCell reads array[cell] under a read lock.
+func (s *Server) getCell(tid types.TransID, cell uint32) (int64, error) {
+	obj, err := s.cellObject(cell)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.srv.LockObject(tid, obj, lock.ModeRead); err != nil {
+		return 0, err
+	}
+	raw, err := s.srv.Read(obj)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(raw)), nil
+}
+
+// setCell sets array[cell] to value: write lock, pin and buffer the old
+// value, do the assignment, log old/new and unpin — the paper's SetCell
+// verbatim (§4.1).
+func (s *Server) setCell(tid types.TransID, cell uint32, value int64) error {
+	obj, err := s.cellObject(cell)
+	if err != nil {
+		return err
+	}
+	if err := s.srv.LockObject(tid, obj, lock.ModeWrite); err != nil {
+		return err
+	}
+	if err := s.srv.PinAndBuffer(tid, obj); err != nil {
+		return err
+	}
+	if err := s.srv.Write(obj, binary.BigEndian.AppendUint64(nil, uint64(value))); err != nil {
+		return err
+	}
+	return s.srv.LogAndUnPin(tid, obj)
+}
+
+// Client is the typed stub a TABS application links against (the role of
+// Matchmaker-generated client stubs, §2.1.1).
+type Client struct {
+	node   *core.Node
+	target types.NodeID
+	server types.ServerID
+}
+
+// NewClient returns a stub that calls the array server named id on node
+// target, from the application's node n (which may be the same node).
+func NewClient(n *core.Node, target types.NodeID, id types.ServerID) *Client {
+	return &Client{node: n, target: target, server: id}
+}
+
+// Get reads array[cell] within tid.
+func (c *Client) Get(tid types.TransID, cell uint32) (int64, error) {
+	body := binary.BigEndian.AppendUint32(nil, cell)
+	out, err := c.node.CallRemote(c.target, c.server, OpGet, tid, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, errors.New("intarray: malformed GetCell reply")
+	}
+	return int64(binary.BigEndian.Uint64(out)), nil
+}
+
+// Set assigns array[cell] = value within tid.
+func (c *Client) Set(tid types.TransID, cell uint32, value int64) error {
+	body := binary.BigEndian.AppendUint32(nil, cell)
+	body = binary.BigEndian.AppendUint64(body, uint64(value))
+	_, err := c.node.CallRemote(c.target, c.server, OpSet, tid, body)
+	return err
+}

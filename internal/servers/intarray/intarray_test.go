@@ -1,0 +1,120 @@
+package intarray_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+func newArray(t *testing.T, cells uint32) (*core.Cluster, *core.Node, *intarray.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("n1")
+	if _, err := intarray.Attach(n, "arr", 1, cells, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return c, n, intarray.NewClient(n, "n1", "arr")
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	c, n, arr := newArray(t, 64)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		for i := uint32(1); i <= 64; i++ {
+			if err := arr.Set(tid, i, int64(i)*3); err != nil {
+				return err
+			}
+		}
+		for i := uint32(1); i <= 64; i++ {
+			v, err := arr.Get(tid, i)
+			if err != nil {
+				return err
+			}
+			if v != int64(i)*3 {
+				t.Errorf("cell %d = %d", i, v)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexOutOfRange(t *testing.T) {
+	c, n, arr := newArray(t, 4)
+	defer c.Shutdown()
+	for _, cell := range []uint32{0, 5, 1 << 30} {
+		err := n.App.Run(func(tid types.TransID) error {
+			return arr.Set(tid, cell, 1)
+		})
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("cell %d: %v (want IndexOutOfRange, as the paper's GeneralReturn)", cell, err)
+		}
+		err = n.App.Run(func(tid types.TransID) error {
+			_, gerr := arr.Get(tid, cell)
+			return gerr
+		})
+		if err == nil {
+			t.Errorf("get cell %d succeeded", cell)
+		}
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	c, n, arr := newArray(t, 4)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		if err := arr.Set(tid, 1, -123456789); err != nil {
+			return err
+		}
+		v, err := arr.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != -123456789 {
+			t.Errorf("v = %d", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	c, n, _ := newArray(t, 4)
+	defer c.Shutdown()
+	err := n.App.Run(func(tid types.TransID) error {
+		_, cerr := n.Call("arr", "Frobnicate", tid, nil)
+		return cerr
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	c, n, _ := newArray(t, 4)
+	defer c.Shutdown()
+	for _, tc := range []struct{ op string }{
+		{intarray.OpGet},
+		{intarray.OpSet},
+	} {
+		err := n.App.Run(func(tid types.TransID) error {
+			_, cerr := n.Call("arr", tc.op, tid, []byte{1, 2})
+			return cerr
+		})
+		if err == nil {
+			t.Errorf("%s with a short body succeeded", tc.op)
+		}
+	}
+}

@@ -1,0 +1,582 @@
+// Package ioserver implements the TABS IO server (paper §4.3): it extends
+// the domain of transactions to the display by restoring the screen after
+// a failure and giving users a faithful model of transaction-based
+// input/output.
+//
+// Output is never buffered until commit — that would break conversational
+// transactions. Instead every line is displayed as it is written, in a
+// style reflecting the writing transaction's state: gray (in progress),
+// black (committed), or struck through (aborted; the paper notes that
+// making output vanish is disconcerting, so aborted output stays visible
+// but crossed out). The display of this implementation is a textual
+// rendering — each line prefixed by '~' (gray), ' ' (black), or '-'
+// (struck) — since the interesting property is the transactional state
+// machinery, not the Perq bitmap.
+//
+// The mechanism is the paper's exactly: the IO server keeps permanent,
+// non-failure-atomic character data, written under its own top-level
+// transactions via ExecuteTransaction so a client abort cannot erase it.
+// For each client transaction it allocates a permanent state object,
+// writes "aborted" into it under an ExecuteTransaction, then has the
+// client transaction lock the state object and overwrite it with
+// "committed". The transaction's fate is then readable forever:
+// IsObjectLocked says "in progress"; otherwise the object holds
+// "committed" if the client committed, or "aborted" — restored by the
+// recovery mechanisms — if it did not.
+package ioserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/lock"
+	"tabs/internal/srvlib"
+	"tabs/internal/types"
+)
+
+// Geometry.
+const (
+	MaxAreas     = 8
+	MaxLines     = 32 // lines per area
+	MaxLineText  = 56
+	lineRecSize  = 64
+	linesPerPage = types.PageSize / lineRecSize // 8
+	areaPages    = MaxLines / linesPerPage      // 4 pages per area
+	stateSlots   = types.PageSize               // one byte per slot
+)
+
+// State slot values.
+const (
+	slotFree      byte = 0
+	slotAborted   byte = 1
+	slotCommitted byte = 2
+)
+
+// Errors.
+var (
+	ErrNoFreeArea  = errors.New("ioserver: no free IO area")
+	ErrBadArea     = errors.New("ioserver: no such IO area")
+	ErrAreaFull    = errors.New("ioserver: IO area full")
+	ErrNoInput     = errors.New("ioserver: no input available")
+	ErrNoFreeSlots = errors.New("ioserver: out of state objects")
+)
+
+// Operation names.
+const (
+	OpObtain   = "ObtainIOArea"
+	OpDestroy  = "DestroyIOArea"
+	OpWrite    = "WriteToArea"
+	OpWriteln  = "WritelnToArea"
+	OpReadChar = "ReadCharFromArea"
+	OpReadLine = "ReadLineFromArea"
+	OpRender   = "Render"
+)
+
+// Line kinds.
+const (
+	kindOutput byte = 0
+	kindInput  byte = 1 // echoed user input ("rectangles" in Figure 4-1)
+)
+
+// Server is the IO data server.
+type Server struct {
+	srv *srvlib.Server
+	// owners maps (transaction, area) to the allocated state slot;
+	// volatile, like the screen process state it models.
+	owners map[ownerKey]uint32
+	// input holds pending user input per area (volatile).
+	input map[uint32][]byte
+	// reserved guards slot allocation across the coroutine switches
+	// inside ExecuteTransaction.
+	reserved map[uint32]bool
+}
+
+type ownerKey struct {
+	tid  types.TransID
+	area uint32
+}
+
+// Segment layout: page 0 area table, page 1 state slots, then
+// MaxAreas × areaPages line pages.
+func segmentPages() uint32 { return 2 + MaxAreas*areaPages }
+
+// Attach creates (or re-attaches) the IO server on node n.
+func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, lockTimeout time.Duration) (*Server, error) {
+	srv, err := n.NewServer(id, seg, segmentPages(), nil, lockTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:      srv,
+		owners:   make(map[ownerKey]uint32),
+		input:    make(map[uint32][]byte),
+		reserved: make(map[uint32]bool),
+	}
+	srv.AcceptRequests(s.dispatch)
+	return s, nil
+}
+
+// Lib exposes the underlying server library instance.
+func (s *Server) Lib() *srvlib.Server { return s.srv }
+
+// --- objects -------------------------------------------------------------------
+
+func (s *Server) areaObject(area uint32) types.ObjectID {
+	return s.srv.CreateObjectID(srvlib.VirtualAddress(area*4), 4)
+}
+
+func (s *Server) stateObject(slot uint32) types.ObjectID {
+	return s.srv.CreateObjectID(srvlib.VirtualAddress(types.PageSize+slot), 1)
+}
+
+func (s *Server) lineObject(area, line uint32) types.ObjectID {
+	va := (2+area*areaPages)*types.PageSize + line*lineRecSize
+	return s.srv.CreateObjectID(srvlib.VirtualAddress(va), lineRecSize)
+}
+
+// --- helpers under ExecuteTransaction ----------------------------------------------
+
+// xwrite performs one value-logged write of obj under the transaction t.
+func (s *Server) xwrite(t types.TransID, obj types.ObjectID, data []byte) error {
+	if err := s.srv.PinAndBuffer(t, obj); err != nil {
+		return err
+	}
+	if err := s.srv.Write(obj, data); err != nil {
+		return err
+	}
+	return s.srv.LogAndUnPin(t, obj)
+}
+
+// --- area management ------------------------------------------------------------
+
+type areaRec struct {
+	used  bool
+	lines uint16
+}
+
+func (s *Server) readArea(area uint32) (areaRec, error) {
+	if area >= MaxAreas {
+		return areaRec{}, fmt.Errorf("%w: %d", ErrBadArea, area)
+	}
+	raw, err := s.srv.Read(s.areaObject(area))
+	if err != nil {
+		return areaRec{}, err
+	}
+	return areaRec{used: raw[0] != 0, lines: binary.BigEndian.Uint16(raw[2:4])}, nil
+}
+
+func encodeArea(a areaRec) []byte {
+	raw := make([]byte, 4)
+	if a.used {
+		raw[0] = 1
+	}
+	binary.BigEndian.PutUint16(raw[2:4], a.lines)
+	return raw
+}
+
+// obtain allocates a free IO area. The allocation is made permanent
+// immediately under a server-owned transaction: the area exists regardless
+// of what happens to the requesting client.
+func (s *Server) obtain() (uint32, error) {
+	var chosen uint32
+	found := false
+	for a := uint32(0); a < MaxAreas && !found; a++ {
+		rec, err := s.readArea(a)
+		if err != nil {
+			return 0, err
+		}
+		if !rec.used {
+			chosen, found = a, true
+		}
+	}
+	if !found {
+		return 0, ErrNoFreeArea
+	}
+	err := s.srv.ExecuteTransaction(func(t types.TransID) error {
+		if err := s.srv.LockObject(t, s.areaObject(chosen), lock.ModeWrite); err != nil {
+			return err
+		}
+		return s.xwrite(t, s.areaObject(chosen), encodeArea(areaRec{used: true}))
+	})
+	return chosen, err
+}
+
+// destroy releases an area, clearing its lines and freeing the state
+// slots they reference.
+func (s *Server) destroy(area uint32) error {
+	rec, err := s.readArea(area)
+	if err != nil {
+		return err
+	}
+	if !rec.used {
+		return fmt.Errorf("%w: %d", ErrBadArea, area)
+	}
+	return s.srv.ExecuteTransaction(func(t types.TransID) error {
+		slots := map[uint32]bool{}
+		for l := uint32(0); l < uint32(rec.lines); l++ {
+			obj := s.lineObject(area, l)
+			raw, err := s.srv.Read(obj)
+			if err != nil {
+				return err
+			}
+			if raw[0] != 0 {
+				slots[binary.BigEndian.Uint32(raw[1:5])] = true
+			}
+			if err := s.srv.LockObject(t, obj, lock.ModeWrite); err != nil {
+				return err
+			}
+			if err := s.xwrite(t, obj, make([]byte, lineRecSize)); err != nil {
+				return err
+			}
+		}
+		for slot := range slots {
+			so := s.stateObject(slot)
+			if err := s.srv.LockObject(t, so, lock.ModeWrite); err != nil {
+				return err
+			}
+			if err := s.xwrite(t, so, []byte{slotFree}); err != nil {
+				return err
+			}
+		}
+		if err := s.srv.LockObject(t, s.areaObject(area), lock.ModeWrite); err != nil {
+			return err
+		}
+		return s.xwrite(t, s.areaObject(area), encodeArea(areaRec{}))
+	})
+}
+
+// --- state objects -----------------------------------------------------------------
+
+// ensureStateSlot returns the state slot owned by (tid, area), creating it
+// on first use: a fresh permanent slot is set to "aborted" under a
+// server-owned transaction, and then the client transaction locks it and
+// overwrites it with "committed" — producing the aborted/committed
+// old/new pair in the log that recovery will replay or undo (§4.3).
+func (s *Server) ensureStateSlot(tid types.TransID, area uint32) (uint32, error) {
+	key := ownerKey{tid: tid, area: area}
+	if slot, ok := s.owners[key]; ok {
+		return slot, nil
+	}
+	// Find a free slot (serialized by the server monitor).
+	var slot uint32
+	found := false
+	for i := uint32(0); i < stateSlots && !found; i++ {
+		if s.reserved[i] {
+			continue
+		}
+		raw, err := s.srv.Read(s.stateObject(i))
+		if err != nil {
+			return 0, err
+		}
+		if raw[0] == slotFree && !s.srv.IsObjectLocked(s.stateObject(i)) {
+			slot, found = i, true
+		}
+	}
+	if !found {
+		return 0, ErrNoFreeSlots
+	}
+	s.reserved[slot] = true
+	defer delete(s.reserved, slot)
+	// Permanently mark it "aborted" first, in a transaction of our own.
+	if err := s.srv.ExecuteTransaction(func(t types.TransID) error {
+		if err := s.srv.LockObject(t, s.stateObject(slot), lock.ModeWrite); err != nil {
+			return err
+		}
+		return s.xwrite(t, s.stateObject(slot), []byte{slotAborted})
+	}); err != nil {
+		return 0, err
+	}
+	// Now the client transaction locks it and sets "committed". While the
+	// client runs, the lock says "in progress"; if it aborts, recovery
+	// resets the value to "aborted"; if it commits, "committed" sticks.
+	if err := s.srv.LockObject(tid, s.stateObject(slot), lock.ModeWrite); err != nil {
+		return 0, err
+	}
+	if err := s.xwrite(tid, s.stateObject(slot), []byte{slotCommitted}); err != nil {
+		return 0, err
+	}
+	s.owners[key] = slot
+	return slot, nil
+}
+
+// LineState is a rendered line's transactional state.
+type LineState byte
+
+// Rendered line states.
+const (
+	StateInProgress LineState = '~' // gray: transaction still running
+	StateCommitted  LineState = ' ' // black: the operation really happened
+	StateAborted    LineState = '-' // struck through: transaction aborted
+)
+
+// stateOf classifies a slot.
+func (s *Server) stateOf(slot uint32) (LineState, error) {
+	obj := s.stateObject(slot)
+	if s.srv.IsObjectLocked(obj) {
+		return StateInProgress, nil
+	}
+	raw, err := s.srv.Read(obj)
+	if err != nil {
+		return StateAborted, err
+	}
+	if raw[0] == slotCommitted {
+		return StateCommitted, nil
+	}
+	return StateAborted, nil
+}
+
+// --- writing --------------------------------------------------------------------
+
+// write appends a line of output to the area on behalf of tid. The text
+// is displayed (made permanent) via ExecuteTransaction immediately — in
+// gray — regardless of tid's eventual fate (§4.3).
+func (s *Server) write(tid types.TransID, area uint32, text string, kind byte) error {
+	rec, err := s.readArea(area)
+	if err != nil {
+		return err
+	}
+	if !rec.used {
+		return fmt.Errorf("%w: %d", ErrBadArea, area)
+	}
+	if rec.lines >= MaxLines {
+		return fmt.Errorf("%w: %d", ErrAreaFull, area)
+	}
+	slot, err := s.ensureStateSlot(tid, area)
+	if err != nil {
+		return err
+	}
+	if len(text) > MaxLineText {
+		text = text[:MaxLineText]
+	}
+	line := uint32(rec.lines)
+	raw := make([]byte, lineRecSize)
+	raw[0] = 1
+	binary.BigEndian.PutUint32(raw[1:5], slot)
+	raw[5] = kind
+	binary.BigEndian.PutUint16(raw[6:8], uint16(len(text)))
+	copy(raw[8:], text)
+	return s.srv.ExecuteTransaction(func(t types.TransID) error {
+		if err := s.srv.LockObject(t, s.lineObject(area, line), lock.ModeWrite); err != nil {
+			return err
+		}
+		if err := s.xwrite(t, s.lineObject(area, line), raw); err != nil {
+			return err
+		}
+		if err := s.srv.LockObject(t, s.areaObject(area), lock.ModeWrite); err != nil {
+			return err
+		}
+		return s.xwrite(t, s.areaObject(area), encodeArea(areaRec{used: true, lines: rec.lines + 1}))
+	})
+}
+
+// --- reading --------------------------------------------------------------------
+
+// Feed supplies user input to an area (the keyboard of the simulation).
+func (s *Server) feed(area uint32, text string) {
+	s.input[area] = append(s.input[area], text...)
+}
+
+// readChar consumes one input character, echoing it to the area.
+func (s *Server) readChar(tid types.TransID, area uint32) (byte, error) {
+	buf := s.input[area]
+	if len(buf) == 0 {
+		return 0, ErrNoInput
+	}
+	ch := buf[0]
+	s.input[area] = buf[1:]
+	if err := s.write(tid, area, string(ch), kindInput); err != nil {
+		return 0, err
+	}
+	return ch, nil
+}
+
+// readLine consumes input up to a newline, echoing it.
+func (s *Server) readLine(tid types.TransID, area uint32) (string, error) {
+	buf := s.input[area]
+	if len(buf) == 0 {
+		return "", ErrNoInput
+	}
+	idx := -1
+	for i, b := range buf {
+		if b == '\n' {
+			idx = i
+			break
+		}
+	}
+	var line string
+	if idx < 0 {
+		line = string(buf)
+		s.input[area] = nil
+	} else {
+		line = string(buf[:idx])
+		s.input[area] = buf[idx+1:]
+	}
+	if err := s.write(tid, area, line, kindInput); err != nil {
+		return "", err
+	}
+	return line, nil
+}
+
+// --- rendering --------------------------------------------------------------------
+
+// render produces the textual screen: one block per in-use area, one line
+// per written line, prefixed with its state marker; echoed input is
+// bracketed (the rectangles of Figure 4-1).
+func (s *Server) render() (string, error) {
+	var b strings.Builder
+	for a := uint32(0); a < MaxAreas; a++ {
+		rec, err := s.readArea(a)
+		if err != nil {
+			return "", err
+		}
+		if !rec.used {
+			continue
+		}
+		fmt.Fprintf(&b, "=== area %d ===\n", a)
+		for l := uint32(0); l < uint32(rec.lines); l++ {
+			raw, err := s.srv.Read(s.lineObject(a, l))
+			if err != nil {
+				return "", err
+			}
+			if raw[0] == 0 {
+				continue
+			}
+			slot := binary.BigEndian.Uint32(raw[1:5])
+			kind := raw[5]
+			n := binary.BigEndian.Uint16(raw[6:8])
+			text := string(raw[8 : 8+n])
+			st, err := s.stateOf(slot)
+			if err != nil {
+				return "", err
+			}
+			if kind == kindInput {
+				text = "[" + text + "]"
+			}
+			fmt.Fprintf(&b, "%c%s\n", byte(st), text)
+		}
+	}
+	return b.String(), nil
+}
+
+// --- dispatch ---------------------------------------------------------------------
+
+func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
+	switch req.Op {
+	case OpObtain:
+		area, err := s.obtain()
+		if err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint32(nil, area), nil
+	case OpDestroy:
+		return nil, s.destroy(areaArg(req.Body))
+	case OpWrite, OpWriteln:
+		if len(req.Body) < 4 {
+			return nil, errors.New("ioserver: short write request")
+		}
+		return nil, s.write(req.TID, areaArg(req.Body), string(req.Body[4:]), kindOutput)
+	case OpReadChar:
+		ch, err := s.readChar(req.TID, areaArg(req.Body))
+		if err != nil {
+			return nil, err
+		}
+		return []byte{ch}, nil
+	case OpReadLine:
+		line, err := s.readLine(req.TID, areaArg(req.Body))
+		if err != nil {
+			return nil, err
+		}
+		return []byte(line), nil
+	case OpRender:
+		out, err := s.render()
+		if err != nil {
+			return nil, err
+		}
+		return []byte(out), nil
+	case "Feed": // test/demo input injection
+		if len(req.Body) < 4 {
+			return nil, errors.New("ioserver: short feed")
+		}
+		s.feed(areaArg(req.Body), string(req.Body[4:]))
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("ioserver: unknown operation %q", req.Op)
+	}
+}
+
+func areaArg(b []byte) uint32 {
+	if len(b) < 4 {
+		return ^uint32(0)
+	}
+	return binary.BigEndian.Uint32(b[:4])
+}
+
+// Client is the typed application stub.
+type Client struct {
+	node   *core.Node
+	target types.NodeID
+	server types.ServerID
+}
+
+// NewClient returns a stub for the IO server id on node target.
+func NewClient(n *core.Node, target types.NodeID, id types.ServerID) *Client {
+	return &Client{node: n, target: target, server: id}
+}
+
+func (c *Client) call(op string, tid types.TransID, body []byte) ([]byte, error) {
+	return c.node.CallRemote(c.target, c.server, op, tid, body)
+}
+
+// ObtainIOArea allocates a display area.
+func (c *Client) ObtainIOArea(tid types.TransID) (uint32, error) {
+	out, err := c.call(OpObtain, tid, nil)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(out), nil
+}
+
+// DestroyIOArea releases a display area.
+func (c *Client) DestroyIOArea(tid types.TransID, area uint32) error {
+	_, err := c.call(OpDestroy, tid, binary.BigEndian.AppendUint32(nil, area))
+	return err
+}
+
+// WritelnToArea writes one line of output on behalf of tid.
+func (c *Client) WritelnToArea(tid types.TransID, area uint32, text string) error {
+	body := binary.BigEndian.AppendUint32(nil, area)
+	_, err := c.call(OpWriteln, tid, append(body, text...))
+	return err
+}
+
+// ReadLineFromArea reads (and echoes) one line of user input.
+func (c *Client) ReadLineFromArea(tid types.TransID, area uint32) (string, error) {
+	out, err := c.call(OpReadLine, tid, binary.BigEndian.AppendUint32(nil, area))
+	return string(out), err
+}
+
+// ReadCharFromArea reads (and echoes) one input character.
+func (c *Client) ReadCharFromArea(tid types.TransID, area uint32) (byte, error) {
+	out, err := c.call(OpReadChar, tid, binary.BigEndian.AppendUint32(nil, area))
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Feed injects user input for an area (the simulation's keyboard).
+func (c *Client) Feed(area uint32, text string) error {
+	body := binary.BigEndian.AppendUint32(nil, area)
+	_, err := c.call("Feed", types.NilTransID, append(body, text...))
+	return err
+}
+
+// Render returns the textual screen snapshot.
+func (c *Client) Render() (string, error) {
+	out, err := c.call(OpRender, types.NilTransID, nil)
+	return string(out), err
+}

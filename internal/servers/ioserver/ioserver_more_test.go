@@ -1,0 +1,148 @@
+package ioserver_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tabs/internal/types"
+)
+
+func TestReadCharEchoes(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		area, err = io.ObtainIOArea(tid)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.Feed(area, "yn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		ch, err := io.ReadCharFromArea(tid, area)
+		if err != nil {
+			return err
+		}
+		if ch != 'y' {
+			t.Errorf("read %q", ch)
+		}
+		ch, err = io.ReadCharFromArea(tid, area)
+		if err != nil {
+			return err
+		}
+		if ch != 'n' {
+			t.Errorf("read %q", ch)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	screen, err := io.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(screen, "[y]") || !strings.Contains(screen, "[n]") {
+		t.Errorf("chars not echoed:\n%s", screen)
+	}
+}
+
+func TestReadWithoutInputFails(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		area, err = io.ObtainIOArea(tid)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := n.App.Run(func(tid types.TransID) error {
+		_, err := io.ReadLineFromArea(tid, area)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "no input") {
+		t.Errorf("want no-input error, got %v", err)
+	}
+}
+
+func TestDestroyFreesAreaAndSlots(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		if area, err = io.ObtainIOArea(tid); err != nil {
+			return err
+		}
+		return io.WritelnToArea(tid, area, "going away")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		return io.DestroyIOArea(tid, area)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	screen, err := io.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(screen, "going away") {
+		t.Errorf("destroyed area still rendered:\n%s", screen)
+	}
+	// The area number is reusable.
+	if err := n.App.Run(func(tid types.TransID) error {
+		a2, err := io.ObtainIOArea(tid)
+		if err != nil {
+			return err
+		}
+		if a2 != area {
+			// Not required to be the same, but there were no others in
+			// use, so the freed one should be found first.
+			t.Logf("reallocated area %d (was %d)", a2, area)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaExhaustion(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		for i := 0; ; i++ {
+			_, err := io.ObtainIOArea(tid)
+			if err != nil {
+				if i == 0 {
+					return errors.New("no areas at all")
+				}
+				if !strings.Contains(err.Error(), "no free IO area") {
+					return err
+				}
+				return nil
+			}
+			if i > 64 {
+				return errors.New("areas never ran out")
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteToUnknownAreaFails(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+	err := n.App.Run(func(tid types.TransID) error {
+		return io.WritelnToArea(tid, 7, "nobody home")
+	})
+	if err == nil {
+		t.Error("write to unobtained area succeeded")
+	}
+}

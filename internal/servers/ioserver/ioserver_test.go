@@ -1,0 +1,190 @@
+package ioserver_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/ioserver"
+	"tabs/internal/types"
+)
+
+func newIO(t *testing.T) (*core.Cluster, *core.Node, *ioserver.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("n1")
+	if _, err := ioserver.Attach(n, "io", 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return c, n, ioserver.NewClient(n, "n1", "io")
+}
+
+func TestCommittedOutputTurnsBlack(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		area, err = io.ObtainIOArea(tid)
+		if err != nil {
+			return err
+		}
+		if err := io.WritelnToArea(tid, area, "deposited $35"); err != nil {
+			return err
+		}
+		// While the transaction runs, the line renders gray.
+		screen, err := io.Render()
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(screen, "~deposited $35") {
+			t.Errorf("in-progress output not gray:\n%s", screen)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	screen, err := io.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(screen, " deposited $35") {
+		t.Errorf("committed output not black:\n%s", screen)
+	}
+}
+
+func TestAbortedOutputIsStruckThrough(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		area, err = io.ObtainIOArea(tid)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("node failed during the transaction")
+	err := n.App.Run(func(tid types.TransID) error {
+		if err := io.WritelnToArea(tid, area, "withdraw $80"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+
+	screen, err := io.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output does not disappear — it is drawn through (§4.3).
+	if !strings.Contains(screen, "-withdraw $80") {
+		t.Errorf("aborted output not struck through:\n%s", screen)
+	}
+}
+
+func TestInputEchoedInRectangles(t *testing.T) {
+	c, n, io := newIO(t)
+	defer c.Shutdown()
+
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		area, err = io.ObtainIOArea(tid)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.Feed(area, "35\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		line, err := io.ReadLineFromArea(tid, area)
+		if err != nil {
+			return err
+		}
+		if line != "35" {
+			t.Errorf("read %q, want 35", line)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	screen, err := io.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(screen, "[35]") {
+		t.Errorf("input not echoed in rectangles:\n%s", screen)
+	}
+}
+
+// TestScreenRestoredAfterCrash reproduces the Figure 4-1 story: committed
+// output survives a node failure in black, output of the transaction that
+// was in flight at the crash is struck through after restart.
+func TestScreenRestoredAfterCrash(t *testing.T) {
+	c, n, io := newIO(t)
+
+	var area uint32
+	if err := n.App.Run(func(tid types.TransID) error {
+		var err error
+		area, err = io.ObtainIOArea(tid)
+		if err != nil {
+			return err
+		}
+		return io.WritelnToArea(tid, area, "deposit $35 ok")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Start a transaction and crash the node mid-flight.
+	tid, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := io.WritelnToArea(tid, area, "withdraw $80"); err != nil {
+		t.Fatal(err)
+	}
+	// Force pages so the uncommitted state object reaches disk.
+	if err := n.Kernel.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash("n1")
+
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ioserver.Attach(n2, "io", 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	io2 := ioserver.NewClient(n2, "n1", "io")
+	screen, err := io2.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(screen, " deposit $35 ok") {
+		t.Errorf("committed line lost or not black after crash:\n%s", screen)
+	}
+	if !strings.Contains(screen, "-withdraw $80") {
+		t.Errorf("in-flight line not struck through after crash:\n%s", screen)
+	}
+	c.Shutdown()
+}

@@ -1,0 +1,147 @@
+// Package multikey implements the multi-key directory of the paper's
+// B-tree section (§4.4): "The B-tree server maintains arbitrary
+// collections of directory entries in B-trees ... Indices on non-primary
+// keys are implemented as separate B-trees, each of which points to the
+// primary key B-tree's leaves which contain the data."
+//
+// Here the primary B-tree stores primary-key → value and the index B-tree
+// stores secondary-key → primary-key. Both live in their own recoverable
+// segments on the same node, and every directory operation updates both
+// inside the caller's transaction, so the index can never be observed out
+// of step with the data: an abort (or crash) rolls both trees back
+// together — which is the whole point of building directories on a
+// transaction facility.
+package multikey
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/btree"
+	"tabs/internal/types"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("multikey: key not found")
+	ErrExists   = errors.New("multikey: key already exists")
+)
+
+// Directory is a multi-key directory client bound to its two B-tree
+// servers.
+type Directory struct {
+	node    *core.Node
+	target  types.NodeID
+	primary *btree.Client
+	index   *btree.Client
+}
+
+// Attach creates (or re-attaches) the two B-tree servers backing a
+// multi-key directory on node n and returns the directory handle. primary
+// and index name the two data servers; each gets its own segment.
+func Attach(n *core.Node, primary, index types.ServerID, primarySeg, indexSeg types.SegmentID, pages uint32, lockTimeout time.Duration) (*Directory, error) {
+	if _, err := btree.Attach(n, primary, primarySeg, pages, lockTimeout); err != nil {
+		return nil, err
+	}
+	if _, err := btree.Attach(n, index, indexSeg, pages, lockTimeout); err != nil {
+		return nil, err
+	}
+	return &Directory{
+		node:    n,
+		target:  n.ID(),
+		primary: btree.NewClient(n, n.ID(), primary),
+		index:   btree.NewClient(n, n.ID(), index),
+	}, nil
+}
+
+// Client returns a handle for calling an existing multi-key directory
+// (possibly on another node) from node n.
+func Client(n *core.Node, target types.NodeID, primary, index types.ServerID) *Directory {
+	return &Directory{
+		node:    n,
+		target:  target,
+		primary: btree.NewClient(n, target, primary),
+		index:   btree.NewClient(n, target, index),
+	}
+}
+
+// Insert adds an entry under its primary key and indexes it under the
+// secondary key, atomically within tid.
+func (d *Directory) Insert(tid types.TransID, primary, secondary, value []byte) error {
+	if err := d.primary.Insert(tid, primary, value); err != nil {
+		return wrapExists(err, primary)
+	}
+	if err := d.index.Insert(tid, secondary, primary); err != nil {
+		return wrapExists(err, secondary)
+	}
+	return nil
+}
+
+// Lookup returns the value stored under the primary key.
+func (d *Directory) Lookup(tid types.TransID, primary []byte) ([]byte, error) {
+	v, err := d.primary.Lookup(tid, primary)
+	return v, wrapNotFound(err, primary)
+}
+
+// LookupBySecondary resolves the secondary key through the index to the
+// primary entry's value.
+func (d *Directory) LookupBySecondary(tid types.TransID, secondary []byte) ([]byte, error) {
+	pk, err := d.index.Lookup(tid, secondary)
+	if err != nil {
+		return nil, wrapNotFound(err, secondary)
+	}
+	v, err := d.primary.Lookup(tid, pk)
+	return v, wrapNotFound(err, pk)
+}
+
+// Modify replaces the value under a primary key (the paper's "modify").
+func (d *Directory) Modify(tid types.TransID, primary, value []byte) error {
+	return wrapNotFound(d.primary.Update(tid, primary, value), primary)
+}
+
+// Delete removes the entry and its index record atomically within tid.
+func (d *Directory) Delete(tid types.TransID, primary, secondary []byte) error {
+	if err := d.primary.Delete(tid, primary); err != nil {
+		return wrapNotFound(err, primary)
+	}
+	return wrapNotFound(d.index.Delete(tid, secondary), secondary)
+}
+
+// Rekey moves an entry from one secondary key to another, atomically.
+func (d *Directory) Rekey(tid types.TransID, oldSecondary, newSecondary []byte) error {
+	pk, err := d.index.Lookup(tid, oldSecondary)
+	if err != nil {
+		return wrapNotFound(err, oldSecondary)
+	}
+	if err := d.index.Delete(tid, oldSecondary); err != nil {
+		return wrapNotFound(err, oldSecondary)
+	}
+	return wrapExists(d.index.Insert(tid, newSecondary, pk), newSecondary)
+}
+
+func wrapExists(err error, key []byte) error {
+	if err == nil {
+		return nil
+	}
+	if contains(err, "exists") {
+		return fmt.Errorf("%w: %q", ErrExists, key)
+	}
+	return err
+}
+
+func wrapNotFound(err error, key []byte) error {
+	if err == nil {
+		return nil
+	}
+	if contains(err, "not found") {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return err
+}
+
+func contains(err error, sub string) bool {
+	return strings.Contains(err.Error(), sub)
+}

@@ -1,0 +1,210 @@
+package multikey_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/multikey"
+	"tabs/internal/types"
+)
+
+func newDir(t *testing.T) (*core.Cluster, *core.Node, *multikey.Directory) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("n1")
+	d, err := multikey.Attach(n, "users", "by-uid", 1, 2, 128, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return c, n, d
+}
+
+func TestInsertAndBothLookups(t *testing.T) {
+	c, n, d := newDir(t)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("alice"), []byte("uid:1001"), []byte("admin"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := d.Lookup(tid, []byte("alice"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "admin" {
+			t.Errorf("primary lookup %q", v)
+		}
+		v, err = d.LookupBySecondary(tid, []byte("uid:1001"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "admin" {
+			t.Errorf("secondary lookup %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortKeepsIndexConsistent is the reason multi-key directories live
+// on a transaction facility: a failed insert must leave neither tree
+// updated.
+func TestAbortKeepsIndexConsistent(t *testing.T) {
+	c, n, d := newDir(t)
+	defer c.Shutdown()
+	boom := errors.New("boom")
+	err := n.App.Run(func(tid types.TransID) error {
+		if err := d.Insert(tid, []byte("bob"), []byte("uid:2002"), []byte("user")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		if _, err := d.Lookup(tid, []byte("bob")); !errors.Is(err, multikey.ErrNotFound) {
+			t.Errorf("primary survived abort: %v", err)
+		}
+		if _, err := d.LookupBySecondary(tid, []byte("uid:2002")); !errors.Is(err, multikey.ErrNotFound) {
+			t.Errorf("index survived abort: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialInsertRollsBack: the primary insert succeeds, the index
+// insert collides; aborting the transaction must remove the primary entry
+// too — no orphaned data.
+func TestPartialInsertRollsBack(t *testing.T) {
+	c, n, d := newDir(t)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("carol"), []byte("uid:3003"), []byte("ops"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same secondary key: the second Insert fails halfway through.
+	err := n.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("dave"), []byte("uid:3003"), []byte("dev"))
+	})
+	if !errors.Is(err, multikey.ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		if _, err := d.Lookup(tid, []byte("dave")); !errors.Is(err, multikey.ErrNotFound) {
+			t.Errorf("orphaned primary entry: %v", err)
+		}
+		// carol is untouched.
+		v, err := d.LookupBySecondary(tid, []byte("uid:3003"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "ops" {
+			t.Errorf("carol's entry %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRemovesBoth(t *testing.T) {
+	c, n, d := newDir(t)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		if err := d.Insert(tid, []byte("erin"), []byte("uid:4004"), []byte("qa")); err != nil {
+			return err
+		}
+		return d.Delete(tid, []byte("erin"), []byte("uid:4004"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		if _, err := d.Lookup(tid, []byte("erin")); !errors.Is(err, multikey.ErrNotFound) {
+			t.Errorf("primary: %v", err)
+		}
+		if _, err := d.LookupBySecondary(tid, []byte("uid:4004")); !errors.Is(err, multikey.ErrNotFound) {
+			t.Errorf("index: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRekey(t *testing.T) {
+	c, n, d := newDir(t)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		if err := d.Insert(tid, []byte("frank"), []byte("uid:5005"), []byte("intern")); err != nil {
+			return err
+		}
+		return d.Rekey(tid, []byte("uid:5005"), []byte("uid:6006"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		if _, err := d.LookupBySecondary(tid, []byte("uid:5005")); !errors.Is(err, multikey.ErrNotFound) {
+			t.Errorf("old secondary still resolves: %v", err)
+		}
+		v, err := d.LookupBySecondary(tid, []byte("uid:6006"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "intern" {
+			t.Errorf("new secondary %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryKeepsTreesAligned commits entries, crashes, and checks
+// both trees recovered to the same state.
+func TestCrashRecoveryKeepsTreesAligned(t *testing.T) {
+	c, n, d := newDir(t)
+	if err := n.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("gina"), []byte("uid:7007"), []byte("lead"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash("n1")
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := multikey.Attach(n2, "users", "by-uid", 1, 2, 128, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.App.Run(func(tid types.TransID) error {
+		v, err := d2.LookupBySecondary(tid, []byte("uid:7007"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "lead" {
+			t.Errorf("after crash %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+}

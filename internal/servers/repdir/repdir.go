@@ -1,0 +1,256 @@
+// Package repdir implements the TABS replicated directory object (paper
+// §4.5): an abstraction identical to a conventional directory whose data
+// lives in multiple directory representative servers on different nodes,
+// coordinated with the weighted-voting algorithm of Gifford as adapted
+// for directories by Daniels/Spector and Bloch et al.
+//
+// Each representative stores entries (with per-entry version numbers and
+// tombstones) in a B-tree server (§4.4). The global coordination module —
+// in TABS, 1100 lines linked into the client program — is the Directory
+// type here: reads gather a read quorum of votes and take the
+// highest-version answer; writes install the next version number at a
+// write quorum. Because read and write quorums intersect, any read sees
+// the newest committed version, and with 3 representatives one node can
+// fail with the data remaining available — the paper's own test
+// configuration.
+//
+// Every operation runs inside the caller's (distributed) transaction:
+// aborting a directory update triggers recovery on multiple nodes and
+// committing one drives the multi-node two-phase commit, which is
+// precisely what the object demonstrates.
+package repdir
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/btree"
+	"tabs/internal/types"
+)
+
+// Errors.
+var (
+	ErrNotFound   = errors.New("repdir: key not found")
+	ErrExists     = errors.New("repdir: key already exists")
+	ErrNoQuorum   = errors.New("repdir: quorum not reachable")
+	ErrBadQuorums = errors.New("repdir: quorums must satisfy r+w > total votes and w > total/2")
+	ErrValueSize  = errors.New("repdir: value too large for a directory entry")
+)
+
+// MaxValue is the payload budget after version and flag bytes inside a
+// B-tree value.
+const MaxValue = btree.ValueSize - 5
+
+// Rep names one directory representative and its vote weight.
+type Rep struct {
+	Node   types.NodeID
+	Server types.ServerID
+	Votes  int
+}
+
+// Directory is the client-linked global coordination module.
+type Directory struct {
+	node        *core.Node
+	reps        []Rep
+	clients     []*btree.Client
+	totalVotes  int
+	readQuorum  int
+	writeQuorum int
+}
+
+// New builds a replicated directory over the given representatives with
+// read quorum r and write quorum w (in votes). The weighted-voting
+// invariants r + w > total and w > total/2 are enforced: they guarantee
+// every read quorum intersects every write quorum and two writes cannot
+// proceed independently.
+func New(n *core.Node, reps []Rep, r, w int) (*Directory, error) {
+	total := 0
+	for _, rep := range reps {
+		if rep.Votes <= 0 {
+			return nil, fmt.Errorf("repdir: representative %s/%s needs positive votes", rep.Node, rep.Server)
+		}
+		total += rep.Votes
+	}
+	if r+w <= total || 2*w <= total || r <= 0 {
+		return nil, fmt.Errorf("%w: r=%d w=%d total=%d", ErrBadQuorums, r, w, total)
+	}
+	d := &Directory{node: n, reps: reps, totalVotes: total, readQuorum: r, writeQuorum: w}
+	for _, rep := range reps {
+		d.clients = append(d.clients, btree.NewClient(n, rep.Node, rep.Server))
+	}
+	return d, nil
+}
+
+// --- entry encoding ---------------------------------------------------------
+
+type entry struct {
+	version uint32
+	present bool
+	value   []byte
+}
+
+func encodeEntry(e entry) []byte {
+	b := make([]byte, 5, 5+len(e.value))
+	binary.BigEndian.PutUint32(b[:4], e.version)
+	if e.present {
+		b[4] = 1
+	}
+	return append(b, e.value...)
+}
+
+func decodeEntry(b []byte) (entry, error) {
+	if len(b) < 5 {
+		return entry{}, errors.New("repdir: short entry")
+	}
+	return entry{
+		version: binary.BigEndian.Uint32(b[:4]),
+		present: b[4] == 1,
+		value:   append([]byte(nil), b[5:]...),
+	}, nil
+}
+
+// --- quorum machinery ---------------------------------------------------------
+
+// vote is one representative's answer.
+type vote struct {
+	rep   int
+	entry entry
+	found bool
+}
+
+// isMissing classifies a representative's error as "no such key" (a valid
+// vote for version 0) versus unavailability.
+func isMissing(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "not found")
+}
+
+// readQuorumVotes gathers at least q votes, skipping unreachable
+// representatives.
+func (d *Directory) readQuorumVotes(tid types.TransID, key []byte, q int) ([]vote, error) {
+	votes := 0
+	var out []vote
+	for i, c := range d.clients {
+		raw, err := c.Lookup(tid, key)
+		switch {
+		case err == nil:
+			e, derr := decodeEntry(raw)
+			if derr != nil {
+				return nil, derr
+			}
+			out = append(out, vote{rep: i, entry: e, found: true})
+		case isMissing(err):
+			out = append(out, vote{rep: i, found: false})
+		default:
+			continue // representative unavailable; try the others
+		}
+		votes += d.reps[i].Votes
+		if votes >= q {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d of %d read votes", ErrNoQuorum, votes, q)
+}
+
+// best returns the highest-version entry among the votes (absence is
+// version 0, not present).
+func best(votes []vote) entry {
+	var e entry
+	for _, v := range votes {
+		if v.found && (v.entry.version > e.version) {
+			e = v.entry
+		}
+	}
+	return e
+}
+
+// writeEntry installs e at a write quorum of representatives. Each
+// representative takes an upsert: update if the key exists there, insert
+// otherwise.
+func (d *Directory) writeEntry(tid types.TransID, key []byte, e entry) error {
+	raw := encodeEntry(e)
+	votes := 0
+	for i, c := range d.clients {
+		err := c.Update(tid, key, raw)
+		if isMissing(err) {
+			err = c.Insert(tid, key, raw)
+		}
+		if err != nil {
+			continue // unavailable or conflicting; count no vote
+		}
+		votes += d.reps[i].Votes
+		if votes >= d.writeQuorum {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d of %d write votes", ErrNoQuorum, votes, d.writeQuorum)
+}
+
+// --- operations ------------------------------------------------------------------
+
+// Lookup returns the directory entry for key within tid.
+func (d *Directory) Lookup(tid types.TransID, key []byte) ([]byte, error) {
+	votes, err := d.readQuorumVotes(tid, key, d.readQuorum)
+	if err != nil {
+		return nil, err
+	}
+	e := best(votes)
+	if !e.present {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return e.value, nil
+}
+
+// Insert adds key -> val within tid; the key must not exist.
+func (d *Directory) Insert(tid types.TransID, key, val []byte) error {
+	if len(val) > MaxValue {
+		return ErrValueSize
+	}
+	votes, err := d.readQuorumVotes(tid, key, d.readQuorum)
+	if err != nil {
+		return err
+	}
+	cur := best(votes)
+	if cur.present {
+		return fmt.Errorf("%w: %q", ErrExists, key)
+	}
+	return d.writeEntry(tid, key, entry{version: cur.version + 1, present: true, value: val})
+}
+
+// Update replaces key's value within tid; the key must exist.
+func (d *Directory) Update(tid types.TransID, key, val []byte) error {
+	if len(val) > MaxValue {
+		return ErrValueSize
+	}
+	votes, err := d.readQuorumVotes(tid, key, d.readQuorum)
+	if err != nil {
+		return err
+	}
+	cur := best(votes)
+	if !cur.present {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return d.writeEntry(tid, key, entry{version: cur.version + 1, present: true, value: val})
+}
+
+// Delete removes key within tid by installing a tombstone at the next
+// version, so stale presence at representatives outside the write quorum
+// is outvoted.
+func (d *Directory) Delete(tid types.TransID, key []byte) error {
+	votes, err := d.readQuorumVotes(tid, key, d.readQuorum)
+	if err != nil {
+		return err
+	}
+	cur := best(votes)
+	if !cur.present {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return d.writeEntry(tid, key, entry{version: cur.version + 1, present: false})
+}
+
+// Quorums reports the configured quorum sizes.
+func (d *Directory) Quorums() (read, write, total int) {
+	return d.readQuorum, d.writeQuorum, d.totalVotes
+}

@@ -1,0 +1,230 @@
+package repdir_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/btree"
+	"tabs/internal/servers/repdir"
+	"tabs/internal/types"
+)
+
+// threeNodeDir builds the paper's test configuration: 3 nodes, one
+// directory representative each, one vote each, r = w = 2.
+func threeNodeDir(t *testing.T) (*core.Cluster, *core.Node, *repdir.Directory) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []types.NodeID{"a", "b", "c"} {
+		n := c.Node(name)
+		if _, err := btree.Attach(n, "rep", 1, 128, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	na := c.Node("a")
+	d, err := repdir.New(na, []repdir.Rep{
+		{Node: "a", Server: "rep", Votes: 1},
+		{Node: "b", Server: "rep", Votes: 1},
+		{Node: "c", Server: "rep", Votes: 1},
+	}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, na, d
+}
+
+func TestQuorumValidation(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	n := c.Node("x")
+	reps := []repdir.Rep{{Node: "x", Server: "rep", Votes: 3}}
+	// r+w must exceed total and w must exceed half.
+	if _, err := repdir.New(n, reps, 1, 1); err == nil {
+		t.Error("r=1,w=1,total=3 accepted")
+	}
+	if _, err := repdir.New(n, reps, 1, 3); err != nil {
+		t.Errorf("r=1,w=3,total=3 rejected: %v", err)
+	}
+}
+
+func TestInsertLookupUpdateDelete(t *testing.T) {
+	c, na, d := threeNodeDir(t)
+	defer c.Shutdown()
+
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("etc"), []byte("config"))
+	}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := na.App.Run(func(tid types.TransID) error {
+		v, err := d.Lookup(tid, []byte("etc"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "config" {
+			t.Errorf("lookup = %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Update(tid, []byte("etc"), []byte("config-v2"))
+	}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Delete(tid, []byte("etc"))
+	}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	err := na.App.Run(func(tid types.TransID) error {
+		_, err := d.Lookup(tid, []byte("etc"))
+		return err
+	})
+	if err == nil {
+		t.Fatal("lookup after delete should fail")
+	}
+}
+
+// TestSurvivesOneNodeFailure is the paper's availability claim: with 3
+// representatives, one node can fail and the data remains available.
+func TestSurvivesOneNodeFailure(t *testing.T) {
+	c, na, d := threeNodeDir(t)
+	defer c.Shutdown()
+
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("passwd"), []byte("root"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash("c") // one representative gone
+
+	// Reads and writes still reach a quorum of 2.
+	if err := na.App.Run(func(tid types.TransID) error {
+		v, err := d.Lookup(tid, []byte("passwd"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "root" {
+			t.Errorf("lookup = %q", v)
+		}
+		return d.Update(tid, []byte("passwd"), []byte("root2"))
+	}); err != nil {
+		t.Fatalf("after node failure: %v", err)
+	}
+	if err := na.App.Run(func(tid types.TransID) error {
+		v, err := d.Lookup(tid, []byte("passwd"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "root2" {
+			t.Errorf("after failover update: %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleRepresentativeOutvoted writes while one node is down, brings
+// it back, and verifies version numbers outvote its stale copy.
+func TestStaleRepresentativeOutvoted(t *testing.T) {
+	c, na, d := threeNodeDir(t)
+	defer c.Shutdown()
+
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("k"), []byte("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash("c")
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Update(tid, []byte("k"), []byte("v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bring c back with its stale v1 copy.
+	nc, err := c.Reboot("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := btree.Attach(nc, "rep", 1, 128, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any read quorum of 2 must intersect {a,b} or include a fresh copy;
+	// either way version 2 wins over c's stale version 1.
+	for i := 0; i < 5; i++ {
+		if err := na.App.Run(func(tid types.TransID) error {
+			v, err := d.Lookup(tid, []byte("k"))
+			if err != nil {
+				return err
+			}
+			if string(v) != "v2" {
+				t.Errorf("stale read: %q", v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAbortRollsBackAllRepresentatives aborts a distributed directory
+// update and verifies recovery ran on every written node.
+func TestAbortRollsBackAllRepresentatives(t *testing.T) {
+	c, na, d := threeNodeDir(t)
+	defer c.Shutdown()
+
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("k"), []byte("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err := na.App.Run(func(tid types.TransID) error {
+		if err := d.Update(tid, []byte("k"), []byte("v2")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+
+	// After the aborts land, the old value must win everywhere.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var v []byte
+		err := na.App.Run(func(tid types.TransID) error {
+			var lerr error
+			v, lerr = d.Lookup(tid, []byte("k"))
+			return lerr
+		})
+		if err == nil && string(v) == "v1" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rollback not visible: v=%q err=%v", v, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,128 @@
+package repdir_test
+
+import (
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/btree"
+	"tabs/internal/servers/repdir"
+	"tabs/internal/types"
+)
+
+// TestUnequalVotes gives one representative two votes: with total=4,
+// r=2, w=3, the heavy representative plus any one other forms a write
+// quorum, and reads can be served by the heavy one plus nobody else only
+// if r ≤ its weight — exercising genuinely *weighted* voting rather than
+// simple majorities.
+func TestUnequalVotes(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "heavy", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	for _, name := range []types.NodeID{"heavy", "x", "y"} {
+		n := c.Node(name)
+		if _, err := btree.Attach(n, "rep", 1, 128, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := c.Node("heavy")
+	// Keep abort retries to crashed nodes short.
+	client.TM.Configure(150*time.Millisecond, 2, 0)
+	d, err := repdir.New(client, []repdir.Rep{
+		{Node: "heavy", Server: "rep", Votes: 2},
+		{Node: "x", Server: "rep", Votes: 1},
+		{Node: "y", Server: "rep", Votes: 1},
+	}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := client.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("k"), []byte("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// With y down, heavy(2) + x(1) = 3 write votes: updates still work.
+	c.Crash("y")
+	if err := client.App.Run(func(tid types.TransID) error {
+		return d.Update(tid, []byte("k"), []byte("v2"))
+	}); err != nil {
+		t.Fatalf("write with one light node down: %v", err)
+	}
+
+	// With x ALSO down, only heavy(2) remains: write quorum (3)
+	// unreachable — updates must fail, reads (r=2) still succeed from the
+	// heavy representative alone.
+	c.Crash("x")
+	if err := client.App.Run(func(tid types.TransID) error {
+		v, err := d.Lookup(tid, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "v2" {
+			t.Errorf("read %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("read from the heavy representative alone: %v", err)
+	}
+	err = client.App.Run(func(tid types.TransID) error {
+		return d.Update(tid, []byte("k"), []byte("v3"))
+	})
+	if err == nil {
+		t.Fatal("write succeeded without a write quorum")
+	}
+}
+
+// TestWriteQuorumFailureAborts: when the write quorum cannot be reached
+// mid-transaction, the application aborts and no representative keeps the
+// partial write.
+func TestWriteQuorumFailureAborts(t *testing.T) {
+	c, na, d := threeNodeDir(t)
+	defer c.Shutdown()
+	na.TM.Configure(150*time.Millisecond, 2, 0)
+	if err := na.App.Run(func(tid types.TransID) error {
+		return d.Insert(tid, []byte("k"), []byte("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Two of three representatives down: r=2 unreachable too; everything
+	// fails but cleanly.
+	c.Crash("b")
+	c.Crash("c")
+	err := na.App.Run(func(tid types.TransID) error {
+		return d.Update(tid, []byte("k"), []byte("v2"))
+	})
+	if err == nil {
+		t.Fatal("update succeeded without a quorum")
+	}
+	// Node a's own copy must still hold v1 (the partial write to a, if
+	// any, was rolled back by the abort).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var v []byte
+		lerr := na.App.Run(func(tid types.TransID) error {
+			tr := btree.NewClient(na, "a", "rep")
+			raw, err := tr.Lookup(tid, []byte("k"))
+			if err != nil {
+				return err
+			}
+			v = raw
+			return nil
+		})
+		// Entry encoding: 4-byte version, flag byte, then the value.
+		if lerr == nil && len(v) >= 5 && string(v[5:]) == "v1" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("a's copy corrupted after failed quorum write: %q (%v)", v, lerr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,345 @@
+// Package weakqueue implements the TABS weak queue server (paper §4.2): a
+// permanent, failure-atomic queue that is deliberately not serializable.
+// Items are not guaranteed to be dequeued strictly in enqueue order;
+// relaxing FIFO allows concurrent enqueuers and dequeuers to proceed
+// without waiting on each other while each item's insertion and removal
+// remain failure atomic.
+//
+// The queue is an array of individually lockable elements with head and
+// tail pointers bounding the used section. Each element carries an InUse
+// bit beside its contents; aborting an Enqueue restores the bit and leaves
+// a gap, which Dequeue skips and a garbage-collection sweep (a side effect
+// of Enqueue) eventually reclaims by advancing the head pointer. The head
+// pointer is a permanent, failure-atomic object; the tail pointer lives in
+// volatile storage and is recomputed after crashes from the head pointer
+// and the InUse bits. The design is what prompted TABS to add
+// ConditionallyLockObject and IsObjectLocked to the server library.
+package weakqueue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/lock"
+	"tabs/internal/srvlib"
+	"tabs/internal/types"
+)
+
+// Element layout: 8-byte InUse flag word followed by the 8-byte value, so
+// one element is one lockable, loggable 16-byte object.
+const elemSize = 16
+
+// Errors.
+var (
+	ErrQueueFull  = errors.New("weakqueue: queue full")
+	ErrQueueEmpty = errors.New("weakqueue: queue empty")
+)
+
+// Operation names.
+const (
+	OpEnqueue = "Enqueue"
+	OpDequeue = "Dequeue"
+	OpIsEmpty = "IsQueueEmpty"
+)
+
+// Server is the weak queue data server.
+type Server struct {
+	srv *srvlib.Server
+	cap uint32
+	// tail is the volatile tail pointer: the next free logical slot. The
+	// server's monitor semantics ensure only a single transaction at a
+	// time updates it (§4.2), because operations never wait while
+	// touching it.
+	tail uint64
+}
+
+// Layout: page 0 holds the head pointer (offset 0, 8 bytes); elements
+// follow from page 1.
+func headObject(s *srvlib.Server) types.ObjectID { return s.CreateObjectID(0, 8) }
+
+func (s *Server) elemObject(slot uint64) types.ObjectID {
+	idx := uint32(slot % uint64(s.cap))
+	return s.srv.CreateObjectID(srvlib.VirtualAddress(types.PageSize+idx*elemSize), elemSize)
+}
+
+// Attach creates (or re-attaches) a weak queue of the given capacity on
+// node n, recomputing the volatile tail pointer from the permanent state.
+func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, capacity uint32, lockTimeout time.Duration) (*Server, error) {
+	if capacity == 0 {
+		capacity = 64
+	}
+	pages := 1 + (capacity*elemSize+types.PageSize-1)/types.PageSize
+	srv, err := n.NewServer(id, seg, pages, nil, lockTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: srv, cap: capacity}
+	// The tail is rebuilt only after crash recovery has restored the
+	// permanent InUse bits; until Recover runs, the queue is not served.
+	n.AfterRecover(s.recomputeTail)
+	srv.AcceptRequests(s.dispatch)
+	return s, nil
+}
+
+// Lib exposes the underlying server library instance.
+func (s *Server) Lib() *srvlib.Server { return s.srv }
+
+// recomputeTail rebuilds the volatile tail pointer after a crash by
+// examining the head pointer and the InUse bits (§4.2).
+func (s *Server) recomputeTail() error {
+	head, err := s.readHead()
+	if err != nil {
+		return err
+	}
+	tail := head
+	for k := uint64(0); k < uint64(s.cap); k++ {
+		slot := head + k
+		inUse, _, err := s.readElem(slot)
+		if err != nil {
+			return err
+		}
+		if inUse {
+			tail = slot + 1
+		}
+	}
+	s.tail = tail
+	return nil
+}
+
+func (s *Server) readHead() (uint64, error) {
+	raw, err := s.srv.Read(headObject(s.srv))
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(raw), nil
+}
+
+func (s *Server) readElem(slot uint64) (inUse bool, value int64, err error) {
+	raw, err := s.srv.Read(s.elemObject(slot))
+	if err != nil {
+		return false, 0, err
+	}
+	return binary.BigEndian.Uint64(raw[:8]) != 0, int64(binary.BigEndian.Uint64(raw[8:])), nil
+}
+
+func encodeElem(inUse bool, value int64) []byte {
+	b := make([]byte, elemSize)
+	if inUse {
+		binary.BigEndian.PutUint64(b[:8], 1)
+	}
+	binary.BigEndian.PutUint64(b[8:], uint64(value))
+	return b
+}
+
+// writeElem modifies one element under value logging.
+func (s *Server) writeElem(tid types.TransID, slot uint64, inUse bool, value int64) error {
+	obj := s.elemObject(slot)
+	if err := s.srv.PinAndBuffer(tid, obj); err != nil {
+		return err
+	}
+	if err := s.srv.Write(obj, encodeElem(inUse, value)); err != nil {
+		return err
+	}
+	return s.srv.LogAndUnPin(tid, obj)
+}
+
+// dispatch routes operation requests.
+func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
+	switch req.Op {
+	case OpEnqueue:
+		if len(req.Body) != 8 {
+			return nil, errors.New("weakqueue: Enqueue wants an 8-byte value")
+		}
+		return nil, s.enqueue(req.TID, int64(binary.BigEndian.Uint64(req.Body)))
+	case OpDequeue:
+		v, err := s.dequeue(req.TID)
+		if err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint64(nil, uint64(v)), nil
+	case OpIsEmpty:
+		empty, err := s.isEmpty()
+		if err != nil {
+			return nil, err
+		}
+		if empty {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	default:
+		return nil, fmt.Errorf("weakqueue: unknown operation %q", req.Op)
+	}
+}
+
+// enqueue places the item in the element below the tail pointer, sets its
+// InUse bit, and advances the (volatile, monitor-protected) tail (§4.2).
+// The garbage collection that moves the head past dead elements runs as a
+// side effect.
+func (s *Server) enqueue(tid types.TransID, value int64) error {
+	s.collectGarbage(tid)
+	head, err := s.readHead() // unprotected read, as in the paper
+	if err != nil {
+		return err
+	}
+	if s.tail-head >= uint64(s.cap) {
+		return ErrQueueFull
+	}
+	slot := s.tail
+	obj := s.elemObject(slot)
+	// The slot below the tail must be free; its lock (if any) belongs to
+	// an aborted enqueue whose undo has not released yet, so take the
+	// lock conditionally and fail cleanly rather than deadlock.
+	if !s.srv.ConditionallyLockObject(tid, obj, lock.ModeWrite) {
+		return fmt.Errorf("weakqueue: tail element %d still locked", slot)
+	}
+	if err := s.writeElem(tid, slot, true, value); err != nil {
+		return err
+	}
+	s.tail = slot + 1
+	return nil
+}
+
+// dequeue scans elements starting at the head pointer using
+// IsObjectLocked, then testing the InUse bit; the first unlocked, in-use
+// element is locked and its contents returned (§4.2).
+func (s *Server) dequeue(tid types.TransID) (int64, error) {
+	head, err := s.readHead()
+	if err != nil {
+		return 0, err
+	}
+	for slot := head; slot < s.tail; slot++ {
+		obj := s.elemObject(slot)
+		if s.srv.IsObjectLocked(obj) {
+			continue // another operation is still manipulating it
+		}
+		inUse, value, err := s.readElem(slot)
+		if err != nil {
+			return 0, err
+		}
+		if !inUse {
+			continue // aborted enqueue's gap, or already dequeued
+		}
+		if !s.srv.ConditionallyLockObject(tid, obj, lock.ModeWrite) {
+			continue // raced another dequeuer
+		}
+		// Re-verify under the lock.
+		inUse, value, err = s.readElem(slot)
+		if err != nil {
+			return 0, err
+		}
+		if !inUse {
+			continue
+		}
+		// Clear InUse; the previous contents are restored along with the
+		// bit if this transaction aborts.
+		if err := s.writeElem(tid, slot, false, value); err != nil {
+			return 0, err
+		}
+		return value, nil
+	}
+	return 0, ErrQueueEmpty
+}
+
+// isEmpty reports whether no element in the used section holds or may
+// hold a value.
+func (s *Server) isEmpty() (bool, error) {
+	head, err := s.readHead()
+	if err != nil {
+		return false, err
+	}
+	for slot := head; slot < s.tail; slot++ {
+		obj := s.elemObject(slot)
+		if s.srv.IsObjectLocked(obj) {
+			return false, nil // in-flight operation may produce an item
+		}
+		inUse, _, err := s.readElem(slot)
+		if err != nil {
+			return false, err
+		}
+		if inUse {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// collectGarbage moves the head pointer past elements that are not locked
+// and whose InUse bits are false; the current implementation does this as
+// a side effect of Enqueue (§4.2). The head update is failure atomic: if
+// the enqueue aborts, the head retreats, which merely re-scans dead
+// elements later.
+func (s *Server) collectGarbage(tid types.TransID) {
+	hobj := headObject(s.srv)
+	if !s.srv.ConditionallyLockObject(tid, hobj, lock.ModeWrite) {
+		return // another transaction is collecting; skip
+	}
+	head, err := s.readHead()
+	if err != nil {
+		return
+	}
+	newHead := head
+	for newHead < s.tail {
+		obj := s.elemObject(newHead)
+		if s.srv.IsObjectLocked(obj) {
+			break
+		}
+		inUse, _, err := s.readElem(newHead)
+		if err != nil || inUse {
+			break
+		}
+		newHead++
+	}
+	if newHead == head {
+		return
+	}
+	if err := s.srv.PinAndBuffer(tid, hobj); err != nil {
+		return
+	}
+	if err := s.srv.Write(hobj, binary.BigEndian.AppendUint64(nil, newHead)); err != nil {
+		return
+	}
+	_ = s.srv.LogAndUnPin(tid, hobj)
+}
+
+// Client is the typed application stub.
+type Client struct {
+	node   *core.Node
+	target types.NodeID
+	server types.ServerID
+}
+
+// NewClient returns a stub calling the weak queue id on node target.
+func NewClient(n *core.Node, target types.NodeID, id types.ServerID) *Client {
+	return &Client{node: n, target: target, server: id}
+}
+
+// Enqueue adds value to the queue within tid.
+func (c *Client) Enqueue(tid types.TransID, value int64) error {
+	body := binary.BigEndian.AppendUint64(nil, uint64(value))
+	_, err := c.node.CallRemote(c.target, c.server, OpEnqueue, tid, body)
+	return err
+}
+
+// Dequeue removes and returns some value from the queue within tid.
+func (c *Client) Dequeue(tid types.TransID) (int64, error) {
+	out, err := c.node.CallRemote(c.target, c.server, OpDequeue, tid, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, errors.New("weakqueue: malformed Dequeue reply")
+	}
+	return int64(binary.BigEndian.Uint64(out)), nil
+}
+
+// IsEmpty reports whether the queue appears empty.
+func (c *Client) IsEmpty(tid types.TransID) (bool, error) {
+	out, err := c.node.CallRemote(c.target, c.server, OpIsEmpty, tid, nil)
+	if err != nil {
+		return false, err
+	}
+	return len(out) == 1 && out[0] == 1, nil
+}

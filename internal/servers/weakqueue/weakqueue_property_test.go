@@ -1,0 +1,156 @@
+package weakqueue_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/weakqueue"
+	"tabs/internal/types"
+)
+
+// TestQueueConservationQuick is the weak queue's fundamental invariant:
+// under any interleaving of committing and aborting enqueues and
+// dequeues, the multiset of values ever dequeued-and-committed plus the
+// multiset still in the queue equals the multiset enqueued-and-committed.
+// Order is deliberately NOT asserted — the queue is weak.
+func TestQueueConservationQuick(t *testing.T) {
+	type step struct {
+		Enq   bool
+		Val   int16
+		Abort bool
+	}
+	run := func(steps []step) bool {
+		c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		defer c.Shutdown()
+		n := c.Node("n1")
+		if _, err := weakqueue.Attach(n, "wq", 1, 128, time.Second); err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		if _, err := n.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		q := weakqueue.NewClient(n, "n1", "wq")
+
+		enqueued := map[int64]int{} // committed enqueues
+		dequeued := map[int64]int{} // committed dequeues
+		induced := errors.New("induced")
+
+		for _, s := range steps {
+			if s.Enq {
+				v := int64(s.Val)
+				err := n.App.Run(func(tid types.TransID) error {
+					if err := q.Enqueue(tid, v); err != nil {
+						return err
+					}
+					if s.Abort {
+						return induced
+					}
+					return nil
+				})
+				if err == nil {
+					enqueued[v]++
+				} else if !errors.Is(err, induced) &&
+					!errors.Is(err, weakqueue.ErrQueueFull) &&
+					!containsFull(err) {
+					t.Errorf("enqueue: %v", err)
+					return false
+				}
+			} else {
+				var got int64
+				err := n.App.Run(func(tid types.TransID) error {
+					v, err := q.Dequeue(tid)
+					if err != nil {
+						return err
+					}
+					got = v
+					if s.Abort {
+						return induced
+					}
+					return nil
+				})
+				if err == nil {
+					dequeued[got]++
+				} else if !errors.Is(err, induced) && !containsEmpty(err) {
+					t.Errorf("dequeue: %v", err)
+					return false
+				}
+			}
+		}
+
+		// Drain whatever remains (committing each dequeue).
+		remaining := map[int64]int{}
+		for {
+			var got int64
+			err := n.App.Run(func(tid types.TransID) error {
+				v, err := q.Dequeue(tid)
+				got = v
+				return err
+			})
+			if err != nil {
+				break
+			}
+			remaining[got]++
+		}
+
+		// Conservation: enqueued == dequeued + remaining, as multisets.
+		for v, cnt := range enqueued {
+			if dequeued[v]+remaining[v] != cnt {
+				t.Errorf("value %d: enqueued %d, dequeued %d, remaining %d",
+					v, cnt, dequeued[v], remaining[v])
+				return false
+			}
+		}
+		for v := range dequeued {
+			if dequeued[v]+remaining[v] > enqueued[v] {
+				t.Errorf("value %d appeared more often than enqueued", v)
+				return false
+			}
+		}
+		return true
+	}
+
+	cfg := &quick.Config{
+		MaxCount: 8,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 30 + rng.Intn(60)
+			steps := make([]step, n)
+			for i := range steps {
+				steps[i] = step{
+					Enq:   rng.Intn(3) != 0, // enqueue-biased so the queue fills
+					Val:   int16(rng.Intn(50)),
+					Abort: rng.Intn(4) == 0,
+				}
+			}
+			args[0] = reflect.ValueOf(steps)
+		},
+	}
+	if err := quick.Check(func(steps []step) bool { return run(steps) }, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsFull(err error) bool {
+	return err != nil && (errors.Is(err, weakqueue.ErrQueueFull) ||
+		containsStr(err.Error(), "full") || containsStr(err.Error(), "locked"))
+}
+
+func containsEmpty(err error) bool {
+	return err != nil && containsStr(err.Error(), "empty")
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

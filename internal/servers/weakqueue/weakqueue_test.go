@@ -1,0 +1,294 @@
+package weakqueue_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/weakqueue"
+	"tabs/internal/types"
+)
+
+func newQueue(t *testing.T, capacity uint32) (*core.Cluster, *core.Node, *weakqueue.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("n1")
+	if _, err := weakqueue.Attach(n, "wq", 1, capacity, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return c, n, weakqueue.NewClient(n, "n1", "wq")
+}
+
+func TestEnqueueDequeue(t *testing.T) {
+	c, n, q := newQueue(t, 16)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		for i := int64(1); i <= 5; i++ {
+			if err := q.Enqueue(tid, i*10); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	if err := n.App.Run(func(tid types.TransID) error {
+		for i := 0; i < 5; i++ {
+			v, err := q.Dequeue(tid)
+			if err != nil {
+				return err
+			}
+			got = append(got, v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Emptiness is observable only once the dequeuer's locks are gone:
+	// IsQueueEmpty treats locked elements as potentially live (§4.2).
+	if err := n.App.Run(func(tid types.TransID) error {
+		empty, err := q.IsEmpty(tid)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			t.Error("queue should be empty after dequeuer committed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int64{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeued multiset %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAbortedEnqueueLeavesGap(t *testing.T) {
+	c, n, q := newQueue(t, 16)
+	defer c.Shutdown()
+	boom := errors.New("boom")
+	err := n.App.Run(func(tid types.TransID) error {
+		if err := q.Enqueue(tid, 111); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// The gap is skipped: a committed enqueue is dequeued around it.
+	if err := n.App.Run(func(tid types.TransID) error {
+		return q.Enqueue(tid, 222)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := q.Dequeue(tid)
+		if err != nil {
+			return err
+		}
+		if v != 222 {
+			t.Errorf("dequeued %d, want 222 (111 was aborted)", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortedDequeueRestoresItem(t *testing.T) {
+	c, n, q := newQueue(t, 16)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		return q.Enqueue(tid, 77)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := n.App.Run(func(tid types.TransID) error {
+		v, err := q.Dequeue(tid)
+		if err != nil {
+			return err
+		}
+		if v != 77 {
+			t.Errorf("dequeued %d", v)
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := q.Dequeue(tid)
+		if err != nil {
+			return err
+		}
+		if v != 77 {
+			t.Errorf("item not restored: got %d, want 77", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeakOrderConcurrency shows what the weak queue buys: a dequeuer is
+// not blocked by an uncommitted enqueue ahead of it. A strict FIFO queue
+// would serialize here.
+func TestWeakOrderConcurrency(t *testing.T) {
+	c, n, q := newQueue(t, 16)
+	defer c.Shutdown()
+
+	// t1 enqueues but does not commit yet.
+	t1, err := n.App.BeginTransaction(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(t1, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// t2 enqueues and commits around the in-flight element.
+	if err := n.App.Run(func(tid types.TransID) error {
+		return q.Enqueue(tid, 200)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// t3 dequeues: it must get 200 (100 is still locked by t1) without
+	// waiting.
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := q.Dequeue(tid)
+		if err != nil {
+			return err
+		}
+		if v != 200 {
+			t.Errorf("dequeued %d, want 200 (100 uncommitted)", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if ok, err := n.App.EndTransaction(t1); err != nil || !ok {
+		t.Fatalf("commit t1: ok=%v err=%v", ok, err)
+	}
+	if err := n.App.Run(func(tid types.TransID) error {
+		v, err := q.Dequeue(tid)
+		if err != nil {
+			return err
+		}
+		if v != 100 {
+			t.Errorf("dequeued %d, want 100", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailRecomputedAfterCrash enqueues, crashes, and verifies the
+// volatile tail pointer is rebuilt from the head pointer and InUse bits.
+func TestTailRecomputedAfterCrash(t *testing.T) {
+	c, n, q := newQueue(t, 16)
+	if err := n.App.Run(func(tid types.TransID) error {
+		for i := int64(1); i <= 3; i++ {
+			if err := q.Enqueue(tid, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash("n1")
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakqueue.Attach(n2, "wq", 1, 16, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	q2 := weakqueue.NewClient(n2, "n1", "wq")
+	// Enqueue after crash must land after the survivors; dequeue all four.
+	if err := n2.App.Run(func(tid types.TransID) error {
+		return q2.Enqueue(tid, 4)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	if err := n2.App.Run(func(tid types.TransID) error {
+		for i := 0; i < 4; i++ {
+			v, err := q2.Dequeue(tid)
+			if err != nil {
+				return err
+			}
+			seen[v] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		if !seen[i] {
+			t.Errorf("missing item %d after crash recovery: %v", i, seen)
+		}
+	}
+	c.Shutdown()
+}
+
+// TestQueueFull fills the queue and checks the full condition, then frees
+// space and reuses it (garbage collection via the head pointer).
+func TestQueueFull(t *testing.T) {
+	c, n, q := newQueue(t, 4)
+	defer c.Shutdown()
+	if err := n.App.Run(func(tid types.TransID) error {
+		for i := int64(0); i < 4; i++ {
+			if err := q.Enqueue(tid, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := n.App.Run(func(tid types.TransID) error {
+		return q.Enqueue(tid, 99)
+	})
+	if err == nil {
+		t.Fatal("want queue-full error")
+	}
+	// Drain two, then enqueue twice: GC must reclaim the dequeued slots.
+	if err := n.App.Run(func(tid types.TransID) error {
+		if _, err := q.Dequeue(tid); err != nil {
+			return err
+		}
+		_, err := q.Dequeue(tid)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := n.App.Run(func(tid types.TransID) error {
+			return q.Enqueue(tid, int64(50+i))
+		}); err != nil {
+			t.Fatalf("reuse %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package simclock provides the virtual clock and the primitive-operation
+// cost models used by the TABS performance methodology (paper §5.1).
+//
+// The paper evaluates TABS by decomposing each benchmark transaction into a
+// weighted sum of primitive operations — data server calls, messages,
+// datagrams, paged I/O, and stable-storage writes — whose individual costs
+// were measured on a Perq T2 (Table 5-1) and projected for a tuned
+// implementation (Table 5-5). This package holds those parameter sets and a
+// virtual clock that components charge as they execute primitives, so the
+// repository can regenerate the paper's predicted and simulated elapsed
+// times without the original hardware.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Primitive identifies one of the primitive operations of Table 5-1.
+type Primitive int
+
+// The primitive operations of paper Table 5-1, in table order.
+const (
+	DataServerCall Primitive = iota // local RPC from application to data server
+	InterNodeCall                   // session-based RPC to a remote data server
+	Datagram                        // transaction-management datagram
+	SmallMsg                        // small contiguous Accent message (<500 bytes)
+	LargeMsg                        // large contiguous Accent message (~1100 bytes)
+	PointerMsg                      // copy-on-write pointer message
+	RandomPageIO                    // demand-paged random read or read/write pair
+	SequentialRead                  // demand-paged sequential read
+	StableWrite                     // force of one log page to non-volatile storage
+	numPrimitives
+)
+
+// NumPrimitives is the number of distinct primitive operations.
+const NumPrimitives = int(numPrimitives)
+
+var primitiveNames = [...]string{
+	DataServerCall: "Data Server Call",
+	InterNodeCall:  "Inter-Node Data Server Call",
+	Datagram:       "Datagram",
+	SmallMsg:       "Small Contiguous Message",
+	LargeMsg:       "Large Contiguous Message",
+	PointerMsg:     "Pointer Message",
+	RandomPageIO:   "Random Access Paged I/O",
+	SequentialRead: "Sequential Read",
+	StableWrite:    "Stable Storage Write",
+}
+
+// String returns the paper's name for the primitive.
+func (p Primitive) String() string {
+	if p < 0 || int(p) >= len(primitiveNames) {
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+	return primitiveNames[p]
+}
+
+// CostModel maps each primitive operation to its cost in virtual
+// milliseconds. The zero value charges nothing for every primitive.
+type CostModel struct {
+	// Times holds the cost of each primitive in milliseconds.
+	Times [NumPrimitives]float64
+	// Name labels the parameter set in reports ("Perq T2", "Achievable").
+	Name string
+}
+
+// Cost returns the cost of p as a virtual duration.
+func (m *CostModel) Cost(p Primitive) time.Duration {
+	return time.Duration(m.Times[p] * float64(time.Millisecond))
+}
+
+// Millis returns the cost of p in milliseconds.
+func (m *CostModel) Millis(p Primitive) float64 { return m.Times[p] }
+
+// PerqT2 returns the measured primitive operation times of paper Table 5-1
+// (milliseconds on a Perq T2 under Accent).
+func PerqT2() *CostModel {
+	return &CostModel{
+		Name: "Perq T2 (Table 5-1)",
+		Times: [NumPrimitives]float64{
+			DataServerCall: 26.1,
+			InterNodeCall:  89,
+			Datagram:       25,
+			SmallMsg:       3.0,
+			LargeMsg:       4.4,
+			PointerMsg:     18.3,
+			RandomPageIO:   32,
+			SequentialRead: 16,
+			StableWrite:    79,
+		},
+	}
+}
+
+// Achievable returns the projected primitive operation times of paper Table
+// 5-5 ("achievable by tuning software and adding disks").
+func Achievable() *CostModel {
+	return &CostModel{
+		Name: "Achievable (Table 5-5)",
+		Times: [NumPrimitives]float64{
+			DataServerCall: 2.5,
+			InterNodeCall:  9,
+			Datagram:       2.0,
+			SmallMsg:       1.0,
+			LargeMsg:       1.25,
+			PointerMsg:     15,
+			RandomPageIO:   32,
+			SequentialRead: 10,
+			StableWrite:    32,
+		},
+	}
+}
+
+// Clock is a virtual clock advanced by charging primitive costs. It is safe
+// for concurrent use. A Clock may be shared by all components of a node, or
+// by a whole simulated cluster when single-threaded determinism is wanted.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative d is ignored.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		return c.Now()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now, and
+// returns the new time. Used to merge parallel execution paths: the joiner
+// advances to the maximum of the branch completion times.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset returns the clock to virtual time zero.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}

@@ -1,0 +1,100 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Error("fresh clock not at zero")
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if c.Now() != 8*time.Millisecond {
+		t.Errorf("now %v", c.Now())
+	}
+	c.Advance(-time.Second)
+	if c.Now() != 8*time.Millisecond {
+		t.Error("negative advance changed the clock")
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Millisecond)
+	c.AdvanceTo(5 * time.Millisecond)
+	if c.Now() != 10*time.Millisecond {
+		t.Error("AdvanceTo moved backward")
+	}
+	c.AdvanceTo(20 * time.Millisecond)
+	if c.Now() != 20*time.Millisecond {
+		t.Errorf("now %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 10*1000*time.Microsecond {
+		t.Errorf("now %v, want 10ms", c.Now())
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	perq := PerqT2()
+	ach := Achievable()
+	// Table 5-1 spot checks.
+	if perq.Millis(DataServerCall) != 26.1 {
+		t.Errorf("Perq data server call %v", perq.Millis(DataServerCall))
+	}
+	if perq.Millis(StableWrite) != 79 {
+		t.Errorf("Perq stable write %v", perq.Millis(StableWrite))
+	}
+	// Table 5-5 spot checks.
+	if ach.Millis(DataServerCall) != 2.5 {
+		t.Errorf("achievable data server call %v", ach.Millis(DataServerCall))
+	}
+	// Every primitive must be priced in both models; the achievable model
+	// never exceeds the Perq model.
+	for p := Primitive(0); int(p) < NumPrimitives; p++ {
+		if perq.Millis(p) <= 0 || ach.Millis(p) <= 0 {
+			t.Errorf("%v unpriced", p)
+		}
+		if ach.Millis(p) > perq.Millis(p) {
+			t.Errorf("%v: achievable %v exceeds Perq %v", p, ach.Millis(p), perq.Millis(p))
+		}
+	}
+}
+
+func TestCostDuration(t *testing.T) {
+	perq := PerqT2()
+	if perq.Cost(SmallMsg) != 3*time.Millisecond {
+		t.Errorf("small msg cost %v", perq.Cost(SmallMsg))
+	}
+}
+
+func TestPrimitiveNames(t *testing.T) {
+	if DataServerCall.String() != "Data Server Call" {
+		t.Errorf("name %q", DataServerCall.String())
+	}
+	if Primitive(99).String() == "" {
+		t.Error("out-of-range primitive has empty name")
+	}
+}

@@ -1,0 +1,376 @@
+package srvlib_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tabs/internal/disk"
+	"tabs/internal/kernel"
+	"tabs/internal/lock"
+	"tabs/internal/port"
+	"tabs/internal/recovery"
+	"tabs/internal/srvlib"
+	"tabs/internal/txn"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// fixture assembles the components a data server needs, without a full
+// node.
+type fixture struct {
+	k  *kernel.Kernel
+	rm *recovery.Manager
+	tm *txn.Manager
+	s  *srvlib.Server
+}
+
+func newFixture(t *testing.T, compat lock.Compat) *fixture {
+	t.Helper()
+	d := disk.New(disk.DefaultGeometry(512))
+	k := kernel.New(kernel.Config{Disk: d, PoolPages: 32})
+	if err := k.AddSegment(1, 128, 16); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Open(wal.Config{Disk: d, Base: 0, Sectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := recovery.New(recovery.Config{Log: lg, Kernel: k, CheckpointEvery: 1 << 30})
+	tm := txn.New("n", rm, nil, nil)
+	s := srvlib.New(srvlib.Config{
+		ID: "srv", Kernel: k, RM: rm, TM: tm,
+		Segment: 1, LockCompat: compat, LockTimeout: 200 * time.Millisecond,
+	})
+	s.RecoverServer()
+	return &fixture{k: k, rm: rm, tm: tm, s: s}
+}
+
+func (f *fixture) begin(t *testing.T) types.TransID {
+	t.Helper()
+	tid, err := f.tm.Begin(types.NilTransID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tid
+}
+
+func TestAddressArithmetic(t *testing.T) {
+	f := newFixture(t, nil)
+	base, size, err := f.s.ReadPermanentData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0 || size != 16*types.PageSize {
+		t.Errorf("base %d size %d", base, size)
+	}
+	obj := f.s.CreateObjectID(100, 8)
+	if obj.Segment != 1 || obj.Offset != 100 || obj.Length != 8 {
+		t.Errorf("obj %v", obj)
+	}
+	if va := f.s.ConvertObjectIDToVirtualAddress(obj); va != 100 {
+		t.Errorf("va %d", va)
+	}
+}
+
+func TestWriteRequiresPin(t *testing.T) {
+	f := newFixture(t, nil)
+	obj := f.s.CreateObjectID(0, 4)
+	if err := f.s.Write(obj, []byte("nope")); !errors.Is(err, srvlib.ErrNotPinned) {
+		t.Fatalf("unpinned write: %v", err)
+	}
+	if err := f.s.PinObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.s.Write(obj, []byte("yes!")); err != nil {
+		t.Fatalf("pinned write: %v", err)
+	}
+	if err := f.s.UnPinObject(obj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinBufferLogCycle(t *testing.T) {
+	f := newFixture(t, nil)
+	tid := f.begin(t)
+	obj := f.s.CreateObjectID(0, 4)
+	if err := f.s.LockObject(tid, obj, lock.ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.s.PinAndBuffer(tid, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.s.Write(obj, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.s.LogAndUnPin(tid, obj); err != nil {
+		t.Fatal(err)
+	}
+	if !f.rm.HasLogged(tid) {
+		t.Error("update not logged")
+	}
+	// Locks are released automatically at commit (§3.1.1).
+	if ok, err := f.tm.End(tid); err != nil || !ok {
+		t.Fatalf("commit: %v", err)
+	}
+	if f.s.Locks().IsLocked(obj) {
+		t.Error("lock survived commit")
+	}
+}
+
+func TestLogAndUnPinWithoutBufferFails(t *testing.T) {
+	f := newFixture(t, nil)
+	tid := f.begin(t)
+	obj := f.s.CreateObjectID(0, 4)
+	if err := f.s.LogAndUnPin(tid, obj); !errors.Is(err, srvlib.ErrNotBuffered) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMarkedObjectsProtocol(t *testing.T) {
+	f := newFixture(t, nil)
+	tid := f.begin(t)
+	objs := []types.ObjectID{
+		f.s.CreateObjectID(0, 4),
+		f.s.CreateObjectID(types.PageSize, 4),
+		f.s.CreateObjectID(2*types.PageSize, 4),
+	}
+	for _, o := range objs {
+		if err := f.s.LockAndMark(tid, o, lock.ModeWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(f.s.MarkedObjects(tid)); got != 3 {
+		t.Fatalf("marked %d", got)
+	}
+	if err := f.s.PinAndBufferMarkedObjects(tid); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range objs {
+		if err := f.s.Write(o, []byte{byte(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.s.LogAndUnPinMarkedObjects(tid); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.s.MarkedObjects(tid)); got != 0 {
+		t.Errorf("queue not deleted: %d", got)
+	}
+	if f.k.PinnedPages() != 0 {
+		t.Errorf("%d pages still pinned", f.k.PinnedPages())
+	}
+	// Abort must restore all three via the logged values.
+	if err := f.tm.Abort(tid); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		got, err := f.s.Read(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0 {
+			t.Errorf("object %v not undone: %v", o, got)
+		}
+	}
+}
+
+func TestCoroutineMonitorSemantics(t *testing.T) {
+	// Two requests: the first blocks on a lock; the monitor must switch
+	// to the second (coroutine switch on wait), which releases the lock
+	// path by completing.
+	f := newFixture(t, nil)
+	obj := f.s.CreateObjectID(0, 4)
+
+	blocker := f.begin(t)
+	if err := f.s.LockObject(blocker, obj, lock.ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	var order atomic.Int32
+	f.s.AcceptRequests(func(req *srvlib.Request) ([]byte, error) {
+		switch req.Op {
+		case "blocked":
+			// Waits for the lock: a coroutine switch point.
+			err := f.s.LockObject(req.TID, obj, lock.ModeRead)
+			order.CompareAndSwap(1, 2)
+			return nil, err
+		case "fast":
+			order.CompareAndSwap(0, 1)
+			return nil, nil
+		}
+		return nil, errors.New("?")
+	})
+
+	t1, t2 := f.begin(t), f.begin(t)
+	reply1 := port.New("r1", nil)
+	defer reply1.Close()
+	if err := f.s.Port().SendQuiet(&port.Message{Op: "blocked", TID: t1, ReplyTo: reply1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let "blocked" enter its wait
+	reply2 := port.New("r2", nil)
+	defer reply2.Close()
+	if err := f.s.Port().SendQuiet(&port.Message{Op: "fast", TID: t2, ReplyTo: reply2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reply2.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if order.Load() != 1 {
+		t.Errorf("fast request did not run while blocked request waited (order=%d)", order.Load())
+	}
+	// Release the blocker; the waiting coroutine finishes.
+	if err := f.tm.Abort(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reply1.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if order.Load() != 2 {
+		t.Errorf("blocked request never completed (order=%d)", order.Load())
+	}
+}
+
+func TestExecuteTransaction(t *testing.T) {
+	f := newFixture(t, nil)
+	obj := f.s.CreateObjectID(0, 4)
+	var ran atomic.Bool
+	f.s.AcceptRequests(func(req *srvlib.Request) ([]byte, error) {
+		// Inside an operation, write permanent data under a server-owned
+		// top-level transaction (the IO server's trick, §4.3).
+		err := f.s.ExecuteTransaction(func(tid types.TransID) error {
+			if err := f.s.LockObject(tid, obj, lock.ModeWrite); err != nil {
+				return err
+			}
+			if err := f.s.PinAndBuffer(tid, obj); err != nil {
+				return err
+			}
+			if err := f.s.Write(obj, []byte("exec")); err != nil {
+				return err
+			}
+			return f.s.LogAndUnPin(tid, obj)
+		})
+		ran.Store(true)
+		return nil, err
+	})
+	reply := port.New("r", nil)
+	defer reply.Close()
+	if err := f.s.Port().SendQuiet(&port.Message{Op: "go", TID: f.begin(t), ReplyTo: reply}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := reply.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("op error: %s", resp.Err)
+	}
+	got, err := f.s.Read(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "exec" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOperationScripts(t *testing.T) {
+	f := newFixture(t, nil)
+	var total int64
+	f.s.RegisterOp("bump", func(_ types.TransID, args []byte) error {
+		total += int64(binary.BigEndian.Uint64(args))
+		return nil
+	})
+	script := srvlib.Script("bump", binary.BigEndian.AppendUint64(nil, 5))
+	if err := f.s.RunScript(types.NilTransID, script); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Errorf("total %d", total)
+	}
+	if err := f.s.RunScript(types.NilTransID, srvlib.Script("missing", nil)); !errors.Is(err, srvlib.ErrNoSuchOp) {
+		t.Errorf("missing op: %v", err)
+	}
+	if err := f.s.RunScript(types.NilTransID, []byte{0}); !errors.Is(err, srvlib.ErrNoSuchOp) {
+		t.Errorf("short script: %v", err)
+	}
+}
+
+func TestUnPinAllObjects(t *testing.T) {
+	f := newFixture(t, nil)
+	for i := uint32(0); i < 3; i++ {
+		if err := f.s.PinObject(f.s.CreateObjectID(srvlib.VirtualAddress(i*types.PageSize), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.k.PinnedPages() != 3 {
+		t.Fatalf("pinned %d", f.k.PinnedPages())
+	}
+	if err := f.s.UnPinAllObjects(); err != nil {
+		t.Fatal(err)
+	}
+	if f.k.PinnedPages() != 0 {
+		t.Errorf("pinned %d after UnPinAll", f.k.PinnedPages())
+	}
+}
+
+func TestSubTransactionLockRelease(t *testing.T) {
+	f := newFixture(t, nil)
+	top := f.begin(t)
+	sub, err := f.tm.Begin(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := f.s.CreateObjectID(0, 4)
+	if err := f.s.LockObject(sub, obj, lock.ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	// Abort only the subtransaction: its lock goes, the parent lives.
+	if err := f.tm.Abort(sub); err != nil {
+		t.Fatal(err)
+	}
+	if f.s.Locks().IsLocked(obj) {
+		t.Error("sub lock survived sub abort")
+	}
+	if ok, err := f.tm.End(top); err != nil || !ok {
+		t.Fatalf("parent commit after sub abort: %v", err)
+	}
+}
+
+// TestPanicConfinedToOperation: a handler panic becomes an error reply;
+// the server keeps serving subsequent requests.
+func TestPanicConfinedToOperation(t *testing.T) {
+	f := newFixture(t, nil)
+	f.s.AcceptRequests(func(req *srvlib.Request) ([]byte, error) {
+		if req.Op == "explode" {
+			panic("handler bug")
+		}
+		return []byte("fine"), nil
+	})
+	call := func(op string) (*port.Message, error) {
+		reply := port.New("r", nil)
+		defer reply.Close()
+		if err := f.s.Port().SendQuiet(&port.Message{Op: op, TID: f.begin(t), ReplyTo: reply}); err != nil {
+			return nil, err
+		}
+		return reply.Receive()
+	}
+	resp, err := call("explode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || !strings.Contains(resp.Err, "panicked") {
+		t.Errorf("panic not surfaced: %+v", resp)
+	}
+	resp, err = call("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "fine" {
+		t.Errorf("server dead after panic: %+v", resp)
+	}
+}

@@ -1,0 +1,591 @@
+package txn
+
+import (
+	"fmt"
+	"time"
+
+	"tabs/internal/simclock"
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// Datagram message kinds for the tree-structured two-phase commit. The
+// payload is two bytes: kind and (for status replies) a status code.
+const (
+	dgPrepare      uint8 = iota + 1 // parent -> child: phase 1
+	dgVoteCommit                    // child -> parent: prepared
+	dgVoteReadOnly                  // child -> parent: no updates, done
+	dgVoteAbort                     // child -> parent: cannot commit
+	dgCommit                        // parent -> child: phase 2 commit
+	dgAbort                         // parent -> child: abort
+	dgAck                           // child -> parent: phase 2 complete
+	dgStatusQ                       // child -> coordinator: in-doubt query
+	dgStatusR                       // coordinator -> child: outcome
+)
+
+// Waiter classes for reply correlation.
+const (
+	clsVote uint8 = iota + 1
+	clsAck
+	clsStatus
+)
+
+type dgMsg struct {
+	kind   uint8
+	status types.Status
+	from   types.NodeID
+}
+
+func encodeDG(kind uint8, st types.Status) []byte {
+	return []byte{kind, byte(st)}
+}
+
+func decodeDG(from types.NodeID, payload []byte) (dgMsg, bool) {
+	if len(payload) != 2 {
+		return dgMsg{}, false
+	}
+	return dgMsg{kind: payload[0], status: types.Status(payload[1]), from: from}, true
+}
+
+// handleDatagram is the Communication Manager dispatch entry for the txn
+// service. It runs on the delivery goroutine; the prepare/commit/abort
+// flows may block (they message further nodes), which is safe because
+// every delivery has its own goroutine.
+func (m *Manager) handleDatagram(from types.NodeID, tid types.TransID, payload []byte) ([]byte, error) {
+	msg, ok := decodeDG(from, payload)
+	if !ok {
+		return nil, fmt.Errorf("txn: malformed commit datagram from %s", from)
+	}
+	switch msg.kind {
+	case dgVoteCommit, dgVoteReadOnly, dgVoteAbort:
+		m.route(waitKey{tid: tid.TopLevel(), from: from, kind: clsVote}, msg)
+	case dgAck:
+		m.route(waitKey{tid: tid.TopLevel(), from: from, kind: clsAck}, msg)
+	case dgStatusR:
+		m.route(waitKey{tid: tid.TopLevel(), from: from, kind: clsStatus}, msg)
+	case dgPrepare:
+		m.participantPrepare(from, tid.TopLevel())
+	case dgCommit:
+		m.participantCommit(from, tid.TopLevel())
+	case dgAbort:
+		m.participantAbort(from, tid.TopLevel())
+	case dgStatusQ:
+		m.answerStatusQuery(from, tid.TopLevel())
+	}
+	return nil, nil
+}
+
+// route hands an inbound reply to its registered waiter, dropping
+// duplicates (at-most-once at the protocol level: retransmitted votes and
+// acks are harmless).
+func (m *Manager) route(k waitKey, msg dgMsg) {
+	m.mu.Lock()
+	ch := m.waiters[k]
+	m.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+// await registers a waiter for one reply.
+func (m *Manager) await(k waitKey) chan dgMsg {
+	ch := make(chan dgMsg, 1)
+	m.mu.Lock()
+	m.waiters[k] = ch
+	m.mu.Unlock()
+	return ch
+}
+
+func (m *Manager) unawait(k waitKey) {
+	m.mu.Lock()
+	delete(m.waiters, k)
+	m.mu.Unlock()
+}
+
+// sendRound transmits kind to every child, charging the paper's
+// longest-path datagram fractions: the first send is a full datagram, the
+// rest — transmitted in parallel — one half each (Table 5-3 notes).
+func (m *Manager) sendRound(tid types.TransID, children []types.NodeID, kind uint8) {
+	for i, c := range children {
+		charge := 1.0
+		if i > 0 {
+			charge = 0.5
+		}
+		_ = m.cm.SendDatagram(c, Service, tid, encodeDG(kind, types.StatusUnknown), charge)
+	}
+}
+
+// collectRound sends kind to children and gathers one reply of class cls
+// from each, retransmitting to laggards. Missing replies after all retries
+// are reported with kind 0.
+func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind uint8, cls uint8) map[types.NodeID]dgMsg {
+	results := make(map[types.NodeID]dgMsg, len(children))
+	chans := make(map[types.NodeID]chan dgMsg, len(children))
+	for _, c := range children {
+		chans[c] = m.await(waitKey{tid: tid, from: c, kind: cls})
+	}
+	defer func() {
+		for _, c := range children {
+			m.unawait(waitKey{tid: tid, from: c, kind: cls})
+		}
+	}()
+	m.sendRound(tid, children, kind)
+	vote, attempts, _ := m.timing()
+	if attempts < 1 {
+		attempts = 1
+	}
+	for try := 0; try < attempts; try++ {
+		// One absolute deadline per round: a time.After channel fires
+		// once, so sharing it across the per-child selects would leave
+		// every child after the first timing-out child blocked forever.
+		deadline := time.Now().Add(vote)
+		for _, c := range children {
+			if _, done := results[c]; done {
+				continue
+			}
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				// The round has expired; poll without blocking.
+				select {
+				case msg := <-chans[c]:
+					results[c] = msg
+				default:
+				}
+				continue
+			}
+			select {
+			case msg := <-chans[c]:
+				results[c] = msg
+			case <-time.After(remaining):
+			}
+		}
+		if len(results) == len(children) {
+			break
+		}
+		// Retransmit to children that have not answered.
+		for _, c := range children {
+			if _, done := results[c]; !done {
+				_ = m.cm.SendDatagram(c, Service, tid, encodeDG(kind, types.StatusUnknown), 0)
+			}
+		}
+	}
+	// One datagram arrival on the longest path covers the whole reply
+	// round (replies travel in parallel).
+	if m.rec != nil && len(children) > 0 {
+		m.rec.RecordN(simclock.Datagram, 1)
+	}
+	return results
+}
+
+// localWrote reports whether any local work of the transaction reached the
+// log; if not, the read-only optimization applies: no commit record, no
+// force (Table 5-3 shows no Stable Storage Write for read-only commits).
+func (m *Manager) localWrote(lt *localTrans) bool {
+	for _, tid := range localTIDs(lt) {
+		if m.rm.HasLogged(tid) {
+			return true
+		}
+	}
+	return false
+}
+
+// autoCommitSubs marks still-active subtransactions committed: "when a
+// parent transaction commits or aborts, its subtransactions are committed
+// or aborted as well" (§3.2.3).
+func (m *Manager) autoCommitSubs(lt *localTrans) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for sub, st := range lt.subs {
+		if st == types.StatusActive {
+			lt.subs[sub] = types.StatusCommitted
+		}
+	}
+}
+
+// notifyCommit tells every joined server to finalize and unlock.
+func (m *Manager) notifyCommit(lt *localTrans) {
+	for _, p := range participants(lt) {
+		m.recordMsgs(1)
+		p.CommitTrans(lt.top)
+	}
+}
+
+// commitTree runs the commit protocol with this node as (root)
+// coordinator.
+func (m *Manager) commitTree(lt *localTrans) (bool, error) {
+	m.mu.Lock()
+	if lt.state != stActive {
+		st := lt.state
+		m.mu.Unlock()
+		return st == stCommitted, fmt.Errorf("%w: %v", ErrNotActive, lt.top)
+	}
+	lt.state = stPreparing
+	m.mu.Unlock()
+	m.autoCommitSubs(lt)
+
+	var children []types.NodeID
+	if m.cm != nil {
+		_, _, children = m.cm.Tree(lt.top)
+	}
+	var writers []types.NodeID
+	if len(children) > 0 {
+		votes := m.collectRound(lt.top, children, dgPrepare, clsVote)
+		abort := false
+		for _, c := range children {
+			v, ok := votes[c]
+			if !ok || v.kind == dgVoteAbort {
+				abort = true
+				continue
+			}
+			if v.kind == dgVoteCommit {
+				writers = append(writers, c)
+			}
+		}
+		if abort {
+			if err := m.abortTree(lt, true); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
+	}
+
+	wrote := m.localWrote(lt)
+	if !wrote && len(writers) == 0 {
+		// Entirely read-only: nothing to log, nothing to force.
+		m.mu.Lock()
+		lt.state = stCommitted
+		m.mu.Unlock()
+		m.notifyCommit(lt)
+		m.finishLocal(lt, types.StatusCommitted)
+		return true, nil
+	}
+
+	// The commit record under the root TID decides the whole tree; it is
+	// forced before any effect is exposed (§2.1.3).
+	if err := m.rm.LogCommit(lt.top); err != nil {
+		if aerr := m.abortTree(lt, true); aerr != nil {
+			return false, fmt.Errorf("txn: commit force failed (%v); abort also failed: %w", err, aerr)
+		}
+		return false, nil
+	}
+	m.mu.Lock()
+	lt.state = stCommitted
+	m.mu.Unlock()
+	if len(writers) > 0 {
+		m.collectRound(lt.top, writers, dgCommit, clsAck)
+	}
+	m.notifyCommit(lt)
+	m.finishLocal(lt, types.StatusCommitted)
+	return true, nil
+}
+
+// abortTree aborts the local portion of the transaction and propagates
+// the abort to every child subtree.
+func (m *Manager) abortTree(lt *localTrans, _ bool) error {
+	m.mu.Lock()
+	if lt.state == stAborted {
+		m.mu.Unlock()
+		return nil
+	}
+	lt.state = stAborted
+	doomed := make([]types.TransID, 0, len(lt.subs)+1)
+	for sub, st := range lt.subs {
+		if st != types.StatusAborted {
+			doomed = append(doomed, sub)
+			lt.subs[sub] = types.StatusAborted
+		}
+	}
+	doomed = append(doomed, lt.top)
+	servers := participants(lt)
+	m.mu.Unlock()
+
+	var children []types.NodeID
+	if m.cm != nil {
+		_, _, children = m.cm.Tree(lt.top)
+	}
+	for _, tid := range doomed {
+		if err := m.rm.Abort(tid); err != nil {
+			return err
+		}
+		for _, p := range servers {
+			m.recordMsgs(1)
+			p.AbortTrans(tid)
+		}
+	}
+	if len(children) > 0 {
+		m.collectRound(lt.top, children, dgAbort, clsAck)
+	}
+	m.finishLocal(lt, types.StatusAborted)
+	return nil
+}
+
+// participantPrepare handles phase 1 at a non-root node: recursively
+// prepare the subtree below, then prepare locally and vote.
+func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
+	m.mu.Lock()
+	lt := m.trans[top]
+	if lt == nil {
+		// No state: either we never worked for this transaction or we
+		// already finished. Answer from the outcomes table.
+		st := m.outcomes[top]
+		m.mu.Unlock()
+		switch st {
+		case types.StatusCommitted:
+			// Read-only participant that already finished.
+			_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteReadOnly, st), 0)
+		default:
+			_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteAbort, st), 0)
+		}
+		return
+	}
+	switch lt.state {
+	case stPreparing:
+		m.mu.Unlock()
+		return // duplicate prepare while the first is in progress
+	case stPrepared:
+		m.mu.Unlock()
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteCommit, types.StatusUnknown), 0)
+		return
+	case stAborted:
+		m.mu.Unlock()
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteAbort, types.StatusUnknown), 0)
+		return
+	case stCommitted:
+		m.mu.Unlock()
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteReadOnly, types.StatusUnknown), 0)
+		return
+	}
+	lt.state = stPreparing
+	m.mu.Unlock()
+	m.autoCommitSubs(lt)
+
+	_, _, children := m.cm.Tree(top)
+	var writers []types.NodeID
+	abort := false
+	if len(children) > 0 {
+		votes := m.collectRound(top, children, dgPrepare, clsVote)
+		for _, c := range children {
+			v, ok := votes[c]
+			if !ok || v.kind == dgVoteAbort {
+				abort = true
+				continue
+			}
+			if v.kind == dgVoteCommit {
+				writers = append(writers, c)
+			}
+		}
+	}
+	if abort {
+		_ = m.abortTree(lt, false)
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteAbort, types.StatusUnknown), 0)
+		return
+	}
+
+	wrote := m.localWrote(lt)
+	if !wrote && len(writers) == 0 {
+		// Read-only subtree: finished now, drops out of phase 2.
+		m.mu.Lock()
+		lt.state = stCommitted
+		m.mu.Unlock()
+		m.notifyCommit(lt)
+		m.finishLocal(lt, types.StatusCommitted)
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteReadOnly, types.StatusUnknown), 0)
+		return
+	}
+
+	prep := &wal.PrepareBody{Parent: parent, Children: writers}
+	if err := m.rm.LogPrepare(top, prep); err != nil {
+		_ = m.abortTree(lt, false)
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteAbort, types.StatusUnknown), 0)
+		return
+	}
+	m.mu.Lock()
+	lt.state = stPrepared
+	lt.prep = prep
+	m.mu.Unlock()
+	_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteCommit, types.StatusUnknown), 0)
+	// In-doubt self-resolution: if the outcome never arrives (lost
+	// datagrams, coordinator crash), ask the parent.
+	go m.resolveWhenStuck(lt, parent)
+}
+
+// participantCommit handles phase 2 at a prepared node: relay to the
+// prepared children, commit locally (forced — the ack releases the
+// coordinator from remembering us), unlock, ack.
+func (m *Manager) participantCommit(parent types.NodeID, top types.TransID) {
+	m.mu.Lock()
+	lt := m.trans[top]
+	if lt == nil {
+		// Already finished: retransmitted commit; just re-ack.
+		m.mu.Unlock()
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgAck, types.StatusUnknown), 0)
+		return
+	}
+	if lt.state != stPrepared {
+		m.mu.Unlock()
+		return
+	}
+	lt.state = stCommitted
+	prep := lt.prep
+	m.mu.Unlock()
+
+	if prep != nil && len(prep.Children) > 0 {
+		m.collectRound(top, prep.Children, dgCommit, clsAck)
+	}
+	if err := m.rm.LogCommit(top); err != nil {
+		// Forced commit record failed; stay prepared and let resolution
+		// retry. Do not ack.
+		m.mu.Lock()
+		lt.state = stPrepared
+		m.mu.Unlock()
+		return
+	}
+	m.notifyCommit(lt)
+	m.finishLocal(lt, types.StatusCommitted)
+	_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgAck, types.StatusUnknown), 0)
+}
+
+// participantAbort handles an abort instruction from the parent.
+func (m *Manager) participantAbort(parent types.NodeID, top types.TransID) {
+	m.mu.Lock()
+	lt := m.trans[top]
+	m.mu.Unlock()
+	if lt != nil {
+		_ = m.abortTree(lt, false)
+	}
+	_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgAck, types.StatusUnknown), 0)
+}
+
+// answerStatusQuery reports a transaction's outcome to an in-doubt child.
+// Unknown transactions are presumed aborted: the coordinator forces its
+// commit record before releasing anything, so a missing record after a
+// crash proves the transaction did not commit.
+func (m *Manager) answerStatusQuery(from types.NodeID, top types.TransID) {
+	m.mu.Lock()
+	st, known := m.outcomes[top]
+	if !known {
+		if lt := m.trans[top]; lt != nil {
+			switch lt.state {
+			case stCommitted:
+				st, known = types.StatusCommitted, true
+			case stAborted:
+				st, known = types.StatusAborted, true
+			default:
+				st, known = types.StatusPrepared, true // still in progress
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !known {
+		st = types.StatusAborted // presumed abort
+	}
+	if m.rec != nil {
+		m.rec.Record(simclock.Datagram)
+	}
+	_ = m.cm.SendDatagram(from, Service, top, encodeDG(dgStatusR, st), 0)
+}
+
+// resolveWhenStuck waits for the prepared transaction to resolve; if it
+// stays in doubt, it queries the parent and applies the answer.
+func (m *Manager) resolveWhenStuck(lt *localTrans, parent types.NodeID) {
+	vote, retries, _ := m.timing()
+	time.Sleep(time.Duration(retries+2) * vote)
+	m.mu.Lock()
+	stuck := lt.state == stPrepared
+	m.mu.Unlock()
+	if !stuck {
+		return
+	}
+	st := m.queryStatus(lt.top, parent)
+	switch st {
+	case types.StatusCommitted:
+		m.participantCommit(parent, lt.top)
+	case types.StatusAborted:
+		_ = m.abortTree(lt, false)
+	}
+}
+
+// queryStatus asks peer for top's outcome, with retries. It returns
+// StatusPrepared when the coordinator explicitly answered "still in
+// progress", and StatusUnknown when no answer arrived at all — callers
+// treat those differently: a prepared participant must stay in doubt, but
+// an active (never-prepared) orphan may be aborted unilaterally.
+func (m *Manager) queryStatus(top types.TransID, peer types.NodeID) types.Status {
+	k := waitKey{tid: top, from: peer, kind: clsStatus}
+	ch := m.await(k)
+	defer m.unawait(k)
+	vote, attempts, _ := m.timing()
+	if attempts < 1 {
+		attempts = 1
+	}
+	heard := false
+	for i := 0; i < attempts; i++ {
+		_ = m.cm.SendDatagram(peer, Service, top, encodeDG(dgStatusQ, types.StatusUnknown), 1)
+		select {
+		case msg := <-ch:
+			if msg.status == types.StatusPrepared {
+				// Coordinator still deciding; wait and retry.
+				heard = true
+				time.Sleep(vote)
+				continue
+			}
+			return msg.status
+		case <-time.After(vote):
+		}
+	}
+	if heard {
+		return types.StatusPrepared
+	}
+	return types.StatusUnknown
+}
+
+// ResolveStatus implements recovery.TransStatusSource for crash restart:
+// an in-doubt prepared transaction found in the log is resolved by asking
+// the parent recorded in its prepare record (§3.2.2).
+func (m *Manager) ResolveStatus(tid types.TransID, prep *wal.PrepareBody) types.Status {
+	if prep == nil || prep.Parent == "" || m.cm == nil {
+		return types.StatusPrepared
+	}
+	st := m.queryStatus(tid.TopLevel(), prep.Parent)
+	if st == types.StatusUnknown {
+		// Unreachable coordinator: a prepared transaction must stay in
+		// doubt (the 2PC blocking window the paper acknowledges).
+		return types.StatusPrepared
+	}
+	return st
+}
+
+// RestoreTransRecord implements recovery.TransStatusSource: during the
+// analysis pass the Recovery Manager passes transaction-management records
+// back to the Transaction Manager (§3.2.2), which rebuilds its outcomes
+// table so it can answer status queries from other nodes after a crash.
+func (m *Manager) RestoreTransRecord(r *wal.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch r.Type {
+	case wal.RecCommit:
+		m.outcomes[r.TID.TopLevel()] = types.StatusCommitted
+	case wal.RecAbort:
+		if r.TID.IsTopLevel() {
+			m.outcomes[r.TID] = types.StatusAborted
+		}
+	}
+}
+
+// Crash drops all volatile Transaction Manager state and stops the
+// orphan sweeper.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trans = make(map[types.TransID]*localTrans)
+	m.outcomes = make(map[types.TransID]types.Status)
+	m.waiters = make(map[waitKey]chan dgMsg)
+	select {
+	case <-m.stopSweep:
+	default:
+		close(m.stopSweep)
+	}
+}

@@ -1,0 +1,150 @@
+// Package types defines the identifiers shared by every TABS component:
+// node names, transaction identifiers, and the ObjectIDs through which data
+// servers address recoverable storage (paper §3.1.1).
+package types
+
+import (
+	"fmt"
+)
+
+// NodeID names a TABS node (one simulated machine).
+type NodeID string
+
+// ServerID names a data server. The Name Server maps external names to
+// <port, logical object identifier> pairs; within this implementation a
+// data server's registered name doubles as its routing identifier.
+type ServerID string
+
+// SegmentID identifies one recoverable segment on a node. Segments are the
+// disk files that hold a data server's permanent data, mapped into virtual
+// memory by the kernel (§3.2.1).
+type SegmentID uint32
+
+// TransID identifies a transaction globally. The Transaction Manager
+// allocates identifiers that are unique across nodes (§3.2.3): Node is the
+// node that created this (sub)transaction and Seq its local sequence
+// number there. RootNode/RootSeq identify the top-level ancestor whose
+// commit finally commits a subtransaction's effects (§2.1.3); for a
+// top-level transaction they equal Node/Seq.
+type TransID struct {
+	Node     NodeID
+	Seq      uint64
+	RootNode NodeID
+	RootSeq  uint64
+}
+
+// NilTransID is the distinguished null transaction identifier passed to
+// BeginTransaction to create a new top-level transaction (§3.1.2).
+var NilTransID = TransID{}
+
+// IsNil reports whether t is the null transaction identifier.
+func (t TransID) IsNil() bool { return t == NilTransID }
+
+// IsTopLevel reports whether t identifies a top-level transaction.
+func (t TransID) IsTopLevel() bool {
+	return !t.IsNil() && t.Node == t.RootNode && t.Seq == t.RootSeq
+}
+
+// TopLevel returns the identifier of t's top-level ancestor.
+func (t TransID) TopLevel() TransID {
+	return TransID{Node: t.RootNode, Seq: t.RootSeq, RootNode: t.RootNode, RootSeq: t.RootSeq}
+}
+
+// String formats the identifier as root[.node:seq].
+func (t TransID) String() string {
+	if t.IsNil() {
+		return "T(nil)"
+	}
+	if t.IsTopLevel() {
+		return fmt.Sprintf("%s:%d", t.Node, t.Seq)
+	}
+	return fmt.Sprintf("%s:%d[%s:%d]", t.RootNode, t.RootSeq, t.Node, t.Seq)
+}
+
+// ObjectID names a lockable, loggable unit of recoverable storage: a byte
+// range within a recoverable segment. Data servers create ObjectIDs from
+// virtual addresses with CreateObjectID and convert back with
+// ConvertObjectIDToVirtualAddress (§3.1.1); both directions are trivial
+// here because an ObjectID *is* the segment-relative address.
+type ObjectID struct {
+	Segment SegmentID
+	Offset  uint32
+	Length  uint32
+}
+
+// String formats the ObjectID as seg/offset+len.
+func (o ObjectID) String() string {
+	return fmt.Sprintf("%d/%d+%d", o.Segment, o.Offset, o.Length)
+}
+
+// Overlaps reports whether two ObjectIDs denote overlapping byte ranges of
+// the same segment.
+func (o ObjectID) Overlaps(p ObjectID) bool {
+	if o.Segment != p.Segment {
+		return false
+	}
+	return o.Offset < p.Offset+p.Length && p.Offset < o.Offset+o.Length
+}
+
+// PageSize is the unit of paging and of value-log records: TABS pages are
+// 512 bytes (§5.1) and a value log record holds at most one page of old and
+// new value (§2.1.3).
+const PageSize = 512
+
+// PageID identifies one page of a recoverable segment.
+type PageID struct {
+	Segment SegmentID
+	Page    uint32
+}
+
+// String formats the PageID as seg:page.
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.Segment, p.Page) }
+
+// FirstPage returns the page containing the first byte of o.
+func (o ObjectID) FirstPage() PageID {
+	return PageID{Segment: o.Segment, Page: o.Offset / PageSize}
+}
+
+// Pages returns every page the object's byte range touches.
+func (o ObjectID) Pages() []PageID {
+	if o.Length == 0 {
+		return []PageID{o.FirstPage()}
+	}
+	first := o.Offset / PageSize
+	last := (o.Offset + o.Length - 1) / PageSize
+	out := make([]PageID, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, PageID{Segment: o.Segment, Page: p})
+	}
+	return out
+}
+
+// Status is the externally visible state of a transaction, as reported by
+// the Transaction Manager during recovery and by TransactionIsAborted.
+type Status int
+
+// Transaction states. Prepared is the 2PC window in which a participant
+// must preserve the transaction's effects until the coordinator decides.
+const (
+	StatusUnknown Status = iota
+	StatusActive
+	StatusPrepared
+	StatusCommitted
+	StatusAborted
+)
+
+// String returns the state name.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusPrepared:
+		return "prepared"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,130 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilTransID(t *testing.T) {
+	if !NilTransID.IsNil() {
+		t.Error("NilTransID not nil")
+	}
+	if NilTransID.IsTopLevel() {
+		t.Error("nil TID reported top level")
+	}
+	tid := TransID{Node: "a", Seq: 1, RootNode: "a", RootSeq: 1}
+	if tid.IsNil() {
+		t.Error("real TID reported nil")
+	}
+}
+
+func TestTopLevel(t *testing.T) {
+	top := TransID{Node: "a", Seq: 5, RootNode: "a", RootSeq: 5}
+	if !top.IsTopLevel() {
+		t.Error("top-level TID not recognized")
+	}
+	sub := TransID{Node: "b", Seq: 9, RootNode: "a", RootSeq: 5}
+	if sub.IsTopLevel() {
+		t.Error("subtransaction reported top level")
+	}
+	if sub.TopLevel() != top {
+		t.Errorf("TopLevel() = %v, want %v", sub.TopLevel(), top)
+	}
+	if top.TopLevel() != top {
+		t.Error("TopLevel not idempotent on a root")
+	}
+}
+
+func TestTransIDString(t *testing.T) {
+	if NilTransID.String() != "T(nil)" {
+		t.Errorf("nil string %q", NilTransID.String())
+	}
+	top := TransID{Node: "a", Seq: 5, RootNode: "a", RootSeq: 5}
+	if top.String() != "a:5" {
+		t.Errorf("top string %q", top.String())
+	}
+	sub := TransID{Node: "b", Seq: 9, RootNode: "a", RootSeq: 5}
+	if sub.String() != "a:5[b:9]" {
+		t.Errorf("sub string %q", sub.String())
+	}
+}
+
+func TestObjectPages(t *testing.T) {
+	// Entirely inside one page.
+	o := ObjectID{Segment: 1, Offset: 10, Length: 20}
+	pages := o.Pages()
+	if len(pages) != 1 || pages[0] != (PageID{Segment: 1, Page: 0}) {
+		t.Errorf("pages %v", pages)
+	}
+	// Spanning a boundary.
+	o = ObjectID{Segment: 1, Offset: PageSize - 4, Length: 8}
+	pages = o.Pages()
+	if len(pages) != 2 || pages[0].Page != 0 || pages[1].Page != 1 {
+		t.Errorf("spanning pages %v", pages)
+	}
+	// Exactly one page, aligned.
+	o = ObjectID{Segment: 1, Offset: PageSize, Length: PageSize}
+	pages = o.Pages()
+	if len(pages) != 1 || pages[0].Page != 1 {
+		t.Errorf("aligned page %v", pages)
+	}
+	// Zero length still names its containing page.
+	o = ObjectID{Segment: 1, Offset: 3 * PageSize, Length: 0}
+	pages = o.Pages()
+	if len(pages) != 1 || pages[0].Page != 3 {
+		t.Errorf("zero length pages %v", pages)
+	}
+}
+
+func TestPagesCoverObjectQuick(t *testing.T) {
+	// Property: every byte of the object lies in some returned page, and
+	// every returned page contains at least one byte of the object.
+	f := func(off uint16, length uint16) bool {
+		o := ObjectID{Segment: 1, Offset: uint32(off), Length: uint32(length)%2048 + 1}
+		pages := o.Pages()
+		first := o.Offset / PageSize
+		last := (o.Offset + o.Length - 1) / PageSize
+		if uint32(len(pages)) != last-first+1 {
+			return false
+		}
+		for i, p := range pages {
+			if p.Page != first+uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := ObjectID{Segment: 1, Offset: 0, Length: 10}
+	b := ObjectID{Segment: 1, Offset: 5, Length: 10}
+	c := ObjectID{Segment: 1, Offset: 10, Length: 10}
+	d := ObjectID{Segment: 2, Offset: 0, Length: 10}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping ranges not detected")
+	}
+	if a.Overlaps(c) {
+		t.Error("adjacent ranges reported overlapping")
+	}
+	if a.Overlaps(d) {
+		t.Error("different segments reported overlapping")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusActive:    "active",
+		StatusPrepared:  "prepared",
+		StatusCommitted: "committed",
+		StatusAborted:   "aborted",
+		StatusUnknown:   "unknown",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

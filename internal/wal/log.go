@@ -1,0 +1,477 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tabs/internal/disk"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+)
+
+// Log manages the node's common write-ahead log on a circular region of the
+// simulated disk. Records are appended to a volatile buffer and become
+// durable when forced — by the commit protocol, by the write-ahead rule
+// before a page steal, or when the buffer fills (§3.2.2).
+//
+// Physical layout: the first sector of the region is the anchor (checkpoint
+// pointer and low-water mark); the remaining sectors hold the record stream
+// addressed by LSN modulo the data capacity.
+type Log struct {
+	mu   sync.Mutex
+	d    *disk.Disk
+	base disk.Addr // anchor sector
+	data int64     // number of data sectors
+	rec  *stats.Recorder
+
+	lowLSN     LSN // oldest retained byte (record boundary)
+	durableLSN LSN // everything below is on disk
+	nextLSN    LSN // next byte to be assigned
+	ckptLSN    LSN // LSN of the last checkpoint record
+
+	buf      []byte // appended but not yet forced bytes [durableLSN, nextLSN)
+	index    []LSN  // start LSNs of retained records, ascending
+	fullWarn bool
+}
+
+// Errors returned by the log manager.
+var (
+	ErrLogFull    = errors.New("wal: log space exhausted; reclamation required")
+	ErrBadAnchor  = errors.New("wal: anchor sector corrupt")
+	ErrOutOfRange = errors.New("wal: LSN out of retained range")
+)
+
+const anchorMagic = 0x7AB5106A
+
+// firstLSN is where a fresh log starts; LSN 0 is reserved as NilLSN.
+const firstLSN LSN = 1
+
+// Config describes where a Log lives and how it is instrumented.
+type Config struct {
+	Disk    *disk.Disk
+	Base    disk.Addr // first sector of the log region (the anchor)
+	Sectors int64     // total sectors including the anchor
+	Rec     *stats.Recorder
+}
+
+// Open mounts the log region, reading the anchor and scanning forward from
+// the low-water mark to find the durable end of the log, exactly as crash
+// recovery must (§3.2.2). A region whose anchor is unwritten is formatted
+// as an empty log.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Sectors < 2 {
+		return nil, fmt.Errorf("wal: region needs at least 2 sectors, got %d", cfg.Sectors)
+	}
+	l := &Log{
+		d:    cfg.Disk,
+		base: cfg.Base,
+		data: cfg.Sectors - 1,
+		rec:  cfg.Rec,
+	}
+	var sector [disk.SectorSize]byte
+	if _, err := l.d.Read(l.base, sector[:]); err != nil {
+		return nil, fmt.Errorf("wal: reading anchor: %w", err)
+	}
+	if binary.BigEndian.Uint32(sector[0:4]) != anchorMagic {
+		// Fresh region: format an empty log.
+		l.lowLSN, l.durableLSN, l.nextLSN = firstLSN, firstLSN, firstLSN
+		if err := l.writeAnchor(); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	l.lowLSN = LSN(binary.BigEndian.Uint64(sector[4:12]))
+	l.ckptLSN = LSN(binary.BigEndian.Uint64(sector[12:20]))
+	if l.lowLSN == 0 {
+		return nil, ErrBadAnchor
+	}
+	if err := l.recoverEnd(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// recoverEnd scans forward from lowLSN validating checksums and embedded
+// LSNs until the stream stops making sense; that point is the durable end.
+func (l *Log) recoverEnd() error {
+	lsn := l.lowLSN
+	l.index = l.index[:0]
+	for {
+		r, n, err := l.readRecordFromDisk(lsn)
+		if err != nil {
+			break // end of valid log
+		}
+		l.index = append(l.index, lsn)
+		lsn += LSN(n)
+		_ = r
+	}
+	l.durableLSN = lsn
+	l.nextLSN = lsn
+	l.buf = nil
+	return nil
+}
+
+func (l *Log) writeAnchor() error {
+	var sector [disk.SectorSize]byte
+	binary.BigEndian.PutUint32(sector[0:4], anchorMagic)
+	binary.BigEndian.PutUint64(sector[4:12], uint64(l.lowLSN))
+	binary.BigEndian.PutUint64(sector[12:20], uint64(l.ckptLSN))
+	return l.d.Write(l.base, sector[:], 0)
+}
+
+// sectorFor maps a log byte offset to its disk sector and intra-sector
+// offset.
+func (l *Log) sectorFor(lsn LSN) (disk.Addr, int) {
+	byteOff := uint64(lsn)
+	sec := (byteOff / disk.SectorSize) % uint64(l.data)
+	return l.base + 1 + disk.Addr(sec), int(byteOff % disk.SectorSize)
+}
+
+// Capacity returns the byte capacity of the record region.
+func (l *Log) Capacity() int64 { return l.data * disk.SectorSize }
+
+// SpaceUsed returns bytes between the low-water mark and the append point.
+func (l *Log) SpaceUsed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.nextLSN - l.lowLSN)
+}
+
+// SpaceLeft returns the free byte capacity before the log is full.
+func (l *Log) SpaceLeft() int64 { return l.Capacity() - l.SpaceUsed() }
+
+// NearlyFull reports whether less than 1/8 of the log space remains; the
+// Recovery Manager uses this to trigger reclamation (§3.2.2).
+func (l *Log) NearlyFull() bool { return l.SpaceLeft() < l.Capacity()/8 }
+
+// LowLSN returns the oldest retained LSN.
+func (l *Log) LowLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lowLSN
+}
+
+// DurableLSN returns the LSN up to which the log is on non-volatile
+// storage (exclusive).
+func (l *Log) DurableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableLSN
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// CheckpointLSN returns the LSN of the most recent checkpoint record, or 0.
+func (l *Log) CheckpointLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptLSN
+}
+
+// Append assigns the next LSN to r, serializes it into the volatile buffer,
+// and returns the assigned LSN. The record is not durable until Force.
+func (l *Log) Append(r *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.nextLSN
+	frame, err := Encode(r)
+	if err != nil {
+		return 0, err
+	}
+	if int64(l.nextLSN-l.lowLSN)+int64(len(frame)) > l.Capacity() {
+		return 0, ErrLogFull
+	}
+	l.buf = append(l.buf, frame...)
+	l.index = append(l.index, r.LSN)
+	l.nextLSN += LSN(len(frame))
+	return r.LSN, nil
+}
+
+// Force makes every record with LSN < upTo durable. Passing the current
+// NextLSN (or any larger value) forces the whole buffer. Each log page
+// written charges one Stable Storage Write primitive (Table 5-1).
+func (l *Log) Force(upTo LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forceLocked(upTo)
+}
+
+func (l *Log) forceLocked(upTo LSN) error {
+	if upTo > l.nextLSN {
+		upTo = l.nextLSN
+	}
+	if upTo <= l.durableLSN {
+		return nil
+	}
+	// Write whole sectors covering [durableLSN, nextLSN); we force the
+	// entire buffer once any of it must go (a page of log data is the
+	// force unit, §5.1).
+	start := l.durableLSN
+	end := l.nextLSN
+	firstSec := uint64(start) / disk.SectorSize
+	lastSec := (uint64(end) - 1) / disk.SectorSize
+	for sec := firstSec; sec <= lastSec; sec++ {
+		var page [disk.SectorSize]byte
+		secStart := LSN(sec * disk.SectorSize)
+		// Fill the page from buffered bytes (and, for the first sector,
+		// re-read the already-durable prefix from disk).
+		if secStart < start {
+			addr, _ := l.sectorFor(secStart)
+			if _, err := l.d.Read(addr, page[:]); err != nil {
+				return fmt.Errorf("wal: read-modify-write of log page: %w", err)
+			}
+		}
+		for i := 0; i < disk.SectorSize; i++ {
+			off := secStart + LSN(i)
+			if off >= start && off < end {
+				page[i] = l.buf[off-start]
+			}
+		}
+		addr, _ := l.sectorFor(secStart)
+		if err := l.d.Write(addr, page[:], 0); err != nil {
+			return fmt.Errorf("wal: forcing log page: %w", err)
+		}
+	}
+	// One force is one Stable Storage Write primitive — "the elapsed time
+	// required for the Recovery Manager to force a page of log data to
+	// non-volatile storage" (§5.1) — regardless of how many sectors the
+	// buffered records straddle.
+	if l.rec != nil {
+		l.rec.Record(simclock.StableWrite)
+	}
+	l.buf = nil
+	l.durableLSN = l.nextLSN
+	return nil
+}
+
+// readBytes returns n bytes starting at lsn, reading from the volatile
+// buffer and/or disk as needed. Caller holds l.mu.
+func (l *Log) readBytes(lsn LSN, n int) ([]byte, error) {
+	if lsn < l.lowLSN || lsn+LSN(n) > l.nextLSN {
+		return nil, fmt.Errorf("%w: [%d,%d) retained [%d,%d)", ErrOutOfRange, lsn, lsn+LSN(n), l.lowLSN, l.nextLSN)
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		off := lsn + LSN(i)
+		if off >= l.durableLSN {
+			// From the volatile buffer.
+			out[i] = l.buf[off-l.durableLSN]
+			i++
+			continue
+		}
+		addr, inSec := l.sectorFor(off)
+		var page [disk.SectorSize]byte
+		if _, err := l.d.Read(addr, page[:]); err != nil {
+			return nil, err
+		}
+		c := copy(out[i:], page[inSec:])
+		// Don't copy past the durable boundary into buffer territory.
+		if off+LSN(c) > l.durableLSN {
+			c = int(l.durableLSN - off)
+		}
+		i += c
+	}
+	return out, nil
+}
+
+// readRecordFromDisk decodes the record at lsn using only durable bytes;
+// used while recovering the end of the log, when no buffer exists.
+func (l *Log) readRecordFromDisk(lsn LSN) (*Record, int, error) {
+	header, err := l.readRawDurable(lsn, 4)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := int(binary.BigEndian.Uint32(header))
+	if n < headerSize || n > MaxBodySize+headerSize+512 {
+		return nil, 0, ErrCorrupt
+	}
+	frame, err := l.readRawDurable(lsn, 4+n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return Decode(frame, lsn)
+}
+
+// readRawDurable reads bytes straight off the disk without range checks
+// against nextLSN (which is unknown during end recovery).
+func (l *Log) readRawDurable(lsn LSN, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		off := lsn + LSN(i)
+		addr, inSec := l.sectorFor(off)
+		var page [disk.SectorSize]byte
+		if _, err := l.d.Read(addr, page[:]); err != nil {
+			return nil, err
+		}
+		i += copy(out[i:], page[inSec:])
+	}
+	return out, nil
+}
+
+// ReadRecord returns the record starting at lsn.
+func (l *Log) ReadRecord(lsn LSN) (*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	header, err := l.readBytes(lsn, 4)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(header))
+	frame, err := l.readBytes(lsn, 4+n)
+	if err != nil {
+		return nil, err
+	}
+	r, _, err := Decode(frame, lsn)
+	return r, err
+}
+
+// ScanForward calls fn for every retained record with from ≤ LSN, in LSN
+// order, stopping early if fn returns false.
+func (l *Log) ScanForward(from LSN, fn func(*Record) (bool, error)) error {
+	for _, lsn := range l.indexFrom(from) {
+		r, err := l.ReadRecord(lsn)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(r)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanBackward calls fn for every retained record with LSN ≤ from, in
+// reverse LSN order, stopping early if fn returns false. Value-logging
+// crash recovery is a single backward pass (§2.1.3).
+func (l *Log) ScanBackward(from LSN, fn func(*Record) (bool, error)) error {
+	idx := l.indexUpTo(from)
+	for i := len(idx) - 1; i >= 0; i-- {
+		r, err := l.ReadRecord(idx[i])
+		if err != nil {
+			return err
+		}
+		cont, err := fn(r)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Log) indexFrom(from LSN) []LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LSN, 0, len(l.index))
+	for _, lsn := range l.index {
+		if lsn >= from {
+			out = append(out, lsn)
+		}
+	}
+	return out
+}
+
+func (l *Log) indexUpTo(from LSN) []LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LSN, 0, len(l.index))
+	for _, lsn := range l.index {
+		if lsn <= from {
+			out = append(out, lsn)
+		}
+	}
+	return out
+}
+
+// SetCheckpoint records lsn as the most recent checkpoint and durably
+// updates the anchor. The checkpoint record itself must already be forced.
+func (l *Log) SetCheckpoint(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn >= l.durableLSN {
+		return fmt.Errorf("wal: checkpoint LSN %d not durable (durable=%d)", lsn, l.durableLSN)
+	}
+	l.ckptLSN = lsn
+	return l.writeAnchor()
+}
+
+// Reclaim advances the low-water mark to newLow, releasing log space. The
+// caller (the Recovery Manager's reclamation algorithm, §3.2.2) must ensure
+// no retained transaction or dirty page needs records below newLow.
+func (l *Log) Reclaim(newLow LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if newLow < l.lowLSN {
+		return nil
+	}
+	if newLow > l.durableLSN {
+		return fmt.Errorf("wal: cannot reclaim past durable LSN %d", l.durableLSN)
+	}
+	// newLow must be a record boundary (or the exact end).
+	ok := newLow == l.nextLSN
+	for _, lsn := range l.index {
+		if lsn == newLow {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("wal: reclaim target %d is not a record boundary", newLow)
+	}
+	l.lowLSN = newLow
+	trimmed := l.index[:0]
+	for _, lsn := range l.index {
+		if lsn >= newLow {
+			trimmed = append(trimmed, lsn)
+		}
+	}
+	l.index = trimmed
+	return l.writeAnchor()
+}
+
+// AppendAndForce is the common "write a record and make it durable" path
+// used by commit processing.
+func (l *Log) AppendAndForce(r *Record) (LSN, error) {
+	lsn, err := l.Append(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Force(lsn + 1); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// TransBackChain walks the backward chain of records written by one
+// transaction, starting at lastLSN, calling fn newest-first. This is the
+// path abort processing follows (§3.2.2).
+func (l *Log) TransBackChain(lastLSN LSN, fn func(*Record) (bool, error)) error {
+	for lsn := lastLSN; lsn != NilLSN; {
+		r, err := l.ReadRecord(lsn)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(r)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+		lsn = r.PrevLSN
+	}
+	return nil
+}

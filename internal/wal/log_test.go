@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tabs/internal/disk"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+func testLog(t *testing.T, sectors int64) (*Log, *disk.Disk, *stats.Recorder) {
+	t.Helper()
+	d := disk.New(disk.DefaultGeometry(sectors + 16))
+	rec := stats.NewRecorder()
+	lg, err := Open(Config{Disk: d, Base: 0, Sectors: sectors, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg, d, rec
+}
+
+func tid(seq uint64) types.TransID {
+	return types.TransID{Node: "n", Seq: seq, RootNode: "n", RootSeq: seq}
+}
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	lg, _, _ := testLog(t, 64)
+	var last LSN
+	for i := 1; i <= 20; i++ {
+		lsn, err := lg.Append(&Record{TID: tid(uint64(i)), Type: RecCommit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn <= last {
+			t.Fatalf("LSN %d not greater than %d", lsn, last)
+		}
+		last = lsn
+	}
+}
+
+func TestReadBeforeAndAfterForce(t *testing.T) {
+	lg, _, _ := testLog(t, 64)
+	lsn, err := lg.Append(&Record{TID: tid(1), Type: RecUpdate, Server: "s", Body: []byte("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Readable from the volatile buffer.
+	r, err := lg.ReadRecord(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Body) != "abc" {
+		t.Errorf("body %q", r.Body)
+	}
+	if err := lg.Force(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	// Readable from disk.
+	r, err = lg.ReadRecord(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Body) != "abc" {
+		t.Errorf("after force: body %q", r.Body)
+	}
+}
+
+func TestForceChargesOneStableWrite(t *testing.T) {
+	lg, _, rec := testLog(t, 64)
+	for i := 1; i <= 3; i++ {
+		if _, err := lg.Append(&Record{TID: tid(uint64(i)), Type: RecCommit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Force(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshot(stats.PreCommit)[simclock.StableWrite]; got != 1 {
+		t.Errorf("one force should charge 1 stable write, got %g", got)
+	}
+	// Forcing an already durable log charges nothing.
+	if err := lg.Force(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshot(stats.PreCommit)[simclock.StableWrite]; got != 1 {
+		t.Errorf("idempotent force charged: %g", got)
+	}
+}
+
+func TestRecoverEndAfterReopen(t *testing.T) {
+	lg, d, _ := testLog(t, 64)
+	var lsns []LSN
+	for i := 1; i <= 10; i++ {
+		lsn, err := lg.Append(&Record{TID: tid(uint64(i)), Type: RecUpdate, Server: "s", Body: []byte(fmt.Sprintf("rec%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	// Force only the first half; the rest dies with the "crash".
+	if err := lg.Force(lsns[5]); err != nil {
+		t.Fatal(err)
+	}
+	durable := lg.DurableLSN()
+
+	lg2, err := Open(Config{Disk: d, Base: 0, Sectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg2.NextLSN() != durable {
+		t.Errorf("recovered end %d, want %d", lg2.NextLSN(), durable)
+	}
+	count := 0
+	if err := lg2.ScanForward(0, func(r *Record) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Everything below the durable boundary survives; nothing above.
+	want := 0
+	for _, l := range lsns {
+		if l < durable {
+			want++
+		}
+	}
+	if count != want {
+		t.Errorf("recovered %d records, want %d", count, want)
+	}
+}
+
+func TestScanBackwardOrder(t *testing.T) {
+	lg, _, _ := testLog(t, 64)
+	for i := 1; i <= 5; i++ {
+		if _, err := lg.Append(&Record{TID: tid(uint64(i)), Type: RecCommit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []uint64
+	if err := lg.ScanBackward(lg.NextLSN(), func(r *Record) (bool, error) {
+		seen = append(seen, r.TID.Seq)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(seen)-1; i++ {
+		if seen[i] <= seen[i+1] {
+			t.Fatalf("backward scan not newest-first: %v", seen)
+		}
+	}
+}
+
+func TestTransBackChain(t *testing.T) {
+	lg, _, _ := testLog(t, 64)
+	var last LSN
+	// Interleave two transactions; follow only t1's chain.
+	for i := 0; i < 6; i++ {
+		tr := tid(1)
+		prev := last
+		if i%2 == 1 {
+			tr = tid(2)
+			prev = NilLSN // t2 records not chained for this test
+		}
+		r := &Record{TID: tr, Type: RecUpdate, Server: "s", Body: []byte{byte(i)}}
+		lsn, err := lg.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Manually maintain t1's chain through PrevLSN.
+		if i%2 == 0 {
+			_ = prev
+			last = lsn
+		}
+	}
+	// Re-append a clean chain (the loop above can't set PrevLSN before
+	// Append assigns LSNs, so build the chain explicitly).
+	lg2, _, _ := testLog(t, 64)
+	var chain []LSN
+	prev := NilLSN
+	for i := 0; i < 4; i++ {
+		r := &Record{TID: tid(1), Type: RecUpdate, PrevLSN: prev, Server: "s", Body: []byte{byte(i)}}
+		lsn, err := lg2.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, lsn)
+		prev = lsn
+	}
+	var visited []LSN
+	if err := lg2.TransBackChain(prev, func(r *Record) (bool, error) {
+		visited = append(visited, r.LSN)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 4 {
+		t.Fatalf("visited %d records, want 4", len(visited))
+	}
+	for i := range visited {
+		if visited[i] != chain[len(chain)-1-i] {
+			t.Fatalf("chain order wrong: %v vs %v", visited, chain)
+		}
+	}
+}
+
+func TestLogFullAndReclaim(t *testing.T) {
+	lg, _, _ := testLog(t, 4) // tiny: 3 data sectors = 1536 bytes
+	var lsns []LSN
+	for {
+		lsn, err := lg.Append(&Record{TID: tid(1), Type: RecUpdate, Server: "s", Body: make([]byte, 100)})
+		if errors.Is(err, ErrLogFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if len(lsns) < 2 {
+		t.Fatalf("expected several records before full, got %d", len(lsns))
+	}
+	if err := lg.Force(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	// Reclaim everything up to the last record; space opens up.
+	if err := lg.Reclaim(lsns[len(lsns)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Append(&Record{TID: tid(2), Type: RecUpdate, Server: "s", Body: make([]byte, 100)}); err != nil {
+		t.Fatalf("append after reclaim: %v", err)
+	}
+}
+
+func TestReclaimRejectsNonBoundary(t *testing.T) {
+	lg, _, _ := testLog(t, 64)
+	lsn, err := lg.Append(&Record{TID: tid(1), Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Force(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Reclaim(lsn + 1); err == nil {
+		t.Error("reclaim to a mid-record LSN accepted")
+	}
+}
+
+func TestWrapAroundAfterReclaim(t *testing.T) {
+	lg, d, _ := testLog(t, 6)
+	// Fill, reclaim, fill again several times: the circular mapping must
+	// keep records readable and reopening must find the right end.
+	for cycle := 0; cycle < 6; cycle++ {
+		var last LSN
+		for {
+			lsn, err := lg.Append(&Record{TID: tid(uint64(cycle)), Type: RecUpdate, Server: "s", Body: make([]byte, 64)})
+			if errors.Is(err, ErrLogFull) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = lsn
+		}
+		if err := lg.Force(lg.NextLSN()); err != nil {
+			t.Fatal(err)
+		}
+		if err := lg.Reclaim(last); err != nil {
+			t.Fatal(err)
+		}
+		// The retained tail must still decode.
+		r, err := lg.ReadRecord(last)
+		if err != nil {
+			t.Fatalf("cycle %d: reading retained record: %v", cycle, err)
+		}
+		if r.TID.Seq != uint64(cycle) {
+			t.Fatalf("cycle %d: wrong record %v", cycle, r.TID)
+		}
+	}
+	// Reopen: end recovery must stop at the true end despite old data
+	// beyond it in the circular region.
+	lg2, err := Open(Config{Disk: d, Base: 0, Sectors: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg2.NextLSN() != lg.DurableLSN() {
+		t.Errorf("reopened end %d, want %d", lg2.NextLSN(), lg.DurableLSN())
+	}
+}
+
+func TestCheckpointAnchorPersists(t *testing.T) {
+	lg, d, _ := testLog(t, 64)
+	lsn, err := lg.AppendAndForce(&Record{Type: RecCheckpoint, Body: EncodeCheckpoint(&CheckpointBody{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.SetCheckpoint(lsn); err != nil {
+		t.Fatal(err)
+	}
+	lg2, err := Open(Config{Disk: d, Base: 0, Sectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg2.CheckpointLSN() != lsn {
+		t.Errorf("checkpoint LSN %d, want %d", lg2.CheckpointLSN(), lsn)
+	}
+}
+
+func TestSetCheckpointRequiresDurable(t *testing.T) {
+	lg, _, _ := testLog(t, 64)
+	lsn, err := lg.Append(&Record{Type: RecCheckpoint, Body: EncodeCheckpoint(&CheckpointBody{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.SetCheckpoint(lsn); err == nil {
+		t.Error("checkpoint anchor accepted before the record was forced")
+	}
+}

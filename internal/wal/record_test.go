@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tabs/internal/types"
+)
+
+func sampleTID() types.TransID {
+	return types.TransID{Node: "nodeA", Seq: 7, RootNode: "nodeB", RootSeq: 3}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := &Record{
+		LSN:     1234,
+		PrevLSN: 567,
+		TID:     sampleTID(),
+		Type:    RecUpdate,
+		Server:  "array",
+		Body:    []byte("hello log"),
+	}
+	frame, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(frame, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Errorf("consumed %d of %d bytes", n, len(frame))
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", r, got)
+	}
+}
+
+func TestRecordRoundTripEmptyBody(t *testing.T) {
+	r := &Record{LSN: 1, TID: sampleTID(), Type: RecCommit}
+	frame, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(frame, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != RecCommit || len(got.Body) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := &Record{LSN: 9, TID: sampleTID(), Type: RecUpdate, Body: []byte("payload")}
+	frame, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte position one at a time; every flip must be caught
+	// (checksum) or produce a structurally invalid record, never a wrong
+	// record accepted silently.
+	for i := 4; i < len(frame); i++ { // frame length prefix flips change framing; start past it
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0xFF
+		got, _, err := Decode(bad, 9)
+		if err == nil && reflect.DeepEqual(got, r) {
+			continue // flip didn't change decoded content? impossible with checksum
+		}
+		if err == nil {
+			t.Errorf("flip at %d accepted a corrupt record: %+v", i, got)
+		}
+	}
+}
+
+func TestDecodeRejectsStaleLSN(t *testing.T) {
+	r := &Record{LSN: 500, TID: sampleTID(), Type: RecCommit}
+	frame, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(frame, 9999); err == nil {
+		t.Error("record with mismatched LSN accepted (stale circular-log data)")
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	r := &Record{TID: sampleTID(), Type: RecUpdate, Body: make([]byte, MaxBodySize+1)}
+	if _, err := Encode(r); err == nil {
+		t.Error("oversized body accepted")
+	}
+}
+
+func TestUpdateBodyRoundTripQuick(t *testing.T) {
+	f := func(seg uint32, off, length uint32, old, new []byte) bool {
+		if len(old) > types.PageSize {
+			old = old[:types.PageSize]
+		}
+		if len(new) > types.PageSize {
+			new = new[:types.PageSize]
+		}
+		u := &UpdateBody{
+			Object: types.ObjectID{Segment: types.SegmentID(seg), Offset: off, Length: length},
+			Old:    old,
+			New:    new,
+		}
+		got, err := DecodeUpdate(EncodeUpdate(u))
+		if err != nil {
+			return false
+		}
+		return got.Object == u.Object && bytes.Equal(got.Old, u.Old) && bytes.Equal(got.New, u.New)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperationBodyRoundTripQuick(t *testing.T) {
+	f := func(op string, redo, undo []byte, pages uint8) bool {
+		if len(op) > 1000 {
+			op = op[:1000]
+		}
+		o := &OperationBody{Op: op, RedoArgs: redo, UndoArgs: undo}
+		for i := 0; i < int(pages%8); i++ {
+			o.Pages = append(o.Pages, PageSeq{
+				Page: types.PageID{Segment: types.SegmentID(i), Page: uint32(i * 3)},
+				Seq:  uint64(i) * 77,
+			})
+		}
+		got, err := DecodeOperation(EncodeOperation(o))
+		if err != nil {
+			return false
+		}
+		if got.Op != o.Op || !bytes.Equal(got.RedoArgs, o.RedoArgs) || !bytes.Equal(got.UndoArgs, o.UndoArgs) {
+			return false
+		}
+		if len(got.Pages) != len(o.Pages) {
+			return false
+		}
+		for i := range o.Pages {
+			if got.Pages[i] != o.Pages[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointBodyRoundTrip(t *testing.T) {
+	c := &CheckpointBody{
+		DirtyPages: []DirtyPage{
+			{Page: types.PageID{Segment: 1, Page: 4}, RecLSN: 100},
+			{Page: types.PageID{Segment: 2, Page: 9}, RecLSN: 250},
+		},
+		Active: []ActiveTrans{
+			{TID: sampleTID(), Status: types.StatusActive, LastLSN: 300, FirstLSN: 120},
+			{TID: types.TransID{Node: "x", Seq: 1, RootNode: "x", RootSeq: 1}, Status: types.StatusPrepared, LastLSN: 400, FirstLSN: 80},
+		},
+	}
+	got, err := DecodeCheckpoint(EncodeCheckpoint(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", c, got)
+	}
+}
+
+func TestCheckpointBodyEmpty(t *testing.T) {
+	got, err := DecodeCheckpoint(EncodeCheckpoint(&CheckpointBody{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.DirtyPages) != 0 || len(got.Active) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestPrepareBodyRoundTrip(t *testing.T) {
+	p := &PrepareBody{Parent: "coordinator", Children: []types.NodeID{"c1", "c2", "c3"}}
+	got, err := DecodePrepare(EncodePrepare(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", p, got)
+	}
+}
+
+func TestPrepareBodyNoChildren(t *testing.T) {
+	p := &PrepareBody{Parent: "root"}
+	got, err := DecodePrepare(EncodePrepare(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parent != "root" || len(got.Children) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCLRRoundTrip(t *testing.T) {
+	inner := EncodeUpdate(&UpdateBody{
+		Object: types.ObjectID{Segment: 3, Offset: 64, Length: 8},
+		Old:    []byte("newvalue"),
+		New:    []byte("oldvalue"),
+	})
+	clr := &CLRBody{CompLSN: 777, Inner: inner}
+	got, err := DecodeCLR(EncodeCLR(clr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CompLSN != 777 || !bytes.Equal(got.Inner, inner) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		// Must never panic, only return errors (or, astronomically
+		// unlikely, a valid record).
+		_, _, _ = Decode(buf, 0)
+		_, _ = DecodeUpdate(buf)
+		_, _ = DecodeOperation(buf)
+		_, _ = DecodeCheckpoint(buf)
+		_, _ = DecodePrepare(buf)
+		_, _ = DecodeCLR(buf)
+	}
+}
