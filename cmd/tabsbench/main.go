@@ -9,28 +9,53 @@
 //	tabsbench                  # all tables
 //	tabsbench -table 5-4       # one table
 //	tabsbench -iters 30        # more iterations per benchmark
+//	tabsbench -metrics-json m.json   # also dump per-node trace metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"tabs/internal/bench"
+	"tabs/internal/trace"
 )
 
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 5-1, 5-2, 5-3, 5-4, 5-5, ablations, or all")
 	iters := flag.Int("iters", 10, "measured transactions per benchmark")
+	metricsJSON := flag.String("metrics-json", "", "after the benchmarks, write per-node trace-layer metrics as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
-	if err := run(*table, *iters); err != nil {
+	if err := run(*table, *iters, *metricsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "tabsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, iters int) error {
+// dumpMetrics writes every cluster node's trace.Export (metrics only) as
+// a JSON array, sorted by node name for stable output.
+func dumpMetrics(env *bench.Env, path string) error {
+	exports := make([]trace.Export, 0, 4)
+	for _, n := range env.Cluster.Nodes() {
+		if tr := n.Tracer(); tr != nil {
+			exports = append(exports, tr.Export(false))
+		}
+	}
+	sort.Slice(exports, func(i, j int) bool { return exports[i].Node < exports[j].Node })
+	blob, err := trace.MarshalExports(exports)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = fmt.Println(string(blob))
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func run(table string, iters int, metricsJSON string) error {
 	needMicro := table == "all" || table == "5-1"
 	needBench := table == "all" || table == "5-2" || table == "5-3" || table == "5-4"
 
@@ -56,6 +81,13 @@ func run(table string, iters int) error {
 		if err != nil {
 			return err
 		}
+		if metricsJSON != "" {
+			if err := dumpMetrics(env, metricsJSON); err != nil {
+				return fmt.Errorf("writing metrics JSON: %w", err)
+			}
+		}
+	} else if metricsJSON != "" {
+		return fmt.Errorf("-metrics-json needs a benchmark run (table %q runs none)", table)
 	}
 
 	runAblations := func() error {

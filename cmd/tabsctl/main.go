@@ -13,9 +13,13 @@
 //	tabsctl -peer a=localhost:7001 dequeue a queue
 //	tabsctl -peer a=localhost:7001 insert a rep /etc/passwd users
 //	tabsctl -peer a=localhost:7001 lookup a rep /etc/passwd
+//	tabsctl -peer a=localhost:7001 metrics a      # live trace-layer metrics
+//	tabsctl -peer a=localhost:7001 trace a        # recent spans
+//	tabsctl -peer a=localhost:7001 -json trace a  # raw trace.Export JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +33,7 @@ import (
 	"tabs/internal/servers/btree"
 	"tabs/internal/servers/intarray"
 	"tabs/internal/servers/weakqueue"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 )
 
@@ -48,22 +53,23 @@ func (p peerList) Set(v string) error {
 func main() {
 	id := flag.String("id", "ctl", "this client's node name")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address for replies")
+	jsonOut := flag.Bool("json", false, "emit trace/metrics replies as raw JSON")
 	peers := peerList{}
 	flag.Var(peers, "peer", "peer node as name=host:port (repeatable)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: tabsctl [-peer n=addr]... <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn")
+		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics")
 		os.Exit(2)
 	}
-	if err := run(*id, *listen, peers, flag.Args()); err != nil {
+	if err := run(*id, *listen, peers, *jsonOut, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "tabsctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, listen string, peers peerList, args []string) error {
+func run(id, listen string, peers peerList, jsonOut bool, args []string) error {
 	transport, err := comm.NewTCP(types.NodeID(id), listen, peers)
 	if err != nil {
 		return err
@@ -85,8 +91,11 @@ func run(id, listen string, peers peerList, args []string) error {
 	}
 	defer func() { _ = node.Shutdown() }()
 
-	if args[0] == "txn" {
+	switch args[0] {
+	case "txn":
 		return runTxn(node, args[1:])
+	case "trace", "metrics", "trace-reset":
+		return runTraceQuery(node, jsonOut, args)
 	}
 	return node.App.Run(func(tid types.TransID) error {
 		out, err := execute(node, tid, args)
@@ -98,6 +107,43 @@ func run(id, listen string, peers peerList, args []string) error {
 		}
 		return nil
 	})
+}
+
+// runTraceQuery asks a live node for its trace-layer state through the
+// "tracectl" Communication Manager service.
+func runTraceQuery(node *core.Node, jsonOut bool, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("%s needs a target node name", args[0])
+	}
+	target := types.NodeID(args[1])
+	cmd := args[0]
+	if cmd == "trace-reset" {
+		cmd = "reset"
+	}
+	body, err := node.CM.Call(target, core.TraceControlService, types.NilTransID, []byte(cmd))
+	if err != nil {
+		return err
+	}
+	if cmd == "reset" {
+		fmt.Println(string(body))
+		return nil
+	}
+	if jsonOut {
+		fmt.Println(string(body))
+		return nil
+	}
+	var exports []trace.Export
+	if err := json.Unmarshal(body, &exports); err != nil {
+		return fmt.Errorf("decoding %s reply: %w", cmd, err)
+	}
+	for _, ex := range exports {
+		fmt.Printf("node %s (spans dropped: %d)\n", ex.Node, ex.Dropped)
+		fmt.Print(trace.FormatMetrics(ex.Metrics))
+		for _, sp := range ex.Spans {
+			fmt.Println(sp.String())
+		}
+	}
+	return nil
 }
 
 // runTxn executes several commands inside one (distributed) transaction.

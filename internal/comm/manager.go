@@ -8,6 +8,7 @@ import (
 
 	"tabs/internal/simclock"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 )
 
@@ -53,6 +54,7 @@ type Manager struct {
 	node      types.NodeID
 	transport Transport
 	rec       *stats.Recorder
+	tr        *trace.Tracer
 
 	mu       sync.Mutex
 	services map[string]Handler
@@ -91,6 +93,14 @@ func New(node types.NodeID, transport Transport, rec *stats.Recorder) *Manager {
 	}
 	transport.SetReceiver(m.deliver)
 	return m
+}
+
+// AttachTracer points the manager's session/datagram spans and counters at
+// tr. Call before traffic starts; a nil tracer disables them.
+func (m *Manager) AttachTracer(tr *trace.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tr = tr
 }
 
 // Node returns the owning node's identifier.
@@ -218,6 +228,7 @@ func (m *Manager) Call(peer types.NodeID, service string, tid types.TransID, pay
 	seq := m.nextSeq
 	pc := &pendingCall{ch: make(chan *Envelope, 1)}
 	m.pending[seq] = pc
+	tr := m.tr
 	m.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
@@ -230,6 +241,12 @@ func (m *Manager) Call(peer types.NodeID, service string, tid types.TransID, pay
 	}
 	m.noteOutbound(tid, peer)
 
+	sp := tr.Begin("comm", "call").Annotatef("peer=%s", peer).Annotatef("service=%s", service)
+	if !tid.IsNil() {
+		sp.SetTID(tid)
+	}
+	tr.Count("comm.session.sent", 1)
+
 	env := &Envelope{
 		From: m.node, To: peer, Kind: KindSession, Epoch: m.epoch, Seq: seq,
 		Service: service, TID: tid, Payload: payload,
@@ -239,22 +256,33 @@ func (m *Manager) Call(peer types.NodeID, service string, tid types.TransID, pay
 		attempts = 1
 	}
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			sp.Annotatef("retransmit=%d", i)
+			tr.Count("comm.session.retransmits", 1)
+		}
 		if err := m.transport.Send(env); err != nil {
-			return nil, fmt.Errorf("comm: session to %s: %w", peer, err)
+			err = fmt.Errorf("comm: session to %s: %w", peer, err)
+			sp.EndErr(err)
+			return nil, err
 		}
 		timer := time.NewTimer(m.CallTimeout)
 		select {
 		case reply := <-pc.ch:
 			timer.Stop()
 			if reply.Err != "" {
-				return reply.Payload, errors.New(reply.Err)
+				err := errors.New(reply.Err)
+				sp.EndErr(err)
+				return reply.Payload, err
 			}
+			sp.End()
 			return reply.Payload, nil
 		case <-timer.C:
 			// Retransmit with the same sequence number.
 		}
 	}
-	return nil, fmt.Errorf("%w: %s", ErrTimeout, peer)
+	err := fmt.Errorf("%w: %s", ErrTimeout, peer)
+	sp.EndErr(err)
+	return nil, err
 }
 
 // SendDatagram sends a one-way datagram, charging the given fraction of a
@@ -267,10 +295,12 @@ func (m *Manager) SendDatagram(peer types.NodeID, service string, tid types.Tran
 		m.mu.Unlock()
 		return ErrClosed
 	}
+	tr := m.tr
 	m.mu.Unlock()
 	if m.rec != nil && charge > 0 {
 		m.rec.RecordN(simclock.Datagram, charge)
 	}
+	tr.Count("comm.datagram.sent", 1)
 	env := &Envelope{
 		From: m.node, To: peer, Kind: KindDatagram,
 		Service: service, TID: tid, Payload: payload,
@@ -300,6 +330,11 @@ func (m *Manager) deliver(env *Envelope) {
 	if m.closed {
 		m.mu.Unlock()
 		return
+	}
+	if env.Kind == KindDatagram {
+		m.tr.Count("comm.datagram.recv", 1)
+	} else if !env.IsReply {
+		m.tr.Count("comm.session.recv", 1)
 	}
 	if env.Kind == KindSession && env.IsReply {
 		pc := m.pending[env.Seq]

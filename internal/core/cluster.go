@@ -93,6 +93,16 @@ func (c *Cluster) bootNode(name types.NodeID, d *disk.Disk) (*Node, error) {
 // Node returns the named node.
 func (c *Cluster) Node(name types.NodeID) *Node { return c.nodes[name] }
 
+// Nodes returns every live node, keyed by name (shared map copy; callers
+// must not mutate node membership through it).
+func (c *Cluster) Nodes() map[types.NodeID]*Node {
+	out := make(map[types.NodeID]*Node, len(c.nodes))
+	for name, n := range c.nodes {
+		out[name] = n
+	}
+	return out
+}
+
 // Crash crashes the named node (volatile state lost, network detached).
 func (c *Cluster) Crash(name types.NodeID) {
 	if n := c.nodes[name]; n != nil {

@@ -29,6 +29,7 @@ import (
 	"tabs/internal/simclock"
 	"tabs/internal/srvlib"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/txn"
 	"tabs/internal/types"
 	"tabs/internal/wal"
@@ -37,6 +38,11 @@ import (
 // DataServerService is the Communication Manager service that carries
 // remote data server calls.
 const DataServerService = "datasrv"
+
+// TraceControlService is the Communication Manager service through which
+// tabsctl queries a live node's trace and metrics (commands "trace",
+// "metrics", "reset"; replies are trace.Export JSON).
+const TraceControlService = "tracectl"
 
 // Errors.
 var (
@@ -71,6 +77,12 @@ type Config struct {
 	CheckpointEvery int
 	// LockTimeout is the default data-server lock time-out.
 	LockTimeout time.Duration
+	// DisableTrace turns the per-node trace/metrics layer off entirely;
+	// every component then takes the nil-tracer fast path.
+	DisableTrace bool
+	// TraceSpanCapacity bounds the span ring buffer; 0 selects
+	// trace.DefaultSpanCapacity.
+	TraceSpanCapacity int
 }
 
 // Node is one TABS machine.
@@ -79,6 +91,7 @@ type Node struct {
 	cfg Config
 	d   *disk.Disk
 	rec *stats.Recorder
+	tr  *trace.Tracer
 
 	Kernel *kernel.Kernel
 	Log    *wal.Log
@@ -140,23 +153,29 @@ func NewNode(cfg Config) (*Node, error) {
 		servers: make(map[types.ServerID]*srvlib.Server),
 		segDir:  make(map[types.SegmentID]segEntry),
 	}
-	n.Kernel = kernel.New(kernel.Config{Disk: cfg.Disk, PoolPages: cfg.PoolPages, Rec: kernelRec})
-	lg, err := wal.Open(wal.Config{Disk: cfg.Disk, Base: 0, Sectors: cfg.LogSectors, Rec: walRec})
+	if !cfg.DisableTrace {
+		n.tr = trace.New(string(cfg.ID), cfg.TraceSpanCapacity)
+	}
+	n.Kernel = kernel.New(kernel.Config{Disk: cfg.Disk, PoolPages: cfg.PoolPages, Rec: kernelRec, Trace: n.tr})
+	lg, err := wal.Open(wal.Config{Disk: cfg.Disk, Base: 0, Sectors: cfg.LogSectors, Rec: walRec, Trace: n.tr})
 	if err != nil {
 		return nil, fmt.Errorf("core: mounting log: %w", err)
 	}
 	n.Log = lg
-	n.RM = recovery.New(recovery.Config{Log: lg, Kernel: n.Kernel, Rec: rmRec, CheckpointEvery: cfg.CheckpointEvery})
+	n.RM = recovery.New(recovery.Config{Log: lg, Kernel: n.Kernel, Rec: rmRec, CheckpointEvery: cfg.CheckpointEvery, Trace: n.tr})
 	if cfg.Transport != nil {
 		n.CM = comm.New(cfg.ID, cfg.Transport, cmRec)
+		n.CM.AttachTracer(n.tr)
 	}
 	if n.CM != nil {
 		n.TM = txn.New(cfg.ID, n.RM, n.CM, tmRec)
 		n.CM.SetTransactionNoter(n.TM)
 		n.CM.RegisterService(DataServerService, n.handleRemoteCall)
+		n.CM.RegisterService(TraceControlService, n.handleTraceControl)
 	} else {
 		n.TM = txn.New(cfg.ID, n.RM, nil, tmRec)
 	}
+	n.TM.AttachTracer(n.tr)
 	n.NS = nameserver.New(cfg.ID, nsBroadcaster(n))
 	n.App = applib.New(n.TM)
 	if err := n.loadSegDir(); err != nil {
@@ -178,6 +197,15 @@ func (n *Node) ID() types.NodeID { return n.id }
 
 // Rec returns the node's primitive-operation recorder.
 func (n *Node) Rec() *stats.Recorder { return n.rec }
+
+// Tracer returns the node's trace layer (nil when disabled).
+func (n *Node) Tracer() *trace.Tracer { return n.tr }
+
+// TraceSnapshot returns the node's buffered spans, oldest first.
+func (n *Node) TraceSnapshot() []trace.Span { return n.tr.TraceSnapshot() }
+
+// MetricsSnapshot returns the node's trace-layer metrics by name.
+func (n *Node) MetricsSnapshot() map[string]trace.MetricValue { return n.tr.MetricsSnapshot() }
 
 // Disk returns the node's disk.
 func (n *Node) Disk() *disk.Disk { return n.d }
@@ -274,6 +302,7 @@ func (n *Node) NewServer(id types.ServerID, seg types.SegmentID, pages uint32, c
 		Segment:     seg,
 		LockCompat:  compat,
 		LockTimeout: timeout,
+		Trace:       n.tr,
 	})
 	s.RecoverServer()
 	n.mu.Lock()
@@ -402,6 +431,25 @@ func (n *Node) handleRemoteCall(from types.NodeID, tid types.TransID, payload []
 		return resp.Body, errors.New(resp.Err)
 	}
 	return resp.Body, nil
+}
+
+// handleTraceControl serves tabsctl's trace/metrics queries. The payload
+// is a bare command string; replies are JSON (trace.Export).
+func (n *Node) handleTraceControl(_ types.NodeID, _ types.TransID, payload []byte) ([]byte, error) {
+	if n.tr == nil {
+		return nil, errors.New("core: tracing disabled on this node")
+	}
+	switch cmd := string(payload); cmd {
+	case "metrics":
+		return trace.MarshalExports([]trace.Export{n.tr.Export(false)})
+	case "trace":
+		return trace.MarshalExports([]trace.Export{n.tr.Export(true)})
+	case "reset":
+		n.tr.Reset()
+		return []byte("ok"), nil
+	default:
+		return nil, fmt.Errorf("core: unknown trace command %q", cmd)
+	}
 }
 
 func encodeRemoteCall(server types.ServerID, op string, body []byte) []byte {

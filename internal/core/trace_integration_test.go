@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/disk"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/trace"
+	"tabs/internal/types"
+)
+
+// TestDistributedWriteTransactionTrace runs one distributed write
+// transaction across two nodes and checks that the merged trace contains
+// the full life cycle — begin, lock acquisition, WAL force, prepare,
+// vote, and commit — with coherent timestamps.
+func TestDistributedWriteTransactionTrace(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b")
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Shutdown()
+	na, nb := c.Node("a"), c.Node("b")
+	if _, err := intarray.Attach(na, "arrA", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.Attach(nb, "arrB", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := na.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	na.Tracer().Reset()
+	nb.Tracer().Reset()
+
+	local := intarray.NewClient(na, "a", "arrA")
+	remote := intarray.NewClient(na, "b", "arrB")
+	if err := na.App.Run(func(tid types.TransID) error {
+		if err := local.Set(tid, 1, 10); err != nil {
+			return err
+		}
+		return remote.Set(tid, 1, 20)
+	}); err != nil {
+		t.Fatalf("distributed write: %v", err)
+	}
+
+	merged := append(na.TraceSnapshot(), nb.TraceSnapshot()...)
+	want := map[string]bool{
+		"txn/begin":    false,
+		"lock/acquire": false,
+		"wal/force":    false,
+		"txn/prepare":  false,
+		"txn/vote":     false,
+		"txn/commit":   false,
+	}
+	for _, sp := range merged {
+		key := sp.Component + "/" + sp.Name
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %s on %s ends (%v) before it starts (%v)", key, sp.Node, sp.End, sp.Start)
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("merged trace is missing a %s span", key)
+		}
+	}
+
+	// Within one node's snapshot, spans appear in completion order:
+	// end timestamps must be monotonic non-decreasing.
+	for _, n := range []*core.Node{na, nb} {
+		snap := n.TraceSnapshot()
+		for i := 1; i < len(snap); i++ {
+			if snap[i].End.Before(snap[i-1].End) {
+				t.Errorf("node %s: span %d (%s) ended before span %d (%s)",
+					n.ID(), i, snap[i].Name, i-1, snap[i-1].Name)
+			}
+		}
+	}
+
+	// The trace-layer metrics registry saw the same activity.
+	mets := na.MetricsSnapshot()
+	if mv, ok := mets["txn.commits"]; !ok || mv.Value < 1 {
+		t.Errorf("coordinator txn.commits = %+v, want >= 1", mets["txn.commits"])
+	}
+	if mv, ok := mets["wal.force.count"]; !ok || mv.Value < 1 {
+		t.Errorf("coordinator wal.force.count = %+v, want >= 1", mets["wal.force.count"])
+	}
+	if mv, ok := nb.MetricsSnapshot()["comm.session.recv"]; !ok || mv.Value < 1 {
+		t.Errorf("participant comm.session.recv = %+v, want >= 1", mv)
+	}
+}
+
+// TestTraceControlService queries a peer node's trace layer through the
+// Communication Manager, the way tabsctl does.
+func TestTraceControlService(t *testing.T) {
+	c, err := core.NewCluster(core.DefaultClusterOptions(), "a", "b")
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Shutdown()
+	na, nb := c.Node("a"), c.Node("b")
+	if _, err := intarray.Attach(nb, "arrB", 1, 50, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := na.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	arr := intarray.NewClient(nb, "b", "arrB")
+	if err := nb.App.Run(func(tid types.TransID) error {
+		return arr.Set(tid, 1, 5)
+	}); err != nil {
+		t.Fatalf("write on b: %v", err)
+	}
+
+	for _, cmd := range []string{"metrics", "trace"} {
+		body, err := na.CM.Call("b", core.TraceControlService, types.NilTransID, []byte(cmd))
+		if err != nil {
+			t.Fatalf("tracectl %q: %v", cmd, err)
+		}
+		var exports []trace.Export
+		if err := json.Unmarshal(body, &exports); err != nil {
+			t.Fatalf("tracectl %q reply is not JSON: %v", cmd, err)
+		}
+		if len(exports) != 1 || exports[0].Node != "b" {
+			t.Fatalf("tracectl %q: got %d exports (node %q), want 1 from b", cmd, len(exports), exports[0].Node)
+		}
+		if len(exports[0].Metrics) == 0 {
+			t.Errorf("tracectl %q: no metrics in export", cmd)
+		}
+		if cmd == "trace" && len(exports[0].Spans) == 0 {
+			t.Errorf("tracectl trace: no spans in export")
+		}
+		if cmd == "metrics" && len(exports[0].Spans) != 0 {
+			t.Errorf("tracectl metrics: unexpectedly included %d spans", len(exports[0].Spans))
+		}
+	}
+
+	if _, err := na.CM.Call("b", core.TraceControlService, types.NilTransID, []byte("reset")); err != nil {
+		t.Fatalf("tracectl reset: %v", err)
+	}
+	if spans := nb.TraceSnapshot(); len(spans) != 0 {
+		t.Errorf("after reset: %d spans remain", len(spans))
+	}
+}
+
+// TestDisableTraceTakesNilFastPath checks the zero-overhead configuration:
+// a node built with DisableTrace runs transactions with a nil tracer and
+// reports empty snapshots.
+func TestDisableTraceTakesNilFastPath(t *testing.T) {
+	d := disk.New(disk.DefaultGeometry(4096))
+	n, err := core.NewNode(core.Config{ID: "solo", Disk: d, DisableTrace: true})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	if _, err := intarray.Attach(n, "arr", 1, 10, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	arr := intarray.NewClient(n, "solo", "arr")
+	if err := n.App.Run(func(tid types.TransID) error {
+		return arr.Set(tid, 2, 7)
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n.Tracer() != nil {
+		t.Error("DisableTrace: Tracer() should be nil")
+	}
+	if spans := n.TraceSnapshot(); len(spans) != 0 {
+		t.Errorf("DisableTrace: %d spans captured", len(spans))
+	}
+	if mets := n.MetricsSnapshot(); len(mets) != 0 {
+		t.Errorf("DisableTrace: %d metrics captured", len(mets))
+	}
+	_ = n.Shutdown()
+}

@@ -21,6 +21,7 @@ import (
 	"tabs/internal/disk"
 	"tabs/internal/simclock"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 )
 
@@ -76,6 +77,7 @@ type frame struct {
 type Kernel struct {
 	d   *disk.Disk
 	rec *stats.Recorder
+	tr  *trace.Tracer
 
 	mu        sync.Mutex
 	segs      map[types.SegmentID]*segment
@@ -97,6 +99,7 @@ type Config struct {
 	// an array more than three times physical memory (§5.1).
 	PoolPages int
 	Rec       *stats.Recorder
+	Trace     *trace.Tracer
 }
 
 // New returns a kernel with an empty buffer pool and a null pager.
@@ -107,6 +110,7 @@ func New(cfg Config) *Kernel {
 	return &Kernel{
 		d:        cfg.Disk,
 		rec:      cfg.Rec,
+		tr:       cfg.Trace,
 		segs:     make(map[types.SegmentID]*segment),
 		frames:   make(map[types.PageID]*frame),
 		poolSize: cfg.PoolPages,
@@ -207,6 +211,7 @@ func (k *Kernel) fault(p types.PageID) (*frame, error) {
 	}
 	k.lastFault = p
 	k.haveLast = true
+	k.tr.Count("kernel.fault.count", 1)
 	return f, nil
 }
 
@@ -223,15 +228,19 @@ func (k *Kernel) evictOne() error {
 		}
 	}
 	if victim == nil {
+		// Pin stall: every frame is pinned, so the fault cannot proceed.
+		k.tr.Count("kernel.pin_stall.count", 1)
 		return ErrPoolPinned
 	}
 	if victim.dirty {
 		if err := k.writeBackLocked(victim); err != nil {
 			return err
 		}
+		k.tr.Count("kernel.steal.count", 1)
 	}
 	delete(k.frames, victim.page)
 	k.evictions++
+	k.tr.Count("kernel.evict.count", 1)
 	return nil
 }
 

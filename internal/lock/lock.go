@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"tabs/internal/trace"
 	"tabs/internal/types"
 )
 
@@ -108,6 +109,7 @@ type Manager struct {
 	objects map[types.ObjectID]*entry
 	byTID   map[types.TransID]map[types.ObjectID]struct{}
 	stats   Stats
+	tr      *trace.Tracer
 	closed  bool
 }
 
@@ -135,6 +137,14 @@ func NewTyped(compat Compat, timeout time.Duration) *Manager {
 		objects: make(map[types.ObjectID]*entry),
 		byTID:   make(map[types.TransID]map[types.ObjectID]struct{}),
 	}
+}
+
+// AttachTracer points the manager's lock.block/lock.timeout spans and
+// counters at tr. A nil tracer disables them.
+func (m *Manager) AttachTracer(tr *trace.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tr = tr
 }
 
 // SetTimeout changes the lock wait time-out for subsequent acquisitions.
@@ -184,6 +194,7 @@ func (m *Manager) grant(e *entry, obj types.ObjectID, tid types.TransID, mode Mo
 	}
 	set[obj] = struct{}{}
 	m.stats.Grants++
+	m.tr.Count("lock.grants", 1)
 }
 
 // Lock acquires mode on obj for tid, waiting (up to the time-out) if an
@@ -217,6 +228,13 @@ func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
 	w := &waiter{tid: tid, mode: mode, ready: make(chan struct{})}
 	e.queue = append(e.queue, w)
 	m.stats.Waits++
+	m.tr.Count("lock.waits", 1)
+	// The block span names the transactions holding the object, the first
+	// question a stuck-transaction investigation asks.
+	sp := m.tr.Begin("lock", "block").SetTID(tid).Annotatef("obj=%v", obj).Annotatef("mode=%v", mode)
+	for hTID := range e.holders {
+		sp.Annotatef("holder=%v", hTID)
+	}
 	timeout := m.timeout
 	m.mu.Unlock()
 
@@ -224,6 +242,7 @@ func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
 	defer timer.Stop()
 	select {
 	case <-w.ready:
+		sp.EndErr(w.err)
 		if w.err != nil {
 			return w.err
 		}
@@ -234,6 +253,7 @@ func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
 		select {
 		case <-w.ready:
 			m.mu.Unlock()
+			sp.EndErr(w.err)
 			if w.err != nil {
 				return w.err
 			}
@@ -242,10 +262,13 @@ func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
 		}
 		m.removeWaiter(e, w)
 		m.stats.Timeouts++
+		m.tr.Count("lock.timeouts", 1)
 		// Our departure may unblock waiters behind us.
 		m.wakeLocked(obj, e)
 		m.mu.Unlock()
-		return fmt.Errorf("%w: %v on %v", ErrTimeout, mode, obj)
+		err := fmt.Errorf("%w: %v on %v", ErrTimeout, mode, obj)
+		sp.Annotate("timeout=true").EndErr(err)
+		return err
 	}
 }
 
@@ -279,6 +302,7 @@ func (m *Manager) TryLock(tid types.TransID, obj types.ObjectID, mode Mode) bool
 		return true
 	}
 	m.stats.Conflicts++
+	m.tr.Count("lock.conflicts", 1)
 	return false
 }
 

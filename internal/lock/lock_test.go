@@ -17,6 +17,20 @@ func tid(n uint64) types.TransID {
 var objA = types.ObjectID{Segment: 1, Offset: 0, Length: 8}
 var objB = types.ObjectID{Segment: 1, Offset: 8, Length: 8}
 
+// waitForWaiters blocks until the manager has recorded at least n lock
+// waits — an observable "waiter is queued" condition that replaces
+// sleep-based synchronization in the tests below.
+func waitForWaiters(t *testing.T, m *Manager, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Waits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued lock waiters (have %d)", n, m.Stats().Waits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestReadersShare(t *testing.T) {
 	m := New()
 	for i := uint64(1); i <= 5; i++ {
@@ -79,7 +93,7 @@ func TestWaiterWakesOnRelease(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- m.Lock(tid(2), objA, ModeWrite) }()
-	time.Sleep(20 * time.Millisecond)
+	waitForWaiters(t, m, 1)
 	m.ReleaseAll(tid(1))
 	select {
 	case err := <-done:
@@ -97,24 +111,19 @@ func TestFIFOWakeup(t *testing.T) {
 		t.Fatal(err)
 	}
 	order := make(chan int, 2)
-	var started sync.WaitGroup
-	started.Add(1)
 	go func() {
-		started.Done()
 		if m.Lock(tid(2), objA, ModeWrite) == nil {
 			order <- 2
-			time.Sleep(10 * time.Millisecond)
 			m.ReleaseAll(tid(2))
 		}
 	}()
-	started.Wait()
-	time.Sleep(20 * time.Millisecond) // ensure t2 queued first
+	waitForWaiters(t, m, 1) // t2 queued first
 	go func() {
 		if m.Lock(tid(3), objA, ModeWrite) == nil {
 			order <- 3
 		}
 	}()
-	time.Sleep(20 * time.Millisecond)
+	waitForWaiters(t, m, 2) // t3 queued behind t2
 	m.ReleaseAll(tid(1))
 	first := <-order
 	second := <-order
@@ -201,9 +210,10 @@ func TestTimeoutDeparturePreservesQueue(t *testing.T) {
 	// t2 waits with a short deadline and will time out; t3 waits longer.
 	errs := make(chan error, 2)
 	go func() { errs <- m.Lock(tid(2), objA, ModeWrite) }()
-	time.Sleep(10 * time.Millisecond)
+	waitForWaiters(t, m, 1) // t2 queued under the short timeout
 	m.SetTimeout(3 * time.Second)
 	go func() { errs <- m.Lock(tid(3), objA, ModeWrite) }()
+	waitForWaiters(t, m, 2) // t3 queued behind t2
 	// t2 times out around 100ms; then release t1 and t3 must win.
 	first := <-errs
 	if !errors.Is(first, ErrTimeout) {
@@ -223,7 +233,7 @@ func TestCloseFailsWaiters(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- m.Lock(tid(2), objA, ModeWrite) }()
-	time.Sleep(20 * time.Millisecond)
+	waitForWaiters(t, m, 1)
 	m.Close()
 	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed, got %v", err)

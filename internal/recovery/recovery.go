@@ -21,6 +21,7 @@ import (
 	"tabs/internal/kernel"
 	"tabs/internal/simclock"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 	"tabs/internal/wal"
 )
@@ -75,6 +76,7 @@ type Manager struct {
 	log *wal.Log
 	k   *kernel.Kernel
 	rec *stats.Recorder
+	tr  *trace.Tracer
 
 	// dirty is the dirty-page table: page -> recLSN (earliest record whose
 	// effect may not be in the segment).
@@ -105,6 +107,7 @@ type Config struct {
 	// transaction manager or when the system is close to running out of
 	// log space" (§3.2.2).
 	CheckpointEvery int
+	Trace           *trace.Tracer
 }
 
 // New returns a Recovery Manager and installs it as the kernel's pager.
@@ -113,6 +116,7 @@ func New(cfg Config) *Manager {
 		log:             cfg.Log,
 		k:               cfg.Kernel,
 		rec:             cfg.Rec,
+		tr:              cfg.Trace,
 		dirty:           make(map[types.PageID]wal.LSN),
 		pageLSN:         make(map[types.PageID]wal.LSN),
 		trans:           make(map[types.TransID]*transState),
@@ -534,12 +538,19 @@ func (m *Manager) Checkpoint() error {
 	sort.Slice(body.Active, func(i, j int) bool { return body.Active[i].FirstLSN < body.Active[j].FirstLSN })
 	m.mu.Unlock()
 
+	sp := m.tr.Begin("recovery", "checkpoint").
+		Annotatef("dirty_pages=%d", len(body.DirtyPages)).
+		Annotatef("active_trans=%d", len(body.Active))
 	r := &wal.Record{Type: wal.RecCheckpoint, Body: wal.EncodeCheckpoint(body)}
 	lsn, err := m.log.AppendAndForce(r)
 	if err != nil {
+		sp.EndErr(err)
 		return err
 	}
-	return m.log.SetCheckpoint(lsn)
+	err = m.log.SetCheckpoint(lsn)
+	sp.Annotatef("lsn=%d", lsn).EndErr(err)
+	m.tr.Count("recovery.checkpoint.count", 1)
+	return err
 }
 
 // Reclaim frees log space: it forces back the dirty pages whose recovery
@@ -549,12 +560,15 @@ func (m *Manager) Checkpoint() error {
 // recovery LSNs (§3.2.2: "log reclamation may force pages back to disk
 // before they would otherwise be written").
 func (m *Manager) Reclaim() error {
+	sp := m.tr.Begin("recovery", "reclaim")
 	// Flush every dirty page; this empties the dirty-page table via the
 	// pager protocol.
 	if err := m.k.FlushAll(); err != nil {
+		sp.EndErr(err)
 		return err
 	}
 	if err := m.Checkpoint(); err != nil {
+		sp.EndErr(err)
 		return err
 	}
 	m.mu.Lock()
@@ -574,7 +588,10 @@ func (m *Manager) Reclaim() error {
 		low = m.pinnedLow
 	}
 	m.mu.Unlock()
-	return m.log.Reclaim(low)
+	err := m.log.Reclaim(low)
+	sp.Annotatef("new_low=%d", low).EndErr(err)
+	m.tr.Count("recovery.reclaim.count", 1)
+	return err
 }
 
 // DirtyPageCount returns the size of the dirty-page table.

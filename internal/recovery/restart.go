@@ -58,10 +58,15 @@ func (m *Manager) Restart(src TransStatusSource) (*RestartReport, error) {
 // to replay the log over a restored archive in the same single pass
 // structure as crash recovery.
 func (m *Manager) restartFrom(src TransStatusSource, floor wal.LSN) (*RestartReport, error) {
+	restart := m.tr.Begin("recovery", "restart")
+	asp := m.tr.Begin("recovery", "restart.analyze")
 	a, err := m.analyze(src, floor)
 	if err != nil {
+		asp.EndErr(err)
+		restart.EndErr(err)
 		return nil, err
 	}
+	asp.Annotatef("scanned=%d", a.scanned).Annotatef("redo_start=%d", a.redoStart).End()
 	// Resolve in-doubt prepared transactions before applying effects.
 	report := &RestartReport{RecordsScanned: a.scanned}
 	for tid, st := range a.status {
@@ -87,17 +92,29 @@ func (m *Manager) restartFrom(src TransStatusSource, floor wal.LSN) (*RestartRep
 
 	if a.hasOps {
 		report.Passes = 3
+		rsp := m.tr.Begin("recovery", "restart.redo")
 		if err := m.redoPass(a, report); err != nil {
+			rsp.EndErr(err)
+			restart.EndErr(err)
 			return nil, err
 		}
+		rsp.Annotatef("redone=%d", report.Redone).End()
+		usp := m.tr.Begin("recovery", "restart.undo")
 		if err := m.undoPass(a, report); err != nil {
+			usp.EndErr(err)
+			restart.EndErr(err)
 			return nil, err
 		}
+		usp.Annotatef("undone=%d", report.Undone).End()
 	} else {
 		report.Passes = 1
+		bsp := m.tr.Begin("recovery", "restart.backward")
 		if err := m.singleBackwardPass(a, report); err != nil {
+			bsp.EndErr(err)
+			restart.EndErr(err)
 			return nil, err
 		}
+		bsp.Annotatef("redone=%d", report.Redone).Annotatef("undone=%d", report.Undone).End()
 	}
 
 	// Write abort records for losers and rebuild the live-transaction
@@ -124,12 +141,19 @@ func (m *Manager) restartFrom(src TransStatusSource, floor wal.LSN) (*RestartRep
 		}
 	}
 	if err := m.log.Force(m.log.NextLSN()); err != nil {
+		restart.EndErr(err)
 		return nil, err
 	}
 	// A fresh checkpoint bounds the next crash's recovery work.
 	if err := m.Checkpoint(); err != nil {
+		restart.EndErr(err)
 		return nil, err
 	}
+	restart.Annotatef("passes=%d", report.Passes).
+		Annotatef("winners=%d", len(report.Winners)).
+		Annotatef("losers=%d", len(report.Losers)).
+		Annotatef("in_doubt=%d", len(report.InDoubt)).
+		End()
 	return report, nil
 }
 

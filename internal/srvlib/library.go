@@ -50,10 +50,15 @@ func (s *Server) ConvertObjectIDToVirtualAddress(obj types.ObjectID) VirtualAddr
 // (§2.1.3), and the caller normally aborts the transaction.
 func (s *Server) LockObject(tid types.TransID, obj types.ObjectID, mode lock.Mode) error {
 	s.ensureJoined(tid)
+	sp := s.tr.Begin("lock", "acquire").SetTID(tid).
+		Annotatef("obj=%v", obj).Annotatef("mode=%v", mode)
 	if s.locks.TryLock(tid, obj, mode) {
+		sp.End()
 		return nil
 	}
-	return s.await(func() error { return s.locks.Lock(tid, obj, mode) })
+	err := s.await(func() error { return s.locks.Lock(tid, obj, mode) })
+	sp.Annotate("waited=true").EndErr(err)
+	return err
 }
 
 // ConditionallyLockObject attempts a lock and returns false immediately if

@@ -24,6 +24,7 @@ import (
 	"tabs/internal/port"
 	"tabs/internal/recovery"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/txn"
 	"tabs/internal/types"
 	"tabs/internal/wal"
@@ -70,6 +71,8 @@ type Config struct {
 	LockCompat lock.Compat
 	// LockTimeout bounds lock waits (deadlock resolution by time-out).
 	LockTimeout time.Duration
+	// Trace receives lock-acquire spans; nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // Server is one data server instance.
@@ -82,6 +85,7 @@ type Server struct {
 	seg         types.SegmentID
 	lockCompat  lock.Compat
 	lockTimeout time.Duration
+	tr          *trace.Tracer
 
 	// monitor serializes coroutines: exactly one operation executes at a
 	// time; blocking points release it (coroutine switch).
@@ -123,6 +127,7 @@ func New(cfg Config) *Server {
 		seg:         cfg.Segment,
 		lockCompat:  cfg.LockCompat,
 		lockTimeout: cfg.LockTimeout,
+		tr:          cfg.Trace,
 		locks:       lock.NewTyped(cfg.LockCompat, cfg.LockTimeout),
 		reqs:    port.New(string(cfg.ID), cfg.Rec),
 		buffers: make(map[types.TransID]map[types.ObjectID][]byte),
@@ -132,6 +137,7 @@ func New(cfg Config) *Server {
 		pins:    make(map[types.PageID]int),
 		ops:     make(map[string]OpFunc),
 	}
+	s.locks.AttachTracer(s.tr)
 	return s
 }
 
@@ -384,6 +390,7 @@ func (s *Server) Crash() {
 	s.smu.Unlock()
 	s.locks.Close()
 	s.locks = lock.NewTyped(s.lockCompat, s.lockTimeout)
+	s.locks.AttachTracer(s.tr)
 }
 
 // Stats exposes the underlying recorder (may be nil).

@@ -1,0 +1,391 @@
+// Package trace is the transaction-level observability layer: a
+// low-overhead, per-node structured event substrate threaded through the
+// hot paths of every TABS component. It complements internal/stats — which
+// counts the paper's primitive operations to regenerate Tables 5-1..5-5 —
+// with the *where did the time go* view the paper's methodology cannot
+// give: per-phase commit-protocol spans, lock blocking with the holding
+// transaction, WAL force latency, retransmissions and backoff rounds.
+//
+// Two kinds of data are kept:
+//
+//   - Spans: named, timestamped intervals with free-form annotations,
+//     stored in a fixed-capacity ring buffer (old spans are overwritten;
+//     observability must never grow without bound on a production node).
+//
+//   - Metrics: a typed registry of named counters, gauges and histograms,
+//     cheap enough to bump on every append/force/fault.
+//
+// A nil *Tracer is fully functional and free: every method has a nil fast
+// path that performs no allocation and no locking, mirroring how a nil
+// stats.Recorder is plumbed through the same components. Components
+// therefore take a *Tracer unconditionally and never test for enablement
+// themselves.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSpanCapacity is the ring size used when a Tracer is constructed
+// with capacity 0: enough for several thousand transactions' worth of
+// commit-path spans without unbounded growth.
+const DefaultSpanCapacity = 4096
+
+// Span is one completed traced interval.
+type Span struct {
+	ID        uint64    `json:"id"`
+	Node      string    `json:"node,omitempty"`
+	Component string    `json:"component"`
+	Name      string    `json:"name"`
+	TID       string    `json:"tid,omitempty"`
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+	Attrs     []string  `json:"attrs,omitempty"`
+	Err       string    `json:"err,omitempty"`
+}
+
+// Duration returns the span's elapsed time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// String formats the span compactly for tabsctl-style display.
+func (s Span) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10.3fms", s.Component+"."+s.Name, float64(s.Duration().Microseconds())/1000)
+	if s.TID != "" {
+		fmt.Fprintf(&b, " tid=%s", s.TID)
+	}
+	for _, a := range s.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(&b, " err=%q", s.Err)
+	}
+	return b.String()
+}
+
+// ActiveSpan is an in-progress span handle. A nil *ActiveSpan (from a nil
+// Tracer) accepts every method as a no-op, so callers never branch.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// histogram accumulates a streaming summary of observations.
+type histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// MetricValue is one metric's snapshot. Kind is "counter", "gauge" or
+// "histogram"; counters and gauges use Value, histograms use the summary
+// fields.
+type MetricValue struct {
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value,omitempty"`
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+}
+
+// Tracer is one node's span ring and metrics registry. Safe for concurrent
+// use; the nil Tracer is valid and records nothing.
+type Tracer struct {
+	node string
+
+	mu       sync.Mutex
+	capacity int
+	ring     []Span // circular once len == capacity
+	next     int    // write cursor when the ring is full
+	seq      uint64 // span ids
+	dropped  uint64 // spans overwritten by ring wrap
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// New returns a Tracer for node with the given span ring capacity
+// (0 selects DefaultSpanCapacity).
+func New(node string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{
+		node:     node,
+		capacity: capacity,
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Node returns the owning node's name ("" for a nil tracer).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Begin starts a span. On a nil tracer it returns nil, and every
+// ActiveSpan method on nil is a no-op — the disabled path allocates
+// nothing.
+func (t *Tracer) Begin(component, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{Component: component, Name: name, Start: time.Now()}}
+}
+
+// Event records an instantaneous span (Start == End) with optional
+// annotations.
+func (t *Tracer) Event(component, name string, attrs ...string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.push(Span{Component: component, Name: name, Start: now, End: now, Attrs: attrs})
+}
+
+// SetTID labels the span with the owning transaction.
+func (s *ActiveSpan) SetTID(tid fmt.Stringer) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.span.TID = tid.String()
+	return s
+}
+
+// Annotate appends a preformatted "key=value" annotation.
+func (s *ActiveSpan) Annotate(kv string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.span.Attrs = append(s.span.Attrs, kv)
+	return s
+}
+
+// Annotatef appends a formatted annotation.
+func (s *ActiveSpan) Annotatef(format string, args ...any) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.span.Attrs = append(s.span.Attrs, fmt.Sprintf(format, args...))
+	return s
+}
+
+// End completes the span and commits it to the ring.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.End = time.Now()
+	s.t.push(s.span)
+}
+
+// EndErr completes the span, recording err (nil err behaves like End).
+func (s *ActiveSpan) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.span.Err = err.Error()
+	}
+	s.End()
+}
+
+// push commits a finished span into the ring.
+func (t *Tracer) push(sp Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	sp.ID = t.seq
+	sp.Node = t.node
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, sp)
+		return
+	}
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % t.capacity
+	t.dropped++
+}
+
+// --- metrics ---------------------------------------------------------------
+
+// Count adds delta to the named counter.
+func (t *Tracer) Count(name string, delta float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Gauge sets the named gauge to v.
+func (t *Tracer) Gauge(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.gauges[name] = v
+	t.mu.Unlock()
+}
+
+// Observe records one observation of the named histogram.
+func (t *Tracer) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h := t.hists[name]
+	if h == nil {
+		h = &histogram{min: v, max: v}
+		t.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	t.mu.Unlock()
+}
+
+// ObserveSince records the milliseconds elapsed since start in the named
+// histogram; the canonical latency-recording call.
+func (t *Tracer) ObserveSince(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.Observe(name, float64(time.Since(start).Nanoseconds())/1e6)
+}
+
+// --- snapshots -------------------------------------------------------------
+
+// TraceSnapshot returns the retained spans, oldest first.
+func (t *Tracer) TraceSnapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < t.capacity {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// MetricsSnapshot returns every registered metric by name.
+func (t *Tracer) MetricsSnapshot() map[string]MetricValue {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]MetricValue, len(t.counters)+len(t.gauges)+len(t.hists))
+	for n, v := range t.counters {
+		out[n] = MetricValue{Kind: "counter", Value: v}
+	}
+	for n, v := range t.gauges {
+		out[n] = MetricValue{Kind: "gauge", Value: v}
+	}
+	for n, h := range t.hists {
+		mv := MetricValue{Kind: "histogram", Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			mv.Mean = h.sum / float64(h.count)
+		}
+		out[n] = mv
+	}
+	return out
+}
+
+// Reset clears the span ring and every metric.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.dropped = 0
+	t.counters = make(map[string]float64)
+	t.gauges = make(map[string]float64)
+	t.hists = make(map[string]*histogram)
+}
+
+// --- export ---------------------------------------------------------------
+
+// Export is the JSON shape tabsctl and tabsbench exchange and emit.
+type Export struct {
+	Node    string                 `json:"node"`
+	Taken   time.Time              `json:"taken"`
+	Dropped uint64                 `json:"dropped_spans,omitempty"`
+	Metrics map[string]MetricValue `json:"metrics,omitempty"`
+	Spans   []Span                 `json:"spans,omitempty"`
+}
+
+// Export snapshots the tracer; withSpans selects whether the span ring is
+// included (metric dumps usually omit it).
+func (t *Tracer) Export(withSpans bool) Export {
+	e := Export{Node: t.Node(), Taken: time.Now(), Dropped: t.Dropped(), Metrics: t.MetricsSnapshot()}
+	if withSpans {
+		e.Spans = t.TraceSnapshot()
+	}
+	return e
+}
+
+// MarshalExports renders a set of per-node exports as indented JSON.
+func MarshalExports(exports []Export) ([]byte, error) {
+	return json.MarshalIndent(exports, "", "  ")
+}
+
+// FormatMetrics renders a metrics snapshot as aligned text, sorted by
+// name, for tabsctl metrics.
+func FormatMetrics(m map[string]MetricValue) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		v := m[n]
+		switch v.Kind {
+		case "histogram":
+			fmt.Fprintf(&b, "%-36s count=%d mean=%.3f min=%.3f max=%.3f sum=%.3f\n",
+				n, v.Count, v.Mean, v.Min, v.Max, v.Sum)
+		default:
+			fmt.Fprintf(&b, "%-36s %g\n", n, v.Value)
+		}
+	}
+	return b.String()
+}

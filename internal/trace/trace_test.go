@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeTID string
+
+func (f fakeTID) String() string { return string(f) }
+
+func TestNilTracerIsFreeAndSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin("txn", "commit")
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	// Every method must be a no-op on the nil handles.
+	sp.SetTID(fakeTID("t1")).Annotate("k=v").Annotatef("n=%d", 1)
+	sp.End()
+	sp.EndErr(errors.New("boom"))
+	tr.Event("txn", "abort")
+	tr.Count("x", 1)
+	tr.Gauge("y", 2)
+	tr.Observe("z", 3)
+	tr.ObserveSince("w", time.Now())
+	tr.Reset()
+	if got := tr.TraceSnapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if got := tr.MetricsSnapshot(); got != nil {
+		t.Fatalf("nil metrics = %v", got)
+	}
+	if tr.Node() != "" || tr.Dropped() != 0 {
+		t.Fatal("nil accessors not zero")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := New("nodeA", 0)
+	sp := tr.Begin("txn", "commit").SetTID(fakeTID("T:1")).Annotate("children=2")
+	sp.Annotatef("round=%d", 1)
+	sp.End()
+	tr.Event("txn", "abort", "reason=timeout")
+
+	spans := tr.TraceSnapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	got := spans[0]
+	if got.Component != "txn" || got.Name != "commit" || got.TID != "T:1" {
+		t.Fatalf("span mismatch: %+v", got)
+	}
+	if got.Node != "nodeA" {
+		t.Fatalf("node = %q", got.Node)
+	}
+	if len(got.Attrs) != 2 || got.Attrs[0] != "children=2" || got.Attrs[1] != "round=1" {
+		t.Fatalf("attrs = %v", got.Attrs)
+	}
+	if got.End.Before(got.Start) {
+		t.Fatal("span end precedes start")
+	}
+	if spans[1].ID <= spans[0].ID {
+		t.Fatal("span ids not monotonic")
+	}
+	if s := got.String(); !strings.Contains(s, "txn.commit") || !strings.Contains(s, "tid=T:1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEndErrRecordsError(t *testing.T) {
+	tr := New("n", 4)
+	tr.Begin("wal", "force").EndErr(errors.New("disk gone"))
+	tr.Begin("wal", "force").EndErr(nil)
+	spans := tr.TraceSnapshot()
+	if spans[0].Err != "disk gone" {
+		t.Fatalf("err = %q", spans[0].Err)
+	}
+	if spans[1].Err != "" {
+		t.Fatalf("nil err recorded as %q", spans[1].Err)
+	}
+}
+
+func TestRingWrapKeepsNewestOldestFirst(t *testing.T) {
+	tr := New("n", 4)
+	for i := 0; i < 10; i++ {
+		tr.Event("c", "e", "i="+string(rune('0'+i)))
+	}
+	spans := tr.TraceSnapshot()
+	if len(spans) != 4 {
+		t.Fatalf("len = %d, want 4", len(spans))
+	}
+	// Oldest-first: ids 7,8,9,10.
+	for i, sp := range spans {
+		if want := uint64(7 + i); sp.ID != want {
+			t.Fatalf("spans[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	tr := New("n", 4)
+	tr.Count("wal.append.bytes", 100)
+	tr.Count("wal.append.bytes", 28)
+	tr.Gauge("pool.pinned", 3)
+	tr.Gauge("pool.pinned", 1)
+	tr.Observe("wal.force.ms", 2)
+	tr.Observe("wal.force.ms", 6)
+	tr.Observe("wal.force.ms", 4)
+
+	m := tr.MetricsSnapshot()
+	if c := m["wal.append.bytes"]; c.Kind != "counter" || c.Value != 128 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if g := m["pool.pinned"]; g.Kind != "gauge" || g.Value != 1 {
+		t.Fatalf("gauge = %+v", g)
+	}
+	h := m["wal.force.ms"]
+	if h.Kind != "histogram" || h.Count != 3 || h.Sum != 12 || h.Min != 2 || h.Max != 6 || h.Mean != 4 {
+		t.Fatalf("histogram = %+v", h)
+	}
+
+	out := FormatMetrics(m)
+	if !strings.Contains(out, "wal.append.bytes") || !strings.Contains(out, "count=3") {
+		t.Fatalf("FormatMetrics output:\n%s", out)
+	}
+
+	tr.Reset()
+	if len(tr.MetricsSnapshot()) != 0 || len(tr.TraceSnapshot()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	tr := New("nodeB", 8)
+	tr.Begin("lock", "acquire").SetTID(fakeTID("T:9")).End()
+	tr.Count("lock.grants", 1)
+
+	data, err := MarshalExports([]Export{tr.Export(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Export
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Node != "nodeB" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if len(back[0].Spans) != 1 || back[0].Spans[0].TID != "T:9" {
+		t.Fatalf("spans = %+v", back[0].Spans)
+	}
+	if back[0].Metrics["lock.grants"].Value != 1 {
+		t.Fatalf("metrics = %+v", back[0].Metrics)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New("n", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Begin("c", "op")
+				tr.Count("ops", 1)
+				tr.Observe("lat", float64(i))
+				sp.End()
+				_ = tr.TraceSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := tr.MetricsSnapshot()["ops"].Value; v != 1600 {
+		t.Fatalf("ops = %v, want 1600", v)
+	}
+}

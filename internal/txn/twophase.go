@@ -40,6 +40,22 @@ func encodeDG(kind uint8, st types.Status) []byte {
 	return []byte{kind, byte(st)}
 }
 
+// dgName names a datagram kind for trace spans.
+func dgName(kind uint8) string {
+	switch kind {
+	case dgPrepare:
+		return "prepare"
+	case dgCommit:
+		return "commit"
+	case dgAbort:
+		return "abort"
+	case dgStatusQ:
+		return "statusq"
+	default:
+		return fmt.Sprintf("kind%d", kind)
+	}
+}
+
 func decodeDG(from types.NodeID, payload []byte) (dgMsg, bool) {
 	if len(payload) != 2 {
 		return dgMsg{}, false
@@ -132,6 +148,7 @@ func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind 
 			m.unawait(waitKey{tid: tid, from: c, kind: cls})
 		}
 	}()
+	sp := m.tr.Begin("txn", "round."+dgName(kind)).SetTID(tid).Annotatef("children=%d", len(children))
 	m.sendRound(tid, children, kind)
 	vote, attempts, _ := m.timing()
 	if attempts < 1 {
@@ -166,6 +183,8 @@ func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind 
 			break
 		}
 		// Retransmit to children that have not answered.
+		sp.Annotatef("retry=%d missing=%d", try+1, len(children)-len(results))
+		m.tr.Count("txn.round.retransmits", 1)
 		for _, c := range children {
 			if _, done := results[c]; !done {
 				_ = m.cm.SendDatagram(c, Service, tid, encodeDG(kind, types.StatusUnknown), 0)
@@ -177,6 +196,10 @@ func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind 
 	if m.rec != nil && len(children) > 0 {
 		m.rec.RecordN(simclock.Datagram, 1)
 	}
+	if len(results) < len(children) {
+		sp.Annotatef("unanswered=%d", len(children)-len(results))
+	}
+	sp.End()
 	return results
 }
 
@@ -226,10 +249,12 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 	m.mu.Unlock()
 	m.autoCommitSubs(lt)
 
+	sp := m.tr.Begin("txn", "commit").SetTID(lt.top)
 	var children []types.NodeID
 	if m.cm != nil {
 		_, _, children = m.cm.Tree(lt.top)
 	}
+	sp.Annotatef("children=%d", len(children))
 	var writers []types.NodeID
 	if len(children) > 0 {
 		votes := m.collectRound(lt.top, children, dgPrepare, clsVote)
@@ -245,6 +270,7 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 			}
 		}
 		if abort {
+			sp.Annotate("outcome=abort").End()
 			if err := m.abortTree(lt, true); err != nil {
 				return false, err
 			}
@@ -260,12 +286,15 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 		m.mu.Unlock()
 		m.notifyCommit(lt)
 		m.finishLocal(lt, types.StatusCommitted)
+		m.tr.Count("txn.commits.readonly", 1)
+		sp.Annotate("outcome=committed_readonly").End()
 		return true, nil
 	}
 
 	// The commit record under the root TID decides the whole tree; it is
 	// forced before any effect is exposed (§2.1.3).
 	if err := m.rm.LogCommit(lt.top); err != nil {
+		sp.Annotate("outcome=abort").EndErr(err)
 		if aerr := m.abortTree(lt, true); aerr != nil {
 			return false, fmt.Errorf("txn: commit force failed (%v); abort also failed: %w", err, aerr)
 		}
@@ -279,6 +308,8 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 	}
 	m.notifyCommit(lt)
 	m.finishLocal(lt, types.StatusCommitted)
+	m.tr.Count("txn.commits", 1)
+	sp.Annotate("outcome=committed").End()
 	return true, nil
 }
 
@@ -291,6 +322,7 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 		return nil
 	}
 	lt.state = stAborted
+	sp := m.tr.Begin("txn", "abort").SetTID(lt.top)
 	doomed := make([]types.TransID, 0, len(lt.subs)+1)
 	for sub, st := range lt.subs {
 		if st != types.StatusAborted {
@@ -308,6 +340,7 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	}
 	for _, tid := range doomed {
 		if err := m.rm.Abort(tid); err != nil {
+			sp.EndErr(err)
 			return err
 		}
 		for _, p := range servers {
@@ -319,6 +352,8 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 		m.collectRound(lt.top, children, dgAbort, clsAck)
 	}
 	m.finishLocal(lt, types.StatusAborted)
+	m.tr.Count("txn.aborts", 1)
+	sp.End()
 	return nil
 }
 
@@ -362,6 +397,12 @@ func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
 	m.mu.Unlock()
 	m.autoCommitSubs(lt)
 
+	sp := m.tr.Begin("txn", "prepare").SetTID(top).Annotatef("parent=%s", parent)
+	vote := func(kind uint8) {
+		m.tr.Begin("txn", "vote").SetTID(top).Annotatef("vote=%s", voteName(kind)).End()
+		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(kind, types.StatusUnknown), 0)
+	}
+
 	_, _, children := m.cm.Tree(top)
 	var writers []types.NodeID
 	abort := false
@@ -380,7 +421,8 @@ func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
 	}
 	if abort {
 		_ = m.abortTree(lt, false)
-		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteAbort, types.StatusUnknown), 0)
+		sp.Annotate("vote=abort").End()
+		vote(dgVoteAbort)
 		return
 	}
 
@@ -392,24 +434,41 @@ func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
 		m.mu.Unlock()
 		m.notifyCommit(lt)
 		m.finishLocal(lt, types.StatusCommitted)
-		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteReadOnly, types.StatusUnknown), 0)
+		sp.Annotate("vote=readonly").End()
+		vote(dgVoteReadOnly)
 		return
 	}
 
 	prep := &wal.PrepareBody{Parent: parent, Children: writers}
 	if err := m.rm.LogPrepare(top, prep); err != nil {
 		_ = m.abortTree(lt, false)
-		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteAbort, types.StatusUnknown), 0)
+		sp.Annotate("vote=abort").EndErr(err)
+		vote(dgVoteAbort)
 		return
 	}
 	m.mu.Lock()
 	lt.state = stPrepared
 	lt.prep = prep
 	m.mu.Unlock()
-	_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgVoteCommit, types.StatusUnknown), 0)
+	sp.Annotate("vote=commit").End()
+	vote(dgVoteCommit)
 	// In-doubt self-resolution: if the outcome never arrives (lost
 	// datagrams, coordinator crash), ask the parent.
 	go m.resolveWhenStuck(lt, parent)
+}
+
+// voteName names a vote datagram kind for trace spans.
+func voteName(kind uint8) string {
+	switch kind {
+	case dgVoteCommit:
+		return "commit"
+	case dgVoteReadOnly:
+		return "readonly"
+	case dgVoteAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("kind%d", kind)
+	}
 }
 
 // participantCommit handles phase 2 at a prepared node: relay to the
@@ -490,16 +549,51 @@ func (m *Manager) answerStatusQuery(from types.NodeID, top types.TransID) {
 
 // resolveWhenStuck waits for the prepared transaction to resolve; if it
 // stays in doubt, it queries the parent and applies the answer.
+//
+// The wait is one absolute deadline — the same total grace period as the
+// old fixed sleep of (retries+2)×vote — but polled with capped exponential
+// backoff, so the goroutine notices a normally-delivered outcome within a
+// fraction of the vote timeout instead of holding its state for the full
+// worst case. Each backoff round is visible on the txn.resolve span.
 func (m *Manager) resolveWhenStuck(lt *localTrans, parent types.NodeID) {
 	vote, retries, _ := m.timing()
-	time.Sleep(time.Duration(retries+2) * vote)
-	m.mu.Lock()
-	stuck := lt.state == stPrepared
-	m.mu.Unlock()
-	if !stuck {
-		return
+	deadline := time.Now().Add(time.Duration(retries+2) * vote)
+	sp := m.tr.Begin("txn", "resolve").SetTID(lt.top).Annotatef("parent=%s", parent)
+	backoff := vote / 8
+	if backoff < time.Millisecond {
+		backoff = time.Millisecond
 	}
+	for round := 1; ; round++ {
+		m.mu.Lock()
+		stuck := lt.state == stPrepared
+		m.mu.Unlock()
+		if !stuck {
+			sp.Annotate("resolved=normally").End()
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		wait := backoff
+		if wait > remaining {
+			wait = remaining
+		}
+		sp.Annotatef("round=%d backoff=%s", round, wait)
+		select {
+		case <-time.After(wait):
+		case <-m.stopSweep:
+			sp.Annotate("stopped=true").End()
+			return
+		}
+		backoff *= 2
+		if backoff > vote {
+			backoff = vote
+		}
+	}
+	// Still in doubt past the deadline: ask the coordinator.
 	st := m.queryStatus(lt.top, parent)
+	sp.Annotatef("queried=%v", st).End()
 	switch st {
 	case types.StatusCommitted:
 		m.participantCommit(parent, lt.top)
@@ -513,6 +607,11 @@ func (m *Manager) resolveWhenStuck(lt *localTrans, parent types.NodeID) {
 // progress", and StatusUnknown when no answer arrived at all — callers
 // treat those differently: a prepared participant must stay in doubt, but
 // an active (never-prepared) orphan may be aborted unilaterally.
+// The query runs against one absolute deadline (the old per-attempt budget,
+// attempts×vote, in total) with capped exponential backoff between
+// retransmissions, so an early answer returns immediately and a dead
+// coordinator costs no more than before. Each retransmission round is
+// annotated on the txn.statusq span.
 func (m *Manager) queryStatus(top types.TransID, peer types.NodeID) types.Status {
 	k := waitKey{tid: top, from: peer, kind: clsStatus}
 	ch := m.await(k)
@@ -521,24 +620,63 @@ func (m *Manager) queryStatus(top types.TransID, peer types.NodeID) types.Status
 	if attempts < 1 {
 		attempts = 1
 	}
+	sp := m.tr.Begin("txn", "statusq").SetTID(top).Annotatef("peer=%s", peer)
+	deadline := time.Now().Add(time.Duration(attempts) * vote)
+	backoff := vote / 4
+	if backoff < time.Millisecond {
+		backoff = time.Millisecond
+	}
 	heard := false
-	for i := 0; i < attempts; i++ {
+	for round := 1; ; round++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		if round > 1 {
+			sp.Annotatef("round=%d backoff=%s", round, backoff)
+			m.tr.Count("txn.statusq.retransmits", 1)
+		}
 		_ = m.cm.SendDatagram(peer, Service, top, encodeDG(dgStatusQ, types.StatusUnknown), 1)
+		wait := backoff
+		if wait > remaining {
+			wait = remaining
+		}
+		timer := time.NewTimer(wait)
 		select {
 		case msg := <-ch:
+			timer.Stop()
 			if msg.status == types.StatusPrepared {
-				// Coordinator still deciding; wait and retry.
+				// Coordinator still deciding; pause, then ask again.
 				heard = true
-				time.Sleep(vote)
-				continue
+				select {
+				case <-time.After(wait):
+				case <-m.stopSweep:
+					sp.Annotate("stopped=true").End()
+					return types.StatusPrepared
+				}
+			} else {
+				sp.Annotatef("status=%v", msg.status).End()
+				return msg.status
 			}
-			return msg.status
-		case <-time.After(vote):
+		case <-timer.C:
+		case <-m.stopSweep:
+			timer.Stop()
+			sp.Annotate("stopped=true").End()
+			if heard {
+				return types.StatusPrepared
+			}
+			return types.StatusUnknown
+		}
+		backoff *= 2
+		if backoff > vote {
+			backoff = vote
 		}
 	}
 	if heard {
+		sp.Annotate("status=prepared").End()
 		return types.StatusPrepared
 	}
+	sp.Annotate("status=unknown").End()
 	return types.StatusUnknown
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"tabs/internal/simclock"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 	"tabs/internal/wal"
 )
@@ -102,6 +103,7 @@ type Manager struct {
 	rm   RecoveryManager
 	cm   CommManager
 	rec  *stats.Recorder
+	tr   *trace.Tracer
 
 	mu    sync.Mutex
 	seq   uint64
@@ -150,6 +152,14 @@ func New(node types.NodeID, rm RecoveryManager, cm CommManager, rec *stats.Recor
 		go m.orphanSweeper()
 	}
 	return m
+}
+
+// AttachTracer points the manager's commit-protocol spans and counters at
+// tr. Call before transactions start; a nil tracer disables them.
+func (m *Manager) AttachTracer(tr *trace.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tr = tr
 }
 
 // touch records a sign of life for the transaction. Caller holds m.mu.
@@ -283,6 +293,7 @@ func (m *Manager) Begin(parent types.TransID) (types.TransID, error) {
 		}
 		lt.touch()
 		m.trans[tid] = lt
+		m.tr.Begin("txn", "begin").SetTID(tid).End()
 		return tid, nil
 	}
 	top := parent.TopLevel()
@@ -310,6 +321,7 @@ func (m *Manager) Begin(parent types.TransID) (types.TransID, error) {
 	lt.subs[sub] = types.StatusActive
 	lt.subParent[sub] = parent
 	lt.touch()
+	m.tr.Begin("txn", "begin").SetTID(sub).Annotate("sub=true").End()
 	return sub, nil
 }
 

@@ -20,9 +20,40 @@ type fakeRM struct {
 	prepares []types.TransID
 	aborts   []types.TransID
 	failNext error
+	// changed gets a (non-blocking) token whenever a record is written,
+	// so tests can wait on RM activity instead of sleeping.
+	changed chan struct{}
 }
 
-func newFakeRM() *fakeRM { return &fakeRM{logged: make(map[types.TransID]bool)} }
+func newFakeRM() *fakeRM {
+	return &fakeRM{logged: make(map[types.TransID]bool), changed: make(chan struct{}, 1)}
+}
+
+// notifyLocked signals waiters that the record lists changed.
+func (f *fakeRM) notifyLocked() {
+	select {
+	case f.changed <- struct{}{}:
+	default:
+	}
+}
+
+// waitForCounts blocks until cond holds for the RM's record counts,
+// failing the test after a deadline.
+func (f *fakeRM) waitForCounts(t *testing.T, cond func(commits, prepares, aborts int) bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if cond(f.counts()) {
+			return
+		}
+		select {
+		case <-f.changed:
+		case <-deadline:
+			c, p, a := f.counts()
+			t.Fatalf("timed out waiting on RM records: commits=%d prepares=%d aborts=%d", c, p, a)
+		}
+	}
+}
 
 func (f *fakeRM) markLogged(tid types.TransID) {
 	f.mu.Lock()
@@ -39,6 +70,7 @@ func (f *fakeRM) LogCommit(tid types.TransID) error {
 		return err
 	}
 	f.commits = append(f.commits, tid)
+	f.notifyLocked()
 	return nil
 }
 
@@ -46,6 +78,7 @@ func (f *fakeRM) LogPrepare(tid types.TransID, _ *wal.PrepareBody) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.prepares = append(f.prepares, tid)
+	f.notifyLocked()
 	return nil
 }
 
@@ -53,6 +86,7 @@ func (f *fakeRM) Abort(tid types.TransID) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.aborts = append(f.aborts, tid)
+	f.notifyLocked()
 	return nil
 }
 
@@ -319,17 +353,7 @@ func TestDistributedCommitTwoNodes(t *testing.T) {
 	if c, _, _ := r.rmA.counts(); c != 1 {
 		t.Errorf("coordinator commit records: %d", c)
 	}
-	deadline := time.Now().Add(time.Second)
-	for {
-		c, p, _ := r.rmB.counts()
-		if c == 1 && p == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("participant records: commits=%d prepares=%d", c, p)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	r.rmB.waitForCounts(t, func(c, p, _ int) bool { return c == 1 && p == 1 })
 }
 
 func TestDistributedReadOnlyParticipantSkipsPhase2(t *testing.T) {
@@ -344,9 +368,13 @@ func TestDistributedReadOnlyParticipantSkipsPhase2(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("commit: %v", err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	if c, p, _ := r.rmB.counts(); c != 0 || p != 0 {
-		t.Errorf("read-only participant logged: commits=%d prepares=%d", c, p)
+	// A read-only participant must never see phase 2: fail the moment B's
+	// RM writes any record, and declare success after a quiet window.
+	select {
+	case <-r.rmB.changed:
+		c, p, a := r.rmB.counts()
+		t.Errorf("read-only participant logged: commits=%d prepares=%d aborts=%d", c, p, a)
+	case <-time.After(150 * time.Millisecond):
 	}
 }
 
@@ -360,16 +388,7 @@ func TestDistributedAbortPropagates(t *testing.T) {
 	if err := r.tmA.Abort(tid); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(time.Second)
-	for {
-		if _, _, a := r.rmB.counts(); a >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("abort never reached the participant")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	r.rmB.waitForCounts(t, func(_, _, a int) bool { return a >= 1 })
 	if r.tmA.Status(tid) != types.StatusAborted {
 		t.Errorf("coordinator status %v", r.tmA.Status(tid))
 	}

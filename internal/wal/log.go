@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tabs/internal/disk"
 	"tabs/internal/simclock"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 )
 
 // Log manages the node's common write-ahead log on a circular region of the
@@ -25,6 +27,7 @@ type Log struct {
 	base disk.Addr // anchor sector
 	data int64     // number of data sectors
 	rec  *stats.Recorder
+	tr   *trace.Tracer
 
 	lowLSN     LSN // oldest retained byte (record boundary)
 	durableLSN LSN // everything below is on disk
@@ -54,6 +57,7 @@ type Config struct {
 	Base    disk.Addr // first sector of the log region (the anchor)
 	Sectors int64     // total sectors including the anchor
 	Rec     *stats.Recorder
+	Trace   *trace.Tracer
 }
 
 // Open mounts the log region, reading the anchor and scanning forward from
@@ -69,6 +73,7 @@ func Open(cfg Config) (*Log, error) {
 		base: cfg.Base,
 		data: cfg.Sectors - 1,
 		rec:  cfg.Rec,
+		tr:   cfg.Trace,
 	}
 	var sector [disk.SectorSize]byte
 	if _, err := l.d.Read(l.base, sector[:]); err != nil {
@@ -176,21 +181,29 @@ func (l *Log) CheckpointLSN() LSN {
 }
 
 // Append assigns the next LSN to r, serializes it into the volatile buffer,
-// and returns the assigned LSN. The record is not durable until Force.
+// and returns the assigned LSN. The record is not durable until Force. On
+// failure r is left exactly as the caller passed it: Encode needs the
+// candidate LSN in place (the frame checksum covers it), so it is staged
+// and rolled back unless the append commits.
 func (l *Log) Append(r *Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	prevLSN := r.LSN
 	r.LSN = l.nextLSN
 	frame, err := Encode(r)
 	if err != nil {
+		r.LSN = prevLSN
 		return 0, err
 	}
 	if int64(l.nextLSN-l.lowLSN)+int64(len(frame)) > l.Capacity() {
+		r.LSN = prevLSN
 		return 0, ErrLogFull
 	}
 	l.buf = append(l.buf, frame...)
 	l.index = append(l.index, r.LSN)
 	l.nextLSN += LSN(len(frame))
+	l.tr.Count("wal.append.records", 1)
+	l.tr.Count("wal.append.bytes", float64(len(frame)))
 	return r.LSN, nil
 }
 
@@ -215,6 +228,8 @@ func (l *Log) forceLocked(upTo LSN) error {
 	// force unit, §5.1).
 	start := l.durableLSN
 	end := l.nextLSN
+	forceStart := time.Now()
+	sp := l.tr.Begin("wal", "force").Annotatef("bytes=%d", int64(end-start))
 	firstSec := uint64(start) / disk.SectorSize
 	lastSec := (uint64(end) - 1) / disk.SectorSize
 	for sec := firstSec; sec <= lastSec; sec++ {
@@ -236,7 +251,9 @@ func (l *Log) forceLocked(upTo LSN) error {
 		}
 		addr, _ := l.sectorFor(secStart)
 		if err := l.d.Write(addr, page[:], 0); err != nil {
-			return fmt.Errorf("wal: forcing log page: %w", err)
+			err = fmt.Errorf("wal: forcing log page: %w", err)
+			sp.EndErr(err)
+			return err
 		}
 	}
 	// One force is one Stable Storage Write primitive — "the elapsed time
@@ -248,6 +265,11 @@ func (l *Log) forceLocked(upTo LSN) error {
 	}
 	l.buf = nil
 	l.durableLSN = l.nextLSN
+	l.tr.Count("wal.force.count", 1)
+	l.tr.Count("wal.force.bytes", float64(int64(end-start)))
+	l.tr.Observe("wal.force.batch_bytes", float64(int64(end-start)))
+	l.tr.ObserveSince("wal.force.ms", forceStart)
+	sp.End()
 	return nil
 }
 
@@ -333,11 +355,17 @@ func (l *Log) ReadRecord(lsn LSN) (*Record, error) {
 }
 
 // ScanForward calls fn for every retained record with from ≤ LSN, in LSN
-// order, stopping early if fn returns false.
+// order, stopping early if fn returns false. Records reclaimed between the
+// index snapshot and the per-record read are skipped rather than surfaced
+// as ErrOutOfRange: a record below the advanced low-water mark was, by the
+// reclamation invariant, needed by no retained transaction.
 func (l *Log) ScanForward(from LSN, fn func(*Record) (bool, error)) error {
 	for _, lsn := range l.indexFrom(from) {
 		r, err := l.ReadRecord(lsn)
 		if err != nil {
+			if l.reclaimedSince(lsn, err) {
+				continue
+			}
 			return err
 		}
 		cont, err := fn(r)
@@ -353,12 +381,16 @@ func (l *Log) ScanForward(from LSN, fn func(*Record) (bool, error)) error {
 
 // ScanBackward calls fn for every retained record with LSN ≤ from, in
 // reverse LSN order, stopping early if fn returns false. Value-logging
-// crash recovery is a single backward pass (§2.1.3).
+// crash recovery is a single backward pass (§2.1.3). Concurrently
+// reclaimed records are skipped, as in ScanForward.
 func (l *Log) ScanBackward(from LSN, fn func(*Record) (bool, error)) error {
 	idx := l.indexUpTo(from)
 	for i := len(idx) - 1; i >= 0; i-- {
 		r, err := l.ReadRecord(idx[i])
 		if err != nil {
+			if l.reclaimedSince(idx[i], err) {
+				continue
+			}
 			return err
 		}
 		cont, err := fn(r)
@@ -370,6 +402,15 @@ func (l *Log) ScanBackward(from LSN, fn func(*Record) (bool, error)) error {
 		}
 	}
 	return nil
+}
+
+// reclaimedSince reports whether a per-record read failure during a scan
+// is explained by a concurrent Reclaim having trimmed lsn: the read
+// range-checks under the mutex, so ErrOutOfRange on an LSN now below the
+// low-water mark means the record was reclaimed after the scan snapshotted
+// the index, not that the log is corrupt.
+func (l *Log) reclaimedSince(lsn LSN, err error) bool {
+	return errors.Is(err, ErrOutOfRange) && lsn < l.LowLSN()
 }
 
 func (l *Log) indexFrom(from LSN) []LSN {

@@ -318,3 +318,100 @@ func TestSetCheckpointRequiresDurable(t *testing.T) {
 		t.Error("checkpoint anchor accepted before the record was forced")
 	}
 }
+
+// TestFailedAppendLeavesRecordUntouched is the regression test for the
+// stale-LSN bug: Append used to assign r.LSN before the encode and
+// space checks, so a failed append left a bogus LSN on the caller's
+// record — which a retry after reclamation would then chain from.
+func TestFailedAppendLeavesRecordUntouched(t *testing.T) {
+	lg, _, _ := testLog(t, 4)
+
+	// Encode failure: oversized body.
+	r := &Record{LSN: 42, TID: tid(1), Type: RecUpdate, Server: "s", Body: make([]byte, MaxBodySize+1)}
+	if _, err := lg.Append(r); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	if r.LSN != 42 {
+		t.Errorf("encode failure mutated r.LSN: %d, want 42", r.LSN)
+	}
+
+	// Space failure: fill the tiny log until it rejects an append.
+	body := make([]byte, 256)
+	for i := 0; ; i++ {
+		r := &Record{LSN: 7, TID: tid(uint64(i + 2)), Type: RecUpdate, Server: "s", Body: body}
+		_, err := lg.Append(r)
+		if err == nil {
+			if r.LSN == 7 {
+				t.Fatal("successful append did not assign an LSN")
+			}
+			continue
+		}
+		if !errors.Is(err, ErrLogFull) {
+			t.Fatalf("want ErrLogFull, got %v", err)
+		}
+		if r.LSN != 7 {
+			t.Errorf("full-log failure mutated r.LSN: %d, want 7", r.LSN)
+		}
+		break
+	}
+}
+
+// TestConcurrentScanVsReclaim is the regression test for the scan TOCTOU:
+// scans snapshot the LSN index under the mutex but read each record
+// afterwards, so a concurrent Reclaim used to surface spurious
+// ErrOutOfRange from records trimmed mid-scan. Reclaimed records must be
+// skipped instead.
+func TestConcurrentScanVsReclaim(t *testing.T) {
+	lg, _, _ := testLog(t, 256)
+
+	var lsns []LSN
+	for i := 0; i < 200; i++ {
+		lsn, err := lg.Append(&Record{TID: tid(uint64(i + 1)), Type: RecUpdate, Server: "s", Body: []byte("payload")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := lg.Force(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-scanErr:
+				return
+			default:
+			}
+			if err := lg.ScanForward(firstLSN, func(*Record) (bool, error) { return true, nil }); err != nil {
+				scanErr <- err
+				return
+			}
+			if err := lg.ScanBackward(lg.NextLSN(), func(*Record) (bool, error) { return true, nil }); err != nil {
+				scanErr <- err
+				return
+			}
+			if lg.LowLSN() == lg.NextLSN() {
+				return // everything reclaimed; nothing left to race with
+			}
+		}
+	}()
+
+	for _, lsn := range lsns[1:] {
+		if err := lg.Reclaim(lsn); err != nil {
+			t.Fatalf("reclaim to %d: %v", lsn, err)
+		}
+	}
+	if err := lg.Reclaim(lg.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	select {
+	case err := <-scanErr:
+		t.Fatalf("scan failed against concurrent reclaim: %v", err)
+	default:
+	}
+}
