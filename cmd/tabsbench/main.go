@@ -10,9 +10,12 @@
 //	tabsbench -table 5-4       # one table
 //	tabsbench -iters 30        # more iterations per benchmark
 //	tabsbench -metrics-json m.json   # also dump per-node trace metrics
+//	tabsbench -concurrency 16  # WAL group-commit throughput sweep instead
+//	tabsbench -group-commit=false    # paper-faithful synchronous log forces
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,12 +29,47 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 5-1, 5-2, 5-3, 5-4, 5-5, ablations, or all")
 	iters := flag.Int("iters", 10, "measured transactions per benchmark")
 	metricsJSON := flag.String("metrics-json", "", "after the benchmarks, write per-node trace-layer metrics as JSON to this file ('-' for stdout)")
+	concurrency := flag.Int("concurrency", 0, "run the WAL group-commit throughput sweep up to this many concurrent committers (skips the tables)")
+	groupCommit := flag.Bool("group-commit", true, "enable WAL group commit; false forces one synchronous Stable Storage Write per log force, as the paper's TABS did")
+	benchJSON := flag.String("bench-json", "BENCH_wal_group_commit.json", "where -concurrency writes its sweep results as JSON")
+	benchTxns := flag.Int("bench-txns", 50, "transactions per committer goroutine in the -concurrency sweep")
 	flag.Parse()
 
-	if err := run(*table, *iters, *metricsJSON); err != nil {
+	if *concurrency > 0 {
+		if err := runGroupCommit(*concurrency, *benchTxns, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "tabsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*table, *iters, *metricsJSON, *groupCommit); err != nil {
 		fmt.Fprintln(os.Stderr, "tabsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runGroupCommit sweeps the concurrent-commit benchmark and records the
+// result both as a text table on stdout and as JSON for regression
+// tracking.
+func runGroupCommit(maxConc, txnsPerWorker int, jsonPath string) error {
+	fmt.Fprintf(os.Stderr, "sweeping WAL group commit up to %d concurrent committers...\n", maxConc)
+	res, err := bench.MeasureGroupCommit(maxConc, txnsPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatGroupCommit(res))
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
 }
 
 // dumpMetrics writes every cluster node's trace.Export (metrics only) as
@@ -55,7 +93,7 @@ func dumpMetrics(env *bench.Env, path string) error {
 	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
-func run(table string, iters int, metricsJSON string) error {
+func run(table string, iters int, metricsJSON string, groupCommit bool) error {
 	needMicro := table == "all" || table == "5-1"
 	needBench := table == "all" || table == "5-2" || table == "5-3" || table == "5-4"
 
@@ -72,7 +110,7 @@ func run(table string, iters int, metricsJSON string) error {
 	var results []bench.Result
 	if needBench {
 		fmt.Fprintln(os.Stderr, "running the fourteen Section 5 benchmarks (3 nodes)...")
-		env, err := bench.NewEnv(3)
+		env, err := bench.NewEnvWith(3, !groupCommit)
 		if err != nil {
 			return err
 		}

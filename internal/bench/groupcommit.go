@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/simclock"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// This file measures what the paper's sequential Section 5 benchmarks
+// cannot: commit throughput under concurrency. Each committing transaction
+// must force a commit record to Stable Storage (§2.1.3); with one committer
+// that is one Stable Storage Write per transaction, but with many
+// committers in flight the wal.Log's group commit amortizes a single log
+// force over every transaction whose commit record it covers.
+//
+// The simulated disk charges virtual milliseconds through the cost model
+// rather than sleeping, so to surface the batching as a wall-clock win the
+// harness installs an IO hook that sleeps a small real duration per virtual
+// millisecond — a scaled-down physical disk. Both throughput and Stable
+// Storage Writes per transaction are reported; the writes ratio is
+// hardware-independent.
+
+// ioSleepPerVirtualMs scales the disk model's virtual milliseconds into
+// real sleep. 20µs/ms makes a Stable Storage Write (~1.3 virtual ms on the
+// Table 5-1 model) cost ~26µs of wall time: long enough that concurrent
+// committers pile up behind an in-flight force, short enough that the full
+// sweep stays in CI budget.
+const ioSleepPerVirtualMs = 20 * time.Microsecond
+
+// GroupCommitPoint is one (concurrency, mode) cell of the sweep.
+type GroupCommitPoint struct {
+	Concurrency  int     `json:"concurrency"`
+	GroupCommit  bool    `json:"group_commit"`
+	Committed    int     `json:"committed"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	TxnsPerSec   float64 `json:"txns_per_sec"`
+	StableWrites float64 `json:"stable_writes"`
+	WritesPerTxn float64 `json:"writes_per_txn"`
+	// Forces and the group-size summary come from the wal.force.* trace
+	// metrics; Forces counts batches, MeanGroupSize commits per batch.
+	Forces        float64 `json:"forces"`
+	MeanGroupSize float64 `json:"mean_group_size"`
+	MaxGroupSize  float64 `json:"max_group_size"`
+}
+
+// GroupCommitResult is the full sweep, for BENCH_wal_group_commit.json.
+type GroupCommitResult struct {
+	TxnsPerWorker         int                `json:"txns_per_worker"`
+	IOSleepNsPerVirtualMs int64              `json:"io_sleep_ns_per_virtual_ms"`
+	Points                []GroupCommitPoint `json:"points"`
+}
+
+// measureGroupCommitPoint boots a fresh single-node cluster and drives
+// conc goroutines through txns write transactions each, all committing as
+// fast as they can.
+func measureGroupCommitPoint(conc, txns int, groupCommit bool) (GroupCommitPoint, error) {
+	pt := GroupCommitPoint{Concurrency: conc, GroupCommit: groupCommit}
+	opts := core.ClusterOptions{
+		DiskSectors: 16384,
+		LogSectors:  2048,
+		PoolPages:   256,
+		// Checkpoints inject extra forces mid-run; keep them out of the
+		// measurement the same way the Section 5 benchmarks do.
+		CheckpointEvery:    1 << 30,
+		LockTimeout:        10 * time.Second,
+		DisableGroupCommit: !groupCommit,
+	}
+	cluster, err := core.NewCluster(opts, "node1")
+	if err != nil {
+		return pt, err
+	}
+	defer cluster.Shutdown()
+	node := cluster.Node("node1")
+	// One page per worker so committers contend only on the log, not on
+	// page locks: worker w owns the first cell of page w.
+	cells := uint32((conc + 1) * cellsPerPage)
+	if _, err := intarray.Attach(node, "array", 1, cells, 10*time.Second); err != nil {
+		return pt, err
+	}
+	if _, err := node.Recover(); err != nil {
+		return pt, err
+	}
+	client := intarray.NewClient(node, "node1", "array")
+	cellFor := func(worker int) uint32 { return uint32(worker*cellsPerPage) + 1 }
+
+	run := func(worker, value int) error {
+		return node.App.Run(func(tid types.TransID) error {
+			return client.Set(tid, cellFor(worker), int64(value))
+		})
+	}
+	// Warm-up: fault every worker's page in and populate session state.
+	for w := 0; w < conc; w++ {
+		if err := run(w, 0); err != nil {
+			return pt, fmt.Errorf("warm-up worker %d: %w", w, err)
+		}
+	}
+
+	// Measured run, against the scaled-latency disk.
+	node.Disk().SetIOHook(func(ms float64, _ bool) {
+		time.Sleep(time.Duration(ms * float64(ioSleepPerVirtualMs)))
+	})
+	defer node.Disk().SetIOHook(nil)
+	cluster.Registry.ResetAll()
+	node.Tracer().Reset()
+
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= txns; i++ {
+				if err := run(w, i); err != nil {
+					errs[w] = fmt.Errorf("worker %d txn %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return pt, err
+		}
+	}
+
+	pt.Committed = conc * txns
+	pt.ElapsedNs = elapsed.Nanoseconds()
+	pt.TxnsPerSec = float64(pt.Committed) / elapsed.Seconds()
+	total := cluster.Registry.TotalCounts(stats.PreCommit).
+		Add(cluster.Registry.TotalCounts(stats.Commit))
+	pt.StableWrites = total[simclock.StableWrite]
+	pt.WritesPerTxn = pt.StableWrites / float64(pt.Committed)
+	m := node.MetricsSnapshot()
+	pt.Forces = m["wal.force.count"].Value
+	if gs, ok := m["wal.force.group_size"]; ok && gs.Count > 0 {
+		pt.MeanGroupSize = gs.Mean
+		pt.MaxGroupSize = gs.Max
+	} else if pt.Forces > 0 {
+		// Synchronous mode records no group sizes: every force is a group
+		// of one.
+		pt.MeanGroupSize, pt.MaxGroupSize = 1, 1
+	}
+	return pt, nil
+}
+
+// MeasureGroupCommit sweeps concurrency 1, 2, 4, ... maxConc, measuring
+// commit throughput with group commit enabled and disabled at each level.
+func MeasureGroupCommit(maxConc, txnsPerWorker int) (*GroupCommitResult, error) {
+	if maxConc < 1 {
+		maxConc = 16
+	}
+	if txnsPerWorker <= 0 {
+		txnsPerWorker = 50
+	}
+	res := &GroupCommitResult{
+		TxnsPerWorker:         txnsPerWorker,
+		IOSleepNsPerVirtualMs: ioSleepPerVirtualMs.Nanoseconds(),
+	}
+	for conc := 1; conc <= maxConc; conc *= 2 {
+		for _, grouped := range []bool{false, true} {
+			pt, err := measureGroupCommitPoint(conc, txnsPerWorker, grouped)
+			if err != nil {
+				return nil, fmt.Errorf("bench: group commit at concurrency %d (grouped=%v): %w", conc, grouped, err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// point finds the sweep cell for (conc, grouped), or nil.
+func (r *GroupCommitResult) point(conc int, grouped bool) *GroupCommitPoint {
+	for i := range r.Points {
+		if r.Points[i].Concurrency == conc && r.Points[i].GroupCommit == grouped {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// FormatGroupCommit renders the sweep as a text table with per-level
+// speedup (grouped vs. synchronous throughput) and writes-per-txn ratio.
+func FormatGroupCommit(r *GroupCommitResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WAL Group Commit: concurrent commit throughput (%d txns/worker)\n", r.TxnsPerWorker)
+	fmt.Fprintf(&b, "%-6s %-8s %10s %12s %10s %8s %8s\n",
+		"conc", "mode", "txns/s", "writes/txn", "forces", "grp.avg", "grp.max")
+	line := strings.Repeat("-", 68)
+	fmt.Fprintln(&b, line)
+	for _, pt := range r.Points {
+		mode := "sync"
+		if pt.GroupCommit {
+			mode = "grouped"
+		}
+		fmt.Fprintf(&b, "%-6d %-8s %10.0f %12.3f %10.0f %8.2f %8.0f\n",
+			pt.Concurrency, mode, pt.TxnsPerSec, pt.WritesPerTxn,
+			pt.Forces, pt.MeanGroupSize, pt.MaxGroupSize)
+		if pt.GroupCommit {
+			if sync := r.point(pt.Concurrency, false); sync != nil && sync.TxnsPerSec > 0 && sync.WritesPerTxn > 0 {
+				fmt.Fprintf(&b, "%-6s %-8s %9.2fx %11.3fx\n", "", "ratio",
+					pt.TxnsPerSec/sync.TxnsPerSec, pt.WritesPerTxn/sync.WritesPerTxn)
+			}
+		}
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintln(&b, "ratio rows compare grouped against sync at the same concurrency;")
+	fmt.Fprintln(&b, "writes/txn counts Stable Storage Writes per committed transaction.")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMeasureGroupCommitPoint runs one small full-stack cell of the sweep
+// in each mode and sanity-checks the accounting.
+func TestMeasureGroupCommitPoint(t *testing.T) {
+	for _, grouped := range []bool{false, true} {
+		pt, err := measureGroupCommitPoint(4, 5, grouped)
+		if err != nil {
+			t.Fatalf("grouped=%v: %v", grouped, err)
+		}
+		if pt.Committed != 20 {
+			t.Errorf("grouped=%v: committed %d, want 20", grouped, pt.Committed)
+		}
+		if pt.StableWrites <= 0 || pt.Forces <= 0 {
+			t.Errorf("grouped=%v: no stable writes/forces recorded: %+v", grouped, pt)
+		}
+		if pt.TxnsPerSec <= 0 {
+			t.Errorf("grouped=%v: non-positive throughput", grouped)
+		}
+		if !grouped && pt.MeanGroupSize != 1 {
+			t.Errorf("sync mode mean group size %.2f, want 1", pt.MeanGroupSize)
+		}
+		// Even synchronous mode can dip below one write per commit: the
+		// recovery manager forces to NextLSN, so a commit record appended
+		// while another force is queued rides that force. Group commit
+		// should only improve on it.
+		if pt.WritesPerTxn <= 0 {
+			t.Errorf("grouped=%v: writes/txn %.3f, want > 0", grouped, pt.WritesPerTxn)
+		}
+	}
+}
+
+// TestGroupCommitResultJSON pins the artifact's field names.
+func TestGroupCommitResultJSON(t *testing.T) {
+	res := &GroupCommitResult{
+		TxnsPerWorker: 3,
+		Points: []GroupCommitPoint{
+			{Concurrency: 2, GroupCommit: true, Committed: 6, TxnsPerSec: 10,
+				StableWrites: 3, WritesPerTxn: 0.5, Forces: 3, MeanGroupSize: 2, MaxGroupSize: 2},
+		},
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GroupCommitResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 1 || back.Points[0].WritesPerTxn != 0.5 {
+		t.Fatalf("round trip mangled result: %s", blob)
+	}
+	if FormatGroupCommit(res) == "" {
+		t.Fatal("empty formatted table")
+	}
+}
+
+// BenchmarkGroupCommitStack is the full-stack commit-throughput benchmark:
+// 8 committer goroutines over kernel, recovery manager and log. The CI
+// smoke step runs it with -benchtime=1x.
+func BenchmarkGroupCommitStack(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		grouped bool
+	}{{"grouped", true}, {"nogroup", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := measureGroupCommitPoint(8, 10, mode.grouped)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.TxnsPerSec, "txns/s")
+				b.ReportMetric(pt.WritesPerTxn, "stablewrites/txn")
+			}
+		})
+	}
+}

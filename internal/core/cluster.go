@@ -29,6 +29,9 @@ type ClusterOptions struct {
 	PoolPages       int
 	CheckpointEvery int
 	LockTimeout     time.Duration
+	// DisableGroupCommit propagates to every node's log: one synchronous
+	// Stable Storage Write per Force, as the paper's TABS did.
+	DisableGroupCommit bool
 }
 
 // DefaultClusterOptions returns settings suitable for tests: small disks,
@@ -74,14 +77,15 @@ func (c *Cluster) AddNode(name types.NodeID) (*Node, error) {
 
 func (c *Cluster) bootNode(name types.NodeID, d *disk.Disk) (*Node, error) {
 	n, err := NewNode(Config{
-		ID:              name,
-		Disk:            d,
-		LogSectors:      c.opts.LogSectors,
-		PoolPages:       c.opts.PoolPages,
-		Transport:       c.Net.Endpoint(name),
-		Registry:        c.Registry,
-		CheckpointEvery: c.opts.CheckpointEvery,
-		LockTimeout:     c.opts.LockTimeout,
+		ID:                 name,
+		Disk:               d,
+		LogSectors:         c.opts.LogSectors,
+		PoolPages:          c.opts.PoolPages,
+		Transport:          c.Net.Endpoint(name),
+		Registry:           c.Registry,
+		CheckpointEvery:    c.opts.CheckpointEvery,
+		LockTimeout:        c.opts.LockTimeout,
+		DisableGroupCommit: c.opts.DisableGroupCommit,
 	})
 	if err != nil {
 		return nil, err

@@ -156,7 +156,10 @@ func (m *Manager) PageFirstDirtied(p types.PageID) {
 // applies to the page is forced before the kernel may copy the page to its
 // recoverable segment. The returned header is the page's new sequence
 // number — the LSN of the newest record applying to it, which operation
-// logging compares against record LSNs during redo (§3.2.1).
+// logging compares against record LSNs during redo (§3.2.1). Steal forces
+// participate in group commit like any other Force caller: a steal that
+// arrives while a commit batch is in flight parks and usually finds its
+// target already durable when the batch lands.
 func (m *Manager) RequestPageWrite(p types.PageID) (uint64, error) {
 	m.mu.Lock()
 	lsn := m.pageLSN[p]
@@ -298,7 +301,10 @@ func (m *Manager) LogOperation(tid types.TransID, server types.ServerID, o *wal.
 
 // LogCommit writes and forces a commit record; after it returns the
 // transaction is durably committed on this node (§2.1.3: log records must
-// be forced before transactions commit).
+// be forced before transactions commit). Concurrent committers share log
+// forces: the force below either leads one group-commit batch or rides a
+// batch another committer's force pays for, so N simultaneous commits cost
+// far fewer than N Stable Storage Writes (see wal.Log).
 func (m *Manager) LogCommit(tid types.TransID) error {
 	r := &wal.Record{TID: tid, Type: wal.RecCommit}
 	if _, err := m.append(r); err != nil {
@@ -324,7 +330,8 @@ func (m *Manager) LogCommitLazy(tid types.TransID) error {
 }
 
 // LogPrepare writes and forces a prepare record carrying the node's
-// position in the commit spanning tree (§3.2.3).
+// position in the commit spanning tree (§3.2.3). Like commit records,
+// concurrent prepare forces coalesce into group-commit batches.
 func (m *Manager) LogPrepare(tid types.TransID, p *wal.PrepareBody) error {
 	r := &wal.Record{TID: tid, Type: wal.RecPrepare, Body: wal.EncodePrepare(p)}
 	if _, err := m.append(r); err != nil {

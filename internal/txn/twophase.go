@@ -292,7 +292,10 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 	}
 
 	// The commit record under the root TID decides the whole tree; it is
-	// forced before any effect is exposed (§2.1.3).
+	// forced before any effect is exposed (§2.1.3). Under heavy concurrent
+	// commit traffic this force is where group commit amortizes: many
+	// committing trees share one log write (wal.Log's leader/follower
+	// batching).
 	if err := m.rm.LogCommit(lt.top); err != nil {
 		sp.Annotate("outcome=abort").EndErr(err)
 		if aerr := m.abortTree(lt, true); aerr != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +19,21 @@ import (
 // durable when forced — by the commit protocol, by the write-ahead rule
 // before a page steal, or when the buffer fills (§3.2.2).
 //
+// Forcing is a *group commit*: concurrent Force callers do not each pay a
+// Stable Storage Write. The first caller to find no flush in flight becomes
+// the leader: it snapshots the pending region [durableLSN, nextLSN), drops
+// the mutex, and writes the whole region as one sector batch while later
+// callers park on a condition variable. When the leader finishes it wakes
+// every waiter; waiters whose target is now ≤ durableLSN return without
+// touching the disk, and one unsatisfied waiter (if any) leads the next
+// batch. Append and force are pipelined: because the leader flushes a
+// snapshot without holding the log mutex, Append never blocks behind an
+// in-flight disk write — newly appended records simply land in the next
+// batch. Config.DisableGroupCommit restores the original synchronous
+// behavior (one write per Force, performed under the mutex) for faithful
+// reproduction of the paper's per-transaction commit accounting
+// (Tables 5-2/5-3).
+//
 // Physical layout: the first sector of the region is the anchor (checkpoint
 // pointer and low-water mark); the remaining sectors hold the record stream
 // addressed by LSN modulo the data capacity.
@@ -29,6 +45,8 @@ type Log struct {
 	rec  *stats.Recorder
 	tr   *trace.Tracer
 
+	noGroup bool // Config.DisableGroupCommit
+
 	lowLSN     LSN // oldest retained byte (record boundary)
 	durableLSN LSN // everything below is on disk
 	nextLSN    LSN // next byte to be assigned
@@ -37,6 +55,17 @@ type Log struct {
 	buf      []byte // appended but not yet forced bytes [durableLSN, nextLSN)
 	index    []LSN  // start LSNs of retained records, ascending
 	fullWarn bool
+
+	// Group-commit state. flushCond is signalled each time a flush
+	// generation completes (successfully or not); parked maps a waiting
+	// Force caller's token to its target LSN so the leader can size the
+	// group it amortized.
+	flushCond *sync.Cond
+	flushing  bool // a leader is writing to disk with mu released
+	flushGen  uint64
+	flushErr  error // outcome of the generation that just completed
+	parked    map[uint64]LSN
+	parkSeq   uint64
 }
 
 // Errors returned by the log manager.
@@ -58,6 +87,15 @@ type Config struct {
 	Sectors int64     // total sectors including the anchor
 	Rec     *stats.Recorder
 	Trace   *trace.Tracer
+	// DisableGroupCommit turns off group commit and append/force
+	// pipelining: every Force performs its own disk write synchronously
+	// while holding the log mutex, exactly as the paper's TABS charged one
+	// Stable Storage Write per committing transaction. Group commit keeps
+	// per-force accounting compatible with Table 5-1 (a group force is
+	// still one Stable Storage Write), but under concurrency it changes
+	// how many forces N committers pay; disable it to reproduce the
+	// Table 5-2/5-3 per-transaction counts with no amortization possible.
+	DisableGroupCommit bool
 }
 
 // Open mounts the log region, reading the anchor and scanning forward from
@@ -69,12 +107,15 @@ func Open(cfg Config) (*Log, error) {
 		return nil, fmt.Errorf("wal: region needs at least 2 sectors, got %d", cfg.Sectors)
 	}
 	l := &Log{
-		d:    cfg.Disk,
-		base: cfg.Base,
-		data: cfg.Sectors - 1,
-		rec:  cfg.Rec,
-		tr:   cfg.Trace,
+		d:       cfg.Disk,
+		base:    cfg.Base,
+		data:    cfg.Sectors - 1,
+		rec:     cfg.Rec,
+		tr:      cfg.Trace,
+		noGroup: cfg.DisableGroupCommit,
+		parked:  make(map[uint64]LSN),
 	}
+	l.flushCond = sync.NewCond(&l.mu)
 	var sector [disk.SectorSize]byte
 	if _, err := l.d.Read(l.base, sector[:]); err != nil {
 		return nil, fmt.Errorf("wal: reading anchor: %w", err)
@@ -209,13 +250,89 @@ func (l *Log) Append(r *Record) (LSN, error) {
 
 // Force makes every record with LSN < upTo durable. Passing the current
 // NextLSN (or any larger value) forces the whole buffer. Each log page
-// written charges one Stable Storage Write primitive (Table 5-1).
+// batch written charges one Stable Storage Write primitive (Table 5-1), so
+// N concurrent committers coalesced into one group force share a single
+// primitive charge between them.
 func (l *Log) Force(upTo LSN) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.forceLocked(upTo)
+	if l.noGroup {
+		defer l.mu.Unlock()
+		return l.forceLocked(upTo)
+	}
+	if upTo > l.nextLSN {
+		upTo = l.nextLSN
+	}
+	for {
+		if upTo <= l.durableLSN {
+			l.mu.Unlock()
+			return nil
+		}
+		if !l.flushing {
+			return l.leadFlush() // releases l.mu
+		}
+		// A leader is already writing. Park until its generation
+		// completes; the flush may or may not cover our target (records
+		// appended after the leader snapshotted land in the next batch).
+		tok := l.parkSeq
+		l.parkSeq++
+		l.parked[tok] = upTo
+		l.tr.Gauge("wal.force.waiters", float64(len(l.parked)))
+		gen := l.flushGen
+		for l.flushGen == gen {
+			l.flushCond.Wait()
+		}
+		delete(l.parked, tok)
+		l.tr.Gauge("wal.force.waiters", float64(len(l.parked)))
+		if err := l.flushErr; err != nil && upTo > l.durableLSN {
+			// The flush that should have covered us failed; surface the
+			// write error rather than silently retrying on the caller's
+			// behalf.
+			l.mu.Unlock()
+			return err
+		}
+	}
 }
 
+// leadFlush runs one group-commit generation. Called with l.mu held and
+// l.flushing false; releases the mutex for the duration of the disk write
+// so appends (and future forces) proceed while the batch is in flight.
+func (l *Log) leadFlush() error {
+	start, end := l.durableLSN, l.nextLSN
+	// Snapshot the region being flushed. Appends only ever extend l.buf,
+	// never mutate the pending prefix, so a subslice stays stable while
+	// the mutex is released.
+	data := l.buf[:end-start]
+	l.flushing = true
+	l.mu.Unlock()
+
+	err := l.writeRange(start, end, data)
+
+	l.mu.Lock()
+	if err == nil {
+		l.durableLSN = end
+		l.buf = l.buf[end-start:]
+		// The group this write amortized: the leader plus every parked
+		// waiter whose target the batch satisfied.
+		group := 1
+		for _, target := range l.parked {
+			if target <= end {
+				group++
+			}
+		}
+		l.tr.Observe("wal.force.group_size", float64(group))
+	}
+	l.flushing = false
+	l.flushGen++
+	l.flushErr = err
+	l.flushCond.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// forceLocked is the synchronous (DisableGroupCommit) force path: one disk
+// write per call, performed under the log mutex, exactly as the original
+// TABS implementation charged one Stable Storage Write per committing
+// transaction. Caller holds l.mu.
 func (l *Log) forceLocked(upTo LSN) error {
 	if upTo > l.nextLSN {
 		upTo = l.nextLSN
@@ -223,11 +340,25 @@ func (l *Log) forceLocked(upTo LSN) error {
 	if upTo <= l.durableLSN {
 		return nil
 	}
-	// Write whole sectors covering [durableLSN, nextLSN); we force the
-	// entire buffer once any of it must go (a page of log data is the
-	// force unit, §5.1).
-	start := l.durableLSN
-	end := l.nextLSN
+	start, end := l.durableLSN, l.nextLSN
+	if err := l.writeRange(start, end, l.buf); err != nil {
+		return err
+	}
+	l.buf = nil
+	l.durableLSN = end
+	return nil
+}
+
+// writeRange writes the log bytes [start, end) — supplied in data — to the
+// sectors that cover them. We force the entire pending region once any of
+// it must go (a page of log data is the force unit, §5.1). One call is one
+// Stable Storage Write primitive — "the elapsed time required for the
+// Recovery Manager to force a page of log data to non-volatile storage"
+// (§5.1) — regardless of how many sectors the records straddle or how many
+// committers share the batch. Safe without l.mu: at most one flusher runs
+// at a time (l.flushing, or the mutex itself on the synchronous path), and
+// nothing else writes log data sectors.
+func (l *Log) writeRange(start, end LSN, data []byte) error {
 	forceStart := time.Now()
 	sp := l.tr.Begin("wal", "force").Annotatef("bytes=%d", int64(end-start))
 	firstSec := uint64(start) / disk.SectorSize
@@ -235,36 +366,34 @@ func (l *Log) forceLocked(upTo LSN) error {
 	for sec := firstSec; sec <= lastSec; sec++ {
 		var page [disk.SectorSize]byte
 		secStart := LSN(sec * disk.SectorSize)
-		// Fill the page from buffered bytes (and, for the first sector,
-		// re-read the already-durable prefix from disk).
-		if secStart < start {
-			addr, _ := l.sectorFor(secStart)
-			if _, err := l.d.Read(addr, page[:]); err != nil {
-				return fmt.Errorf("wal: read-modify-write of log page: %w", err)
-			}
-		}
-		for i := 0; i < disk.SectorSize; i++ {
-			off := secStart + LSN(i)
-			if off >= start && off < end {
-				page[i] = l.buf[off-start]
-			}
-		}
 		addr, _ := l.sectorFor(secStart)
+		// For the first sector, re-read the already-durable prefix from
+		// disk (read-modify-write).
+		if secStart < start {
+			if _, err := l.d.Read(addr, page[:]); err != nil {
+				err = fmt.Errorf("wal: read-modify-write of log page: %w", err)
+				sp.EndErr(err)
+				return err
+			}
+		}
+		// Fill the page from the overlap of this sector with [start, end).
+		lo, hi := secStart, secStart+disk.SectorSize
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		copy(page[lo-secStart:], data[lo-start:hi-start])
 		if err := l.d.Write(addr, page[:], 0); err != nil {
 			err = fmt.Errorf("wal: forcing log page: %w", err)
 			sp.EndErr(err)
 			return err
 		}
 	}
-	// One force is one Stable Storage Write primitive — "the elapsed time
-	// required for the Recovery Manager to force a page of log data to
-	// non-volatile storage" (§5.1) — regardless of how many sectors the
-	// buffered records straddle.
 	if l.rec != nil {
 		l.rec.Record(simclock.StableWrite)
 	}
-	l.buf = nil
-	l.durableLSN = l.nextLSN
 	l.tr.Count("wal.force.count", 1)
 	l.tr.Count("wal.force.bytes", float64(int64(end-start)))
 	l.tr.Observe("wal.force.batch_bytes", float64(int64(end-start)))
@@ -283,9 +412,8 @@ func (l *Log) readBytes(lsn LSN, n int) ([]byte, error) {
 	for i := 0; i < n; {
 		off := lsn + LSN(i)
 		if off >= l.durableLSN {
-			// From the volatile buffer.
-			out[i] = l.buf[off-l.durableLSN]
-			i++
+			// The rest comes from the volatile buffer in one copy.
+			i += copy(out[i:], l.buf[off-l.durableLSN:])
 			continue
 		}
 		addr, inSec := l.sectorFor(off)
@@ -293,12 +421,12 @@ func (l *Log) readBytes(lsn LSN, n int) ([]byte, error) {
 		if _, err := l.d.Read(addr, page[:]); err != nil {
 			return nil, err
 		}
-		c := copy(out[i:], page[inSec:])
+		avail := page[inSec:]
 		// Don't copy past the durable boundary into buffer territory.
-		if off+LSN(c) > l.durableLSN {
-			c = int(l.durableLSN - off)
+		if off+LSN(len(avail)) > l.durableLSN {
+			avail = avail[:l.durableLSN-off]
 		}
-		i += c
+		i += copy(out[i:], avail)
 	}
 	return out, nil
 }
@@ -413,28 +541,23 @@ func (l *Log) reclaimedSince(lsn LSN, err error) bool {
 	return errors.Is(err, ErrOutOfRange) && lsn < l.LowLSN()
 }
 
+// indexFrom returns a copy of the tail of the ascending LSN index starting
+// at the first entry ≥ from. The index is sorted, so the cut point is a
+// binary search; the copy keeps the snapshot stable against a concurrent
+// Reclaim compacting the index in place.
 func (l *Log) indexFrom(from LSN) []LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]LSN, 0, len(l.index))
-	for _, lsn := range l.index {
-		if lsn >= from {
-			out = append(out, lsn)
-		}
-	}
-	return out
+	i := sort.Search(len(l.index), func(i int) bool { return l.index[i] >= from })
+	return append([]LSN(nil), l.index[i:]...)
 }
 
+// indexUpTo returns a copy of the head of the index: every entry ≤ from.
 func (l *Log) indexUpTo(from LSN) []LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]LSN, 0, len(l.index))
-	for _, lsn := range l.index {
-		if lsn <= from {
-			out = append(out, lsn)
-		}
-	}
-	return out
+	i := sort.Search(len(l.index), func(i int) bool { return l.index[i] > from })
+	return append([]LSN(nil), l.index[:i]...)
 }
 
 // SetCheckpoint records lsn as the most recent checkpoint and durably
@@ -462,29 +585,20 @@ func (l *Log) Reclaim(newLow LSN) error {
 		return fmt.Errorf("wal: cannot reclaim past durable LSN %d", l.durableLSN)
 	}
 	// newLow must be a record boundary (or the exact end).
-	ok := newLow == l.nextLSN
-	for _, lsn := range l.index {
-		if lsn == newLow {
-			ok = true
-			break
-		}
-	}
-	if !ok {
+	i := sort.Search(len(l.index), func(i int) bool { return l.index[i] >= newLow })
+	if newLow != l.nextLSN && (i == len(l.index) || l.index[i] != newLow) {
 		return fmt.Errorf("wal: reclaim target %d is not a record boundary", newLow)
 	}
 	l.lowLSN = newLow
-	trimmed := l.index[:0]
-	for _, lsn := range l.index {
-		if lsn >= newLow {
-			trimmed = append(trimmed, lsn)
-		}
-	}
-	l.index = trimmed
+	l.index = append(l.index[:0], l.index[i:]...)
 	return l.writeAnchor()
 }
 
 // AppendAndForce is the common "write a record and make it durable" path
-// used by commit processing.
+// used by commit processing. Under group commit, concurrent callers
+// coalesce: each appends its record, then the force either leads one batch
+// covering every pending record or rides a batch another committer pays
+// for.
 func (l *Log) AppendAndForce(r *Record) (LSN, error) {
 	lsn, err := l.Append(r)
 	if err != nil {
