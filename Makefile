@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet tabslint lint bench-smoke fuzz-smoke
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# tabslint is the repo's domain-aware analyzer suite (spanleak, lockhold,
+# durcheck, sleepsync). It needs no dependencies beyond the toolchain.
+tabslint:
+	$(GO) run ./tools/tabslint ./...
+
+lint: vet tabslint
+
+# Mirrors the CI bench smoke: one iteration of the group-commit sweep.
+bench-smoke:
+	$(GO) test -bench=GroupCommit -benchtime=1x ./internal/wal ./internal/bench
+
+# Short fuzz of the WAL record codec; CI runs the same invocation.
+fuzz-smoke:
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzRecordRoundTrip -fuzztime 10s

@@ -5,11 +5,13 @@
 // Three interactions are shown, exactly as in the figure:
 //
 //  1. a deposit that commits — its output turns black;
+//
 //  2. a withdrawal interrupted by a node failure — after restart, its
 //     output is struck through and the balance is intact;
+//
 //  3. a retry that is still in progress — its output renders gray.
 //
-//	go run ./examples/bank
+//     go run ./examples/bank
 package main
 
 import (

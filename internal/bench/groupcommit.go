@@ -104,6 +104,7 @@ func measureGroupCommitPoint(conc, txns int, groupCommit bool) (GroupCommitPoint
 
 	// Measured run, against the scaled-latency disk.
 	node.Disk().SetIOHook(func(ms float64, _ bool) {
+		//tabslint:ignore sleepsync this sleep IS the latency model: it converts virtual disk milliseconds to wall time so concurrency effects are measurable
 		time.Sleep(time.Duration(ms * float64(ioSleepPerVirtualMs)))
 	})
 	defer node.Disk().SetIOHook(nil)

@@ -85,7 +85,22 @@ func TestAtMostOnceUnderDuplication(t *testing.T) {
 		close:   aT.Close,
 	}
 	a := New("a", dupT, nil)
-	b := New("b", net.Endpoint("b"), nil)
+	// Count envelopes fully processed by b's receiver so the test can
+	// wait for the duplicate deterministically instead of sleeping.
+	bT := net.Endpoint("b")
+	var delivered atomic.Int64
+	countT := transportFunc{
+		send: bT.Send,
+		setRecv: func(r Receiver) {
+			bT.SetReceiver(func(env *Envelope) {
+				r(env)
+				delivered.Add(1)
+			})
+		},
+		peers: bT.Peers,
+		close: bT.Close,
+	}
+	b := New("b", countT, nil)
 	var runs atomic.Int64
 	b.RegisterService("once", func(types.NodeID, types.TransID, []byte) ([]byte, error) {
 		runs.Add(1)
@@ -94,7 +109,8 @@ func TestAtMostOnceUnderDuplication(t *testing.T) {
 	if _, err := a.Call("b", "once", types.NilTransID, nil); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond) // let the duplicate land
+	// Both the original and the duplicate must have been processed.
+	waitUntil(t, time.Second, func() bool { return delivered.Load() >= 2 })
 	if runs.Load() != 1 {
 		t.Errorf("handler ran %d times (at-most-once violated)", runs.Load())
 	}
@@ -132,7 +148,8 @@ func TestFlakyDropsDatagramsSilently(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(30 * time.Millisecond)
+	// FlakyTransport drops synchronously (nothing was ever sent onward),
+	// so no settling time is needed before asserting.
 	if got.Load() != 0 {
 		t.Errorf("dropped datagrams arrived: %d", got.Load())
 	}
@@ -341,5 +358,18 @@ func TestEnvelopeKindString(t *testing.T) {
 	}
 	if fmt.Sprintf("%v", Kind(9)) == "" {
 		t.Error("unknown kind empty")
+	}
+}
+
+// waitUntil polls cond every millisecond until it holds or the deadline
+// passes, replacing fixed sleeps that race the goroutines they wait for.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -42,6 +42,7 @@ func TestOrphanSweeperSparesLiveTransactions(t *testing.T) {
 
 	// Idle well past several sweep intervals: the coordinator is alive,
 	// so the participant must keep the transaction.
+	//tabslint:ignore sleepsync the idle period itself is under test — the sweeper must NOT kill the transaction while it elapses, so there is no event to synchronize on
 	time.Sleep(600 * time.Millisecond)
 
 	// The transaction still commits.

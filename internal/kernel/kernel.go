@@ -436,14 +436,17 @@ func (k *Kernel) FlushAll() error {
 // during operation-logging crash recovery (§3.2.1).
 func (k *Kernel) ReadPageSeq(p types.PageID) (uint64, error) {
 	k.mu.Lock()
-	defer k.mu.Unlock()
 	addr, err := k.sectorOf(p)
 	if err != nil {
+		k.mu.Unlock()
 		return 0, err
 	}
 	if k.rec != nil {
 		k.rec.Record(simclock.SmallMsg) // RM request to kernel
 	}
+	// The header read needs no kernel state, only the resolved sector
+	// address; do not hold k.mu across the (latency-modelled) I/O.
+	k.mu.Unlock()
 	return k.d.ReadHeader(addr)
 }
 
@@ -468,11 +471,13 @@ func (k *Kernel) WriteDirect(obj types.ObjectID, data []byte, header uint64) err
 			return err
 		}
 		var page [types.PageSize]byte
+		//tabslint:ignore lockhold recovery-time direct path: the pager protocol is not in force and frame coherence below requires the lock across the read-modify-write
 		if _, err := k.d.Read(addr, page[:]); err != nil {
 			return err
 		}
 		in := off % types.PageSize
 		c := copy(page[in:], data[n:])
+		//tabslint:ignore lockhold recovery-time direct path: frame coherence requires the lock across the write
 		if err := k.d.Write(addr, page[:], header); err != nil {
 			return err
 		}

@@ -373,12 +373,17 @@ func (m *Manager) finish(tid types.TransID, st types.Status) {
 	}
 	m.mu.Unlock()
 	if due {
-		// Best effort; checkpoint failures surface on the next explicit
-		// call.
-		_ = m.Checkpoint()
+		// Best effort; a failure surfaces on the next explicit call, but
+		// count it so a silently failing background checkpoint is visible
+		// in the metrics snapshot rather than lost.
+		if err := m.Checkpoint(); err != nil {
+			m.tr.Count("recovery.checkpoint.errors", 1)
+		}
 	}
 	if m.log.NearlyFull() {
-		_ = m.Reclaim()
+		if err := m.Reclaim(); err != nil {
+			m.tr.Count("recovery.reclaim.errors", 1)
+		}
 	}
 }
 

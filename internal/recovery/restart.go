@@ -123,6 +123,7 @@ func (m *Manager) restartFrom(src TransStatusSource, floor wal.LSN) (*RestartRep
 		switch st {
 		case types.StatusActive:
 			if _, err := m.append(&wal.Record{TID: tid, Type: wal.RecAbort}); err != nil {
+				restart.EndErr(err)
 				return nil, err
 			}
 			report.Losers = append(report.Losers, tid)

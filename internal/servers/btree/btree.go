@@ -34,9 +34,9 @@ const (
 	KeySize   = 16
 	ValueSize = 32
 
-	leafEntry  = KeySize + ValueSize     // 48 bytes
-	leafMax    = (types.PageSize - 4) / leafEntry // 10 entries
-	innerEntry = KeySize + 4             // key + child page
+	leafEntry  = KeySize + ValueSize               // 48 bytes
+	leafMax    = (types.PageSize - 4) / leafEntry  // 10 entries
+	innerEntry = KeySize + 4                       // key + child page
 	innerMax   = (types.PageSize - 8) / innerEntry // 25 keys
 )
 

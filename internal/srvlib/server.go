@@ -129,13 +129,13 @@ func New(cfg Config) *Server {
 		lockTimeout: cfg.LockTimeout,
 		tr:          cfg.Trace,
 		locks:       lock.NewTyped(cfg.LockCompat, cfg.LockTimeout),
-		reqs:    port.New(string(cfg.ID), cfg.Rec),
-		buffers: make(map[types.TransID]map[types.ObjectID][]byte),
-		marked:  make(map[types.TransID][]types.ObjectID),
-		joined:  make(map[types.TransID]bool),
-		byTop:   make(map[types.TransID]map[types.TransID]bool),
-		pins:    make(map[types.PageID]int),
-		ops:     make(map[string]OpFunc),
+		reqs:        port.New(string(cfg.ID), cfg.Rec),
+		buffers:     make(map[types.TransID]map[types.ObjectID][]byte),
+		marked:      make(map[types.TransID][]types.ObjectID),
+		joined:      make(map[types.TransID]bool),
+		byTop:       make(map[types.TransID]map[types.TransID]bool),
+		pins:        make(map[types.PageID]int),
+		ops:         make(map[string]OpFunc),
 	}
 	s.locks.AttachTracer(s.tr)
 	return s

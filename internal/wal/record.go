@@ -33,15 +33,15 @@ type RecordType uint8
 // Log record types. Update and Operation are written by data servers via
 // the server library; the rest by the Recovery and Transaction Managers.
 const (
-	RecInvalid    RecordType = iota
-	RecUpdate                // value logging: old/new value of ≤ one page (§2.1.3)
-	RecOperation             // operation logging: redo/undo operation descriptors
-	RecCommit                // transaction (or top-level tree) committed
-	RecAbort                 // transaction aborted
-	RecPrepare               // participant prepared in 2PC, effects must persist
-	RecCheckpoint            // periodic checkpoint: dirty pages + active transactions
-	RecUpdateCLR             // compensation for an undone value record
-	RecOperationCLR          // compensation for an undone operation record
+	RecInvalid      RecordType = iota
+	RecUpdate                  // value logging: old/new value of ≤ one page (§2.1.3)
+	RecOperation               // operation logging: redo/undo operation descriptors
+	RecCommit                  // transaction (or top-level tree) committed
+	RecAbort                   // transaction aborted
+	RecPrepare                 // participant prepared in 2PC, effects must persist
+	RecCheckpoint              // periodic checkpoint: dirty pages + active transactions
+	RecUpdateCLR               // compensation for an undone value record
+	RecOperationCLR            // compensation for an undone operation record
 )
 
 // String returns the record type name.
@@ -109,7 +109,7 @@ func Encode(r *Record) ([]byte, error) {
 	if len(r.Body) > MaxBodySize {
 		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(r.Body))
 	}
-	if len(r.TID.Node) > 255 || len(r.Server) > 255 {
+	if len(r.TID.Node) > 255 || len(r.TID.RootNode) > 255 || len(r.Server) > 255 {
 		return nil, fmt.Errorf("%w: name too long", ErrTooLarge)
 	}
 	buf := make([]byte, 0, encodedSize(r)+8)
@@ -166,6 +166,10 @@ func Decode(b []byte, expectLSN LSN) (*Record, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// Mirror Encode's limits so every record that decodes also re-encodes.
+	if len(node) > 255 || len(rootNode) > 255 || len(server) > 255 {
+		return nil, 0, fmt.Errorf("%w: name too long", ErrCorrupt)
+	}
 	r.TID.Node = types.NodeID(node)
 	r.TID.RootNode = types.NodeID(rootNode)
 	r.Server = types.ServerID(server)
@@ -174,6 +178,9 @@ func Decode(b []byte, expectLSN LSN) (*Record, int, error) {
 	}
 	bl := int(binary.BigEndian.Uint32(rest))
 	rest = rest[4:]
+	if bl > MaxBodySize {
+		return nil, 0, fmt.Errorf("%w: body %d bytes", ErrCorrupt, bl)
+	}
 	if len(rest) != bl {
 		return nil, 0, fmt.Errorf("%w: body length %d, have %d", ErrCorrupt, bl, len(rest))
 	}
@@ -397,6 +404,13 @@ func DecodeCheckpoint(b []byte) (*CheckpointBody, error) {
 	}
 	na := int(binary.BigEndian.Uint32(b))
 	b = b[4:]
+	// Each active entry is at least 37 bytes (two empty length-prefixed
+	// names plus the fixed fields); validate the count against the bytes
+	// actually present before allocating, so a corrupt count cannot force
+	// a multi-gigabyte allocation.
+	if len(b) < 37*na {
+		return nil, fmt.Errorf("%w: checkpoint active count %d", ErrCorrupt, na)
+	}
 	c.Active = make([]ActiveTrans, na)
 	for i := 0; i < na; i++ {
 		node, rest, err := takeString(b)
@@ -494,6 +508,9 @@ func DecodePrepare(b []byte) (*PrepareBody, error) {
 			return nil, err
 		}
 		p.Children = append(p.Children, types.NodeID(c))
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: prepare trailing bytes", ErrCorrupt)
 	}
 	return p, nil
 }

@@ -1,0 +1,155 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// with a Run function over one type-checked compilation unit (a Pass).
+//
+// The x/tools module is deliberately not a dependency — the repo builds
+// offline with the bare toolchain — so tabslint carries the few dozen
+// lines of driver plumbing it actually needs. The API mirrors the real
+// framework closely enough that porting an analyzer to the upstream
+// multichecker is a mechanical change.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //tabslint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run reports diagnostics on the unit via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass holds one type-checked unit being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the unit's import path ("tabs/internal/wal", or the
+	// fixture-relative path under a lintest testdata tree).
+	ImportPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Unit is the input to Run: one parsed and type-checked package variant
+// (library files plus in-package tests, or an external test package).
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Run applies each analyzer to the unit and returns the surviving
+// diagnostics sorted by position. Findings on lines governed by a
+// //tabslint:ignore directive are dropped.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       u.Fset,
+			Files:      u.Files,
+			Pkg:        u.Pkg,
+			TypesInfo:  u.Info,
+			ImportPath: u.ImportPath,
+			report:     func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sup := collectSuppressions(u.Fset, u.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(u.Fset.Position(d.Pos), d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := u.Fset.Position(kept[i].Pos), u.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// suppressions maps file -> line -> set of suppressed analyzer names
+// ("all" suppresses every analyzer).
+type suppressions map[string]map[int][]string
+
+// covers reports whether a directive on the diagnostic's line or the line
+// directly above names the analyzer.
+func (s suppressions) covers(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[ln] {
+			if name == "all" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans comments for directives of the form
+//
+//	//tabslint:ignore name1,name2 free-form reason
+//
+// The reason is mandatory by convention (reviewed, not enforced); the
+// directive applies to findings on its own line and the line below.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//tabslint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return sup
+}

@@ -1,0 +1,147 @@
+// Package lintest is tabslint's miniature of
+// golang.org/x/tools/go/analysis/analysistest: it type-checks a fixture
+// package under a testdata/src tree, runs one analyzer, and matches the
+// diagnostics against `// want "regexp"` expectations in the fixture
+// source. Fixtures may import real module packages (tabs/internal/...)
+// so analyzers are exercised against the genuine types they match on.
+package lintest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/loader"
+)
+
+// Run loads testdata/src/<path> (testdata relative to the calling test's
+// working directory), applies the analyzer, and reports mismatches
+// between produced diagnostics and // want expectations on t.
+func Run(t *testing.T, testdata string, path string, a *analysis.Analyzer) {
+	t.Helper()
+	root, mod, err := loader.FindModule(".")
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
+	}
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
+	}
+	cfg := &loader.Config{ModuleRoot: root, ModulePath: mod, SrcDir: src, IncludeTests: true}
+	units, err := cfg.LoadDir(filepath.Join(src, filepath.FromSlash(path)))
+	if err != nil {
+		t.Fatalf("lintest: loading %s: %v", path, err)
+	}
+	for _, u := range units {
+		diags, err := analysis.Run(u, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("lintest: running %s on %s: %v", a.Name, u.ImportPath, err)
+		}
+		checkExpectations(t, u, diags)
+	}
+}
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations compares diagnostics with // want comments.
+func checkExpectations(t *testing.T, u *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				pats, err := parseWant(text[idx+len("// want "):])
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range pats {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: p})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWant parses a sequence of Go-quoted regexps, double-quoted or raw
+// (backtick — the usual choice, since diagnostic messages quote
+// identifiers with double quotes).
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var pats []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		// Find the end of the quoted string; only double quotes escape.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if quote == '"' && s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, re)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return pats, nil
+}

@@ -1,0 +1,330 @@
+// Package loader parses and type-checks packages of this module using
+// only the standard library, so tabslint runs on a bare toolchain with no
+// network and no module cache.
+//
+// Imports are resolved by a three-way chain: paths inside the module map
+// to their source directories, paths under a configured extra source tree
+// (the lintest fixture layout, testdata/src/<path>) map there, and
+// everything else falls back to the compiler's source importer, which
+// type-checks the standard library from GOROOT. Cgo is disabled so the
+// fallback never needs a C toolchain.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+)
+
+// Config directs a load.
+type Config struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path prefix ("tabs"). Filled
+	// from go.mod by FindModule when empty.
+	ModulePath string
+	// SrcDir, when set, resolves import paths that are neither module
+	// paths nor standard library: path p maps to SrcDir/p. lintest
+	// points this at a testdata/src tree.
+	SrcDir string
+	// IncludeTests selects whether *_test.go files join the load.
+	IncludeTests bool
+
+	fset *token.FileSet
+	imp  *chainImporter
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("loader: no module directive in %s/go.mod", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load type-checks the packages selected by patterns ("./...",
+// "./internal/...", or plain directories relative to the module root) and
+// returns one analysis unit per package variant: the library files plus
+// in-package tests as one unit, an external _test package as another.
+func (cfg *Config) Load(patterns []string) ([]*analysis.Unit, error) {
+	cfg.init()
+	dirs, err := cfg.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var units []*analysis.Unit
+	for _, dir := range dirs {
+		us, err := cfg.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// LoadDir type-checks the single directory dir (used by lintest on one
+// fixture package).
+func (cfg *Config) LoadDir(dir string) ([]*analysis.Unit, error) {
+	cfg.init()
+	return cfg.loadDir(dir)
+}
+
+func (cfg *Config) init() {
+	if cfg.fset != nil {
+		return
+	}
+	build.Default.CgoEnabled = false // keep the source importer C-free
+	cfg.fset = token.NewFileSet()
+	cfg.imp = &chainImporter{
+		cfg:   cfg,
+		std:   importer.ForCompiler(cfg.fset, "source", nil).(types.ImporterFrom),
+		cache: map[string]*types.Package{},
+	}
+}
+
+// expand turns patterns into a sorted list of package directories.
+func (cfg *Config) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		root := filepath.Join(cfg.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !rec {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathOf maps a package directory back to its import path.
+func (cfg *Config) importPathOf(dir string) string {
+	if rel, err := filepath.Rel(cfg.ModuleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return cfg.ModulePath
+		}
+		return cfg.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	if cfg.SrcDir != "" {
+		if rel, err := filepath.Rel(cfg.SrcDir, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(dir)
+}
+
+// loadDir parses dir and type-checks its package variants.
+func (cfg *Config) loadDir(dir string) ([]*analysis.Unit, error) {
+	lib, inTest, extTest, err := cfg.parseDir(dir, cfg.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	path := cfg.importPathOf(dir)
+	var units []*analysis.Unit
+	if len(lib)+len(inTest) > 0 {
+		u, err := cfg.check(path, append(append([]*ast.File{}, lib...), inTest...))
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(extTest) > 0 {
+		u, err := cfg.check(path+"_test", extTest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// parseDir splits a directory's files into library, in-package test, and
+// external test groups.
+func (cfg *Config) parseDir(dir string, includeTests bool) (lib, inTest, extTest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !includeTests {
+			continue
+		}
+		f, err := parser.ParseFile(cfg.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case !isTest:
+			lib = append(lib, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return lib, inTest, extTest, nil
+}
+
+// check type-checks one unit.
+func (cfg *Config) check(path string, files []*ast.File) (*analysis.Unit, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: cfg.imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, cfg.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, firstErr)
+	}
+	return &analysis.Unit{ImportPath: path, Fset: cfg.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// chainImporter resolves module-internal and fixture imports from source
+// directories and everything else through the stdlib source importer.
+type chainImporter struct {
+	cfg   *Config
+	std   types.ImporterFrom
+	cache map[string]*types.Package
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := ci.cache[path]; ok {
+		return pkg, nil
+	}
+	if srcDir, ok := ci.resolveDir(path); ok {
+		// Imported packages are type-checked from library files only;
+		// units under analysis add their test files separately.
+		lib, _, _, err := ci.cfg.parseDir(srcDir, false)
+		if err != nil {
+			return nil, fmt.Errorf("loader: importing %s: %w", path, err)
+		}
+		if len(lib) == 0 {
+			return nil, fmt.Errorf("loader: importing %s: no Go files in %s", path, srcDir)
+		}
+		conf := types.Config{Importer: ci}
+		pkg, err := conf.Check(path, ci.cfg.fset, lib, nil)
+		if err != nil {
+			return nil, fmt.Errorf("loader: importing %s: %w", path, err)
+		}
+		ci.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := ci.std.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	ci.cache[path] = pkg
+	return pkg, nil
+}
+
+// resolveDir maps an import path to a source directory when the path is
+// module-internal or under the extra fixture tree.
+func (ci *chainImporter) resolveDir(path string) (string, bool) {
+	mod := ci.cfg.ModulePath
+	if path == mod {
+		return ci.cfg.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, mod+"/"); ok {
+		return filepath.Join(ci.cfg.ModuleRoot, filepath.FromSlash(rest)), true
+	}
+	if ci.cfg.SrcDir != "" {
+		dir := filepath.Join(ci.cfg.SrcDir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,130 @@
+// Package durcheck enforces the WAL contract at the call site: the error
+// result of a durability-critical operation must not be dropped. A
+// discarded error from a log append, a log force, a stable-storage write,
+// or a recovery-pass writer silently breaks write-ahead logging — the
+// caller proceeds as if the data were durable ("no ack before the commit
+// record is durable", the invariant commit protocols live or die by).
+//
+// Flagged shapes, in non-test files only:
+//
+//   - the call as a bare expression statement (all results dropped)
+//   - the call under go/defer (results unobservable)
+//   - the error result assigned to the blank identifier, including an
+//     explicit `_ = log.Force(...)` — for these calls "deliberately
+//     ignored" still deserves a visible //tabslint:ignore with a reason
+package durcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// Analyzer is the durcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "durcheck",
+	Doc:  "errors from durability-critical calls (WAL append/force, stable writes, recovery passes) must be handled",
+	Run:  run,
+}
+
+// critical lists the durability-critical methods.
+var critical = []struct{ pkg, typ, name string }{
+	{"tabs/internal/wal", "Log", "Append"},
+	{"tabs/internal/wal", "Log", "Force"},
+	{"tabs/internal/wal", "Log", "AppendAndForce"},
+	{"tabs/internal/wal", "Log", "SetCheckpoint"},
+	{"tabs/internal/wal", "Log", "Reclaim"},
+	{"tabs/internal/disk", "Disk", "Write"},
+	{"tabs/internal/disk", "Disk", "Restore"},
+	{"tabs/internal/disk", "Disk", "SaveTo"},
+	{"tabs/internal/disk", "Disk", "LoadFrom"},
+	{"tabs/internal/recovery", "Manager", "Checkpoint"},
+	{"tabs/internal/recovery", "Manager", "Reclaim"},
+	{"tabs/internal/recovery", "Manager", "Restart"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+					if what, ok := criticalCall(pass, call); ok {
+						pass.Reportf(call.Pos(), "result of %s dropped: a durability failure here is silent", what)
+					}
+				}
+			case *ast.GoStmt:
+				if what, ok := criticalCall(pass, st.Call); ok {
+					pass.Reportf(st.Call.Pos(), "error from %s unobservable under go", what)
+				}
+			case *ast.DeferStmt:
+				if what, ok := criticalCall(pass, st.Call); ok {
+					pass.Reportf(st.Call.Pos(), "error from %s unobservable under defer", what)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags the error result of a critical call landing in the
+// blank identifier.
+func checkAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	// Form 1: x, _ := f()  (one call, results spread across LHS).
+	if len(st.Rhs) == 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		what, isCrit := criticalCall(pass, call)
+		if !isCrit {
+			return
+		}
+		// The error is the final result; with a single LHS it is the
+		// only result.
+		if isBlank(st.Lhs[len(st.Lhs)-1]) {
+			pass.Reportf(call.Pos(), "error from %s assigned to _: handle it or annotate //tabslint:ignore durcheck with a reason", what)
+		}
+		return
+	}
+	// Form 2: a, b = f(), g()  (parallel assignment).
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if what, isCrit := criticalCall(pass, call); isCrit && i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+			pass.Reportf(call.Pos(), "error from %s assigned to _: handle it or annotate //tabslint:ignore durcheck with a reason", what)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// criticalCall reports whether call is a durability-critical method that
+// returns an error.
+func criticalCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !typeutil.ReturnsError(fn) {
+		return "", false
+	}
+	for _, c := range critical {
+		if typeutil.IsMethod(fn, c.pkg, c.typ, c.name) {
+			parts := strings.Split(c.pkg, "/")
+			return parts[len(parts)-1] + "." + c.typ + "." + c.name, true
+		}
+	}
+	return "", false
+}

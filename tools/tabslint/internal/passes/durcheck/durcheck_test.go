@@ -1,0 +1,12 @@
+package durcheck_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/durcheck"
+)
+
+func TestDurcheck(t *testing.T) {
+	lintest.Run(t, "../../../testdata", "durcheck/a", durcheck.Analyzer)
+}

@@ -1,0 +1,343 @@
+// Package lockhold flags operations that can block indefinitely while a
+// sync.Mutex or sync.RWMutex locked in the same function is still held:
+// channel sends and receives, selects without a default, sync.WaitGroup
+// waits, time.Sleep, and the repo's domain blocking calls — WAL forces,
+// simulated-disk I/O (which can park the goroutine on the virtual clock
+// until another goroutine advances it), and comm-layer sends (which
+// retransmit on a real timer and can wait a full timeout chain).
+//
+// This is the deadlock shape the WAL group-commit rewrite had to engineer
+// around: a log force performed under the log mutex stalls every
+// appender, and in the simulated-time harness can deadlock outright when
+// the disk's latency hook needs another (now blocked) goroutine to
+// advance the clock. The check is intra-procedural: it sees locks taken
+// in the function it is scanning, tracks `defer mu.Unlock()` as holding
+// to function end, and resets the held-set inside nested function
+// literals. sync.Cond.Wait is exempt (it releases the mutex it guards).
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// Analyzer is the lockhold check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "potentially-unbounded blocking operations must not run while a mutex is held",
+	Run:  run,
+}
+
+// blocking is the table of calls treated as potentially unbounded.
+var blocking = []struct {
+	pkg, typ, name string // typ == "" means package-level function
+	what           string
+}{
+	{"time", "", "Sleep", "time.Sleep"},
+	{"sync", "WaitGroup", "Wait", "sync.WaitGroup.Wait"},
+	{"tabs/internal/wal", "Log", "Force", "wal.Log.Force"},
+	{"tabs/internal/wal", "Log", "AppendAndForce", "wal.Log.AppendAndForce"},
+	{"tabs/internal/disk", "Disk", "Read", "disk.Disk.Read"},
+	{"tabs/internal/disk", "Disk", "ReadHeader", "disk.Disk.ReadHeader"},
+	{"tabs/internal/disk", "Disk", "Write", "disk.Disk.Write"},
+	{"tabs/internal/comm", "Manager", "Call", "comm.Manager.Call"},
+	{"tabs/internal/comm", "Manager", "SendDatagram", "comm.Manager.SendDatagram"},
+	{"tabs/internal/comm", "Manager", "Broadcast", "comm.Manager.Broadcast"},
+	{"tabs/internal/comm", "Transport", "Send", "comm.Transport.Send"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				s := &scanner{pass: pass}
+				s.scanStmts(body.List, held{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// held tracks the mutexes currently locked on this path. Keys are the
+// printed receiver expression ("m.mu"); values record where the lock was
+// taken. forever marks locks released only by a deferred unlock.
+type held struct {
+	locks   []lockSite
+	forever bool
+}
+
+type lockSite struct {
+	expr string
+	line int
+}
+
+func (h held) clone() held {
+	return held{locks: append([]lockSite(nil), h.locks...), forever: h.forever}
+}
+
+func (h held) any() bool { return len(h.locks) > 0 }
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// scanStmts walks a statement list sequentially, threading the held-set.
+// Branch bodies get copies; their lock-state changes do not leak out (a
+// branch that unlocks and returns does not unlock the fallthrough path).
+func (s *scanner) scanStmts(list []ast.Stmt, h held) held {
+	for _, st := range list {
+		h = s.scanStmt(st, h)
+	}
+	return h
+}
+
+func (s *scanner) scanStmt(st ast.Stmt, h held) held {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return s.simple(st, h)
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.DeclStmt:
+		return s.simple(st, h)
+	case *ast.SendStmt:
+		s.flagIfHeld(st.Pos(), "channel send", h)
+		return s.simple(st, h)
+	case *ast.DeferStmt:
+		if kind := lockCallKind(s.pass.TypesInfo, st.Call); kind == unlockCall {
+			h2 := h.clone()
+			h2.forever = true
+			return h2
+		}
+		// Deferred work runs after any held locks are (presumably)
+		// released by their own defers; do not scan its guts with the
+		// current held-set.
+		return h
+	case *ast.GoStmt:
+		return h // new goroutine: not under our locks
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, h)
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, h)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			h = s.scanStmt(st.Init, h)
+		}
+		s.scanExpr(st.Cond, h)
+		s.scanStmts(st.Body.List, h.clone())
+		if st.Else != nil {
+			s.scanStmt(st.Else, h.clone())
+		}
+		return h
+	case *ast.ForStmt:
+		if st.Init != nil {
+			h = s.scanStmt(st.Init, h)
+		}
+		s.scanExpr(st.Cond, h)
+		s.scanStmts(st.Body.List, h.clone())
+		return h
+	case *ast.RangeStmt:
+		s.scanExpr(st.X, h)
+		if t, ok := s.pass.TypesInfo.Types[st.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				s.flagIfHeld(st.Pos(), "range over channel", h)
+			}
+		}
+		s.scanStmts(st.Body.List, h.clone())
+		return h
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			h = s.scanStmt(st.Init, h)
+		}
+		s.scanExpr(st.Tag, h)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, h.clone())
+			}
+		}
+		return h
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			h = s.scanStmt(st.Init, h)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, h.clone())
+			}
+		}
+		return h
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+				s.scanStmts(cc.Body, h.clone())
+			}
+		}
+		if !hasDefault {
+			s.flagIfHeld(st.Pos(), "select without default", h)
+		}
+		return h
+	default:
+		return h
+	}
+}
+
+// simple processes a straight-line statement: lock/unlock transitions
+// first, then blocking-call and channel-receive detection.
+func (s *scanner) simple(st ast.Stmt, h held) held {
+	out := h
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.scanStmts(n.Body.List, held{}) // runs later, under its own locks
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				s.flagIfHeld(n.Pos(), "channel receive", out)
+			}
+		case *ast.CallExpr:
+			switch lockCallKind(s.pass.TypesInfo, n) {
+			case lockCall:
+				out = out.clone()
+				out.locks = append(out.locks, lockSite{
+					expr: recvString(n),
+					line: s.pass.Fset.Position(n.Pos()).Line,
+				})
+			case unlockCall:
+				if len(out.locks) > 0 {
+					out = out.clone()
+					out.locks = out.locks[:len(out.locks)-1]
+				}
+			default:
+				if what, ok := blockingCall(s.pass.TypesInfo, n); ok {
+					s.flagIfHeld(n.Pos(), "call to "+what, out)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scanExpr checks an expression evaluated on the current path (loop/if
+// conditions) for receives and blocking calls without lock transitions.
+func (s *scanner) scanExpr(e ast.Expr, h held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				s.flagIfHeld(n.Pos(), "channel receive", h)
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(s.pass.TypesInfo, n); ok {
+				s.flagIfHeld(n.Pos(), "call to "+what, h)
+			}
+		}
+		return true
+	})
+}
+
+// flagIfHeld reports the blocking operation when any lock is held on the
+// current path.
+func (s *scanner) flagIfHeld(pos token.Pos, what string, h held) {
+	if !h.any() {
+		return
+	}
+	site := h.locks[len(h.locks)-1]
+	release := "released"
+	if h.forever {
+		release = "held until function return by a deferred unlock"
+	}
+	s.pass.Reportf(pos, "%s while %q (locked at line %d, %s) is held; move the blocking operation outside the critical section",
+		what, site.expr, site.line, release)
+}
+
+type callKind int
+
+const (
+	otherCall callKind = iota
+	lockCall
+	unlockCall
+)
+
+// lockCallKind classifies mutex lock/unlock calls by their receiver type.
+func lockCallKind(info *types.Info, call *ast.CallExpr) callKind {
+	fn := typeutil.Callee(info, call)
+	if fn == nil {
+		return otherCall
+	}
+	p, t := typeutil.RecvOf(fn)
+	if p != "sync" || (t != "Mutex" && t != "RWMutex") {
+		return otherCall
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		if fn.Name() == "Lock" || fn.Name() == "RLock" {
+			return lockCall
+		}
+		return otherCall // Try variants do not block and may fail
+	case "Unlock", "RUnlock":
+		return unlockCall
+	}
+	return otherCall
+}
+
+// blockingCall reports whether call is in the blocking table.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := typeutil.Callee(info, call)
+	if fn == nil {
+		return "", false
+	}
+	for _, b := range blocking {
+		if b.typ == "" {
+			if typeutil.IsFunc(fn, b.pkg, b.name) {
+				return b.what, true
+			}
+		} else if typeutil.IsMethod(fn, b.pkg, b.typ, b.name) {
+			return b.what, true
+		}
+	}
+	return "", false
+}
+
+// recvString renders the receiver expression of a method call for the
+// diagnostic message ("l.mu" from l.mu.Lock()).
+func recvString(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "mutex"
+	}
+	return exprString(sel.X)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	default:
+		return "mutex"
+	}
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	lintest.Run(t, "../../../testdata", "lockhold/a", lockhold.Analyzer)
+}

@@ -1,0 +1,120 @@
+// Package sleepsync hunts sleep-based synchronization, the root of every
+// flaky test this repo has had to de-flake:
+//
+//   - In non-test files of internal packages, any time.Sleep is flagged.
+//     Production code has the simulated clock, condition variables, and
+//     channels; a wall-clock sleep is either masking a race or modelling
+//     latency (the one legitimate case — annotate it with
+//     //tabslint:ignore sleepsync and the reason).
+//
+//   - In test files, a time.Sleep directly followed by a test assertion
+//     (t.Error/t.Fatal family, directly or as the body of an if) is
+//     flagged: the assertion races the goroutine the sleep was "waiting"
+//     for. Synchronize on a channel, sync.WaitGroup, or poll with a
+//     deadline instead.
+package sleepsync
+
+import (
+	"go/ast"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// Analyzer is the sleepsync check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepsync",
+	Doc:  "time.Sleep must not substitute for synchronization (internal non-test code; assert-after-sleep in tests)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	internal := strings.Contains(pass.ImportPath+"/", "internal/")
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			checkTestFile(pass, f)
+		} else if internal {
+			checkLibFile(pass, f)
+		}
+	}
+	return nil
+}
+
+// checkLibFile flags every sleep in internal production code.
+func checkLibFile(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSleep(pass, call) {
+			pass.Reportf(call.Pos(), "time.Sleep in internal non-test code: synchronize with channels/cond-vars or the simulated clock, or annotate the latency model with //tabslint:ignore sleepsync")
+		}
+		return true
+	})
+}
+
+// checkTestFile flags a sleep statement whose successor asserts.
+func checkTestFile(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range block.List {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok || !isSleep(pass, call) || i+1 >= len(block.List) {
+				continue
+			}
+			if assertsImmediately(pass, block.List[i+1]) {
+				pass.Reportf(call.Pos(), "test asserts directly after a bare time.Sleep: the assertion races whatever the sleep waits for; synchronize on a channel/WaitGroup or poll with a deadline")
+			}
+		}
+		return true
+	})
+}
+
+// assertsImmediately reports whether st is a test assertion or an if
+// whose body asserts (the `if got != want { t.Fatalf(...) }` shape).
+func assertsImmediately(pass *analysis.Pass, st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		return ok && isAssertCall(pass, call)
+	case *ast.IfStmt:
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isAssertCall(pass, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+func isSleep(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return typeutil.IsFunc(typeutil.Callee(pass.TypesInfo, call), "time", "Sleep")
+}
+
+// isAssertCall matches the testing.T/B failure family. The methods live
+// on the embedded testing.common.
+var assertNames = map[string]bool{
+	"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true,
+	"Fail": true, "FailNow": true,
+}
+
+func isAssertCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !assertNames[fn.Name()] || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "testing" {
+		return false
+	}
+	p, _ := typeutil.RecvOf(fn)
+	return p == "testing"
+}

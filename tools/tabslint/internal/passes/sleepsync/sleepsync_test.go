@@ -1,0 +1,16 @@
+package sleepsync_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/sleepsync"
+)
+
+func TestSleepsyncInternal(t *testing.T) {
+	lintest.Run(t, "../../../testdata", "sleepsync/internal/a", sleepsync.Analyzer)
+}
+
+func TestSleepsyncOutsideInternal(t *testing.T) {
+	lintest.Run(t, "../../../testdata", "sleepsync/pacer", sleepsync.Analyzer)
+}

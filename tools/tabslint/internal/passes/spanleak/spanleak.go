@@ -1,0 +1,491 @@
+// Package spanleak enforces the trace-span lifecycle invariant: every
+// *trace.ActiveSpan obtained from Tracer.Begin must reach End or EndErr
+// on every control-flow path of the function that began it. A span that
+// is begun and never ended silently vanishes from the ring — exactly the
+// observability hole fixed by hand twice before this analyzer existed
+// (an early-return leak in 2PC round handling, and a read-error path in
+// the WAL force that returned before ending its span).
+//
+// The check is a structural flow scan over the function body, not a full
+// CFG: branches of if/for/switch/select are walked with copies of the
+// tracking state and re-joined pessimistically. Spans that escape the
+// function — stored, passed to another call, returned, or captured by a
+// non-defer closure — are conservatively treated as handed off and not
+// reported. `defer sp.End()` (directly or inside a deferred closure)
+// covers every exit.
+package spanleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// TracerPath is the package whose Begin method mints spans.
+const TracerPath = "tabs/internal/trace"
+
+// Analyzer is the spanleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanleak",
+	Doc:  "trace spans from Tracer.Begin must be ended on all control-flow paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// status is the per-span abstract state at a program point.
+type status int
+
+const (
+	inactive status = iota // span not (yet) begun on this path
+	unended                // begun, not yet ended: a return here leaks
+	ended                  // definitely ended on this path
+	escaped                // handed off (stored/passed/returned/deferred)
+)
+
+// join merges two branch states, pessimistically preferring the state
+// that keeps reporting: a path that may still hold an unended span taints
+// the merge.
+func join(a, b status) status {
+	if a == b {
+		return a
+	}
+	if a == unended || b == unended {
+		return unended
+	}
+	if a == escaped || b == escaped {
+		return escaped
+	}
+	return ended // {inactive, ended} — nothing pending either way
+}
+
+// tracker follows one span variable through a function body.
+type tracker struct {
+	pass    *analysis.Pass
+	obj     types.Object    // the span variable
+	root    *ast.AssignStmt // the statement that begins the span
+	rootPos token.Pos
+}
+
+// checkFunc finds span roots in body and flow-scans each.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var roots []*tracker
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Do not descend into nested function literals: they are
+		// checked as their own functions by run.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if beginsSpan(pass.TypesInfo, call) && !chainEndsSpan(pass.TypesInfo, call) {
+					pass.Reportf(call.Pos(), "span begun and immediately discarded: chain a final End() or assign the span")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok || !beginsSpan(pass.TypesInfo, call) {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // assigned into a field/index: escaped
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "span begun and assigned to _: it can never be ended")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				roots = append(roots, &tracker{pass: pass, obj: obj, root: st, rootPos: call.Pos()})
+			}
+		}
+		return true
+	})
+	for _, tr := range roots {
+		out, terminated := tr.scanStmts(body.List, inactive)
+		if out == unended && !terminated {
+			tr.pass.Reportf(tr.rootPos, "span %q is not ended before the function falls off the end", tr.obj.Name())
+		}
+	}
+}
+
+// beginsSpan reports whether the innermost call of a method chain is
+// trace.(*Tracer).Begin.
+func beginsSpan(info *types.Info, call *ast.CallExpr) bool {
+	for {
+		fn := typeutil.Callee(info, call)
+		if typeutil.IsMethod(fn, TracerPath, "Tracer", "Begin") {
+			return true
+		}
+		// Walk down chains like tr.Begin(...).SetTID(x).Annotatef(...):
+		// the receiver of each span method is the previous call.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		call = inner
+	}
+}
+
+// chainEndsSpan reports whether the outermost call of a chain is
+// End/EndErr on an ActiveSpan.
+func chainEndsSpan(info *types.Info, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(info, call)
+	return isEndMethod(fn)
+}
+
+func isEndMethod(fn *types.Func) bool {
+	return typeutil.IsMethod(fn, TracerPath, "ActiveSpan", "End") ||
+		typeutil.IsMethod(fn, TracerPath, "ActiveSpan", "EndErr")
+}
+
+// scanStmts walks one statement list. It returns the state after the list
+// and whether the list always transfers control away (return, panic,
+// break, continue, goto).
+func (tr *tracker) scanStmts(list []ast.Stmt, st status) (status, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = tr.scanStmt(s, st)
+		if term {
+			return st, true
+		}
+		if st == escaped {
+			return escaped, false
+		}
+	}
+	return st, false
+}
+
+// scanStmt processes one statement, returning the post-state and whether
+// the statement always transfers control away.
+func (tr *tracker) scanStmt(s ast.Stmt, st status) (status, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == tr.root {
+			return unended, false
+		}
+		return tr.simple(s, st), false
+	case *ast.ReturnStmt:
+		if tr.mentions(s) {
+			return escaped, true // span returned to the caller
+		}
+		if st == unended {
+			tr.pass.Reportf(s.Pos(), "span %q (begun at %s) is not ended on this return path",
+				tr.obj.Name(), tr.pass.Fset.Position(tr.rootPos))
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true // break/continue/goto leave this list
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isPanic(tr.pass.TypesInfo, call) {
+			return st, true
+		}
+		return tr.simple(s, st), false
+	case *ast.DeferStmt:
+		return tr.deferStmt(s, st), false
+	case *ast.GoStmt:
+		if tr.mentions(s) {
+			return escaped, false
+		}
+		return st, false
+	case *ast.BlockStmt:
+		return tr.scanStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return tr.scanStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			var term bool
+			st, term = tr.scanStmt(s.Init, st)
+			if term || st == escaped {
+				return st, term
+			}
+		}
+		thenOut, thenTerm := tr.scanStmts(s.Body.List, st)
+		elseOut, elseTerm := st, false
+		if s.Else != nil {
+			elseOut, elseTerm = tr.scanStmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return join(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = tr.scanStmt(s.Init, st)
+		}
+		bodyOut, _ := tr.scanStmts(s.Body.List, st)
+		if s.Cond == nil && bodyAlwaysLeaves(s.Body) {
+			// `for { ... }` with no normal exit: the loop body's exits
+			// were checked; nothing falls through.
+			return bodyOut, true
+		}
+		return join(st, bodyOut), false
+	case *ast.RangeStmt:
+		bodyOut, _ := tr.scanStmts(s.Body.List, st)
+		return join(st, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return tr.scanCases(s, st)
+	default:
+		return tr.simple(s, st), false
+	}
+}
+
+// scanCases handles switch/type-switch/select: each clause branches from
+// the same entry state; the no-clause-taken path keeps the entry state
+// unless a default clause exists.
+func (tr *tracker) scanCases(s ast.Stmt, st status) (status, bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = tr.scanStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = tr.scanStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	out := status(-1)
+	allTerm := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		}
+		cOut, cTerm := tr.scanStmts(body, st)
+		if cTerm {
+			continue
+		}
+		allTerm = false
+		if out == status(-1) {
+			out = cOut
+		} else {
+			out = join(out, cOut)
+		}
+	}
+	if _, isSelect := s.(*ast.SelectStmt); isSelect {
+		hasDefault = hasDefault || len(clauses) == 0
+		// A select always takes some clause (blocking otherwise); the
+		// "no clause" fallthrough only exists for switches.
+		if allTerm && !hasDefault && len(clauses) > 0 {
+			return st, true
+		}
+	} else if !hasDefault {
+		// Switch without default: the untaken path keeps the entry state.
+		allTerm = false
+		if out == status(-1) {
+			out = st
+		} else {
+			out = join(out, st)
+		}
+	}
+	if allTerm && len(clauses) > 0 {
+		return st, true
+	}
+	if out == status(-1) {
+		out = st
+	}
+	return out, false
+}
+
+// deferStmt classifies a defer: deferring End/EndErr (directly or via a
+// closure that ends the span) covers every exit; any other deferred use
+// of the span is a conservative escape.
+func (tr *tracker) deferStmt(s *ast.DeferStmt, st status) status {
+	if tr.callEndsSpan(s.Call) {
+		return escaped // every exit covered
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok && tr.mentionsNode(lit) {
+		return escaped // deferred closure owns the span now
+	}
+	if tr.mentions(s) {
+		return escaped
+	}
+	return st
+}
+
+// simple handles a non-branching statement: an End/EndErr call on the
+// span marks the path ended; any other use of the span is an escape.
+func (tr *tracker) simple(s ast.Stmt, st status) status {
+	endsHere := false
+	escapes := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if tr.mentionsNode(lit) {
+				escapes = true
+			}
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tr.callEndsSpan(call) {
+			endsHere = true
+			// Still inspect arguments (EndErr(err) has no span uses).
+		}
+		return true
+	})
+	if !endsHere && !escapes && tr.mentions(s) && !tr.onlySpanMethodUses(s) {
+		escapes = true
+	}
+	if escapes {
+		return escaped
+	}
+	if endsHere && st != inactive {
+		return ended
+	}
+	return st
+}
+
+// callEndsSpan reports whether call is sp.End()/sp.EndErr(...) — possibly
+// at the end of an annotation chain — where the chain's base is the
+// tracked variable.
+func (tr *tracker) callEndsSpan(call *ast.CallExpr) bool {
+	if !isEndMethod(typeutil.Callee(tr.pass.TypesInfo, call)) {
+		return false
+	}
+	return tr.chainBaseIsObj(call)
+}
+
+// chainBaseIsObj walks a method chain sp.M1().M2()... down to its base
+// expression and reports whether that base is the tracked variable.
+func (tr *tracker) chainBaseIsObj(call *ast.CallExpr) bool {
+	expr := ast.Expr(call)
+	for {
+		c, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok {
+			break
+		}
+		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		expr = sel.X
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && tr.isObj(id)
+}
+
+// onlySpanMethodUses reports whether every mention of the span in s is as
+// the receiver of an ActiveSpan method (Annotate/SetTID/... chains).
+func (tr *tracker) onlySpanMethodUses(s ast.Node) bool {
+	ok := true
+	ast.Inspect(s, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if isSel {
+			if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && tr.isObj(id) {
+				if selInfo, hasSel := tr.pass.TypesInfo.Selections[sel]; hasSel {
+					if fn, _ := selInfo.Obj().(*types.Func); fn != nil {
+						if p, t := typeutil.RecvOf(fn); p == TracerPath && t == "ActiveSpan" {
+							return false // a sanctioned use; skip the ident below
+						}
+					}
+				}
+				ok = false
+				return false
+			}
+		}
+		if id, isID := n.(*ast.Ident); isID && tr.isObj(id) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+func (tr *tracker) isObj(id *ast.Ident) bool {
+	return tr.pass.TypesInfo.Uses[id] == tr.obj || tr.pass.TypesInfo.Defs[id] == tr.obj
+}
+
+func (tr *tracker) mentions(n ast.Node) bool { return tr.mentionsNode(n) }
+
+func (tr *tracker) mentionsNode(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && tr.isObj(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyAlwaysLeaves reports whether a loop body's final statement
+// unconditionally transfers control (so `for { ... }` cannot fall
+// through to the loop exit).
+func bodyAlwaysLeaves(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	}
+	return false
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name() == "panic"
+	}
+	return false
+}

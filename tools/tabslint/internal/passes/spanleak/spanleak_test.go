@@ -1,0 +1,12 @@
+package spanleak_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/spanleak"
+)
+
+func TestSpanleak(t *testing.T) {
+	lintest.Run(t, "../../../testdata", "spanleak/a", spanleak.Analyzer)
+}

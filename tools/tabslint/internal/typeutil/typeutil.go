@@ -1,0 +1,82 @@
+// Package typeutil holds the small type-resolution helpers the tabslint
+// analyzers share: resolving a call expression to its static callee and
+// matching methods by package, receiver, and name.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the static callee of call, or nil for calls through
+// function values, conversions, and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			// Qualified identifier (pkg.Func).
+			obj = info.Uses[fn.Sel]
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// RecvOf returns the package path and receiver type name of a method, or
+// ("", "") for plain functions. Pointer receivers are dereferenced;
+// interface methods report the interface's named type.
+func RecvOf(fn *types.Func) (pkgPath, typeName string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// IsMethod reports whether fn is the method pkgPath.typeName.name.
+func IsMethod(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	p, t := RecvOf(fn)
+	return p == pkgPath && t == typeName
+}
+
+// IsFunc reports whether fn is the package-level function pkgPath.name.
+func IsFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// ReturnsError reports whether fn's final result is the error type.
+func ReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,66 @@
+// Package a is the durcheck fixture: dropped errors from durability-
+// critical calls.
+package a
+
+import (
+	"tabs/internal/disk"
+	"tabs/internal/wal"
+)
+
+var lg *wal.Log
+var d *disk.Disk
+var rec = &wal.Record{Type: wal.RecCommit}
+
+// --- violations ------------------------------------------------------------
+
+func bareForce() {
+	lg.Force(0) // want `result of wal\.Log\.Force dropped`
+}
+
+func blankForce() {
+	_ = lg.Force(0) // want `error from wal\.Log\.Force assigned to _`
+}
+
+func blankAppend() {
+	lsn, _ := lg.Append(rec) // want `error from wal\.Log\.Append assigned to _`
+	_ = lsn
+}
+
+func goForce() {
+	go lg.Force(0) // want `error from wal\.Log\.Force unobservable under go`
+}
+
+func deferForce() {
+	defer lg.Force(0) // want `error from wal\.Log\.Force unobservable under defer`
+}
+
+func bareDiskWrite(addr disk.Addr, p []byte) {
+	d.Write(addr, p, 0) // want `result of disk\.Disk\.Write dropped`
+}
+
+// --- accepted shapes -------------------------------------------------------
+
+func checkedForce() error {
+	if err := lg.Force(0); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkedAppend() (wal.LSN, error) {
+	return lg.Append(rec)
+}
+
+func usedErr() error {
+	_, err := lg.AppendAndForce(rec)
+	return err
+}
+
+func suppressedForce() {
+	//tabslint:ignore durcheck fixture: deliberate drop kept to exercise the suppression directive
+	_ = lg.Force(0)
+}
+
+func nonCriticalDropIsFine(m map[int]int) {
+	delete(m, 1)
+}

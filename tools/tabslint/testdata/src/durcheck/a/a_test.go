@@ -1,0 +1,8 @@
+package a
+
+// Test files are exempt: tests legitimately ignore durability errors when
+// arranging failure scenarios.
+
+func dropInTestFileIsFine() {
+	_ = lg.Force(0)
+}

@@ -1,0 +1,124 @@
+// Package a is the lockhold fixture: blocking operations inside and
+// outside mutex critical sections.
+package a
+
+import (
+	"sync"
+	"time"
+
+	"tabs/internal/disk"
+	"tabs/internal/wal"
+)
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	lg *wal.Log
+	d  *disk.Disk
+	ch chan int
+}
+
+// --- violations ------------------------------------------------------------
+
+func sendUnderLock(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while "s\.mu" \(locked at line \d+, released\) is held`
+	s.mu.Unlock()
+}
+
+func recvUnderDeferredLock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while "s\.mu" .*deferred unlock.* is held`
+}
+
+func forceUnderLock(s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lg.Force(0) // want `call to wal\.Log\.Force while "s\.mu" .* is held`
+}
+
+func diskWriteUnderRLock(s *state, addr disk.Addr, p []byte) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.d.Write(addr, p, 0) // want `call to disk\.Disk\.Write while "s\.rw" .* is held`
+}
+
+func sleepUnderLock(s *state) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while "s\.mu" .* is held`
+	s.mu.Unlock()
+}
+
+func waitGroupUnderLock(s *state, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `call to sync\.WaitGroup\.Wait while "s\.mu" .* is held`
+}
+
+func selectUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while "s\.mu" .* is held`
+	case <-s.ch:
+	case s.ch <- 1:
+	}
+}
+
+func stillHeldAfterBranch(s *state, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- 1 // want `channel send while "s\.mu" .* is held`
+	s.mu.Unlock()
+}
+
+// --- accepted shapes -------------------------------------------------------
+
+func sendAfterUnlock(s *state) {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func selectWithDefault(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func condWaitIsExempt(s *state, c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ch) == 0 {
+		c.Wait()
+	}
+}
+
+func goroutineResetsHeldSet(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // runs outside the critical section
+	}()
+}
+
+func suppressedForce(s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//tabslint:ignore lockhold fixture: deliberate force-under-lock kept to exercise the suppression directive
+	return s.lg.Force(0)
+}
+
+func unlockedForce(s *state) error {
+	s.mu.Lock()
+	lsn := wal.LSN(0)
+	s.mu.Unlock()
+	return s.lg.Force(lsn)
+}

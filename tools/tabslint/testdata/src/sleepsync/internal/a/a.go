@@ -1,0 +1,14 @@
+// Package a is the sleepsync fixture for internal (production) code:
+// any bare time.Sleep is flagged.
+package a
+
+import "time"
+
+func sleepAsSync() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep in internal non-test code`
+}
+
+func suppressedSleep() {
+	//tabslint:ignore sleepsync fixture: deliberate sleep kept to exercise the suppression directive
+	time.Sleep(time.Millisecond)
+}

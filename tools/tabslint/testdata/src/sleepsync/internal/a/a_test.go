@@ -1,0 +1,42 @@
+package a
+
+import (
+	"testing"
+	"time"
+)
+
+var done bool
+
+func TestAssertAfterSleep(t *testing.T) {
+	go func() { done = true }()
+	time.Sleep(50 * time.Millisecond) // want `test asserts directly after a bare time\.Sleep`
+	if !done {
+		t.Fatal("not done")
+	}
+}
+
+func TestDirectAssertAfterSleep(t *testing.T) {
+	time.Sleep(time.Millisecond) // want `test asserts directly after a bare time\.Sleep`
+	t.Error("boom")
+}
+
+func TestSleepThenNonAssertIsFine(t *testing.T) {
+	time.Sleep(time.Millisecond)
+	t.Log("just pacing; no assertion races this sleep")
+}
+
+func TestPollingLoopIsFine(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		if done {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timeout")
+}
+
+func TestSuppressedAssertAfterSleep(t *testing.T) {
+	//tabslint:ignore sleepsync fixture: deliberate race kept to exercise the suppression directive
+	time.Sleep(time.Millisecond)
+	t.Log("suppressed")
+}

@@ -1,0 +1,11 @@
+// Package pacer sits outside any internal/ tree: production sleeps here
+// (cmd-style pacing loops) are not sleepsync's business.
+package pacer
+
+import "time"
+
+func pace() {
+	time.Sleep(time.Millisecond)
+}
+
+var _ = pace

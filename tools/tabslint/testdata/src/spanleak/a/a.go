@@ -1,0 +1,172 @@
+// Package a is the spanleak fixture: each function is one span-lifecycle
+// shape the analyzer must flag or accept.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"tabs/internal/trace"
+)
+
+var tr *trace.Tracer
+var errBoom = errors.New("boom")
+
+func work() error { return errBoom }
+
+// --- violations ------------------------------------------------------------
+
+// earlyReturnLeak is the canonical bug class: an error branch returns
+// before ending the span.
+func earlyReturnLeak() error {
+	sp := tr.Begin("fix", "early")
+	if err := work(); err != nil {
+		return err // want `span "sp" .* not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// pr2Shape reconstructs the PR-2 WAL force bug verbatim: a loop doing
+// read-modify-write whose read-error path returned without EndErr.
+func pr2Shape(start, end uint64, data []byte) error {
+	sp := tr.Begin("wal", "force").Annotatef("bytes=%d", int64(end-start))
+	for sec := start; sec <= end; sec++ {
+		if err := work(); err != nil {
+			return fmt.Errorf("wal: read-modify-write of log page: %w", err) // want `span "sp" .* not ended on this return path`
+		}
+		if err := work(); err != nil {
+			err = fmt.Errorf("wal: forcing log page: %w", err)
+			sp.EndErr(err)
+			return err
+		}
+	}
+	sp.End()
+	return nil
+}
+
+// fallthroughLeak never ends the span at all.
+func fallthroughLeak() {
+	sp := tr.Begin("fix", "fall") // want `span "sp" is not ended before the function falls off the end`
+	_ = sp.Annotate("x=1")
+}
+
+// blankSpan can never be ended.
+func blankSpan() {
+	_ = tr.Begin("fix", "blank") // want `span begun and assigned to _`
+}
+
+// discarded begins a span as a bare statement without a terminal End.
+func discarded() {
+	tr.Begin("fix", "drop").Annotate("x=1") // want `span begun and immediately discarded`
+}
+
+// switchLeak ends the span in one case but not the other.
+func switchLeak(n int) error {
+	sp := tr.Begin("fix", "switch")
+	switch n {
+	case 0:
+		sp.End()
+		return nil
+	default:
+		return errBoom // want `span "sp" .* not ended on this return path`
+	}
+}
+
+// --- accepted shapes -------------------------------------------------------
+
+// deferred covers every exit with defer.
+func deferred() error {
+	sp := tr.Begin("ok", "defer")
+	defer sp.End()
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferredClosure covers every exit with a deferred closure.
+func deferredClosure() (err error) {
+	sp := tr.Begin("ok", "defer-closure")
+	defer func() { sp.EndErr(err) }()
+	return work()
+}
+
+// balanced ends on every branch by hand, with annotation chains.
+func balanced(fast bool) error {
+	sp := tr.Begin("ok", "balanced").Annotate("mode=x")
+	if fast {
+		sp.End()
+		return nil
+	}
+	err := work()
+	sp.Annotate("waited=true").EndErr(err)
+	return err
+}
+
+// retryLoop is the comm.Call shape: a retransmission loop with a select,
+// every exit ending the span.
+func retryLoop(ch chan int) error {
+	sp := tr.Begin("ok", "retry")
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			sp.Annotatef("retransmit=%d", i)
+		}
+		select {
+		case <-ch:
+			sp.End()
+			return nil
+		default:
+		}
+	}
+	err := errBoom
+	sp.EndErr(err)
+	return err
+}
+
+// chainedImmediate begins and ends in one chained statement.
+func chainedImmediate() {
+	tr.Begin("ok", "event").Annotate("x=1").End()
+}
+
+// escapesByReturn hands the span to the caller.
+func escapesByReturn() *trace.ActiveSpan {
+	sp := tr.Begin("ok", "escape-return")
+	return sp
+}
+
+// escapesByCall hands the span to another function.
+func escapesByCall() {
+	sp := tr.Begin("ok", "escape-call")
+	keep(sp)
+}
+
+func keep(sp *trace.ActiveSpan) { sp.End() }
+
+// escapesByStore parks the span in a struct.
+type holder struct{ sp *trace.ActiveSpan }
+
+func escapesByStore(h *holder) {
+	sp := tr.Begin("ok", "escape-store")
+	h.sp = sp
+}
+
+// suppressed documents a deliberate leak with a directive on the line
+// above the offending return.
+func suppressed() error {
+	sp := tr.Begin("ok", "suppressed")
+	sp.Annotate("leaked=true")
+	//tabslint:ignore spanleak fixture: deliberate leak kept to exercise the suppression directive
+	return nil
+}
+
+// endsInBothBranches merges two ended paths before a shared return.
+func endsInBothBranches(b bool) error {
+	sp := tr.Begin("ok", "both")
+	if b {
+		sp.End()
+	} else {
+		sp.EndErr(errBoom)
+	}
+	return nil
+}
