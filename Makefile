@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet tabslint lint bench-smoke fuzz-smoke
+.PHONY: all build test race vet tabslint lint bench-smoke fuzz-smoke torture-smoke
 
 all: build test lint
 
@@ -30,3 +30,9 @@ bench-smoke:
 # Short fuzz of the WAL record codec; CI runs the same invocation.
 fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzRecordRoundTrip -fuzztime 10s
+
+# Fixed-seed fault-injection torture run (3 nodes, crashes + partitions +
+# disk faults); failures print the seed and fault trace for reproduction.
+# CI runs the same invocation.
+torture-smoke:
+	$(GO) test ./internal/fault -run TestTortureSmoke -count=1 -timeout 300s -v

@@ -12,6 +12,7 @@
 //	tabsbench -metrics-json m.json   # also dump per-node trace metrics
 //	tabsbench -concurrency 16  # WAL group-commit throughput sweep instead
 //	tabsbench -group-commit=false    # paper-faithful synchronous log forces
+//	tabsbench -fault-seed 42 -fault-profile chaos   # deterministic torture run
 package main
 
 import (
@@ -20,8 +21,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"tabs/internal/bench"
+	"tabs/internal/fault"
 	"tabs/internal/trace"
 )
 
@@ -33,8 +37,19 @@ func main() {
 	groupCommit := flag.Bool("group-commit", true, "enable WAL group commit; false forces one synchronous Stable Storage Write per log force, as the paper's TABS did")
 	benchJSON := flag.String("bench-json", "BENCH_wal_group_commit.json", "where -concurrency writes its sweep results as JSON")
 	benchTxns := flag.Int("bench-txns", 50, "transactions per committer goroutine in the -concurrency sweep")
+	faultSeed := flag.Int64("fault-seed", 0, "run the fault-injection torture harness with this seed (skips the tables; 0 disables)")
+	faultProfile := flag.String("fault-profile", "chaos", "torture fault profile: "+strings.Join(fault.ProfileNames(), ", "))
+	faultNodes := flag.Int("fault-nodes", 3, "torture cluster size")
+	faultTxns := flag.Int("fault-txns", 200, "torture workload transactions")
 	flag.Parse()
 
+	if *faultSeed != 0 {
+		if err := runTorture(*faultSeed, *faultProfile, *faultNodes, *faultTxns); err != nil {
+			fmt.Fprintln(os.Stderr, "tabsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *concurrency > 0 {
 		if err := runGroupCommit(*concurrency, *benchTxns, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "tabsbench:", err)
@@ -46,6 +61,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tabsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runTorture drives the deterministic crash/partition torture harness and
+// reports the outcome; a failing run exits nonzero with the seed and fault
+// trace so the exact schedule reproduces.
+func runTorture(seed int64, profile string, nodes, txns int) error {
+	fmt.Fprintf(os.Stderr, "torture: seed=%d profile=%s nodes=%d txns=%d\n", seed, profile, nodes, txns)
+	start := time.Now()
+	rep, err := fault.RunTorture(fault.TortureOptions{
+		Seed:    seed,
+		Nodes:   nodes,
+		Txns:    txns,
+		Profile: profile,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		},
+	})
+	if rep != nil {
+		fmt.Println(rep.String())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all invariants held in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runGroupCommit sweeps the concurrent-commit benchmark and records the

@@ -99,13 +99,22 @@ func (t *TCPTransport) readLoop(tc *tcpConn) {
 		// can ride the same stream — required for peers we have no
 		// dialable address for, such as tabsctl application nodes. The
 		// most recent inbound connection wins, so a peer that restarts
-		// under the same name (or reconnects) is reachable again.
+		// under the same name (or reconnects) is reachable again. The
+		// replaced connection is closed: leaving it open would let an
+		// in-flight Send keep encoding onto a stream nobody reads (the
+		// restarted peer's old socket), silently losing the envelope. The
+		// close makes that Send fail and retry on the live connection.
 		if w.From != "" {
+			var stale *tcpConn
 			t.mu.Lock()
-			if t.conns[w.From] != tc {
+			if !t.closed && t.conns[w.From] != tc {
+				stale = t.conns[w.From]
 				t.conns[w.From] = tc
 			}
 			t.mu.Unlock()
+			if stale != nil {
+				stale.c.Close()
+			}
 		}
 		t.mu.Lock()
 		recv := t.recv
@@ -170,37 +179,39 @@ func (t *TCPTransport) dropConn(peer types.NodeID, tc *tcpConn) {
 	tc.c.Close()
 }
 
-// Send implements Transport.
+// Send implements Transport. A connection can be replaced under a sender's
+// feet (the peer restarted and redialed us, or its read loop died), so each
+// attempt encodes under that connection's own mutex — two senders can never
+// interleave gob frames on one stream — and a failed encode drops the dead
+// connection and retries on a freshly looked-up (possibly redialed) one.
+// The retry loop is bounded: a persistently unreachable peer surfaces
+// ErrUnreachable and the session layer's retransmission takes over. An
+// encoder that has failed once is never written again (gob's stream state
+// is undefined after a partial write); dropConn guarantees the next
+// attempt gets a different connection.
 func (t *TCPTransport) Send(env *Envelope) error {
-	tc, err := t.conn(env.To)
-	if err != nil {
-		if env.Kind == KindDatagram {
-			return nil // datagrams to unreachable peers vanish
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		tc, err := t.conn(env.To)
+		if err != nil {
+			if env.Kind == KindDatagram {
+				return nil // datagrams to unreachable peers vanish
+			}
+			return err
 		}
-		return err
-	}
-	tc.mu.Lock()
-	err = tc.enc.Encode((*wireEnvelope)(env))
-	tc.mu.Unlock()
-	if err != nil {
+		tc.mu.Lock()
+		err = tc.enc.Encode((*wireEnvelope)(env))
+		tc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
 		t.dropConn(env.To, tc)
 		if env.Kind == KindDatagram {
 			return nil
 		}
-		// One redial attempt for session traffic; the session layer's
-		// retransmission covers the rest.
-		tc2, derr := t.conn(env.To)
-		if derr != nil {
-			return derr
-		}
-		tc2.mu.Lock()
-		defer tc2.mu.Unlock()
-		if err := tc2.enc.Encode((*wireEnvelope)(env)); err != nil {
-			t.dropConn(env.To, tc2)
-			return fmt.Errorf("%w: %s (%v)", ErrUnreachable, env.To, err)
-		}
+		lastErr = err
 	}
-	return nil
+	return fmt.Errorf("%w: %s (%v)", ErrUnreachable, env.To, lastErr)
 }
 
 // Peers implements Transport.

@@ -185,7 +185,13 @@ func (e *memEndpoint) Close() error {
 // envelopes with the configured probabilities. Session envelopes are never
 // corrupted (the session layer's reliability is assumed from the underlying
 // stream, as TABS assumed from its session protocol), so this exercises the
-// commit protocol's tolerance of datagram loss.
+// commit protocol's tolerance of datagram loss — and nothing else.
+//
+// Deprecated: use internal/fault.Injector.WrapTransport (or
+// core.ClusterOptions.Faults), which subjects both datagram and session
+// traffic to a seeded, reproducible fault model including drops, delays,
+// duplication, reordering, and partitions. FlakyTransport is retained for
+// existing datagram-loss tests only.
 type FlakyTransport struct {
 	Transport
 	mu        sync.Mutex

@@ -7,8 +7,26 @@ import (
 	"tabs/internal/comm"
 	"tabs/internal/disk"
 	"tabs/internal/stats"
+	"tabs/internal/trace"
 	"tabs/internal/types"
+	"tabs/internal/wal"
 )
+
+// FaultPlan threads a fault-injection plan through every node a Cluster
+// boots: the transport wrapper covers both session and datagram traffic
+// (and partitions), the disk hook covers media I/O, the WAL hook covers
+// log append/force, and BindTracer lets the plan emit fault.* counters
+// through each node's tracer (visible in tabsctl metrics). The interface
+// lives here — not in internal/fault — so that fault can depend on core
+// (its torture harness drives Clusters) without a cycle; fault.Injector
+// implements it. A nil plan (the default) leaves every path byte-for-byte
+// untouched, keeping the Table 5-2/5-3 primitive counts identical.
+type FaultPlan interface {
+	WrapTransport(node types.NodeID, t comm.Transport) comm.Transport
+	DiskHook(node types.NodeID) disk.FaultHook
+	WALHook(node types.NodeID) wal.FaultHook
+	BindTracer(node types.NodeID, tr *trace.Tracer)
+}
 
 // Cluster is a convenience harness: several nodes over one in-memory
 // network, each with its own disk, sharing a stats registry — the
@@ -32,6 +50,10 @@ type ClusterOptions struct {
 	// DisableGroupCommit propagates to every node's log: one synchronous
 	// Stable Storage Write per Force, as the paper's TABS did.
 	DisableGroupCommit bool
+	// Faults, when set, wires a fault-injection plan (internal/fault)
+	// through every node's transport, disk, and log, across boots and
+	// reboots. Nil disables injection entirely.
+	Faults FaultPlan
 }
 
 // DefaultClusterOptions returns settings suitable for tests: small disks,
@@ -76,19 +98,34 @@ func (c *Cluster) AddNode(name types.NodeID) (*Node, error) {
 }
 
 func (c *Cluster) bootNode(name types.NodeID, d *disk.Disk) (*Node, error) {
+	tr := comm.Transport(c.Net.Endpoint(name))
+	var walHook wal.FaultHook
+	if c.opts.Faults != nil {
+		tr = c.opts.Faults.WrapTransport(name, tr)
+		walHook = c.opts.Faults.WALHook(name)
+		// The hook survives on the disk across reboots, but re-setting it
+		// is harmless and keeps AddNode and Reboot symmetric. When no plan
+		// is configured the disk is left alone, so tests may install their
+		// own hooks directly and Reboot without losing them.
+		d.SetFaultHook(c.opts.Faults.DiskHook(name))
+	}
 	n, err := NewNode(Config{
 		ID:                 name,
 		Disk:               d,
 		LogSectors:         c.opts.LogSectors,
 		PoolPages:          c.opts.PoolPages,
-		Transport:          c.Net.Endpoint(name),
+		Transport:          tr,
 		Registry:           c.Registry,
 		CheckpointEvery:    c.opts.CheckpointEvery,
 		LockTimeout:        c.opts.LockTimeout,
 		DisableGroupCommit: c.opts.DisableGroupCommit,
+		WALFaultHook:       walHook,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.opts.Faults != nil {
+		c.opts.Faults.BindTracer(name, n.Tracer())
 	}
 	c.nodes[name] = n
 	return n, nil

@@ -87,6 +87,9 @@ type Config struct {
 	// TraceSpanCapacity bounds the span ring buffer; 0 selects
 	// trace.DefaultSpanCapacity.
 	TraceSpanCapacity int
+	// WALFaultHook threads the fault-injection layer into the node's log
+	// (see wal.Config.FaultHook); nil injects nothing.
+	WALFaultHook wal.FaultHook
 }
 
 // Node is one TABS machine.
@@ -161,7 +164,7 @@ func NewNode(cfg Config) (*Node, error) {
 		n.tr = trace.New(string(cfg.ID), cfg.TraceSpanCapacity)
 	}
 	n.Kernel = kernel.New(kernel.Config{Disk: cfg.Disk, PoolPages: cfg.PoolPages, Rec: kernelRec, Trace: n.tr})
-	lg, err := wal.Open(wal.Config{Disk: cfg.Disk, Base: 0, Sectors: cfg.LogSectors, Rec: walRec, Trace: n.tr, DisableGroupCommit: cfg.DisableGroupCommit})
+	lg, err := wal.Open(wal.Config{Disk: cfg.Disk, Base: 0, Sectors: cfg.LogSectors, Rec: walRec, Trace: n.tr, DisableGroupCommit: cfg.DisableGroupCommit, FaultHook: cfg.WALFaultHook})
 	if err != nil {
 		return nil, fmt.Errorf("core: mounting log: %w", err)
 	}

@@ -27,8 +27,39 @@ const SectorSize = 512
 var (
 	ErrOutOfRange  = errors.New("disk: sector address out of range")
 	ErrWriteFailed = errors.New("disk: injected write failure")
+	ErrReadFailed  = errors.New("disk: injected read failure")
 	ErrBadSize     = errors.New("disk: buffer must be exactly one sector")
 )
+
+// FaultAction is a fault hook's verdict on one disk access.
+type FaultAction uint8
+
+// Fault hook verdicts.
+const (
+	// FaultNone lets the access proceed normally.
+	FaultNone FaultAction = iota
+	// FaultError fails the access without touching the media
+	// (ErrWriteFailed / ErrReadFailed).
+	FaultError
+	// FaultTorn applies to writes only: the first half of the sector's
+	// data is written, the rest — and the header word — keep their old
+	// contents, and the write reports ErrWriteFailed. This models a
+	// sector write interrupted by a power failure; the header's atomic
+	// write guarantee (§3.2.1) does not hold for the data it describes,
+	// which is exactly the case log-frame checksums and the dirty-page
+	// table must cover. On reads FaultTorn behaves like FaultError.
+	FaultTorn
+)
+
+// TornBytes is how much of the sector a FaultTorn write transfers before
+// the simulated interruption.
+const TornBytes = SectorSize / 2
+
+// FaultHook decides the fate of one disk access (write reports direction).
+// It is called with the disk mutex held and must not call back into the
+// disk. The fault-injection layer (internal/fault) supplies deterministic
+// seeded hooks; a nil hook (the default) injects nothing.
+type FaultHook func(write bool, addr Addr) FaultAction
 
 // Addr is a sector address on a disk.
 type Addr int64
@@ -85,8 +116,10 @@ type Disk struct {
 	onIO func(millis float64, sequential bool)
 	// failWrites makes the next n writes fail (failure injection).
 	failWrites int
-	reads      int64
-	writes     int64
+	// faultHook, if set, is consulted on every access. Set via SetFaultHook.
+	faultHook FaultHook
+	reads     int64
+	writes    int64
 }
 
 // New returns a zeroed disk with the given geometry.
@@ -116,6 +149,16 @@ func (d *Disk) SetIOHook(fn func(millis float64, sequential bool)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.onIO = fn
+}
+
+// SetFaultHook installs (or, with nil, removes) the per-access fault hook.
+// Unlike FailNextWrites — a one-shot test convenience that always takes
+// priority — the hook sees every read and write and can fail, tear, or
+// pass each one.
+func (d *Disk) SetFaultHook(fn FaultHook) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faultHook = fn
 }
 
 // FailNextWrites makes the next n Write/WriteHeader calls return
@@ -171,6 +214,9 @@ func (d *Disk) Read(addr Addr, buf []byte) (header uint64, err error) {
 	if err := d.check(addr); err != nil {
 		return 0, err
 	}
+	if d.faultHook != nil && d.faultHook(false, addr) != FaultNone {
+		return 0, fmt.Errorf("%w: sector %d", ErrReadFailed, addr)
+	}
 	d.charge(addr)
 	d.reads++
 	copy(buf, d.sectors[addr].Data[:])
@@ -185,6 +231,9 @@ func (d *Disk) ReadHeader(addr Addr) (uint64, error) {
 	defer d.mu.Unlock()
 	if err := d.check(addr); err != nil {
 		return 0, err
+	}
+	if d.faultHook != nil && d.faultHook(false, addr) != FaultNone {
+		return 0, fmt.Errorf("%w: sector %d", ErrReadFailed, addr)
 	}
 	d.charge(addr)
 	d.reads++
@@ -206,6 +255,20 @@ func (d *Disk) Write(addr Addr, buf []byte, header uint64) error {
 	if d.failWrites > 0 {
 		d.failWrites--
 		return ErrWriteFailed
+	}
+	if d.faultHook != nil {
+		switch d.faultHook(true, addr) {
+		case FaultError:
+			return fmt.Errorf("%w: sector %d", ErrWriteFailed, addr)
+		case FaultTorn:
+			// Half the data lands; the header word — written last by the
+			// microcode — keeps its old value, so the sector self-describes
+			// as stale.
+			d.charge(addr)
+			d.writes++
+			copy(d.sectors[addr].Data[:TornBytes], buf[:TornBytes])
+			return fmt.Errorf("%w: sector %d torn after %d bytes", ErrWriteFailed, addr, TornBytes)
+		}
 	}
 	d.charge(addr)
 	d.writes++

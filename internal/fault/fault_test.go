@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"testing"
+
+	"tabs/internal/types"
+)
+
+// TestProfilesResolve checks every advertised profile parses.
+func TestProfilesResolve(t *testing.T) {
+	for _, name := range ProfileNames() {
+		if _, err := ProfileByName(name); err != nil {
+			t.Errorf("profile %s: %v", name, err)
+		}
+	}
+	if _, err := ProfileByName("no-such-profile"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// TestInjectorDeterminism: the decision stream at every point is a pure
+// function of (seed, node, point, sequence), so two injectors with the
+// same seed agree decision for decision, and interleaving traffic on other
+// points cannot perturb a point's stream.
+func TestInjectorDeterminism(t *testing.T) {
+	prof, err := ProfileByName("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(42, prof)
+	b := New(42, prof)
+	a.Enable()
+	b.Enable()
+	points := []string{"comm.datagram.drop", "comm.session.dup", "disk.write.fail", "wal.force.fail"}
+	// b sees extra traffic on an unrelated point between every decision;
+	// the compared streams must not shift.
+	for i := 0; i < 500; i++ {
+		p := points[i%len(points)]
+		got1 := a.fire("n0", p, "", 0)
+		b.fire("n1", "comm.datagram.delay", "", 0)
+		got2 := b.fire("n0", p, "", 0)
+		if got1 != got2 {
+			t.Fatalf("decision %d at %s diverged: %v vs %v", i, p, got1, got2)
+		}
+	}
+	if len(a.Events()) == 0 {
+		t.Fatal("no faults fired in 500 decisions; probabilities broken")
+	}
+}
+
+// TestInjectorBudget: Max caps a point's total fires.
+func TestInjectorBudget(t *testing.T) {
+	in := New(7, Profile{Name: "t", Rules: map[string]Rule{"disk.write.fail": {Prob: 1.0, Max: 3}}})
+	in.Enable()
+	fires := 0
+	for i := 0; i < 100; i++ {
+		if in.fire("n0", "disk.write.fail", "", 0) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("fired %d times, budget was 3", fires)
+	}
+}
+
+// TestPartitionsActWhileDisabled: partitions are harness topology, not
+// probabilistic faults, so they block traffic even before Enable.
+func TestPartitionsActWhileDisabled(t *testing.T) {
+	in := New(1, Profile{Name: "none"})
+	in.Partition("a", "b", false)
+	if !in.Partitioned("a", "b") {
+		t.Fatal("a->b should be blocked")
+	}
+	if in.Partitioned("b", "a") {
+		t.Fatal("asymmetric partition blocked the reverse direction")
+	}
+	in.Partition("a", "c", true)
+	if !in.Partitioned("c", "a") {
+		t.Fatal("symmetric partition should block both directions")
+	}
+	in.HealAll()
+	for _, pair := range [][2]types.NodeID{{"a", "b"}, {"a", "c"}, {"c", "a"}} {
+		if in.Partitioned(pair[0], pair[1]) {
+			t.Fatalf("%s->%s still blocked after HealAll", pair[0], pair[1])
+		}
+	}
+}
+
+// TestCrashRequestQueue: requests dedup and pop FIFO.
+func TestCrashRequestQueue(t *testing.T) {
+	in := New(1, Profile{Name: "none"})
+	in.requestCrash("a")
+	in.requestCrash("b")
+	in.requestCrash("a") // dup
+	if n, ok := in.TakeCrashRequest(); !ok || n != "a" {
+		t.Fatalf("first request = %s, %v; want a", n, ok)
+	}
+	if n, ok := in.TakeCrashRequest(); !ok || n != "b" {
+		t.Fatalf("second request = %s, %v; want b", n, ok)
+	}
+	if _, ok := in.TakeCrashRequest(); ok {
+		t.Fatal("queue should be empty")
+	}
+}

@@ -1,0 +1,484 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/disk"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// TortureOptions parameterize one torture run.
+type TortureOptions struct {
+	Seed    int64  // fault plan + workload schedule seed
+	Nodes   int    // cluster size (minimum 2)
+	Txns    int    // how many workload transactions to drive
+	Profile string // fault profile name (ProfileByName)
+	Cells   int    // intarray cells per node (default 64)
+
+	// Logf, when set, receives progress lines (testing.T.Logf shape).
+	Logf func(format string, args ...any)
+}
+
+// TortureReport summarizes a run.
+type TortureReport struct {
+	Seed       int64
+	Profile    string
+	Nodes      int
+	Txns       int
+	Committed  int
+	Aborted    int
+	Crashes    int // node crashes performed (scheduled + injector-requested)
+	Reboots    int
+	Partitions int
+	Faults     int // fault-trace events retained by the injector
+}
+
+func (r *TortureReport) String() string {
+	return fmt.Sprintf("torture seed=%d profile=%s nodes=%d txns=%d committed=%d aborted=%d crashes=%d reboots=%d partitions=%d faults=%d",
+		r.Seed, r.Profile, r.Nodes, r.Txns, r.Committed, r.Aborted, r.Crashes, r.Reboots, r.Partitions, r.Faults)
+}
+
+// torture is the run state: a cluster of intarray nodes driven through a
+// seeded schedule of transactions, crashes, and partitions, checked against
+// an in-memory model.
+type torture struct {
+	opts  TortureOptions
+	inj   *Injector
+	c     *core.Cluster
+	rng   *rand.Rand // workload schedule; independent of the fault streams
+	names []types.NodeID
+
+	// model[node][cell] is the value every committed effect implies; it is
+	// updated only when App.Run reports commit, so "committed effects
+	// durable" and "aborted effects invisible" are both checked by
+	// comparing the arrays against it.
+	model map[types.NodeID][]int64
+	down  map[types.NodeID]int // crashed nodes -> transactions left down
+	parts []partition
+
+	report TortureReport
+}
+
+type partition struct {
+	a, b types.NodeID
+	ttl  int
+}
+
+// RunTorture drives a randomized multi-node transactional workload under a
+// seeded fault schedule and verifies the recovery invariants:
+//
+//  1. committed effects are durable (arrays match the model),
+//  2. aborted effects are invisible (ditto — the model ignores aborts),
+//  3. no orphaned locks (post-heal reads and writes all succeed),
+//  4. every prepared transaction eventually resolves after partitions heal
+//     and crashed nodes restart (LiveTransactions drains to zero).
+//
+// Any violation returns an error carrying the seed and the injector's
+// fault trace, from which the run reproduces deterministically.
+func RunTorture(opts TortureOptions) (*TortureReport, error) {
+	if opts.Nodes < 2 {
+		opts.Nodes = 2
+	}
+	if opts.Txns <= 0 {
+		opts.Txns = 100
+	}
+	if opts.Cells <= 0 {
+		opts.Cells = 64
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	prof, err := ProfileByName(opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	tt := &torture{
+		opts:  opts,
+		inj:   New(opts.Seed, prof),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		model: make(map[types.NodeID][]int64),
+		down:  make(map[types.NodeID]int),
+	}
+	tt.report = TortureReport{Seed: opts.Seed, Profile: prof.Name, Nodes: opts.Nodes, Txns: opts.Txns}
+	for i := 0; i < opts.Nodes; i++ {
+		name := types.NodeID(fmt.Sprintf("n%d", i))
+		tt.names = append(tt.names, name)
+		tt.model[name] = make([]int64, opts.Cells)
+	}
+
+	copts := core.DefaultClusterOptions()
+	copts.LogSectors = 4096
+	copts.PoolPages = 128
+	copts.LockTimeout = 500 * time.Millisecond
+	copts.Faults = tt.inj
+	c, err := core.NewCluster(copts, tt.names...)
+	if err != nil {
+		return nil, err
+	}
+	tt.c = c
+	defer c.Shutdown()
+	for _, name := range tt.names {
+		if err := tt.setupNode(name); err != nil {
+			return nil, fmt.Errorf("torture: setting up %s: %w", name, err)
+		}
+	}
+
+	// Setup ran clean; arm the plan.
+	tt.inj.Enable()
+	if err := tt.run(); err != nil {
+		return &tt.report, tt.fail(err)
+	}
+	if err := tt.finalVerify(); err != nil {
+		return &tt.report, tt.fail(err)
+	}
+	tt.report.Faults = len(tt.inj.Events())
+	return &tt.report, nil
+}
+
+// fail wraps an invariant violation with everything needed to reproduce it.
+func (tt *torture) fail(err error) error {
+	return fmt.Errorf("torture: %w\nreproduce with seed=%d profile=%s nodes=%d txns=%d\nfault trace:\n%s",
+		err, tt.opts.Seed, tt.report.Profile, tt.opts.Nodes, tt.opts.Txns, tt.inj.FormatEvents())
+}
+
+// setupNode attaches the array server, recovers, and tunes the node's
+// protocol timers down to torture scale.
+func (tt *torture) setupNode(name types.NodeID) error {
+	n := tt.c.Node(name)
+	if _, err := intarray.Attach(n, "arr", 1, uint32(tt.opts.Cells), 500*time.Millisecond); err != nil {
+		return err
+	}
+	if _, err := n.Recover(); err != nil {
+		return err
+	}
+	// Short vote/orphan timers so lost phase-2 datagrams and in-doubt
+	// transactions resolve within the run, not after it.
+	n.TM.Configure(75*time.Millisecond, 4, 300*time.Millisecond)
+	n.CM.CallTimeout = 150 * time.Millisecond
+	n.CM.Retries = 3
+	return nil
+}
+
+// alive lists nodes currently up.
+func (tt *torture) alive() []types.NodeID {
+	var out []types.NodeID
+	for _, n := range tt.names {
+		if _, isDown := tt.down[n]; !isDown {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// crashNode takes a node down for a seeded number of transactions.
+func (tt *torture) crashNode(name types.NodeID, why string) {
+	if _, isDown := tt.down[name]; isDown {
+		return
+	}
+	// Keep a majority of the schedule runnable: never take the last node.
+	if len(tt.alive()) <= 1 {
+		return
+	}
+	tt.c.Crash(name)
+	stay := 1
+	if k := tt.inj.ScheduleKnobs().DownTxns; k > 1 {
+		stay = 1 + tt.rng.Intn(k)
+	}
+	tt.down[name] = stay
+	tt.report.Crashes++
+	tt.opts.Logf("txn %d: crash %s (%s), down for %d txns", tt.report.Committed+tt.report.Aborted, name, why, stay)
+}
+
+// reviveDue reboots nodes whose downtime expired. A reboot that fails
+// under injection (e.g. a read fault during recovery) leaves the node down
+// to retry at the next boundary.
+func (tt *torture) reviveDue(force bool) {
+	for name, left := range tt.down {
+		if left > 1 && !force {
+			tt.down[name] = left - 1
+			continue
+		}
+		if _, err := tt.c.Reboot(name); err != nil {
+			tt.opts.Logf("reboot %s failed (%v); retrying later", name, err)
+			continue
+		}
+		if err := tt.setupNode(name); err != nil {
+			tt.opts.Logf("recover %s failed (%v); retrying later", name, err)
+			tt.c.Crash(name)
+			continue
+		}
+		delete(tt.down, name)
+		tt.report.Reboots++
+		tt.opts.Logf("revived %s", name)
+	}
+}
+
+// stepFaults advances the boundary-scheduled fault machinery: drain
+// injector crash requests, age partitions, maybe add new ones.
+func (tt *torture) stepFaults() {
+	for {
+		name, ok := tt.inj.TakeCrashRequest()
+		if !ok {
+			break
+		}
+		tt.crashNode(name, "injector request")
+	}
+	keep := tt.parts[:0]
+	for _, p := range tt.parts {
+		p.ttl--
+		if p.ttl <= 0 {
+			tt.inj.Heal(p.a, p.b)
+			tt.opts.Logf("healed partition %s|%s", p.a, p.b)
+			continue
+		}
+		keep = append(keep, p)
+	}
+	tt.parts = keep
+
+	knobs := tt.inj.ScheduleKnobs()
+	if knobs.PartitionProb > 0 && tt.rng.Float64() < knobs.PartitionProb {
+		al := tt.alive()
+		if len(al) >= 2 {
+			i := tt.rng.Intn(len(al))
+			j := tt.rng.Intn(len(al) - 1)
+			if j >= i {
+				j++
+			}
+			sym := tt.rng.Intn(2) == 0
+			tt.inj.Partition(al[i], al[j], sym)
+			tt.parts = append(tt.parts, partition{a: al[i], b: al[j], ttl: knobs.PartitionTxns})
+			tt.report.Partitions++
+			tt.opts.Logf("partition %s->%s symmetric=%v for %d txns", al[i], al[j], sym, knobs.PartitionTxns)
+		}
+	}
+	if knobs.CrashProb > 0 && tt.rng.Float64() < knobs.CrashProb {
+		al := tt.alive()
+		if len(al) > 1 {
+			tt.crashNode(al[tt.rng.Intn(len(al))], "scheduled")
+		}
+	}
+}
+
+// run drives the transaction schedule.
+func (tt *torture) run() error {
+	for t := 0; t < tt.opts.Txns; t++ {
+		tt.stepFaults()
+		tt.reviveDue(false)
+		al := tt.alive()
+		if len(al) == 0 {
+			tt.reviveDue(true)
+			if al = tt.alive(); len(al) == 0 {
+				return errors.New("no node could be revived")
+			}
+		}
+		// Periodic mid-run check, only in quiet moments: every node up, no
+		// partitions, so in-doubt transactions can resolve promptly.
+		if t%16 == 15 && len(tt.down) == 0 && len(tt.parts) == 0 {
+			if err := tt.verifyModel(10 * time.Second); err != nil {
+				return fmt.Errorf("mid-run (txn %d): %w", t, err)
+			}
+		}
+		tt.runTxn(al)
+	}
+	return nil
+}
+
+// runTxn executes one randomized transaction: 1–3 writes spread over 1–2
+// target nodes, coordinated from a random live node.
+func (tt *torture) runTxn(al []types.NodeID) {
+	coordName := al[tt.rng.Intn(len(al))]
+	coord := tt.c.Node(coordName)
+	type write struct {
+		node types.NodeID
+		cell uint32
+		val  int64
+	}
+	targets := []types.NodeID{al[tt.rng.Intn(len(al))]}
+	if len(al) > 1 && tt.rng.Intn(2) == 0 {
+		for {
+			t2 := al[tt.rng.Intn(len(al))]
+			if t2 != targets[0] {
+				targets = append(targets, t2)
+				break
+			}
+		}
+	}
+	var writes []write
+	for i, k := 0, 1+tt.rng.Intn(3); i < k; i++ {
+		writes = append(writes, write{
+			node: targets[tt.rng.Intn(len(targets))],
+			cell: uint32(1 + tt.rng.Intn(tt.opts.Cells)), // cells are 1-indexed
+			val:  tt.rng.Int63n(1 << 40),
+		})
+	}
+	clients := make(map[types.NodeID]*intarray.Client)
+	for _, tgt := range targets {
+		clients[tgt] = intarray.NewClient(coord, tgt, "arr")
+	}
+	err := coord.App.Run(func(tid types.TransID) error {
+		for _, w := range writes {
+			if err := clients[w.node].Set(tid, w.cell, w.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		tt.report.Committed++
+		for _, w := range writes {
+			tt.model[w.node][w.cell-1] = w.val
+		}
+		return
+	}
+	tt.report.Aborted++
+	// An injected log/disk failure may have wedged the coordinator's local
+	// abort mid-undo; the sweeper retries it, but crashing here also
+	// exercises the recovery path for exactly these states.
+	if errors.Is(err, disk.ErrWriteFailed) || errors.Is(err, ErrInjected) {
+		tt.crashNode(coordName, "txn hit injected I/O failure")
+	}
+}
+
+// verifyModel reads every cell of every node and compares against the
+// model, retrying until deadline: stray in-doubt transactions may hold
+// locks briefly (their aborts release within a lock timeout + sweep).
+func (tt *torture) verifyModel(patience time.Duration) error {
+	// Reads must observe the real committed state, not injected noise.
+	tt.inj.Disable()
+	defer tt.inj.Enable()
+	deadline := time.Now().Add(patience)
+	var lastErr error
+	for {
+		lastErr = tt.checkAllCells()
+		if lastErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return lastErr
+		}
+		//tabslint:ignore sleepsync deadline-retry poll: convergence is distributed (sweeper + lock releases on several nodes), there is no single event to wait on
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// checkAllCells performs one full read pass against the model.
+func (tt *torture) checkAllCells() error {
+	for _, name := range tt.names {
+		n := tt.c.Node(name)
+		if n == nil {
+			return fmt.Errorf("node %s not up for verification", name)
+		}
+		cl := intarray.NewClient(n, name, "arr")
+		want := tt.model[name]
+		err := n.App.Run(func(tid types.TransID) error {
+			for cell := 1; cell <= tt.opts.Cells; cell++ {
+				v, err := cl.Get(tid, uint32(cell))
+				if err != nil {
+					return err
+				}
+				if v != want[cell-1] {
+					return fmt.Errorf("invariant violated: %s cell %d = %d, model says %d", name, cell, v, want[cell-1])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// finalVerify heals everything, disables injection, restarts every down
+// node, and checks all four invariants to quiescence.
+func (tt *torture) finalVerify() error {
+	tt.inj.HealAll()
+	tt.inj.Disable()
+	tt.parts = nil
+	deadline := time.Now().Add(30 * time.Second)
+	for len(tt.down) > 0 {
+		tt.reviveDue(true)
+		if len(tt.down) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("nodes still down after heal: %v", tt.down)
+		}
+		//tabslint:ignore sleepsync deadline-retry poll around whole-node reboot; no event to wait on
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Invariants 1+2: durable exactly the committed effects.
+	if err := tt.verifyModel(time.Until(deadline)); err != nil {
+		return err
+	}
+
+	// Invariant 3: no orphaned locks — a transaction touching every cell
+	// on every node must be able to commit.
+	var lastErr error
+	for {
+		lastErr = tt.writeAll()
+		if lastErr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invariant violated: post-heal write-all cannot commit (orphaned locks?): %w", lastErr)
+		}
+		//tabslint:ignore sleepsync deadline-retry poll: in-doubt transactions resolve on the sweeper's clock across nodes
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := tt.checkAllCells(); err != nil {
+		return err
+	}
+
+	// Invariant 4: every transaction (prepared in-doubt included) resolves.
+	for {
+		stuck := ""
+		for _, name := range tt.names {
+			if live := tt.c.Node(name).TM.LiveTransactions(); live > 0 {
+				stuck = fmt.Sprintf("%s still holds %d live transactions", name, live)
+				break
+			}
+		}
+		if stuck == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invariant violated: %s after heal + quiesce", stuck)
+		}
+		//tabslint:ignore sleepsync deadline-retry poll: LiveTransactions drains on the sweeper's clock across nodes
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// writeAll commits one distributed transaction writing a fresh value to
+// every cell of every node, updating the model on success.
+func (tt *torture) writeAll() error {
+	coord := tt.c.Node(tt.names[0])
+	val := tt.rng.Int63n(1 << 40)
+	err := coord.App.Run(func(tid types.TransID) error {
+		for _, name := range tt.names {
+			cl := intarray.NewClient(coord, name, "arr")
+			for cell := 1; cell <= tt.opts.Cells; cell++ {
+				if err := cl.Set(tid, uint32(cell), val+int64(cell)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, name := range tt.names {
+		for cell := 1; cell <= tt.opts.Cells; cell++ {
+			tt.model[name][cell-1] = val + int64(cell)
+		}
+	}
+	return nil
+}

@@ -58,6 +58,15 @@ type TransStatusSource interface {
 	RestoreTransRecord(r *wal.Record)
 }
 
+// PreparedRestorer is optionally implemented by a TransStatusSource. When
+// it is, restart hands back every transaction that is still prepared after
+// in-doubt resolution, so the Transaction Manager can rebuild the volatile
+// state it lost in the crash — without this a prepared participant forgot
+// it was in doubt and could acknowledge a phase-2 commit it never applied.
+type PreparedRestorer interface {
+	RestorePrepared(tid types.TransID, prep *wal.PrepareBody)
+}
+
 // Errors.
 var (
 	ErrUnknownServer = errors.New("recovery: no registered undoer for server")

@@ -139,6 +139,9 @@ func (m *Manager) restartFrom(src TransStatusSource, floor wal.LSN) (*RestartRep
 			m.mu.Lock()
 			m.trans[tid] = &transState{status: types.StatusPrepared, lastLSN: a.lastLSN[tid]}
 			m.mu.Unlock()
+			if pr, ok := src.(PreparedRestorer); ok {
+				pr.RestorePrepared(tid, a.prepares[tid])
+			}
 		}
 	}
 	if err := m.log.Force(m.log.NextLSN()); err != nil {

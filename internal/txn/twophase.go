@@ -318,17 +318,34 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 
 // abortTree aborts the local portion of the transaction and propagates
 // the abort to every child subtree.
+//
+// The undo phase may fail partway (a log or disk error inside rm.Abort);
+// the transaction is then left in state stAborted with undone unset, still
+// registered in m.trans, and the orphan sweeper retries the whole routine.
+// That retry is safe because rm.Abort's undo is idempotent — CLRs chain
+// into the transaction's backchain, so a re-undo skips every record the
+// first attempt already compensated — and server AbortTrans / lock
+// releases are no-ops the second time. Before this restructure a failed
+// undo flipped the state to stAborted and every later call returned
+// immediately, stranding the transaction's locks forever.
 func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	m.mu.Lock()
-	if lt.state == stAborted {
+	if (lt.state == stAborted && lt.undone) || lt.aborting {
 		m.mu.Unlock()
 		return nil
 	}
+	retry := lt.state == stAborted // a previous undo failed partway
 	lt.state = stAborted
+	lt.aborting = true
 	sp := m.tr.Begin("txn", "abort").SetTID(lt.top)
+	if retry {
+		sp.Annotate("retry=true")
+	}
 	doomed := make([]types.TransID, 0, len(lt.subs)+1)
 	for sub, st := range lt.subs {
-		if st != types.StatusAborted {
+		// On retry, re-doom every sub: the first attempt already marked
+		// them aborted, but some may not have been undone yet.
+		if st != types.StatusAborted || retry {
 			doomed = append(doomed, sub)
 			lt.subs[sub] = types.StatusAborted
 		}
@@ -336,6 +353,11 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	doomed = append(doomed, lt.top)
 	servers := participants(lt)
 	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		lt.aborting = false
+		m.mu.Unlock()
+	}()
 
 	var children []types.NodeID
 	if m.cm != nil {
@@ -343,6 +365,7 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	}
 	for _, tid := range doomed {
 		if err := m.rm.Abort(tid); err != nil {
+			m.tr.Count("txn.abort.incomplete", 1)
 			sp.EndErr(err)
 			return err
 		}
@@ -351,6 +374,9 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 			p.AbortTrans(tid)
 		}
 	}
+	m.mu.Lock()
+	lt.undone = true
+	m.mu.Unlock()
 	if len(children) > 0 {
 		m.collectRound(lt.top, children, dgAbort, clsAck)
 	}
@@ -481,7 +507,14 @@ func (m *Manager) participantCommit(parent types.NodeID, top types.TransID) {
 	m.mu.Lock()
 	lt := m.trans[top]
 	if lt == nil {
-		// Already finished: retransmitted commit; just re-ack.
+		// No volatile state. Recovery restores a localTrans for every
+		// transaction still prepared in the log (RestorePrepared), so no
+		// state means we either already finished this transaction — a
+		// retransmitted commit; re-ack so the coordinator can forget us —
+		// or never prepared it and owe it no durable effects. Either way
+		// acking is safe. (Before the restore fix, a participant that
+		// crashed after voting would land here and ack away a commit it
+		// had not applied.)
 		m.mu.Unlock()
 		_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgAck, types.StatusUnknown), 0)
 		return

@@ -95,6 +95,12 @@ type localTrans struct {
 	remote    bool
 	prep      *wal.PrepareBody // recorded at participant prepare
 	lastTouch time.Time        // last sign of life, for orphan detection
+	// undone is set once an abort's undo phase has fully completed;
+	// aborting marks an undo in flight. state == stAborted with undone
+	// false means a previous abort failed partway (log or disk error) and
+	// the orphan sweeper must retry it, or locks stay stranded.
+	undone   bool
+	aborting bool
 }
 
 // Manager is one node's Transaction Manager.
@@ -211,7 +217,21 @@ func (m *Manager) orphanSweeper() {
 	}
 }
 
-// sweepOrphans runs one orphan-detection pass.
+// Sweep candidate classes.
+const (
+	candActive     = iota // remote-rooted, active, silent: orphan query
+	candPrepared          // prepared in doubt: re-resolve with coordinator
+	candAbortRetry        // abort failed mid-undo: retry the undo
+)
+
+// sweepOrphans runs one orphan-detection pass. Beyond the paper's orphan
+// query for silent remote-rooted ACTIVE transactions, it re-resolves
+// PREPARED transactions whose phase-2 instruction never arrived (lost to a
+// partition or a coordinator crash — without this, a participant that had
+// used up its one resolveWhenStuck query stayed in doubt forever, holding
+// its locks past any partition heal) and retries aborts whose undo phase
+// failed partway (without this, a transient log/disk error during undo
+// stranded the transaction's locks permanently).
 func (m *Manager) sweepOrphans() {
 	_, _, orphan := m.timing()
 	m.mu.Lock()
@@ -219,26 +239,63 @@ func (m *Manager) sweepOrphans() {
 	type cand struct {
 		lt     *localTrans
 		parent types.NodeID
+		class  int
 	}
 	var cands []cand
 	for top, lt := range m.trans {
-		if !lt.remote || lt.state != stActive {
+		if lt.state == stAborted {
+			// Stuck aborts are retried regardless of where the
+			// transaction was rooted.
+			if !lt.undone && !lt.aborting {
+				cands = append(cands, cand{lt: lt, class: candAbortRetry})
+			}
+			continue
+		}
+		if !lt.remote {
 			continue
 		}
 		if lt.lastTouch.IsZero() || lt.lastTouch.After(cutoff) {
 			continue
 		}
 		parent := top.Node // the transaction's home node coordinates
-		if m.cm != nil {
+		if lt.prep != nil && lt.prep.Parent != "" {
+			parent = lt.prep.Parent // prepared: ask who we voted to
+		} else if m.cm != nil {
 			if p, has, _ := m.cm.Tree(top); has {
 				parent = p
 			}
 		}
-		cands = append(cands, cand{lt: lt, parent: parent})
+		switch lt.state {
+		case stActive:
+			cands = append(cands, cand{lt: lt, parent: parent, class: candActive})
+		case stPrepared:
+			cands = append(cands, cand{lt: lt, parent: parent, class: candPrepared})
+		}
 	}
 	m.mu.Unlock()
 	for _, c := range cands {
+		if c.class == candAbortRetry {
+			m.tr.Count("txn.abort.retries", 1)
+			_ = m.abortTree(c.lt, false)
+			continue
+		}
 		st := m.queryStatus(c.lt.top, c.parent)
+		if c.class == candPrepared {
+			switch st {
+			case types.StatusCommitted:
+				m.participantCommit(c.parent, c.lt.top)
+			case types.StatusAborted:
+				_ = m.abortTree(c.lt, false)
+			default:
+				// Coordinator unreachable or still deciding: a prepared
+				// participant must stay in doubt (the 2PC blocking
+				// window); ask again next sweep.
+				m.mu.Lock()
+				c.lt.touch()
+				m.mu.Unlock()
+			}
+			continue
+		}
 		switch st {
 		case types.StatusAborted:
 			_ = m.abortTree(c.lt, false)
@@ -373,6 +430,46 @@ func (m *Manager) NoteRemote(tid types.TransID) {
 	}
 	lt.remote = true
 	lt.touch()
+}
+
+// RestorePrepared implements recovery.PreparedRestorer: crash restart hands
+// back every transaction whose prepare record survives in the log with no
+// outcome. The Transaction Manager rebuilds the volatile state it held
+// before the crash — a prepared, remote-rooted localTrans — so the orphan
+// sweeper resumes resolving it with the coordinator recorded in the prepare
+// body, and a retransmitted phase-2 commit finds a transaction to apply.
+// Without this, a participant that crashed after voting forgot it was
+// prepared: participantCommit's "no state" path acked commits it never
+// applied, and the in-doubt transaction's locks and effects were stranded.
+func (m *Manager) RestorePrepared(tid types.TransID, prep *wal.PrepareBody) {
+	top := tid.TopLevel()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.trans[top] != nil {
+		return
+	}
+	lt := &localTrans{
+		top:       top,
+		state:     stPrepared,
+		servers:   make(map[types.ServerID]Participant),
+		subs:      make(map[types.TransID]types.Status),
+		subParent: make(map[types.TransID]types.TransID),
+		remote:    true,
+		prep:      prep,
+	}
+	lt.touch()
+	m.trans[top] = lt
+	m.tr.Count("txn.restored_prepared", 1)
+}
+
+// LiveTransactions reports how many transactions this node still holds
+// volatile state for — in-flight, prepared in doubt, or mid-abort. Torture
+// harnesses use it as the quiescence check: after every failure is healed,
+// the count must drain to zero on every node.
+func (m *Manager) LiveTransactions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.trans)
 }
 
 // Status reports what this node knows about tid's outcome.

@@ -45,7 +45,8 @@ type Log struct {
 	rec  *stats.Recorder
 	tr   *trace.Tracer
 
-	noGroup bool // Config.DisableGroupCommit
+	noGroup bool      // Config.DisableGroupCommit
+	fh      FaultHook // Config.FaultHook
 
 	lowLSN     LSN // oldest retained byte (record boundary)
 	durableLSN LSN // everything below is on disk
@@ -96,7 +97,17 @@ type Config struct {
 	// how many forces N committers pay; disable it to reproduce the
 	// Table 5-2/5-3 per-transaction counts with no amortization possible.
 	DisableGroupCommit bool
+	// FaultHook, when set, is consulted at named points before the log
+	// touches state: "wal.append" just before a record is admitted to the
+	// volatile buffer, and "wal.force" just before a batch goes to disk. A
+	// non-nil error fails the operation. The fault-injection layer
+	// (internal/fault) supplies deterministic seeded hooks; nil (the
+	// default) injects nothing.
+	FaultHook FaultHook
 }
+
+// FaultHook is the log's fault-injection callback; see Config.FaultHook.
+type FaultHook func(point string) error
 
 // Open mounts the log region, reading the anchor and scanning forward from
 // the low-water mark to find the durable end of the log, exactly as crash
@@ -113,6 +124,7 @@ func Open(cfg Config) (*Log, error) {
 		rec:     cfg.Rec,
 		tr:      cfg.Trace,
 		noGroup: cfg.DisableGroupCommit,
+		fh:      cfg.FaultHook,
 		parked:  make(map[uint64]LSN),
 	}
 	l.flushCond = sync.NewCond(&l.mu)
@@ -141,12 +153,22 @@ func Open(cfg Config) (*Log, error) {
 
 // recoverEnd scans forward from lowLSN validating checksums and embedded
 // LSNs until the stream stops making sense; that point is the durable end.
+//
+// Only a decode failure (ErrCorrupt: bad checksum, wrong embedded LSN,
+// nonsense length — what stale or torn sectors past the true end look
+// like) marks the end of the log. A read that fails at the disk layer is
+// a media error on a sector that may hold committed records; treating it
+// as end-of-log would silently truncate the log and lose committed
+// transactions, so it fails the mount instead.
 func (l *Log) recoverEnd() error {
 	lsn := l.lowLSN
 	l.index = l.index[:0]
 	for {
 		r, n, err := l.readRecordFromDisk(lsn)
 		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				return fmt.Errorf("wal: finding log end at LSN %d: %w", lsn, err)
+			}
 			break // end of valid log
 		}
 		l.index = append(l.index, lsn)
@@ -239,6 +261,12 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	if int64(l.nextLSN-l.lowLSN)+int64(len(frame)) > l.Capacity() {
 		r.LSN = prevLSN
 		return 0, ErrLogFull
+	}
+	if l.fh != nil {
+		if err := l.fh("wal.append"); err != nil {
+			r.LSN = prevLSN
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
 	}
 	l.buf = append(l.buf, frame...)
 	l.index = append(l.index, r.LSN)
@@ -361,6 +389,13 @@ func (l *Log) forceLocked(upTo LSN) error {
 func (l *Log) writeRange(start, end LSN, data []byte) error {
 	forceStart := time.Now()
 	sp := l.tr.Begin("wal", "force").Annotatef("bytes=%d", int64(end-start))
+	if l.fh != nil {
+		if err := l.fh("wal.force"); err != nil {
+			err = fmt.Errorf("wal: forcing log page: %w", err)
+			sp.EndErr(err)
+			return err
+		}
+	}
 	firstSec := uint64(start) / disk.SectorSize
 	lastSec := (uint64(end) - 1) / disk.SectorSize
 	for sec := firstSec; sec <= lastSec; sec++ {
