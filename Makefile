@@ -17,15 +17,19 @@ vet:
 	$(GO) vet ./...
 
 # tabslint is the repo's domain-aware analyzer suite (spanleak, lockhold,
-# durcheck, sleepsync). It needs no dependencies beyond the toolchain.
+# durcheck, sleepsync, poolmisuse). It needs no dependencies beyond the
+# toolchain.
 tabslint:
 	$(GO) run ./tools/tabslint ./...
 
 lint: vet tabslint
 
-# Mirrors the CI bench smoke: one iteration of the group-commit sweep.
+# Mirrors the CI bench smoke: one iteration of the group-commit sweep,
+# then the allocation-regression gate — hot-path benchmarks run with
+# -benchmem and must stay within the checked-in ALLOC_BUDGET.txt.
 bench-smoke:
 	$(GO) test -bench=GroupCommit -benchtime=1x ./internal/wal ./internal/bench
+	$(GO) run ./tools/allocgate -budget ALLOC_BUDGET.txt -bench 'AppendForce|EnvelopeEncode' ./internal/wal ./internal/comm
 
 # Short fuzz of the WAL record codec; CI runs the same invocation.
 fuzz-smoke:

@@ -37,6 +37,9 @@ func main() {
 	groupCommit := flag.Bool("group-commit", true, "enable WAL group commit; false forces one synchronous Stable Storage Write per log force, as the paper's TABS did")
 	benchJSON := flag.String("bench-json", "BENCH_wal_group_commit.json", "where -concurrency writes its sweep results as JSON")
 	benchTxns := flag.Int("bench-txns", 50, "transactions per committer goroutine in the -concurrency sweep")
+	hotpath := flag.Int("hotpath", 0, "run the CPU-bound hot-path throughput sweep up to this many workers (skips the tables)")
+	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "where -hotpath writes its sweep results as JSON")
+	hotpathBaseline := flag.String("hotpath-baseline", "", "prior -hotpath JSON to compute speedups against")
 	faultSeed := flag.Int64("fault-seed", 0, "run the fault-injection torture harness with this seed (skips the tables; 0 disables)")
 	faultProfile := flag.String("fault-profile", "chaos", "torture fault profile: "+strings.Join(fault.ProfileNames(), ", "))
 	faultNodes := flag.Int("fault-nodes", 3, "torture cluster size")
@@ -45,6 +48,13 @@ func main() {
 
 	if *faultSeed != 0 {
 		if err := runTorture(*faultSeed, *faultProfile, *faultNodes, *faultTxns); err != nil {
+			fmt.Fprintln(os.Stderr, "tabsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hotpath > 0 {
+		if err := runHotPath(*hotpath, *benchTxns, *hotpathJSON, *hotpathBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, "tabsbench:", err)
 			os.Exit(1)
 		}
@@ -85,6 +95,40 @@ func runTorture(seed int64, profile string, nodes, txns int) error {
 		return err
 	}
 	fmt.Printf("all invariants held in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runHotPath sweeps the CPU-bound hot-path benchmark, optionally merging a
+// prior sweep's numbers as the baseline, and records text + JSON output.
+func runHotPath(maxConc, txnsPerWorker int, jsonPath, baselinePath string) error {
+	fmt.Fprintf(os.Stderr, "sweeping hot-path throughput up to %d workers...\n", maxConc)
+	res, err := bench.MeasureHotPath(maxConc, txnsPerWorker)
+	if err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		blob, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		var baseline bench.HotPathResult
+		if err := json.Unmarshal(blob, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline: %w", err)
+		}
+		bench.MergeHotPathBaseline(res, &baseline)
+	}
+	fmt.Print(bench.FormatHotPath(res))
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil
 }
 

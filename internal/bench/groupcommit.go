@@ -34,6 +34,11 @@ import (
 // sweep stays in CI budget.
 const ioSleepPerVirtualMs = 20 * time.Microsecond
 
+// minIOSleep floors the scaled sleep for one physical IO. Without a floor,
+// sub-quantum virtual latencies multiply out to a Duration of 0 and the
+// sleep vanishes entirely (see the IO hook below).
+const minIOSleep = time.Microsecond
+
 // GroupCommitPoint is one (concurrency, mode) cell of the sweep.
 type GroupCommitPoint struct {
 	Concurrency  int     `json:"concurrency"`
@@ -104,8 +109,18 @@ func measureGroupCommitPoint(conc, txns int, groupCommit bool) (GroupCommitPoint
 
 	// Measured run, against the scaled-latency disk.
 	node.Disk().SetIOHook(func(ms float64, _ bool) {
+		// Clamp to a minimum quantum: the float multiply truncates tiny
+		// virtual latencies (seek-adjacent sectors can model well under a
+		// millisecond) to a zero Duration, and time.Sleep(0) returns
+		// immediately — making the cheapest IOs free and overstating how
+		// much group commit helps. Every physical IO costs at least one
+		// quantum of wall time.
+		d := time.Duration(ms * float64(ioSleepPerVirtualMs))
+		if d < minIOSleep {
+			d = minIOSleep
+		}
 		//tabslint:ignore sleepsync this sleep IS the latency model: it converts virtual disk milliseconds to wall time so concurrency effects are measurable
-		time.Sleep(time.Duration(ms * float64(ioSleepPerVirtualMs)))
+		time.Sleep(d)
 	})
 	defer node.Disk().SetIOHook(nil)
 	cluster.Registry.ResetAll()

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// This file measures the transaction hot path under CPU-bound contention:
+// no scaled I/O sleep is installed, so throughput is limited by lock and
+// allocation contention across the kernel page cache, the lock manager,
+// the WAL append path, and transaction management — exactly the serial
+// bottlenecks the sharded-lock / lock-free-read / pooled-buffer work
+// attacks. Contrast with groupcommit.go, which installs a sleep hook to
+// surface force batching; here the disk model only counts primitives.
+//
+// The workload spreads workers across several data servers (each server is
+// a single-threaded monitor, so one server would serialize everything at
+// its monitor rather than in the subsystems under test). Every worker owns
+// a private page in its server (no logical conflicts) and additionally
+// read-locks a per-server shared cell, so read-lock sharing and the
+// lock-free cache read path are both on the measured path.
+
+// hotPathServers is how many data servers the workload spreads over.
+const hotPathServers = 8
+
+// hotPathOpsPerTxn is the operation count of one workload transaction:
+// one SetCell (write lock, pin, log, unpin) and two GetCells (read locks,
+// cache reads).
+const hotPathOpsPerTxn = 3
+
+// HotPathPoint is one concurrency level of the sweep.
+type HotPathPoint struct {
+	Concurrency int     `json:"concurrency"`
+	Committed   int     `json:"committed"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	TxnsPerSec  float64 `json:"txns_per_sec"`
+	// BaselineTxnsPerSec and Speedup are filled when a prior sweep (the
+	// pre-optimization tree) is supplied for comparison.
+	BaselineTxnsPerSec float64 `json:"baseline_txns_per_sec,omitempty"`
+	Speedup            float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// HotPathResult is the full sweep, for BENCH_hotpath.json.
+type HotPathResult struct {
+	Servers       int            `json:"servers"`
+	OpsPerTxn     int            `json:"ops_per_txn"`
+	TxnsPerWorker int            `json:"txns_per_worker"`
+	Points        []HotPathPoint `json:"points"`
+}
+
+// measureHotPathPoint boots a fresh single-node cluster with several array
+// servers and drives conc workers through txns transactions each.
+func measureHotPathPoint(conc, txns int) (HotPathPoint, error) {
+	pt := HotPathPoint{Concurrency: conc}
+	opts := core.ClusterOptions{
+		DiskSectors: 32768,
+		// A roomy log keeps reclamation (which forces pages and would
+		// serialize the run) off the measured path.
+		LogSectors:      8192,
+		PoolPages:       512,
+		CheckpointEvery: 1 << 30,
+		LockTimeout:     10 * time.Second,
+	}
+	cluster, err := core.NewCluster(opts, "node1")
+	if err != nil {
+		return pt, err
+	}
+	defer cluster.Shutdown()
+	node := cluster.Node("node1")
+
+	// Per-server layout: one private page per worker slot plus a final
+	// shared page every worker of that server read-locks.
+	workersPerServer := (conc + hotPathServers - 1) / hotPathServers
+	pages := uint32(workersPerServer + 1)
+	cells := pages * uint32(cellsPerPage)
+	clients := make([]*intarray.Client, hotPathServers)
+	for s := 0; s < hotPathServers; s++ {
+		id := types.ServerID(fmt.Sprintf("hot%d", s))
+		if _, err := intarray.Attach(node, id, types.SegmentID(s+1), cells, 10*time.Second); err != nil {
+			return pt, err
+		}
+		clients[s] = intarray.NewClient(node, "node1", id)
+	}
+	if _, err := node.Recover(); err != nil {
+		return pt, err
+	}
+
+	sharedCell := uint32(workersPerServer*cellsPerPage) + 1
+	run := func(worker, value int) error {
+		c := clients[worker%hotPathServers]
+		private := uint32((worker/hotPathServers)*cellsPerPage) + 1
+		return node.App.Run(func(tid types.TransID) error {
+			if err := c.Set(tid, private, int64(value)); err != nil {
+				return err
+			}
+			if _, err := c.Get(tid, private); err != nil {
+				return err
+			}
+			_, err := c.Get(tid, sharedCell)
+			return err
+		})
+	}
+
+	// Warm-up: fault every page in and populate per-transaction state maps.
+	for w := 0; w < conc; w++ {
+		if err := run(w, 0); err != nil {
+			return pt, fmt.Errorf("warm-up worker %d: %w", w, err)
+		}
+	}
+
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= txns; i++ {
+				if err := run(w, i); err != nil {
+					errs[w] = fmt.Errorf("worker %d txn %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return pt, err
+		}
+	}
+	pt.Committed = conc * txns
+	pt.ElapsedNs = elapsed.Nanoseconds()
+	pt.TxnsPerSec = float64(pt.Committed) / elapsed.Seconds()
+	return pt, nil
+}
+
+// MeasureHotPath sweeps concurrency 8, 16, ... maxConc.
+func MeasureHotPath(maxConc, txnsPerWorker int) (*HotPathResult, error) {
+	if maxConc < 8 {
+		maxConc = 8
+	}
+	if txnsPerWorker <= 0 {
+		txnsPerWorker = 100
+	}
+	res := &HotPathResult{
+		Servers:       hotPathServers,
+		OpsPerTxn:     hotPathOpsPerTxn,
+		TxnsPerWorker: txnsPerWorker,
+	}
+	for conc := 8; conc <= maxConc; conc *= 2 {
+		pt, err := measureHotPathPoint(conc, txnsPerWorker)
+		if err != nil {
+			return nil, fmt.Errorf("bench: hot path at concurrency %d: %w", conc, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// MergeHotPathBaseline fills each point's baseline throughput and speedup
+// from a prior sweep (matched by concurrency).
+func MergeHotPathBaseline(res, baseline *HotPathResult) {
+	if baseline == nil {
+		return
+	}
+	for i := range res.Points {
+		for _, b := range baseline.Points {
+			if b.Concurrency == res.Points[i].Concurrency && b.TxnsPerSec > 0 {
+				res.Points[i].BaselineTxnsPerSec = b.TxnsPerSec
+				res.Points[i].Speedup = res.Points[i].TxnsPerSec / b.TxnsPerSec
+			}
+		}
+	}
+}
+
+// FormatHotPath renders the sweep as a text table.
+func FormatHotPath(r *HotPathResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot path: CPU-bound txn throughput (%d servers, %d ops/txn, %d txns/worker)\n",
+		r.Servers, r.OpsPerTxn, r.TxnsPerWorker)
+	fmt.Fprintf(&b, "%-6s %10s %12s %10s\n", "conc", "txns/s", "baseline", "speedup")
+	line := strings.Repeat("-", 42)
+	fmt.Fprintln(&b, line)
+	for _, pt := range r.Points {
+		if pt.BaselineTxnsPerSec > 0 {
+			fmt.Fprintf(&b, "%-6d %10.0f %12.0f %9.2fx\n",
+				pt.Concurrency, pt.TxnsPerSec, pt.BaselineTxnsPerSec, pt.Speedup)
+		} else {
+			fmt.Fprintf(&b, "%-6d %10.0f %12s %10s\n", pt.Concurrency, pt.TxnsPerSec, "-", "-")
+		}
+	}
+	fmt.Fprintln(&b, line)
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tabs/internal/types"
+)
+
+// Binary wire codec for envelopes. The original TCP transport serialized
+// with encoding/gob, which allocates heavily per message (type reflection,
+// per-field buffers) and cannot encode into a caller-owned buffer. The
+// hand-rolled frame below is append-only on the send side — it composes
+// with the per-connection coalescing writer so many envelopes share one
+// buffer and one syscall — and decodes from a pooled buffer on the receive
+// side.
+//
+// Frame layout: a 4-byte big-endian payload length, then the envelope
+// fields in fixed order. Variable-length fields are 4-byte-length-prefixed.
+// All nodes run the same binary, so there is no cross-version negotiation.
+
+// ErrBadFrame reports a malformed inbound frame; the connection it arrived
+// on is unusable (framing is lost) and gets torn down.
+var ErrBadFrame = errors.New("comm: malformed wire frame")
+
+// maxWireFrame bounds one envelope on the wire; payloads are pages and
+// control messages, far below this.
+const maxWireFrame = 16 << 20
+
+func appendLenBytes(dst []byte, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func appendLenString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// appendEnvelope appends env as one framed message and returns the extended
+// slice. It never fails: every envelope field is encodable.
+func appendEnvelope(dst []byte, env *Envelope) []byte {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // frame length, patched below
+	dst = appendLenString(dst, string(env.From))
+	dst = appendLenString(dst, string(env.To))
+	dst = append(dst, byte(env.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, env.Epoch)
+	dst = binary.BigEndian.AppendUint64(dst, env.Seq)
+	var flags byte
+	if env.IsReply {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = appendLenString(dst, env.Service)
+	dst = appendLenString(dst, string(env.TID.Node))
+	dst = binary.BigEndian.AppendUint64(dst, env.TID.Seq)
+	dst = appendLenString(dst, string(env.TID.RootNode))
+	dst = binary.BigEndian.AppendUint64(dst, env.TID.RootSeq)
+	dst = appendLenBytes(dst, env.Payload)
+	dst = appendLenString(dst, env.Err)
+	binary.BigEndian.PutUint32(dst[base:], uint32(len(dst)-base-4))
+	return dst
+}
+
+func takeLenBytes(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n > len(b) {
+		return nil, nil, ErrBadFrame
+	}
+	return b[:n], b[n:], nil
+}
+
+// decodeEnvelope parses one envelope from a complete frame payload (the
+// 4-byte frame length already stripped). Strings and the payload are copied
+// out, so the caller may recycle b immediately.
+func decodeEnvelope(b []byte) (*Envelope, error) {
+	env := &Envelope{}
+	var f []byte
+	var err error
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	env.From = types.NodeID(f)
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	env.To = types.NodeID(f)
+	if len(b) < 1+8+8+1 {
+		return nil, ErrBadFrame
+	}
+	env.Kind = Kind(b[0])
+	env.Epoch = binary.BigEndian.Uint64(b[1:9])
+	env.Seq = binary.BigEndian.Uint64(b[9:17])
+	env.IsReply = b[17]&1 != 0
+	b = b[18:]
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	env.Service = string(f)
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	env.TID.Node = types.NodeID(f)
+	if len(b) < 8 {
+		return nil, ErrBadFrame
+	}
+	env.TID.Seq = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	env.TID.RootNode = types.NodeID(f)
+	if len(b) < 8 {
+		return nil, ErrBadFrame
+	}
+	env.TID.RootSeq = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	if len(f) > 0 {
+		env.Payload = append([]byte(nil), f...)
+	}
+	if f, b, err = takeLenBytes(b); err != nil {
+		return nil, err
+	}
+	env.Err = string(f)
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
+	}
+	return env, nil
+}
+
+// --- Pooled inbound frame buffers ----------------------------------------
+//
+// Inbound frames are read into buffers drawn from size-classed pools and
+// returned as soon as the envelope is decoded (decodeEnvelope copies, so a
+// recycled buffer can never alias a live envelope). Classes cover the
+// common cases — control messages, page-sized payloads, multi-page bodies;
+// anything larger is a one-off allocation.
+
+var frameClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+var framePools [len(frameClasses)]sync.Pool
+
+// frameBuf returns a buffer of length n from the smallest fitting class.
+func frameBuf(n int) []byte {
+	for i, c := range frameClasses {
+		if n <= c {
+			if p, ok := framePools[i].Get().(*[]byte); ok {
+				return (*p)[:n]
+			}
+			return make([]byte, n, c)
+		}
+	}
+	return make([]byte, n)
+}
+
+// putFrameBuf recycles a buffer obtained from frameBuf. Buffers above the
+// largest class (or with foreign capacities) are left to the GC. Pools hold
+// *[]byte, not []byte: putting a bare slice would box its header on every
+// Put, allocating the very garbage the pool exists to avoid.
+func putFrameBuf(b []byte) {
+	c := cap(b)
+	for i, class := range frameClasses {
+		if c == class {
+			b = b[:c]
+			framePools[i].Put(&b)
+			return
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tabs/internal/types"
+)
+
+func sampleEnvelope() *Envelope {
+	return &Envelope{
+		From:  "nodeA",
+		To:    "nodeB",
+		Kind:  KindSession,
+		Epoch: 0xDEADBEEF,
+		Seq:   42,
+		TID: types.TransID{
+			Node: "nodeA", Seq: 7, RootNode: "nodeR", RootSeq: 3,
+		},
+		Service: "datasrv",
+		Payload: []byte("op-payload-bytes"),
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []*Envelope{
+		sampleEnvelope(),
+		{}, // all zero values
+		{From: "a", To: "b", Kind: KindDatagram, Service: "name", Payload: []byte{0}},
+		{From: "a", To: "b", IsReply: true, Seq: 1 << 60, Err: "boom: something failed"},
+		{From: "a", To: "b", Payload: bytes.Repeat([]byte{0xAB}, 3*types.PageSize)},
+	}
+	for i, env := range cases {
+		frame := appendEnvelope(nil, env)
+		n := int(binary.BigEndian.Uint32(frame))
+		if n != len(frame)-4 {
+			t.Fatalf("case %d: frame length %d, payload is %d", i, n, len(frame)-4)
+		}
+		got, err := decodeEnvelope(frame[4:])
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(env, got) {
+			t.Errorf("case %d mismatch:\n in: %+v\nout: %+v", i, env, got)
+		}
+	}
+}
+
+// TestEnvelopeAppendsCoalesce encodes several envelopes back to back into
+// one buffer — exactly what the per-connection writer batches into a single
+// syscall — and decodes them all back out.
+func TestEnvelopeAppendsCoalesce(t *testing.T) {
+	var buf []byte
+	var want []*Envelope
+	for i := 0; i < 10; i++ {
+		env := sampleEnvelope()
+		env.Seq = uint64(i)
+		want = append(want, env)
+		buf = appendEnvelope(buf, env)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		n := int(binary.BigEndian.Uint32(buf))
+		got, err := decodeEnvelope(buf[4 : 4+n])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("frame %d mismatch: %+v", i, got)
+		}
+		buf = buf[4+n:]
+	}
+}
+
+// TestDecodeEnvelopeCopies verifies a decoded envelope shares no memory
+// with the frame buffer, which the transport recycles immediately.
+func TestDecodeEnvelopeCopies(t *testing.T) {
+	frame := appendEnvelope(nil, sampleEnvelope())
+	env, err := decodeEnvelope(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		frame[i] = 0xFF
+	}
+	if env.From != "nodeA" || env.Service != "datasrv" || !bytes.Equal(env.Payload, []byte("op-payload-bytes")) {
+		t.Errorf("decoded envelope aliases the frame buffer: %+v", env)
+	}
+}
+
+func TestDecodeEnvelopeFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	good := appendEnvelope(nil, sampleEnvelope())[4:]
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(120))
+		rng.Read(buf)
+		_, _ = decodeEnvelope(buf) // must never panic
+
+		// Truncations and single-byte corruptions of a valid frame.
+		cut := append([]byte(nil), good[:rng.Intn(len(good))]...)
+		_, _ = decodeEnvelope(cut)
+		bad := append([]byte(nil), good...)
+		bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		_, _ = decodeEnvelope(bad)
+	}
+}
+
+func TestAppendEnvelopeAllocFree(t *testing.T) {
+	env := sampleEnvelope()
+	dst := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = appendEnvelope(dst[:0], env)
+	})
+	if allocs != 0 {
+		t.Errorf("appendEnvelope into a sized buffer: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	env := sampleEnvelope()
+	dst := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = appendEnvelope(dst[:0], env)
+	}
+}
+
+func TestFrameBufClasses(t *testing.T) {
+	for _, n := range []int{1, 255, 256, 257, 4096, 64 << 10, (64 << 10) + 1} {
+		b := frameBuf(n)
+		if len(b) != n {
+			t.Fatalf("frameBuf(%d): len %d", n, len(b))
+		}
+		putFrameBuf(b)
+	}
+	// A recycled class buffer comes back with its class capacity.
+	b := frameBuf(300)
+	if cap(b) != 1<<10 {
+		t.Errorf("frameBuf(300): cap %d, want %d", cap(b), 1<<10)
+	}
+	putFrameBuf(b)
+}

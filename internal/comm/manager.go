@@ -49,6 +49,14 @@ type pendingCall struct {
 	ch chan *Envelope
 }
 
+// dedupKey identifies one session request for the at-most-once cache: the
+// sender, its incarnation, and the per-incarnation sequence number.
+type dedupKey struct {
+	from  types.NodeID
+	epoch uint64
+	seq   uint64
+}
+
 // Manager is one node's Communication Manager.
 type Manager struct {
 	node      types.NodeID
@@ -65,7 +73,9 @@ type Manager struct {
 	pending  map[uint64]*pendingCall
 	// seen caches replies to already-processed session requests so
 	// retransmissions are answered without re-executing (at-most-once).
-	seen   map[string]*Envelope
+	// Keyed by a comparable struct, not a formatted string: deliver runs
+	// once per inbound session message and a fmt key showed up in profiles.
+	seen   map[dedupKey]*Envelope
 	closed bool
 
 	// CallTimeout bounds one session attempt; Retries is how many
@@ -87,7 +97,7 @@ func New(node types.NodeID, transport Transport, rec *stats.Recorder) *Manager {
 		// with its predecessor's.
 		epoch:       uint64(time.Now().UnixNano()),
 		pending:     make(map[uint64]*pendingCall),
-		seen:        make(map[string]*Envelope),
+		seen:        make(map[dedupKey]*Envelope),
 		CallTimeout: 2 * time.Second,
 		Retries:     3,
 	}
@@ -349,7 +359,7 @@ func (m *Manager) deliver(env *Envelope) {
 	}
 	handler := m.services[env.Service]
 	if env.Kind == KindSession {
-		key := fmt.Sprintf("%s/%d/%d", env.From, env.Epoch, env.Seq)
+		key := dedupKey{from: env.From, epoch: env.Epoch, seq: env.Seq}
 		if cached, ok := m.seen[key]; ok {
 			m.mu.Unlock()
 			_ = m.transport.Send(cached)
@@ -374,7 +384,7 @@ func (m *Manager) deliver(env *Envelope) {
 		m.seen[key] = reply
 		// Bound the duplicate cache.
 		if len(m.seen) > 4096 {
-			m.seen = map[string]*Envelope{key: reply}
+			m.seen = map[dedupKey]*Envelope{key: reply}
 		}
 		m.mu.Unlock()
 		_ = m.transport.Send(reply)
@@ -395,7 +405,7 @@ func (m *Manager) Close() error {
 	pending := m.pending
 	m.pending = make(map[uint64]*pendingCall)
 	m.trees = make(map[types.TransID]*treeInfo)
-	m.seen = make(map[string]*Envelope)
+	m.seen = make(map[dedupKey]*Envelope)
 	m.mu.Unlock()
 	for _, pc := range pending {
 		select {

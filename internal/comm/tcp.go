@@ -1,8 +1,10 @@
 package comm
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -14,9 +16,20 @@ import (
 // ordered TCP stream; datagram envelopes share it but are fire-and-forget
 // (a failed send is swallowed, as a lost datagram would be).
 //
-// Peer addresses are static, as the workstation cluster's were. Every
-// envelope is self-describing (gob), and connections are (re)dialed on
-// demand, so nodes may start in any order and crashed peers may return.
+// Peer addresses are static, as the workstation cluster's were. Envelopes
+// travel in the length-framed binary form of codec.go, and connections are
+// (re)dialed on demand, so nodes may start in any order and crashed peers
+// may return.
+//
+// Sends are asynchronous and coalesced: Send encodes the envelope into the
+// connection's pending buffer and returns; a per-connection writer goroutine
+// drains whatever has accumulated in one Write call. Messages queued by
+// concurrent senders during one write cycle thus share a single syscall,
+// and the two pending buffers are reused forever — the send path allocates
+// nothing in steady state. An envelope accepted by Send can still be lost
+// if the connection dies before the writer flushes it; that is the same
+// contract as before (a TCP send can be buffered by the OS and lost on
+// RST), and the session layer's retransmission recovers.
 type TCPTransport struct {
 	self  types.NodeID
 	ln    net.Listener
@@ -29,24 +42,13 @@ type TCPTransport struct {
 }
 
 type tcpConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	mu  sync.Mutex
-}
+	c net.Conn
 
-// wireEnvelope is the gob wire form of Envelope (exported fields only; it
-// mirrors Envelope exactly and exists to keep the wire format explicit).
-type wireEnvelope struct {
-	From    types.NodeID
-	To      types.NodeID
-	Kind    Kind
-	Epoch   uint64
-	Seq     uint64
-	IsReply bool
-	Service string
-	TID     types.TransID
-	Payload []byte
-	Err     string
+	mu    sync.Mutex
+	out   []byte        // frames appended by senders, awaiting the writer
+	spare []byte        // the writer's drained buffer, recycled next cycle
+	wake  chan struct{} // 1-buffered doorbell for the writer
+	dead  bool          // no further enqueues; writer exits
 }
 
 // NewTCP starts a transport listening on listenAddr for node self, with
@@ -79,20 +81,98 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
-// startConn wraps a socket (dialed or accepted) with its single shared
-// encoder and starts its read loop.
+// startConn wraps a socket (dialed or accepted) and starts its read and
+// write loops.
 func (t *TCPTransport) startConn(c net.Conn) *tcpConn {
-	tc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	tc := &tcpConn{c: c, wake: make(chan struct{}, 1)}
 	go t.readLoop(tc)
+	go tc.writeLoop()
 	return tc
 }
 
+// enqueue stages env on the connection's pending buffer and rings the
+// writer. It reports false if the connection is already dead, in which case
+// nothing was staged.
+func (tc *tcpConn) enqueue(env *Envelope) bool {
+	tc.mu.Lock()
+	if tc.dead {
+		tc.mu.Unlock()
+		return false
+	}
+	tc.out = appendEnvelope(tc.out, env)
+	tc.mu.Unlock()
+	select {
+	case tc.wake <- struct{}{}:
+	default: // writer already signalled; it will see our bytes
+	}
+	return true
+}
+
+// kill marks the connection unusable and unblocks the writer. Safe to call
+// more than once.
+func (tc *tcpConn) kill() {
+	tc.mu.Lock()
+	tc.dead = true
+	tc.mu.Unlock()
+	tc.c.Close()
+	select {
+	case tc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop drains the pending buffer into the socket, one Write per
+// accumulated batch. The two buffers (out/spare) swap roles each cycle, so
+// steady-state sending allocates nothing and concurrent senders' frames
+// coalesce into single syscalls.
+func (tc *tcpConn) writeLoop() {
+	for range tc.wake {
+		tc.mu.Lock()
+		if tc.dead {
+			tc.mu.Unlock()
+			return
+		}
+		batch := tc.out
+		tc.out = tc.spare[:0]
+		tc.spare = nil
+		tc.mu.Unlock()
+		if len(batch) == 0 {
+			tc.mu.Lock()
+			tc.spare = batch
+			tc.mu.Unlock()
+			continue
+		}
+		_, err := tc.c.Write(batch)
+		tc.mu.Lock()
+		tc.spare = batch[:0]
+		tc.mu.Unlock()
+		if err != nil {
+			tc.kill()
+			return
+		}
+	}
+}
+
 func (t *TCPTransport) readLoop(tc *tcpConn) {
-	defer tc.c.Close()
-	dec := gob.NewDecoder(tc.c)
+	defer tc.kill()
+	br := bufio.NewReaderSize(tc.c, 64<<10)
+	var hdr [4]byte
 	for {
-		var w wireEnvelope
-		if err := dec.Decode(&w); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		if n <= 0 || n > maxWireFrame {
+			return // framing lost; the connection is unusable
+		}
+		buf := frameBuf(n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			putFrameBuf(buf)
+			return
+		}
+		env, err := decodeEnvelope(buf)
+		putFrameBuf(buf)
+		if err != nil {
 			return
 		}
 		// Learn the sender's connection so replies (and future traffic)
@@ -100,20 +180,20 @@ func (t *TCPTransport) readLoop(tc *tcpConn) {
 		// dialable address for, such as tabsctl application nodes. The
 		// most recent inbound connection wins, so a peer that restarts
 		// under the same name (or reconnects) is reachable again. The
-		// replaced connection is closed: leaving it open would let an
-		// in-flight Send keep encoding onto a stream nobody reads (the
-		// restarted peer's old socket), silently losing the envelope. The
-		// close makes that Send fail and retry on the live connection.
-		if w.From != "" {
+		// replaced connection is killed: leaving it open would let Send
+		// keep queueing onto a stream nobody reads (the restarted peer's
+		// old socket), silently losing envelopes. The kill makes those
+		// enqueues fail and retry on the live connection.
+		if env.From != "" {
 			var stale *tcpConn
 			t.mu.Lock()
-			if !t.closed && t.conns[w.From] != tc {
-				stale = t.conns[w.From]
-				t.conns[w.From] = tc
+			if !t.closed && t.conns[env.From] != tc {
+				stale = t.conns[env.From]
+				t.conns[env.From] = tc
 			}
 			t.mu.Unlock()
 			if stale != nil {
-				stale.c.Close()
+				stale.kill()
 			}
 		}
 		t.mu.Lock()
@@ -124,8 +204,7 @@ func (t *TCPTransport) readLoop(tc *tcpConn) {
 			return
 		}
 		if recv != nil {
-			env := Envelope(w)
-			go recv(&env)
+			go recv(env)
 		}
 	}
 }
@@ -176,21 +255,18 @@ func (t *TCPTransport) dropConn(peer types.NodeID, tc *tcpConn) {
 		delete(t.conns, peer)
 	}
 	t.mu.Unlock()
-	tc.c.Close()
+	tc.kill()
 }
 
 // Send implements Transport. A connection can be replaced under a sender's
 // feet (the peer restarted and redialed us, or its read loop died), so each
-// attempt encodes under that connection's own mutex — two senders can never
-// interleave gob frames on one stream — and a failed encode drops the dead
-// connection and retries on a freshly looked-up (possibly redialed) one.
-// The retry loop is bounded: a persistently unreachable peer surfaces
-// ErrUnreachable and the session layer's retransmission takes over. An
-// encoder that has failed once is never written again (gob's stream state
-// is undefined after a partial write); dropConn guarantees the next
-// attempt gets a different connection.
+// attempt enqueues under that connection's own mutex — two senders can
+// never interleave frames on one stream — and an enqueue refused by a dead
+// connection drops it and retries on a freshly looked-up (possibly
+// redialed) one. The retry loop is bounded: a persistently unreachable peer
+// surfaces ErrUnreachable and the session layer's retransmission takes
+// over.
 func (t *TCPTransport) Send(env *Envelope) error {
-	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		tc, err := t.conn(env.To)
 		if err != nil {
@@ -199,19 +275,15 @@ func (t *TCPTransport) Send(env *Envelope) error {
 			}
 			return err
 		}
-		tc.mu.Lock()
-		err = tc.enc.Encode((*wireEnvelope)(env))
-		tc.mu.Unlock()
-		if err == nil {
+		if tc.enqueue(env) {
 			return nil
 		}
 		t.dropConn(env.To, tc)
 		if env.Kind == KindDatagram {
 			return nil
 		}
-		lastErr = err
 	}
-	return fmt.Errorf("%w: %s (%v)", ErrUnreachable, env.To, lastErr)
+	return fmt.Errorf("%w: %s (connection kept dying)", ErrUnreachable, env.To)
 }
 
 // Peers implements Transport.
@@ -231,7 +303,7 @@ func (t *TCPTransport) Close() error {
 	t.conns = make(map[types.NodeID]*tcpConn)
 	t.mu.Unlock()
 	for _, tc := range conns {
-		tc.c.Close()
+		tc.kill()
 	}
 	return t.ln.Close()
 }

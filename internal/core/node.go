@@ -24,7 +24,6 @@ import (
 	"tabs/internal/kernel"
 	"tabs/internal/lock"
 	"tabs/internal/nameserver"
-	"tabs/internal/port"
 	"tabs/internal/recovery"
 	"tabs/internal/simclock"
 	"tabs/internal/srvlib"
@@ -372,20 +371,11 @@ func (n *Node) Call(server types.ServerID, op string, tid types.TransID, body []
 		return nil, fmt.Errorf("%w: %q", ErrNoServer, server)
 	}
 	n.rec.Record(simclock.DataServerCall)
-	reply := port.New(string(server)+".call", nil)
-	defer reply.Close()
-	msg := &port.Message{Op: op, TID: tid, Body: body, ReplyTo: reply}
-	if err := s.Port().SendQuiet(msg); err != nil {
-		return nil, err
-	}
-	resp, err := reply.Receive()
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return resp.Body, errors.New(resp.Err)
-	}
-	return resp.Body, nil
+	// Synchronous fast path: enter the server's monitor directly. The
+	// request/response pair is still one Data Server Call primitive; the
+	// reply port and serving goroutine of the message path are pure
+	// implementation overhead for a same-node call.
+	return s.Invoke(op, tid, body)
 }
 
 // CallRemote invokes op on a data server at another node within tid,
@@ -424,20 +414,7 @@ func (n *Node) handleRemoteCall(from types.NodeID, tid types.TransID, payload []
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoServer, server)
 	}
-	reply := port.New(string(server)+".remote", nil)
-	defer reply.Close()
-	msg := &port.Message{Op: op, TID: tid, Body: body, ReplyTo: reply}
-	if err := s.Port().SendQuiet(msg); err != nil {
-		return nil, err
-	}
-	resp, rerr := reply.Receive()
-	if rerr != nil {
-		return nil, rerr
-	}
-	if resp.Err != "" {
-		return resp.Body, errors.New(resp.Err)
-	}
-	return resp.Body, nil
+	return s.Invoke(op, tid, body)
 }
 
 // handleTraceControl serves tabsctl's trace/metrics queries. The payload

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tabs/internal/disk"
 	"tabs/internal/simclock"
@@ -65,25 +66,41 @@ type segment struct {
 }
 
 type frame struct {
-	page   types.PageID
+	page types.PageID
+	// mu guards data, dirty and header. Readers on the hit path hold it
+	// shared together with the kernel's read lock; every mutation holds
+	// the kernel's write lock and this lock exclusively, so two cache
+	// hits never contend with each other.
+	mu     sync.RWMutex
 	data   []byte
 	dirty  bool
+	dead   bool // evicted or discarded; retry via the slow path
 	pin    int
-	header uint64 // sector header as read at fault time
-	tick   uint64 // LRU clock
+	header uint64        // sector header as read at fault time
+	tick   atomic.Uint64 // LRU clock
 }
 
 // Kernel is one node's paging kernel. Safe for concurrent use.
+//
+// Concurrency model ("lock-free reads, coarse write lock"): mu is a
+// RWMutex. The read hit path takes it shared — many concurrent readers
+// proceed without queueing — plus the target frame's shared lock for the
+// data copy. Everything that mutates kernel structure (faults, writes,
+// evictions, pins, flushes) takes mu exclusively, and additionally the
+// frame's exclusive lock while mutating frame contents. The LRU clock is
+// atomic so hits can bump recency without any exclusive lock. A frame
+// evicted while a reader was between map lookup and copy is marked dead;
+// dead frames send the reader back through the slow path.
 type Kernel struct {
 	d   *disk.Disk
 	rec *stats.Recorder
 	tr  *trace.Tracer
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	segs      map[types.SegmentID]*segment
 	frames    map[types.PageID]*frame
 	poolSize  int
-	tick      uint64
+	tick      atomic.Uint64
 	pager     Pager
 	lastFault types.PageID
 	haveLast  bool
@@ -175,11 +192,10 @@ func (k *Kernel) sectorOf(p types.PageID) (disk.Addr, error) {
 }
 
 // fault ensures page p is resident and returns its frame. Caller holds
-// k.mu.
+// k.mu exclusively.
 func (k *Kernel) fault(p types.PageID) (*frame, error) {
 	if f, ok := k.frames[p]; ok {
-		k.tick++
-		f.tick = k.tick
+		f.tick.Store(k.tick.Add(1))
 		return f, nil
 	}
 	addr, err := k.sectorOf(p)
@@ -197,8 +213,7 @@ func (k *Kernel) fault(p types.PageID) (*frame, error) {
 		return nil, fmt.Errorf("kernel: fault-in %v: %w", p, err)
 	}
 	f.header = header
-	k.tick++
-	f.tick = k.tick
+	f.tick.Store(k.tick.Add(1))
 	k.frames[p] = f
 	k.faults++
 	if k.rec != nil {
@@ -216,15 +231,16 @@ func (k *Kernel) fault(p types.PageID) (*frame, error) {
 }
 
 // evictOne removes the least recently used unpinned frame, writing it back
-// under the pager protocol if dirty. Caller holds k.mu.
+// under the pager protocol if dirty. Caller holds k.mu exclusively.
 func (k *Kernel) evictOne() error {
 	var victim *frame
+	var victimTick uint64
 	for _, f := range k.frames {
 		if f.pin > 0 {
 			continue
 		}
-		if victim == nil || f.tick < victim.tick {
-			victim = f
+		if t := f.tick.Load(); victim == nil || t < victimTick {
+			victim, victimTick = f, t
 		}
 	}
 	if victim == nil {
@@ -238,6 +254,12 @@ func (k *Kernel) evictOne() error {
 		}
 		k.tr.Count("kernel.steal.count", 1)
 	}
+	// Mark the frame dead under its exclusive lock: a reader that fetched
+	// the frame pointer before this eviction will see the flag and retry
+	// through the slow path instead of reading recycled contents.
+	victim.mu.Lock()
+	victim.dead = true
+	victim.mu.Unlock()
 	delete(k.frames, victim.page)
 	k.evictions++
 	k.tr.Count("kernel.evict.count", 1)
@@ -269,8 +291,10 @@ func (k *Kernel) writeBackLocked(f *frame) error {
 	if werr != nil {
 		return fmt.Errorf("kernel: writing back %v: %w", f.page, werr)
 	}
+	f.mu.Lock()
 	f.dirty = false
 	f.header = header
+	f.mu.Unlock()
 	return nil
 }
 
@@ -287,14 +311,18 @@ func (k *Kernel) checkRange(obj types.ObjectID) error {
 }
 
 // Read copies the bytes of obj out of the mapped segment, faulting pages in
-// as needed.
+// as needed. Cache hits run entirely under shared locks; only a miss (or a
+// frame evicted mid-read) falls back to the exclusive-lock fault path.
 func (k *Kernel) Read(obj types.ObjectID) ([]byte, error) {
+	out := make([]byte, obj.Length)
+	if k.readResident(obj, out) {
+		return out, nil
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if err := k.checkRange(obj); err != nil {
 		return nil, err
 	}
-	out := make([]byte, obj.Length)
 	for n := uint32(0); n < obj.Length; {
 		off := obj.Offset + n
 		p := types.PageID{Segment: obj.Segment, Page: off / types.PageSize}
@@ -306,6 +334,37 @@ func (k *Kernel) Read(obj types.ObjectID) ([]byte, error) {
 		n += uint32(copy(out[n:], f.data[in:]))
 	}
 	return out, nil
+}
+
+// readResident copies obj into out if every page it touches is resident,
+// taking only shared locks. Returns false — without partial effects the
+// caller cares about — when a page misses, a frame died under us, or the
+// range is invalid; the slow path re-runs the full read.
+func (k *Kernel) readResident(obj types.ObjectID, out []byte) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if k.checkRange(obj) != nil {
+		return false // slow path reproduces the error
+	}
+	for n := uint32(0); n < obj.Length; {
+		off := obj.Offset + n
+		p := types.PageID{Segment: obj.Segment, Page: off / types.PageSize}
+		f := k.frames[p]
+		if f == nil {
+			return false
+		}
+		f.mu.RLock()
+		if f.dead {
+			f.mu.RUnlock()
+			return false
+		}
+		in := off % types.PageSize
+		c := copy(out[n:], f.data[in:])
+		f.mu.RUnlock()
+		f.tick.Store(k.tick.Add(1))
+		n += uint32(c)
+	}
+	return true
 }
 
 // Write stores data at obj, faulting pages in and reporting first-dirty
@@ -329,14 +388,19 @@ func (k *Kernel) Write(obj types.ObjectID, data []byte) error {
 			return err
 		}
 		if !f.dirty {
+			f.mu.Lock()
 			f.dirty = true
+			f.mu.Unlock()
 			if k.rec != nil {
 				k.rec.Record(simclock.SmallMsg) // message 1: first-dirty
 			}
 			k.pager.PageFirstDirtied(p)
 		}
 		in := off % types.PageSize
-		n += uint32(copy(f.data[in:], data[n:]))
+		f.mu.Lock()
+		c := copy(f.data[in:], data[n:])
+		f.mu.Unlock()
+		n += uint32(c)
 	}
 	return nil
 }
@@ -483,9 +547,11 @@ func (k *Kernel) WriteDirect(obj types.ObjectID, data []byte, header uint64) err
 		}
 		// Keep any resident copy coherent.
 		if f, ok := k.frames[p]; ok {
+			f.mu.Lock()
 			copy(f.data, page[:])
 			f.header = header
 			f.dirty = false
+			f.mu.Unlock()
 		}
 		n += uint32(c)
 	}
@@ -498,6 +564,11 @@ func (k *Kernel) WriteDirect(obj types.ObjectID, data []byte, header uint64) err
 func (k *Kernel) Crash() {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	for _, f := range k.frames {
+		f.mu.Lock()
+		f.dead = true
+		f.mu.Unlock()
+	}
 	k.frames = make(map[types.PageID]*frame)
 	k.haveLast = false
 	k.crashed = true

@@ -13,12 +13,24 @@
 // to synchronization (§2.1.3), so the lock owner is the full TransID, not
 // its top-level ancestor; two subtransactions of one parent can deadlock
 // against each other, exactly as the paper warns.
+//
+// The lock table is sharded: objects hash into independently-locked
+// buckets, each with its own object map and per-object FIFO wait queues,
+// so concurrent acquisitions of unrelated objects never contend on a
+// manager-wide mutex. A separate small table shards the per-transaction
+// held-object index by TransID, keeping ReleaseAll proportional to the
+// locks actually held rather than to the bucket count. Lock ordering is
+// strictly bucket → TID shard; no path holds a TID shard while taking a
+// bucket, so sweeps (Close, ReleaseAll) iterate buckets without a global
+// freeze.
 package lock
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tabs/internal/trace"
@@ -51,7 +63,23 @@ func (m Mode) String() string {
 	case ModeWrite:
 		return "write"
 	default:
-		return fmt.Sprintf("user(%d)", int(m))
+		return string(m.AppendString(make([]byte, 0, 16)))
+	}
+}
+
+// AppendString appends the String form to b without allocating.
+func (m Mode) AppendString(b []byte) []byte {
+	switch m {
+	case ModeNone:
+		return append(b, "none"...)
+	case ModeRead:
+		return append(b, "read"...)
+	case ModeWrite:
+		return append(b, "write"...)
+	default:
+		b = append(b, "user("...)
+		b = strconv.AppendInt(b, int64(m), 10)
+		return append(b, ')')
 	}
 }
 
@@ -100,17 +128,52 @@ type entry struct {
 	queue   []*waiter
 }
 
+// numBuckets shards the object table; a power of two so the bucket index
+// is a mask. 64 buckets keeps per-bucket contention negligible even at a
+// few hundred concurrent transactions while the table stays small enough
+// for sweeps to walk cheaply.
+const numBuckets = 64
+
+// bucket is one independently-locked slice of the object table.
+type bucket struct {
+	mu      sync.Mutex
+	objects map[types.ObjectID]*entry
+}
+
+// numTIDShards shards the per-transaction held-object index.
+const numTIDShards = 16
+
+// tidShard holds the held-object sets of the transactions hashing to it.
+type tidShard struct {
+	mu   sync.Mutex
+	held map[types.TransID]map[types.ObjectID]struct{}
+}
+
+// tracing bundles the tracer with its cached counter handles so the hot
+// path bumps atomics instead of taking the tracer mutex per event.
+type tracing struct {
+	tr        *trace.Tracer
+	grants    *trace.Counter
+	waits     *trace.Counter
+	timeouts  *trace.Counter
+	conflicts *trace.Counter
+}
+
 // Manager is one data server's lock table. The zero value is not usable;
 // call New.
 type Manager struct {
-	mu      sync.Mutex
 	compat  Compat
-	timeout time.Duration
-	objects map[types.ObjectID]*entry
-	byTID   map[types.TransID]map[types.ObjectID]struct{}
-	stats   Stats
-	tr      *trace.Tracer
-	closed  bool
+	timeout atomic.Int64 // nanoseconds
+	closed  atomic.Bool
+	trc     atomic.Pointer[tracing]
+
+	buckets [numBuckets]bucket
+	tids    [numTIDShards]tidShard
+
+	grants    atomic.Int64
+	waits     atomic.Int64
+	timeouts  atomic.Int64
+	conflicts atomic.Int64
 }
 
 // DefaultTimeout is the lock wait time-out when none is configured. The
@@ -131,40 +194,69 @@ func NewTyped(compat Compat, timeout time.Duration) *Manager {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Manager{
-		compat:  compat,
-		timeout: timeout,
-		objects: make(map[types.ObjectID]*entry),
-		byTID:   make(map[types.TransID]map[types.ObjectID]struct{}),
+	m := &Manager{compat: compat}
+	m.timeout.Store(int64(timeout))
+	for i := range m.buckets {
+		m.buckets[i].objects = make(map[types.ObjectID]*entry)
 	}
+	for i := range m.tids {
+		m.tids[i].held = make(map[types.TransID]map[types.ObjectID]struct{})
+	}
+	return m
 }
 
 // AttachTracer points the manager's lock.block/lock.timeout spans and
 // counters at tr. A nil tracer disables them.
 func (m *Manager) AttachTracer(tr *trace.Tracer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tr = tr
+	if tr == nil {
+		m.trc.Store(nil)
+		return
+	}
+	m.trc.Store(&tracing{
+		tr:        tr,
+		grants:    tr.Counter("lock.grants"),
+		waits:     tr.Counter("lock.waits"),
+		timeouts:  tr.Counter("lock.timeouts"),
+		conflicts: tr.Counter("lock.conflicts"),
+	})
 }
 
 // SetTimeout changes the lock wait time-out for subsequent acquisitions.
 func (m *Manager) SetTimeout(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if d > 0 {
-		m.timeout = d
+		m.timeout.Store(int64(d))
 	}
 }
 
 // Stats returns a snapshot of lock-manager event counts.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Grants:    m.grants.Load(),
+		Waits:     m.waits.Load(),
+		Timeouts:  m.timeouts.Load(),
+		Conflicts: m.conflicts.Load(),
+	}
+}
+
+// bucketFor hashes obj to its bucket.
+func (m *Manager) bucketFor(obj types.ObjectID) *bucket {
+	h := uint32(obj.Segment)*0x9e3779b1 ^ obj.Offset*0x85ebca77 ^ obj.Length*0xc2b2ae3d
+	h ^= h >> 16
+	return &m.buckets[h&(numBuckets-1)]
+}
+
+// tidShardFor hashes tid to its shard of the held-object index.
+func (m *Manager) tidShardFor(tid types.TransID) *tidShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tid.Node); i++ {
+		h = (h ^ uint64(tid.Node[i])) * 1099511628211
+	}
+	h ^= tid.Seq * 0x9e3779b97f4a7c15
+	return &m.tids[h&(numTIDShards-1)]
 }
 
 // grantable reports whether tid may take mode on e right now. Caller holds
-// m.mu.
+// the bucket mutex.
 func (m *Manager) grantable(e *entry, tid types.TransID, mode Mode) bool {
 	for hTID, h := range e.holders {
 		if hTID == tid {
@@ -179,7 +271,8 @@ func (m *Manager) grantable(e *entry, tid types.TransID, mode Mode) bool {
 	return true
 }
 
-// grant records the lock. Caller holds m.mu.
+// grant records the lock. Caller holds the bucket mutex; the TID shard is
+// taken nested (bucket → shard is the package lock order).
 func (m *Manager) grant(e *entry, obj types.ObjectID, tid types.TransID, mode Mode) {
 	h := e.holders[tid]
 	if h == nil {
@@ -187,56 +280,71 @@ func (m *Manager) grant(e *entry, obj types.ObjectID, tid types.TransID, mode Mo
 		e.holders[tid] = h
 	}
 	h.modes[mode]++
-	set := m.byTID[tid]
+	ts := m.tidShardFor(tid)
+	ts.mu.Lock()
+	set := ts.held[tid]
 	if set == nil {
 		set = make(map[types.ObjectID]struct{})
-		m.byTID[tid] = set
+		ts.held[tid] = set
 	}
 	set[obj] = struct{}{}
-	m.stats.Grants++
-	m.tr.Count("lock.grants", 1)
+	ts.mu.Unlock()
+	m.grants.Add(1)
+	if trc := m.trc.Load(); trc != nil {
+		trc.grants.Add(1)
+	}
 }
 
 // Lock acquires mode on obj for tid, waiting (up to the time-out) if an
 // incompatible lock is held. This is LockObject of Table 3-1.
 func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	b := m.bucketFor(obj)
+	b.mu.Lock()
+	// Re-checked under the bucket mutex: Close sets the flag before
+	// sweeping buckets, so seeing it clear here means our bucket's sweep
+	// is still to come and will fail any waiter we enqueue.
+	if m.closed.Load() {
+		b.mu.Unlock()
 		return ErrClosed
 	}
-	e := m.objects[obj]
+	e := b.objects[obj]
 	if e == nil {
 		e = &entry{holders: make(map[types.TransID]*holder)}
-		m.objects[obj] = e
+		b.objects[obj] = e
 	}
 	// Grant immediately only if no earlier waiter would be starved by a
 	// compatible barge-in... TABS servers are single-threaded coroutine
 	// monitors, so simple compatibility-grant matches its behaviour.
 	if m.grantable(e, tid, mode) && len(e.queue) == 0 {
 		m.grant(e, obj, tid, mode)
-		m.mu.Unlock()
+		b.mu.Unlock()
 		return nil
 	}
 	// Upgrades bypass the queue: a transaction already holding the object
 	// must not queue behind waiters it blocks (classic upgrade rule).
 	if _, holds := e.holders[tid]; holds && m.grantable(e, tid, mode) {
 		m.grant(e, obj, tid, mode)
-		m.mu.Unlock()
+		b.mu.Unlock()
 		return nil
 	}
 	w := &waiter{tid: tid, mode: mode, ready: make(chan struct{})}
 	e.queue = append(e.queue, w)
-	m.stats.Waits++
-	m.tr.Count("lock.waits", 1)
-	// The block span names the transactions holding the object, the first
-	// question a stuck-transaction investigation asks.
-	sp := m.tr.Begin("lock", "block").SetTID(tid).Annotatef("obj=%v", obj).Annotatef("mode=%v", mode)
-	for hTID := range e.holders {
-		sp.Annotatef("holder=%v", hTID)
+	m.waits.Add(1)
+	trc := m.trc.Load()
+	var sp *trace.ActiveSpan
+	if trc != nil {
+		trc.waits.Add(1)
+		// The block span names the transactions holding the object, the
+		// first question a stuck-transaction investigation asks.
+		sp = trace.SetTIDAppend(trc.tr.Begin("lock", "block"), tid)
+		trace.AnnotateAppend(sp, "obj=", obj)
+		trace.AnnotateAppend(sp, "mode=", mode)
+		for hTID := range e.holders {
+			trace.AnnotateAppend(sp, "holder=", hTID)
+		}
 	}
-	timeout := m.timeout
-	m.mu.Unlock()
+	timeout := time.Duration(m.timeout.Load())
+	b.mu.Unlock()
 
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -248,11 +356,11 @@ func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
 		}
 		return nil
 	case <-timer.C:
-		m.mu.Lock()
+		b.mu.Lock()
 		// Re-check: the grant may have raced the timer.
 		select {
 		case <-w.ready:
-			m.mu.Unlock()
+			b.mu.Unlock()
 			sp.EndErr(w.err)
 			if w.err != nil {
 				return w.err
@@ -260,20 +368,22 @@ func (m *Manager) Lock(tid types.TransID, obj types.ObjectID, mode Mode) error {
 			return nil
 		default:
 		}
-		m.removeWaiter(e, w)
-		m.stats.Timeouts++
-		m.tr.Count("lock.timeouts", 1)
+		removeWaiter(e, w)
+		m.timeouts.Add(1)
+		if trc != nil {
+			trc.timeouts.Add(1)
+		}
 		// Our departure may unblock waiters behind us.
 		m.wakeLocked(obj, e)
-		m.mu.Unlock()
+		b.mu.Unlock()
 		err := fmt.Errorf("%w: %v on %v", ErrTimeout, mode, obj)
 		sp.Annotate("timeout=true").EndErr(err)
 		return err
 	}
 }
 
-// removeWaiter deletes w from e's queue. Caller holds m.mu.
-func (m *Manager) removeWaiter(e *entry, w *waiter) {
+// removeWaiter deletes w from e's queue. Caller holds the bucket mutex.
+func removeWaiter(e *entry, w *waiter) {
 	for i, q := range e.queue {
 		if q == w {
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
@@ -286,23 +396,26 @@ func (m *Manager) removeWaiter(e *entry, w *waiter) {
 // immediately if unavailable. This is ConditionallyLockObject of Table 3-1,
 // added for the weak queue server (§4.2).
 func (m *Manager) TryLock(tid types.TransID, obj types.ObjectID, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	b := m.bucketFor(obj)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m.closed.Load() {
 		return false
 	}
-	e := m.objects[obj]
+	e := b.objects[obj]
 	if e == nil {
 		e = &entry{holders: make(map[types.TransID]*holder)}
-		m.objects[obj] = e
+		b.objects[obj] = e
 	}
 	_, holds := e.holders[tid]
 	if m.grantable(e, tid, mode) && (len(e.queue) == 0 || holds) {
 		m.grant(e, obj, tid, mode)
 		return true
 	}
-	m.stats.Conflicts++
-	m.tr.Count("lock.conflicts", 1)
+	m.conflicts.Add(1)
+	if trc := m.trc.Load(); trc != nil {
+		trc.conflicts.Add(1)
+	}
 	return false
 }
 
@@ -310,17 +423,19 @@ func (m *Manager) TryLock(tid types.TransID, obj types.ObjectID, mode Mode) bool
 // IsObjectLocked of Table 3-1, which the weak queue and IO servers use to
 // observe transaction progress (§4.2, §4.3).
 func (m *Manager) IsLocked(obj types.ObjectID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.objects[obj]
+	b := m.bucketFor(obj)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.objects[obj]
 	return e != nil && len(e.holders) > 0
 }
 
 // HeldBy reports whether tid holds a lock on obj, and in which modes.
 func (m *Manager) HeldBy(tid types.TransID, obj types.ObjectID) (bool, []Mode) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.objects[obj]
+	b := m.bucketFor(obj)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.objects[obj]
 	if e == nil {
 		return false, nil
 	}
@@ -337,10 +452,11 @@ func (m *Manager) HeldBy(tid types.TransID, obj types.ObjectID) (bool, []Mode) {
 
 // Held returns every object tid currently holds locks on.
 func (m *Manager) Held(tid types.TransID) []types.ObjectID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]types.ObjectID, 0, len(m.byTID[tid]))
-	for obj := range m.byTID[tid] {
+	ts := m.tidShardFor(tid)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]types.ObjectID, 0, len(ts.held[tid]))
+	for obj := range ts.held[tid] {
 		out = append(out, obj)
 	}
 	return out
@@ -348,26 +464,36 @@ func (m *Manager) Held(tid types.TransID) []types.ObjectID {
 
 // ReleaseAll drops every lock held by tid and wakes eligible waiters. The
 // server library calls this automatically at commit or abort time (§3.1.1:
-// "All unlocking is done automatically by the server library").
+// "All unlocking is done automatically by the server library"). Only the
+// buckets that actually hold tid's locks are visited; concurrent
+// acquisitions in other buckets proceed undisturbed.
 func (m *Manager) ReleaseAll(tid types.TransID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for obj := range m.byTID[tid] {
-		e := m.objects[obj]
+	ts := m.tidShardFor(tid)
+	ts.mu.Lock()
+	set := ts.held[tid]
+	delete(ts.held, tid)
+	ts.mu.Unlock()
+	for obj := range set {
+		b := m.bucketFor(obj)
+		b.mu.Lock()
+		e := b.objects[obj]
 		if e == nil {
+			b.mu.Unlock()
 			continue
 		}
 		delete(e.holders, tid)
 		m.wakeLocked(obj, e)
 		if len(e.holders) == 0 && len(e.queue) == 0 {
-			delete(m.objects, obj)
+			delete(b.objects, obj)
 		}
+		b.mu.Unlock()
 	}
-	delete(m.byTID, tid)
 }
 
 // wakeLocked grants queued waiters in FIFO order while they are
-// grantable. Caller holds m.mu.
+// grantable: the scan stops at the first incompatible waiter, so a
+// release wakes exactly the compatible FIFO prefix — never the whole
+// queue. Caller holds the bucket mutex.
 func (m *Manager) wakeLocked(obj types.ObjectID, e *entry) {
 	for len(e.queue) > 0 {
 		w := e.queue[0]
@@ -381,18 +507,27 @@ func (m *Manager) wakeLocked(obj types.ObjectID, e *entry) {
 }
 
 // Close fails all waiters and empties the table; used by Node.Crash to
-// model loss of the volatile lock state.
+// model loss of the volatile lock state. Buckets are swept one at a time —
+// no global freeze.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
-	for _, e := range m.objects {
-		for _, w := range e.queue {
-			w.err = ErrClosed
-			close(w.ready)
+	m.closed.Store(true)
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for _, e := range b.objects {
+			for _, w := range e.queue {
+				w.err = ErrClosed
+				close(w.ready)
+			}
+			e.queue = nil
 		}
-		e.queue = nil
+		b.objects = make(map[types.ObjectID]*entry)
+		b.mu.Unlock()
 	}
-	m.objects = make(map[types.ObjectID]*entry)
-	m.byTID = make(map[types.TransID]map[types.ObjectID]struct{})
+	for i := range m.tids {
+		ts := &m.tids[i]
+		ts.mu.Lock()
+		ts.held = make(map[types.TransID]map[types.ObjectID]struct{})
+		ts.mu.Unlock()
+	}
 }

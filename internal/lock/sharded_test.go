@@ -1,0 +1,262 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tabs/internal/types"
+)
+
+// Tests for the sharded lock table: wakeup fairness (no thundering herd,
+// no writer starvation) and cross-bucket concurrency under the race
+// detector.
+
+func shardedTID(i int) types.TransID {
+	return types.TransID{Node: "n", Seq: uint64(i), RootNode: "n", RootSeq: uint64(i)}
+}
+
+// TestWriterNotStarvedByReaderStream is the starvation regression test for
+// the release-time wakeup policy: a queued writer must not be overtaken by
+// readers that arrive after it, even though those readers are compatible
+// with the lock's current holders. Release must wake only the compatible
+// FIFO prefix — here, the writer alone.
+func TestWriterNotStarvedByReaderStream(t *testing.T) {
+	m := New()
+	obj := types.ObjectID{Segment: 1, Offset: 0, Length: 8}
+	holder := shardedTID(1)
+	if err := m.Lock(holder, obj, ModeRead); err != nil {
+		t.Fatalf("holder read: %v", err)
+	}
+
+	grantOrder := make(chan string, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(shardedTID(2), obj, ModeWrite); err != nil {
+			t.Errorf("writer: %v", err)
+			return
+		}
+		grantOrder <- "writer"
+		m.ReleaseAll(shardedTID(2))
+	}()
+	waitForWaits(t, m, 1)
+
+	// Late readers: compatible with the current holder but behind the
+	// writer in the queue. A thundering-herd broadcast would grant them
+	// now; FIFO-prefix wakeup must hold them back.
+	const readers = 4
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := m.Lock(shardedTID(10+i), obj, ModeRead); err != nil {
+				t.Errorf("late reader %d: %v", i, err)
+				return
+			}
+			grantOrder <- "reader"
+			m.ReleaseAll(shardedTID(10 + i))
+		}(i)
+	}
+	waitForWaits(t, m, 1+readers)
+
+	m.ReleaseAll(holder)
+	wg.Wait()
+	close(grantOrder)
+	first := <-grantOrder
+	if first != "writer" {
+		t.Fatalf("first grant after release went to a %s; writer was starved", first)
+	}
+}
+
+// TestReleaseWakesOnlyCompatiblePrefix pins down the wakeup set: with a
+// queue of [writer, reader, reader], releasing the holder grants exactly
+// the writer; the readers stay queued until the writer releases.
+func TestReleaseWakesOnlyCompatiblePrefix(t *testing.T) {
+	m := New()
+	obj := types.ObjectID{Segment: 1, Offset: 64, Length: 8}
+	holder := shardedTID(1)
+	if err := m.Lock(holder, obj, ModeWrite); err != nil {
+		t.Fatalf("holder write: %v", err)
+	}
+
+	var granted atomic.Int32
+	writerIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(shardedTID(2), obj, ModeWrite); err != nil {
+			t.Errorf("writer: %v", err)
+			return
+		}
+		granted.Add(1)
+		<-writerIn
+		m.ReleaseAll(shardedTID(2))
+	}()
+	waitForWaits(t, m, 1)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := m.Lock(shardedTID(10+i), obj, ModeRead); err != nil {
+				t.Errorf("reader %d: %v", i, err)
+				return
+			}
+			granted.Add(1)
+			m.ReleaseAll(shardedTID(10 + i))
+		}(i)
+	}
+	waitForWaits(t, m, 3)
+
+	m.ReleaseAll(holder)
+	deadline := time.Now().Add(time.Second)
+	for granted.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Give a broadcast-style bug a moment to over-grant.
+	//tabslint:ignore sleepsync negative check: there is no event to wait on — the sleep gives an over-granting bug time to manifest before asserting nothing extra happened
+	time.Sleep(20 * time.Millisecond)
+	if g := granted.Load(); g != 1 {
+		t.Fatalf("release granted %d waiters; want exactly the writer", g)
+	}
+	close(writerIn) // writer releases; readers drain
+	wg.Wait()
+	if g := granted.Load(); g != 3 {
+		t.Fatalf("after writer release %d grants; want 3", g)
+	}
+}
+
+func waitForWaits(t *testing.T, m *Manager, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Stats().Waits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued waiters (have %d)", n, m.Stats().Waits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedStress drives concurrent acquire/upgrade/release traffic over
+// objects spread across every bucket; run under -race it checks the
+// sharded table's internal synchronization, and its invariant check
+// catches incompatible simultaneous grants.
+func TestShardedStress(t *testing.T) {
+	m := NewTyped(nil, 2*time.Second)
+	const (
+		goroutines = 8
+		objects    = 256 // spread over all 64 buckets
+		iters      = 300
+	)
+	// writersOn tracks, per object, how many writers believe they hold it;
+	// readers assert it is zero while they hold the read lock.
+	var writersOn [objects]atomic.Int32
+
+	objFor := func(i int) types.ObjectID {
+		return types.ObjectID{Segment: types.SegmentID(i % 7), Offset: uint32(i) * 16, Length: 8}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint32(g*2654435761 + 1)
+			next := func(n int) int {
+				rnd = rnd*1664525 + 1013904223
+				return int(rnd % uint32(n))
+			}
+			for i := 0; i < iters; i++ {
+				tid := shardedTID(g*1000 + i)
+				a, b := next(objects), next(objects)
+				if err := m.Lock(tid, objFor(a), ModeRead); err != nil {
+					t.Errorf("g%d read %d: %v", g, a, err)
+					return
+				}
+				if n := writersOn[a].Load(); n != 0 {
+					t.Errorf("g%d reads object %d while %d writers hold it", g, a, n)
+				}
+				switch next(3) {
+				case 0: // upgrade own read to write
+					if err := m.Lock(tid, objFor(a), ModeWrite); err == nil {
+						writersOn[a].Add(1)
+						writersOn[a].Add(-1)
+					}
+				case 1: // write a second object
+					if err := m.Lock(tid, objFor(b), ModeWrite); err == nil {
+						writersOn[b].Add(1)
+						if held, _ := m.HeldBy(tid, objFor(b)); !held {
+							t.Errorf("g%d granted write on %d but HeldBy denies it", g, b)
+						}
+						writersOn[b].Add(-1)
+					}
+				case 2: // conditional attempt
+					if m.TryLock(tid, objFor(b), ModeWrite) {
+						writersOn[b].Add(1)
+						writersOn[b].Add(-1)
+					}
+				}
+				m.ReleaseAll(tid)
+				if held := m.Held(tid); len(held) != 0 {
+					t.Errorf("g%d: %d locks survive ReleaseAll", g, len(held))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The table must drain: no object entries, no held-object index.
+	for i := 0; i < objects; i++ {
+		if m.IsLocked(objFor(i)) {
+			t.Fatalf("object %d still locked after all ReleaseAll", i)
+		}
+	}
+}
+
+// TestCloseDuringTraffic closes the manager while acquisitions are in
+// flight; every blocked waiter must fail promptly with ErrClosed and no
+// goroutine may hang (the per-bucket sweep race).
+func TestCloseDuringTraffic(t *testing.T) {
+	m := NewTyped(nil, 30*time.Second)
+	obj := types.ObjectID{Segment: 3, Offset: 0, Length: 8}
+	if err := m.Lock(shardedTID(1), obj, ModeWrite); err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			done <- m.Lock(shardedTID(2+i), obj, ModeWrite)
+		}(i)
+	}
+	waitForWaits(t, m, 8)
+	m.Close()
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("waiter %d granted after Close", i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d hung after Close", i)
+		}
+	}
+}
+
+// TestBucketSpread sanity-checks the object hash: sequential page-aligned
+// objects (the common data-server layout) must not collapse into a few
+// buckets, or sharding buys nothing.
+func TestBucketSpread(t *testing.T) {
+	m := New()
+	seen := make(map[*bucket]bool)
+	for i := 0; i < 256; i++ {
+		obj := types.ObjectID{Segment: 1, Offset: uint32(i) * types.PageSize, Length: 8}
+		seen[m.bucketFor(obj)] = true
+	}
+	if len(seen) < numBuckets/2 {
+		t.Fatalf("256 page-aligned objects hit only %d/%d buckets", len(seen), numBuckets)
+	}
+}

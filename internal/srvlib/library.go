@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tabs/internal/lock"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 	"tabs/internal/wal"
 )
@@ -50,8 +51,11 @@ func (s *Server) ConvertObjectIDToVirtualAddress(obj types.ObjectID) VirtualAddr
 // (§2.1.3), and the caller normally aborts the transaction.
 func (s *Server) LockObject(tid types.TransID, obj types.ObjectID, mode lock.Mode) error {
 	s.ensureJoined(tid)
-	sp := s.tr.Begin("lock", "acquire").SetTID(tid).
-		Annotatef("obj=%v", obj).Annotatef("mode=%v", mode)
+	// Append-formatted annotations: this span is begun on every object
+	// access, and fmt-based formatting here dominated whole-node profiles.
+	sp := trace.SetTIDAppend(s.tr.Begin("lock", "acquire"), tid)
+	trace.AnnotateAppend(sp, "obj=", obj)
+	trace.AnnotateAppend(sp, "mode=", mode)
 	if s.locks.TryLock(tid, obj, mode) {
 		sp.End()
 		return nil

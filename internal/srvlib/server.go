@@ -112,6 +112,9 @@ type Server struct {
 	pins map[types.PageID]int
 	// ops is the operation-logging interpreter table.
 	ops map[string]OpFunc
+	// dispatch is the operation dispatcher installed by AcceptRequests;
+	// Invoke runs requests through it synchronously.
+	dispatch DispatchFunc
 
 	closed bool
 }
@@ -164,8 +167,12 @@ func (s *Server) RecoverServer() {
 
 // AcceptRequests starts the request loop: each incoming request becomes a
 // coroutine dispatched through fn (Table 3-1). The loop runs until the
-// port closes.
+// port closes. It also installs fn as the dispatcher Invoke uses for the
+// same-node fast path.
 func (s *Server) AcceptRequests(fn DispatchFunc) {
+	s.smu.Lock()
+	s.dispatch = fn
+	s.smu.Unlock()
 	go func() {
 		for {
 			msg, err := s.reqs.Receive()
@@ -175,6 +182,30 @@ func (s *Server) AcceptRequests(fn DispatchFunc) {
 			go s.serve(msg, fn)
 		}
 	}()
+}
+
+// Invoke runs one operation synchronously on the caller's goroutine,
+// entering the monitor directly instead of routing a message through the
+// request port and a fresh serving goroutine. The monitor semantics are
+// identical to the port path — the request is one coroutine, blocking
+// points inside the operation release the monitor via await — but the
+// per-request reply port, channel hops, goroutine spawn and its stack
+// growth are gone, which is most of the local Data Server Call's CPU cost.
+// The Data Server Call primitive is charged by the caller (core.Node), as
+// on the port path.
+func (s *Server) Invoke(op string, tid types.TransID, body []byte) ([]byte, error) {
+	s.smu.Lock()
+	fn := s.dispatch
+	closed := s.closed
+	s.smu.Unlock()
+	if closed || fn == nil {
+		return nil, ErrServerDown
+	}
+	s.monitor.Lock()
+	defer s.monitor.Unlock()
+	s.ensureJoined(tid)
+	req := &Request{Op: op, TID: tid, Body: body}
+	return s.dispatchSafely(fn, req)
 }
 
 // serve runs one request as a coroutine inside the monitor. A panicking

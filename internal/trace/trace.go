@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,10 +72,19 @@ func (s Span) String() string {
 
 // ActiveSpan is an in-progress span handle. A nil *ActiveSpan (from a nil
 // Tracer) accepts every method as a no-op, so callers never branch.
+//
+// Handles are pooled: End/EndErr recycles the span, so a handle must not
+// be used after it ends. Double-End is tolerated as a no-op.
 type ActiveSpan struct {
 	t    *Tracer
 	span Span
+	buf  []byte // scratch for append-formatted annotations
 }
+
+// spanPool recycles ActiveSpans (and their annotation backing arrays)
+// across Begin/End cycles; spans are begun on every lock acquire and every
+// commit-protocol phase, so the per-span allocation is hot-path cost.
+var spanPool = sync.Pool{New: func() any { return new(ActiveSpan) }}
 
 // histogram accumulates a streaming summary of observations.
 type histogram struct {
@@ -110,6 +120,42 @@ type Tracer struct {
 	counters map[string]float64
 	gauges   map[string]float64
 	hists    map[string]*histogram
+	handles  map[string]*Counter
+}
+
+// Counter is a pre-registered atomic counter handle. Hot paths that bump
+// the same counter on every operation (lock grants, WAL appends) hold a
+// *Counter instead of calling Tracer.Count, avoiding the tracer mutex and
+// name lookup per event. A nil *Counter ignores Add, mirroring the nil
+// Tracer contract.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Counter returns (creating if needed) the atomic handle for the named
+// counter. The handle stays valid across Reset — Reset zeroes it rather
+// than dropping it, so components may cache handles for their lifetime.
+// The name is shared with Count: MetricsSnapshot sums both sources.
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.handles[name]
+	if c == nil {
+		c = new(Counter)
+		t.handles[name] = c
+	}
+	return c
 }
 
 // New returns a Tracer for node with the given span ring capacity
@@ -124,6 +170,7 @@ func New(node string, capacity int) *Tracer {
 		counters: make(map[string]float64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*histogram),
+		handles:  make(map[string]*Counter),
 	}
 }
 
@@ -145,7 +192,11 @@ func (t *Tracer) Begin(component, name string) *ActiveSpan {
 	if t == nil {
 		return nil
 	}
-	return &ActiveSpan{t: t, span: Span{Component: component, Name: name, Start: time.Now()}}
+	s := spanPool.Get().(*ActiveSpan)
+	attrs := s.span.Attrs[:0]
+	s.t = t
+	s.span = Span{Component: component, Name: name, Start: time.Now(), Attrs: attrs}
+	return s
 }
 
 // Event records an instantaneous span (Start == End) with optional
@@ -155,7 +206,7 @@ func (t *Tracer) Event(component, name string, attrs ...string) {
 		return
 	}
 	now := time.Now()
-	t.push(Span{Component: component, Name: name, Start: now, End: now, Attrs: attrs})
+	t.push(&Span{Component: component, Name: name, Start: now, End: now, Attrs: attrs})
 }
 
 // SetTID labels the span with the owning transaction.
@@ -164,6 +215,24 @@ func (s *ActiveSpan) SetTID(tid fmt.Stringer) *ActiveSpan {
 		return nil
 	}
 	s.span.TID = tid.String()
+	return s
+}
+
+// TIDAppender is the append-based formatter the hot paths use in place of
+// fmt.Stringer: types.TransID and types.ObjectID implement it.
+type TIDAppender interface {
+	AppendString([]byte) []byte
+}
+
+// SetTIDAppend labels the span with the owning transaction using its
+// append-based formatter, bypassing fmt. Generic so the identifier is not
+// boxed into an interface on the way in.
+func SetTIDAppend[T TIDAppender](s *ActiveSpan, tid T) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.buf = tid.AppendString(s.buf[:0])
+	s.span.TID = string(s.buf)
 	return s
 }
 
@@ -185,18 +254,36 @@ func (s *ActiveSpan) Annotatef(format string, args ...any) *ActiveSpan {
 	return s
 }
 
-// End completes the span and commits it to the ring.
-func (s *ActiveSpan) End() {
+// AnnotateAppend appends a "prefix<value>" annotation where the value
+// comes from an append-based formatter; the fmt-free analogue of
+// Annotatef("obj=%v", obj) for per-operation spans.
+func AnnotateAppend[T TIDAppender](s *ActiveSpan, prefix string, v T) *ActiveSpan {
 	if s == nil {
+		return nil
+	}
+	s.buf = append(s.buf[:0], prefix...)
+	s.buf = v.AppendString(s.buf)
+	s.span.Attrs = append(s.span.Attrs, string(s.buf))
+	return s
+}
+
+// End completes the span, commits it to the ring, and recycles the handle;
+// the span must not be touched afterwards. End on an already-ended span is
+// a no-op.
+func (s *ActiveSpan) End() {
+	if s == nil || s.t == nil {
 		return
 	}
 	s.span.End = time.Now()
-	s.t.push(s.span)
+	t := s.t
+	s.t = nil
+	t.push(&s.span)
+	spanPool.Put(s)
 }
 
 // EndErr completes the span, recording err (nil err behaves like End).
 func (s *ActiveSpan) EndErr(err error) {
-	if s == nil {
+	if s == nil || s.t == nil {
 		return
 	}
 	if err != nil {
@@ -205,18 +292,27 @@ func (s *ActiveSpan) EndErr(err error) {
 	s.End()
 }
 
-// push commits a finished span into the ring.
-func (t *Tracer) push(sp Span) {
+// push commits a finished span into the ring. The caller's Attrs backing
+// array is recycled with its ActiveSpan, so the ring takes its own copy.
+func (t *Tracer) push(sp *Span) {
+	attrs := sp.Attrs
+	if len(attrs) > 0 {
+		attrs = append(make([]string, 0, len(attrs)), attrs...)
+	} else {
+		attrs = nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
 	sp.ID = t.seq
-	sp.Node = t.node
+	cp := *sp
+	cp.Node = t.node
+	cp.Attrs = attrs
 	if len(t.ring) < t.capacity {
-		t.ring = append(t.ring, sp)
+		t.ring = append(t.ring, cp)
 		return
 	}
-	t.ring[t.next] = sp
+	t.ring[t.next] = cp
 	t.next = (t.next + 1) % t.capacity
 	t.dropped++
 }
@@ -310,9 +406,15 @@ func (t *Tracer) MetricsSnapshot() map[string]MetricValue {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make(map[string]MetricValue, len(t.counters)+len(t.gauges)+len(t.hists))
+	out := make(map[string]MetricValue, len(t.counters)+len(t.gauges)+len(t.hists)+len(t.handles))
 	for n, v := range t.counters {
 		out[n] = MetricValue{Kind: "counter", Value: v}
+	}
+	for n, c := range t.handles {
+		if v := c.v.Load(); v != 0 || out[n].Kind == "" {
+			mv := out[n]
+			out[n] = MetricValue{Kind: "counter", Value: mv.Value + float64(v)}
+		}
 	}
 	for n, v := range t.gauges {
 		out[n] = MetricValue{Kind: "gauge", Value: v}
@@ -340,6 +442,10 @@ func (t *Tracer) Reset() {
 	t.counters = make(map[string]float64)
 	t.gauges = make(map[string]float64)
 	t.hists = make(map[string]*histogram)
+	// Handles are cached by components for their lifetime: zero, don't drop.
+	for _, c := range t.handles {
+		c.v.Store(0)
+	}
 }
 
 // --- export ---------------------------------------------------------------

@@ -4,7 +4,7 @@
 package types
 
 import (
-	"fmt"
+	"strconv"
 )
 
 // NodeID names a TABS node (one simulated machine).
@@ -55,10 +55,29 @@ func (t TransID) String() string {
 	if t.IsNil() {
 		return "T(nil)"
 	}
-	if t.IsTopLevel() {
-		return fmt.Sprintf("%s:%d", t.Node, t.Seq)
+	return string(t.AppendString(make([]byte, 0, 24)))
+}
+
+// AppendString appends the String form to b without allocating, for
+// hot-path trace annotation (identifiers are formatted on every traced
+// lock acquire; fmt would dominate the profile).
+func (t TransID) AppendString(b []byte) []byte {
+	if t.IsNil() {
+		return append(b, "T(nil)"...)
 	}
-	return fmt.Sprintf("%s:%d[%s:%d]", t.RootNode, t.RootSeq, t.Node, t.Seq)
+	if t.IsTopLevel() {
+		b = append(b, t.Node...)
+		b = append(b, ':')
+		return strconv.AppendUint(b, t.Seq, 10)
+	}
+	b = append(b, t.RootNode...)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, t.RootSeq, 10)
+	b = append(b, '[')
+	b = append(b, t.Node...)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, t.Seq, 10)
+	return append(b, ']')
 }
 
 // ObjectID names a lockable, loggable unit of recoverable storage: a byte
@@ -74,7 +93,16 @@ type ObjectID struct {
 
 // String formats the ObjectID as seg/offset+len.
 func (o ObjectID) String() string {
-	return fmt.Sprintf("%d/%d+%d", o.Segment, o.Offset, o.Length)
+	return string(o.AppendString(make([]byte, 0, 24)))
+}
+
+// AppendString appends the String form to b without allocating.
+func (o ObjectID) AppendString(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(o.Segment), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(o.Offset), 10)
+	b = append(b, '+')
+	return strconv.AppendUint(b, uint64(o.Length), 10)
 }
 
 // Overlaps reports whether two ObjectIDs denote overlapping byte ranges of
@@ -98,7 +126,11 @@ type PageID struct {
 }
 
 // String formats the PageID as seg:page.
-func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.Segment, p.Page) }
+func (p PageID) String() string {
+	b := strconv.AppendUint(make([]byte, 0, 16), uint64(p.Segment), 10)
+	b = append(b, ':')
+	return string(strconv.AppendUint(b, uint64(p.Page), 10))
+}
 
 // FirstPage returns the page containing the first byte of o.
 func (o ObjectID) FirstPage() PageID {

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"tabs/internal/disk"
+	"tabs/internal/stats"
+	"tabs/internal/types"
+)
+
+// These tests pin down the allocation behavior of the append hot path. The
+// original Encode built each record's payload in one buffer and then
+// allocated a second buffer just to prepend the frame length; Append then
+// copied the result into the log buffer — two allocations and an extra copy
+// per record. AppendEncode builds the frame in place in a caller-owned
+// buffer, and Append encodes straight into l.buf.
+
+func sampleRecord() *Record {
+	return &Record{
+		LSN:     41,
+		PrevLSN: 17,
+		TID:     sampleTID(),
+		Type:    RecUpdate,
+		Server:  "array",
+		Body:    []byte("0123456789abcdef0123456789abcdef"),
+	}
+}
+
+// TestAppendEncodeOneBuffer is the regression test for the two-allocation
+// framing bug: encoding into a buffer with sufficient capacity must not
+// allocate at all, and must produce byte-identical output to Encode.
+func TestAppendEncodeOneBuffer(t *testing.T) {
+	r := sampleRecord()
+	want, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := make([]byte, 0, 4*len(want))
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = AppendEncode(dst[:0], r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendEncode into a sized buffer: %.1f allocs/op, want 0", allocs)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Errorf("AppendEncode output differs from Encode:\n got %x\nwant %x", dst, want)
+	}
+
+	// The frame must also append cleanly after existing bytes.
+	prefix := []byte("existing")
+	out, err := AppendEncode(append([]byte(nil), prefix...), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Error("AppendEncode clobbered existing bytes in dst")
+	}
+	got, n, err := Decode(out[len(prefix):], r.LSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(out)-len(prefix) || got.TID != r.TID || !bytes.Equal(got.Body, r.Body) {
+		t.Errorf("appended frame did not round-trip: %+v", got)
+	}
+}
+
+// TestAppendEncodeErrorLeavesDst verifies the documented contract that a
+// validation failure appends nothing.
+func TestAppendEncodeErrorLeavesDst(t *testing.T) {
+	dst := []byte("keep")
+	out, err := AppendEncode(dst, &Record{TID: sampleTID(), Body: make([]byte, MaxBodySize+1)})
+	if err == nil {
+		t.Fatal("oversized body accepted")
+	}
+	if !bytes.Equal(out, []byte("keep")) {
+		t.Errorf("dst modified on error: %q", out)
+	}
+}
+
+// TestAppendAllocBudget gates the whole Append path: once the log buffer and
+// record index have warmed up, a batch of appends plus a force must stay far
+// below one allocation per record. The old path paid at least two per
+// record, so the budget fails if per-append allocation is reintroduced.
+func TestAppendAllocBudget(t *testing.T) {
+	d := disk.New(disk.DefaultGeometry(1 << 14))
+	lg, err := Open(Config{Disk: d, Base: 0, Sectors: 1 << 12, Rec: stats.NewRecorder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	body := EncodeUpdate(&UpdateBody{
+		Object: types.ObjectID{Segment: 1, Offset: 0, Length: 32},
+		Old:    make([]byte, 32),
+		New:    make([]byte, 32),
+	})
+	run := func() {
+		for i := 0; i < batch; i++ {
+			if _, err := lg.Append(&Record{TID: sampleTID(), Type: RecUpdate, Server: "s", Body: body}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := lg.Force(lg.NextLSN()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up buffer and index capacity
+	allocs := testing.AllocsPerRun(20, run)
+	perRecord := allocs / batch
+	if perRecord > 0.5 {
+		t.Errorf("append hot path: %.2f allocs/record (%.1f per %d-record batch), want < 0.5",
+			perRecord, allocs, batch)
+	}
+}
+
+func BenchmarkAppendForce(b *testing.B) {
+	d := disk.New(disk.DefaultGeometry(1 << 16))
+	lg, err := Open(Config{Disk: d, Base: 0, Sectors: 1 << 14, Rec: stats.NewRecorder()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := EncodeUpdate(&UpdateBody{
+		Object: types.ObjectID{Segment: 1, Offset: 0, Length: 64},
+		Old:    make([]byte, 64),
+		New:    make([]byte, 64),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lg.Append(&Record{TID: sampleTID(), Type: RecUpdate, Server: "s", Body: body}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			if err := lg.Force(lg.NextLSN()); err != nil {
+				b.Fatal(err)
+			}
+			// Recycle log space so b.N appends cannot exhaust the region.
+			if err := lg.Reclaim(lg.DurableLSN()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -253,26 +253,35 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	defer l.mu.Unlock()
 	prevLSN := r.LSN
 	r.LSN = l.nextLSN
-	frame, err := Encode(r)
+	// Encode directly into the tail of the volatile buffer — no per-append
+	// frame allocation. Staged bytes are dropped by truncating back to the
+	// original length if the append does not commit. Extending l.buf is safe
+	// against an in-flight group flush: the leader snapshots a subslice of
+	// the pending prefix, which append never mutates (growth reallocates).
+	orig := len(l.buf)
+	buf, err := AppendEncode(l.buf, r)
 	if err != nil {
 		r.LSN = prevLSN
 		return 0, err
 	}
-	if int64(l.nextLSN-l.lowLSN)+int64(len(frame)) > l.Capacity() {
+	n := len(buf) - orig
+	if int64(l.nextLSN-l.lowLSN)+int64(n) > l.Capacity() {
 		r.LSN = prevLSN
+		l.buf = buf[:orig]
 		return 0, ErrLogFull
 	}
 	if l.fh != nil {
 		if err := l.fh("wal.append"); err != nil {
 			r.LSN = prevLSN
+			l.buf = buf[:orig]
 			return 0, fmt.Errorf("wal: append: %w", err)
 		}
 	}
-	l.buf = append(l.buf, frame...)
+	l.buf = buf
 	l.index = append(l.index, r.LSN)
-	l.nextLSN += LSN(len(frame))
+	l.nextLSN += LSN(n)
 	l.tr.Count("wal.append.records", 1)
-	l.tr.Count("wal.append.bytes", float64(len(frame)))
+	l.tr.Count("wal.append.bytes", float64(n))
 	return r.LSN, nil
 }
 
@@ -338,7 +347,12 @@ func (l *Log) leadFlush() error {
 	l.mu.Lock()
 	if err == nil {
 		l.durableLSN = end
-		l.buf = l.buf[end-start:]
+		// Compact by copying the unflushed tail to the front rather than
+		// re-slicing forward: the backing array is reused for future appends
+		// instead of being abandoned a prefix at a time, which kept every
+		// flushed generation's bytes reachable and forced steady regrowth.
+		rest := copy(l.buf, l.buf[end-start:])
+		l.buf = l.buf[:rest]
 		// The group this write amortized: the leader plus every parked
 		// waiter whose target the batch satisfied.
 		group := 1
@@ -372,7 +386,7 @@ func (l *Log) forceLocked(upTo LSN) error {
 	if err := l.writeRange(start, end, l.buf); err != nil {
 		return err
 	}
-	l.buf = nil
+	l.buf = l.buf[:0] // keep capacity for the next batch of appends
 	l.durableLSN = end
 	return nil
 }

@@ -1,0 +1,140 @@
+// Command allocgate is the allocation-regression gate behind
+// `make bench-smoke`: it runs the named packages' benchmarks with
+// -benchmem and fails if any benchmark listed in the budget file exceeds
+// its checked-in bytes/op or allocs/op ceiling.
+//
+// Usage:
+//
+//	go run ./tools/allocgate -budget ALLOC_BUDGET.txt ./internal/wal ./internal/comm
+//
+// The budget file has one entry per line:
+//
+//	# benchmark      max-B/op  max-allocs/op
+//	AppendForce      16        0
+//	EnvelopeEncode   0         0
+//
+// Names match the benchmark's base name (no "Benchmark" prefix, no
+// -GOMAXPROCS suffix). Every budgeted benchmark must appear in the run —
+// a silently vanished benchmark would otherwise let its regression
+// through — while unbudgeted benchmarks are reported informationally.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type budget struct {
+	maxBytes  int64
+	maxAllocs int64
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	budgetPath := flag.String("budget", "ALLOC_BUDGET.txt", "budget file path")
+	benchtime := flag.String("benchtime", "100000x", "benchtime passed to go test (iteration counts amortize warm-up allocations)")
+	pattern := flag.String("bench", ".", "benchmark pattern passed to go test")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "allocgate: no packages given")
+		return 2
+	}
+
+	budgets, err := readBudgets(*budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		return 2
+	}
+
+	args := append([]string{"test", "-run", "^$", "-bench", *pattern, "-benchmem", "-benchtime", *benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(out.Bytes())
+		fmt.Fprintln(os.Stderr, "allocgate: benchmark run failed:", err)
+		return 2
+	}
+
+	// Benchmark output line:
+	//   BenchmarkName[-P]  N  ns/op  B/op  allocs/op
+	re := regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+	seen := map[string]bool{}
+	failures := 0
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		line := sc.Text()
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		gotBytes, _ := strconv.ParseInt(m[2], 10, 64)
+		gotAllocs, _ := strconv.ParseInt(m[3], 10, 64)
+		b, budgeted := budgets[name]
+		if !budgeted {
+			fmt.Printf("allocgate: %-28s %6d B/op %4d allocs/op (no budget, informational)\n", name, gotBytes, gotAllocs)
+			continue
+		}
+		seen[name] = true
+		status := "ok"
+		if gotBytes > b.maxBytes || gotAllocs > b.maxAllocs {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("allocgate: %-28s %6d B/op (budget %d) %4d allocs/op (budget %d) %s\n",
+			name, gotBytes, b.maxBytes, gotAllocs, b.maxAllocs, status)
+	}
+	for name := range budgets {
+		if !seen[name] {
+			fmt.Fprintf(os.Stderr, "allocgate: budgeted benchmark %q did not run\n", name)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "allocgate: %d failure(s)\n", failures)
+		return 1
+	}
+	return 0
+}
+
+func readBudgets(path string) (map[string]budget, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	budgets := map[string]budget{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want `name max-B/op max-allocs/op`, got %q", path, line, text)
+		}
+		maxBytes, err1 := strconv.ParseInt(fields[1], 10, 64)
+		maxAllocs, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad numbers in %q", path, line, text)
+		}
+		budgets[fields[0]] = budget{maxBytes: maxBytes, maxAllocs: maxAllocs}
+	}
+	return budgets, sc.Err()
+}

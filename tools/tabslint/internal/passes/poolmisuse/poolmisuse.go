@@ -1,0 +1,144 @@
+// Package poolmisuse checks sync.Pool usage against the buffer-pool
+// ownership rules the hot paths rely on (DESIGN.md):
+//
+//   - Put of a bare slice value is flagged: a slice is three words, so
+//     every Put boxes the header into an interface allocation — the very
+//     garbage the pool exists to avoid. Pool a pointer to the slice (or a
+//     small struct) instead.
+//
+//   - Use of a value after it was Put back is flagged (same block, after
+//     the Put, before any reassignment): once Put returns, the pool may
+//     hand the value to another goroutine, and continued use is a data
+//     race that -race only catches if the interleaving actually happens.
+package poolmisuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// Analyzer is the poolmisuse check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolmisuse",
+	Doc:  "sync.Pool hygiene: no slice-valued Puts (header boxing allocates), no use of a value after Put returns it to the pool",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkBlock(pass, block)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock handles both checks over one statement list. Nested blocks are
+// visited by the ast.Inspect in run, so only direct statements are scanned
+// for the use-after-put ordering.
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, st := range block.List {
+		call := putCall(pass, st)
+		if call == nil || len(call.Args) != 1 {
+			continue
+		}
+		arg := ast.Unparen(call.Args[0])
+		if t := pass.TypesInfo.TypeOf(arg); t != nil {
+			if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+				pass.Reportf(call.Pos(), "sync.Pool.Put of a slice value boxes the slice header, allocating on every Put; pool a pointer to the slice (*[]byte) or a wrapper struct instead")
+			}
+		}
+		// Use-after-put: the Put argument (an identifier, or &ident)
+		// referenced again later in the same block before reassignment.
+		obj := putObject(pass, arg)
+		if obj == nil {
+			continue
+		}
+		for _, later := range block.List[i+1:] {
+			if reassigns(pass, later, obj) {
+				break
+			}
+			if pos, used := uses(pass, later, obj); used {
+				pass.Reportf(pos, "%q is used after being Put back in the pool; the pool may already have handed it to another goroutine", obj.Name())
+				break
+			}
+		}
+	}
+}
+
+// putCall returns the sync.Pool Put call if st is one, else nil.
+func putCall(pass *analysis.Pass, st ast.Stmt) *ast.CallExpr {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if !typeutil.IsMethod(typeutil.Callee(pass.TypesInfo, call), "sync", "Pool", "Put") {
+		return nil
+	}
+	return call
+}
+
+// putObject resolves the local variable being pooled: `x` or `&x`.
+func putObject(pass *analysis.Pass, arg ast.Expr) types.Object {
+	if u, ok := arg.(*ast.UnaryExpr); ok {
+		arg = ast.Unparen(u.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// reassigns reports whether st assigns a fresh value to obj, after which
+// continued use is legitimate.
+func reassigns(pass *analysis.Pass, st ast.Stmt, obj types.Object) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// uses reports the first reference to obj inside st. References on the
+// left-hand side of assignments are handled by reassigns before this runs.
+func uses(pass *analysis.Pass, st ast.Stmt, obj types.Object) (pos token.Pos, used bool) {
+	var found *ast.Ident
+	ast.Inspect(st, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = id
+		}
+		return found == nil
+	})
+	if found == nil {
+		return token.NoPos, false
+	}
+	return found.Pos(), true
+}

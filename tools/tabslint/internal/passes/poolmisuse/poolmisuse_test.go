@@ -1,0 +1,12 @@
+package poolmisuse_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/poolmisuse"
+)
+
+func TestPoolmisuse(t *testing.T) {
+	lintest.Run(t, "../../../testdata", "poolmisuse/a", poolmisuse.Analyzer)
+}

@@ -1,12 +1,13 @@
 // Command tabslint is the repo's domain-aware static-analysis suite: a
-// multichecker over four analyzers that enforce the WAL/2PC/trace
+// multichecker over five analyzers that enforce the WAL/2PC/trace
 // invariants this codebase has historically broken one flaky test at a
 // time.
 //
-//	spanleak  — every trace span reaches End/EndErr on all paths
-//	lockhold  — no unbounded blocking while a mutex is held
-//	durcheck  — no dropped errors from durability-critical calls
-//	sleepsync — no sleep-based synchronization
+//	spanleak   — every trace span reaches End/EndErr on all paths
+//	lockhold   — no unbounded blocking while a mutex is held
+//	durcheck   — no dropped errors from durability-critical calls
+//	sleepsync  — no sleep-based synchronization
+//	poolmisuse — sync.Pool hygiene: no slice-valued Puts, no use after Put
 //
 // Usage:
 //
@@ -32,6 +33,7 @@ import (
 	"tabs/tools/tabslint/internal/loader"
 	"tabs/tools/tabslint/internal/passes/durcheck"
 	"tabs/tools/tabslint/internal/passes/lockhold"
+	"tabs/tools/tabslint/internal/passes/poolmisuse"
 	"tabs/tools/tabslint/internal/passes/sleepsync"
 	"tabs/tools/tabslint/internal/passes/spanleak"
 )
@@ -41,6 +43,7 @@ var analyzers = []*analysis.Analyzer{
 	lockhold.Analyzer,
 	durcheck.Analyzer,
 	sleepsync.Analyzer,
+	poolmisuse.Analyzer,
 }
 
 func main() {

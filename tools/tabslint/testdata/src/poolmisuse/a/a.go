@@ -1,0 +1,53 @@
+// Package a is the poolmisuse fixture: slice-valued Puts and uses of a
+// value after it was returned to the pool.
+package a
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+var slicePool sync.Pool
+
+func putsBareSlice(b []byte) {
+	slicePool.Put(b) // want `Put of a slice value boxes the slice header`
+}
+
+func putsSlicePointer(b *[]byte) {
+	bufPool.Put(b) // pointer-sized: no boxing allocation
+}
+
+func putsAddressOfSlice() {
+	b := make([]byte, 0, 256)
+	bufPool.Put(&b) // fine: the pointer is what escapes, taken once
+}
+
+type frame struct{ b []byte }
+
+var framePool sync.Pool
+
+func putsStruct(f *frame) {
+	framePool.Put(f) // fine: pointer to wrapper struct
+}
+
+func useAfterPut(f *frame) {
+	framePool.Put(f)
+	f.b = nil // want `"f" is used after being Put back in the pool`
+}
+
+func useAfterPutOfAddress() {
+	b := make([]byte, 0, 64)
+	bufPool.Put(&b)
+	_ = append(b, 1) // want `"b" is used after being Put back in the pool`
+}
+
+func reassignAfterPutIsFine(f *frame) {
+	framePool.Put(f)
+	f = framePool.Get().(*frame) // fresh value: later uses are legitimate
+	f.b = f.b[:0]
+	_ = f
+}
+
+func putLastIsFine(f *frame) {
+	f.b = f.b[:0]
+	framePool.Put(f)
+}
