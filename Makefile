@@ -24,12 +24,15 @@ tabslint:
 
 lint: vet tabslint
 
-# Mirrors the CI bench smoke: one iteration of the group-commit sweep,
-# then the allocation-regression gate — hot-path benchmarks run with
-# -benchmem and must stay within the checked-in ALLOC_BUDGET.txt.
+# Mirrors the CI bench smoke: one iteration of the group-commit sweep, a
+# 2-node 2-shard mini scale-out sweep (asserts steady-state lookups are
+# pure cache hits with zero broadcasts), then the allocation-regression
+# gate — hot-path benchmarks run with -benchmem and must stay within the
+# checked-in ALLOC_BUDGET.txt.
 bench-smoke:
 	$(GO) test -bench=GroupCommit -benchtime=1x ./internal/wal ./internal/bench
-	$(GO) run ./tools/allocgate -budget ALLOC_BUDGET.txt -bench 'AppendForce|EnvelopeEncode' ./internal/wal ./internal/comm
+	$(GO) test ./internal/bench -run TestShardingSmoke -count=1 -timeout 120s
+	$(GO) run ./tools/allocgate -budget ALLOC_BUDGET.txt -bench 'AppendForce|EnvelopeEncode|LookUpCached' ./internal/wal ./internal/comm ./internal/nameserver
 
 # Short fuzz of the WAL record codec; CI runs the same invocation.
 fuzz-smoke:

@@ -40,6 +40,12 @@ func main() {
 	hotpath := flag.Int("hotpath", 0, "run the CPU-bound hot-path throughput sweep up to this many workers (skips the tables)")
 	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "where -hotpath writes its sweep results as JSON")
 	hotpathBaseline := flag.String("hotpath-baseline", "", "prior -hotpath JSON to compute speedups against")
+	runs := flag.Int("runs", 3, "independent runs per sweep point (-hotpath, -shards); the median is reported")
+	shards := flag.Int("shards", 0, "run the sharded-namespace scale-out sweep up to this many nodes, one shard each (skips the tables)")
+	multiShardRatio := flag.Float64("multi-shard-ratio", 0.1, "fraction of transactions touching a second shard in the -shards sweep")
+	keys := flag.Uint64("keys", 1<<20, "global key-space size the -shards sweep partitions")
+	shardWorkers := flag.Int("shard-workers", 4, "worker goroutines homed on each node in the -shards sweep")
+	shardingJSON := flag.String("sharding-json", "BENCH_sharding.json", "where -shards writes its sweep results as JSON")
 	faultSeed := flag.Int64("fault-seed", 0, "run the fault-injection torture harness with this seed (skips the tables; 0 disables)")
 	faultProfile := flag.String("fault-profile", "chaos", "torture fault profile: "+strings.Join(fault.ProfileNames(), ", "))
 	faultNodes := flag.Int("fault-nodes", 3, "torture cluster size")
@@ -53,8 +59,15 @@ func main() {
 		}
 		return
 	}
+	if *shards > 0 {
+		if err := runSharding(*shards, *keys, *shardWorkers, *benchTxns, *runs, *multiShardRatio, *shardingJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "tabsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *hotpath > 0 {
-		if err := runHotPath(*hotpath, *benchTxns, *hotpathJSON, *hotpathBaseline); err != nil {
+		if err := runHotPath(*hotpath, *benchTxns, *runs, *hotpathJSON, *hotpathBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, "tabsbench:", err)
 			os.Exit(1)
 		}
@@ -98,11 +111,34 @@ func runTorture(seed int64, profile string, nodes, txns int) error {
 	return nil
 }
 
+// runSharding sweeps the sharded-namespace scale-out benchmark and
+// records text + JSON output.
+func runSharding(maxNodes int, keys uint64, workersPerNode, txnsPerWorker, runs int, ratio float64, jsonPath string) error {
+	fmt.Fprintf(os.Stderr, "sweeping sharded scale-out up to %d nodes (%d keys, ratio %g)...\n", maxNodes, keys, ratio)
+	res, err := bench.MeasureSharding(maxNodes, keys, workersPerNode, txnsPerWorker, runs, ratio)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatSharding(res))
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
 // runHotPath sweeps the CPU-bound hot-path benchmark, optionally merging a
 // prior sweep's numbers as the baseline, and records text + JSON output.
-func runHotPath(maxConc, txnsPerWorker int, jsonPath, baselinePath string) error {
-	fmt.Fprintf(os.Stderr, "sweeping hot-path throughput up to %d workers...\n", maxConc)
-	res, err := bench.MeasureHotPath(maxConc, txnsPerWorker)
+func runHotPath(maxConc, txnsPerWorker, runs int, jsonPath, baselinePath string) error {
+	fmt.Fprintf(os.Stderr, "sweeping hot-path throughput up to %d workers (median of %d runs)...\n", maxConc, runs)
+	res, err := bench.MeasureHotPath(maxConc, txnsPerWorker, runs)
 	if err != nil {
 		return err
 	}

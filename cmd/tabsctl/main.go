@@ -13,6 +13,7 @@
 //	tabsctl -peer a=localhost:7001 dequeue a queue
 //	tabsctl -peer a=localhost:7001 insert a rep /etc/passwd users
 //	tabsctl -peer a=localhost:7001 lookup a rep /etc/passwd
+//	tabsctl -peer a=localhost:7001 placement a    # placement maps + NS tables
 //	tabsctl -peer a=localhost:7001 metrics a      # live trace-layer metrics
 //	tabsctl -peer a=localhost:7001 trace a        # recent spans
 //	tabsctl -peer a=localhost:7001 -json trace a  # raw trace.Export JSON
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -60,7 +62,7 @@ func main() {
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: tabsctl [-peer n=addr]... <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics")
+		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics placement")
 		os.Exit(2)
 	}
 	if err := run(*id, *listen, peers, *jsonOut, flag.Args()); err != nil {
@@ -96,6 +98,8 @@ func run(id, listen string, peers peerList, jsonOut bool, args []string) error {
 		return runTxn(node, args[1:])
 	case "trace", "metrics", "trace-reset":
 		return runTraceQuery(node, jsonOut, args)
+	case "placement":
+		return runPlacementQuery(node, jsonOut, args, peers)
 	}
 	return node.App.Run(func(tid types.TransID) error {
 		out, err := execute(node, tid, args)
@@ -141,6 +145,57 @@ func runTraceQuery(node *core.Node, jsonOut bool, args []string) error {
 		fmt.Print(trace.FormatMetrics(ex.Metrics))
 		for _, sp := range ex.Spans {
 			fmt.Println(sp.String())
+		}
+	}
+	return nil
+}
+
+// runPlacementQuery dumps placement maps and Name Server table sizes
+// through the "placectl" Communication Manager service. With a target
+// node it queries just that node; without one it sweeps every -peer.
+func runPlacementQuery(node *core.Node, jsonOut bool, args []string, peers peerList) error {
+	targets := make([]types.NodeID, 0, len(peers))
+	if len(args) > 1 {
+		targets = append(targets, types.NodeID(args[1]))
+	} else {
+		for name := range peers {
+			targets = append(targets, name)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("placement needs a target node or -peer flags")
+	}
+	for _, target := range targets {
+		body, err := node.CM.Call(target, core.PlacementControlService, types.NilTransID, []byte("placement"))
+		if err != nil {
+			return fmt.Errorf("querying %s: %w", target, err)
+		}
+		if jsonOut {
+			fmt.Println(string(body))
+			continue
+		}
+		var rep core.PlacementReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return fmt.Errorf("decoding placement reply from %s: %w", target, err)
+		}
+		fmt.Printf("node %s: %d local names, %d local bindings, %d cached routes, %d negative entries\n",
+			rep.Node, rep.Stats.LocalNames, rep.Stats.LocalBindings, rep.Stats.CachedNames, rep.Stats.NegEntries)
+		if len(rep.Stats.CachedByNode) > 0 {
+			nodes := make([]types.NodeID, 0, len(rep.Stats.CachedByNode))
+			for n := range rep.Stats.CachedByNode {
+				nodes = append(nodes, n)
+			}
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			for _, n := range nodes {
+				fmt.Printf("  cached bindings -> %s: %d\n", n, rep.Stats.CachedByNode[n])
+			}
+		}
+		for _, p := range rep.Placements {
+			fmt.Printf("  family %q v%d: %d shards\n", p.Family, p.Version, len(p.Shards))
+			for i, sh := range p.Shards {
+				fmt.Printf("    shard %-3d %s @ %s\n", i, sh.Server, sh.Node)
+			}
 		}
 	}
 	return nil

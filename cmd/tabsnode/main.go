@@ -96,8 +96,8 @@ func run(id, listen, state string, sectors, logSectors int64, pool int, peers pe
 		return err
 	}
 
-	// Attach the standard data servers with well-known names; register
-	// them with the Name Server so lookups broadcast correctly.
+	// Attach the standard data servers with well-known names; attaching
+	// registers each with the Name Server so lookups resolve remotely.
 	if _, err := intarray.Attach(node, "array", 1, 4096, 5*time.Second); err != nil {
 		return err
 	}
@@ -109,9 +109,6 @@ func run(id, listen, state string, sectors, logSectors int64, pool int, peers pe
 	}
 	if _, err := ioserver.Attach(node, "display", 4, 5*time.Second); err != nil {
 		return err
-	}
-	for _, name := range []string{"array", "queue", "rep", "display"} {
-		node.NS.Register(name, "data-server", types.ServerID(name), types.ObjectID{})
 	}
 
 	report, err := node.Recover()

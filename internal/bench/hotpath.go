@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -34,12 +35,18 @@ const hotPathServers = 8
 // cache reads).
 const hotPathOpsPerTxn = 3
 
-// HotPathPoint is one concurrency level of the sweep.
+// HotPathPoint is one concurrency level of the sweep. TxnsPerSec is the
+// median of Runs independent runs (each on a fresh cluster); the per-run
+// samples ride along so scaling curves expose their own noise instead of
+// presenting one lucky (or unlucky) run as the trend.
 type HotPathPoint struct {
 	Concurrency int     `json:"concurrency"`
 	Committed   int     `json:"committed"`
 	ElapsedNs   int64   `json:"elapsed_ns"`
 	TxnsPerSec  float64 `json:"txns_per_sec"`
+	// Runs and Samples describe the repetition behind TxnsPerSec.
+	Runs    int       `json:"runs,omitempty"`
+	Samples []float64 `json:"samples_txns_per_sec,omitempty"`
 	// BaselineTxnsPerSec and Speedup are filled when a prior sweep (the
 	// pre-optimization tree) is supplied for comparison.
 	BaselineTxnsPerSec float64 `json:"baseline_txns_per_sec,omitempty"`
@@ -51,6 +58,7 @@ type HotPathResult struct {
 	Servers       int            `json:"servers"`
 	OpsPerTxn     int            `json:"ops_per_txn"`
 	TxnsPerWorker int            `json:"txns_per_worker"`
+	Runs          int            `json:"runs,omitempty"`
 	Points        []HotPathPoint `json:"points"`
 }
 
@@ -142,27 +150,64 @@ func measureHotPathPoint(conc, txns int) (HotPathPoint, error) {
 	return pt, nil
 }
 
-// MeasureHotPath sweeps concurrency 8, 16, ... maxConc.
-func MeasureHotPath(maxConc, txnsPerWorker int) (*HotPathResult, error) {
+// MeasureHotPath sweeps concurrency 8, 16, ... maxConc, running each
+// point runs times and reporting the median throughput.
+func MeasureHotPath(maxConc, txnsPerWorker, runs int) (*HotPathResult, error) {
 	if maxConc < 8 {
 		maxConc = 8
 	}
 	if txnsPerWorker <= 0 {
 		txnsPerWorker = 100
 	}
+	if runs <= 0 {
+		runs = 3
+	}
 	res := &HotPathResult{
 		Servers:       hotPathServers,
 		OpsPerTxn:     hotPathOpsPerTxn,
 		TxnsPerWorker: txnsPerWorker,
+		Runs:          runs,
 	}
 	for conc := 8; conc <= maxConc; conc *= 2 {
-		pt, err := measureHotPathPoint(conc, txnsPerWorker)
+		pt, err := repeatHotPathPoint(conc, txnsPerWorker, runs)
 		if err != nil {
 			return nil, fmt.Errorf("bench: hot path at concurrency %d: %w", conc, err)
 		}
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
+}
+
+// repeatHotPathPoint measures one concurrency level runs times on fresh
+// clusters and keeps the median run's point, annotated with all samples.
+func repeatHotPathPoint(conc, txns, runs int) (HotPathPoint, error) {
+	pts := make([]HotPathPoint, 0, runs)
+	for i := 0; i < runs; i++ {
+		pt, err := measureHotPathPoint(conc, txns)
+		if err != nil {
+			return HotPathPoint{}, err
+		}
+		pts = append(pts, pt)
+	}
+	samples := make([]float64, len(pts))
+	for i, pt := range pts {
+		samples[i] = pt.TxnsPerSec
+	}
+	med := pts[medianIndex(samples)]
+	med.Runs = runs
+	med.Samples = samples
+	return med, nil
+}
+
+// medianIndex returns the index of the median sample (lower-middle for
+// even counts), so callers can keep the median run's full record.
+func medianIndex(samples []float64) int {
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return samples[idx[a]] < samples[idx[b]] })
+	return idx[(len(idx)-1)/2]
 }
 
 // MergeHotPathBaseline fills each point's baseline throughput and speedup

@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// TestShardingSmoke runs a miniature 2-node 2-shard sweep: tiny key
+// space, two workers per node, a handful of transactions. It asserts the
+// invariants the full sweep's numbers rest on — every measured-phase
+// lookup is a cache hit, no steady-state broadcasts, and the multi-shard
+// mix actually produces cross-shard commit trees.
+func TestShardingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharding smoke sweeps real clusters")
+	}
+	res, err := MeasureSharding(2, 4096, 2, 10, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points: {1,2} nodes x {0, 0.2} ratios.
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Committed != pt.Nodes*2*10 {
+			t.Errorf("%d nodes ratio %g: committed %d", pt.Nodes, pt.MultiShardRatio, pt.Committed)
+		}
+		if pt.TxnsPerSec <= 0 {
+			t.Errorf("%d nodes ratio %g: no throughput", pt.Nodes, pt.MultiShardRatio)
+		}
+		if pt.CacheHitRate != 1.0 {
+			t.Errorf("%d nodes ratio %g: cache hit rate %v, want 1.0 (steady state must answer from cache)",
+				pt.Nodes, pt.MultiShardRatio, pt.CacheHitRate)
+		}
+		if pt.SteadyBroadcasts != 0 {
+			t.Errorf("%d nodes ratio %g: %v steady-state broadcasts, want 0",
+				pt.Nodes, pt.MultiShardRatio, pt.SteadyBroadcasts)
+		}
+		if pt.MultiShardRatio == 0 && pt.MultiShardTxns != 0 {
+			t.Errorf("%d nodes: single-shard mix ran %d multi-shard txns", pt.Nodes, pt.MultiShardTxns)
+		}
+		if pt.MultiShardRatio > 0 && pt.Nodes > 1 && pt.MultiShardTxns == 0 {
+			t.Errorf("%d nodes ratio %g: no multi-shard txns ran", pt.Nodes, pt.MultiShardRatio)
+		}
+	}
+	// With 2 nodes and a positive mix, some commits must carry a child —
+	// and with a low mix the mean fan-out stays well under "all shards".
+	multi := res.point(2, 0.2)
+	if multi == nil {
+		t.Fatal("2-node multi-shard point missing")
+	}
+	if multi.MeanCommitChildren <= 0 {
+		t.Errorf("multi-shard mix produced no commit-tree children (mean %v)", multi.MeanCommitChildren)
+	}
+	if multi.MeanCommitChildren > 0.5 {
+		t.Errorf("mean commit children %v: tree should hold touched shards only", multi.MeanCommitChildren)
+	}
+	local := res.point(2, 0)
+	if local == nil || local.MeanCommitChildren != 0 {
+		t.Errorf("pure local mix grew commit trees: %+v", local)
+	}
+}

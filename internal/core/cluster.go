@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"tabs/internal/comm"
 	"tabs/internal/disk"
+	"tabs/internal/nameserver"
 	"tabs/internal/stats"
 	"tabs/internal/trace"
 	"tabs/internal/types"
@@ -142,6 +144,31 @@ func (c *Cluster) Nodes() map[types.NodeID]*Node {
 		out[name] = n
 	}
 	return out
+}
+
+// NodeNames returns every live node's name in sorted order — the
+// canonical node list that placement computation requires (every computer
+// of a placement map must agree on the order).
+func (c *Cluster) NodeNames() []types.NodeID {
+	out := make([]types.NodeID, 0, len(c.nodes))
+	for name := range c.nodes {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ApplyPlacement installs a placement map in every live node's Name
+// Server (version-gated per node) and reports whether any node accepted
+// it.
+func (c *Cluster) ApplyPlacement(p *nameserver.Placement) bool {
+	applied := false
+	for _, n := range c.nodes {
+		if n.NS.SetPlacement(p) {
+			applied = true
+		}
+	}
+	return applied
 }
 
 // Crash crashes the named node (volatile state lost, network detached).

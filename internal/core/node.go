@@ -13,8 +13,10 @@ package core
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +44,11 @@ const DataServerService = "datasrv"
 // tabsctl queries a live node's trace and metrics (commands "trace",
 // "metrics", "reset"; replies are trace.Export JSON).
 const TraceControlService = "tracectl"
+
+// PlacementControlService is the Communication Manager service through
+// which tabsctl dumps a live node's placement maps and Name Server tables
+// (command "placement"; replies are PlacementReport JSON).
+const PlacementControlService = "placectl"
 
 // Errors.
 var (
@@ -178,11 +185,13 @@ func NewNode(cfg Config) (*Node, error) {
 		n.CM.SetTransactionNoter(n.TM)
 		n.CM.RegisterService(DataServerService, n.handleRemoteCall)
 		n.CM.RegisterService(TraceControlService, n.handleTraceControl)
+		n.CM.RegisterService(PlacementControlService, n.handlePlacementControl)
 	} else {
 		n.TM = txn.New(cfg.ID, n.RM, nil, tmRec)
 	}
 	n.TM.AttachTracer(n.tr)
 	n.NS = nameserver.New(cfg.ID, nsBroadcaster(n))
+	n.NS.AttachTracer(n.tr)
 	n.App = applib.New(n.TM)
 	if err := n.loadSegDir(); err != nil {
 		return nil, err
@@ -314,6 +323,10 @@ func (n *Node) NewServer(id types.ServerID, seg types.SegmentID, pages uint32, c
 	n.mu.Lock()
 	n.servers[id] = s
 	n.mu.Unlock()
+	// Advertise the server in the Name Server under its own identifier:
+	// shard routing resolves "family#i" to a port through exactly this
+	// registration, and every server re-advertises on reboot (§3.1.3).
+	n.NS.Register(string(id), "data-server", id, types.ObjectID{Segment: seg})
 	return s, nil
 }
 
@@ -433,6 +446,32 @@ func (n *Node) handleTraceControl(_ types.NodeID, _ types.TransID, payload []byt
 		return []byte("ok"), nil
 	default:
 		return nil, fmt.Errorf("core: unknown trace command %q", cmd)
+	}
+}
+
+// PlacementReport is the placectl reply: the node's installed placement
+// maps plus its Name Server table sizes.
+type PlacementReport struct {
+	Node       types.NodeID            `json:"node"`
+	Placements []*nameserver.Placement `json:"placements,omitempty"`
+	Stats      nameserver.Stats        `json:"stats"`
+}
+
+// handlePlacementControl serves tabsctl's placement dumps.
+func (n *Node) handlePlacementControl(_ types.NodeID, _ types.TransID, payload []byte) ([]byte, error) {
+	switch cmd := string(payload); cmd {
+	case "placement", "":
+		rep := PlacementReport{
+			Node:       n.id,
+			Placements: n.NS.Placements(),
+			Stats:      n.NS.StatsSnapshot(),
+		}
+		sort.Slice(rep.Placements, func(i, j int) bool {
+			return rep.Placements[i].Family < rep.Placements[j].Family
+		})
+		return json.Marshal(rep)
+	default:
+		return nil, fmt.Errorf("core: unknown placement command %q", cmd)
 	}
 }
 

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"tabs/internal/comm"
+	"tabs/internal/nameserver"
+	"tabs/internal/types"
+)
+
+// routeResolveWait bounds a routing-path LookUp. In steady state the
+// lookup answers from the routing cache and the wait is never consulted;
+// it only matters on a cold cache or after an invalidation, when the
+// resolution broadcast needs a reply window.
+const routeResolveWait = 2 * time.Second
+
+// Router routes keyed operations to the shard data servers of one object
+// family. It captures the family's placement map at construction — the
+// map is immutable per version, so the shard arithmetic and the shard
+// names are precomputed once — and resolves each shard's current port
+// through the Name Server's routing cache on every call: placement
+// ("which shard, which home") is permanent, bindings ("which port") are
+// not (§3.1.3), and the cache makes resolving the latter per-call free.
+type Router struct {
+	node  *Node
+	p     *nameserver.Placement
+	names []string // shard -> advertised server name, precomputed
+}
+
+// NewRouter builds a router for family from the placement map installed
+// in the node's Name Server.
+func NewRouter(n *Node, family string) (*Router, error) {
+	p := n.NS.PlacementFor(family)
+	if p == nil {
+		return nil, fmt.Errorf("core: no placement installed for family %q on %s", family, n.id)
+	}
+	names := make([]string, p.NumShards())
+	for i := range names {
+		names[i] = string(p.Shards[i].Server)
+	}
+	return &Router{node: n, p: p, names: names}, nil
+}
+
+// Placement returns the captured placement map.
+func (r *Router) Placement() *nameserver.Placement { return r.p }
+
+// Shard returns the shard owning key.
+func (r *Router) Shard(key uint64) int { return r.p.Shard(key) }
+
+// Call invokes op on the shard owning key, within tid.
+func (r *Router) Call(key uint64, op string, tid types.TransID, body []byte) ([]byte, error) {
+	return r.CallShard(r.p.Shard(key), op, tid, body)
+}
+
+// CallShard invokes op on shard within tid. The shard's port comes from
+// the routing cache; if the cached port turns out dead — the call fails
+// with a routing-class error rather than an application error — the route
+// is invalidated and re-resolved once before the error is surfaced. A
+// rebooted shard server re-registers under the same name, so the retry
+// lands on the live port.
+func (r *Router) CallShard(shard int, op string, tid types.TransID, body []byte) ([]byte, error) {
+	if shard < 0 || shard >= len(r.names) {
+		return nil, fmt.Errorf("core: shard %d out of range for family %q (%d shards)", shard, r.p.Family, len(r.names))
+	}
+	name := r.names[shard]
+	bindings, err := r.node.NS.LookUp(name, 1, routeResolveWait)
+	if err != nil {
+		return nil, fmt.Errorf("core: resolving shard %s: %w", name, err)
+	}
+	out, err := r.node.Invoke(bindings[0], op, tid, body)
+	if err == nil || !isRoutingError(err) {
+		return out, err
+	}
+	r.node.NS.Invalidate(name)
+	bindings, rerr := r.node.NS.LookUp(name, 1, routeResolveWait)
+	if rerr != nil {
+		return nil, err // surface the original failure
+	}
+	return r.node.Invoke(bindings[0], op, tid, body)
+}
+
+// isRoutingError reports whether err indicates the route (not the
+// request) failed: the server is gone from its node, the node is
+// unreachable, or the session timed out. Remote errors cross the wire as
+// plain strings, so the local sentinels are matched by substring too.
+func isRoutingError(err error) bool {
+	if errors.Is(err, ErrNoServer) || errors.Is(err, ErrCrashed) ||
+		errors.Is(err, comm.ErrTimeout) || errors.Is(err, comm.ErrUnreachable) ||
+		errors.Is(err, comm.ErrClosed) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, ErrNoServer.Error()) ||
+		strings.Contains(msg, ErrCrashed.Error())
+}

@@ -1,0 +1,216 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// shardedCluster boots n nodes with a sharded array of totalKeys cells
+// and recovers every node.
+func shardedCluster(t *testing.T, n int, totalKeys uint64) (*core.Cluster, []types.NodeID) {
+	t.Helper()
+	names := make([]types.NodeID, n)
+	for i := range names {
+		names[i] = types.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	c, err := core.NewCluster(core.DefaultClusterOptions(), names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	if _, err := intarray.AttachSharded(c, "array", totalKeys, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if _, err := c.Node(name).Recover(); err != nil {
+			t.Fatalf("recover %s: %v", name, err)
+		}
+	}
+	return c, names
+}
+
+func TestShardedReadWrite(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	client, err := intarray.NewShardedClient(c.Node(names[0]), "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", client.NumShards())
+	}
+	// Keys land on every shard; values round-trip across nodes.
+	app := c.Node(names[0]).App
+	for key := uint64(0); key < 30; key++ {
+		key := key
+		if err := app.Run(func(tid types.TransID) error {
+			return client.Set(tid, key, int64(key*7))
+		}); err != nil {
+			t.Fatalf("set %d: %v", key, err)
+		}
+	}
+	if err := app.Run(func(tid types.TransID) error {
+		for key := uint64(0); key < 30; key++ {
+			v, err := client.Get(tid, key)
+			if err != nil {
+				return err
+			}
+			if v != int64(key*7) {
+				t.Errorf("key %d = %d, want %d", key, v, key*7)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiShardCommitTreeTouchedOnly is the shard-aware commit tree
+// check: a transaction touching k of N shards must have exactly the k-1
+// remote shard homes as 2PC children — never the untouched shards.
+func TestMultiShardCommitTreeTouchedOnly(t *testing.T) {
+	c, names := shardedCluster(t, 4, 400)
+	coord := c.Node(names[0])
+	client, err := intarray.NewShardedClient(coord, "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(keys []uint64, wantChildren []types.NodeID) {
+		t.Helper()
+		var children []types.NodeID
+		if err := coord.App.Run(func(tid types.TransID) error {
+			for _, k := range keys {
+				if err := client.Set(tid, k, int64(k)); err != nil {
+					return err
+				}
+			}
+			// Capture the commit tree while the transaction is live; commit
+			// tears it down.
+			_, _, children = coord.CM.Tree(tid)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+		if len(children) != len(wantChildren) {
+			t.Fatalf("keys %v: children %v, want %v", keys, children, wantChildren)
+		}
+		for i := range children {
+			if children[i] != wantChildren[i] {
+				t.Fatalf("keys %v: children %v, want %v", keys, children, wantChildren)
+			}
+		}
+	}
+
+	// Placement is round-robin over sorted names: shard i on names[i],
+	// key k on shard k%4. A single-shard transaction on the coordinator's
+	// own shard (keys ≡ 0 mod 4) has no children at all.
+	check([]uint64{0, 4, 8}, nil)
+	// Touching shards 0 and 2 adds exactly n3.
+	check([]uint64{0, 2}, []types.NodeID{"n3"})
+	// Touching shards 1..3 adds n2..n4; shard 0 untouched.
+	check([]uint64{1, 2, 3}, []types.NodeID{"n2", "n3", "n4"})
+}
+
+// TestShardedCrossShardAtomicity crashes nothing but proves a cross-shard
+// abort undoes every shard's write.
+func TestShardedCrossShardAtomicity(t *testing.T) {
+	c, names := shardedCluster(t, 2, 100)
+	coord := c.Node(names[0])
+	client, err := intarray.NewShardedClient(coord, "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed both shards.
+	if err := coord.App.Run(func(tid types.TransID) error {
+		if err := client.Set(tid, 10, 100); err != nil {
+			return err
+		}
+		return client.Set(tid, 11, 200)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing transaction that wrote both shards must leave no trace.
+	sentinel := fmt.Errorf("application abort")
+	err = coord.App.Run(func(tid types.TransID) error {
+		if err := client.Set(tid, 10, -1); err != nil {
+			return err
+		}
+		if err := client.Set(tid, 11, -2); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if err == nil {
+		t.Fatal("aborting transaction committed")
+	}
+	if err := coord.App.Run(func(tid types.TransID) error {
+		for key, want := range map[uint64]int64{10: 100, 11: 200} {
+			v, err := client.Get(tid, key)
+			if err != nil {
+				return err
+			}
+			if v != want {
+				t.Errorf("key %d = %d after abort, want %d", key, v, want)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedRoutingSurvivesReboot kills one shard's home, reboots it,
+// and proves the router's invalidate-and-retry path re-resolves instead
+// of failing forever on the stale cached port.
+func TestShardedRoutingSurvivesReboot(t *testing.T) {
+	c, names := shardedCluster(t, 2, 100)
+	coord := c.Node(names[0])
+	client, err := intarray.NewShardedClient(coord, "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the route to shard 1 (home n2).
+	if err := coord.App.Run(func(tid types.TransID) error {
+		return client.Set(tid, 1, 42)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash("n2")
+	n2, err := c.Reboot("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reboot re-attaches the shard server (same segment; AttachSharded's
+	// per-shard sizing for 100 keys over 2 shards is 50 cells) and
+	// re-registers it, then recovers.
+	if _, err := intarray.Attach(n2, "array#1", intarray.ShardSegmentBase+1, 50, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator's cached route may point at the dead incarnation;
+	// the first call invalidates and retries against the re-registered
+	// port. The committed value survived the crash.
+	if err := coord.App.Run(func(tid types.TransID) error {
+		v, err := client.Get(tid, 1)
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("key 1 = %d after reboot, want 42", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tabs/internal/comm"
+	"tabs/internal/trace"
+	"tabs/internal/types"
+)
+
+// threeNodes wires three name servers over a MemNetwork.
+func threeNodes(t *testing.T) map[types.NodeID]*Server {
+	t.Helper()
+	net := comm.NewMemNetwork()
+	servers := map[types.NodeID]*Server{}
+	for _, n := range []types.NodeID{"a", "b", "c"} {
+		servers[n] = New(n, comm.New(n, net.Endpoint(n), nil))
+	}
+	return servers
+}
+
+func TestLookupCachesRemoteBinding(t *testing.T) {
+	servers := threeNodes(t)
+	tr := trace.New("a", 0)
+	servers["a"].AttachTracer(tr)
+	servers["b"].Register("thing", "array", "srv", types.ObjectID{Segment: 7})
+
+	// First lookup broadcasts; every subsequent one answers from cache.
+	for i := 0; i < 5; i++ {
+		got, err := servers["a"].LookUp("thing", 1, time.Second)
+		if err != nil || len(got) != 1 || got[0].Node != "b" {
+			t.Fatalf("lookup %d: %v %v", i, got, err)
+		}
+	}
+	m := tr.MetricsSnapshot()
+	if b := m["ns.lookup.broadcasts"].Value; b != 1 {
+		t.Errorf("broadcasts = %v, want 1 (first miss only)", b)
+	}
+	if h := m["ns.lookup.cache_hits"].Value; h != 4 {
+		t.Errorf("cache hits = %v, want 4", h)
+	}
+}
+
+func TestDeRegisterInvalidatesPeerCaches(t *testing.T) {
+	servers := threeNodes(t)
+	servers["b"].Register("mv", "array", "srv", types.ObjectID{})
+	if _, err := servers["a"].LookUp("mv", 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := servers["a"].cachedBindings("mv"); !ok {
+		t.Fatal("binding not cached on a after lookup")
+	}
+
+	// The object "moves": b deregisters, c registers. The deregistration
+	// broadcast must drop a's cached route so the next lookup re-resolves
+	// to c instead of erroring or returning the stale home.
+	servers["b"].DeRegister("mv", "srv", types.ObjectID{})
+	servers["c"].Register("mv", "array", "srv", types.ObjectID{})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, err := servers["a"].LookUp("mv", 1, time.Second)
+		if err == nil && len(got) == 1 && got[0].Node == "c" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale route never re-resolved: %v %v", got, err)
+		}
+		servers["a"].Invalidate("mv")
+	}
+}
+
+func TestStaleCacheReResolves(t *testing.T) {
+	servers := threeNodes(t)
+	servers["c"].Register("obj", "array", "real", types.ObjectID{})
+
+	// Poison a's cache with a binding pointing at a node that never
+	// registered the name, then invalidate — the recovery path a router
+	// takes when a cached call fails. The re-resolve must find c.
+	servers["a"].seedCache("obj", []Binding{{Node: "b", Server: "ghost"}}, 0)
+	got, err := servers["a"].LookUp("obj", 1, time.Second)
+	if err != nil || got[0].Node != "b" {
+		t.Fatalf("seeded cache not honored: %v %v", got, err)
+	}
+	servers["a"].Invalidate("obj")
+	got, err = servers["a"].LookUp("obj", 1, time.Second)
+	if err != nil || len(got) != 1 || got[0].Node != "c" || got[0].Server != "real" {
+		t.Fatalf("invalidated lookup did not re-resolve: %v %v", got, err)
+	}
+}
+
+func TestNegativeLookupCached(t *testing.T) {
+	servers := threeNodes(t)
+	tr := trace.New("a", 0)
+	servers["a"].AttachTracer(tr)
+	servers["a"].SetNegativeTTL(200 * time.Millisecond)
+
+	if _, err := servers["a"].LookUp("ghost", 1, 50*time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	// Within the TTL, repeated misses answer instantly with no broadcast.
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := servers["a"].LookUp("ghost", 1, 50*time.Millisecond); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("negative lookup %d: %v", i, err)
+		}
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Errorf("negative hits took %v; should not wait out MaxWait", d)
+	}
+	m := tr.MetricsSnapshot()
+	if b := m["ns.lookup.broadcasts"].Value; b != 1 {
+		t.Errorf("broadcasts = %v, want 1", b)
+	}
+	if n := m["ns.lookup.negative_hits"].Value; n != 3 {
+		t.Errorf("negative hits = %v, want 3", n)
+	}
+
+	// Registration of the name must break through the negative entry.
+	servers["b"].Register("ghost", "array", "srv", types.ObjectID{})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, err := servers["a"].LookUp("ghost", 1, 500*time.Millisecond)
+		if err == nil && len(got) == 1 && got[0].Node == "b" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registration never broke the negative entry: %v %v", got, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNegativeEntryExpires(t *testing.T) {
+	ns := New("solo", nil)
+	ns.seedCache("x", nil, time.Now().Add(5*time.Millisecond).UnixNano())
+	if _, err := ns.LookUp("x", 1, time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unexpired negative entry: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	ns.Register("x", "t", "s", types.ObjectID{})
+	got, err := ns.LookUp("x", 1, time.Millisecond)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("expired negative entry still answering: %v %v", got, err)
+	}
+}
+
+func TestCacheBoundedReset(t *testing.T) {
+	ns := New("solo", nil)
+	for i := 0; i < cacheMaxEntries+10; i++ {
+		ns.seedCache(fmt.Sprintf("n%d", i), []Binding{{Node: "solo"}}, 0)
+	}
+	rc := ns.cache.Load()
+	if rc == nil || len(rc.entries) > cacheMaxEntries {
+		t.Fatalf("cache grew past bound: %d", len(rc.entries))
+	}
+}
+
+func TestConcurrentRegisterLookupDeRegister(t *testing.T) {
+	// Race-mode coverage: registrations, deregistrations, lookups and
+	// invalidations hammering the sharded table and the copy-on-write
+	// cache at once. Correctness here is "no race, no panic, lookups
+	// return either a live binding or ErrNotFound".
+	servers := threeNodes(t)
+	const names = 8
+	name := func(i int) string { return fmt.Sprintf("obj-%d", i%names) }
+	var wg sync.WaitGroup
+	stop := time.Now().Add(300 * time.Millisecond)
+	for _, node := range []types.NodeID{"a", "b", "c"} {
+		ns := servers[node]
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				ns.Register(name(i), "array", "srv", types.ObjectID{Segment: 1})
+				if i%3 == 0 {
+					ns.DeRegister(name(i), "srv", types.ObjectID{Segment: 1})
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				got, err := ns.LookUp(name(i), 2, 2*time.Millisecond)
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+				for _, b := range got {
+					if b.Server != "srv" {
+						t.Errorf("bogus binding %+v", b)
+						return
+					}
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				ns.Invalidate(name(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	servers := threeNodes(t)
+	servers["a"].Register("x", "t", "s1", types.ObjectID{})
+	servers["a"].Register("x", "t", "s2", types.ObjectID{})
+	servers["b"].Register("y", "t", "s3", types.ObjectID{})
+	if _, err := servers["a"].LookUp("y", 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := servers["a"].StatsSnapshot()
+	if st.LocalNames != 1 || st.LocalBindings != 2 {
+		t.Errorf("local: %+v", st)
+	}
+	if st.CachedByNode["b"] != 1 {
+		t.Errorf("cached by node: %+v", st.CachedByNode)
+	}
+}
+
+// BenchmarkLookUpCached is the allocgate-enforced routing fast path: a
+// steady-state lookup of a placed key must not allocate or broadcast.
+func BenchmarkLookUpCached(b *testing.B) {
+	ns := New("solo", nil)
+	ns.Register("array#0", "array", "array#0", types.ObjectID{Segment: 1})
+	if _, err := ns.LookUp("array#0", 1, time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ns.LookUp("array#0", 1, time.Millisecond)
+		if err != nil || len(got) != 1 {
+			b.Fatal(got, err)
+		}
+	}
+}

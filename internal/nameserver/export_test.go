@@ -1,0 +1,20 @@
+package nameserver
+
+// seedCache force-publishes a routing-cache entry, bypassing resolution —
+// tests use it to plant stale routes and prove lookups recover.
+func (s *Server) seedCache(name string, bindings []Binding, negUntil int64) {
+	s.cacheStore(name, bindings, negUntil)
+}
+
+// cachedBindings returns the cached positive entry for name, if any.
+func (s *Server) cachedBindings(name string) ([]Binding, bool) {
+	rc := s.cache.Load()
+	if rc == nil {
+		return nil, false
+	}
+	e, ok := rc.entries[name]
+	if !ok || e.negUntil != 0 {
+		return nil, false
+	}
+	return e.bindings, true
+}

@@ -1,5 +1,6 @@
 // Package nameserver implements the TABS Name Server (paper §3.2.5) and
-// its client library (Table 3-3).
+// its client library (Table 3-3), extended with the data-partitioned
+// namespace of the sharded deployments (placement.go).
 //
 // Each node's Name Server maintains a mapping of object names to one or
 // more <port, logical-object-identifier> pairs for the objects managed by
@@ -10,6 +11,21 @@
 // name it does not recognize, a Name Server broadcasts a lookup request to
 // all other Name Servers and waits up to the caller's MaxWait for replies
 // (LookUp's MaxWait parameter, Table 3-3).
+//
+// Two structures keep resolution off the broadcast path in steady state:
+//
+//   - The local binding table is sharded 16 ways by name hash, so
+//     registration bursts (a rebooting node re-advertising its servers)
+//     stop serializing concurrent lookups behind one mutex.
+//
+//   - A routing cache snapshot is published through an atomic.Pointer —
+//     the same lock-free-read, copy-on-write idiom as the kernel page
+//     cache's read path — holding every name this node has resolved,
+//     locally or remotely, plus short-lived negative entries for names
+//     that resolved nowhere. A cached LookUp takes no lock, performs no
+//     broadcast and allocates nothing (allocgate-enforced). The cache is
+//     invalidated by name on DeRegister and Register (broadcast to every
+//     peer) and wholesale on a placement-map version bump.
 package nameserver
 
 import (
@@ -17,8 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"tabs/internal/trace"
 	"tabs/internal/types"
 )
 
@@ -32,7 +50,8 @@ type Binding struct {
 }
 
 // Broadcaster is the Communication Manager slice the Name Server uses:
-// broadcast for unknown names, datagram replies for matches.
+// broadcast for unknown names and invalidations, datagram replies for
+// matches.
 type Broadcaster interface {
 	Node() types.NodeID
 	Broadcast(service string, payload []byte) error
@@ -47,9 +66,52 @@ const Service = "name"
 // within the allotted wait.
 var ErrNotFound = errors.New("nameserver: name not found")
 
+// tableShards is the binding table's shard count; 16 matches the lock
+// manager's TID sharding and is plenty for registration traffic.
+const tableShards = 16
+
+// maxQueryReplies bounds how many bindings one peer sends back for one
+// query, and with it the reply fan-in any single query can generate: a
+// name with hundreds of replicated registrations must not turn every
+// lookup broadcast into a datagram storm.
+const maxQueryReplies = 8
+
+// maxFanIn bounds a query's reply buffer.
+const maxFanIn = 16
+
+// cacheMaxEntries bounds the routing cache; on overflow the cache is
+// dropped wholesale and rebuilt by subsequent resolutions, the same
+// bound-by-reset policy as the Communication Manager's duplicate cache.
+const cacheMaxEntries = 4096
+
+// DefaultNegativeTTL is how long a failed resolution is remembered.
+// Repeated lookups of a name that exists nowhere — a misconfigured
+// client, a server that has not booted yet — answer from this negative
+// entry instead of re-broadcasting to the whole cluster.
+const DefaultNegativeTTL = 250 * time.Millisecond
+
 type registration struct {
 	typ     string
 	binding Binding
+}
+
+// tableShard is one stripe of the local binding table.
+type tableShard struct {
+	mu    sync.Mutex
+	names map[string][]registration
+}
+
+// routeEntry is one cached resolution. Either bindings is non-empty (a
+// positive entry) or negUntil is the UnixNano expiry of a negative one.
+type routeEntry struct {
+	bindings []Binding
+	negUntil int64
+}
+
+// routeCache is an immutable resolution snapshot; readers load it with a
+// single atomic pointer read and never take a lock.
+type routeCache struct {
+	entries map[string]routeEntry
 }
 
 // Server is one node's Name Server.
@@ -57,10 +119,32 @@ type Server struct {
 	node types.NodeID
 	bc   Broadcaster
 
-	mu      sync.Mutex
-	names   map[string][]registration
+	table [tableShards]tableShard
+
+	// cache is the lock-free routing snapshot; cacheMu serializes the
+	// copy-on-write publishers only.
+	cache   atomic.Pointer[routeCache]
+	cacheMu sync.Mutex
+
+	// placements maps family -> versioned shard map, also copy-on-write.
+	placements atomic.Pointer[map[string]*Placement]
+	pmu        sync.Mutex
+
+	qmu     sync.Mutex
 	nextQ   uint64
 	queries map[uint64]chan Binding
+
+	// negTTL is the negative-entry lifetime; tests shorten it.
+	negTTL time.Duration
+
+	// Pre-resolved counter handles: the cache-hit path must not take the
+	// tracer mutex (or allocate) per lookup. All are nil-safe.
+	cHits     *trace.Counter
+	cMisses   *trace.Counter
+	cNegHits  *trace.Counter
+	cBcasts   *trace.Counter
+	cInvals   *trace.Counter
+	cRegBurst *trace.Counter
 }
 
 // New returns a Name Server; bc may be nil for an isolated node.
@@ -68,8 +152,11 @@ func New(node types.NodeID, bc Broadcaster) *Server {
 	s := &Server{
 		node:    node,
 		bc:      bc,
-		names:   make(map[string][]registration),
 		queries: make(map[uint64]chan Binding),
+		negTTL:  DefaultNegativeTTL,
+	}
+	for i := range s.table {
+		s.table[i].names = make(map[string][]registration)
 	}
 	if bc != nil {
 		bc.RegisterService(Service, s.handle)
@@ -77,44 +164,107 @@ func New(node types.NodeID, bc Broadcaster) *Server {
 	return s
 }
 
+// AttachTracer points the server's resolution counters (ns.lookup.*,
+// ns.cache.*) at tr; nil disables them.
+func (s *Server) AttachTracer(tr *trace.Tracer) {
+	s.cHits = tr.Counter("ns.lookup.cache_hits")
+	s.cMisses = tr.Counter("ns.lookup.cache_misses")
+	s.cNegHits = tr.Counter("ns.lookup.negative_hits")
+	s.cBcasts = tr.Counter("ns.lookup.broadcasts")
+	s.cInvals = tr.Counter("ns.cache.invalidations")
+	s.cRegBurst = tr.Counter("ns.registrations")
+}
+
+// SetNegativeTTL overrides the negative-cache lifetime (tests).
+func (s *Server) SetNegativeTTL(d time.Duration) {
+	s.qmu.Lock()
+	s.negTTL = d
+	s.qmu.Unlock()
+}
+
+func (s *Server) negativeTTL() time.Duration {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.negTTL
+}
+
+func (s *Server) shard(name string) *tableShard {
+	// FNV-1a over the name; cheap and stable.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &s.table[h%tableShards]
+}
+
 // Register adds a binding for name (Table 3-3: Register(Name, Type, Port,
 // ObjectID)). The abstractions data servers represent are permanent
 // entities; registration re-advertises them each time the server comes up,
-// even though the ports change across failures (§3.1.3).
+// even though the ports change across failures (§3.1.3). Registration
+// invalidates the name's routing-cache entry everywhere: peers holding a
+// stale (or negative) entry re-resolve on their next lookup.
 func (s *Server) Register(name, typ string, server types.ServerID, obj types.ObjectID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(name)
+	sh.mu.Lock()
 	b := Binding{Node: s.node, Server: server, Object: obj}
-	for _, r := range s.names[name] {
+	for _, r := range sh.names[name] {
 		if r.binding == b {
+			sh.mu.Unlock()
 			return
 		}
 	}
-	s.names[name] = append(s.names[name], registration{typ: typ, binding: b})
+	sh.names[name] = append(sh.names[name], registration{typ: typ, binding: b})
+	sh.mu.Unlock()
+	s.cRegBurst.Add(1)
+	s.cacheDelete(name)
+	s.broadcastInval(name)
 }
 
-// DeRegister removes a binding (Table 3-3).
+// DeRegister removes a binding (Table 3-3) and invalidates the name's
+// routing-cache entry on every reachable peer.
 func (s *Server) DeRegister(name string, server types.ServerID, obj types.ObjectID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(name)
+	sh.mu.Lock()
 	b := Binding{Node: s.node, Server: server, Object: obj}
-	regs := s.names[name]
+	regs := sh.names[name]
 	for i, r := range regs {
 		if r.binding == b {
-			s.names[name] = append(regs[:i], regs[i+1:]...)
+			sh.names[name] = append(regs[:i], regs[i+1:]...)
 			break
 		}
 	}
-	if len(s.names[name]) == 0 {
-		delete(s.names, name)
+	if len(sh.names[name]) == 0 {
+		delete(sh.names, name)
 	}
+	sh.mu.Unlock()
+	s.cacheDelete(name)
+	s.broadcastInval(name)
 }
 
-// localLookup returns up to want local bindings for name.
+// Invalidate drops the name from the local routing cache. Callers that
+// discover a cached binding is dead (the call to it failed) invalidate and
+// re-resolve; the next LookUp takes the slow path.
+func (s *Server) Invalidate(name string) {
+	s.cacheDelete(name)
+}
+
+func (s *Server) broadcastInval(name string) {
+	if s.bc == nil {
+		return
+	}
+	_ = s.bc.Broadcast(Service, encodeMsg(msgInval, 0, name))
+}
+
+// localLookup returns up to want local bindings for name (0 = all).
 func (s *Server) localLookup(name string, want int) []Binding {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	regs := s.names[name]
+	sh := s.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	regs := sh.names[name]
+	if len(regs) == 0 {
+		return nil
+	}
 	out := make([]Binding, 0, len(regs))
 	for _, r := range regs {
 		out = append(out, r.binding)
@@ -125,37 +275,208 @@ func (s *Server) localLookup(name string, want int) []Binding {
 	return out
 }
 
+// --- routing cache ----------------------------------------------------------
+
+// cacheStore publishes a copy-on-write snapshot with name resolved to
+// bindings (positive) or, with negUntil set, remembered as absent.
+func (s *Server) cacheStore(name string, bindings []Binding, negUntil int64) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	old := s.cache.Load()
+	var size int
+	if old != nil {
+		size = len(old.entries)
+	}
+	if size >= cacheMaxEntries {
+		// Bound by reset: drop everything, keep the new entry.
+		old = nil
+		size = 0
+	}
+	entries := make(map[string]routeEntry, size+1)
+	if old != nil {
+		for k, v := range old.entries {
+			entries[k] = v
+		}
+	}
+	entries[name] = routeEntry{bindings: bindings, negUntil: negUntil}
+	s.cache.Store(&routeCache{entries: entries})
+}
+
+// cacheDelete unpublishes name, if present.
+func (s *Server) cacheDelete(name string) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	old := s.cache.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := old.entries[name]; !ok {
+		return
+	}
+	entries := make(map[string]routeEntry, len(old.entries)-1)
+	for k, v := range old.entries {
+		if k != name {
+			entries[k] = v
+		}
+	}
+	s.cache.Store(&routeCache{entries: entries})
+	s.cInvals.Add(1)
+}
+
+// cacheClear drops the whole routing cache (placement version bump).
+func (s *Server) cacheClear() {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.cache.Load() != nil {
+		s.cache.Store(nil)
+		s.cInvals.Add(1)
+	}
+}
+
+// CacheSnapshot returns the cached positive bindings by name (tabsctl
+// placement dumps; not a hot path).
+func (s *Server) CacheSnapshot() map[string][]Binding {
+	rc := s.cache.Load()
+	if rc == nil {
+		return nil
+	}
+	out := make(map[string][]Binding, len(rc.entries))
+	for name, e := range rc.entries {
+		if e.negUntil == 0 {
+			out[name] = append([]Binding(nil), e.bindings...)
+		}
+	}
+	return out
+}
+
+// --- placement --------------------------------------------------------------
+
+// SetPlacement installs a placement map, if it is strictly newer than the
+// installed map for the same family, and reports whether it took effect.
+// Installing a new version drops the routing cache: routes computed from
+// the old map must re-resolve rather than silently keep pointing at homes
+// the map has moved.
+func (s *Server) SetPlacement(p *Placement) bool {
+	if p == nil || p.Family == "" {
+		return false
+	}
+	s.pmu.Lock()
+	old := s.placements.Load()
+	if old != nil {
+		if cur, ok := (*old)[p.Family]; ok && cur.Version >= p.Version {
+			s.pmu.Unlock()
+			return false
+		}
+	}
+	var size int
+	if old != nil {
+		size = len(*old)
+	}
+	next := make(map[string]*Placement, size+1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[p.Family] = p
+	s.placements.Store(&next)
+	s.pmu.Unlock()
+	s.cacheClear()
+	return true
+}
+
+// PlacementFor returns the installed map for family, or nil. The read is
+// one atomic load; routers call it per construction, not per operation.
+func (s *Server) PlacementFor(family string) *Placement {
+	ps := s.placements.Load()
+	if ps == nil {
+		return nil
+	}
+	return (*ps)[family]
+}
+
+// Placements returns every installed placement map.
+func (s *Server) Placements() []*Placement {
+	ps := s.placements.Load()
+	if ps == nil {
+		return nil
+	}
+	out := make([]*Placement, 0, len(*ps))
+	for _, p := range *ps {
+		out = append(out, p)
+	}
+	return out
+}
+
+// --- lookup -----------------------------------------------------------------
+
 // LookUp resolves name to up to want bindings (Table 3-3: LookUp(Name,
-// NodeName, DesiredNumberOfPortIDs, MaxWait)). Local registrations answer
-// immediately; otherwise the request is broadcast and replies are gathered
-// until want bindings arrive or maxWait elapses.
+// NodeName, DesiredNumberOfPortIDs, MaxWait)).
+//
+// Fast path: a previously resolved name answers from the routing-cache
+// snapshot — one atomic load, no locks, no broadcast, no allocation. The
+// returned slice is shared with the cache; callers must not modify it.
+//
+// Slow path: local registrations answer immediately; otherwise the
+// request is broadcast and replies are gathered until want bindings
+// arrive or maxWait elapses. The result — positive or negative — is
+// published to the cache for the next caller.
 func (s *Server) LookUp(name string, want int, maxWait time.Duration) ([]Binding, error) {
 	if want <= 0 {
 		want = 1
 	}
+	if rc := s.cache.Load(); rc != nil {
+		if e, ok := rc.entries[name]; ok {
+			if e.negUntil == 0 {
+				if len(e.bindings) >= want {
+					s.cHits.Add(1)
+					return e.bindings[:want:want], nil
+				}
+				// Fewer cached than wanted: fall through and try to find
+				// more; the slow path refreshes the entry.
+			} else if time.Now().UnixNano() < e.negUntil {
+				s.cNegHits.Add(1)
+				return nil, ErrNotFound
+			}
+		}
+	}
+	s.cMisses.Add(1)
+	return s.lookUpSlow(name, want, maxWait)
+}
+
+func (s *Server) lookUpSlow(name string, want int, maxWait time.Duration) ([]Binding, error) {
 	if local := s.localLookup(name, want); len(local) >= want {
+		s.cacheStore(name, local, 0)
 		return local, nil
 	}
 	if s.bc == nil {
-		if local := s.localLookup(name, want); len(local) > 0 {
-			return local, nil
+		if local := s.localLookup(name, 0); len(local) > 0 {
+			s.cacheStore(name, local, 0)
+			return local[:min(want, len(local))], nil
 		}
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 
-	s.mu.Lock()
+	// Bound the reply fan-in to what this query can consume: a lookup
+	// wanting one binding does not buffer sixteen.
+	fanIn := want
+	if fanIn > maxFanIn {
+		fanIn = maxFanIn
+	}
+	s.qmu.Lock()
 	s.nextQ++
 	qid := s.nextQ
-	ch := make(chan Binding, 16)
+	ch := make(chan Binding, fanIn)
 	s.queries[qid] = ch
-	s.mu.Unlock()
+	s.qmu.Unlock()
 	defer func() {
-		s.mu.Lock()
+		s.qmu.Lock()
 		delete(s.queries, qid)
-		s.mu.Unlock()
+		s.qmu.Unlock()
 	}()
 
-	if err := s.bc.Broadcast(Service, encodeQuery(qid, name)); err != nil {
+	s.cBcasts.Add(1)
+	if err := s.bc.Broadcast(Service, encodeMsg(msgQuery, qid, name)); err != nil {
 		return nil, err
 	}
 	results := s.localLookup(name, want)
@@ -175,16 +496,58 @@ func (s *Server) LookUp(name string, want int, maxWait time.Duration) ([]Binding
 			}
 		case <-deadline:
 			if len(results) > 0 {
+				s.cacheStore(name, results, 0)
 				return results, nil
 			}
+			s.cacheStore(name, nil, time.Now().Add(s.negativeTTL()).UnixNano())
 			return nil, fmt.Errorf("%w: %q (broadcast unanswered)", ErrNotFound, name)
 		}
 	}
+	s.cacheStore(name, results, 0)
 	return results, nil
 }
 
-// handle processes inbound name-service datagrams: queries from peers and
-// replies to our own broadcasts.
+// Stats summarizes the server's tables for the placement dump.
+type Stats struct {
+	LocalNames    int                  `json:"local_names"`
+	LocalBindings int                  `json:"local_bindings"`
+	CachedNames   int                  `json:"cached_names"`
+	NegEntries    int                  `json:"negative_entries"`
+	CachedByNode  map[types.NodeID]int `json:"cached_by_node,omitempty"`
+}
+
+// StatsSnapshot counts local registrations and cached routes per node.
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{CachedByNode: make(map[types.NodeID]int)}
+	for i := range s.table {
+		sh := &s.table[i]
+		sh.mu.Lock()
+		st.LocalNames += len(sh.names)
+		for _, regs := range sh.names {
+			st.LocalBindings += len(regs)
+		}
+		sh.mu.Unlock()
+	}
+	if rc := s.cache.Load(); rc != nil {
+		for _, e := range rc.entries {
+			if e.negUntil != 0 {
+				st.NegEntries++
+				continue
+			}
+			st.CachedNames++
+			for _, b := range e.bindings {
+				st.CachedByNode[b.Node]++
+			}
+		}
+	}
+	if len(st.CachedByNode) == 0 {
+		st.CachedByNode = nil
+	}
+	return st
+}
+
+// handle processes inbound name-service datagrams: queries from peers,
+// replies to our own broadcasts, and cache invalidations.
 func (s *Server) handle(from types.NodeID, _ types.TransID, payload []byte) ([]byte, error) {
 	kind, qid, rest, err := decodeHeader(payload)
 	if err != nil {
@@ -193,7 +556,7 @@ func (s *Server) handle(from types.NodeID, _ types.TransID, payload []byte) ([]b
 	switch kind {
 	case msgQuery:
 		name := string(rest)
-		for _, b := range s.localLookup(name, 0) {
+		for _, b := range s.localLookup(name, maxQueryReplies) {
 			_ = s.bc.SendDatagram(from, Service, types.NilTransID, encodeReply(qid, b), 0)
 		}
 	case msgReply:
@@ -201,15 +564,17 @@ func (s *Server) handle(from types.NodeID, _ types.TransID, payload []byte) ([]b
 		if err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
+		s.qmu.Lock()
 		ch := s.queries[qid]
-		s.mu.Unlock()
+		s.qmu.Unlock()
 		if ch != nil {
 			select {
 			case ch <- b:
 			default:
 			}
 		}
+	case msgInval:
+		s.cacheDelete(string(rest))
 	}
 	return nil, nil
 }
@@ -219,11 +584,12 @@ func (s *Server) handle(from types.NodeID, _ types.TransID, payload []byte) ([]b
 const (
 	msgQuery byte = 1
 	msgReply byte = 2
+	msgInval byte = 3
 )
 
-func encodeQuery(qid uint64, name string) []byte {
+func encodeMsg(kind byte, qid uint64, name string) []byte {
 	b := make([]byte, 0, 9+len(name))
-	b = append(b, msgQuery)
+	b = append(b, kind)
 	b = binary.BigEndian.AppendUint64(b, qid)
 	return append(b, name...)
 }

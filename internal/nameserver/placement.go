@@ -1,0 +1,83 @@
+// Placement maps: the data-partitioned namespace.
+//
+// A placement map assigns the N shards of one object family (an "array",
+// a "queue", ...) to the M nodes of a deployment, deterministically, so
+// that every node — and every diskless application host — computes the
+// same key-to-shard routing without asking anyone. The map is published
+// through each node's Name Server: placement answers "which shard owns
+// this key, and which node is that shard's home", while the ordinary
+// binding table keeps answering "which port serves that shard right now"
+// (ports change across failures, §3.1.3; homes do not).
+//
+// The map is versioned. Rebalancing — moving a shard to another node —
+// is out of scope here, but a mover only has to publish a map with a
+// higher Version: SetPlacement installs strictly newer maps and drops the
+// routing cache, so stale routes re-resolve instead of erroring.
+package nameserver
+
+import (
+	"fmt"
+
+	"tabs/internal/types"
+)
+
+// ShardInfo is one shard's home: the node the shard's data server runs on
+// and the server's identifier (which doubles as its advertised name).
+type ShardInfo struct {
+	Node   types.NodeID   `json:"node"`
+	Server types.ServerID `json:"server"`
+}
+
+// Placement is one object family's versioned shard map.
+type Placement struct {
+	// Family names the partitioned object ("array", "accounts", ...).
+	Family string `json:"family"`
+	// Version orders maps; SetPlacement installs strictly newer ones.
+	Version uint64 `json:"version"`
+	// Shards assigns shard i its home. len(Shards) is the shard count.
+	Shards []ShardInfo `json:"shards"`
+}
+
+// NumShards returns the shard count.
+func (p *Placement) NumShards() int { return len(p.Shards) }
+
+// Shard returns the shard owning key. The partition function is the
+// identity hash modulo the shard count: deterministic, uniform for dense
+// key spaces, and — unlike a mixing hash — it keeps each shard's key set
+// dense (key k is slot k/N of shard k%N), which array-shaped servers
+// index directly. Servers with their own key directories (the B-tree) are
+// free to layer a mixing hash on top before calling this.
+func (p *Placement) Shard(key uint64) int {
+	return int(key % uint64(len(p.Shards)))
+}
+
+// Locate returns the home of the shard owning key.
+func (p *Placement) Locate(key uint64) ShardInfo {
+	return p.Shards[p.Shard(key)]
+}
+
+// ShardServerID names shard i of a family: "family#i". Shard data servers
+// register under exactly this name, so routing is ComputePlacement +
+// LookUp with no extra directory.
+func ShardServerID(family string, shard int) types.ServerID {
+	return types.ServerID(fmt.Sprintf("%s#%d", family, shard))
+}
+
+// ComputePlacement builds the deterministic placement of shards over
+// nodes: shard i lives on nodes[i%len(nodes)] and is served by
+// ShardServerID(family, i). Callers pass the node list in a canonical
+// order (core.Cluster.NodeNames sorts) so every computer of the map
+// agrees on it.
+func ComputePlacement(family string, version uint64, shards int, nodes []types.NodeID) (*Placement, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("nameserver: placement needs at least one shard, got %d", shards)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("nameserver: placement of %q needs at least one node", family)
+	}
+	p := &Placement{Family: family, Version: version, Shards: make([]ShardInfo, shards)}
+	for i := 0; i < shards; i++ {
+		p.Shards[i] = ShardInfo{Node: nodes[i%len(nodes)], Server: ShardServerID(family, i)}
+	}
+	return p, nil
+}

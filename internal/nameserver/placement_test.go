@@ -1,0 +1,94 @@
+package nameserver
+
+import (
+	"testing"
+	"time"
+
+	"tabs/internal/types"
+)
+
+func TestComputePlacementRoundRobin(t *testing.T) {
+	nodes := []types.NodeID{"n1", "n2", "n3"}
+	p, err := ComputePlacement("array", 1, 8, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 8 {
+		t.Fatalf("NumShards = %d", p.NumShards())
+	}
+	for i, sh := range p.Shards {
+		if want := nodes[i%3]; sh.Node != want {
+			t.Errorf("shard %d on %s, want %s", i, sh.Node, want)
+		}
+		if want := ShardServerID("array", i); sh.Server != want {
+			t.Errorf("shard %d server %s, want %s", i, sh.Server, want)
+		}
+	}
+}
+
+func TestComputePlacementValidates(t *testing.T) {
+	if _, err := ComputePlacement("a", 1, 0, []types.NodeID{"n"}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := ComputePlacement("a", 1, 1, nil); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestShardIsIdentityModulo(t *testing.T) {
+	p, _ := ComputePlacement("array", 1, 4, []types.NodeID{"n1", "n2"})
+	for key := uint64(0); key < 100; key++ {
+		if got := p.Shard(key); got != int(key%4) {
+			t.Fatalf("Shard(%d) = %d", key, got)
+		}
+	}
+	if p.Locate(6).Node != "n1" || p.Locate(7).Node != "n2" {
+		t.Errorf("Locate: %+v %+v", p.Locate(6), p.Locate(7))
+	}
+}
+
+func TestSetPlacementVersionGate(t *testing.T) {
+	ns := New("solo", nil)
+	p1, _ := ComputePlacement("array", 1, 2, []types.NodeID{"n1"})
+	p2, _ := ComputePlacement("array", 2, 4, []types.NodeID{"n1", "n2"})
+	if !ns.SetPlacement(p1) {
+		t.Fatal("initial install rejected")
+	}
+	if ns.SetPlacement(p1) {
+		t.Error("same version reinstalled")
+	}
+	if !ns.SetPlacement(p2) {
+		t.Fatal("newer version rejected")
+	}
+	if ns.SetPlacement(p1) {
+		t.Error("older version reinstalled")
+	}
+	if got := ns.PlacementFor("array"); got == nil || got.Version != 2 {
+		t.Errorf("PlacementFor = %+v", got)
+	}
+	if ns.PlacementFor("other") != nil {
+		t.Error("unknown family resolved")
+	}
+	if got := ns.Placements(); len(got) != 1 {
+		t.Errorf("Placements = %+v", got)
+	}
+	if ns.SetPlacement(nil) || ns.SetPlacement(&Placement{}) {
+		t.Error("nil/empty placement accepted")
+	}
+}
+
+func TestSetPlacementDropsRouteCache(t *testing.T) {
+	ns := New("solo", nil)
+	ns.Register("x", "t", "s", types.ObjectID{})
+	if _, err := ns.LookUp("x", 1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ns.cachedBindings("x"); !ok {
+		t.Fatal("lookup did not cache")
+	}
+	p, _ := ComputePlacement("array", 1, 2, []types.NodeID{"n1"})
+	ns.SetPlacement(p)
+	if _, ok := ns.cachedBindings("x"); ok {
+		t.Error("placement bump left stale routes cached")
+	}
+}

@@ -1,0 +1,108 @@
+package intarray
+
+// Sharded deployment of the integer array: one array server per shard,
+// placed over a cluster's nodes by a nameserver.Placement map. Keys are
+// global uint64 cell indices; the placement's identity-modulo partition
+// function keeps each shard's key set dense, so shard s of n stores
+// global key k (with k%n == s) at local cell k/n+1 and the per-shard
+// segment is exactly 1/n of the total with no holes.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/nameserver"
+	"tabs/internal/types"
+)
+
+// ShardSegmentBase offsets shard segments away from the segment IDs the
+// standard single-array deployments use (Attach callers conventionally
+// pass small segment numbers).
+const ShardSegmentBase = 100
+
+// AttachSharded partitions an array of totalKeys cells (global keys
+// 0..totalKeys-1) into one shard per cluster node, attaches each shard's
+// array server on its home node, installs the version-1 placement map on
+// every node, and returns the map. Shard i is named ShardServerID(family,
+// i) and lives on the i-th node in canonical (sorted) order.
+func AttachSharded(c *core.Cluster, family string, totalKeys uint64, lockTimeout time.Duration) (*nameserver.Placement, error) {
+	nodes := c.NodeNames()
+	p, err := nameserver.ComputePlacement(family, 1, len(nodes), nodes)
+	if err != nil {
+		return nil, err
+	}
+	n := uint64(p.NumShards())
+	for i, sh := range p.Shards {
+		// Shard i owns global keys {k : k%n == i}; their local cells are
+		// 1..ceil((totalKeys-i)/n).
+		cells := totalKeys / n
+		if uint64(i) < totalKeys%n {
+			cells++
+		}
+		if cells == 0 {
+			cells = 1
+		}
+		node := c.Node(sh.Node)
+		if node == nil {
+			return nil, fmt.Errorf("intarray: placement names unknown node %s", sh.Node)
+		}
+		seg := types.SegmentID(ShardSegmentBase + i)
+		if _, err := Attach(node, sh.Server, seg, uint32(cells), lockTimeout); err != nil {
+			return nil, fmt.Errorf("intarray: attaching shard %d on %s: %w", i, sh.Node, err)
+		}
+	}
+	if !c.ApplyPlacement(p) {
+		return nil, errors.New("intarray: placement rejected by every node")
+	}
+	return p, nil
+}
+
+// ShardedClient routes Get/Set by global key through a core.Router.
+type ShardedClient struct {
+	router *core.Router
+}
+
+// NewShardedClient builds a keyed stub on node n for the family's
+// placement installed in n's Name Server.
+func NewShardedClient(n *core.Node, family string) (*ShardedClient, error) {
+	r, err := core.NewRouter(n, family)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedClient{router: r}, nil
+}
+
+// Shard returns the shard owning key (tests, benchmark key planning).
+func (c *ShardedClient) Shard(key uint64) int { return c.router.Shard(key) }
+
+// NumShards returns the placement's shard count.
+func (c *ShardedClient) NumShards() int { return c.router.Placement().NumShards() }
+
+// localCell maps a global key to its cell within the owning shard.
+func (c *ShardedClient) localCell(key uint64) uint32 {
+	return uint32(key/uint64(c.NumShards())) + 1
+}
+
+// Get reads the cell with global index key within tid.
+func (c *ShardedClient) Get(tid types.TransID, key uint64) (int64, error) {
+	body := binary.BigEndian.AppendUint32(nil, c.localCell(key))
+	out, err := c.router.Call(key, OpGet, tid, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, errors.New("intarray: malformed GetCell reply")
+	}
+	return int64(binary.BigEndian.Uint64(out)), nil
+}
+
+// Set assigns the cell with global index key within tid.
+func (c *ShardedClient) Set(tid types.TransID, key uint64, value int64) error {
+	body := binary.BigEndian.AppendUint32(nil, c.localCell(key))
+	body = binary.BigEndian.AppendUint64(body, uint64(value))
+	_, err := c.router.Call(key, OpSet, tid, body)
+	return err
+}

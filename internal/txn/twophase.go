@@ -255,6 +255,10 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 		_, _, children = m.cm.Tree(lt.top)
 	}
 	sp.Annotatef("children=%d", len(children))
+	// The commit-tree fan-out distribution: with sharded placement it
+	// shows how many shard homes a transaction actually touched (the
+	// child set is built from session traffic, never from the placement).
+	m.tr.Observe("txn.commit.children", float64(len(children)))
 	var writers []types.NodeID
 	if len(children) > 0 {
 		votes := m.collectRound(lt.top, children, dgPrepare, clsVote)
