@@ -151,6 +151,11 @@ var frameClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
 var framePools [len(frameClasses)]sync.Pool
 
 // frameBuf returns a buffer of length n from the smallest fitting class.
+// The caller owns the buffer and must hand it to putFrameBuf (or a
+// declared transfer point) on every path; tabslint's bufown pass enforces
+// this.
+//
+//tabslint:pool-get
 func frameBuf(n int) []byte {
 	for i, c := range frameClasses {
 		if n <= c {
@@ -167,6 +172,8 @@ func frameBuf(n int) []byte {
 // largest class (or with foreign capacities) are left to the GC. Pools hold
 // *[]byte, not []byte: putting a bare slice would box its header on every
 // Put, allocating the very garbage the pool exists to avoid.
+//
+//tabslint:pool-put
 func putFrameBuf(b []byte) {
 	c := cap(b)
 	for i, class := range frameClasses {

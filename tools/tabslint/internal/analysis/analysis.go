@@ -48,11 +48,109 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Pos locates it in the load's FileSet;
+// file-level findings (e.g. lockorder on LOCK_ORDER.txt, which is not Go
+// source) carry NoPos and set File/Line directly.
 type Diagnostic struct {
 	Pos      token.Pos
+	File     string // used when Pos == NoPos
+	Line     int    // used when Pos == NoPos
 	Analyzer string
 	Message  string
+}
+
+// Position resolves the diagnostic's file/line/column against fset.
+func (d Diagnostic) Position(fset *token.FileSet) (file string, line, col int) {
+	if d.Pos == token.NoPos {
+		return d.File, d.Line, 0
+	}
+	p := fset.Position(d.Pos)
+	return p.Filename, p.Line, p.Column
+}
+
+// GlobalAnalyzer is one whole-program check: it sees every unit of a load
+// at once, so it can follow calls across package boundaries.
+type GlobalAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*GlobalPass) error
+}
+
+// GlobalPass is the whole load, handed to one GlobalAnalyzer.
+type GlobalPass struct {
+	Analyzer *GlobalAnalyzer
+	Fset     *token.FileSet
+	// Units is every package variant in the load.
+	Units []*Unit
+	// ModulePath is the import-path prefix of the analyzed module; empty
+	// for fixture loads (which scopes interface dispatch to everything).
+	ModulePath string
+	// Dir is where per-analyzer configuration files live: the module
+	// root in real runs, the fixture root under lintest.
+	Dir string
+	// Partial marks a load narrower than the whole module (a targeted
+	// package pattern). Checks that require seeing every package — such
+	// as lockorder's stale-declared-edge detection — are skipped.
+	Partial bool
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *GlobalPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFilef records a diagnostic against a non-Go file (configuration
+// such as LOCK_ORDER.txt).
+func (p *GlobalPass) ReportFilef(file string, line int, format string, args ...any) {
+	p.report(Diagnostic{File: file, Line: line, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunGlobal applies whole-program analyzers to the load and returns their
+// raw (unsuppressed) diagnostics in deterministic order.
+func RunGlobal(units []*Unit, modulePath, dir string, partial bool, analyzers []*GlobalAnalyzer) ([]Diagnostic, error) {
+	if len(units) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &GlobalPass{
+			Analyzer:   a,
+			Fset:       units[0].Fset,
+			Units:      units,
+			ModulePath: modulePath,
+			Dir:        dir,
+			Partial:    partial,
+			report:     func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	Sort(units[0].Fset, diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, analyzer, message.
+func Sort(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		fi, li, ci := diags[i].Position(fset)
+		fj, lj, cj := diags[j].Position(fset)
+		if fi != fj {
+			return fi < fj
+		}
+		if li != lj {
+			return li < lj
+		}
+		if ci != cj {
+			return ci < cj
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
 }
 
 // Unit is the input to Run: one parsed and type-checked package variant
@@ -65,10 +163,27 @@ type Unit struct {
 	Info       *types.Info
 }
 
-// Run applies each analyzer to the unit and returns the surviving
-// diagnostics sorted by position. Findings on lines governed by a
-// //tabslint:ignore directive are dropped.
+// Run applies each per-unit analyzer to the unit and returns the
+// surviving diagnostics sorted by position. Findings on lines governed by
+// a //tabslint:ignore directive are dropped. (The driver uses RunRaw plus
+// a load-wide Suppressions so directive staleness can be tracked across
+// unit and global analyzers together; Run is the self-contained form
+// lintest and single-unit callers want.)
 func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := RunRaw(u, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	sup := NewSuppressions()
+	sup.Collect(u.Fset, u.Files)
+	kept := sup.Filter(u.Fset, diags)
+	Sort(u.Fset, kept)
+	return kept, nil
+}
+
+// RunRaw applies each per-unit analyzer and returns every diagnostic,
+// ignoring suppression directives.
+func RunRaw(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -84,53 +199,46 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	sup := collectSuppressions(u.Fset, u.Files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !sup.covers(u.Fset.Position(d.Pos), d.Analyzer) {
-			kept = append(kept, d)
-		}
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		pi, pj := u.Fset.Position(kept[i].Pos), u.Fset.Position(kept[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return kept[i].Analyzer < kept[j].Analyzer
-	})
-	return kept, nil
+	return diags, nil
 }
 
-// suppressions maps file -> line -> set of suppressed analyzer names
-// ("all" suppresses every analyzer).
-type suppressions map[string]map[int][]string
-
-// covers reports whether a directive on the diagnostic's line or the line
-// directly above names the analyzer.
-func (s suppressions) covers(pos token.Position, analyzer string) bool {
-	lines := s[pos.Filename]
-	for _, ln := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[ln] {
-			if name == "all" || name == analyzer {
-				return true
-			}
-		}
-	}
-	return false
+// Suppressions is the set of //tabslint:ignore directives in a load, with
+// per-directive use tracking so directives that stopped suppressing
+// anything are themselves findings (Stale).
+type Suppressions struct {
+	seen    map[string]bool // file names already collected
+	entries []*directive
+	byLine  map[string]map[int][]*directive
 }
 
-// collectSuppressions scans comments for directives of the form
+// directive is one //tabslint:ignore comment.
+type directive struct {
+	pos   token.Pos
+	file  string
+	line  int
+	names []string
+	used  bool
+}
+
+// NewSuppressions returns an empty set.
+func NewSuppressions() *Suppressions {
+	return &Suppressions{seen: map[string]bool{}, byLine: map[string]map[int][]*directive{}}
+}
+
+// Collect scans files for directives of the form
 //
 //	//tabslint:ignore name1,name2 free-form reason
 //
 // The reason is mandatory by convention (reviewed, not enforced); the
-// directive applies to findings on its own line and the line below.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := suppressions{}
+// directive applies to findings on its own line and the line below. Files
+// already collected (a unit sharing files with another) are skipped.
+func (s *Suppressions) Collect(fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		if s.seen[fname] {
+			continue
+		}
+		s.seen[fname] = true
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//tabslint:ignore")
@@ -142,14 +250,68 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				m := sup[pos.Filename]
-				if m == nil {
-					m = map[int][]string{}
-					sup[pos.Filename] = m
+				d := &directive{
+					pos:   c.Pos(),
+					file:  pos.Filename,
+					line:  pos.Line,
+					names: strings.Split(fields[0], ","),
 				}
-				m[pos.Line] = append(m[pos.Line], strings.Split(fields[0], ",")...)
+				s.entries = append(s.entries, d)
+				m := s.byLine[d.file]
+				if m == nil {
+					m = map[int][]*directive{}
+					s.byLine[d.file] = m
+				}
+				m[d.line] = append(m[d.line], d)
 			}
 		}
 	}
-	return sup
+}
+
+// Filter drops diagnostics covered by a directive on their line or the
+// line directly above, marking the directives that fired.
+func (s *Suppressions) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		file, line, _ := d.Position(fset)
+		if !s.covers(file, line, d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// covers finds and marks every matching directive.
+func (s *Suppressions) covers(file string, line int, analyzer string) bool {
+	found := false
+	lines := s.byLine[file]
+	for _, ln := range []int{line, line - 1} {
+		for _, d := range lines[ln] {
+			for _, name := range d.names {
+				if name == "all" || name == analyzer {
+					d.used = true
+					found = true
+				}
+			}
+		}
+	}
+	return found
+}
+
+// Stale returns one staleignore diagnostic per directive that suppressed
+// nothing, so suppressions cannot outlive the bugs they excused.
+func (s *Suppressions) Stale() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.entries {
+		if d.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "staleignore",
+			Message: fmt.Sprintf("//tabslint:ignore %s suppresses no finding; delete the directive (or fix its analyzer list)",
+				strings.Join(d.names, ",")),
+		})
+	}
+	return out
 }

@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"tabs/tools/tabslint/internal/analysis"
+)
+
+const src = `package x
+
+//tabslint:ignore spanleak proven safe in this test
+var a = 1
+
+//tabslint:ignore lockhold directive that suppresses nothing
+var b = 2
+
+var c = 3 //tabslint:ignore all same-line form
+`
+
+// Line numbers in src above.
+const (
+	lineA = 4
+	lineB = 7
+	lineC = 9
+)
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	at := func(line int) token.Pos { return fset.File(f.Pos()).LineStart(line) }
+
+	sup := analysis.NewSuppressions()
+	sup.Collect(fset, []*ast.File{f})
+	// Collecting the same file twice must not double the directives.
+	sup.Collect(fset, []*ast.File{f})
+
+	diags := []analysis.Diagnostic{
+		{Pos: at(lineA), Analyzer: "spanleak", Message: "suppressed by the line above"},
+		{Pos: at(lineB), Analyzer: "durcheck", Message: "name mismatch: lockhold directive does not cover durcheck"},
+		{Pos: at(lineC), Analyzer: "poolmisuse", Message: "suppressed by the same-line all directive"},
+	}
+	kept := sup.Filter(fset, diags)
+	if len(kept) != 1 || kept[0].Analyzer != "durcheck" {
+		t.Fatalf("Filter kept %v, want only the durcheck finding", kept)
+	}
+
+	// Exactly one directive suppressed nothing: the lockhold one.
+	stale := sup.Stale()
+	if len(stale) != 1 {
+		t.Fatalf("Stale() = %v, want one finding", stale)
+	}
+	if stale[0].Analyzer != "staleignore" || !strings.Contains(stale[0].Message, "lockhold") {
+		t.Fatalf("stale finding = %+v, want staleignore naming lockhold", stale[0])
+	}
+	if _, line, _ := stale[0].Position(fset); line != lineB-1 {
+		t.Fatalf("stale finding on line %d, want %d (the directive line)", line, lineB-1)
+	}
+}
+
+func TestSortAndFileDiagnostics(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	at := func(line int) token.Pos { return fset.File(f.Pos()).LineStart(line) }
+
+	diags := []analysis.Diagnostic{
+		{Pos: at(7), Analyzer: "b", Message: "later line"},
+		{File: "LOCK_ORDER.txt", Line: 3, Analyzer: "lockorder", Message: "file-level finding"},
+		{Pos: at(4), Analyzer: "b", Message: "same pos, later analyzer"},
+		{Pos: at(4), Analyzer: "a", Message: "same pos, earlier analyzer"},
+	}
+	analysis.Sort(fset, diags)
+
+	// File-level diagnostics (NoPos) position by File/Line and sort with
+	// the rest: "LOCK_ORDER.txt" < "x.go".
+	file, line, col := diags[0].Position(fset)
+	if file != "LOCK_ORDER.txt" || line != 3 || col != 0 {
+		t.Fatalf("diags[0] at %s:%d:%d, want LOCK_ORDER.txt:3:0", file, line, col)
+	}
+	want := []string{"lockorder", "a", "b", "b"}
+	for i, w := range want {
+		if diags[i].Analyzer != w {
+			t.Fatalf("sorted analyzers = %v..., want %v", diags[i].Analyzer, want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package callgraph resolves call expressions to ssa Functions for the
+// interprocedural passes: tabslint's miniature of the role
+// golang.org/x/tools/go/callgraph plays upstream.
+//
+// Resolution is static where the language is static and class-hierarchy
+// analysis (CHA) where it is not:
+//
+//   - direct function and concrete-method calls resolve through go/types;
+//   - a call of a function literal resolves to the literal's Function;
+//   - a call through a module-defined interface resolves to every module
+//     method set that structurally satisfies the interface, matched by
+//     method *names* (units are type-checked independently, so nominal
+//     types.Implements across units is unsound here — name-set matching
+//     is the cross-unit-stable approximation, and for a lint gate an
+//     over-approximation is the safe direction);
+//   - calls through func values and through non-module interfaces are
+//     unresolved (stdlib bodies are not loaded anyway).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/ssa"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// Graph resolves call sites against one Program.
+type Graph struct {
+	prog *ssa.Program
+	// modulePrefix scopes CHA: only interfaces declared in packages whose
+	// path is the module path or below are dispatched.
+	modulePrefix string
+	// recvMethods: receiver key -> method-name set, for implements tests.
+	recvMethods map[string]map[string]*ssa.Function
+	// chaCache memoizes interface-method resolution.
+	chaCache map[string][]*ssa.Function
+}
+
+// New builds a graph over prog. modulePath scopes interface dispatch
+// ("tabs"; fixtures pass "" to dispatch every interface in the load).
+func New(prog *ssa.Program, modulePath string) *Graph {
+	g := &Graph{
+		prog:         prog,
+		modulePrefix: modulePath,
+		recvMethods:  map[string]map[string]*ssa.Function{},
+		chaCache:     map[string][]*ssa.Function{},
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Obj == nil || fn.Sig == nil || fn.Sig.Recv() == nil {
+			continue
+		}
+		key := recvKeyOf(fn.Sig.Recv().Type())
+		if key == "" {
+			continue
+		}
+		m := g.recvMethods[key]
+		if m == nil {
+			m = map[string]*ssa.Function{}
+			g.recvMethods[key] = m
+		}
+		m[fn.Obj.Name()] = fn
+	}
+	return g
+}
+
+// Resolve returns the Functions a call may invoke, in the analyzed
+// program. The slice is empty for unresolvable calls (func values,
+// builtins, conversions, stdlib callees).
+func (g *Graph) Resolve(u *analysis.Unit, call *ast.CallExpr) []*ssa.Function {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if fn := g.prog.FuncOfLit(fun); fn != nil {
+			return []*ssa.Function{fn}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+				return g.resolveInterface(sel.Recv(), sel.Obj().Name())
+			}
+		}
+	}
+	callee := typeutil.Callee(u.Info, call)
+	if callee == nil {
+		return nil
+	}
+	// An interface method reached as a qualified use (rare) still needs
+	// CHA dispatch.
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return g.resolveInterface(sig.Recv().Type(), callee.Name())
+		}
+	}
+	if fn := g.prog.FuncByID(ssa.FuncID(callee)); fn != nil {
+		return []*ssa.Function{fn}
+	}
+	return nil
+}
+
+// resolveInterface returns every module method set satisfying the
+// interface, by method-name matching.
+func (g *Graph) resolveInterface(ifaceType types.Type, method string) []*ssa.Function {
+	iface, ok := ifaceType.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	if !g.inModule(ifaceType) {
+		return nil
+	}
+	key := typeKeyOf(ifaceType) + "#" + method
+	if fns, ok := g.chaCache[key]; ok {
+		return fns
+	}
+	var need []string
+	for i := 0; i < iface.NumMethods(); i++ {
+		need = append(need, iface.Method(i).Name())
+	}
+	var out []*ssa.Function
+	var keys []string
+	for k := range g.recvMethods {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic resolution order
+	for _, k := range keys {
+		methods := g.recvMethods[k]
+		satisfies := true
+		for _, n := range need {
+			if _, ok := methods[n]; !ok {
+				satisfies = false
+				break
+			}
+		}
+		if satisfies {
+			if fn, ok := methods[method]; ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	g.chaCache[key] = out
+	return out
+}
+
+// inModule reports whether the interface's defining package is part of
+// the analyzed module (or the graph is unscoped).
+func (g *Graph) inModule(t types.Type) bool {
+	if g.modulePrefix == "" {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == g.modulePrefix || strings.HasPrefix(path, g.modulePrefix+"/")
+}
+
+// recvKeyOf mirrors ssa's receiver identity ("pkgpath.TypeName").
+func recvKeyOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return typeKeyOf(t)
+}
+
+func typeKeyOf(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,127 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/callgraph"
+	"tabs/tools/tabslint/internal/ssa"
+)
+
+const src = `package x
+
+type Stringer interface{ Str() string }
+
+type A struct{}
+
+func (A) Str() string { return "a" }
+
+type B struct{}
+
+func (*B) Str() string { return "b" }
+
+func direct() {}
+
+func use(s Stringer) {
+	s.Str()
+	direct()
+	f := func() {}
+	f()
+	func() {}()
+}
+`
+
+func load(t *testing.T) (*analysis.Unit, *ssa.Program) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	u := &analysis.Unit{ImportPath: "x", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+	return u, ssa.Build([]*analysis.Unit{u})
+}
+
+// calls returns the call expressions in x.use in syntactic order, without
+// descending into the function literals.
+func calls(t *testing.T, prog *ssa.Program) []*ast.CallExpr {
+	t.Helper()
+	fn := prog.FuncByID("x.use")
+	if fn == nil {
+		t.Fatal("x.use not lowered")
+	}
+	var out []*ast.CallExpr
+	ssa.Calls(fn.Body, func(c *ast.CallExpr) { out = append(out, c) })
+	if len(out) != 4 {
+		t.Fatalf("found %d calls in x.use, want 4", len(out))
+	}
+	return out
+}
+
+func ids(fns []*ssa.Function) []string {
+	var out []string
+	for _, fn := range fns {
+		out = append(out, fn.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestResolution(t *testing.T) {
+	u, prog := load(t)
+	g := callgraph.New(prog, "") // unscoped: dispatch every interface
+	cs := calls(t, prog)
+
+	// Interface dispatch (CHA): both implementations.
+	got := ids(g.Resolve(u, cs[0]))
+	if len(got) != 2 || got[0] != "x.(A).Str" || got[1] != "x.(B).Str" {
+		t.Errorf("s.Str() resolved to %v, want [x.(A).Str x.(B).Str]", got)
+	}
+
+	// Direct call.
+	if got := ids(g.Resolve(u, cs[1])); len(got) != 1 || got[0] != "x.direct" {
+		t.Errorf("direct() resolved to %v, want [x.direct]", got)
+	}
+
+	// Call through a func value: unresolved by design.
+	if got := g.Resolve(u, cs[2]); len(got) != 0 {
+		t.Errorf("f() resolved to %v, want nothing", ids(got))
+	}
+
+	// Immediately-invoked literal: resolves to the literal's Function.
+	if got := ids(g.Resolve(u, cs[3])); len(got) != 1 || got[0] != "x.use$lit2" {
+		t.Errorf("func(){}() resolved to %v, want [x.use$lit2]", got)
+	}
+}
+
+func TestModuleScoping(t *testing.T) {
+	u, prog := load(t)
+	// Package "x" is outside module "other": its interfaces must not
+	// dispatch (stdlib interfaces get the same treatment in real runs).
+	g := callgraph.New(prog, "other")
+	cs := calls(t, prog)
+	if got := g.Resolve(u, cs[0]); len(got) != 0 {
+		t.Errorf("out-of-module interface dispatched to %v, want nothing", ids(got))
+	}
+	// Direct calls still resolve regardless of scoping.
+	if got := ids(g.Resolve(u, cs[1])); len(got) != 1 || got[0] != "x.direct" {
+		t.Errorf("direct() resolved to %v, want [x.direct]", got)
+	}
+}

@@ -9,6 +9,7 @@ package lintest
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -44,6 +45,130 @@ func Run(t *testing.T, testdata string, path string, a *analysis.Analyzer) {
 		}
 		checkExpectations(t, u, diags)
 	}
+}
+
+// RunGlobal loads one or more fixture packages under testdata/src into a
+// single whole-program load, applies the global analyzer, and matches
+// diagnostics against expectations. Go files carry `// want "regexp"`
+// comments as in Run; configuration files in the first path's directory
+// (LOCK_ORDER.txt) carry `# want "regexp"` on the line the finding is
+// expected at. The first path is the fixture root: analyzer configuration
+// is resolved there. ModulePath is left empty so interface dispatch is
+// unscoped, as the fixtures have no module prefix.
+func RunGlobal(t *testing.T, testdata string, a *analysis.GlobalAnalyzer, paths ...string) {
+	t.Helper()
+	if len(paths) == 0 {
+		t.Fatalf("lintest: RunGlobal needs at least one fixture path")
+	}
+	root, mod, err := loader.FindModule(".")
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
+	}
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
+	}
+	cfg := &loader.Config{ModuleRoot: root, ModulePath: mod, SrcDir: src, IncludeTests: true}
+	var units []*analysis.Unit
+	for _, p := range paths {
+		us, err := cfg.LoadDir(filepath.Join(src, filepath.FromSlash(p)))
+		if err != nil {
+			t.Fatalf("lintest: loading %s: %v", p, err)
+		}
+		units = append(units, us...)
+	}
+	if len(units) == 0 {
+		t.Fatalf("lintest: no packages under %v", paths)
+	}
+	dir := filepath.Join(src, filepath.FromSlash(paths[0]))
+	diags, err := analysis.RunGlobal(units, "", dir, false, []*analysis.GlobalAnalyzer{a})
+	if err != nil {
+		t.Fatalf("lintest: running %s: %v", a.Name, err)
+	}
+	sup := analysis.NewSuppressions()
+	for _, u := range units {
+		sup.Collect(u.Fset, u.Files)
+	}
+	fset := units[0].Fset
+	diags = sup.Filter(fset, diags)
+	analysis.Sort(fset, diags)
+
+	wants := collectWants(t, units)
+	wants = append(wants, collectFileWants(t, filepath.Join(dir, "LOCK_ORDER.txt"))...)
+	for _, d := range diags {
+		file, line, _ := d.Position(fset)
+		pos := token.Position{Filename: file, Line: line}
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", file, line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants gathers // want expectations across every unit's files,
+// deduplicating files shared between unit variants.
+func collectWants(t *testing.T, units []*analysis.Unit) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	seen := map[string]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			fname := u.Fset.Position(f.Pos()).Filename
+			if seen[fname] {
+				continue
+			}
+			seen[fname] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					idx := strings.Index(text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					pats, err := parseWant(text[idx+len("// want "):])
+					if err != nil {
+						t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+						continue
+					}
+					for _, p := range pats {
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: p})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// collectFileWants reads `# want "regexp"` expectations from a non-Go
+// configuration file; a missing file is simply no expectations.
+func collectFileWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "# want ")
+		if idx < 0 {
+			continue
+		}
+		pats, err := parseWant(line[idx+len("# want "):])
+		if err != nil {
+			t.Errorf("%s:%d: bad want comment: %v", path, i+1, err)
+			continue
+		}
+		for _, p := range pats {
+			wants = append(wants, &expectation{file: path, line: i + 1, pattern: p})
+		}
+	}
+	return wants
 }
 
 // expectation is one // want entry.

@@ -169,8 +169,16 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// importPathOf maps a package directory back to its import path.
+// importPathOf maps a package directory back to its import path. A
+// directory under SrcDir takes its SrcDir-relative path — the same
+// identity imports of it resolve to — so whole-program passes see one
+// package, not a fixture loaded under two names.
 func (cfg *Config) importPathOf(dir string) string {
+	if cfg.SrcDir != "" {
+		if rel, err := filepath.Rel(cfg.SrcDir, dir); err == nil && !strings.HasPrefix(rel, "..") && rel != "." {
+			return filepath.ToSlash(rel)
+		}
+	}
 	if rel, err := filepath.Rel(cfg.ModuleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
 		if rel == "." {
 			return cfg.ModulePath

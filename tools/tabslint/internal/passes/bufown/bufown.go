@@ -1,0 +1,506 @@
+// Package bufown tracks ownership of size-classed pool buffers across
+// function boundaries: a buffer handed out by a pool-get function must
+// reach exactly one Put (or a documented ownership-transfer point) on
+// every path. Returning one to the pool twice corrupts the free list for
+// a later holder; never returning it silently defeats the pool.
+//
+// The pool API is declared with doc-comment directives, so the pass needs
+// no hard-coded knowledge of any package:
+//
+//	//tabslint:pool-get       the function returns a pool-owned buffer;
+//	                          the caller owns it
+//	//tabslint:pool-put       calling this returns the first slice-typed
+//	                          argument to the pool (consumes it)
+//	//tabslint:pool-transfer  the callee takes ownership of the first
+//	                          slice-typed argument (a documented transfer
+//	                          point: enqueue, async write, cache insert)
+//
+// Consumption is interprocedural: a helper that forwards its parameter to
+// a pool-put consumes that parameter too, computed as a bottom-up
+// fixpoint over the callgraph (including interface dispatch). The pass
+// then runs a forward dataflow per function over {maybe-live,
+// maybe-consumed} bits and reports:
+//
+//   - double Put: a consuming call whose argument may already have been
+//     consumed on some path;
+//   - leak: a buffer still live on some path out of the function
+//     (deferred Puts are replayed in the exit block, so `defer
+//     putFrameBuf(b)` is seen on every path).
+//
+// Returning the buffer, storing it into a field, sending it on a channel
+// or capturing it in a closure transfers ownership out of the analyzed
+// frame; the pass stops tracking rather than guess. Use-after-Put stays
+// poolmisuse's job.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/callgraph"
+	"tabs/tools/tabslint/internal/ssa"
+)
+
+// Analyzer is the bufown check.
+var Analyzer = &analysis.GlobalAnalyzer{
+	Name: "bufown",
+	Doc:  "pool buffer ownership: every buffer from a //tabslint:pool-get function reaches exactly one Put or documented transfer point",
+	Run:  run,
+}
+
+const (
+	bitLive     uint8 = 1 << iota // may still own the buffer
+	bitConsumed                   // may already have been Put/transferred
+)
+
+func run(pass *analysis.GlobalPass) error {
+	prog := ssa.Build(pass.Units)
+	graph := callgraph.New(prog, pass.ModulePath)
+	pool := poolSummaries(prog, graph)
+
+	for _, fn := range prog.Funcs {
+		if fn.InTestFile {
+			continue
+		}
+		checkFunc(pass, fn, graph, pool)
+	}
+	return nil
+}
+
+// own is the dataflow fact: per-variable ownership bits.
+type own map[types.Object]uint8
+
+func (o own) clone() own {
+	n := make(own, len(o))
+	for k, v := range o {
+		n[k] = v
+	}
+	return n
+}
+
+func (o own) merge(p own) own {
+	n := o.clone()
+	for k, v := range p {
+		n[k] |= v
+	}
+	return n
+}
+
+func (o own) equal(p own) bool {
+	if len(o) != len(p) {
+		return false
+	}
+	for k, v := range o {
+		if p[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(pass *analysis.GlobalPass, fn *ssa.Function, graph *callgraph.Graph, pool *poolInfo) {
+	info := fn.Unit.Info
+	// Variables captured by a nested closure leave this frame's custody;
+	// tracking them here would double-count what the closure does.
+	captured := capturedObjects(fn, info)
+	// acquireSite remembers where each tracked variable first received a
+	// pool buffer, for leak diagnostics.
+	acquireSite := map[types.Object]token.Pos{}
+
+	tr := func(in ssa.Fact, ins ssa.Instr) ssa.Fact {
+		return transfer(fn, graph, pool, captured, acquireSite, in.(own), ins)
+	}
+	fl := ssa.Flow{
+		Init:     own{},
+		Transfer: tr,
+		Merge:    func(a, b ssa.Fact) ssa.Fact { return a.(own).merge(b.(own)) },
+		Equal:    func(a, b ssa.Fact) bool { return a.(own).equal(b.(own)) },
+	}
+
+	fn.Forward(fl, func(in ssa.Fact, ins ssa.Instr, _ *ssa.Block) {
+		o := in.(own)
+		forEachCall(ins, func(call *ast.CallExpr) {
+			for _, arg := range consumedArgs(fn, graph, pool, call) {
+				obj := identObj(info, arg)
+				if obj == nil {
+					continue
+				}
+				if o[obj]&bitConsumed != 0 {
+					pass.Reportf(arg.Pos(), "pool buffer %q may already have been returned to the pool; this second Put corrupts the free list for a later holder", obj.Name())
+				}
+			}
+		})
+	})
+
+	// Leak: still maybe-live after the exit block (deferred Puts included).
+	exit := fn.ExitFact(fl)
+	if exit == nil {
+		return
+	}
+	o := exit.(own)
+	var leaked []types.Object
+	for obj, bits := range o {
+		if bits&bitLive != 0 {
+			leaked = append(leaked, obj)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].Pos() < leaked[j].Pos() })
+	for _, obj := range leaked {
+		pos := acquireSite[obj]
+		if !pos.IsValid() {
+			pos = obj.Pos()
+		}
+		pass.Reportf(pos, "pool buffer %q does not reach a Put or //tabslint:pool-transfer point on every path out of %s; the pool never gets it back", obj.Name(), fn.ID)
+	}
+}
+
+// transfer advances the ownership fact across one instruction.
+func transfer(fn *ssa.Function, graph *callgraph.Graph, pool *poolInfo, captured map[types.Object]bool, acquireSite map[types.Object]token.Pos, in own, ins ssa.Instr) ssa.Fact {
+	info := fn.Unit.Info
+	out := in
+	cloned := false
+	set := func(obj types.Object, bits uint8) {
+		if !cloned {
+			out = in.clone()
+			cloned = true
+		}
+		if bits == 0 {
+			delete(out, obj)
+		} else {
+			out[obj] = bits
+		}
+	}
+
+	// Consuming calls first: the argument moves to the pool. forEachCall
+	// skips deferred registrations (the consumption happens at the
+	// exit-block replay) and go statements (handled below).
+	forEachCall(ins, func(call *ast.CallExpr) {
+		for _, arg := range consumedArgs(fn, graph, pool, call) {
+			if obj := identObj(info, arg); obj != nil && out[obj] != 0 {
+				set(obj, bitConsumed)
+			}
+		}
+	})
+
+	switch n := ins.Node.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[i]
+				lobj := identObj(info, lhs)
+				if lobj != nil {
+					switch {
+					case isGetCall(fn, graph, pool, rhs) && !captured[lobj]:
+						set(lobj, bitLive)
+						if _, seen := acquireSite[lobj]; !seen {
+							acquireSite[lobj] = rhs.Pos()
+						}
+					case identObj(info, rhs) != nil && out[identObj(info, rhs)] != 0:
+						// Move: `c := b` renames the owner.
+						robj := identObj(info, rhs)
+						if !captured[lobj] {
+							set(lobj, out[robj])
+						}
+						set(robj, 0)
+					default:
+						set(lobj, 0) // rebinding to something untracked
+					}
+					continue
+				}
+				// Storing a tracked buffer into a field/map/global hands
+				// it to another owner: stop tracking.
+				if robj := identObj(info, rhs); robj != nil && out[robj] != 0 {
+					set(robj, 0)
+				}
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				if lobj := identObj(info, lhs); lobj != nil {
+					set(lobj, 0)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		// Ownership transfers to the caller (the enclosing function should
+		// itself be marked //tabslint:pool-get if it hands out raw pool
+		// buffers).
+		for _, res := range n.Results {
+			if obj := identObj(info, res); obj != nil && out[obj] != 0 {
+				set(obj, 0)
+			}
+		}
+	case *ast.SendStmt:
+		if obj := identObj(info, n.Value); obj != nil && out[obj] != 0 {
+			set(obj, 0)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine owns whatever tracked buffer it receives;
+		// its Put (or leak) happens on another stack this frame cannot
+		// see, so tracking stops.
+		for _, arg := range n.Call.Args {
+			if obj := identObj(info, arg); obj != nil && out[obj] != 0 {
+				set(obj, 0)
+			}
+		}
+	}
+	return out
+}
+
+// forEachCall visits the calls an instruction *executes*. A Deferred
+// replay instruction executes only its top-level call (its arguments were
+// evaluated at registration); a DeferStmt or GoStmt registration executes
+// only the calls inside the argument list, not the call itself.
+func forEachCall(ins ssa.Instr, visit func(*ast.CallExpr)) {
+	if ins.Deferred {
+		if call, ok := ins.Node.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return
+	}
+	switch n := ins.Node.(type) {
+	case *ast.DeferStmt:
+		for _, arg := range n.Call.Args {
+			ssa.Calls(arg, visit)
+		}
+	case *ast.GoStmt:
+		for _, arg := range n.Call.Args {
+			ssa.Calls(arg, visit)
+		}
+	default:
+		ssa.Calls(ins.Node, visit)
+	}
+}
+
+// consumedArgs returns the argument expressions this call consumes
+// (returns to the pool or takes ownership of), per the callees' summaries.
+func consumedArgs(fn *ssa.Function, graph *callgraph.Graph, pool *poolInfo, call *ast.CallExpr) []ast.Expr {
+	callees := graph.Resolve(fn.Unit, call)
+	if len(callees) == 0 {
+		return nil
+	}
+	args := positionalArgs(fn.Unit.Info, call)
+	var out []ast.Expr
+	seen := map[int]bool{}
+	for _, callee := range callees {
+		for i := range pool.consumes[callee.ID] {
+			if i < len(args) && args[i] != nil && !seen[i] {
+				seen[i] = true
+				out = append(out, args[i])
+			}
+		}
+	}
+	return out
+}
+
+// isGetCall reports whether e is a call to a //tabslint:pool-get function.
+func isGetCall(fn *ssa.Function, graph *callgraph.Graph, pool *poolInfo, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, callee := range graph.Resolve(fn.Unit, call) {
+		if pool.gets[callee.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// poolInfo is the whole-program pool summary.
+type poolInfo struct {
+	// gets marks functions whose result is a caller-owned pool buffer.
+	gets map[string]bool
+	// consumes maps function ID -> call-position indices whose argument is
+	// returned to the pool or ownership-transferred. Positions follow the
+	// call site: receiver 0 then arguments for methods, arguments from 0
+	// for plain functions.
+	consumes map[string]map[int]bool
+}
+
+// poolSummaries reads the pool directives and closes consumption over the
+// callgraph: a function that forwards a parameter to a consuming position
+// consumes that parameter itself.
+func poolSummaries(prog *ssa.Program, graph *callgraph.Graph) *poolInfo {
+	pool := &poolInfo{gets: map[string]bool{}, consumes: map[string]map[int]bool{}}
+
+	// paramIdx mirrors the call-position convention for each function.
+	paramIdx := map[string]map[types.Object]int{}
+	for _, fn := range prog.Funcs {
+		idx := map[types.Object]int{}
+		recv, params := fn.RecvAndParams()
+		base := 0
+		if recv != nil {
+			idx[recv] = 0
+			base = 1
+		}
+		for i, p := range params {
+			idx[p] = base + i
+		}
+		paramIdx[fn.ID] = idx
+
+		if hasDirective(fn.Doc, "pool-get") {
+			pool.gets[fn.ID] = true
+		}
+		if hasDirective(fn.Doc, "pool-put") || hasDirective(fn.Doc, "pool-transfer") {
+			if i, ok := firstSliceParam(fn); ok {
+				pool.consume(fn.ID, i)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs {
+			info := fn.Unit.Info
+			idx := paramIdx[fn.ID]
+			for _, blk := range fn.Blocks {
+				for _, ins := range blk.Instrs {
+					ssa.Calls(ins.Node, func(call *ast.CallExpr) {
+						callees := graph.Resolve(fn.Unit, call)
+						if len(callees) == 0 {
+							return
+						}
+						args := positionalArgs(info, call)
+						for _, callee := range callees {
+							for ci := range pool.consumes[callee.ID] {
+								if ci >= len(args) || args[ci] == nil {
+									continue
+								}
+								obj := identObj(info, args[ci])
+								if obj == nil {
+									continue
+								}
+								if pi, isParam := idx[obj]; isParam {
+									if pool.consume(fn.ID, pi) {
+										changed = true
+									}
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+	return pool
+}
+
+func (p *poolInfo) consume(fnID string, i int) bool {
+	m := p.consumes[fnID]
+	if m == nil {
+		m = map[int]bool{}
+		p.consumes[fnID] = m
+	}
+	if m[i] {
+		return false
+	}
+	m[i] = true
+	return true
+}
+
+// firstSliceParam returns the call-position index of the function's first
+// slice-typed parameter (the buffer a pool-put/pool-transfer consumes).
+func firstSliceParam(fn *ssa.Function) (int, bool) {
+	recv, params := fn.RecvAndParams()
+	base := 0
+	if recv != nil {
+		base = 1
+	}
+	for i, p := range params {
+		if _, ok := p.Type().Underlying().(*types.Slice); ok {
+			return base + i, true
+		}
+	}
+	return 0, false
+}
+
+// hasDirective reports whether doc carries the //tabslint:<name> directive.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//tabslint:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// positionalArgs lays the call's value expressions out by call-position
+// index: the receiver (for a method value call) first, then arguments.
+func positionalArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			out = append(out, fun.X)
+		}
+	}
+	if out == nil && calleeHasRecv(info, call) {
+		out = append(out, nil) // receiver slot unknown (method expression)
+	}
+	out = append(out, call.Args...)
+	return out
+}
+
+// calleeHasRecv reports whether the call's callee signature has a receiver
+// not present at the call site as a selector operand.
+func calleeHasRecv(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig.Recv() != nil
+		}
+	}
+	return false
+}
+
+// capturedObjects collects the variables referenced from function literals
+// nested in fn; buffers they hold leave fn's custody.
+func capturedObjects(fn *ssa.Function, info *types.Info) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, isVar := obj.(*types.Var); isVar {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		return false
+	})
+	return out
+}
+
+// identObj resolves a (possibly parenthesized) identifier expression to
+// its variable object, or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		if _, isVar := obj.(*types.Var); isVar {
+			return obj
+		}
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		if _, isVar := obj.(*types.Var); isVar {
+			return obj
+		}
+	}
+	return nil
+}

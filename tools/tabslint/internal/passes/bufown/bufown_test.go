@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	lintest.RunGlobal(t, "../../../testdata", bufown.Analyzer, "bufown/a")
+}

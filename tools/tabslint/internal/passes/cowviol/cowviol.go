@@ -1,0 +1,366 @@
+// Package cowviol enforces the copy-on-write discipline around
+// atomic.Pointer publication, the idiom the routing cache, placement maps
+// and lock-manager tracing all rely on: a snapshot reachable from a
+// published pointer is immutable — readers load it without a lock, so any
+// in-place edit is a data race the race detector only catches if the
+// interleaving happens. Mutators must clone, edit the clone, and Store.
+//
+// A value is *published* once it is loaded from an atomic.Pointer
+// (someone else may hold it too) or once it has been passed to Store/
+// Swap/CompareAndSwap (readers may hold it from now on). The pass runs a
+// forward dataflow per function tracking published locals, follows
+// derivation through field selection, indexing and dereference, and
+// reports:
+//
+//   - direct mutation: assignment, IncDec, delete, clear or append whose
+//     target is reachable from a published value;
+//   - interprocedural mutation: passing a published value to a function
+//     (or method, including interface dispatch) whose body may deep-
+//     mutate that parameter, computed as a bottom-up fixpoint over the
+//     callgraph.
+//
+// Cloning idioms need no annotation: a value returned by an ordinary call
+// (maps.Clone, a make+copy helper) is fresh, so derivation stops there.
+package cowviol
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/callgraph"
+	"tabs/tools/tabslint/internal/ssa"
+)
+
+// Analyzer is the cowviol check.
+var Analyzer = &analysis.GlobalAnalyzer{
+	Name: "cowviol",
+	Doc:  "copy-on-write discipline for atomic.Pointer snapshots: no mutation of a value reachable from a published pointer, directly or through any call",
+	Run:  run,
+}
+
+func run(pass *analysis.GlobalPass) error {
+	prog := ssa.Build(pass.Units)
+	graph := callgraph.New(prog, pass.ModulePath)
+	mut := mutationSummaries(prog, graph)
+
+	for _, fn := range prog.Funcs {
+		if fn.InTestFile {
+			continue
+		}
+		checkFunc(pass, fn, graph, mut)
+	}
+	return nil
+}
+
+// pub is the dataflow fact: the set of local objects holding published
+// values.
+type pub map[types.Object]bool
+
+func (p pub) clone() pub {
+	n := make(pub, len(p))
+	for k := range p {
+		n[k] = true
+	}
+	return n
+}
+
+func (p pub) merge(o pub) pub {
+	n := p.clone()
+	for k := range o {
+		n[k] = true
+	}
+	return n
+}
+
+func (p pub) equal(o pub) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for k := range p {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(pass *analysis.GlobalPass, fn *ssa.Function, graph *callgraph.Graph, mut summaries) {
+	info := fn.Unit.Info
+	fl := ssa.Flow{
+		Init:     pub{},
+		Transfer: func(in ssa.Fact, ins ssa.Instr) ssa.Fact { return transfer(info, in.(pub), ins) },
+		Merge:    func(a, b ssa.Fact) ssa.Fact { return a.(pub).merge(b.(pub)) },
+		Equal:    func(a, b ssa.Fact) bool { return a.(pub).equal(b.(pub)) },
+	}
+	fn.Forward(fl, func(in ssa.Fact, ins ssa.Instr, _ *ssa.Block) {
+		p := in.(pub)
+		reportMutations(pass, fn, graph, mut, p, ins.Node)
+	})
+}
+
+// transfer propagates published-ness through one instruction.
+func transfer(info *types.Info, in pub, ins ssa.Instr) ssa.Fact {
+	out := in
+	cloned := false
+	ensure := func() {
+		if !cloned {
+			out = in.clone()
+			cloned = true
+		}
+	}
+	switch n := ins.Node.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil {
+					continue
+				}
+				ensure()
+				if publishedExpr(info, in, n.Rhs[i]) {
+					out[obj] = true
+				} else {
+					delete(out, obj)
+				}
+			}
+		} else {
+			// Tuple assignment from a call: results are fresh.
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						ensure()
+						delete(out, obj)
+					}
+				}
+			}
+		}
+	case *ssa.RangeHeader:
+		// Key/value drawn from a published container are published.
+		r := n.Range
+		xPub := publishedExpr(info, in, r.X)
+		for _, e := range []ast.Expr{r.Key, r.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					ensure()
+					if xPub {
+						out[obj] = true
+					} else {
+						delete(out, obj)
+					}
+				}
+			}
+		}
+	}
+	// A Store/Swap/CompareAndSwap publishes the locals reachable from its
+	// argument, wherever it appears in the instruction.
+	ssa.Calls(ins.Node, func(call *ast.CallExpr) {
+		arg := publishArg(info, call)
+		if arg == nil {
+			return
+		}
+		ssa.Inspect(arg, func(node ast.Node) bool {
+			if id, ok := node.(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					ensure()
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// reportMutations reports every COW violation in one instruction.
+func reportMutations(pass *analysis.GlobalPass, fn *ssa.Function, graph *callgraph.Graph, mut summaries, p pub, node ast.Node) {
+	info := fn.Unit.Info
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if target := mutatedContainer(ast.Unparen(lhs)); target != nil && publishedExpr(info, p, target) {
+				pass.Reportf(lhs.Pos(), "write into %q mutates a copy-on-write published value; clone, edit the clone, then Store", render(target))
+			}
+		}
+	case *ast.IncDecStmt:
+		if target := mutatedContainer(ast.Unparen(n.X)); target != nil && publishedExpr(info, p, target) {
+			pass.Reportf(n.Pos(), "increment of %q mutates a copy-on-write published value; clone, edit the clone, then Store", render(target))
+		}
+	}
+	ssa.Calls(node, func(call *ast.CallExpr) {
+		// Built-in deep mutators.
+		if name, isBuiltin := builtinName(info, call); isBuiltin {
+			switch name {
+			case "delete", "clear":
+				if len(call.Args) >= 1 && publishedExpr(info, p, call.Args[0]) {
+					pass.Reportf(call.Pos(), "%s on %q mutates a copy-on-write published value; clone, edit the clone, then Store", name, render(call.Args[0]))
+				}
+			case "append":
+				if len(call.Args) >= 1 && publishedExpr(info, p, call.Args[0]) {
+					pass.Reportf(call.Pos(), "append to %q may write into the published backing array; build a fresh slice instead", render(call.Args[0]))
+				}
+			}
+			return
+		}
+		// Interprocedural: published argument to a mutating parameter.
+		callees := graph.Resolve(fn.Unit, call)
+		if len(callees) == 0 {
+			return
+		}
+		args := callArgs(info, call)
+		for _, callee := range callees {
+			idxs := mut[callee.ID]
+			if len(idxs) == 0 {
+				continue
+			}
+			for i, arg := range args {
+				if arg == nil || !idxs[i] {
+					continue
+				}
+				if publishedExpr(info, p, arg) {
+					pass.Reportf(arg.Pos(), "passing %q to %s mutates a copy-on-write published value (the callee writes through this parameter); pass a clone",
+						render(arg), callee.ID)
+				}
+			}
+		}
+	})
+}
+
+// mutatedContainer returns the expression owning the memory an lvalue
+// writes to, or nil when the lvalue is a plain variable (rebinding, not
+// mutation): p.f=… mutates p, m[k]=… mutates m, *p=… mutates p.
+func mutatedContainer(lhs ast.Expr) ast.Expr {
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		return l.X
+	case *ast.IndexExpr:
+		return l.X
+	case *ast.StarExpr:
+		return l.X
+	}
+	return nil
+}
+
+// publishedExpr reports whether e's value is reachable from a published
+// pointer: a published local, a derivation chain from one, or directly an
+// atomic.Pointer Load.
+func publishedExpr(info *types.Info, p pub, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := objOf(info, e)
+		return obj != nil && p[obj]
+	case *ast.SelectorExpr:
+		// Derivation through a field; a package-qualified name is not.
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return publishedExpr(info, p, e.X)
+		}
+		return false
+	case *ast.IndexExpr:
+		return publishedExpr(info, p, e.X)
+	case *ast.StarExpr:
+		return publishedExpr(info, p, e.X)
+	case *ast.UnaryExpr:
+		return publishedExpr(info, p, e.X)
+	case *ast.TypeAssertExpr:
+		return publishedExpr(info, p, e.X)
+	case *ast.SliceExpr:
+		return publishedExpr(info, p, e.X)
+	case *ast.CallExpr:
+		return isAtomicPointerMethod(info, e, "Load")
+	}
+	return false
+}
+
+// publishArg returns the argument a publishing call hands to readers, or
+// nil: Store(v) and Swap(v) publish v, CompareAndSwap(old, new) publishes
+// new.
+func publishArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	switch {
+	case isAtomicPointerMethod(info, call, "Store") && len(call.Args) == 1:
+		return call.Args[0]
+	case isAtomicPointerMethod(info, call, "Swap") && len(call.Args) == 1:
+		return call.Args[0]
+	case isAtomicPointerMethod(info, call, "CompareAndSwap") && len(call.Args) == 2:
+		return call.Args[1]
+	}
+	return nil
+}
+
+// isAtomicPointerMethod reports whether call invokes
+// sync/atomic.Pointer[T].<name>.
+func isAtomicPointerMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != name {
+		return false
+	}
+	sel, ok := info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return false
+	}
+	t := sel.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// builtinName identifies calls of the delete/clear/append builtins.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// objOf resolves an identifier to its variable object.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// render prints a short source form of an expression for diagnostics.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return render(e.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.CallExpr:
+		return render(e.Fun) + "()"
+	case *ast.UnaryExpr:
+		return e.Op.String() + render(e.X)
+	case *ast.SliceExpr:
+		return render(e.X) + "[…]"
+	}
+	return "value"
+}

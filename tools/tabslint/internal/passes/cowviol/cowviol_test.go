@@ -1,0 +1,12 @@
+package cowviol_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/cowviol"
+)
+
+func TestCowviol(t *testing.T) {
+	lintest.RunGlobal(t, "../../../testdata", cowviol.Analyzer, "cowviol/a")
+}

@@ -1,0 +1,206 @@
+package cowviol
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tabs/tools/tabslint/internal/callgraph"
+	"tabs/tools/tabslint/internal/ssa"
+)
+
+// summaries maps function ID -> call-position index -> "the body may
+// deep-mutate the value passed at this position". Positions follow the
+// call site: for a method, 0 is the receiver and arguments start at 1;
+// for a plain function, arguments start at 0.
+type summaries map[string]map[int]bool
+
+// mutationSummaries computes, as a bottom-up fixpoint over the callgraph,
+// which pointer-ish parameters (pointer, map, slice, interface) each
+// function may mutate — directly through an lvalue rooted at the
+// parameter, via delete/clear/append, or by passing the parameter on to
+// a callee's mutating position.
+func mutationSummaries(prog *ssa.Program, graph *callgraph.Graph) summaries {
+	sum := summaries{}
+	// paramIndex: per function, object -> call-position index.
+	paramIdx := map[string]map[types.Object]int{}
+	for _, fn := range prog.Funcs {
+		idx := map[types.Object]int{}
+		recv, params := fn.RecvAndParams()
+		base := 0
+		if recv != nil {
+			if mutable(recv.Type()) {
+				idx[recv] = 0
+			}
+			base = 1
+		}
+		for i, p := range params {
+			if mutable(p.Type()) {
+				idx[p] = base + i
+			}
+		}
+		paramIdx[fn.ID] = idx
+	}
+
+	mark := func(fnID string, obj types.Object) bool {
+		i, ok := paramIdx[fnID][obj]
+		if !ok {
+			return false
+		}
+		m := sum[fnID]
+		if m == nil {
+			m = map[int]bool{}
+			sum[fnID] = m
+		}
+		if m[i] {
+			return false
+		}
+		m[i] = true
+		return true
+	}
+
+	// Direct mutations.
+	for _, fn := range prog.Funcs {
+		info := fn.Unit.Info
+		for _, blk := range fn.Blocks {
+			for _, ins := range blk.Instrs {
+				ssa.Inspect(ins.Node, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range n.Lhs {
+							if t := mutatedContainer(ast.Unparen(lhs)); t != nil {
+								if obj := rootObj(info, t); obj != nil {
+									mark(fn.ID, obj)
+								}
+							}
+						}
+					case *ast.IncDecStmt:
+						if t := mutatedContainer(ast.Unparen(n.X)); t != nil {
+							if obj := rootObj(info, t); obj != nil {
+								mark(fn.ID, obj)
+							}
+						}
+					case *ast.CallExpr:
+						if name, ok := builtinName(info, n); ok {
+							if (name == "delete" || name == "clear" || name == "append") && len(n.Args) >= 1 {
+								if obj := rootObj(info, n.Args[0]); obj != nil {
+									mark(fn.ID, obj)
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Propagate through calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs {
+			info := fn.Unit.Info
+			for _, blk := range fn.Blocks {
+				for _, ins := range blk.Instrs {
+					ssa.Calls(ins.Node, func(call *ast.CallExpr) {
+						callees := graph.Resolve(fn.Unit, call)
+						if len(callees) == 0 {
+							return
+						}
+						args := callArgs(info, call)
+						for _, callee := range callees {
+							idxs := sum[callee.ID]
+							if len(idxs) == 0 {
+								continue
+							}
+							for i, arg := range args {
+								if arg == nil || !idxs[i] {
+									continue
+								}
+								if obj := rootObj(info, arg); obj != nil {
+									if mark(fn.ID, obj) {
+										changed = true
+									}
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// callArgs lays a call's value expressions out by call-position index:
+// the receiver (for a method value call) at 0, then the arguments.
+// Positions that are not simple value passes are nil.
+func callArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			out = append(out, fun.X)
+		}
+	}
+	if out == nil {
+		// Plain call (or qualified function): no receiver slot only if
+		// the callee is not a method; a method expression call
+		// (T.M(recv, ...)) passes the receiver as the first argument,
+		// which lines up naturally.
+		if isMethodCallee(info, call) {
+			out = append(out, nil)
+		}
+	}
+	out = append(out, call.Args...)
+	return out
+}
+
+// isMethodCallee reports whether the call's static callee has a receiver
+// but the call site carries no receiver expression (method expression or
+// interface value); the receiver slot is then unknown.
+func isMethodCallee(info *types.Info, call *ast.CallExpr) bool {
+	if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return false // receiver present
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig.Recv() != nil
+		}
+	}
+	return false
+}
+
+// rootObj walks a derivation chain (selects, indexes, derefs, slices,
+// unary &) to its base identifier's object; calls break the chain.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objOf(info, e)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return rootObj(info, e.X)
+		}
+		return nil
+	case *ast.IndexExpr:
+		return rootObj(info, e.X)
+	case *ast.StarExpr:
+		return rootObj(info, e.X)
+	case *ast.SliceExpr:
+		return rootObj(info, e.X)
+	case *ast.UnaryExpr:
+		return rootObj(info, e.X)
+	}
+	return nil
+}
+
+// mutable reports whether a parameter of this type can expose mutation to
+// the caller: pointers, maps, slices, chans and interfaces can; values
+// cannot.
+func mutable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,655 @@
+// Package lockorder builds the whole-program lock-acquisition graph and
+// verifies it against the checked-in LOCK_ORDER.txt hierarchy.
+//
+// A mutex's identity is its struct field path — every instance of
+// lock.bucket.mu is one lock *class* — or "pkg.var" for a package-level
+// mutex. Within each function a forward dataflow tracks the classes held
+// at every instruction (defer-aware: a deferred Unlock releases at exit,
+// and deferred calls run LIFO with whatever is then held). An acquisition
+// of B while A is held contributes the edge A -> B; calls are followed
+// through the callgraph, so a helper that takes the TID-shard lock while
+// its caller holds a bucket lock contributes lock.bucket.mu ->
+// lock.tidShard.mu even though no single function shows both. Goroutine
+// launches do not propagate the held set (lock order is a per-goroutine
+// property), and _test.go bodies are skipped.
+//
+// The resulting graph must match LOCK_ORDER.txt exactly:
+//
+//   - an observed edge that is not declared fails the build (new nesting
+//     must be declared in the same change that introduces it);
+//   - a declared edge that is no longer observed is stale and fails the
+//     build (the file cannot drift from the code);
+//   - a cycle — observed or declared, including a self-edge — always
+//     fails: it is a potential deadlock, which no declaration can bless.
+//
+// Lock hand-off is understood: a callee that *releases* an inherited
+// lock before acquiring (the WAL group-commit leader unlocks l.mu for the
+// disk write, then relocks it) does not contribute an edge from the
+// released class — the summaries carry a must-released-before set per
+// acquisition, so Force -> leadFlush produces no wal.Log.mu self-edge.
+//
+// Acquiring a mutex the analysis cannot name (a local variable, a mutex
+// reached through a pointer parameter) contributes nothing; the repo's
+// convention is that every shared mutex lives in a named struct field.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/callgraph"
+	"tabs/tools/tabslint/internal/ssa"
+	"tabs/tools/tabslint/internal/typeutil"
+)
+
+// OrderFile is the hierarchy file name, resolved against GlobalPass.Dir.
+const OrderFile = "LOCK_ORDER.txt"
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.GlobalAnalyzer{
+	Name: "lockorder",
+	Doc:  "interprocedural lock-acquisition order: every nested acquisition edge must be declared in LOCK_ORDER.txt and the declared hierarchy must be acyclic and current",
+	Run:  run,
+}
+
+// edge is one ordered pair of lock classes.
+type edge struct{ from, to string }
+
+// witness records where an edge was first observed.
+type witness struct {
+	pos token.Pos
+	// via names the callee chain for interprocedural edges ("" when the
+	// acquisition is in the same function as the held lock).
+	via string
+}
+
+// acqInfo summarizes one lock class a function (chain) may acquire: where,
+// and which inherited classes are released first on *every* path to the
+// acquisition (so a group-commit hand-off that unlocks the caller's mutex
+// before relocking it contributes no edge from that mutex).
+type acqInfo struct {
+	pos token.Pos
+	rel map[string]bool
+}
+
+// pendingCall is a call site executed with locks held.
+type pendingCall struct {
+	held   []string
+	callee *ssa.Function
+	pos    token.Pos
+}
+
+// calleeSite is one synchronous call edge with the must-released set in
+// force at the site, for the transitive closure.
+type calleeSite struct {
+	callee *ssa.Function
+	rel    map[string]bool
+}
+
+func run(pass *analysis.GlobalPass) error {
+	prog := ssa.Build(pass.Units)
+	graph := callgraph.New(prog, pass.ModulePath)
+
+	direct := map[string]map[string]*acqInfo{} // fnID -> class -> first acquisition
+	var pendings []pendingCall
+	calleesOf := map[string][]calleeSite{} // synchronous callees, for transitive closure
+	observed := map[edge]witness{}
+
+	seen := func(e edge, w witness) {
+		if _, ok := observed[e]; !ok {
+			observed[e] = w
+		}
+	}
+
+	for _, fn := range prog.Funcs {
+		if fn.InTestFile {
+			continue
+		}
+		fn := fn
+		fl := ssa.Flow{
+			Init:     lockState{held: held{}, rel: map[string]bool{}},
+			Transfer: func(in ssa.Fact, ins ssa.Instr) ssa.Fact { return transfer(fn.Unit, in.(lockState), ins) },
+			Merge:    func(a, b ssa.Fact) ssa.Fact { return a.(lockState).merge(b.(lockState)) },
+			Equal:    func(a, b ssa.Fact) bool { return a.(lockState).equal(b.(lockState)) },
+		}
+		fn.Forward(fl, func(in ssa.Fact, ins ssa.Instr, _ *ssa.Block) {
+			st := in.(lockState)
+			h := st.held
+			forEachCall(ins, func(call *ast.CallExpr) {
+				if op, class, ok := mutexOp(fn.Unit.Info, call); ok {
+					if op == opLock {
+						if class == "" {
+							return // unnameable mutex; see package comment
+						}
+						d := direct[fn.ID]
+						if d == nil {
+							d = map[string]*acqInfo{}
+							direct[fn.ID] = d
+						}
+						if a, ok := d[class]; !ok {
+							d[class] = &acqInfo{pos: call.Pos(), rel: cloneSet(st.rel)}
+						} else {
+							intersectInto(a.rel, st.rel)
+						}
+						// A lock held *now* orders before this acquisition
+						// even if it was released and retaken earlier.
+						for heldClass := range h {
+							seen(edge{heldClass, class}, witness{pos: call.Pos()})
+						}
+					}
+					return
+				}
+				callees := graph.Resolve(fn.Unit, call)
+				if len(callees) == 0 {
+					return
+				}
+				for _, callee := range callees {
+					calleesOf[fn.ID] = append(calleesOf[fn.ID], calleeSite{callee: callee, rel: cloneSet(st.rel)})
+				}
+				if len(h) == 0 {
+					return
+				}
+				hc := make([]string, 0, len(h))
+				for c := range h {
+					hc = append(hc, c)
+				}
+				sort.Strings(hc)
+				for _, callee := range callees {
+					pendings = append(pendings, pendingCall{held: hc, callee: callee, pos: call.Pos()})
+				}
+			})
+		})
+	}
+
+	transAcq := transitiveAcquires(direct, calleesOf)
+	for _, p := range pendings {
+		acq := transAcq[p.callee.ID]
+		classes := make([]string, 0, len(acq))
+		for c := range acq {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, to := range classes {
+			for _, from := range p.held {
+				if acq[to].rel[from] {
+					// The callee chain provably releases `from` before
+					// acquiring `to` (lock hand-off), so the caller's hold
+					// does not span the acquisition.
+					continue
+				}
+				seen(edge{from, to}, witness{pos: p.pos, via: p.callee.ID})
+			}
+		}
+	}
+
+	declared, declLines, declErr := readOrder(filepath.Join(pass.Dir, OrderFile))
+	if declErr != nil && len(observed) > 0 {
+		pass.ReportFilef(filepath.Join(pass.Dir, OrderFile), 0, "cannot read lock hierarchy: %v (the lockorder analyzer requires every nested-acquisition edge to be declared)", declErr)
+	}
+
+	// Sorted observed edges for deterministic reporting.
+	var edges []edge
+	for e := range observed {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+
+	for _, e := range edges {
+		if _, ok := declared[e]; ok {
+			continue
+		}
+		w := observed[e]
+		via := ""
+		if w.via != "" {
+			via = fmt.Sprintf(" (acquired inside %s, possibly transitively)", w.via)
+		}
+		pass.Reportf(w.pos, "lock-order edge %q -> %q is not declared in %s%s; declare it in the same change, or restructure to respect the hierarchy",
+			e.from, e.to, OrderFile, via)
+	}
+	// Stale declarations are only decidable against the whole program: a
+	// targeted load simply does not see most packages' acquisitions.
+	if !pass.Partial {
+		for e, line := range declLines {
+			if _, ok := observed[e]; !ok {
+				pass.ReportFilef(filepath.Join(pass.Dir, OrderFile), line, "declared lock-order edge %q -> %q is no longer observed in the code; delete the stale edge", e.from, e.to)
+			}
+		}
+	}
+
+	// Cycles: check the union of observed and declared edges, so a
+	// deadlock is reported whether it is already blessed on paper or
+	// only just introduced in code.
+	all := map[edge]bool{}
+	for e := range observed {
+		all[e] = true
+	}
+	for e := range declared {
+		all[e] = true
+	}
+	for _, cyc := range cycles(all) {
+		at, inObserved := token.NoPos, false
+		for i := 0; i < len(cyc)-1; i++ {
+			if w, ok := observed[edge{cyc[i], cyc[i+1]}]; ok {
+				at, inObserved = w.pos, true
+				break
+			}
+		}
+		msg := fmt.Sprintf("lock-order cycle: %s — a potential deadlock; no declaration can allow this", strings.Join(cyc, " -> "))
+		if inObserved {
+			pass.Reportf(at, "%s", msg)
+		} else {
+			pass.ReportFilef(filepath.Join(pass.Dir, OrderFile), 0, "%s", msg)
+		}
+	}
+	return nil
+}
+
+// held maps lock class -> nesting depth (capped so loops converge).
+type held map[string]int
+
+const maxDepth = 2
+
+func (h held) clone() held {
+	n := make(held, len(h))
+	for k, v := range h {
+		n[k] = v
+	}
+	return n
+}
+
+// lockState is the dataflow fact: the classes held at this point, and the
+// inherited classes released on every path to it (a may-hold set and a
+// must-have-released set).
+type lockState struct {
+	held held
+	rel  map[string]bool
+}
+
+func (s lockState) clone() lockState {
+	return lockState{held: s.held.clone(), rel: cloneSet(s.rel)}
+}
+
+func (s lockState) merge(o lockState) lockState {
+	n := s.clone()
+	for k, v := range o.held {
+		if v > n.held[k] {
+			n.held[k] = v
+		}
+	}
+	intersectInto(n.rel, o.rel)
+	return n
+}
+
+func (s lockState) equal(o lockState) bool {
+	if len(s.held) != len(o.held) || len(s.rel) != len(o.rel) {
+		return false
+	}
+	for k, v := range s.held {
+		if o.held[k] != v {
+			return false
+		}
+	}
+	for k := range s.rel {
+		if !o.rel[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer updates the lock state across one instruction.
+func transfer(u *analysis.Unit, in lockState, ins ssa.Instr) ssa.Fact {
+	out := in
+	mutated := false
+	ensure := func() {
+		if !mutated {
+			out = in.clone()
+			mutated = true
+		}
+	}
+	forEachCall(ins, func(call *ast.CallExpr) {
+		op, class, ok := mutexOp(u.Info, call)
+		if !ok || class == "" {
+			return
+		}
+		ensure()
+		switch op {
+		case opLock:
+			if out.held[class] < maxDepth {
+				out.held[class]++
+			}
+		case opUnlock:
+			if n := out.held[class]; n > 1 {
+				out.held[class]--
+			} else if n == 1 {
+				delete(out.held, class)
+			} else {
+				// Releasing a lock this function never acquired: it was
+				// inherited from the caller (documented hand-off).
+				out.rel[class] = true
+			}
+		}
+	})
+	return out
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	n := make(map[string]bool, len(s))
+	for k := range s {
+		n[k] = true
+	}
+	return n
+}
+
+// intersectInto removes from dst every class absent from src.
+func intersectInto(dst, src map[string]bool) {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+// forEachCall visits the calls an instruction *executes*: all calls in a
+// plain statement or decomposed expression; for a defer statement only
+// the argument expressions (the deferred call itself runs in the exit
+// block's Deferred replay); for a go statement only the arguments (the
+// call runs on another goroutine).
+func forEachCall(ins ssa.Instr, visit func(*ast.CallExpr)) {
+	if ins.Deferred {
+		// Replay of a deferred call at exit: arguments were evaluated at
+		// the registration point; only the call itself executes here.
+		if call, ok := ins.Node.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return
+	}
+	switch n := ins.Node.(type) {
+	case *ast.DeferStmt:
+		for _, arg := range n.Call.Args {
+			ssa.Calls(arg, visit)
+		}
+	case *ast.GoStmt:
+		for _, arg := range n.Call.Args {
+			ssa.Calls(arg, visit)
+		}
+	default:
+		ssa.Calls(ins.Node, visit)
+	}
+}
+
+// Mutex operations.
+const (
+	opLock   = "lock"
+	opUnlock = "unlock"
+)
+
+// mutexOp classifies a call as a mutex acquisition or release and names
+// the lock class, or ok=false for any other call. class is "" when the
+// mutex cannot be named (local variable, parameter).
+func mutexOp(info *types.Info, call *ast.CallExpr) (op, class string, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	callee := typeutil.Callee(info, call)
+	if callee == nil {
+		return "", "", false
+	}
+	switch {
+	case typeutil.IsMethod(callee, "sync", "Mutex", "Lock"),
+		typeutil.IsMethod(callee, "sync", "Mutex", "TryLock"),
+		typeutil.IsMethod(callee, "sync", "RWMutex", "Lock"),
+		typeutil.IsMethod(callee, "sync", "RWMutex", "TryLock"),
+		typeutil.IsMethod(callee, "sync", "RWMutex", "RLock"),
+		typeutil.IsMethod(callee, "sync", "RWMutex", "TryRLock"):
+		op = opLock
+	case typeutil.IsMethod(callee, "sync", "Mutex", "Unlock"),
+		typeutil.IsMethod(callee, "sync", "RWMutex", "Unlock"),
+		typeutil.IsMethod(callee, "sync", "RWMutex", "RUnlock"):
+		op = opUnlock
+	default:
+		return "", "", false
+	}
+	return op, classOf(info, fun), true
+}
+
+// classOf names the lock class of the mutex a method call selects:
+// "pkg.Type.field" for a struct-field mutex (including one promoted from
+// an embedded sync.Mutex), "pkg.var" for a package-level mutex, "" when
+// unnameable.
+func classOf(info *types.Info, fun *ast.SelectorExpr) string {
+	recv := ast.Unparen(fun.X)
+	t := info.TypeOf(recv)
+	if t == nil {
+		return ""
+	}
+	if isMutexType(t) {
+		// The receiver expression *is* the mutex; name it by where it
+		// lives.
+		switch x := recv.(type) {
+		case *ast.SelectorExpr:
+			// owner.field — the owner's type names the class.
+			ot := info.TypeOf(x.X)
+			if name := namedOf(ot); name != "" {
+				return name + "." + x.Sel.Name
+			}
+			// Qualified package-level var (pkg.mu).
+			if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		case *ast.Ident:
+			if obj, ok := info.Uses[recv.(*ast.Ident)].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		return ""
+	}
+	// Promoted method of an embedded mutex: name the embedded field on
+	// the receiver's named type.
+	if sel, ok := info.Selections[fun]; ok {
+		owner := namedOf(sel.Recv())
+		if owner == "" {
+			return ""
+		}
+		st, ok := derefUnderlying(sel.Recv()).(*types.Struct)
+		if !ok {
+			return ""
+		}
+		idx := sel.Index()
+		if len(idx) < 2 || idx[0] >= st.NumFields() {
+			return ""
+		}
+		return owner + "." + st.Field(idx[0]).Name()
+	}
+	return ""
+}
+
+// namedOf returns "pkgName.TypeName" for a (possibly pointer) named type.
+func namedOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+func derefUnderlying(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.Underlying()
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// transitiveAcquires closes the per-function acquisition summaries over
+// synchronous calls. A class reached through a call site carries the
+// union of the site's must-released set and the callee's; joins of
+// several sites intersect, so rel stays a must property.
+func transitiveAcquires(direct map[string]map[string]*acqInfo, calleesOf map[string][]calleeSite) map[string]map[string]*acqInfo {
+	acq := map[string]map[string]*acqInfo{}
+	for id, classes := range direct {
+		s := map[string]*acqInfo{}
+		for c, a := range classes {
+			s[c] = &acqInfo{pos: a.pos, rel: cloneSet(a.rel)}
+		}
+		acq[id] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, sites := range calleesOf {
+			for _, site := range sites {
+				for c, ca := range acq[site.callee.ID] {
+					cand := cloneSet(site.rel)
+					for k := range ca.rel {
+						cand[k] = true
+					}
+					s := acq[id]
+					if s == nil {
+						s = map[string]*acqInfo{}
+						acq[id] = s
+					}
+					cur, ok := s[c]
+					if !ok {
+						s[c] = &acqInfo{pos: ca.pos, rel: cand}
+						changed = true
+						continue
+					}
+					for k := range cur.rel {
+						if !cand[k] {
+							delete(cur.rel, k)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// readOrder parses the hierarchy file: one "From -> To" per line, #
+// comments, blank lines.
+func readOrder(path string) (map[edge]bool, map[edge]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return map[edge]bool{}, map[edge]int{}, err
+	}
+	declared := map[edge]bool{}
+	lines := map[edge]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		from, to, ok := strings.Cut(line, "->")
+		if !ok {
+			continue
+		}
+		e := edge{strings.TrimSpace(from), strings.TrimSpace(to)}
+		declared[e] = true
+		if _, dup := lines[e]; !dup {
+			lines[e] = i + 1
+		}
+	}
+	return declared, lines, nil
+}
+
+// cycles returns every elementary cycle's class list (first == last),
+// deterministically, by DFS from each node in sorted order; each cycle is
+// reported once, rooted at its smallest class.
+func cycles(edges map[edge]bool) [][]string {
+	adj := map[string][]string{}
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var out [][]string
+	seen := map[string]bool{} // canonical cycle keys
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		path = append(path, n)
+		onPath[n] = true
+		for _, m := range adj[n] {
+			if onPath[m] {
+				// Found a cycle: the path suffix from m.
+				i := 0
+				for path[i] != m {
+					i++
+				}
+				cyc := append(append([]string{}, path[i:]...), m)
+				if k := canon(cyc); !seen[k] {
+					seen[k] = true
+					out = append(out, cyc)
+				}
+				continue
+			}
+			dfs(m)
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+	return out
+}
+
+// canon rotates a cycle (first == last) to start at its smallest element.
+func canon(cyc []string) string {
+	body := cyc[:len(cyc)-1]
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, body[min:]...), body[:min]...)
+	return strings.Join(rot, "->")
+}

@@ -1,0 +1,25 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"tabs/tools/tabslint/internal/lintest"
+	"tabs/tools/tabslint/internal/passes/lockorder"
+)
+
+func TestCycle(t *testing.T) {
+	lintest.RunGlobal(t, "../../../testdata", lockorder.Analyzer, "lockorder/cycle/a")
+}
+
+func TestUndeclaredCrossPackage(t *testing.T) {
+	lintest.RunGlobal(t, "../../../testdata", lockorder.Analyzer,
+		"lockorder/undeclared/a", "lockorder/undeclared/b")
+}
+
+func TestStaleDeclaration(t *testing.T) {
+	lintest.RunGlobal(t, "../../../testdata", lockorder.Analyzer, "lockorder/stale/a")
+}
+
+func TestHandoffProducesNoEdge(t *testing.T) {
+	lintest.RunGlobal(t, "../../../testdata", lockorder.Analyzer, "lockorder/handoff/a")
+}

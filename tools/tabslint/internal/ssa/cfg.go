@@ -1,0 +1,314 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// buildCFG lowers fn.Body into basic blocks. Control statements are
+// decomposed: conditions, switch tags and range operands become
+// instructions in the block that evaluates them; bodies get their own
+// blocks with the obvious edges. Deferred calls are replayed in LIFO
+// order in the exit block (see the package comment).
+func buildCFG(fn *Function) {
+	b := &cfgBuilder{fn: fn, labels: map[string]*Block{}}
+	b.entry = b.newBlock()
+	b.exit = &Block{}
+	b.cur = b.entry
+	b.stmt(fn.Body)
+	b.jump(b.exit)
+	for _, g := range b.gotos {
+		if to, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, to)
+		}
+	}
+	// Replay deferred calls at exit, last registered first.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.exit.Instrs = append(b.exit.Instrs, Instr{Node: b.defers[i], Deferred: true})
+	}
+	b.exit.Index = len(b.blocks)
+	b.blocks = append(b.blocks, b.exit)
+	for _, blk := range b.blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	fn.Entry, fn.Exit, fn.Blocks = b.entry, b.exit, b.blocks
+}
+
+// cfgBuilder carries the construction state for one function.
+type cfgBuilder struct {
+	fn     *Function
+	blocks []*Block
+	entry  *Block
+	exit   *Block
+	// cur is the block receiving instructions; nil after a terminator
+	// (return/break/continue/goto) until the next reachable point.
+	cur *Block
+	// targets is the break/continue stack; entries carry the pending
+	// label (set by a LabeledStmt wrapping a loop/switch/select).
+	targets []target
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	defers  []*ast.CallExpr
+	// pendingLabel transfers a statement label to the loop or switch it
+	// wraps so labeled break/continue resolve.
+	pendingLabel string
+}
+
+type target struct {
+	label    string
+	brk      *Block // nil for loops-only constructs? always set
+	cont     *Block // nil for switch/select
+	isSwitch bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// current returns the block receiving instructions, creating an
+// unreachable fresh block after a terminator so construction can proceed.
+func (b *cfgBuilder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.current()
+	blk.Instrs = append(blk.Instrs, Instr{Node: n})
+}
+
+// jump ends the current block with an edge to to.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+	b.cur = nil
+}
+
+// branchTo adds an edge without ending the block (if/switch fanout).
+func (b *cfgBuilder) branchTo(to *Block) {
+	b.current().Succs = append(b.current().Succs, to)
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.labels[s.Label.Name] = lb
+		b.jump(lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.emit(s.Cond)
+		then, after := b.newBlock(), b.newBlock()
+		b.branchTo(then)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.branchTo(els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			b.branchTo(after)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(after)
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		b.emit(s.Cond)
+		body, after := b.newBlock(), b.newBlock()
+		b.branchTo(body)
+		b.branchTo(after)
+		post := b.newBlock()
+		b.targets = append(b.targets, target{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		// The range operand and per-iteration key/value binding are
+		// evaluated at the head; emitting the whole RangeStmt would drag
+		// the body along, so a RangeHeader wrapper carries just the
+		// header.
+		b.emit(&RangeHeader{Range: s})
+		body, after := b.newBlock(), b.newBlock()
+		b.branchTo(body)
+		b.branchTo(after)
+		b.targets = append(b.targets, target{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.targets = append(b.targets, target{label: label, brk: after, isSwitch: true})
+		head := b.current()
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.cur = blk
+			b.stmt(comm.Comm)
+			for _, st := range comm.Body {
+				b.stmt(st)
+			}
+			b.jump(after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+		if len(s.Body.List) == 0 {
+			head.Succs = append(head.Succs, after)
+		}
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.jump(b.exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.emit(s) // argument evaluation point
+		b.defers = append(b.defers, s.Call)
+	case *ast.GoStmt:
+		b.emit(s)
+	default:
+		// Simple statements: expr, assign, incdec, send, decl, empty.
+		b.emit(s)
+	}
+}
+
+// switchStmt lowers expression and type switches, including fallthrough.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var init ast.Stmt
+	var tag ast.Node
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, clauses = s.Init, s.Tag, s.Body.List
+	case *ast.TypeSwitchStmt:
+		init, tag, clauses = s.Init, s.Assign, s.Body.List
+	}
+	b.stmt(init)
+	if tag != nil {
+		b.emit(tag)
+	}
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after, isSwitch: true})
+	head := b.current()
+	// Build case blocks first so fallthrough can edge to the next body.
+	var bodies []*Block
+	hasDefault := false
+	for range clauses {
+		bodies = append(bodies, b.newBlock())
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		head.Succs = append(head.Succs, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(bodies) {
+					b.jump(bodies[i+1])
+				}
+				continue
+			}
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	if !hasDefault || len(clauses) == 0 {
+		head.Succs = append(head.Succs, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// branch lowers break/continue/goto.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.jump(t.brk)
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont != nil && (label == "" || t.label == label) {
+				b.jump(t.cont)
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if to, ok := b.labels[label]; ok {
+			b.jump(to)
+		} else {
+			// Forward goto: the label block does not exist yet; record
+			// the edge for resolution at the end of buildCFG.
+			b.gotos = append(b.gotos, pendingGoto{from: b.current(), label: label})
+			b.cur = nil
+		}
+	}
+}
+
+// takeLabel consumes the label a LabeledStmt attached for the construct
+// being lowered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}

@@ -1,0 +1,92 @@
+package ssa
+
+// Fact is an analysis-defined dataflow fact. Facts must be treated as
+// immutable by Transfer (clone before changing); the engine never copies
+// them itself.
+type Fact any
+
+// Flow defines one forward dataflow problem over a Function's CFG.
+type Flow struct {
+	// Init is the fact at function entry.
+	Init Fact
+	// Transfer produces the fact after executing ins with fact in. It
+	// must not mutate in.
+	Transfer func(in Fact, ins Instr) Fact
+	// Merge joins two facts at a block join. It must not mutate either
+	// argument. Merge is never called with nil arguments.
+	Merge func(a, b Fact) Fact
+	// Equal reports fact equality; it bounds the fixpoint iteration.
+	Equal func(a, b Fact) bool
+}
+
+// maxPasses is a safety valve against lattices that fail to converge; the
+// set-valued facts the passes use converge in a handful of passes.
+const maxPasses = 64
+
+// Forward solves the dataflow problem to a fixpoint, then replays each
+// reachable block once, calling visit with the fact in force immediately
+// before every instruction. Blocks unreachable from the entry (code after
+// return) are not visited.
+func (fn *Function) Forward(fl Flow, visit func(in Fact, ins Instr, blk *Block)) {
+	in := fn.solveIn(fl)
+	if visit == nil {
+		return
+	}
+	for _, blk := range fn.Blocks {
+		fact := in[blk.Index]
+		if fact == nil {
+			continue // unreachable
+		}
+		for _, ins := range blk.Instrs {
+			visit(fact, ins, blk)
+			fact = fl.Transfer(fact, ins)
+		}
+	}
+}
+
+// ExitFact solves the problem and returns the fact at the end of the exit
+// block (after deferred-call replay), or nil if the exit is unreachable.
+func (fn *Function) ExitFact(fl Flow) Fact {
+	in := fn.solveIn(fl)
+	out := in[fn.Exit.Index]
+	if out == nil {
+		return nil
+	}
+	for _, ins := range fn.Exit.Instrs {
+		out = fl.Transfer(out, ins)
+	}
+	return out
+}
+
+// solveIn computes the per-block entry facts by worklist iteration.
+func (fn *Function) solveIn(fl Flow) []Fact {
+	in := make([]Fact, len(fn.Blocks))
+	in[fn.Entry.Index] = fl.Init
+	work := []*Block{fn.Entry}
+	queued := make([]bool, len(fn.Blocks))
+	queued[fn.Entry.Index] = true
+	for pass := 0; len(work) > 0 && pass < maxPasses*len(fn.Blocks); pass++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := in[blk.Index]
+		for _, ins := range blk.Instrs {
+			out = fl.Transfer(out, ins)
+		}
+		for _, s := range blk.Succs {
+			next := out
+			if cur := in[s.Index]; cur != nil {
+				next = fl.Merge(cur, out)
+				if fl.Equal(cur, next) {
+					continue
+				}
+			}
+			in[s.Index] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

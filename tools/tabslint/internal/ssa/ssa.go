@@ -1,0 +1,312 @@
+// Package ssa is tabslint's miniature of the role golang.org/x/tools/go/ssa
+// plays in the upstream analysis stack: it lowers every type-checked
+// function body in a load into a per-function control-flow graph of
+// instructions, ready for the interprocedural passes (lockorder, cowviol,
+// bufown) to run dataflow over.
+//
+// The x/tools module is deliberately not a dependency — the repo builds
+// offline with the bare toolchain — so this package carries exactly the
+// fragment of SSA form those passes consume: instructions in CFG order
+// with object-keyed def/use information from go/types. There are no phi
+// nodes and no virtual registers; dataflow facts are keyed by
+// *types.Object (or by derived string identities such as lock classes)
+// and merged at block joins by the engine in flow.go, which is the
+// standard dense-dataflow equivalent of pruned SSA for set-valued facts.
+//
+// Two modeling decisions matter to the passes:
+//
+//   - defer is executed, not just registered. Each deferred call appears
+//     twice: once as its *ast.DeferStmt at the registration point (where
+//     argument expressions are evaluated) and once as a Deferred
+//     instruction in the function's exit block, in LIFO order — so
+//     `mu.Lock(); defer mu.Unlock(); defer f()` correctly runs f with mu
+//     still held, and the unlock is seen on every path out.
+//
+//   - function literals are functions. Every *ast.FuncLit gets its own
+//     Function (and CFG); the enclosing function's instruction stream
+//     never descends into a literal's body. Inspect in this package
+//     honours that boundary.
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tabs/tools/tabslint/internal/analysis"
+)
+
+// Program is every function body in a load, CFG-lowered.
+type Program struct {
+	Fset  *token.FileSet
+	Funcs []*Function
+
+	byID  map[string]*Function
+	byLit map[*ast.FuncLit]*Function
+	// methods indexes module methods by receiver key ("pkgpath.TypeName")
+	// then method name; the callgraph's CHA resolution reads it.
+	methods map[string]map[string]*Function
+}
+
+// Function is one function body with its control-flow graph.
+type Function struct {
+	// ID is a stable cross-unit identity: "pkgpath.Name" for functions,
+	// "pkgpath.(TypeName).Name" for methods (pointer-insensitive),
+	// parentID + "$litN" for function literals. Units are type-checked
+	// independently, so *types.Func object identity does not survive a
+	// package being both analyzed and imported; IDs do.
+	ID   string
+	Unit *analysis.Unit
+	// Obj is the declared function object, nil for literals.
+	Obj  *types.Func
+	Decl ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Body *ast.BlockStmt
+	Sig  *types.Signature
+	// Doc is the declaration's doc comment (directives like
+	// //tabslint:pool-get live here); nil for literals.
+	Doc *ast.CommentGroup
+
+	Entry *Block
+	Exit  *Block
+	// Blocks holds every block, Entry first, Exit last.
+	Blocks []*Block
+
+	// Parent is the enclosing function for literals, nil otherwise.
+	Parent *Function
+	// InTestFile marks functions declared in _test.go files; the
+	// whole-program passes skip them.
+	InTestFile bool
+}
+
+// Block is one basic block.
+type Block struct {
+	Index  int
+	Instrs []Instr
+	Succs  []*Block
+	Preds  []*Block
+}
+
+// Instr is one instruction: a simple statement or a decomposed control
+// expression (an if/for condition, a switch tag, a range operand), in
+// execution order.
+type Instr struct {
+	Node ast.Node
+	// Deferred marks the synthetic execution of a deferred call in the
+	// exit block. Node is the deferred *ast.CallExpr.
+	Deferred bool
+}
+
+// Build lowers every function body in units. Test files are lowered too
+// (InTestFile marks them); passes choose whether to visit them.
+func Build(units []*analysis.Unit) *Program {
+	var fset *token.FileSet
+	if len(units) > 0 {
+		fset = units[0].Fset
+	}
+	p := &Program{
+		Fset:    fset,
+		byID:    map[string]*Function{},
+		byLit:   map[*ast.FuncLit]*Function{},
+		methods: map[string]map[string]*Function{},
+	}
+	for _, u := range units {
+		for _, f := range u.Files {
+			pos := u.Fset.Position(f.Pos())
+			isTest := strings.HasSuffix(pos.Filename, "_test.go")
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+				fn := &Function{
+					ID:         declID(u, fd, obj),
+					Unit:       u,
+					Obj:        obj,
+					Decl:       fd,
+					Body:       fd.Body,
+					Doc:        fd.Doc,
+					InTestFile: isTest,
+				}
+				if obj != nil {
+					fn.Sig, _ = obj.Type().(*types.Signature)
+				}
+				p.add(fn)
+			}
+		}
+	}
+	return p
+}
+
+// add registers fn, builds its CFG, and recursively registers the
+// function literals its body contains.
+func (p *Program) add(fn *Function) {
+	// A redeclared ID (same package loaded as two variants would be a
+	// loader bug; platform-specific file pairs do not exist here) keeps
+	// the first body.
+	if _, dup := p.byID[fn.ID]; dup {
+		return
+	}
+	p.byID[fn.ID] = fn
+	p.Funcs = append(p.Funcs, fn)
+	buildCFG(fn)
+	if fn.Obj != nil && fn.Sig != nil && fn.Sig.Recv() != nil {
+		if rk := recvKey(fn.Sig.Recv().Type()); rk != "" {
+			m := p.methods[rk]
+			if m == nil {
+				m = map[string]*Function{}
+				p.methods[rk] = m
+			}
+			m[fn.Obj.Name()] = fn
+		}
+	}
+	p.lowerNested(fn)
+}
+
+// lowerNested registers the function literals inside fn's body, nesting
+// IDs parent$litN; deeper literals recurse against their immediate parent.
+func (p *Program) lowerNested(fn *Function) {
+	n := 0
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		lit, ok := node.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if _, done := p.byLit[lit]; done {
+			return false
+		}
+		n++
+		child := &Function{
+			ID:         fmt.Sprintf("%s$lit%d", fn.ID, n),
+			Unit:       fn.Unit,
+			Decl:       lit,
+			Body:       lit.Body,
+			Parent:     fn,
+			InTestFile: fn.InTestFile,
+		}
+		if t, ok := fn.Unit.Info.TypeOf(lit).(*types.Signature); ok {
+			child.Sig = t
+		}
+		p.byID[child.ID] = child
+		p.byLit[lit] = child
+		p.Funcs = append(p.Funcs, child)
+		buildCFG(child)
+		p.lowerNested(child)
+		return false
+	})
+}
+
+// FuncByID returns the function with the given stable ID, or nil.
+func (p *Program) FuncByID(id string) *Function { return p.byID[id] }
+
+// FuncOfLit returns the Function lowered from lit, or nil.
+func (p *Program) FuncOfLit(lit *ast.FuncLit) *Function { return p.byLit[lit] }
+
+// MethodsOf returns the name->Function map of methods declared on the
+// named type identified by recvKey ("pkgpath.TypeName"), or nil.
+func (p *Program) MethodsOf(key string) map[string]*Function { return p.methods[key] }
+
+// FuncID computes the stable ID of a declared function object; it matches
+// the ID of the Function lowered from that declaration even when obj
+// comes from a different type-checking of the same package.
+func FuncID(obj *types.Func) string {
+	obj = obj.Origin()
+	sig, _ := obj.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if rk := recvKey(sig.Recv().Type()); rk != "" {
+			return rk[:strings.LastIndex(rk, ".")] + ".(" + rk[strings.LastIndex(rk, ".")+1:] + ")." + obj.Name()
+		}
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// declID computes the ID for a declaration, falling back to position for
+// the (untyped) degenerate case.
+func declID(u *analysis.Unit, fd *ast.FuncDecl, obj *types.Func) string {
+	if obj != nil {
+		return FuncID(obj)
+	}
+	pos := u.Fset.Position(fd.Pos())
+	return fmt.Sprintf("%s.%s@%d", u.ImportPath, fd.Name.Name, pos.Line)
+}
+
+// recvKey returns "pkgpath.TypeName" for a (possibly pointer) named
+// receiver type, or "".
+func recvKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// RecvAndParams returns the function's receiver variable (nil if none)
+// and parameter variables.
+func (fn *Function) RecvAndParams() (recv *types.Var, params []*types.Var) {
+	if fn.Sig == nil {
+		return nil, nil
+	}
+	recv = fn.Sig.Recv()
+	for i := 0; i < fn.Sig.Params().Len(); i++ {
+		params = append(params, fn.Sig.Params().At(i))
+	}
+	return recv, params
+}
+
+// RangeHeader is the synthetic instruction for a range statement's
+// header: the operand plus the per-iteration key/value binding, without
+// the body (which has its own blocks).
+type RangeHeader struct {
+	Range *ast.RangeStmt
+}
+
+// Pos implements ast.Node.
+func (r *RangeHeader) Pos() token.Pos { return r.Range.Pos() }
+
+// End implements ast.Node.
+func (r *RangeHeader) End() token.Pos { return r.Range.X.End() }
+
+// Inspect walks node in evaluation order, skipping nested function
+// literal bodies (they are separate Functions). RangeHeader instructions
+// walk their operand and key/value expressions.
+func Inspect(node ast.Node, visit func(ast.Node) bool) {
+	if rh, ok := node.(*RangeHeader); ok {
+		Inspect(rh.Range.X, visit)
+		if rh.Range.Key != nil {
+			Inspect(rh.Range.Key, visit)
+		}
+		if rh.Range.Value != nil {
+			Inspect(rh.Range.Value, visit)
+		}
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// Calls invokes visit for every call expression in node (in syntactic
+// order), without descending into function literal bodies.
+func Calls(node ast.Node, visit func(*ast.CallExpr)) {
+	Inspect(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}

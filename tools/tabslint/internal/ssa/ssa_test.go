@@ -1,0 +1,182 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"tabs/tools/tabslint/internal/analysis"
+	"tabs/tools/tabslint/internal/ssa"
+)
+
+// unit type-checks one import-free source file into an analysis.Unit.
+func unit(t *testing.T, src string) *analysis.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &analysis.Unit{ImportPath: "x", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func TestDeferReplayLIFO(t *testing.T) {
+	prog := ssa.Build([]*analysis.Unit{unit(t, `package x
+func a() {}
+func b() {}
+func f() {
+	defer a()
+	defer b()
+}
+`)})
+	fn := prog.FuncByID("x.f")
+	if fn == nil {
+		t.Fatal("x.f not lowered")
+	}
+	var replayed []string
+	for _, ins := range fn.Exit.Instrs {
+		if !ins.Deferred {
+			continue
+		}
+		call := ins.Node.(*ast.CallExpr)
+		replayed = append(replayed, call.Fun.(*ast.Ident).Name)
+	}
+	if len(replayed) != 2 || replayed[0] != "b" || replayed[1] != "a" {
+		t.Fatalf("deferred replay order = %v, want [b a] (LIFO)", replayed)
+	}
+}
+
+func TestFuncLitIsSeparateFunction(t *testing.T) {
+	u := unit(t, `package x
+func f() func() int {
+	n := 0
+	g := func() int {
+		n++
+		return n
+	}
+	return g
+}
+`)
+	prog := ssa.Build([]*analysis.Unit{u})
+	lit := prog.FuncByID("x.f$lit1")
+	if lit == nil {
+		t.Fatal("function literal not lowered as x.f$lit1")
+	}
+	if lit.Parent == nil || lit.Parent.ID != "x.f" {
+		t.Fatalf("literal parent = %v, want x.f", lit.Parent)
+	}
+	// The parent's instruction stream must not contain the literal's body:
+	// Inspect honours the boundary.
+	f := prog.FuncByID("x.f")
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			ssa.Inspect(ins.Node, func(n ast.Node) bool {
+				if inc, ok := n.(*ast.IncDecStmt); ok {
+					pos := u.Fset.Position(inc.Pos())
+					t.Fatalf("parent stream leaked into literal body at %s", pos)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestForwardSkipsUnreachable(t *testing.T) {
+	prog := ssa.Build([]*analysis.Unit{unit(t, `package x
+func f() int {
+	return 1
+	return 2
+}
+`)})
+	fn := prog.FuncByID("x.f")
+	count := 0
+	fn.Forward(ssa.Flow{
+		Init:     0,
+		Transfer: func(in ssa.Fact, _ ssa.Instr) ssa.Fact { return in },
+		Merge:    func(a, _ ssa.Fact) ssa.Fact { return a },
+		Equal:    func(a, b ssa.Fact) bool { return a == b },
+	}, func(_ ssa.Fact, ins ssa.Instr, _ *ssa.Block) {
+		if ret, ok := ins.Node.(*ast.ReturnStmt); ok {
+			if lit, ok := ret.Results[0].(*ast.BasicLit); ok && lit.Value == "2" {
+				t.Fatal("visited unreachable return")
+			}
+			count++
+		}
+	})
+	if count != 1 {
+		t.Fatalf("visited %d returns, want 1", count)
+	}
+}
+
+func TestBranchesJoinAndLoop(t *testing.T) {
+	prog := ssa.Build([]*analysis.Unit{unit(t, `package x
+func f(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		if v > 0 {
+			total += v
+		} else {
+			total -= v
+		}
+	}
+	return total
+}
+`)})
+	fn := prog.FuncByID("x.f")
+	// The range header must appear as a synthetic instruction.
+	foundRange := false
+	maxIn := 0
+	fl := ssa.Flow{
+		Init:     1,
+		Transfer: func(in ssa.Fact, _ ssa.Instr) ssa.Fact { return in },
+		Merge:    func(a, b ssa.Fact) ssa.Fact { return a.(int) + b.(int) },
+		Equal:    func(a, b ssa.Fact) bool { return a.(int) >= 3 && b.(int) >= 3 || a == b },
+	}
+	fn.Forward(fl, func(in ssa.Fact, ins ssa.Instr, _ *ssa.Block) {
+		if _, ok := ins.Node.(*ssa.RangeHeader); ok {
+			foundRange = true
+		}
+		if v := in.(int); v > maxIn {
+			maxIn = v
+		}
+	})
+	if !foundRange {
+		t.Fatal("no RangeHeader instruction for the range statement")
+	}
+	// Facts merged at the loop head and the if/else join: some block saw a
+	// merged (summed) fact.
+	if maxIn < 2 {
+		t.Fatalf("no join merged facts (max in-fact %d)", maxIn)
+	}
+}
+
+func TestMethodIDsAndIndex(t *testing.T) {
+	prog := ssa.Build([]*analysis.Unit{unit(t, `package x
+type T struct{ n int }
+func (t *T) Get() int  { return t.n }
+func (t T) Set(v int)  { t.n = v }
+`)})
+	for _, id := range []string{"x.(T).Get", "x.(T).Set"} {
+		if prog.FuncByID(id) == nil {
+			t.Errorf("FuncByID(%q) = nil", id)
+		}
+	}
+	ms := prog.MethodsOf("x.T")
+	if len(ms) != 2 || ms["Get"] == nil || ms["Set"] == nil {
+		t.Fatalf("MethodsOf(x.T) = %v, want Get and Set", ms)
+	}
+}

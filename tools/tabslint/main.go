@@ -1,7 +1,9 @@
 // Command tabslint is the repo's domain-aware static-analysis suite: a
-// multichecker over five analyzers that enforce the WAL/2PC/trace
+// multichecker over eight analyzers that enforce the WAL/2PC/trace
 // invariants this codebase has historically broken one flaky test at a
 // time.
+//
+// Five run per compilation unit:
 //
 //	spanleak   — every trace span reaches End/EndErr on all paths
 //	lockhold   — no unbounded blocking while a mutex is held
@@ -9,41 +11,66 @@
 //	sleepsync  — no sleep-based synchronization
 //	poolmisuse — sync.Pool hygiene: no slice-valued Puts, no use after Put
 //
+// Three are whole-program: they lower every function body in the load to
+// a control-flow graph, build a callgraph (interface dispatch resolved by
+// class hierarchy analysis), and run interprocedural dataflow:
+//
+//	lockorder  — cross-package lock-acquisition order: every observed
+//	             edge must be declared in LOCK_ORDER.txt, every declared
+//	             edge must still be observed, and no cycle may exist
+//	cowviol    — copy-on-write discipline around atomic.Pointer: no
+//	             mutation of a value reachable from a published snapshot
+//	bufown     — pool-buffer ownership: a //tabslint:pool-get buffer
+//	             reaches exactly one Put or declared transfer point
+//
 // Usage:
 //
 //	go run ./tools/tabslint ./...
-//	go run ./tools/tabslint -no-tests ./internal/wal
+//	go run ./tools/tabslint -no-tests -json ./internal/wal
 //
-// Findings print as file:line:col: [analyzer] message. Exit status is 0
-// when clean, 1 when findings exist, 2 on load or usage errors. A finding
-// is silenced by a directive on its line or the line above:
+// Findings print as file:line:col: [analyzer] message, or as a JSON array
+// with -json. Exit status is 0 when clean, 1 when findings exist, 2 on
+// load or usage errors. A finding is silenced by a directive on its line
+// or the line above:
 //
 //	//tabslint:ignore sleepsync models disk latency, not synchronization
 //
 // The directive names one or more analyzers (comma-separated, or "all")
-// and must carry a reason.
+// and must carry a reason. A directive that suppresses nothing is itself
+// reported (analyzer "staleignore"), so suppressions cannot outlive the
+// bugs they excused.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"tabs/tools/tabslint/internal/analysis"
 	"tabs/tools/tabslint/internal/loader"
+	"tabs/tools/tabslint/internal/passes/bufown"
+	"tabs/tools/tabslint/internal/passes/cowviol"
 	"tabs/tools/tabslint/internal/passes/durcheck"
 	"tabs/tools/tabslint/internal/passes/lockhold"
+	"tabs/tools/tabslint/internal/passes/lockorder"
 	"tabs/tools/tabslint/internal/passes/poolmisuse"
 	"tabs/tools/tabslint/internal/passes/sleepsync"
 	"tabs/tools/tabslint/internal/passes/spanleak"
 )
 
-var analyzers = []*analysis.Analyzer{
+var unitAnalyzers = []*analysis.Analyzer{
 	spanleak.Analyzer,
 	lockhold.Analyzer,
 	durcheck.Analyzer,
 	sleepsync.Analyzer,
 	poolmisuse.Analyzer,
+}
+
+var globalAnalyzers = []*analysis.GlobalAnalyzer{
+	lockorder.Analyzer,
+	cowviol.Analyzer,
+	bufown.Analyzer,
 }
 
 func main() {
@@ -53,12 +80,17 @@ func main() {
 func run() int {
 	noTests := flag.Bool("no-tests", false, "exclude _test.go files from analysis")
 	list := flag.Bool("analyzers", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
-		for _, a := range analyzers {
+		for _, a := range unitAnalyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range globalAnalyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-10s %s\n", "staleignore", "a //tabslint:ignore directive that suppresses no finding is itself a finding")
 		return 0
 	}
 
@@ -78,22 +110,73 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tabslint:", err)
 		return 2
 	}
+	if len(units) == 0 {
+		return 0
+	}
 
-	findings := 0
+	// Raw findings first; suppression is applied load-wide afterwards so
+	// directive staleness is judged against unit and global analyzers
+	// together.
+	sup := analysis.NewSuppressions()
+	var raw []analysis.Diagnostic
 	for _, u := range units {
-		diags, err := analysis.Run(u, analyzers)
+		sup.Collect(u.Fset, u.Files)
+		diags, err := analysis.RunRaw(u, unitAnalyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tabslint:", err)
 			return 2
 		}
-		for _, d := range diags {
-			pos := u.Fset.Position(d.Pos)
-			fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
-			findings++
+		raw = append(raw, diags...)
+	}
+	partial := false
+	for _, p := range patterns {
+		if p != "./..." {
+			partial = true
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "tabslint: %d finding(s)\n", findings)
+	global, err := analysis.RunGlobal(units, mod, root, partial, globalAnalyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabslint:", err)
+		return 2
+	}
+	raw = append(raw, global...)
+
+	var fset = units[0].Fset
+	kept := sup.Filter(fset, raw)
+	kept = append(kept, sup.Stale()...)
+	analysis.Sort(fset, kept)
+
+	if *asJSON {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col,omitempty"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := []finding{}
+		for _, d := range kept {
+			file, line, col := d.Position(fset)
+			out = append(out, finding{File: file, Line: line, Col: col, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "tabslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range kept {
+			file, line, col := d.Position(fset)
+			if col > 0 {
+				fmt.Printf("%s:%d:%d: [%s] %s\n", file, line, col, d.Analyzer, d.Message)
+			} else {
+				fmt.Printf("%s:%d: [%s] %s\n", file, line, d.Analyzer, d.Message)
+			}
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "tabslint: %d finding(s)\n", len(kept))
 		return 1
 	}
 	return 0

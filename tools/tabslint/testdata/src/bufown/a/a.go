@@ -1,0 +1,77 @@
+// Fixture: pool-buffer ownership. getBuf hands out caller-owned buffers;
+// each must reach exactly one putBuf (or the declared transfer point) on
+// every path. Both failure modes — double Put and leak — and both clean
+// shapes (defer, transfer, interprocedural consume) are covered.
+package a
+
+// pool is a stand-in for the real size-classed frame pool.
+var pool [][]byte
+
+// getBuf hands out a pool buffer; the caller owns it.
+//
+//tabslint:pool-get
+func getBuf(n int) []byte {
+	if len(pool) == 0 {
+		return make([]byte, n)
+	}
+	b := pool[len(pool)-1]
+	pool = pool[:len(pool)-1]
+	return b[:n]
+}
+
+// putBuf returns a buffer to the pool.
+//
+//tabslint:pool-put
+func putBuf(b []byte) {
+	pool = append(pool, b)
+}
+
+// enqueue takes ownership of the frame for asynchronous writing.
+//
+//tabslint:pool-transfer
+func enqueue(b []byte) {
+	pool = append(pool, b)
+}
+
+// Clean gets, uses and returns the buffer exactly once, via defer.
+func Clean() {
+	b := getBuf(64)
+	defer putBuf(b)
+	b[0] = 1
+}
+
+// DoublePut returns the same buffer twice: the second Put corrupts the
+// free list for whoever gets the buffer next.
+func DoublePut() {
+	b := getBuf(64)
+	putBuf(b)
+	putBuf(b) // want `pool buffer "b" may already have been returned to the pool`
+}
+
+// Leak drops the buffer on the early-return path.
+func Leak(fail bool) {
+	b := getBuf(64) // want `pool buffer "b" does not reach a Put`
+	if fail {
+		return
+	}
+	putBuf(b)
+}
+
+// Transfer hands the buffer to a declared ownership-transfer point.
+func Transfer() {
+	b := getBuf(64)
+	enqueue(b)
+}
+
+// recycle forwards its argument to the pool; callers consume through it.
+func recycle(b []byte) {
+	putBuf(b)
+}
+
+// DoubleViaHelper double-puts through the interprocedural summary: the
+// helper's Put counts as the first consumption.
+func DoubleViaHelper() {
+	b := getBuf(64)
+	recycle(b)
+	putBuf(b) // want `pool buffer "b" may already have been returned to the pool`
+}

@@ -1,0 +1,71 @@
+// Fixture: copy-on-write discipline around atomic.Pointer snapshots —
+// the nameserver routing-cache shape. Mutating a loaded snapshot, or a
+// value already Stored, is a data race with lock-free readers.
+package a
+
+import "sync/atomic"
+
+type cache struct {
+	m map[string]int
+}
+
+type Registry struct {
+	snap atomic.Pointer[cache]
+}
+
+// Bad mutates the loaded snapshot in place.
+func (r *Registry) Bad(k string, v int) {
+	c := r.snap.Load()
+	c.m[k] = v // want `write into "c\.m" mutates a copy-on-write published value`
+}
+
+// BadDelete deletes from a published map.
+func (r *Registry) BadDelete(k string) {
+	c := r.snap.Load()
+	delete(c.m, k) // want `delete on "c\.m" mutates a copy-on-write published value`
+}
+
+// Good clones, edits the clone, then stores: the only sanctioned shape.
+func (r *Registry) Good(k string, v int) {
+	old := r.snap.Load()
+	next := &cache{m: make(map[string]int, len(old.m)+1)}
+	for key, val := range old.m {
+		next.m[key] = val
+	}
+	next.m[k] = v
+	r.snap.Store(next)
+}
+
+// BadAfterStore keeps writing into a value it already published.
+func (r *Registry) BadAfterStore(k string, v int) {
+	next := &cache{m: map[string]int{}}
+	r.snap.Store(next)
+	next.m[k] = v // want `write into "next\.m" mutates a copy-on-write published value`
+}
+
+// scrub mutates its argument map.
+func scrub(m map[string]int) {
+	delete(m, "tmp")
+}
+
+// BadIndirect hands the published map to a mutating helper; the callee's
+// summary makes the call site the violation.
+func (r *Registry) BadIndirect() {
+	c := r.snap.Load()
+	scrub(c.m) // want `passing "c\.m" to cowviol/a\.scrub mutates a copy-on-write published value`
+}
+
+// GoodBorrow hands the published map to a read-only helper: no finding.
+func (r *Registry) GoodBorrow() int {
+	c := r.snap.Load()
+	return total(c.m)
+}
+
+// total only reads its argument.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+// Fixture: the classic ABBA two-mutex deadlock. LOCK_ORDER.txt declares
+// a.S.a -> a.S.b; ba() acquires in the opposite order, producing an
+// undeclared reverse edge and a cycle no declaration can bless.
+package a
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ab acquires in the declared order.
+func (s *S) ab() {
+	s.a.Lock()
+	s.b.Lock() // want `lock-order cycle: a\.S\.a -> a\.S\.b -> a\.S\.a`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// ba inverts the order: with ab() running concurrently, each goroutine
+// can hold one mutex and wait forever for the other.
+func (s *S) ba() {
+	s.b.Lock()
+	s.a.Lock() // want `lock-order edge "a\.S\.b" -> "a\.S\.a" is not declared in LOCK_ORDER\.txt`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+var _ = (&S{}).ab
+var _ = (&S{}).ba

@@ -1,0 +1,37 @@
+// Fixture: lock hand-off, the WAL group-commit shape. force() calls
+// lead() with mu held; lead() releases the inherited lock before
+// re-acquiring it, so there must be no self-edge (and no cycle) — the
+// must-released-before component of the summary proves the caller's hold
+// never spans the re-acquisition.
+package a
+
+import "sync"
+
+type Log struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+// force calls lead with mu held. No finding: lead's re-acquisition
+// happens strictly after it releases the inherited mu.
+func (l *Log) force() {
+	l.mu.Lock()
+	if l.busy {
+		l.mu.Unlock()
+		return
+	}
+	l.lead()
+}
+
+// lead is called with l.mu held; it releases the inherited lock for the
+// slow write, then retakes it to publish the result.
+func (l *Log) lead() {
+	l.busy = true
+	l.mu.Unlock()
+	// slow write happens unlocked
+	l.mu.Lock()
+	l.busy = false
+	l.mu.Unlock()
+}
+
+var _ = (&Log{}).force

@@ -1,0 +1,21 @@
+// Fixture: the code acquires each mutex on its own — never nested — but
+// LOCK_ORDER.txt still declares an edge. The declaration is stale and
+// must be reported, so the file cannot drift from the code.
+package a
+
+import "sync"
+
+type S struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// Disjoint acquires each lock with the other released.
+func (s *S) Disjoint() {
+	s.x.Lock()
+	s.x.Unlock()
+	s.y.Lock()
+	s.y.Unlock()
+}
+
+var _ = (&S{}).Disjoint

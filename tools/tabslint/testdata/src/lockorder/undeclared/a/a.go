@@ -1,0 +1,25 @@
+// Fixture: an interprocedural, cross-package nested acquisition with an
+// empty hierarchy file — the edge must be reported at the call site, with
+// the callee chain named.
+package a
+
+import (
+	"sync"
+
+	"lockorder/undeclared/b"
+)
+
+type Table struct {
+	mu    sync.Mutex
+	shard b.Shard
+}
+
+// Inc nests the shard acquisition under the table lock through a call —
+// no single function holds both locks.
+func (t *Table) Inc() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shard.Bump() // want `lock-order edge "a\.Table\.mu" -> "b\.Shard\.mu" is not declared in LOCK_ORDER\.txt \(acquired inside lockorder/undeclared/b\.\(Shard\)\.Bump`
+}
+
+var _ = (&Table{}).Inc

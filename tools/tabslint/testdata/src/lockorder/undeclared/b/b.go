@@ -1,0 +1,18 @@
+// Fixture callee package: Bump acquires the shard lock internally, so a
+// caller holding its own lock creates a cross-package edge no single
+// function shows.
+package b
+
+import "sync"
+
+type Shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump takes the shard lock.
+func (s *Shard) Bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
