@@ -52,20 +52,26 @@ FORCE:
 
 # Mirrors the CI bench smoke: one iteration of the group-commit sweep, a
 # 2-node 2-shard mini scale-out sweep (asserts steady-state lookups are
-# pure cache hits with zero broadcasts), then the allocation-regression
-# gate — hot-path benchmarks run with -benchmem and must stay within the
-# checked-in ALLOC_BUDGET.txt.
+# pure cache hits with zero broadcasts), a reduced commit-availability A/B
+# (asserts 2pc blocks and paxos resolves under coordinator kill, the shape
+# behind the checked-in BENCH_commit_availability.json), then the
+# allocation-regression gate — hot-path benchmarks run with -benchmem and
+# must stay within the checked-in ALLOC_BUDGET.txt.
 bench-smoke:
 	$(GO) test -bench=GroupCommit -benchtime=1x ./internal/wal ./internal/bench
 	$(GO) test ./internal/bench -run TestShardingSmoke -count=1 -timeout 120s
+	$(GO) test ./internal/bench -run TestCommitAvailabilitySmoke -count=1 -timeout 120s
 	$(GO) run ./tools/allocgate -budget ALLOC_BUDGET.txt -bench 'AppendForce|EnvelopeEncode|LookUpCached' ./internal/wal ./internal/comm ./internal/nameserver
 
 # Short fuzz of the WAL record codec; CI runs the same invocation.
 fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzRecordRoundTrip -fuzztime 10s
 
-# Fixed-seed fault-injection torture run (3 nodes, crashes + partitions +
-# disk faults); failures print the seed and fault trace for reproduction.
-# CI runs the same invocation.
+# Fixed-seed fault-injection torture runs (3 nodes, crashes + partitions +
+# disk faults) under both commit protocols, plus the coordinator-kill
+# pin: 2pc must demonstrate the blocking window, paxos must resolve every
+# prepared transaction with the coordinator permanently dead. Failures
+# print the seed and fault trace for reproduction. CI runs the same
+# invocation.
 torture-smoke:
-	$(GO) test ./internal/fault -run TestTortureSmoke -count=1 -timeout 300s -v
+	$(GO) test ./internal/fault -run 'TestTortureSmoke|TestTorturePaxosSmoke|TestCoordKillBlockingWindow' -count=1 -timeout 300s -v

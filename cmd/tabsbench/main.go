@@ -13,6 +13,8 @@
 //	tabsbench -concurrency 16  # WAL group-commit throughput sweep instead
 //	tabsbench -group-commit=false    # paper-faithful synchronous log forces
 //	tabsbench -fault-seed 42 -fault-profile chaos   # deterministic torture run
+//	tabsbench -fault-seed 42 -fault-profile partition -commit-protocol paxos
+//	tabsbench -commit-avail 200    # 2pc-vs-paxos availability/latency A/B
 package main
 
 import (
@@ -50,10 +52,21 @@ func main() {
 	faultProfile := flag.String("fault-profile", "chaos", "torture fault profile: "+strings.Join(fault.ProfileNames(), ", "))
 	faultNodes := flag.Int("fault-nodes", 3, "torture cluster size")
 	faultTxns := flag.Int("fault-txns", 200, "torture workload transactions")
+	commitProtocol := flag.String("commit-protocol", "2pc", "commit protocol for the torture harness: 2pc or paxos")
+	commitAvail := flag.Int("commit-avail", 0, "run the commit-availability A/B sweep (2pc vs paxos) with this many healthy transactions per protocol (skips the tables)")
+	commitAvailJSON := flag.String("commit-avail-json", "BENCH_commit_availability.json", "where -commit-avail writes its results as JSON")
+	resolveWait := flag.Duration("resolve-wait", 5*time.Second, "how long each -commit-avail coordinator-kill scenario waits for the survivors to resolve")
 	flag.Parse()
 
 	if *faultSeed != 0 {
-		if err := runTorture(*faultSeed, *faultProfile, *faultNodes, *faultTxns); err != nil {
+		if err := runTorture(*faultSeed, *faultProfile, *faultNodes, *faultTxns, *commitProtocol); err != nil {
+			fmt.Fprintln(os.Stderr, "tabsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *commitAvail > 0 {
+		if err := runCommitAvail(*commitAvail, *resolveWait, *commitAvailJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "tabsbench:", err)
 			os.Exit(1)
 		}
@@ -89,14 +102,15 @@ func main() {
 // runTorture drives the deterministic crash/partition torture harness and
 // reports the outcome; a failing run exits nonzero with the seed and fault
 // trace so the exact schedule reproduces.
-func runTorture(seed int64, profile string, nodes, txns int) error {
-	fmt.Fprintf(os.Stderr, "torture: seed=%d profile=%s nodes=%d txns=%d\n", seed, profile, nodes, txns)
+func runTorture(seed int64, profile string, nodes, txns int, protocol string) error {
+	fmt.Fprintf(os.Stderr, "torture: seed=%d profile=%s nodes=%d txns=%d protocol=%s\n", seed, profile, nodes, txns, protocol)
 	start := time.Now()
 	rep, err := fault.RunTorture(fault.TortureOptions{
-		Seed:    seed,
-		Nodes:   nodes,
-		Txns:    txns,
-		Profile: profile,
+		Seed:           seed,
+		Nodes:          nodes,
+		Txns:           txns,
+		Profile:        profile,
+		CommitProtocol: protocol,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		},
@@ -108,6 +122,29 @@ func runTorture(seed int64, profile string, nodes, txns int) error {
 		return err
 	}
 	fmt.Printf("all invariants held in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runCommitAvail runs the commit-availability A/B (2pc vs paxos: healthy
+// latency plus coordinator-kill resolution) and records text + JSON output.
+func runCommitAvail(txns int, resolveWait time.Duration, jsonPath string) error {
+	fmt.Fprintf(os.Stderr, "commit-availability A/B: %d healthy txns per protocol, %s kill wait...\n", txns, resolveWait)
+	res, err := bench.MeasureCommitAvailability(txns, resolveWait)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatCommitAvail(res))
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil
 }
 

@@ -14,6 +14,9 @@
 //	tabsctl -peer a=localhost:7001 insert a rep /etc/passwd users
 //	tabsctl -peer a=localhost:7001 lookup a rep /etc/passwd
 //	tabsctl -peer a=localhost:7001 placement a    # placement maps + NS tables
+//	tabsctl -peer a=localhost:7001 acp a          # commit-protocol + acceptor state
+//	tabsctl -peer a=localhost:7001 -peer b=localhost:7002 -commit-protocol paxos \
+//	    txn 'set a array 1 10' 'set b array 1 20'  # replicated (Paxos Commit) txn
 //	tabsctl -peer a=localhost:7001 metrics a      # live trace-layer metrics
 //	tabsctl -peer a=localhost:7001 trace a        # recent spans
 //	tabsctl -peer a=localhost:7001 -json trace a  # raw trace.Export JSON
@@ -56,34 +59,54 @@ func main() {
 	id := flag.String("id", "ctl", "this client's node name")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address for replies")
 	jsonOut := flag.Bool("json", false, "emit trace/metrics replies as raw JSON")
+	protocol := flag.String("commit-protocol", "2pc", "atomic commit protocol for transactions this client coordinates: 2pc or paxos")
+	acceptors := flag.String("acceptors", "", "comma-separated acceptor node names for -commit-protocol paxos (default: all peers plus this client)")
 	peers := peerList{}
 	flag.Var(peers, "peer", "peer node as name=host:port (repeatable)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: tabsctl [-peer n=addr]... <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics placement")
+		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics placement acp")
 		os.Exit(2)
 	}
-	if err := run(*id, *listen, peers, *jsonOut, flag.Args()); err != nil {
+	if err := run(*id, *listen, peers, *jsonOut, *protocol, *acceptors, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "tabsctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, listen string, peers peerList, jsonOut bool, args []string) error {
+func run(id, listen string, peers peerList, jsonOut bool, protocol, acceptors string, args []string) error {
 	transport, err := comm.NewTCP(types.NodeID(id), listen, peers)
 	if err != nil {
 		return err
 	}
+	var acceptorSet []types.NodeID
+	if acceptors != "" {
+		for _, name := range strings.Split(acceptors, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				acceptorSet = append(acceptorSet, types.NodeID(name))
+			}
+		}
+	} else if protocol == core.ProtocolPaxos {
+		// Transactions coordinated here need a quorum that survives this
+		// (ephemeral) client: default to every server peer plus the client.
+		for name := range peers {
+			acceptorSet = append(acceptorSet, name)
+		}
+		sort.Slice(acceptorSet, func(i, j int) bool { return acceptorSet[i] < acceptorSet[j] })
+		acceptorSet = append(acceptorSet, types.NodeID(id))
+	}
 	// The client node is an application host: tiny disk, no data servers.
 	node, err := core.NewNode(core.Config{
-		ID:          types.NodeID(id),
-		Disk:        disk.New(disk.DefaultGeometry(512)),
-		LogSectors:  64,
-		PoolPages:   16,
-		Transport:   transport,
-		LockTimeout: 5 * time.Second,
+		ID:             types.NodeID(id),
+		Disk:           disk.New(disk.DefaultGeometry(512)),
+		LogSectors:     64,
+		PoolPages:      16,
+		Transport:      transport,
+		LockTimeout:    5 * time.Second,
+		CommitProtocol: protocol,
+		Acceptors:      acceptorSet,
 	})
 	if err != nil {
 		return err
@@ -100,6 +123,8 @@ func run(id, listen string, peers peerList, jsonOut bool, args []string) error {
 		return runTraceQuery(node, jsonOut, args)
 	case "placement":
 		return runPlacementQuery(node, jsonOut, args, peers)
+	case "acp":
+		return runACPQuery(node, jsonOut, args, peers)
 	}
 	return node.App.Run(func(tid types.TransID) error {
 		out, err := execute(node, tid, args)
@@ -196,6 +221,58 @@ func runPlacementQuery(node *core.Node, jsonOut bool, args []string, peers peerL
 			for i, sh := range p.Shards {
 				fmt.Printf("    shard %-3d %s @ %s\n", i, sh.Server, sh.Node)
 			}
+		}
+	}
+	return nil
+}
+
+// runACPQuery dumps per-node commit-protocol state — protocol, acceptor
+// set, the acceptor's Paxos Commit instances (ballot/acceptance/decision
+// per transaction), and the in-doubt list — through the "acpctl"
+// Communication Manager service. With a target node it queries just that
+// node; without one it sweeps every -peer.
+func runACPQuery(node *core.Node, jsonOut bool, args []string, peers peerList) error {
+	targets := make([]types.NodeID, 0, len(peers))
+	if len(args) > 1 {
+		targets = append(targets, types.NodeID(args[1]))
+	} else {
+		for name := range peers {
+			targets = append(targets, name)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("acp needs a target node or -peer flags")
+	}
+	for _, target := range targets {
+		body, err := node.CM.Call(target, core.ACPControlService, types.NilTransID, []byte("acp"))
+		if err != nil {
+			return fmt.Errorf("querying %s: %w", target, err)
+		}
+		if jsonOut {
+			fmt.Println(string(body))
+			continue
+		}
+		var rep core.ACPReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return fmt.Errorf("decoding acp reply from %s: %w", target, err)
+		}
+		fmt.Printf("node %s: protocol=%s acceptors=%v\n", rep.Node, rep.Protocol, rep.Acceptors)
+		for _, inst := range rep.Instances {
+			state := "open"
+			if inst.Decided {
+				state = "decided " + inst.Outcome
+			} else if inst.Accepted {
+				state = "accepted@" + inst.AcceptedAt
+			}
+			fmt.Printf("  instance %-12s promised=%s %s", inst.TID, inst.Promised, state)
+			if len(inst.Members) > 0 {
+				fmt.Printf(" members=%v", inst.Members)
+			}
+			fmt.Println()
+		}
+		for _, tid := range rep.InDoubt {
+			fmt.Printf("  in doubt: %v\n", tid)
 		}
 	}
 	return nil

@@ -59,17 +59,19 @@ func main() {
 	sectors := flag.Int64("sectors", 16384, "disk capacity in sectors")
 	logSectors := flag.Int64("log", 2048, "log region size in sectors")
 	pool := flag.Int("pool", 512, "buffer pool pages")
+	protocol := flag.String("commit-protocol", "2pc", "commit protocol for transactions this node coordinates: 2pc or paxos")
+	acceptors := flag.String("acceptors", "", "comma-separated node names forming the Paxos Commit acceptor quorum (2F+1 names; every node must agree on the set)")
 	peers := peerList{}
 	flag.Var(peers, "peer", "peer node as name=host:port (repeatable)")
 	flag.Parse()
 
-	if err := run(*id, *listen, *state, *sectors, *logSectors, *pool, peers); err != nil {
+	if err := run(*id, *listen, *state, *sectors, *logSectors, *pool, *protocol, *acceptors, peers); err != nil {
 		fmt.Fprintln(os.Stderr, "tabsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, listen, state string, sectors, logSectors int64, pool int, peers peerList) error {
+func run(id, listen, state string, sectors, logSectors int64, pool int, protocol, acceptors string, peers peerList) error {
 	d := disk.New(disk.DefaultGeometry(sectors))
 	if state != "" {
 		if _, err := os.Stat(state); err == nil {
@@ -84,13 +86,21 @@ func run(id, listen, state string, sectors, logSectors int64, pool int, peers pe
 	if err != nil {
 		return err
 	}
+	var acceptorSet []types.NodeID
+	for _, name := range strings.Split(acceptors, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			acceptorSet = append(acceptorSet, types.NodeID(name))
+		}
+	}
 	node, err := core.NewNode(core.Config{
-		ID:          types.NodeID(id),
-		Disk:        d,
-		LogSectors:  logSectors,
-		PoolPages:   pool,
-		Transport:   transport,
-		LockTimeout: 5 * time.Second,
+		ID:             types.NodeID(id),
+		Disk:           d,
+		LogSectors:     logSectors,
+		PoolPages:      pool,
+		Transport:      transport,
+		LockTimeout:    5 * time.Second,
+		CommitProtocol: protocol,
+		Acceptors:      acceptorSet,
 	})
 	if err != nil {
 		return err

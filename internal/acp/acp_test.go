@@ -1,0 +1,428 @@
+package acp
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"tabs/internal/types"
+	"tabs/internal/wal"
+)
+
+// testNet is an in-memory datagram fabric for acp managers: asynchronous
+// delivery, silent drops to downed nodes — the same contract the real
+// Communication Manager's datagram path offers.
+type testNet struct {
+	mu       sync.Mutex
+	handlers map[types.NodeID]func(types.NodeID, types.TransID, []byte) ([]byte, error)
+	down     map[types.NodeID]bool
+}
+
+func newTestNet() *testNet {
+	return &testNet{
+		handlers: make(map[types.NodeID]func(types.NodeID, types.TransID, []byte) ([]byte, error)),
+		down:     make(map[types.NodeID]bool),
+	}
+}
+
+func (n *testNet) kill(node types.NodeID) {
+	n.mu.Lock()
+	n.down[node] = true
+	n.mu.Unlock()
+}
+
+type testEP struct {
+	net  *testNet
+	node types.NodeID
+}
+
+func (e *testEP) RegisterService(_ string, h func(types.NodeID, types.TransID, []byte) ([]byte, error)) {
+	e.net.mu.Lock()
+	e.net.handlers[e.node] = h
+	e.net.mu.Unlock()
+}
+
+func (e *testEP) SendDatagram(peer types.NodeID, _ string, tid types.TransID, payload []byte, _ float64) error {
+	e.net.mu.Lock()
+	h := e.net.handlers[peer]
+	dead := e.net.down[peer] || e.net.down[e.node]
+	e.net.mu.Unlock()
+	if h == nil || dead {
+		return nil // datagrams are best-effort
+	}
+	cp := append([]byte(nil), payload...)
+	go func() { _, _ = h(e.node, tid, cp) }()
+	return nil
+}
+
+// memLogger captures LogACP bodies, standing in for the Recovery Manager.
+type memLogger struct {
+	mu     sync.Mutex
+	bodies [][]byte
+	forced int
+}
+
+func (l *memLogger) LogACP(body []byte, force bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bodies = append(l.bodies, append([]byte(nil), body...))
+	if force {
+		l.forced++
+	}
+	return nil
+}
+
+func (l *memLogger) records() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.bodies))
+	copy(out, l.bodies)
+	return out
+}
+
+// bootACP builds one manager per name on a shared fabric, each with its
+// own logger, all configured for fast test rounds.
+func bootACP(net *testNet, names ...types.NodeID) (map[types.NodeID]*Manager, map[types.NodeID]*memLogger) {
+	ms := make(map[types.NodeID]*Manager, len(names))
+	logs := make(map[types.NodeID]*memLogger, len(names))
+	for _, name := range names {
+		m := New(name, &testEP{net: net, node: name})
+		m.Configure(25*time.Millisecond, 2)
+		lg := &memLogger{}
+		m.SetLogger(lg)
+		m.SetAcceptors(names)
+		ms[name], logs[name] = m, lg
+	}
+	return ms, logs
+}
+
+func testTID(root types.NodeID, seq uint64) types.TransID {
+	return types.TransID{Node: root, Seq: seq, RootNode: root, RootSeq: seq}
+}
+
+func TestMsgCodecRoundTrip(t *testing.T) {
+	cases := []dgram{
+		{op: opP1a, bal: Ballot{N: 7, Node: "b"}},
+		{op: opP1b, flags: fAccepted, bal: Ballot{N: 7, Node: "b"}, abal: Ballot{N: 2, Node: "a"},
+			val: Value{Members: []Member{{Node: "a", Vote: VotePrepared}, {Node: "c", Vote: VoteAborted}}}},
+		{op: opP2b, flags: fOK, bal: Ballot{N: 1, Node: "z"}},
+		{op: opDecide, flags: fDecided, val: Value{}},
+		{op: opStatus},
+	}
+	for _, want := range cases {
+		got, err := decodeMsg(encodeMsg(&want))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("round trip: got %+v want %+v", *got, want)
+		}
+	}
+	// Strictness: trailing garbage and truncation must be rejected.
+	full := encodeMsg(&cases[1])
+	if _, err := decodeMsg(append(full, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for i := 0; i < len(full); i++ {
+		if _, err := decodeMsg(full[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestEntryStateCodecRoundTrip(t *testing.T) {
+	tid := testTID("node-a", 42)
+	e := &entry{
+		promised: Ballot{N: 3, Node: "b"},
+		accepted: true,
+		abal:     Ballot{N: 2, Node: "a"},
+		aval:     Value{Members: []Member{{Node: "a", Vote: VotePrepared}}},
+		decided:  true,
+		dval:     Value{Members: []Member{{Node: "a", Vote: VotePrepared}}},
+	}
+	// Two concatenated entries must parse back in sequence.
+	blob := appendEntryState(nil, tid, e)
+	tid2 := testTID("node-b", 7)
+	blob = appendEntryState(blob, tid2, &entry{promised: Ballot{N: 1, Node: "c"}})
+	gt, ge, rest, err := takeEntryState(blob)
+	if err != nil || gt != tid {
+		t.Fatalf("first entry: tid %v err %v", gt, err)
+	}
+	if !reflect.DeepEqual(ge, e) {
+		t.Fatalf("first entry state: got %+v want %+v", ge, e)
+	}
+	gt2, _, rest, err := takeEntryState(rest)
+	if err != nil || gt2 != tid2 || len(rest) != 0 {
+		t.Fatalf("second entry: tid %v rest %d err %v", gt2, len(rest), err)
+	}
+}
+
+// TestDecideThenLearn: the coordinator's fast-path decision is learnable
+// by any node that asks the quorum.
+func TestDecideThenLearn(t *testing.T) {
+	net := newTestNet()
+	ms, _ := bootACP(net, "a", "b", "c")
+	tid := testTID("a", 1)
+	if err := ms["a"].DecideCommit(tid, []types.NodeID{"a", "b"}); err != nil {
+		t.Fatalf("DecideCommit: %v", err)
+	}
+	prep := &wal.PrepareBody{Parent: "a", Acceptors: []types.NodeID{"a", "b", "c"}}
+	if st := ms["b"].ResolveInDoubt(tid, prep); st != types.StatusCommitted {
+		t.Fatalf("resolve after decide = %v, want committed", st)
+	}
+}
+
+// TestDecideSurvivesCoordinatorDeath is the availability property 2PC
+// lacks: the coordinator decides commit and dies before telling anyone;
+// a participant still learns Committed from the surviving quorum.
+func TestDecideSurvivesCoordinatorDeath(t *testing.T) {
+	net := newTestNet()
+	ms, _ := bootACP(net, "a", "b", "c")
+	tid := testTID("a", 1)
+	if err := ms["a"].DecideCommit(tid, []types.NodeID{"a", "b", "c"}); err != nil {
+		t.Fatalf("DecideCommit: %v", err)
+	}
+	net.kill("a")
+	prep := &wal.PrepareBody{Parent: "a", Acceptors: []types.NodeID{"a", "b", "c"}}
+	if st := ms["c"].ResolveInDoubt(tid, prep); st != types.StatusCommitted {
+		t.Fatalf("resolve with dead coordinator = %v, want committed", st)
+	}
+}
+
+// TestRecoveryAbortsUnproposed: the coordinator died before proposing
+// anything. Recovery must conclude Aborted (the abort sentinel), every
+// other resolver must agree, and a late coordinator proposal at the zero
+// ballot must fail — the quorum's promises fence it out.
+func TestRecoveryAbortsUnproposed(t *testing.T) {
+	net := newTestNet()
+	ms, _ := bootACP(net, "a", "b", "c")
+	tid := testTID("a", 1)
+	prep := &wal.PrepareBody{Parent: "a", Acceptors: []types.NodeID{"a", "b", "c"}}
+	if st := ms["b"].ResolveInDoubt(tid, prep); st != types.StatusAborted {
+		t.Fatalf("recovery resolve = %v, want aborted", st)
+	}
+	if st := ms["c"].ResolveInDoubt(tid, prep); st != types.StatusAborted {
+		t.Fatalf("second resolver = %v, want aborted", st)
+	}
+	if err := ms["a"].DecideCommit(tid, []types.NodeID{"a"}); err == nil {
+		t.Fatal("late fast-path proposal succeeded after recovery decided abort")
+	}
+}
+
+// TestNoQuorumStaysInDoubt: with only F of 2F+1 acceptors alive neither
+// the coordinator nor recovery may decide anything.
+func TestNoQuorumStaysInDoubt(t *testing.T) {
+	net := newTestNet()
+	ms, _ := bootACP(net, "a", "b", "c")
+	net.kill("b")
+	net.kill("c")
+	tid := testTID("a", 1)
+	if err := ms["a"].DecideCommit(tid, []types.NodeID{"a"}); err == nil {
+		t.Fatal("DecideCommit succeeded without a quorum")
+	}
+	prep := &wal.PrepareBody{Parent: "x", Acceptors: []types.NodeID{"a", "b", "c"}}
+	if st := ms["a"].ResolveInDoubt(tid, prep); st != types.StatusPrepared {
+		t.Fatalf("resolve without quorum = %v, want prepared (in doubt)", st)
+	}
+}
+
+// TestAcceptorBallotRules drives one acceptor directly through handle():
+// promises fence lower ballots, acceptance is forced-logged before the
+// reply, and a decision short-circuits later prepares.
+func TestAcceptorBallotRules(t *testing.T) {
+	m := New("acc", nil)
+	lg := &memLogger{}
+	m.SetLogger(lg)
+	tid := testTID("root", 9)
+	val := Value{Members: []Member{{Node: "root", Vote: VotePrepared}}}
+
+	feed := func(d *dgram) {
+		_, _ = m.handle("acc", tid, encodeMsg(d))
+	}
+
+	// Promise at ballot 5.
+	feed(&dgram{op: opP1a, bal: Ballot{N: 5, Node: "p1"}})
+	m.mu.Lock()
+	e := m.entries[tid]
+	m.mu.Unlock()
+	if e == nil || (e.promised != Ballot{N: 5, Node: "p1"}) {
+		t.Fatalf("promise not recorded: %+v", e)
+	}
+	if len(lg.records()) != 1 || lg.forced != 1 {
+		t.Fatalf("promise not force-logged: %d records, %d forced", len(lg.records()), lg.forced)
+	}
+
+	// A lower-ballot accept must be refused (state unchanged).
+	feed(&dgram{op: opP2a, bal: Ballot{N: 2, Node: "p0"}, val: val})
+	m.mu.Lock()
+	accepted := m.entries[tid].accepted
+	m.mu.Unlock()
+	if accepted {
+		t.Fatal("acceptor took a value below its promise")
+	}
+
+	// An equal-or-higher accept lands and is force-logged.
+	feed(&dgram{op: opP2a, bal: Ballot{N: 5, Node: "p1"}, val: val})
+	m.mu.Lock()
+	e = m.entries[tid]
+	ok := e.accepted && e.abal == Ballot{N: 5, Node: "p1"} && len(e.aval.Members) == 1
+	m.mu.Unlock()
+	if !ok {
+		t.Fatalf("accept not recorded: %+v", e)
+	}
+
+	// Decide is sticky and lazily logged.
+	feed(&dgram{op: opDecide, flags: fDecided, val: val})
+	m.mu.Lock()
+	decided := m.entries[tid].decided
+	m.mu.Unlock()
+	if !decided {
+		t.Fatal("decision not recorded")
+	}
+
+	// Forget drops only decided entries.
+	feed(&dgram{op: opForget})
+	m.mu.Lock()
+	gone := m.entries[tid] == nil
+	m.mu.Unlock()
+	if !gone {
+		t.Fatal("decided entry not dropped by forget")
+	}
+}
+
+// TestCrashRestoreFromRecords: replaying the logger's captured RecACP
+// bodies into a fresh manager reproduces the acceptor's promises, so a
+// rebooted acceptor still fences the ballots it promised against.
+func TestCrashRestoreFromRecords(t *testing.T) {
+	m := New("acc", nil)
+	lg := &memLogger{}
+	m.SetLogger(lg)
+	tid := testTID("root", 1)
+	val := Value{Members: []Member{{Node: "root", Vote: VotePrepared}}}
+	_, _ = m.handle("acc", tid, encodeMsg(&dgram{op: opP1a, bal: Ballot{N: 4, Node: "p"}}))
+	_, _ = m.handle("acc", tid, encodeMsg(&dgram{op: opP2a, bal: Ballot{N: 4, Node: "p"}, val: val}))
+
+	reborn := New("acc", nil)
+	for _, body := range lg.records() {
+		reborn.RestoreRecord(body)
+	}
+	reborn.mu.Lock()
+	e := reborn.entries[tid]
+	reborn.mu.Unlock()
+	if e == nil || (e.promised != Ballot{N: 4, Node: "p"}) || !e.accepted {
+		t.Fatalf("restore lost acceptor state: %+v", e)
+	}
+	// Records may also replay in reverse (analysis order is not
+	// guaranteed relative to the checkpoint blob): the merge must converge
+	// to the same state.
+	rev := New("acc", nil)
+	recs := lg.records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		rev.RestoreRecord(recs[i])
+	}
+	rev.mu.Lock()
+	e2 := rev.entries[tid]
+	rev.mu.Unlock()
+	if e2 == nil || e2.promised != e.promised || e2.accepted != e.accepted || e2.abal != e.abal {
+		t.Fatalf("order-sensitive restore: %+v vs %+v", e2, e)
+	}
+}
+
+// TestCheckpointStateRoundTrip: the checkpoint blob carries entries within
+// the limit, overflow entries spill into their own bodies, and restoring
+// blob + overflow reproduces the table.
+func TestCheckpointStateRoundTrip(t *testing.T) {
+	m := New("acc", nil)
+	for i := 0; i < 40; i++ {
+		tid := testTID("root", uint64(i+1))
+		_, _ = m.handle("acc", tid, encodeMsg(&dgram{op: opP1a, bal: Ballot{N: 1, Node: "p"}}))
+	}
+	one := len(appendEntryState(nil, testTID("root", 1), &entry{promised: Ballot{N: 1, Node: "p"}}))
+	blob, overflow := m.CheckpointState(one * 10)
+	if len(blob) > one*10 {
+		t.Fatalf("blob %d exceeds limit %d", len(blob), one*10)
+	}
+	if len(overflow) != 30 {
+		t.Fatalf("overflow = %d entries, want 30", len(overflow))
+	}
+	reborn := New("acc", nil)
+	reborn.RestoreState(blob)
+	for _, body := range overflow {
+		reborn.RestoreRecord(body)
+	}
+	reborn.mu.Lock()
+	n := len(reborn.entries)
+	reborn.mu.Unlock()
+	if n != 40 {
+		t.Fatalf("restored %d entries, want 40", n)
+	}
+	// A zero limit forces everything into overflow; nothing may be lost.
+	blob0, over0 := m.CheckpointState(0)
+	if len(blob0) != 0 || len(over0) != 40 {
+		t.Fatalf("limit 0: blob %d bytes, overflow %d", len(blob0), len(over0))
+	}
+}
+
+// TestCompetingRecoverers: two nodes resolve the same unproposed
+// transaction concurrently; both must land on the same outcome.
+func TestCompetingRecoverers(t *testing.T) {
+	net := newTestNet()
+	ms, _ := bootACP(net, "a", "b", "c")
+	tid := testTID("a", 3)
+	prep := &wal.PrepareBody{Parent: "a", Acceptors: []types.NodeID{"a", "b", "c"}}
+	results := make(chan types.Status, 2)
+	for _, n := range []types.NodeID{"b", "c"} {
+		go func(m *Manager) { results <- m.ResolveInDoubt(tid, prep) }(ms[n])
+	}
+	st1, st2 := <-results, <-results
+	terminal := func(s types.Status) bool {
+		return s == types.StatusCommitted || s == types.StatusAborted
+	}
+	if terminal(st1) && terminal(st2) && st1 != st2 {
+		t.Fatalf("recoverers disagree: %v vs %v", st1, st2)
+	}
+	if !terminal(st1) && !terminal(st2) {
+		// Both contended into stuckness is possible but should be rare
+		// with 3 attempts; a follow-up resolve must then settle it.
+		if st := ms["b"].ResolveInDoubt(tid, prep); st != types.StatusAborted {
+			t.Fatalf("follow-up resolve = %v, want aborted", st)
+		}
+	}
+}
+
+// TestSnapshotReportsInstances: the inspection surface used by tabsctl.
+func TestSnapshotReportsInstances(t *testing.T) {
+	net := newTestNet()
+	ms, _ := bootACP(net, "a", "b", "c")
+	tid := testTID("a", 1)
+	if err := ms["a"].DecideCommit(tid, []types.NodeID{"a"}); err != nil {
+		t.Fatalf("DecideCommit: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := ms["b"].Snapshot()
+		if len(snap) == 1 && snap[0].Decided && snap[0].Outcome == "committed" && snap[0].TID != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acceptor b never decided: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBallotOrdering pins the lexicographic ballot order the protocol
+// depends on.
+func TestBallotOrdering(t *testing.T) {
+	a := Ballot{N: 1, Node: "a"}
+	b := Ballot{N: 1, Node: "b"}
+	z := Ballot{N: 0, Node: "z"}
+	if !z.Less(a) || !a.Less(b) || b.Less(a) {
+		t.Fatal("ballot ordering broken")
+	}
+	if bytes.Compare([]byte("a"), []byte("b")) >= 0 {
+		t.Fatal("tie-break assumption broken")
+	}
+}

@@ -1,0 +1,211 @@
+package acp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tabs/internal/comm"
+	"tabs/internal/types"
+)
+
+// Acceptor message codec. Messages ride the Communication Manager's
+// zero-alloc envelope codec as datagrams on the "acp" service; this file
+// encodes only the acp payload, composed from the same length-prefixed
+// framing primitives the envelope itself uses (comm.AppendLen*/TakeLen*).
+//
+// One layout serves every operation — the messages are tiny and a single
+// strict decoder is easier to harden than eight:
+//
+//	op byte | flags byte | bal(u32 N, lenstr node) | abal(u32, lenstr) |
+//	value(u16 count, count x (lenstr node, vote byte))
+
+// Operations on the acp service.
+const (
+	opP1a    byte = iota + 1 // phase 1a: prepare(bal)
+	opP1b                    // phase 1b: promise(bal) [+ accepted value] [+ decided]
+	opP2a                    // phase 2a: accept?(bal, val)
+	opP2b                    // phase 2b: accepted(bal) / rejected(promised)
+	opDecide                 // decision broadcast (lazily logged)
+	opQuery                  // learner asks for a decided outcome
+	opStatus                 // reply to opQuery
+	opForget                 // all participants durable; drop the entry
+)
+
+// Flag bits.
+const (
+	fAccepted byte = 1 << iota // p1b carries an accepted value in (abal, val)
+	fDecided                   // p1b/status: val is the decided value
+	fOK                        // p2b: accepted; clear = rejected, bal = promised
+)
+
+// errBadMsg reports a malformed acp payload; the datagram is dropped.
+var errBadMsg = errors.New("acp: malformed message")
+
+// dgram is the decoded form of one acp datagram.
+type dgram struct {
+	op    byte
+	flags byte
+	bal   Ballot
+	abal  Ballot
+	val   Value
+}
+
+func appendBallot(dst []byte, b Ballot) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, b.N)
+	return comm.AppendLenString(dst, string(b.Node))
+}
+
+func takeBallot(b []byte) (Ballot, []byte, error) {
+	if len(b) < 4 {
+		return Ballot{}, nil, errBadMsg
+	}
+	bal := Ballot{N: binary.BigEndian.Uint32(b)}
+	node, rest, err := comm.TakeLenString(b[4:])
+	if err != nil {
+		return Ballot{}, nil, errBadMsg
+	}
+	bal.Node = types.NodeID(node)
+	return bal, rest, nil
+}
+
+func appendValue(dst []byte, v Value) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v.Members)))
+	for _, m := range v.Members {
+		dst = comm.AppendLenString(dst, string(m.Node))
+		dst = append(dst, m.Vote)
+	}
+	return dst
+}
+
+func takeValue(b []byte) (Value, []byte, error) {
+	if len(b) < 2 {
+		return Value{}, nil, errBadMsg
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	var v Value
+	if n > 0 {
+		v.Members = make([]Member, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		node, rest, err := comm.TakeLenString(b)
+		if err != nil || len(rest) < 1 {
+			return Value{}, nil, errBadMsg
+		}
+		v.Members = append(v.Members, Member{Node: types.NodeID(node), Vote: rest[0]})
+		b = rest[1:]
+	}
+	return v, b, nil
+}
+
+// encodeMsg serializes d into a fresh payload buffer.
+func encodeMsg(d *dgram) []byte {
+	b := make([]byte, 0, 32+24*len(d.val.Members))
+	b = append(b, d.op, d.flags)
+	b = appendBallot(b, d.bal)
+	b = appendBallot(b, d.abal)
+	b = appendValue(b, d.val)
+	return b
+}
+
+// decodeMsg parses one acp payload; strict, including trailing bytes.
+func decodeMsg(b []byte) (*dgram, error) {
+	if len(b) < 2 {
+		return nil, errBadMsg
+	}
+	d := &dgram{op: b[0], flags: b[1]}
+	b = b[2:]
+	var err error
+	if d.bal, b, err = takeBallot(b); err != nil {
+		return nil, err
+	}
+	if d.abal, b, err = takeBallot(b); err != nil {
+		return nil, err
+	}
+	if d.val, b, err = takeValue(b); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, errBadMsg
+	}
+	return d, nil
+}
+
+// --- Durable entry state ----------------------------------------------------
+//
+// An acceptor's per-transaction state is persisted two ways with one
+// codec: as the body of a RecACP log record (forced before any promise or
+// acceptance is sent, lazily after a decision), and concatenated into the
+// opaque ACP blob of a checkpoint record so reclamation cannot strand
+// state behind the log's low-water mark. Entries are self-contained (TID
+// embedded) and the restore merge is order-insensitive, so replaying any
+// interleaving of checkpoint blob and later records converges.
+
+func appendTID(dst []byte, tid types.TransID) []byte {
+	dst = comm.AppendLenString(dst, string(tid.Node))
+	dst = binary.BigEndian.AppendUint64(dst, tid.Seq)
+	dst = comm.AppendLenString(dst, string(tid.RootNode))
+	return binary.BigEndian.AppendUint64(dst, tid.RootSeq)
+}
+
+func takeTID(b []byte) (types.TransID, []byte, error) {
+	var tid types.TransID
+	node, b, err := comm.TakeLenString(b)
+	if err != nil || len(b) < 8 {
+		return tid, nil, errBadMsg
+	}
+	tid.Node = types.NodeID(node)
+	tid.Seq = binary.BigEndian.Uint64(b)
+	root, b, err := comm.TakeLenString(b[8:])
+	if err != nil || len(b) < 8 {
+		return tid, nil, errBadMsg
+	}
+	tid.RootNode = types.NodeID(root)
+	tid.RootSeq = binary.BigEndian.Uint64(b)
+	return tid, b[8:], nil
+}
+
+// appendEntryState serializes one acceptor entry (TID included).
+func appendEntryState(dst []byte, tid types.TransID, e *entry) []byte {
+	dst = appendTID(dst, tid)
+	var flags byte
+	if e.accepted {
+		flags |= fAccepted
+	}
+	if e.decided {
+		flags |= fDecided
+	}
+	dst = append(dst, flags)
+	dst = appendBallot(dst, e.promised)
+	dst = appendBallot(dst, e.abal)
+	dst = appendValue(dst, e.aval)
+	return appendValue(dst, e.dval)
+}
+
+// takeEntryState parses one serialized entry, returning the remainder so
+// callers can walk a concatenated blob.
+func takeEntryState(b []byte) (types.TransID, *entry, []byte, error) {
+	tid, b, err := takeTID(b)
+	if err != nil {
+		return tid, nil, nil, err
+	}
+	if len(b) < 1 {
+		return tid, nil, nil, errBadMsg
+	}
+	flags := b[0]
+	e := &entry{accepted: flags&fAccepted != 0, decided: flags&fDecided != 0}
+	b = b[1:]
+	if e.promised, b, err = takeBallot(b); err != nil {
+		return tid, nil, nil, err
+	}
+	if e.abal, b, err = takeBallot(b); err != nil {
+		return tid, nil, nil, err
+	}
+	if e.aval, b, err = takeValue(b); err != nil {
+		return tid, nil, nil, err
+	}
+	if e.dval, b, err = takeValue(b); err != nil {
+		return tid, nil, nil, err
+	}
+	return tid, e, b, nil
+}

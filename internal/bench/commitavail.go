@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/fault"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// This file measures what the replicated commit protocol buys and what it
+// costs. The A/B is run per protocol (2pc, paxos) on identical three-node
+// clusters:
+//
+//   - Healthy-path latency/throughput: sequential distributed write
+//     transactions (root plus two remote participants). Paxos Commit pays
+//     extra work per commit — the root's own prepare force plus a quorum
+//     round to the acceptors — and this axis shows that price.
+//
+//   - Coordinator-kill availability: the RunCoordKill harness kills the
+//     coordinator permanently at the two decision phases and reports
+//     whether the survivors resolve the prepared transaction and free its
+//     locks. This axis is the availability unlock: 2pc blocks forever,
+//     paxos resolves in sweeper time.
+
+// CommitKillPoint is one coordinator-kill scenario's outcome.
+type CommitKillPoint struct {
+	Phase     string `json:"phase"` // "decide" or "decided"
+	Resolved  bool   `json:"resolved"`
+	Outcome   string `json:"outcome,omitempty"` // terminal outcome when resolved
+	ResolveMs int64  `json:"resolve_ms,omitempty"`
+	LocksHeld bool   `json:"locks_held"` // conflicting write still blocked at the end
+}
+
+// CommitAvailPoint is one protocol's full measurement.
+type CommitAvailPoint struct {
+	Protocol          string            `json:"protocol"`
+	HealthyTxns       int               `json:"healthy_txns"`
+	HealthyTxnsPerSec float64           `json:"healthy_txns_per_sec"`
+	HealthyP50Ms      float64           `json:"healthy_p50_ms"`
+	HealthyP99Ms      float64           `json:"healthy_p99_ms"`
+	KillPhases        []CommitKillPoint `json:"coordinator_kill"`
+}
+
+// CommitAvailResult is the A/B sweep, for BENCH_commit_availability.json.
+type CommitAvailResult struct {
+	Nodes         int                `json:"nodes"`
+	Acceptors     int                `json:"acceptors"` // paxos quorum size (2F+1)
+	ResolveWaitMs int64              `json:"resolve_wait_ms"`
+	Points        []CommitAvailPoint `json:"points"`
+}
+
+// measureHealthyCommits runs txns sequential distributed writes on a fresh
+// three-node cluster under the given protocol and reports latency stats.
+func measureHealthyCommits(protocol string, txns int) (CommitAvailPoint, error) {
+	pt := CommitAvailPoint{Protocol: protocol, HealthyTxns: txns}
+	copts := core.DefaultClusterOptions()
+	copts.LockTimeout = 2 * time.Second
+	copts.CommitProtocol = protocol
+	names := []types.NodeID{"c0", "p1", "p2"}
+	c, err := core.NewCluster(copts, names...)
+	if err != nil {
+		return pt, err
+	}
+	defer c.Shutdown()
+	for _, name := range names {
+		n := c.Node(name)
+		if _, err := intarray.Attach(n, "arr", 1, 64, 2*time.Second); err != nil {
+			return pt, err
+		}
+		if _, err := n.Recover(); err != nil {
+			return pt, err
+		}
+	}
+	coord := c.Node("c0")
+	clients := []*intarray.Client{
+		intarray.NewClient(coord, "p1", "arr"),
+		intarray.NewClient(coord, "p2", "arr"),
+	}
+	run := func(i int) error {
+		return coord.App.Run(func(tid types.TransID) error {
+			for _, cl := range clients {
+				if err := cl.Set(tid, uint32(i%32+1), int64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	// Warm-up faults in the pages and session state off the measured path.
+	for i := 0; i < 4; i++ {
+		if err := run(i); err != nil {
+			return pt, fmt.Errorf("warm-up txn %d: %w", i, err)
+		}
+	}
+	lats := make([]time.Duration, 0, txns)
+	start := time.Now()
+	for i := 0; i < txns; i++ {
+		t0 := time.Now()
+		if err := run(i); err != nil {
+			return pt, fmt.Errorf("healthy txn %d: %w", i, err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt.HealthyTxnsPerSec = float64(txns) / elapsed.Seconds()
+	pt.HealthyP50Ms = float64(lats[len(lats)/2].Microseconds()) / 1000
+	pt.HealthyP99Ms = float64(lats[len(lats)*99/100].Microseconds()) / 1000
+	return pt, nil
+}
+
+// MeasureCommitAvailability runs the full A/B: healthy-path latency plus
+// both coordinator-kill scenarios, for each protocol. resolveWait bounds
+// how long each kill scenario waits for the survivors — under 2pc the full
+// wait is always consumed (the point being demonstrated), so the sweep's
+// wall time is roughly 2*resolveWait plus the healthy runs.
+func MeasureCommitAvailability(txns int, resolveWait time.Duration) (*CommitAvailResult, error) {
+	if txns <= 0 {
+		txns = 200
+	}
+	if resolveWait <= 0 {
+		resolveWait = 5 * time.Second
+	}
+	res := &CommitAvailResult{Nodes: 3, Acceptors: 3, ResolveWaitMs: resolveWait.Milliseconds()}
+	for _, protocol := range []string{core.Protocol2PC, core.ProtocolPaxos} {
+		pt, err := measureHealthyCommits(protocol, txns)
+		if err != nil {
+			return nil, fmt.Errorf("bench: healthy commits under %s: %w", protocol, err)
+		}
+		for _, phase := range []string{"decide", "decided"} {
+			rep, err := fault.RunCoordKill(fault.CoordKillOptions{
+				CommitProtocol: protocol,
+				KillPhase:      phase,
+				ResolveWait:    resolveWait,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: coordkill %s/%s: %w", protocol, phase, err)
+			}
+			pt.KillPhases = append(pt.KillPhases, CommitKillPoint{
+				Phase:     phase,
+				Resolved:  rep.Resolved,
+				Outcome:   rep.Outcome,
+				ResolveMs: rep.ResolveMs,
+				LocksHeld: rep.LocksHeld,
+			})
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// FormatCommitAvail renders the A/B as a text table.
+func FormatCommitAvail(r *CommitAvailResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Commit availability A/B: %d nodes, %d acceptors (paxos), %d healthy txns, %dms kill wait\n",
+		r.Nodes, r.Acceptors, healthyTxnsOf(r), r.ResolveWaitMs)
+	fmt.Fprintf(&b, "%-9s %10s %9s %9s  %-9s %-10s %12s %10s\n",
+		"protocol", "txns/s", "p50 ms", "p99 ms", "kill at", "resolved", "outcome", "resolve ms")
+	line := strings.Repeat("-", 86)
+	fmt.Fprintln(&b, line)
+	for _, pt := range r.Points {
+		for i, k := range pt.KillPhases {
+			proto, tps, p50, p99 := pt.Protocol, fmt.Sprintf("%.0f", pt.HealthyTxnsPerSec),
+				fmt.Sprintf("%.2f", pt.HealthyP50Ms), fmt.Sprintf("%.2f", pt.HealthyP99Ms)
+			if i > 0 {
+				proto, tps, p50, p99 = "", "", "", ""
+			}
+			resolved := "BLOCKED"
+			outcome, resolveMs := "-", "-"
+			if k.Resolved {
+				resolved = "yes"
+				outcome = k.Outcome
+				resolveMs = fmt.Sprintf("%d", k.ResolveMs)
+			}
+			fmt.Fprintf(&b, "%-9s %10s %9s %9s  %-9s %-10s %12s %10s\n",
+				proto, tps, p50, p99, k.Phase, resolved, outcome, resolveMs)
+		}
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintln(&b, "BLOCKED = the survivors still held the prepared transaction (and its write")
+	fmt.Fprintln(&b, "locks) when the wait expired; the coordinator never comes back in this harness.")
+	return b.String()
+}
+
+func healthyTxnsOf(r *CommitAvailResult) int {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return r.Points[0].HealthyTxns
+}

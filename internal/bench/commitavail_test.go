@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCommitAvailabilitySmoke runs a reduced commit-availability A/B and
+// checks the shape of the result: both protocols commit on the healthy
+// path, 2pc blocks in both coordinator-kill scenarios, paxos resolves
+// both (abort when killed before proposing, commit when killed after the
+// quorum accepted).
+func TestCommitAvailabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("commit-availability smoke boots real clusters and waits out the 2pc blocking window")
+	}
+	res, err := MeasureCommitAvailability(30, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatCommitAvail(res))
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (2pc, paxos)", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.HealthyTxnsPerSec <= 0 {
+			t.Errorf("%s: no healthy throughput", pt.Protocol)
+		}
+		if len(pt.KillPhases) != 2 {
+			t.Fatalf("%s: got %d kill phases, want 2", pt.Protocol, len(pt.KillPhases))
+		}
+		for _, k := range pt.KillPhases {
+			switch pt.Protocol {
+			case "2pc":
+				if k.Resolved || !k.LocksHeld {
+					t.Errorf("2pc kill at %q: resolved=%v locks_held=%v, want the blocking window", k.Phase, k.Resolved, k.LocksHeld)
+				}
+			case "paxos":
+				if !k.Resolved || k.LocksHeld {
+					t.Errorf("paxos kill at %q: resolved=%v locks_held=%v, want nonblocking resolution", k.Phase, k.Resolved, k.LocksHeld)
+				}
+				want := "aborted"
+				if k.Phase == "decided" {
+					want = "committed"
+				}
+				if k.Outcome != want {
+					t.Errorf("paxos kill at %q resolved to %q, want %q", k.Phase, k.Outcome, want)
+				}
+			}
+		}
+	}
+}

@@ -29,12 +29,18 @@ var ErrBadFrame = errors.New("comm: malformed wire frame")
 // control messages, far below this.
 const maxWireFrame = 16 << 20
 
-func appendLenBytes(dst []byte, b []byte) []byte {
+// AppendLenBytes appends b with a 4-byte big-endian length prefix. It is
+// exported (together with AppendLenString/TakeLenBytes/TakeLenString) so
+// higher layers that ride the envelope codec — the acp acceptor messages —
+// compose their payloads with the same framing primitives instead of
+// inventing a second wire dialect.
+func AppendLenBytes(dst []byte, b []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
 	return append(dst, b...)
 }
 
-func appendLenString(dst []byte, s string) []byte {
+// AppendLenString appends s with a 4-byte big-endian length prefix.
+func AppendLenString(dst []byte, s string) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
 	return append(dst, s...)
 }
@@ -44,8 +50,8 @@ func appendLenString(dst []byte, s string) []byte {
 func appendEnvelope(dst []byte, env *Envelope) []byte {
 	base := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // frame length, patched below
-	dst = appendLenString(dst, string(env.From))
-	dst = appendLenString(dst, string(env.To))
+	dst = AppendLenString(dst, string(env.From))
+	dst = AppendLenString(dst, string(env.To))
 	dst = append(dst, byte(env.Kind))
 	dst = binary.BigEndian.AppendUint64(dst, env.Epoch)
 	dst = binary.BigEndian.AppendUint64(dst, env.Seq)
@@ -54,18 +60,21 @@ func appendEnvelope(dst []byte, env *Envelope) []byte {
 		flags |= 1
 	}
 	dst = append(dst, flags)
-	dst = appendLenString(dst, env.Service)
-	dst = appendLenString(dst, string(env.TID.Node))
+	dst = AppendLenString(dst, env.Service)
+	dst = AppendLenString(dst, string(env.TID.Node))
 	dst = binary.BigEndian.AppendUint64(dst, env.TID.Seq)
-	dst = appendLenString(dst, string(env.TID.RootNode))
+	dst = AppendLenString(dst, string(env.TID.RootNode))
 	dst = binary.BigEndian.AppendUint64(dst, env.TID.RootSeq)
-	dst = appendLenBytes(dst, env.Payload)
-	dst = appendLenString(dst, env.Err)
+	dst = AppendLenBytes(dst, env.Payload)
+	dst = AppendLenString(dst, env.Err)
 	binary.BigEndian.PutUint32(dst[base:], uint32(len(dst)-base-4))
 	return dst
 }
 
-func takeLenBytes(b []byte) ([]byte, []byte, error) {
+// TakeLenBytes splits one 4-byte-length-prefixed field off the front of b,
+// returning the field (aliasing b — copy if it must outlive the buffer) and
+// the remainder.
+func TakeLenBytes(b []byte) ([]byte, []byte, error) {
 	if len(b) < 4 {
 		return nil, nil, ErrBadFrame
 	}
@@ -77,6 +86,15 @@ func takeLenBytes(b []byte) ([]byte, []byte, error) {
 	return b[:n], b[n:], nil
 }
 
+// TakeLenString is TakeLenBytes with the field copied out as a string.
+func TakeLenString(b []byte) (string, []byte, error) {
+	f, rest, err := TakeLenBytes(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(f), rest, nil
+}
+
 // decodeEnvelope parses one envelope from a complete frame payload (the
 // 4-byte frame length already stripped). Strings and the payload are copied
 // out, so the caller may recycle b immediately.
@@ -84,11 +102,11 @@ func decodeEnvelope(b []byte) (*Envelope, error) {
 	env := &Envelope{}
 	var f []byte
 	var err error
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	env.From = types.NodeID(f)
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	env.To = types.NodeID(f)
@@ -100,11 +118,11 @@ func decodeEnvelope(b []byte) (*Envelope, error) {
 	env.Seq = binary.BigEndian.Uint64(b[9:17])
 	env.IsReply = b[17]&1 != 0
 	b = b[18:]
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	env.Service = string(f)
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	env.TID.Node = types.NodeID(f)
@@ -113,7 +131,7 @@ func decodeEnvelope(b []byte) (*Envelope, error) {
 	}
 	env.TID.Seq = binary.BigEndian.Uint64(b)
 	b = b[8:]
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	env.TID.RootNode = types.NodeID(f)
@@ -122,13 +140,13 @@ func decodeEnvelope(b []byte) (*Envelope, error) {
 	}
 	env.TID.RootSeq = binary.BigEndian.Uint64(b)
 	b = b[8:]
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	if len(f) > 0 {
 		env.Payload = append([]byte(nil), f...)
 	}
-	if f, b, err = takeLenBytes(b); err != nil {
+	if f, b, err = TakeLenBytes(b); err != nil {
 		return nil, err
 	}
 	env.Err = string(f)

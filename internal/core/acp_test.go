@@ -1,0 +1,205 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// paxosCluster boots a 3-node cluster committing through Paxos Commit
+// (all three nodes form the acceptor set, F=1), with one array server per
+// node.
+func paxosCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	opts := core.DefaultClusterOptions()
+	opts.CommitProtocol = core.ProtocolPaxos
+	c, err := core.NewCluster(opts, "a", "b", "c")
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	for _, name := range c.NodeNames() {
+		n := c.Node(name)
+		if _, err := intarray.Attach(n, "arr", 1, 50, time.Second); err != nil {
+			t.Fatalf("Attach %s: %v", name, err)
+		}
+		if _, err := n.Recover(); err != nil {
+			t.Fatalf("Recover %s: %v", name, err)
+		}
+	}
+	return c
+}
+
+// TestPaxosClusterCommit: the happy path under the replicated protocol —
+// a distributed write-commit across all three nodes lands everywhere and
+// a distributed abort still undoes everywhere.
+func TestPaxosClusterCommit(t *testing.T) {
+	c := paxosCluster(t)
+	defer c.Shutdown()
+	na := c.Node("a")
+
+	if got := c.Acceptors(); len(got) != 3 {
+		t.Fatalf("acceptor set = %v, want 3 nodes", got)
+	}
+
+	clients := map[types.NodeID]*intarray.Client{
+		"a": intarray.NewClient(na, "a", "arr"),
+		"b": intarray.NewClient(na, "b", "arr"),
+		"c": intarray.NewClient(na, "c", "arr"),
+	}
+	if err := na.App.Run(func(tid types.TransID) error {
+		for i, name := range []types.NodeID{"a", "b", "c"} {
+			if err := clients[name].Set(tid, 1, int64(100+i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("paxos distributed commit: %v", err)
+	}
+	for i, name := range []types.NodeID{"a", "b", "c"} {
+		n := c.Node(name)
+		local := intarray.NewClient(n, name, "arr")
+		if err := n.App.Run(func(tid types.TransID) error {
+			v, err := local.Get(tid, 1)
+			if err != nil {
+				return err
+			}
+			if v != int64(100+i) {
+				t.Errorf("node %s: got %d, want %d", name, v, 100+i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("verify on %s: %v", name, err)
+		}
+	}
+
+	// An aborted transaction under paxos must undo everywhere: phase-2
+	// abort instructions are authoritative and clear the in-doubt guard.
+	sawAbort := false
+	_ = na.App.Run(func(tid types.TransID) error {
+		if err := clients["b"].Set(tid, 2, 77); err != nil {
+			return err
+		}
+		if err := na.TM.Abort(tid); err != nil {
+			t.Fatalf("abort: %v", err)
+		}
+		sawAbort = true
+		return nil
+	})
+	if !sawAbort {
+		t.Fatal("abort transaction never ran")
+	}
+	nb := c.Node("b")
+	localB := intarray.NewClient(nb, "b", "arr")
+	if err := nb.App.Run(func(tid types.TransID) error {
+		v, err := localB.Get(tid, 2)
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			t.Errorf("aborted write visible on b: %d", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("verify abort on b: %v", err)
+	}
+}
+
+// TestAcceptorStateSurvivesReboot: a decision accepted (force-logged) by
+// an acceptor must come back after crash + recovery — through a RecACP
+// record or through the checkpoint's ACP blob — so a rebooted acceptor
+// still answers recovery proposers correctly.
+func TestAcceptorStateSurvivesReboot(t *testing.T) {
+	c := paxosCluster(t)
+	defer c.Shutdown()
+	na := c.Node("a")
+
+	// Drive the protocol directly (no Finished, so acceptors keep the
+	// entry) — the state under test is the acceptor table, not the txn
+	// fan-out.
+	tid := types.TransID{Node: "a", Seq: 999, RootNode: "a", RootSeq: 999}
+	if err := na.ACP.DecideCommit(tid, []types.NodeID{"a", "b"}); err != nil {
+		t.Fatalf("DecideCommit: %v", err)
+	}
+
+	check := func(n *core.Node, when string) {
+		// Quorum means DecideCommit can return before every acceptor has
+		// processed its accept; poll briefly.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			snap := n.ACP.Snapshot()
+			for _, is := range snap {
+				if is.Accepted {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: no accepted instance on %s: %+v", when, n.ID(), snap)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	check(c.Node("b"), "before reboot")
+
+	// Plain reboot: the entry returns via log scan (RecACP records).
+	c.Crash("b")
+	nb, err := c.Reboot("b")
+	if err != nil {
+		t.Fatalf("reboot b: %v", err)
+	}
+	if _, err := intarray.Attach(nb, "arr", 1, 50, time.Second); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if _, err := nb.Recover(); err != nil {
+		t.Fatalf("recover b: %v", err)
+	}
+	check(nb, "after reboot")
+
+	// Checkpoint, then reboot again: the entry now travels in the
+	// checkpoint's ACP blob (and must not be stranded by log reclaim).
+	if err := nb.RM.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	c.Crash("b")
+	nb2, err := c.Reboot("b")
+	if err != nil {
+		t.Fatalf("second reboot b: %v", err)
+	}
+	if _, err := intarray.Attach(nb2, "arr", 1, 50, time.Second); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if _, err := nb2.Recover(); err != nil {
+		t.Fatalf("second recover b: %v", err)
+	}
+	check(nb2, "after checkpointed reboot")
+
+	// The restored quorum still answers a recovery proposer: node c
+	// resolves the (never-finished) transaction to Committed.
+	prepLike := c.Node("c").ACP
+	// ResolveInDoubt consults the acceptors named in the prepare body.
+	st := prepLike.ResolveInDoubt(tid, nil)
+	if st != types.StatusCommitted {
+		t.Fatalf("resolve after reboots = %v, want committed", st)
+	}
+}
+
+// TestAcceptorReconfiguration: the stretch goal — switching the acceptor
+// set between transactions takes effect for new transactions.
+func TestAcceptorReconfiguration(t *testing.T) {
+	c := paxosCluster(t)
+	defer c.Shutdown()
+	c.ReconfigureAcceptors("a", "b")
+	na := c.Node("a")
+	if got := na.ACP.Acceptors(); len(got) != 2 {
+		t.Fatalf("acceptors after reconfigure = %v", got)
+	}
+	remote := intarray.NewClient(na, "b", "arr")
+	if err := na.App.Run(func(tid types.TransID) error {
+		return remote.Set(tid, 5, 55)
+	}); err != nil {
+		t.Fatalf("commit after reconfiguration: %v", err)
+	}
+}

@@ -40,6 +40,11 @@ type Cluster struct {
 	nodes    map[types.NodeID]*Node
 	disks    map[types.NodeID]*disk.Disk
 	opts     ClusterOptions
+	// acceptors is the commit-decision replica set under the "paxos"
+	// protocol, fixed (or reconfigured between transactions) cluster-wide;
+	// reboots reapply it so a restarted coordinator proposes to the same
+	// quorum.
+	acceptors []types.NodeID
 }
 
 // ClusterOptions tune every node in a cluster.
@@ -56,6 +61,12 @@ type ClusterOptions struct {
 	// through every node's transport, disk, and log, across boots and
 	// reboots. Nil disables injection entirely.
 	Faults FaultPlan
+	// CommitProtocol selects the commit-decision protocol for every node:
+	// "2pc" (or empty) or "paxos". See core.Config.CommitProtocol.
+	CommitProtocol string
+	// AcceptorCount sizes the Paxos Commit replica set (first N nodes in
+	// sorted name order); 0 means 3 (F=1). Ignored under 2PC.
+	AcceptorCount int
 }
 
 // DefaultClusterOptions returns settings suitable for tests: small disks,
@@ -86,7 +97,36 @@ func NewCluster(opts ClusterOptions, names ...types.NodeID) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if opts.CommitProtocol == ProtocolPaxos {
+		count := opts.AcceptorCount
+		if count <= 0 {
+			count = 3
+		}
+		sorted := c.NodeNames()
+		if count > len(sorted) {
+			count = len(sorted)
+		}
+		c.ReconfigureAcceptors(sorted[:count]...)
+	}
 	return c, nil
+}
+
+// ReconfigureAcceptors installs a new Paxos Commit replica set on every
+// live node (and on later reboots). Safe only between transactions in the
+// sense that in-flight transactions are unaffected: each transaction
+// carries the acceptor set it was prepared with in its prepare records and
+// datagrams, so it keeps resolving against the old quorum while new
+// transactions use the new one.
+func (c *Cluster) ReconfigureAcceptors(names ...types.NodeID) {
+	c.acceptors = append([]types.NodeID(nil), names...)
+	for _, n := range c.nodes {
+		n.ACP.SetAcceptors(c.acceptors)
+	}
+}
+
+// Acceptors returns the cluster's current commit-decision replica set.
+func (c *Cluster) Acceptors() []types.NodeID {
+	return append([]types.NodeID(nil), c.acceptors...)
 }
 
 // AddNode creates one node with a fresh disk.
@@ -122,6 +162,8 @@ func (c *Cluster) bootNode(name types.NodeID, d *disk.Disk) (*Node, error) {
 		LockTimeout:        c.opts.LockTimeout,
 		DisableGroupCommit: c.opts.DisableGroupCommit,
 		WALFaultHook:       walHook,
+		CommitProtocol:     c.opts.CommitProtocol,
+		Acceptors:          c.acceptors,
 	})
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"tabs/internal/acp"
 	"tabs/internal/applib"
 	"tabs/internal/comm"
 	"tabs/internal/disk"
@@ -49,6 +50,13 @@ const TraceControlService = "tracectl"
 // which tabsctl dumps a live node's placement maps and Name Server tables
 // (command "placement"; replies are PlacementReport JSON).
 const PlacementControlService = "placectl"
+
+// ACPControlService is the Communication Manager service through which
+// tabsctl dumps a live node's commit-protocol state: the configured
+// protocol, the acceptor set, the acceptor's per-transaction Paxos
+// instances, and the transactions still held by the Transaction Manager
+// (command "acp"; replies are ACPReport JSON).
+const ACPControlService = "acpctl"
 
 // Errors.
 var (
@@ -96,7 +104,23 @@ type Config struct {
 	// WALFaultHook threads the fault-injection layer into the node's log
 	// (see wal.Config.FaultHook); nil injects nothing.
 	WALFaultHook wal.FaultHook
+	// CommitProtocol selects how this node's top-level transactions reach
+	// their commit decision: "2pc" (or empty, the default) is the paper's
+	// coordinator-forces-the-commit-record; "paxos" replicates the decision
+	// across the Acceptors quorum (Paxos Commit), surviving coordinator
+	// death while a majority of acceptors live.
+	CommitProtocol string
+	// Acceptors names the replica set for "paxos" commits started by this
+	// node. Every node answers acceptor traffic regardless, so the set may
+	// name any nodes in the cluster; odd sizes (2F+1) tolerate F failures.
+	Acceptors []types.NodeID
 }
+
+// Commit-protocol names accepted by Config.CommitProtocol.
+const (
+	Protocol2PC   = "2pc"
+	ProtocolPaxos = "paxos"
+)
 
 // Node is one TABS machine.
 type Node struct {
@@ -111,6 +135,7 @@ type Node struct {
 	RM     *recovery.Manager
 	TM     *txn.Manager
 	CM     *comm.Manager
+	ACP    *acp.Manager
 	NS     *nameserver.Server
 	App    *applib.Lib
 
@@ -186,10 +211,35 @@ func NewNode(cfg Config) (*Node, error) {
 		n.CM.RegisterService(DataServerService, n.handleRemoteCall)
 		n.CM.RegisterService(TraceControlService, n.handleTraceControl)
 		n.CM.RegisterService(PlacementControlService, n.handlePlacementControl)
+		n.CM.RegisterService(ACPControlService, n.handleACPControl)
 	} else {
 		n.TM = txn.New(cfg.ID, n.RM, nil, tmRec)
 	}
 	n.TM.AttachTracer(n.tr)
+	// The acp endpoint is always constructed: the acceptor role must be
+	// live (and its state restored through the Recovery Manager) even on
+	// nodes whose own transactions use 2PC, because other nodes may name
+	// this one in their acceptor sets. Restart ordering matters — the
+	// ACPSource is attached before Recover runs, so checkpoint blobs and
+	// RecACP records replay into the acceptor table before the in-doubt
+	// resolution pass asks it anything.
+	if n.CM != nil {
+		n.ACP = acp.New(cfg.ID, n.CM)
+	} else {
+		n.ACP = acp.New(cfg.ID, nil)
+	}
+	n.ACP.AttachTracer(n.tr)
+	n.ACP.SetLogger(n.RM)
+	n.RM.SetACPSource(n.ACP)
+	n.ACP.SetAcceptors(cfg.Acceptors)
+	switch cfg.CommitProtocol {
+	case "", Protocol2PC:
+		// Default built-in two-phase commit; nothing to install.
+	case ProtocolPaxos:
+		n.TM.SetProtocol(n.ACP)
+	default:
+		return nil, fmt.Errorf("core: unknown commit protocol %q", cfg.CommitProtocol)
+	}
 	n.NS = nameserver.New(cfg.ID, nsBroadcaster(n))
 	n.NS.AttachTracer(n.tr)
 	n.App = applib.New(n.TM)
@@ -475,6 +525,38 @@ func (n *Node) handlePlacementControl(_ types.NodeID, _ types.TransID, payload [
 	}
 }
 
+// ACPReport is the acpctl reply: the node's commit-protocol configuration,
+// the acceptor's per-transaction Paxos Commit instances, and the top-level
+// transactions the Transaction Manager still holds in doubt.
+type ACPReport struct {
+	Node      types.NodeID        `json:"node"`
+	Protocol  string              `json:"protocol"`
+	Acceptors []types.NodeID      `json:"acceptors,omitempty"`
+	Instances []acp.InstanceState `json:"instances,omitempty"`
+	InDoubt   []types.TransID     `json:"in_doubt,omitempty"`
+}
+
+// handleACPControl serves tabsctl's commit-protocol dumps.
+func (n *Node) handleACPControl(_ types.NodeID, _ types.TransID, payload []byte) ([]byte, error) {
+	switch cmd := string(payload); cmd {
+	case "acp", "":
+		proto := n.cfg.CommitProtocol
+		if proto == "" {
+			proto = Protocol2PC
+		}
+		rep := ACPReport{
+			Node:      n.id,
+			Protocol:  proto,
+			Acceptors: n.ACP.Acceptors(),
+			Instances: n.ACP.Snapshot(),
+			InDoubt:   n.TM.InDoubt(),
+		}
+		return json.Marshal(rep)
+	default:
+		return nil, fmt.Errorf("core: unknown acp command %q", cmd)
+	}
+}
+
 func encodeRemoteCall(server types.ServerID, op string, body []byte) []byte {
 	b := make([]byte, 0, 4+len(server)+len(op)+len(body))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(server)))
@@ -526,6 +608,7 @@ func (n *Node) Crash() {
 		_ = n.CM.Close()
 	}
 	n.TM.Crash()
+	n.ACP.Crash()
 	n.RM.Crash()
 	n.Kernel.Crash()
 }

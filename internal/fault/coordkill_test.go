@@ -1,0 +1,97 @@
+package fault_test
+
+import (
+	"testing"
+	"time"
+
+	"tabs/internal/fault"
+)
+
+// TestCoordKillBlockingWindow pins the availability difference between the
+// two commit protocols under the same failure: the coordinator of a fully
+// prepared distributed transaction is killed at the decision point and
+// never comes back.
+//
+// Under 2pc this is the classic blocking window — presumed abort cannot
+// fire for a prepared participant (the dead coordinator may hold a commit
+// record), so the survivors stay in doubt and hold the transaction's write
+// locks indefinitely. The subtest documents exactly that, and is the
+// regression pin for the failure mode Paxos Commit removes.
+//
+// Under paxos the decision is owned by the acceptor quorum (both survivors
+// are acceptors), so every prepared participant resolves with the
+// coordinator permanently dead: to aborted when it died before proposing
+// ("decide"), to committed when it died after the quorum accepted the
+// decision ("decided").
+func TestCoordKillBlockingWindow(t *testing.T) {
+	t.Run("2pc-blocks", func(t *testing.T) {
+		rep, err := fault.RunCoordKill(fault.CoordKillOptions{
+			CommitProtocol: "2pc",
+			KillPhase:      "decide",
+			ResolveWait:    2 * time.Second,
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Resolved {
+			t.Fatalf("2pc resolved an in-doubt transaction with the coordinator dead — presumed abort fired for a prepared participant? %s", rep)
+		}
+		if rep.LiveLeft == 0 {
+			t.Fatalf("2pc survivors hold no live transactions yet never resolved: %s", rep)
+		}
+		if !rep.LocksHeld {
+			t.Fatalf("2pc blocking window must hold the doomed transaction's locks: %s", rep)
+		}
+	})
+	for _, tc := range []struct {
+		phase, wantOutcome string
+	}{
+		{"decide", "aborted"},    // nothing proposed: recovery closes the instances with abort
+		{"decided", "committed"}, // quorum accepted the decision: survivors learn commit
+	} {
+		t.Run("paxos-"+tc.phase, func(t *testing.T) {
+			rep, err := fault.RunCoordKill(fault.CoordKillOptions{
+				CommitProtocol: "paxos",
+				KillPhase:      tc.phase,
+				ResolveWait:    10 * time.Second,
+				Logf:           t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Resolved {
+				t.Fatalf("paxos did not resolve with F=1 of 3 acceptors dead: %s", rep)
+			}
+			if rep.Outcome != tc.wantOutcome {
+				t.Fatalf("paxos kill at %q resolved to %q, want %q: %s", tc.phase, rep.Outcome, tc.wantOutcome, rep)
+			}
+			if rep.LocksHeld {
+				t.Fatalf("paxos resolved but the doomed transaction's locks are still held: %s", rep)
+			}
+			t.Logf("resolved in %dms", rep.ResolveMs)
+		})
+	}
+}
+
+// TestTorturePaxosSmoke runs the randomized torture workload with the
+// replicated commit protocol under the partition profile: in-doubt commits
+// (ErrInDoubt from a partitioned quorum) must all resolve and the model
+// must hold.
+func TestTorturePaxosSmoke(t *testing.T) {
+	rep, err := fault.RunTorture(fault.TortureOptions{
+		Seed:           20260808,
+		Nodes:          3,
+		Txns:           40,
+		Profile:        "partition",
+		CommitProtocol: "paxos",
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if rep.Committed == 0 {
+		t.Fatal("no transaction committed; the harness exercised nothing")
+	}
+}

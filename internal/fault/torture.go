@@ -9,6 +9,7 @@ import (
 	"tabs/internal/core"
 	"tabs/internal/disk"
 	"tabs/internal/servers/intarray"
+	"tabs/internal/txn"
 	"tabs/internal/types"
 )
 
@@ -19,6 +20,13 @@ type TortureOptions struct {
 	Txns    int    // how many workload transactions to drive
 	Profile string // fault profile name (ProfileByName)
 	Cells   int    // intarray cells per node (default 64)
+
+	// CommitProtocol selects the cluster's commit protocol ("2pc" when
+	// empty, or "paxos"). Under paxos a commit may return ErrInDoubt when
+	// the acceptor quorum is unreachable; the harness then tracks the
+	// transaction as pending and folds its writes into the model once the
+	// replicated decision resolves.
+	CommitProtocol string
 
 	// Logf, when set, receives progress lines (testing.T.Logf shape).
 	Logf func(format string, args ...any)
@@ -32,6 +40,7 @@ type TortureReport struct {
 	Txns       int
 	Committed  int
 	Aborted    int
+	InDoubt    int // commits that returned ErrInDoubt and resolved later
 	Crashes    int // node crashes performed (scheduled + injector-requested)
 	Reboots    int
 	Partitions int
@@ -39,8 +48,26 @@ type TortureReport struct {
 }
 
 func (r *TortureReport) String() string {
-	return fmt.Sprintf("torture seed=%d profile=%s nodes=%d txns=%d committed=%d aborted=%d crashes=%d reboots=%d partitions=%d faults=%d",
-		r.Seed, r.Profile, r.Nodes, r.Txns, r.Committed, r.Aborted, r.Crashes, r.Reboots, r.Partitions, r.Faults)
+	return fmt.Sprintf("torture seed=%d profile=%s nodes=%d txns=%d committed=%d aborted=%d indoubt=%d crashes=%d reboots=%d partitions=%d faults=%d",
+		r.Seed, r.Profile, r.Nodes, r.Txns, r.Committed, r.Aborted, r.InDoubt, r.Crashes, r.Reboots, r.Partitions, r.Faults)
+}
+
+// modelWrite is one cell update a workload transaction attempted; the
+// model applies it only if the transaction committed.
+type modelWrite struct {
+	node types.NodeID
+	cell uint32
+	val  int64
+}
+
+// pendingTxn is a commit that returned ErrInDoubt: the decision is with
+// the acceptor quorum, not the coordinator, so the harness polls for the
+// outcome and applies the writes retroactively if it was commit.
+type pendingTxn struct {
+	tid    types.TransID
+	coord  types.NodeID
+	idx    int // schedule index, for write-order reconciliation
+	writes []modelWrite
 }
 
 // torture is the run state: a cluster of intarray nodes driven through a
@@ -60,6 +87,15 @@ type torture struct {
 	model map[types.NodeID][]int64
 	down  map[types.NodeID]int // crashed nodes -> transactions left down
 	parts []partition
+
+	// In-doubt bookkeeping (paxos runs): writerIdx[node][cell] is the
+	// schedule index of the last transaction whose write the model
+	// applied to that cell, so a pending transaction resolving late never
+	// clobbers a newer committed value — it serialized BEFORE whatever
+	// acquired its locks after resolution.
+	pending   []pendingTxn
+	writerIdx map[types.NodeID][]int
+	txnIdx    int
 
 	report TortureReport
 }
@@ -98,17 +134,19 @@ func RunTorture(opts TortureOptions) (*TortureReport, error) {
 		return nil, err
 	}
 	tt := &torture{
-		opts:  opts,
-		inj:   New(opts.Seed, prof),
-		rng:   rand.New(rand.NewSource(opts.Seed)),
-		model: make(map[types.NodeID][]int64),
-		down:  make(map[types.NodeID]int),
+		opts:      opts,
+		inj:       New(opts.Seed, prof),
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		model:     make(map[types.NodeID][]int64),
+		down:      make(map[types.NodeID]int),
+		writerIdx: make(map[types.NodeID][]int),
 	}
 	tt.report = TortureReport{Seed: opts.Seed, Profile: prof.Name, Nodes: opts.Nodes, Txns: opts.Txns}
 	for i := 0; i < opts.Nodes; i++ {
 		name := types.NodeID(fmt.Sprintf("n%d", i))
 		tt.names = append(tt.names, name)
 		tt.model[name] = make([]int64, opts.Cells)
+		tt.writerIdx[name] = make([]int, opts.Cells)
 	}
 
 	copts := core.DefaultClusterOptions()
@@ -116,6 +154,7 @@ func RunTorture(opts TortureOptions) (*TortureReport, error) {
 	copts.PoolPages = 128
 	copts.LockTimeout = 500 * time.Millisecond
 	copts.Faults = tt.inj
+	copts.CommitProtocol = opts.CommitProtocol
 	c, err := core.NewCluster(copts, tt.names...)
 	if err != nil {
 		return nil, err
@@ -279,6 +318,9 @@ func (tt *torture) run() error {
 		// Periodic mid-run check, only in quiet moments: every node up, no
 		// partitions, so in-doubt transactions can resolve promptly.
 		if t%16 == 15 && len(tt.down) == 0 && len(tt.parts) == 0 {
+			if err := tt.resolvePending(time.Now().Add(10 * time.Second)); err != nil {
+				return fmt.Errorf("mid-run (txn %d): %w", t, err)
+			}
 			if err := tt.verifyModel(10 * time.Second); err != nil {
 				return fmt.Errorf("mid-run (txn %d): %w", t, err)
 			}
@@ -291,13 +333,10 @@ func (tt *torture) run() error {
 // runTxn executes one randomized transaction: 1–3 writes spread over 1–2
 // target nodes, coordinated from a random live node.
 func (tt *torture) runTxn(al []types.NodeID) {
+	idx := tt.txnIdx
+	tt.txnIdx++
 	coordName := al[tt.rng.Intn(len(al))]
 	coord := tt.c.Node(coordName)
-	type write struct {
-		node types.NodeID
-		cell uint32
-		val  int64
-	}
 	targets := []types.NodeID{al[tt.rng.Intn(len(al))]}
 	if len(al) > 1 && tt.rng.Intn(2) == 0 {
 		for {
@@ -308,9 +347,9 @@ func (tt *torture) runTxn(al []types.NodeID) {
 			}
 		}
 	}
-	var writes []write
+	var writes []modelWrite
 	for i, k := 0, 1+tt.rng.Intn(3); i < k; i++ {
-		writes = append(writes, write{
+		writes = append(writes, modelWrite{
 			node: targets[tt.rng.Intn(len(targets))],
 			cell: uint32(1 + tt.rng.Intn(tt.opts.Cells)), // cells are 1-indexed
 			val:  tt.rng.Int63n(1 << 40),
@@ -320,7 +359,9 @@ func (tt *torture) runTxn(al []types.NodeID) {
 	for _, tgt := range targets {
 		clients[tgt] = intarray.NewClient(coord, tgt, "arr")
 	}
+	var rootTID types.TransID
 	err := coord.App.Run(func(tid types.TransID) error {
+		rootTID = tid
 		for _, w := range writes {
 			if err := clients[w.node].Set(tid, w.cell, w.val); err != nil {
 				return err
@@ -332,7 +373,18 @@ func (tt *torture) runTxn(al []types.NodeID) {
 		tt.report.Committed++
 		for _, w := range writes {
 			tt.model[w.node][w.cell-1] = w.val
+			tt.writerIdx[w.node][w.cell-1] = idx
 		}
+		return
+	}
+	if errors.Is(err, txn.ErrInDoubt) {
+		// The decision rests with the acceptor quorum, not this coordinator.
+		// Track the transaction and poll for its outcome at the next
+		// verification boundary; its writes fold into the model if and only
+		// if the quorum decided commit.
+		tt.report.InDoubt++
+		tt.pending = append(tt.pending, pendingTxn{tid: rootTID, coord: coordName, idx: idx, writes: writes})
+		tt.opts.Logf("txn %d: commit in doubt (%v on %s)", idx, rootTID, coordName)
 		return
 	}
 	tt.report.Aborted++
@@ -342,6 +394,49 @@ func (tt *torture) runTxn(al []types.NodeID) {
 	if errors.Is(err, disk.ErrWriteFailed) || errors.Is(err, ErrInjected) {
 		tt.crashNode(coordName, "txn hit injected I/O failure")
 	}
+}
+
+// resolvePending polls every in-doubt commit to a terminal outcome and
+// applies committed writes to the model. A write lands only if no
+// later-scheduled transaction has since committed the same cell: the
+// pending transaction held the cell's locks until its decision was
+// learned, so it serialized before anything that committed afterwards.
+func (tt *torture) resolvePending(deadline time.Time) error {
+	for len(tt.pending) > 0 {
+		keep := tt.pending[:0]
+		for _, p := range tt.pending {
+			n := tt.c.Node(p.coord)
+			if n == nil {
+				keep = append(keep, p)
+				continue
+			}
+			switch n.TM.Status(p.tid) {
+			case types.StatusCommitted:
+				for _, w := range p.writes {
+					if tt.writerIdx[w.node][w.cell-1] <= p.idx {
+						tt.model[w.node][w.cell-1] = w.val
+						tt.writerIdx[w.node][w.cell-1] = p.idx
+					}
+				}
+				tt.opts.Logf("in-doubt %v resolved: committed", p.tid)
+			case types.StatusAborted:
+				tt.opts.Logf("in-doubt %v resolved: aborted", p.tid)
+			default:
+				keep = append(keep, p)
+			}
+		}
+		tt.pending = keep
+		if len(tt.pending) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invariant violated: %d in-doubt commits never resolved (first: %v on %s)",
+				len(tt.pending), tt.pending[0].tid, tt.pending[0].coord)
+		}
+		//tabslint:ignore sleepsync deadline-retry poll: the replicated decision resolves on the sweeper's clock across nodes
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil
 }
 
 // verifyModel reads every cell of every node and compares against the
@@ -411,6 +506,13 @@ func (tt *torture) finalVerify() error {
 		}
 		//tabslint:ignore sleepsync deadline-retry poll around whole-node reboot; no event to wait on
 		time.Sleep(100 * time.Millisecond)
+	}
+
+	// In-doubt commits must reach a terminal outcome before the model is
+	// trustworthy: the quorum's decision determines whether their writes
+	// count as committed effects.
+	if err := tt.resolvePending(deadline); err != nil {
+		return err
 	}
 
 	// Invariants 1+2: durable exactly the committed effects.

@@ -67,6 +67,22 @@ type PreparedRestorer interface {
 	RestorePrepared(tid types.TransID, prep *wal.PrepareBody)
 }
 
+// ACPSource is the commit-protocol acceptor state that checkpoints must
+// capture and restart must rebuild (implemented by acp.Manager). Acceptor
+// state rides the common log as RecACP records; the checkpoint carries a
+// bounded snapshot blob so reclamation cannot strand promises behind the
+// log's low-water mark, with entries that do not fit re-logged after the
+// checkpoint record.
+type ACPSource interface {
+	// CheckpointState returns a snapshot blob at most limit bytes plus
+	// individual entry encodings that did not fit.
+	CheckpointState(limit int) (blob []byte, overflow [][]byte)
+	// RestoreState replays a checkpoint blob during the analysis pass.
+	RestoreState(blob []byte)
+	// RestoreRecord replays one RecACP record body during analysis.
+	RestoreRecord(body []byte)
+}
+
 // Errors.
 var (
 	ErrUnknownServer = errors.New("recovery: no registered undoer for server")
@@ -104,6 +120,8 @@ type Manager struct {
 	// pinnedLow, when nonzero, bounds reclamation so the log stays
 	// replayable over an archive taken at that LSN (media recovery).
 	pinnedLow wal.LSN
+	// acp, when set, has its acceptor state checkpointed and restored.
+	acp ACPSource
 }
 
 // Config parameterizes a Manager.
@@ -357,6 +375,40 @@ func (m *Manager) LogPrepare(tid types.TransID, p *wal.PrepareBody) error {
 	return nil
 }
 
+// SetACPSource wires the commit-protocol acceptor state into checkpoints
+// and restart. Call before transactions start.
+func (m *Manager) SetACPSource(src ACPSource) {
+	m.mu.Lock()
+	m.acp = src
+	m.mu.Unlock()
+}
+
+// LogACP appends one acceptor-state record, forced when the protocol
+// demands it (promises and acceptances must be stable before they are
+// acknowledged; decisions may be lazy). The record deliberately bypasses
+// append(): acceptor state belongs to no local transaction chain, must
+// not pollute the trans table (which would defeat the read-only commit
+// optimization for transactions that only hosted acceptor traffic), and
+// its body is self-contained so analysis replays it without PrevLSN
+// bookkeeping.
+func (m *Manager) LogACP(body []byte, force bool) error {
+	r := &wal.Record{Type: wal.RecACP, Body: body}
+	_, err := m.log.Append(r)
+	if err == wal.ErrLogFull {
+		if rerr := m.Reclaim(); rerr != nil {
+			return fmt.Errorf("%w (reclamation failed: %v)", err, rerr)
+		}
+		_, err = m.log.Append(r)
+	}
+	if err != nil {
+		return err
+	}
+	if force {
+		return m.log.Force(m.log.NextLSN())
+	}
+	return nil
+}
+
 // HasLogged reports whether tid has written any log records (used for the
 // read-only commit optimization: a transaction that logged nothing needs
 // no commit record and no force).
@@ -557,14 +609,42 @@ func (m *Manager) Checkpoint() error {
 		body.Active = append(body.Active, wal.ActiveTrans{TID: tid, Status: ts.status, FirstLSN: ts.firstLSN, LastLSN: ts.lastLSN})
 	}
 	sort.Slice(body.Active, func(i, j int) bool { return body.Active[i].FirstLSN < body.Active[j].FirstLSN })
+	acpSrc := m.acp
 	m.mu.Unlock()
+
+	// Capture commit-protocol acceptor state. The blob shares the record's
+	// body budget with the dirty-page and transaction tables; entries that
+	// do not fit are re-logged as RecACP records right after the checkpoint
+	// record — still ahead of the anchor the next restart scans from, so
+	// reclamation can never strand them. The snapshot is taken outside
+	// m.mu: acp state has its own lock and recovery.Manager.mu must not
+	// nest over it.
+	var overflow [][]byte
+	if acpSrc != nil {
+		limit := wal.MaxBodySize - len(wal.EncodeCheckpoint(body)) - 8
+		if limit < 0 {
+			limit = 0
+		}
+		body.ACP, overflow = acpSrc.CheckpointState(limit)
+	}
 
 	sp := m.tr.Begin("recovery", "checkpoint").
 		Annotatef("dirty_pages=%d", len(body.DirtyPages)).
-		Annotatef("active_trans=%d", len(body.Active))
+		Annotatef("active_trans=%d", len(body.Active)).
+		Annotatef("acp_overflow=%d", len(overflow))
 	r := &wal.Record{Type: wal.RecCheckpoint, Body: wal.EncodeCheckpoint(body)}
-	lsn, err := m.log.AppendAndForce(r)
+	lsn, err := m.log.Append(r)
 	if err != nil {
+		sp.EndErr(err)
+		return err
+	}
+	for _, b := range overflow {
+		if _, err := m.log.Append(&wal.Record{Type: wal.RecACP, Body: b}); err != nil {
+			sp.EndErr(err)
+			return err
+		}
+	}
+	if err := m.log.Force(m.log.NextLSN()); err != nil {
 		sp.EndErr(err)
 		return err
 	}

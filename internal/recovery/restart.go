@@ -183,6 +183,9 @@ func (m *Manager) analyze(src TransStatusSource, floor wal.LSN) (*analysis, erro
 	// Seed from the checkpoint record, if any: its dirty pages may need
 	// redo from before the checkpoint, and its active transactions may
 	// need undo.
+	m.mu.Lock()
+	acpSrc := m.acp
+	m.mu.Unlock()
 	if ckpt := m.log.CheckpointLSN(); ckpt != wal.NilLSN {
 		r, err := m.log.ReadRecord(ckpt)
 		if err != nil {
@@ -203,6 +206,12 @@ func (m *Manager) analyze(src TransStatusSource, floor wal.LSN) (*analysis, erro
 			if t.FirstLSN != wal.NilLSN && t.FirstLSN < a.redoStart {
 				a.redoStart = t.FirstLSN
 			}
+		}
+		if acpSrc != nil && len(body.ACP) > 0 {
+			// Acceptor state from the checkpoint. The scan below may start
+			// before the checkpoint and replay older RecACP records after
+			// this; the acp merge is order-insensitive, so that is fine.
+			acpSrc.RestoreState(body.ACP)
 		}
 	}
 
@@ -246,6 +255,12 @@ func (m *Manager) analyze(src TransStatusSource, floor wal.LSN) (*analysis, erro
 			a.prepares[r.TID] = body
 			if src != nil {
 				src.RestoreTransRecord(r)
+			}
+		case wal.RecACP:
+			// Commit-protocol acceptor state: replayed to the acp layer,
+			// never into the transaction tables (the record carries no TID).
+			if acpSrc != nil {
+				acpSrc.RestoreRecord(r.Body)
 			}
 		}
 		return true, nil

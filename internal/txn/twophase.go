@@ -1,16 +1,23 @@
 package txn
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
+	"tabs/internal/acp"
+	"tabs/internal/comm"
 	"tabs/internal/simclock"
+	"tabs/internal/trace"
 	"tabs/internal/types"
 	"tabs/internal/wal"
 )
 
 // Datagram message kinds for the tree-structured two-phase commit. The
-// payload is two bytes: kind and (for status replies) a status code.
+// payload is two bytes: kind and (for status replies) a status code. A
+// prepare sent under a replicated commit protocol appends the acceptor
+// set (uint16 count, then length-prefixed node names) so every
+// participant's prepare record names the quorum it must resolve against.
 const (
 	dgPrepare      uint8 = iota + 1 // parent -> child: phase 1
 	dgVoteCommit                    // child -> parent: prepared
@@ -31,13 +38,28 @@ const (
 )
 
 type dgMsg struct {
-	kind   uint8
-	status types.Status
-	from   types.NodeID
+	kind      uint8
+	status    types.Status
+	from      types.NodeID
+	acceptors []types.NodeID // dgPrepare only; nil under plain 2PC
 }
 
 func encodeDG(kind uint8, st types.Status) []byte {
 	return []byte{kind, byte(st)}
+}
+
+// acceptorTail encodes the acceptor set appended to a dgPrepare payload;
+// nil when the set is empty, so plain 2PC datagrams are byte-identical to
+// the pre-acp wire format.
+func acceptorTail(acceptors []types.NodeID) []byte {
+	if len(acceptors) == 0 {
+		return nil
+	}
+	b := binary.BigEndian.AppendUint16(nil, uint16(len(acceptors)))
+	for _, a := range acceptors {
+		b = comm.AppendLenString(b, string(a))
+	}
+	return b
 }
 
 // dgName names a datagram kind for trace spans.
@@ -57,10 +79,30 @@ func dgName(kind uint8) string {
 }
 
 func decodeDG(from types.NodeID, payload []byte) (dgMsg, bool) {
-	if len(payload) != 2 {
+	if len(payload) < 2 {
 		return dgMsg{}, false
 	}
-	return dgMsg{kind: payload[0], status: types.Status(payload[1]), from: from}, true
+	msg := dgMsg{kind: payload[0], status: types.Status(payload[1]), from: from}
+	rest := payload[2:]
+	if msg.kind == dgPrepare && len(rest) > 0 {
+		if len(rest) < 2 {
+			return dgMsg{}, false
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		for i := 0; i < n; i++ {
+			name, r, err := comm.TakeLenString(rest)
+			if err != nil {
+				return dgMsg{}, false
+			}
+			msg.acceptors = append(msg.acceptors, types.NodeID(name))
+			rest = r
+		}
+	}
+	if len(rest) != 0 {
+		return dgMsg{}, false
+	}
+	return msg, true
 }
 
 // handleDatagram is the Communication Manager dispatch entry for the txn
@@ -80,7 +122,7 @@ func (m *Manager) handleDatagram(from types.NodeID, tid types.TransID, payload [
 	case dgStatusR:
 		m.route(waitKey{tid: tid.TopLevel(), from: from, kind: clsStatus}, msg)
 	case dgPrepare:
-		m.participantPrepare(from, tid.TopLevel())
+		m.participantPrepare(from, tid.TopLevel(), msg.acceptors)
 	case dgCommit:
 		m.participantCommit(from, tid.TopLevel())
 	case dgAbort:
@@ -121,23 +163,25 @@ func (m *Manager) unawait(k waitKey) {
 	m.mu.Unlock()
 }
 
-// sendRound transmits kind to every child, charging the paper's
-// longest-path datagram fractions: the first send is a full datagram, the
-// rest — transmitted in parallel — one half each (Table 5-3 notes).
-func (m *Manager) sendRound(tid types.TransID, children []types.NodeID, kind uint8) {
+// sendRound transmits kind (payload extended by tail, which may be nil) to
+// every child, charging the paper's longest-path datagram fractions: the
+// first send is a full datagram, the rest — transmitted in parallel — one
+// half each (Table 5-3 notes).
+func (m *Manager) sendRound(tid types.TransID, children []types.NodeID, kind uint8, tail []byte) {
+	payload := append(encodeDG(kind, types.StatusUnknown), tail...)
 	for i, c := range children {
 		charge := 1.0
 		if i > 0 {
 			charge = 0.5
 		}
-		_ = m.cm.SendDatagram(c, Service, tid, encodeDG(kind, types.StatusUnknown), charge)
+		_ = m.cm.SendDatagram(c, Service, tid, payload, charge)
 	}
 }
 
 // collectRound sends kind to children and gathers one reply of class cls
 // from each, retransmitting to laggards. Missing replies after all retries
 // are reported with kind 0.
-func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind uint8, cls uint8) map[types.NodeID]dgMsg {
+func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind uint8, cls uint8, tail []byte) map[types.NodeID]dgMsg {
 	results := make(map[types.NodeID]dgMsg, len(children))
 	chans := make(map[types.NodeID]chan dgMsg, len(children))
 	for _, c := range children {
@@ -149,7 +193,7 @@ func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind 
 		}
 	}()
 	sp := m.tr.Begin("txn", "round."+dgName(kind)).SetTID(tid).Annotatef("children=%d", len(children))
-	m.sendRound(tid, children, kind)
+	m.sendRound(tid, children, kind, tail)
 	vote, attempts, _ := m.timing()
 	if attempts < 1 {
 		attempts = 1
@@ -187,7 +231,7 @@ func (m *Manager) collectRound(tid types.TransID, children []types.NodeID, kind 
 		m.tr.Count("txn.round.retransmits", 1)
 		for _, c := range children {
 			if _, done := results[c]; !done {
-				_ = m.cm.SendDatagram(c, Service, tid, encodeDG(kind, types.StatusUnknown), 0)
+				_ = m.cm.SendDatagram(c, Service, tid, append(encodeDG(kind, types.StatusUnknown), tail...), 0)
 			}
 		}
 	}
@@ -259,9 +303,18 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 	// shows how many shard homes a transaction actually touched (the
 	// child set is built from session traffic, never from the placement).
 	m.tr.Observe("txn.commit.children", float64(len(children)))
+	// Snapshot the commit protocol and its acceptor set once: the same set
+	// rides every prepare datagram and lands in every prepare record, so
+	// all participants of this transaction resolve against one quorum even
+	// if the configured set changes mid-flight.
+	prot := m.getProtocol()
+	var acceptors []types.NodeID
+	if prot.Replicated() {
+		acceptors = prot.Acceptors()
+	}
 	var writers []types.NodeID
 	if len(children) > 0 {
-		votes := m.collectRound(lt.top, children, dgPrepare, clsVote)
+		votes := m.collectRound(lt.top, children, dgPrepare, clsVote, acceptorTail(acceptors))
 		abort := false
 		for _, c := range children {
 			v, ok := votes[c]
@@ -295,6 +348,12 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 		return true, nil
 	}
 
+	m.fireHook(lt.top, "decide")
+
+	if prot.Replicated() {
+		return m.commitReplicated(lt, sp, prot, acceptors, writers)
+	}
+
 	// The commit record under the root TID decides the whole tree; it is
 	// forced before any effect is exposed (§2.1.3). Under heavy concurrent
 	// commit traffic this force is where group commit amortizes: many
@@ -307,14 +366,88 @@ func (m *Manager) commitTree(lt *localTrans) (bool, error) {
 		}
 		return false, nil
 	}
+	m.fireHook(lt.top, "decided")
 	m.mu.Lock()
 	lt.state = stCommitted
 	m.mu.Unlock()
 	if len(writers) > 0 {
-		m.collectRound(lt.top, writers, dgCommit, clsAck)
+		m.collectRound(lt.top, writers, dgCommit, clsAck, nil)
 	}
 	m.notifyCommit(lt)
 	m.finishLocal(lt, types.StatusCommitted)
+	m.tr.Count("txn.commits", 1)
+	sp.Annotate("outcome=committed").End()
+	return true, nil
+}
+
+// commitReplicated finishes commitTree under a replicated commit protocol
+// (Paxos Commit). The decision point moves off this node: the root first
+// forces its own prepare record naming the acceptor quorum — making its
+// local effects durable and telling a restarted root to resolve against
+// the quorum instead of presuming abort — then asks the protocol to
+// establish the Committed outcome at the acceptors. From the moment
+// DecideCommit is attempted the root may no longer unilaterally abort: an
+// error leaves the transaction prepared in doubt (a competing recovery
+// proposer may have decided either way) and the in-doubt machinery
+// resolves it, exactly as for a participant.
+func (m *Manager) commitReplicated(lt *localTrans, sp *trace.ActiveSpan, prot acp.Protocol, acceptors, writers []types.NodeID) (bool, error) {
+	rootPrep := &wal.PrepareBody{Children: writers, Acceptors: acceptors}
+	if err := m.rm.LogPrepare(lt.top, rootPrep); err != nil {
+		// Nothing proposed yet: aborting is still this node's privilege.
+		sp.Annotate("outcome=abort").EndErr(err)
+		if aerr := m.abortTree(lt, true); aerr != nil {
+			return false, fmt.Errorf("txn: root prepare failed (%v); abort also failed: %w", err, aerr)
+		}
+		return false, nil
+	}
+	m.mu.Lock()
+	lt.state = stPrepared
+	lt.prep = rootPrep
+	m.mu.Unlock()
+
+	members := writers
+	if m.localWrote(lt) {
+		members = append([]types.NodeID{m.node}, writers...)
+	}
+	if err := prot.DecideCommit(lt.top, members); err != nil {
+		// In doubt, not aborted: the quorum may hold a decision this node
+		// could not learn. Stay prepared, let the resolver and the orphan
+		// sweeper consult the acceptors, and surface ErrInDoubt so the
+		// application polls Status instead of assuming an outcome.
+		m.mu.Lock()
+		lt.touch()
+		m.mu.Unlock()
+		m.tr.Count("txn.commit.indoubt", 1)
+		sp.Annotate("outcome=indoubt").EndErr(err)
+		go m.resolveWhenStuck(lt, "")
+		return false, fmt.Errorf("%w: %v", ErrInDoubt, err)
+	}
+	m.fireHook(lt.top, "decided")
+
+	// The outcome is durable at the acceptors; the local commit record
+	// (forced, closing this node's in-doubt window) follows it. If the
+	// force fails the transaction is still committed cluster-wide — fall
+	// back to the in-doubt path, which re-learns Committed and retries.
+	if err := m.rm.LogCommit(lt.top); err != nil {
+		m.mu.Lock()
+		lt.touch()
+		m.mu.Unlock()
+		m.tr.Count("txn.commit.indoubt", 1)
+		sp.Annotate("outcome=indoubt_logfail").EndErr(err)
+		go m.resolveWhenStuck(lt, "")
+		return false, fmt.Errorf("%w: %v", ErrInDoubt, err)
+	}
+	m.mu.Lock()
+	lt.state = stCommitted
+	m.mu.Unlock()
+	if len(writers) > 0 {
+		m.collectRound(lt.top, writers, dgCommit, clsAck, nil)
+	}
+	m.notifyCommit(lt)
+	m.finishLocal(lt, types.StatusCommitted)
+	// Every participant acked (or will re-resolve on its own): the
+	// acceptors may discard this transaction's decision state.
+	prot.Finished(lt.top, acceptors)
 	m.tr.Count("txn.commits", 1)
 	sp.Annotate("outcome=committed").End()
 	return true, nil
@@ -337,6 +470,16 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	if (lt.state == stAborted && lt.undone) || lt.aborting {
 		m.mu.Unlock()
 		return nil
+	}
+	if lt.state == stPrepared && lt.prep != nil && len(lt.prep.Acceptors) > 0 && !lt.resolvedAbort {
+		// Prepared under a replicated protocol: the decision lives at the
+		// acceptor quorum, so presumed abort is unsound here. Only an
+		// authoritative Aborted outcome (coordinator phase-2 instruction
+		// or quorum resolution, both of which set resolvedAbort) may tear
+		// this transaction down.
+		m.mu.Unlock()
+		m.tr.Count("txn.abort.refused_indoubt", 1)
+		return ErrInDoubt
 	}
 	retry := lt.state == stAborted // a previous undo failed partway
 	lt.state = stAborted
@@ -382,7 +525,7 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	lt.undone = true
 	m.mu.Unlock()
 	if len(children) > 0 {
-		m.collectRound(lt.top, children, dgAbort, clsAck)
+		m.collectRound(lt.top, children, dgAbort, clsAck, nil)
 	}
 	m.finishLocal(lt, types.StatusAborted)
 	m.tr.Count("txn.aborts", 1)
@@ -391,8 +534,11 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 }
 
 // participantPrepare handles phase 1 at a non-root node: recursively
-// prepare the subtree below, then prepare locally and vote.
-func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
+// prepare the subtree below, then prepare locally and vote. acceptors is
+// the replica set from the prepare datagram (empty under plain 2PC); it is
+// relayed to the subtree and recorded in the prepare record so in-doubt
+// resolution — before or after a crash — knows which quorum decides.
+func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID, acceptors []types.NodeID) {
 	m.mu.Lock()
 	lt := m.trans[top]
 	if lt == nil {
@@ -440,7 +586,7 @@ func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
 	var writers []types.NodeID
 	abort := false
 	if len(children) > 0 {
-		votes := m.collectRound(top, children, dgPrepare, clsVote)
+		votes := m.collectRound(top, children, dgPrepare, clsVote, acceptorTail(acceptors))
 		for _, c := range children {
 			v, ok := votes[c]
 			if !ok || v.kind == dgVoteAbort {
@@ -472,7 +618,7 @@ func (m *Manager) participantPrepare(parent types.NodeID, top types.TransID) {
 		return
 	}
 
-	prep := &wal.PrepareBody{Parent: parent, Children: writers}
+	prep := &wal.PrepareBody{Parent: parent, Children: writers, Acceptors: acceptors}
 	if err := m.rm.LogPrepare(top, prep); err != nil {
 		_ = m.abortTree(lt, false)
 		sp.Annotate("vote=abort").EndErr(err)
@@ -532,7 +678,7 @@ func (m *Manager) participantCommit(parent types.NodeID, top types.TransID) {
 	m.mu.Unlock()
 
 	if prep != nil && len(prep.Children) > 0 {
-		m.collectRound(top, prep.Children, dgCommit, clsAck)
+		m.collectRound(top, prep.Children, dgCommit, clsAck, nil)
 	}
 	if err := m.rm.LogCommit(top); err != nil {
 		// Forced commit record failed; stay prepared and let resolution
@@ -544,13 +690,28 @@ func (m *Manager) participantCommit(parent types.NodeID, top types.TransID) {
 	}
 	m.notifyCommit(lt)
 	m.finishLocal(lt, types.StatusCommitted)
+	if prep != nil && prep.Parent == "" {
+		// This was the root's own prepared-in-doubt state, resolved here
+		// (parent is this node or empty, never a real coordinator): no one
+		// to ack, but the acceptors may now forget the decision.
+		if len(prep.Acceptors) > 0 {
+			m.getProtocol().Finished(top, prep.Acceptors)
+		}
+		return
+	}
 	_ = m.cm.SendDatagram(parent, Service, top, encodeDG(dgAck, types.StatusUnknown), 0)
 }
 
-// participantAbort handles an abort instruction from the parent.
+// participantAbort handles an abort instruction from the parent. The
+// instruction is an authoritative outcome — under a replicated protocol
+// the coordinator only sends it before proposing commit, and recovery
+// proposers can then only decide abort — so it clears the in-doubt guard.
 func (m *Manager) participantAbort(parent types.NodeID, top types.TransID) {
 	m.mu.Lock()
 	lt := m.trans[top]
+	if lt != nil {
+		lt.resolvedAbort = true
+	}
 	m.mu.Unlock()
 	if lt != nil {
 		_ = m.abortTree(lt, false)
@@ -631,15 +792,41 @@ func (m *Manager) resolveWhenStuck(lt *localTrans, parent types.NodeID) {
 			backoff = vote
 		}
 	}
-	// Still in doubt past the deadline: ask the coordinator.
-	st := m.queryStatus(lt.top, parent)
+	// Still in doubt past the deadline: resolve with whoever owns the
+	// decision — the acceptor quorum named in the prepare record, or the
+	// coordinator under plain 2PC.
+	st := m.resolveOutcome(lt, parent)
 	sp.Annotatef("queried=%v", st).End()
 	switch st {
 	case types.StatusCommitted:
 		m.participantCommit(parent, lt.top)
 	case types.StatusAborted:
+		m.mu.Lock()
+		lt.resolvedAbort = true
+		m.mu.Unlock()
 		_ = m.abortTree(lt, false)
 	}
+}
+
+// resolveOutcome determines the outcome of a prepared in-doubt
+// transaction. Transactions prepared under a replicated protocol (their
+// prepare record names an acceptor set) resolve against the acceptor
+// quorum, which can decide even with the coordinator permanently dead;
+// everything else falls back to the paper's coordinator status query. The
+// returned status keeps queryStatus semantics: StatusPrepared means "stay
+// in doubt", StatusUnknown means "nobody answered".
+func (m *Manager) resolveOutcome(lt *localTrans, parent types.NodeID) types.Status {
+	m.mu.Lock()
+	prep := lt.prep
+	prot := m.protocol
+	m.mu.Unlock()
+	if prep != nil && len(prep.Acceptors) > 0 && prot.Replicated() {
+		return prot.ResolveInDoubt(lt.top, prep)
+	}
+	if parent == "" || m.cm == nil {
+		return types.StatusPrepared
+	}
+	return m.queryStatus(lt.top, parent)
 }
 
 // queryStatus asks peer for top's outcome, with retries. It returns
@@ -722,8 +909,15 @@ func (m *Manager) queryStatus(top types.TransID, peer types.NodeID) types.Status
 
 // ResolveStatus implements recovery.TransStatusSource for crash restart:
 // an in-doubt prepared transaction found in the log is resolved by asking
-// the parent recorded in its prepare record (§3.2.2).
+// the parent recorded in its prepare record (§3.2.2) — or, when the record
+// names an acceptor set, by the quorum, which answers even if the
+// coordinator never comes back.
 func (m *Manager) ResolveStatus(tid types.TransID, prep *wal.PrepareBody) types.Status {
+	if prep != nil && len(prep.Acceptors) > 0 && m.cm != nil {
+		if prot := m.getProtocol(); prot.Replicated() {
+			return prot.ResolveInDoubt(tid.TopLevel(), prep)
+		}
+	}
 	if prep == nil || prep.Parent == "" || m.cm == nil {
 		return types.StatusPrepared
 	}

@@ -245,7 +245,7 @@ func TestParticipantDuplicatePhase2(t *testing.T) {
 			m.Configure(10*time.Millisecond, 2, time.Hour)
 			tid := remoteTID("coord", 1)
 			m.NoteRemote(tid)
-			m.participantPrepare("coord", tid)
+			m.participantPrepare("coord", tid, nil)
 			if n := cm.sentCount("coord", dgVoteCommit); n != 1 {
 				t.Fatalf("vote sent %d times, want 1", n)
 			}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"tabs/internal/acp"
 	"tabs/internal/simclock"
 	"tabs/internal/stats"
 	"tabs/internal/trace"
@@ -68,6 +69,13 @@ var (
 	ErrNotActive    = errors.New("txn: transaction not active")
 	ErrVoteTimeout  = errors.New("txn: participant vote not received")
 	ErrAborted      = errors.New("txn: transaction aborted")
+	// ErrInDoubt is returned by End when a replicated commit decision could
+	// not be confirmed here but may have been established by a competing
+	// recovery proposer: the transaction is neither committed nor aborted
+	// from the caller's point of view. It resolves asynchronously (the
+	// in-doubt resolver and orphan sweeper consult the acceptor quorum);
+	// poll Status for the terminal outcome.
+	ErrInDoubt = errors.New("txn: commit outcome in doubt")
 )
 
 // Service is the Communication Manager service name for commit datagrams.
@@ -101,6 +109,12 @@ type localTrans struct {
 	// the orphan sweeper must retry it, or locks stay stranded.
 	undone   bool
 	aborting bool
+	// resolvedAbort marks that an Aborted outcome for a prepared
+	// transaction came from an authoritative source (the coordinator's
+	// phase-2 instruction or the acceptor quorum). abortTree refuses to
+	// abort a transaction prepared under a replicated protocol without it:
+	// presumed abort is unsound once the decision lives at the acceptors.
+	resolvedAbort bool
 }
 
 // Manager is one node's Transaction Manager.
@@ -114,6 +128,17 @@ type Manager struct {
 	mu    sync.Mutex
 	seq   uint64
 	trans map[types.TransID]*localTrans // keyed by top-level TID
+	// protocol decides how a top-level commit becomes durable (acp
+	// package): twopc — the default, the paper's coordinator-forces-the-
+	// commit-record — or a replicated protocol installed with SetProtocol.
+	protocol acp.Protocol
+	twopc    *acp.TwoPhase
+	// decideHook, when set, is called at the commit decision point with
+	// phase "decide" (before the decision is attempted) and "decided"
+	// (after the outcome is durably established). Fault-injection harnesses
+	// use it to park the coordinator at the worst possible instant; it runs
+	// without m.mu held and may block forever.
+	decideHook func(types.TransID, string)
 	// outcomes remembers terminal results for status queries and
 	// TransactionIsAborted; restart repopulates it from the log.
 	outcomes map[types.TransID]types.Status
@@ -153,11 +178,70 @@ func New(node types.NodeID, rm RecoveryManager, cm CommManager, rec *stats.Recor
 		orphanTimeout: 30 * time.Second,
 		stopSweep:     make(chan struct{}),
 	}
+	// The default commit protocol is the paper's two-phase commit, adapted
+	// to the acp.Protocol interface: the decision is the coordinator's
+	// forced commit record, and in-doubt resolution asks the parent named
+	// in the prepare record (staying in doubt — the 2PC blocking window —
+	// when it cannot be reached).
+	m.twopc = acp.NewTwoPhase(
+		func(tid types.TransID) error { return m.rm.LogCommit(tid) },
+		func(tid types.TransID, prep *wal.PrepareBody) types.Status {
+			if prep == nil || prep.Parent == "" || m.cm == nil {
+				return types.StatusPrepared
+			}
+			st := m.queryStatus(tid.TopLevel(), prep.Parent)
+			if st == types.StatusUnknown {
+				return types.StatusPrepared
+			}
+			return st
+		},
+	)
+	m.protocol = m.twopc
 	if cm != nil {
 		cm.RegisterService(Service, m.handleDatagram)
 		go m.orphanSweeper()
 	}
 	return m
+}
+
+// SetProtocol installs the atomic-commit protocol used for top-level
+// commits (nil restores the built-in two-phase commit). Install before
+// transactions start; transactions prepared under one protocol resolve by
+// the acceptor set recorded in their prepare records, not by the protocol
+// installed at resolution time.
+func (m *Manager) SetProtocol(p acp.Protocol) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p == nil {
+		m.protocol = m.twopc
+		return
+	}
+	m.protocol = p
+}
+
+// SetDecideHook installs a hook called at the commit decision point (see
+// the decideHook field). Harness use only; nil clears it.
+func (m *Manager) SetDecideHook(h func(types.TransID, string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decideHook = h
+}
+
+// getProtocol snapshots the installed protocol under the lock.
+func (m *Manager) getProtocol() acp.Protocol {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.protocol
+}
+
+// fireHook invokes the decide hook, if any, outside m.mu.
+func (m *Manager) fireHook(tid types.TransID, phase string) {
+	m.mu.Lock()
+	h := m.decideHook
+	m.mu.Unlock()
+	if h != nil {
+		h(tid, phase)
+	}
 }
 
 // AttachTracer points the manager's commit-protocol spans and counters at
@@ -251,7 +335,11 @@ func (m *Manager) sweepOrphans() {
 			}
 			continue
 		}
-		if !lt.remote {
+		if !lt.remote && lt.state != stPrepared {
+			// Locally-rooted transactions resolve synchronously — except a
+			// root left prepared in doubt (a replicated commit decision
+			// that could not be confirmed), which is swept like any other
+			// in-doubt participant.
 			continue
 		}
 		if lt.lastTouch.IsZero() || lt.lastTouch.After(cutoff) {
@@ -279,12 +367,20 @@ func (m *Manager) sweepOrphans() {
 			_ = m.abortTree(c.lt, false)
 			continue
 		}
-		st := m.queryStatus(c.lt.top, c.parent)
+		var st types.Status
+		if c.class == candPrepared {
+			st = m.resolveOutcome(c.lt, c.parent)
+		} else {
+			st = m.queryStatus(c.lt.top, c.parent)
+		}
 		if c.class == candPrepared {
 			switch st {
 			case types.StatusCommitted:
 				m.participantCommit(c.parent, c.lt.top)
 			case types.StatusAborted:
+				m.mu.Lock()
+				c.lt.resolvedAbort = true
+				m.mu.Unlock()
 				_ = m.abortTree(c.lt, false)
 			default:
 				// Coordinator unreachable or still deciding: a prepared
@@ -470,6 +566,22 @@ func (m *Manager) LiveTransactions() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.trans)
+}
+
+// InDoubt lists the top-level transactions this node holds in the
+// prepared state — voted (or, for a root under a replicated protocol,
+// proposed) but without a learned outcome. Diagnostic surface for tabsctl
+// and the torture harnesses.
+func (m *Manager) InDoubt() []types.TransID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []types.TransID
+	for top, lt := range m.trans {
+		if lt.state == stPrepared {
+			out = append(out, top)
+		}
+	}
+	return out
 }
 
 // Status reports what this node knows about tid's outcome.

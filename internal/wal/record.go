@@ -42,6 +42,7 @@ const (
 	RecCheckpoint              // periodic checkpoint: dirty pages + active transactions
 	RecUpdateCLR               // compensation for an undone value record
 	RecOperationCLR            // compensation for an undone operation record
+	RecACP                     // acp acceptor state (promise/accept/decide), body owned by internal/acp
 )
 
 // String returns the record type name.
@@ -63,6 +64,8 @@ func (t RecordType) String() string {
 		return "update-clr"
 	case RecOperationCLR:
 		return "operation-clr"
+	case RecACP:
+		return "acp"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -363,6 +366,12 @@ func DecodeOperation(b []byte) (*OperationBody, error) {
 type CheckpointBody struct {
 	DirtyPages []DirtyPage
 	Active     []ActiveTrans
+	// ACP is an opaque snapshot of commit-protocol acceptor state (encoded
+	// and decoded by internal/acp). Including it here lets a checkpoint
+	// truncate RecACP records the same way it truncates update records:
+	// restart seeds acceptor state from the checkpoint, then replays any
+	// later RecACP records over it.
+	ACP []byte
 }
 
 // DirtyPage records one dirty buffer page at checkpoint time.
@@ -398,6 +407,8 @@ func EncodeCheckpoint(c *CheckpointBody) []byte {
 		b = binary.BigEndian.AppendUint64(b, uint64(a.LastLSN))
 		b = binary.BigEndian.AppendUint64(b, uint64(a.FirstLSN))
 	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(c.ACP)))
+	b = append(b, c.ACP...)
 	return b
 }
 
@@ -454,8 +465,16 @@ func DecodeCheckpoint(b []byte) (*CheckpointBody, error) {
 		c.Active[i].FirstLSN = LSN(binary.BigEndian.Uint64(b[25:33]))
 		b = b[33:]
 	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("%w: checkpoint trailing bytes", ErrCorrupt)
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: checkpoint acp length", ErrCorrupt)
+	}
+	nb := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != nb {
+		return nil, fmt.Errorf("%w: checkpoint acp blob %d bytes, have %d", ErrCorrupt, nb, len(b))
+	}
+	if nb > 0 {
+		c.ACP = append([]byte(nil), b...)
 	}
 	return c, nil
 }
@@ -495,6 +514,11 @@ func DecodeCLR(b []byte) (*CLRBody, error) {
 type PrepareBody struct {
 	Parent   types.NodeID
 	Children []types.NodeID
+	// Acceptors is the commit-protocol replica set for this transaction.
+	// Empty under plain 2PC (resolution = ask the parent); non-empty under
+	// Paxos Commit, where restart resolves in-doubt transactions against a
+	// quorum of these nodes instead of waiting for the coordinator.
+	Acceptors []types.NodeID
 }
 
 // EncodePrepare serializes a prepare body.
@@ -503,6 +527,10 @@ func EncodePrepare(p *PrepareBody) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Children)))
 	for _, c := range p.Children {
 		b = appendString(b, string(c))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Acceptors)))
+	for _, a := range p.Acceptors {
+		b = appendString(b, string(a))
 	}
 	return b
 }
@@ -515,19 +543,31 @@ func DecodePrepare(b []byte) (*PrepareBody, error) {
 		return nil, err
 	}
 	p.Parent = types.NodeID(parent)
-	if len(b) < 2 {
-		return nil, fmt.Errorf("%w: prepare children", ErrCorrupt)
-	}
-	n := int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	p.Children = make([]types.NodeID, 0, n)
-	for i := 0; i < n; i++ {
-		var c string
-		c, b, err = takeString(b)
-		if err != nil {
-			return nil, err
+	takeNames := func(what string) ([]types.NodeID, error) {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: prepare %s", ErrCorrupt, what)
 		}
-		p.Children = append(p.Children, types.NodeID(c))
+		n := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		out := make([]types.NodeID, 0, n)
+		for i := 0; i < n; i++ {
+			var c string
+			c, b, err = takeString(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, types.NodeID(c))
+		}
+		return out, nil
+	}
+	if p.Children, err = takeNames("children"); err != nil {
+		return nil, err
+	}
+	if p.Acceptors, err = takeNames("acceptors"); err != nil {
+		return nil, err
+	}
+	if len(p.Acceptors) == 0 {
+		p.Acceptors = nil
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: prepare trailing bytes", ErrCorrupt)
