@@ -104,10 +104,10 @@ func testTID(root types.NodeID, seq uint64) types.TransID {
 
 func TestMsgCodecRoundTrip(t *testing.T) {
 	cases := []dgram{
-		{op: opP1a, bal: Ballot{N: 7, Node: "b"}},
-		{op: opP1b, flags: fAccepted, bal: Ballot{N: 7, Node: "b"}, abal: Ballot{N: 2, Node: "a"},
+		{op: opP1a, nonce: 3, bal: Ballot{N: 7, Node: "b"}},
+		{op: opP1b, flags: fAccepted, nonce: 3, bal: Ballot{N: 7, Node: "b"}, abal: Ballot{N: 2, Node: "a"},
 			val: Value{Members: []Member{{Node: "a", Vote: VotePrepared}, {Node: "c", Vote: VoteAborted}}}},
-		{op: opP2b, flags: fOK, bal: Ballot{N: 1, Node: "z"}},
+		{op: opP2b, flags: fOK, nonce: ^uint32(0), bal: Ballot{N: 1, Node: "z"}},
 		{op: opDecide, flags: fDecided, val: Value{}},
 		{op: opStatus},
 	}
@@ -362,6 +362,109 @@ func TestCheckpointStateRoundTrip(t *testing.T) {
 	blob0, over0 := m.CheckpointState(0)
 	if len(blob0) != 0 || len(over0) != 40 {
 		t.Fatalf("limit 0: blob %d bytes, overflow %d", len(blob0), len(over0))
+	}
+}
+
+// TestBallotCounterSurvivesCrash: a recovery proposer's ballot counter is
+// forced to the log before a ballot's first use and restored at restart,
+// so a crashed-and-rebooted proposer can never reuse a ballot number (two
+// values accepted at one ballot would let later ballots learn conflicting
+// decisions).
+func TestBallotCounterSurvivesCrash(t *testing.T) {
+	m := New("r", nil)
+	lg := &memLogger{}
+	m.SetLogger(lg)
+	var last Ballot
+	for i := 0; i < 3; i++ {
+		bal, ok := m.nextBallot()
+		if !ok {
+			t.Fatalf("nextBallot %d failed", i)
+		}
+		last = bal
+	}
+	if last.N != 3 {
+		t.Fatalf("last ballot = %v, want N=3", last)
+	}
+	m.Crash()
+	m.mu.Lock()
+	ctr := m.balCtr
+	m.mu.Unlock()
+	if ctr != 0 {
+		t.Fatalf("crash did not clear volatile counter: %d", ctr)
+	}
+	// Replay the RecACP stream, in reverse too — restore order must not
+	// matter.
+	for _, dir := range []int{1, -1} {
+		reborn := New("r", nil)
+		recs := lg.records()
+		if dir < 0 {
+			for i := len(recs) - 1; i >= 0; i-- {
+				reborn.RestoreRecord(recs[i])
+			}
+		} else {
+			for _, body := range recs {
+				reborn.RestoreRecord(body)
+			}
+		}
+		bal, ok := reborn.nextBallot()
+		if !ok || bal.N <= last.N {
+			t.Fatalf("restored proposer reused ballot space: %v ok=%v (last %v)", bal, ok, last)
+		}
+	}
+	// The checkpoint blob must carry the counter as well, so reclamation of
+	// the original records cannot lose it.
+	blob, _ := m.CheckpointState(1 << 20)
+	m.RestoreRecord(lg.records()[len(lg.records())-1]) // bring m's counter back
+	fromCkp := New("r", nil)
+	fromCkp.RestoreState(blob)
+	fromCkp.mu.Lock()
+	got := fromCkp.balCtr
+	fromCkp.mu.Unlock()
+	if got != 0 {
+		t.Fatalf("checkpoint of crashed node carried counter %d, want 0", got)
+	}
+	blob2, _ := m.CheckpointState(1 << 20)
+	fromCkp2 := New("r", nil)
+	fromCkp2.RestoreState(blob2)
+	fromCkp2.mu.Lock()
+	got2 := fromCkp2.balCtr
+	fromCkp2.mu.Unlock()
+	if got2 != 3 {
+		t.Fatalf("checkpoint blob lost ballot counter: %d, want 3", got2)
+	}
+}
+
+// TestEvictionSparesRecentDecisions: a decided-but-unforgotten entry is
+// immune from bounded-table eviction until its decision ages past the
+// TTL — dropping it early would be the same atomicity hazard as a
+// premature Forget. The table is allowed to exceed its bound instead.
+func TestEvictionSparesRecentDecisions(t *testing.T) {
+	m := New("acc", nil)
+	val := Value{Members: []Member{{Node: "r", Vote: VotePrepared}}}
+	for i := 0; i < maxEntries; i++ {
+		_, _ = m.handle("acc", testTID("r", uint64(i+1)), encodeMsg(&dgram{op: opDecide, flags: fDecided, val: val}))
+	}
+	// One more entry: the table is full of freshly decided entries; none
+	// may be evicted.
+	_, _ = m.handle("acc", testTID("r", maxEntries+1), encodeMsg(&dgram{op: opP1a, bal: Ballot{N: 1, Node: "p"}}))
+	m.mu.Lock()
+	n := len(m.entries)
+	m.mu.Unlock()
+	if n != maxEntries+1 {
+		t.Fatalf("table has %d entries, want %d (a fresh decision was evicted)", n, maxEntries+1)
+	}
+	// Age one decision past the TTL: it becomes the eviction victim.
+	victim := testTID("r", 7)
+	m.mu.Lock()
+	m.entries[victim].decidedAt = time.Now().Add(-2 * evictTTL)
+	m.mu.Unlock()
+	_, _ = m.handle("acc", testTID("r", maxEntries+2), encodeMsg(&dgram{op: opP1a, bal: Ballot{N: 1, Node: "p"}}))
+	m.mu.Lock()
+	_, stillThere := m.entries[victim]
+	n = len(m.entries)
+	m.mu.Unlock()
+	if stillThere || n != maxEntries+1 {
+		t.Fatalf("TTL-aged entry not evicted: present=%v table=%d", stillThere, n)
 	}
 }
 

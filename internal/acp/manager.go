@@ -32,25 +32,36 @@ type Logger interface {
 // entry is one transaction's acceptor state: the batched Paxos instance
 // group for that transaction's vote vector.
 type entry struct {
-	promised Ballot // highest ballot promised (zero = none)
-	accepted bool
-	abal     Ballot // ballot at which aval was accepted
-	aval     Value
-	decided  bool
-	dval     Value
-	stamp    uint64 // creation order, for bounded-table eviction
+	promised  Ballot // highest ballot promised (zero = none)
+	accepted  bool
+	abal      Ballot // ballot at which aval was accepted
+	aval      Value
+	decided   bool
+	dval      Value
+	stamp     uint64    // creation order, for bounded-table eviction
+	decidedAt time.Time // when decided was set; gates eviction
 }
 
-// maxEntries bounds the acceptor table. Decided entries are evicted
-// oldest-first past the bound (participants that never sent Forget);
-// undecided entries are never evicted — dropping a promise forgets a
-// safety-critical fact — so the table can exceed the bound only while
-// that many transactions are simultaneously in flight.
+// maxEntries bounds the acceptor table. Only decided entries whose
+// decision is older than evictTTL may be evicted past the bound (a
+// participant that never sent Forget); everything else — undecided
+// entries, whose promises are safety-critical facts, and recently decided
+// entries, which a slow participant may still need to learn from — is
+// kept even if that pushes the table over the bound.
 const maxEntries = 4096
 
+// evictTTL is how long a decided-but-unforgotten entry is immune from
+// eviction. Dropping such an entry early is the same atomicity hazard as
+// a premature Forget: if every acceptor loses a committed transaction's
+// decision, a still-prepared participant's recovery ballot concludes
+// Abort. The TTL is generous relative to retry windows so only a
+// participant that is gone for good pays it.
+const evictTTL = time.Minute
+
 type waitKey struct {
-	tid types.TransID
-	op  byte
+	tid   types.TransID
+	op    byte
+	nonce uint32
 }
 
 type reply struct {
@@ -74,9 +85,14 @@ type Manager struct {
 	entries   map[types.TransID]*entry
 	waiters   map[waitKey]chan reply
 	stamp     uint64
-	balCtr    uint32
-	timeout   time.Duration
-	retries   int
+	// balCtr is the highest recovery ballot number used as proposer. It is
+	// forced to the log before a new ballot's first use and restored at
+	// restart, so a crashed-and-rebooted proposer can never reuse a ballot
+	// number with a different value.
+	balCtr   uint32
+	nonceCtr uint32
+	timeout  time.Duration
+	retries  int
 }
 
 // New creates the manager and registers the "acp" service with cm. The
@@ -127,11 +143,13 @@ func (m *Manager) Configure(timeout time.Duration, retries int) {
 }
 
 // Crash discards all volatile state, simulating node failure. Durable
-// acceptor state comes back through RestoreState/RestoreRecord at restart.
+// acceptor state — including the proposer ballot counter — comes back
+// through RestoreState/RestoreRecord at restart.
 func (m *Manager) Crash() {
 	m.mu.Lock()
 	m.entries = make(map[types.TransID]*entry)
 	m.waiters = make(map[waitKey]chan reply)
+	m.balCtr = 0
 	m.mu.Unlock()
 }
 
@@ -212,7 +230,12 @@ func (m *Manager) ResolveInDoubt(tid types.TransID, prep *wal.PrepareBody) types
 	// the highest accepted value seen — or the Aborted sentinel for a vote
 	// vector no coordinator got accepted anywhere.
 	for attempt := 0; attempt <= 2; attempt++ {
-		bal := m.nextBallot()
+		bal, ok := m.nextBallot()
+		if !ok {
+			// The ballot could not be made durable; using it anyway could
+			// repeat a ballot number after a crash. Stay in doubt.
+			continue
+		}
 		promises, prev, decided, seen := m.phase1(tid, bal, acceptors)
 		if decided != nil {
 			sp.Annotate("via=phase1-decided")
@@ -265,11 +288,22 @@ func (m *Manager) config() (time.Duration, int) {
 	return m.timeout, m.retries
 }
 
-func (m *Manager) nextBallot() Ballot {
+// nextBallot allocates a fresh recovery ballot, force-logging the counter
+// before the ballot is handed out. The order matters: if the log write
+// wins and the crash follows, a number is skipped (harmless); if the
+// ballot were used first, a restarted proposer could propose a different
+// value at the same ballot {N,node} to a disjoint quorum — two values
+// accepted at one ballot. Returns ok=false when durability failed; the
+// caller must not run a round then.
+func (m *Manager) nextBallot() (Ballot, bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.balCtr++
-	return Ballot{N: m.balCtr, Node: m.node}
+	n := m.balCtr
+	m.mu.Unlock()
+	if !m.persist(appendBalCtrState(nil, n), true) {
+		return Ballot{}, false
+	}
+	return Ballot{N: n, Node: m.node}, true
 }
 
 // observeBallot raises the ballot counter above a competitor's, so the
@@ -365,10 +399,18 @@ func (m *Manager) learn(tid types.TransID, acceptors []types.NodeID) (Value, boo
 // per peer, retransmitting at the reply timeout, until done reports the
 // round can stop, every peer has replied, or the overall deadline passes.
 // The first transmission is charged as a real datagram; retransmits are
-// free, mirroring txn's accounting.
+// free, mirroring txn's accounting. Each round gets a fresh nonce that
+// acceptors echo in replies: the waiter key includes it, so a stale reply
+// from an earlier round cannot mark a peer as answered, and concurrent
+// rounds for the same transaction (the coordinator's DecideCommit racing
+// the orphan sweeper's ResolveInDoubt) never share a channel.
 func (m *Manager) collect(tid types.TransID, peers []types.NodeID, req *dgram, replyOp byte, done func(map[types.NodeID]*dgram) bool) map[types.NodeID]*dgram {
 	timeout, retries := m.config()
-	key := waitKey{tid: tid, op: replyOp}
+	m.mu.Lock()
+	m.nonceCtr++
+	req.nonce = m.nonceCtr
+	m.mu.Unlock()
+	key := waitKey{tid: tid, op: replyOp, nonce: req.nonce}
 	ch := make(chan reply, len(peers)*(retries+2))
 	m.mu.Lock()
 	m.waiters[key] = ch
@@ -466,7 +508,7 @@ func (m *Manager) handle(from types.NodeID, tid types.TransID, payload []byte) (
 	case opDecide:
 		m.onDecide(tid, d)
 	case opQuery:
-		m.onQuery(from, tid)
+		m.onQuery(from, tid, d)
 	case opForget:
 		m.onForget(tid)
 	case opP1b, opP2b, opStatus:
@@ -475,10 +517,12 @@ func (m *Manager) handle(from types.NodeID, tid types.TransID, payload []byte) (
 	return nil, nil
 }
 
-// route hands a proposer-bound reply to the waiting collect round.
+// route hands a proposer-bound reply to the waiting collect round. The
+// key includes the echoed nonce, so replies to abandoned or concurrent
+// rounds find no waiter and are dropped.
 func (m *Manager) route(from types.NodeID, tid types.TransID, d *dgram) {
 	m.mu.Lock()
-	ch := m.waiters[waitKey{tid: tid, op: d.op}]
+	ch := m.waiters[waitKey{tid: tid, op: d.op, nonce: d.nonce}]
 	m.mu.Unlock()
 	if ch == nil {
 		return
@@ -490,23 +534,37 @@ func (m *Manager) route(from types.NodeID, tid types.TransID, d *dgram) {
 }
 
 // entryLocked returns (creating if needed) the state for tid. Caller
-// holds m.mu. Past the table bound the oldest decided entry is evicted.
+// holds m.mu. Past the table bound the oldest decided entry whose
+// decision has aged past evictTTL is evicted; a decided entry that was
+// never Forgotten is re-logged before it is dropped (so a restart still
+// answers for it) and the drop is surfaced loudly — if every acceptor
+// sheds such an entry, a still-prepared participant's recovery ballot
+// would conclude Abort for a transaction the cluster committed. With no
+// TTL-eligible victim the table simply exceeds the bound.
 func (m *Manager) entryLocked(tid types.TransID) *entry {
 	if e, ok := m.entries[tid]; ok {
 		return e
 	}
 	if len(m.entries) >= maxEntries {
 		var victim types.TransID
+		var victimE *entry
 		var oldest uint64 = ^uint64(0)
-		found := false
 		for t, e := range m.entries {
-			if e.decided && e.stamp < oldest {
-				victim, oldest, found = t, e.stamp, true
+			if e.decided && e.stamp < oldest && time.Since(e.decidedAt) > evictTTL {
+				victim, victimE, oldest = t, e, e.stamp
 			}
 		}
-		if found {
+		if victimE != nil {
 			delete(m.entries, victim)
-			m.tr.Count("acp.evicted", 1)
+			state := appendEntryState(nil, victim, victimE)
+			// Unforced and off this goroutine: the entry was already lazily
+			// logged at decide time, this write only refreshes it against
+			// checkpoint truncation (checkpoints snapshot the in-memory
+			// table, which no longer holds it).
+			go m.persist(state, false)
+			m.tr.Count("acp.evicted_unforgotten", 1)
+		} else {
+			m.tr.Count("acp.table_overflow", 1)
 		}
 	}
 	m.stamp++
@@ -544,13 +602,13 @@ func (m *Manager) onP1a(from types.NodeID, tid types.TransID, d *dgram) {
 	m.mu.Lock()
 	e := m.entryLocked(tid)
 	if e.decided {
-		rep := &dgram{op: opP1b, flags: fDecided, bal: d.bal, val: e.dval}
+		rep := &dgram{op: opP1b, flags: fDecided, nonce: d.nonce, bal: d.bal, val: e.dval}
 		m.mu.Unlock()
 		m.send(from, tid, rep, 0)
 		return
 	}
 	if d.bal.Less(e.promised) {
-		rep := &dgram{op: opP1b, bal: e.promised}
+		rep := &dgram{op: opP1b, nonce: d.nonce, bal: e.promised}
 		m.mu.Unlock()
 		m.tr.Count("acp.reject", 1)
 		m.send(from, tid, rep, 0)
@@ -558,7 +616,7 @@ func (m *Manager) onP1a(from types.NodeID, tid types.TransID, d *dgram) {
 	}
 	needLog := e.promised.Less(d.bal)
 	e.promised = d.bal
-	rep := &dgram{op: opP1b, bal: d.bal}
+	rep := &dgram{op: opP1b, nonce: d.nonce, bal: d.bal}
 	if e.accepted {
 		rep.flags |= fAccepted
 		rep.abal = e.abal
@@ -583,7 +641,7 @@ func (m *Manager) onP2a(from types.NodeID, tid types.TransID, d *dgram) {
 	m.mu.Lock()
 	e := m.entryLocked(tid)
 	if d.bal.Less(e.promised) {
-		rep := &dgram{op: opP2b, bal: e.promised}
+		rep := &dgram{op: opP2b, nonce: d.nonce, bal: e.promised}
 		m.mu.Unlock()
 		m.tr.Count("acp.reject", 1)
 		m.send(from, tid, rep, 0)
@@ -603,7 +661,7 @@ func (m *Manager) onP2a(from types.NodeID, tid types.TransID, d *dgram) {
 		return
 	}
 	m.tr.Count("acp.accept", 1)
-	m.send(from, tid, &dgram{op: opP2b, flags: fOK, bal: d.bal}, 0)
+	m.send(from, tid, &dgram{op: opP2b, flags: fOK, nonce: d.nonce, bal: d.bal}, 0)
 }
 
 // onDecide records the decided value. Logged lazily: losing it costs a
@@ -617,6 +675,7 @@ func (m *Manager) onDecide(tid types.TransID, d *dgram) {
 	}
 	e.decided = true
 	e.dval = d.val
+	e.decidedAt = time.Now()
 	state := appendEntryState(nil, tid, e)
 	m.mu.Unlock()
 	m.persist(state, false)
@@ -626,10 +685,10 @@ func (m *Manager) onDecide(tid types.TransID, d *dgram) {
 // onQuery answers a learner: the decided value if known, else "unknown".
 // Crucially there is no presumed abort here — an acceptor that has not
 // decided says so, and only a recovery ballot may conclude Aborted.
-func (m *Manager) onQuery(from types.NodeID, tid types.TransID) {
+func (m *Manager) onQuery(from types.NodeID, tid types.TransID, d *dgram) {
 	m.mu.Lock()
 	e, ok := m.entries[tid]
-	rep := &dgram{op: opStatus}
+	rep := &dgram{op: opStatus, nonce: d.nonce}
 	if ok && e.decided {
 		rep.flags = fDecided
 		rep.val = e.dval
@@ -661,6 +720,17 @@ func (m *Manager) onForget(tid types.TransID) {
 func (m *Manager) CheckpointState(limit int) (blob []byte, overflow [][]byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// The proposer ballot counter rides first: it must survive reclamation
+	// of the RecACP records that originally forced it, or a restarted node
+	// could reuse a ballot number.
+	if m.balCtr > 0 {
+		enc := appendBalCtrState(nil, m.balCtr)
+		if len(enc) <= limit {
+			blob = append(blob, enc...)
+		} else {
+			overflow = append(overflow, enc)
+		}
+	}
 	type kv struct {
 		tid types.TransID
 		e   *entry
@@ -686,11 +756,16 @@ func (m *Manager) CheckpointState(limit int) (blob []byte, overflow [][]byte) {
 	return blob, overflow
 }
 
-// RestoreState replays a checkpoint blob: a concatenation of entry
-// encodings, merged in order-insensitive fashion with whatever RecACP
-// records have already been applied.
+// RestoreState replays a checkpoint blob: a concatenation of entry and
+// ballot-counter encodings, merged in order-insensitive fashion with
+// whatever RecACP records have already been applied.
 func (m *Manager) RestoreState(blob []byte) {
 	for len(blob) > 0 {
+		if n, rest, ok := takeBalCtrState(blob); ok {
+			m.restoreBalCtr(n)
+			blob = rest
+			continue
+		}
 		tid, e, rest, err := takeEntryState(blob)
 		if err != nil {
 			m.tr.Count("acp.restore.corrupt", 1)
@@ -703,12 +778,30 @@ func (m *Manager) RestoreState(blob []byte) {
 
 // RestoreRecord replays one RecACP record body.
 func (m *Manager) RestoreRecord(body []byte) {
+	if n, rest, ok := takeBalCtrState(body); ok {
+		if len(rest) != 0 {
+			m.tr.Count("acp.restore.corrupt", 1)
+			return
+		}
+		m.restoreBalCtr(n)
+		return
+	}
 	tid, e, rest, err := takeEntryState(body)
 	if err != nil || len(rest) != 0 {
 		m.tr.Count("acp.restore.corrupt", 1)
 		return
 	}
 	m.merge(tid, e)
+}
+
+// restoreBalCtr folds a durably recorded ballot counter back in; the max
+// wins, so replay order is irrelevant.
+func (m *Manager) restoreBalCtr(n uint32) {
+	m.mu.Lock()
+	if m.balCtr < n {
+		m.balCtr = n
+	}
+	m.mu.Unlock()
 }
 
 // merge folds a restored entry into the table. The rules make replay
@@ -722,6 +815,7 @@ func (m *Manager) merge(tid types.TransID, in *entry) {
 	if in.decided && !e.decided {
 		e.decided = true
 		e.dval = in.dval
+		e.decidedAt = time.Now()
 	}
 	if e.promised.Less(in.promised) {
 		e.promised = in.promised

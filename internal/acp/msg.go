@@ -16,8 +16,14 @@ import (
 // One layout serves every operation — the messages are tiny and a single
 // strict decoder is easier to harden than eight:
 //
-//	op byte | flags byte | bal(u32 N, lenstr node) | abal(u32, lenstr) |
-//	value(u16 count, count x (lenstr node, vote byte))
+//	op byte | flags byte | nonce u32 | bal(u32 N, lenstr node) |
+//	abal(u32, lenstr) | value(u16 count, count x (lenstr node, vote byte))
+//
+// nonce identifies one proposer round: requests carry the round's nonce
+// and acceptors echo it in replies, so a proposer's collect() only counts
+// replies to the round it is running — a stale reply from an abandoned
+// earlier round, or a reply bound for a concurrent round on the same
+// transaction, cannot be mistaken for an answer.
 
 // Operations on the acp service.
 const (
@@ -45,6 +51,7 @@ var errBadMsg = errors.New("acp: malformed message")
 type dgram struct {
 	op    byte
 	flags byte
+	nonce uint32 // round correlator; replies echo the request's nonce
 	bal   Ballot
 	abal  Ballot
 	val   Value
@@ -102,6 +109,7 @@ func takeValue(b []byte) (Value, []byte, error) {
 func encodeMsg(d *dgram) []byte {
 	b := make([]byte, 0, 32+24*len(d.val.Members))
 	b = append(b, d.op, d.flags)
+	b = binary.BigEndian.AppendUint32(b, d.nonce)
 	b = appendBallot(b, d.bal)
 	b = appendBallot(b, d.abal)
 	b = appendValue(b, d.val)
@@ -115,6 +123,11 @@ func decodeMsg(b []byte) (*dgram, error) {
 	}
 	d := &dgram{op: b[0], flags: b[1]}
 	b = b[2:]
+	if len(b) < 4 {
+		return nil, errBadMsg
+	}
+	d.nonce = binary.BigEndian.Uint32(b)
+	b = b[4:]
 	var err error
 	if d.bal, b, err = takeBallot(b); err != nil {
 		return nil, err
@@ -163,6 +176,32 @@ func takeTID(b []byte) (types.TransID, []byte, error) {
 	tid.RootNode = types.NodeID(root)
 	tid.RootSeq = binary.BigEndian.Uint64(b)
 	return tid, b[8:], nil
+}
+
+// balCtrMark prefixes a proposer ballot-counter state blob in the RecACP
+// stream and checkpoint blob. Entry-state blobs start with a TID whose
+// leading field is a length-prefixed node name; 0xFFFF is impossible as
+// that length (node names are bounded far below it by the WAL's 255-byte
+// name limit), so the two encodings share the stream unambiguously.
+const balCtrMark = 0xFFFF
+
+// appendBalCtrState serializes the highest recovery ballot number this
+// node has used as proposer. Forced to the log before the ballot's first
+// use, it guarantees a restarted node never reuses a ballot number — two
+// values accepted at one ballot would let later ballots learn conflicting
+// decisions.
+func appendBalCtrState(dst []byte, n uint32) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, balCtrMark)
+	return binary.BigEndian.AppendUint32(dst, n)
+}
+
+// takeBalCtrState reports whether b starts with a ballot-counter blob
+// and, if so, parses it and returns the remainder.
+func takeBalCtrState(b []byte) (uint32, []byte, bool) {
+	if len(b) < 6 || binary.BigEndian.Uint16(b) != balCtrMark {
+		return 0, b, false
+	}
+	return binary.BigEndian.Uint32(b[2:6]), b[6:], true
 }
 
 // appendEntryState serializes one acceptor entry (TID included).

@@ -4,7 +4,10 @@ import (
 	"testing"
 	"time"
 
+	"tabs/internal/core"
 	"tabs/internal/fault"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
 )
 
 // TestCoordKillBlockingWindow pins the availability difference between the
@@ -71,6 +74,88 @@ func TestCoordKillBlockingWindow(t *testing.T) {
 			}
 			t.Logf("resolved in %dms", rep.ResolveMs)
 		})
+	}
+}
+
+// TestLaggardWriterLearnsCommitAfterPartition pins the Forget-gating rule:
+// when a writer is partitioned away for the whole commit fan-out (it
+// voted, then missed the accept broadcasts, the decision, and every
+// phase-2 retry), the coordinator must NOT tell the acceptors to forget
+// the decision — the laggard's only path to the outcome is the quorum. If
+// Finished were sent unconditionally, the surviving acceptors would drop
+// the decided entry, and the laggard's recovery ballot would conclude
+// Abort for a transaction the rest of the cluster committed.
+func TestLaggardWriterLearnsCommitAfterPartition(t *testing.T) {
+	prof, err := fault.ProfileByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(1, prof)
+	copts := core.DefaultClusterOptions()
+	copts.CommitProtocol = "paxos"
+	copts.LockTimeout = 500 * time.Millisecond
+	copts.Faults = inj
+	names := []types.NodeID{"c0", "p1", "p2"}
+	c, err := core.NewCluster(copts, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	for _, name := range names {
+		n := c.Node(name)
+		if _, err := intarray.Attach(n, "arr", 1, 8, 500*time.Millisecond); err != nil {
+			t.Fatalf("attach %s: %v", name, err)
+		}
+		if _, err := n.Recover(); err != nil {
+			t.Fatalf("recover %s: %v", name, err)
+		}
+		n.TM.Configure(75*time.Millisecond, 3, 300*time.Millisecond)
+	}
+	coord, p2 := c.Node("c0"), c.Node("p2")
+
+	// At the decision point — every writer has voted, nothing proposed
+	// yet — cut p2 off from the rest of the cluster. It misses the accept
+	// round, the decide broadcast, and every phase-2 commit retry.
+	coord.TM.SetDecideHook(func(_ types.TransID, phase string) {
+		if phase == "decide" {
+			inj.Partition("c0", "p2", true)
+			inj.Partition("p1", "p2", true)
+		}
+	})
+
+	const want = int64(7171)
+	if err := coord.App.Run(func(tid types.TransID) error {
+		for _, tgt := range []types.NodeID{"p1", "p2"} {
+			if err := intarray.NewClient(coord, tgt, "arr").Set(tid, 1, want); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("commit with laggard writer: %v", err)
+	}
+
+	// The coordinator is done; p2 is prepared in doubt behind the
+	// partition. Heal and wait for the sweeper to resolve it against the
+	// acceptors — which must still hold the decision.
+	inj.HealAll()
+	local := intarray.NewClient(p2, "p2", "arr")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got int64
+		err := p2.App.Run(func(tid types.TransID) error {
+			v, gerr := local.Get(tid, 1)
+			got = v
+			return gerr
+		})
+		if err == nil && got == want && p2.TM.LiveTransactions() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("laggard never learned the commit: val=%d err=%v live=%d (acceptors told to forget too early?)",
+				got, err, p2.TM.LiveTransactions())
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

@@ -440,14 +440,27 @@ func (m *Manager) commitReplicated(lt *localTrans, sp *trace.ActiveSpan, prot ac
 	m.mu.Lock()
 	lt.state = stCommitted
 	m.mu.Unlock()
+	allAcked := true
 	if len(writers) > 0 {
-		m.collectRound(lt.top, writers, dgCommit, clsAck, nil)
+		acks := m.collectRound(lt.top, writers, dgCommit, clsAck, nil)
+		allAcked = len(acks) == len(writers)
 	}
 	m.notifyCommit(lt)
 	m.finishLocal(lt, types.StatusCommitted)
-	// Every participant acked (or will re-resolve on its own): the
-	// acceptors may discard this transaction's decision state.
-	prot.Finished(lt.top, acceptors)
+	if allAcked {
+		// Every writer acked — and an ack implies its forced commit record,
+		// closing its in-doubt window — so the acceptors may discard this
+		// transaction's decision state.
+		prot.Finished(lt.top, acceptors)
+	} else {
+		// A writer never acked: it may be partitioned through the whole
+		// retry window and still needs to learn the outcome from the
+		// acceptors. Telling them to forget now would make its recovery
+		// ballot conclude Abort for a committed transaction. Leave the
+		// entries in place; the acceptor table's TTL-gated eviction is the
+		// backstop if the laggard never returns.
+		m.tr.Count("txn.finished.deferred", 1)
+	}
 	m.tr.Count("txn.commits", 1)
 	sp.Annotate("outcome=committed").End()
 	return true, nil
@@ -469,6 +482,22 @@ func (m *Manager) abortTree(lt *localTrans, _ bool) error {
 	m.mu.Lock()
 	if (lt.state == stAborted && lt.undone) || lt.aborting {
 		m.mu.Unlock()
+		return nil
+	}
+	if lt.state == stCommitted {
+		// Once this node committed, the transaction IS committed — the
+		// decision that drove the commit was authoritative (forced commit
+		// record, or quorum resolution). A late Aborted outcome can still
+		// arrive here: two resolvers (the orphan sweeper and the one-shot
+		// resolveWhenStuck goroutine) may race on the same in-doubt
+		// transaction, the first deciding Commit, applying it, and telling
+		// the acceptors to forget — after which the second's recovery
+		// ballot runs against blank acceptors and concludes the Aborted
+		// sentinel. That verdict is stale, not authoritative; honoring it
+		// would flip the recorded outcome to Aborted while the committed
+		// effects stand (the undo chain is closed), breaking atomicity.
+		m.mu.Unlock()
+		m.tr.Count("txn.abort.refused_committed", 1)
 		return nil
 	}
 	if lt.state == stPrepared && lt.prep != nil && len(lt.prep.Acceptors) > 0 && !lt.resolvedAbort {
@@ -677,8 +706,10 @@ func (m *Manager) participantCommit(parent types.NodeID, top types.TransID) {
 	prep := lt.prep
 	m.mu.Unlock()
 
+	allAcked := true
 	if prep != nil && len(prep.Children) > 0 {
-		m.collectRound(top, prep.Children, dgCommit, clsAck, nil)
+		acks := m.collectRound(top, prep.Children, dgCommit, clsAck, nil)
+		allAcked = len(acks) == len(prep.Children)
 	}
 	if err := m.rm.LogCommit(top); err != nil {
 		// Forced commit record failed; stay prepared and let resolution
@@ -693,9 +724,14 @@ func (m *Manager) participantCommit(parent types.NodeID, top types.TransID) {
 	if prep != nil && prep.Parent == "" {
 		// This was the root's own prepared-in-doubt state, resolved here
 		// (parent is this node or empty, never a real coordinator): no one
-		// to ack, but the acceptors may now forget the decision.
-		if len(prep.Acceptors) > 0 {
+		// to ack, but once every child acked — each ack implying a forced
+		// commit record — the acceptors may forget the decision. With a
+		// laggard child outstanding the entries must stay: it still has to
+		// learn the outcome from the quorum.
+		if len(prep.Acceptors) > 0 && allAcked {
 			m.getProtocol().Finished(top, prep.Acceptors)
+		} else if len(prep.Acceptors) > 0 {
+			m.tr.Count("txn.finished.deferred", 1)
 		}
 		return
 	}

@@ -38,6 +38,14 @@ func FuzzRecordRoundTrip(f *testing.F) {
 			Parent:   "coord",
 			Children: []types.NodeID{"p1", "p2"},
 		})},
+		{LSN: 8, Type: RecPrepare, TID: tid, Body: EncodePrepare(&PrepareBody{
+			Parent:    "coord",
+			Children:  []types.NodeID{"p1"},
+			Acceptors: []types.NodeID{"a1", "a2", "a3"},
+		})},
+		{LSN: 9, Type: RecCheckpoint, Body: EncodeCheckpoint(&CheckpointBody{
+			ACP: []byte{0xde, 0xad, 0xbe, 0xef},
+		})},
 		{LSN: 7, Type: RecUpdateCLR, TID: tid, Body: EncodeCLR(&CLRBody{CompLSN: 3, Inner: []byte("inner")})},
 	}
 	for _, r := range seeds {

@@ -407,8 +407,15 @@ func EncodeCheckpoint(c *CheckpointBody) []byte {
 		b = binary.BigEndian.AppendUint64(b, uint64(a.LastLSN))
 		b = binary.BigEndian.AppendUint64(b, uint64(a.FirstLSN))
 	}
-	b = binary.BigEndian.AppendUint32(b, uint32(len(c.ACP)))
-	b = append(b, c.ACP...)
+	// The ACP tail is appended only when non-empty: checkpoints written
+	// before the acp subsystem existed have no tail, and emitting none for
+	// an empty blob keeps those old records and new ACP-free records
+	// byte-identical (one canonical encoding per body, which the fuzz
+	// round-trip invariant relies on).
+	if len(c.ACP) > 0 {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(c.ACP)))
+		b = append(b, c.ACP...)
+	}
 	return b
 }
 
@@ -465,6 +472,11 @@ func DecodeCheckpoint(b []byte) (*CheckpointBody, error) {
 		c.Active[i].FirstLSN = LSN(binary.BigEndian.Uint64(b[25:33]))
 		b = b[33:]
 	}
+	// No trailing bytes: a checkpoint from before the acp subsystem, or one
+	// with no acceptor state — both decode to an empty ACP blob.
+	if len(b) == 0 {
+		return c, nil
+	}
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: checkpoint acp length", ErrCorrupt)
 	}
@@ -473,9 +485,12 @@ func DecodeCheckpoint(b []byte) (*CheckpointBody, error) {
 	if len(b) != nb {
 		return nil, fmt.Errorf("%w: checkpoint acp blob %d bytes, have %d", ErrCorrupt, nb, len(b))
 	}
-	if nb > 0 {
-		c.ACP = append([]byte(nil), b...)
+	if nb == 0 {
+		// An empty blob is encoded by omitting the tail entirely; a present
+		// zero-length tail is not a canonical encoding.
+		return nil, fmt.Errorf("%w: checkpoint empty acp tail", ErrCorrupt)
 	}
+	c.ACP = append([]byte(nil), b...)
 	return c, nil
 }
 
@@ -528,9 +543,14 @@ func EncodePrepare(p *PrepareBody) []byte {
 	for _, c := range p.Children {
 		b = appendString(b, string(c))
 	}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Acceptors)))
-	for _, a := range p.Acceptors {
-		b = appendString(b, string(a))
+	// The acceptor tail is appended only when non-empty, so plain-2PC
+	// prepare records are byte-identical to the pre-acp format and old logs
+	// (which have no tail at all) still decode.
+	if len(p.Acceptors) > 0 {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(p.Acceptors)))
+		for _, a := range p.Acceptors {
+			b = appendString(b, string(a))
+		}
 	}
 	return b
 }
@@ -563,11 +583,18 @@ func DecodePrepare(b []byte) (*PrepareBody, error) {
 	if p.Children, err = takeNames("children"); err != nil {
 		return nil, err
 	}
+	// No trailing bytes: a prepare record written under plain 2PC (or by a
+	// pre-acp version of this code) — no acceptor set.
+	if len(b) == 0 {
+		return p, nil
+	}
 	if p.Acceptors, err = takeNames("acceptors"); err != nil {
 		return nil, err
 	}
 	if len(p.Acceptors) == 0 {
-		p.Acceptors = nil
+		// An empty set is encoded by omitting the tail entirely; a present
+		// zero-count tail is not a canonical encoding.
+		return nil, fmt.Errorf("%w: prepare empty acceptor tail", ErrCorrupt)
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: prepare trailing bytes", ErrCorrupt)

@@ -193,6 +193,70 @@ func TestPrepareBodyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPrepareBodyAcceptorsRoundTrip(t *testing.T) {
+	p := &PrepareBody{Parent: "coord", Children: []types.NodeID{"c1"}, Acceptors: []types.NodeID{"a1", "a2", "a3"}}
+	got, err := DecodePrepare(EncodePrepare(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", p, got)
+	}
+}
+
+// TestPrepareBodyLegacyFormat pins backward compatibility: a prepare body
+// written before the acp subsystem existed has no acceptor tail and must
+// still decode (restart reads old logs), and the encoder must emit that
+// same tail-free byte layout for plain-2PC records so the on-log format
+// is unchanged when no acceptors are configured.
+func TestPrepareBodyLegacyFormat(t *testing.T) {
+	// Hand-built legacy encoding: parent, then u16 child count + names.
+	legacy := appendString(nil, "coord")
+	legacy = append(legacy, 0, 2)
+	legacy = appendString(legacy, "p1")
+	legacy = appendString(legacy, "p2")
+	got, err := DecodePrepare(legacy)
+	if err != nil {
+		t.Fatalf("legacy prepare body rejected: %v", err)
+	}
+	if got.Parent != "coord" || len(got.Children) != 2 || got.Acceptors != nil {
+		t.Errorf("legacy decode: %+v", got)
+	}
+	if !bytes.Equal(EncodePrepare(got), legacy) {
+		t.Error("plain-2PC prepare encoding differs from legacy bytes")
+	}
+	// A present-but-empty acceptor tail is not canonical and must be
+	// rejected (the codec stays bijective for the fuzz round-trip).
+	if _, err := DecodePrepare(append(legacy, 0, 0)); err == nil {
+		t.Error("empty acceptor tail accepted")
+	}
+}
+
+// TestCheckpointBodyLegacyFormat: same compatibility pin for checkpoint
+// records — no trailing ACP length means an empty ACP blob, and an
+// ACP-free checkpoint encodes without the tail.
+func TestCheckpointBodyLegacyFormat(t *testing.T) {
+	legacy := []byte{0, 0, 0, 0, 0, 0, 0, 0} // zero dirty pages, zero active
+	got, err := DecodeCheckpoint(legacy)
+	if err != nil {
+		t.Fatalf("legacy checkpoint body rejected: %v", err)
+	}
+	if len(got.ACP) != 0 {
+		t.Errorf("legacy decode: %+v", got)
+	}
+	if !bytes.Equal(EncodeCheckpoint(got), legacy) {
+		t.Error("ACP-free checkpoint encoding differs from legacy bytes")
+	}
+	if _, err := DecodeCheckpoint(append(legacy, 0, 0, 0, 0)); err == nil {
+		t.Error("empty ACP tail accepted")
+	}
+	withACP := &CheckpointBody{ACP: []byte{1, 2, 3}}
+	rt, err := DecodeCheckpoint(EncodeCheckpoint(withACP))
+	if err != nil || !bytes.Equal(rt.ACP, withACP.ACP) {
+		t.Errorf("ACP blob round trip: %+v err %v", rt, err)
+	}
+}
+
 func TestPrepareBodyNoChildren(t *testing.T) {
 	p := &PrepareBody{Parent: "root"}
 	got, err := DecodePrepare(EncodePrepare(p))
