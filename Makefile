@@ -61,6 +61,7 @@ bench-smoke:
 	$(GO) test -bench=GroupCommit -benchtime=1x ./internal/wal ./internal/bench
 	$(GO) test ./internal/bench -run TestShardingSmoke -count=1 -timeout 120s
 	$(GO) test ./internal/bench -run TestCommitAvailabilitySmoke -count=1 -timeout 120s
+	$(GO) test ./internal/bench -run TestMigrationSmoke -count=1 -timeout 120s
 	$(GO) run ./tools/allocgate -budget ALLOC_BUDGET.txt -bench 'AppendForce|EnvelopeEncode|LookUpCached' ./internal/wal ./internal/comm ./internal/nameserver
 
 # Short fuzz of the WAL record codec; CI runs the same invocation.
@@ -70,8 +71,9 @@ fuzz-smoke:
 # Fixed-seed fault-injection torture runs (3 nodes, crashes + partitions +
 # disk faults) under both commit protocols, plus the coordinator-kill
 # pin: 2pc must demonstrate the blocking window, paxos must resolve every
-# prepared transaction with the coordinator permanently dead. Failures
-# print the seed and fault trace for reproduction. CI runs the same
-# invocation.
+# prepared transaction with the coordinator permanently dead — and the
+# online-migration torture: shards migrating between crash/rebooting data
+# nodes under live load, with zero lost client writes. Failures print the
+# seed (and fault trace) for reproduction. CI runs the same invocation.
 torture-smoke:
-	$(GO) test ./internal/fault -run 'TestTortureSmoke|TestTorturePaxosSmoke|TestCoordKillBlockingWindow' -count=1 -timeout 300s -v
+	$(GO) test ./internal/fault -run 'TestTortureSmoke|TestTorturePaxosSmoke|TestCoordKillBlockingWindow|TestTortureMigrateSmoke' -count=1 -timeout 300s -v

@@ -14,6 +14,8 @@
 //	tabsbench -group-commit=false    # paper-faithful synchronous log forces
 //	tabsbench -fault-seed 42 -fault-profile chaos   # deterministic torture run
 //	tabsbench -fault-seed 42 -fault-profile partition -commit-protocol paxos
+//	tabsbench -fault-seed 42 -fault-profile migrate  # online-migration torture
+//	tabsbench -migrate                 # migrate a shard under live load
 //	tabsbench -commit-avail 200    # 2pc-vs-paxos availability/latency A/B
 package main
 
@@ -48,8 +50,11 @@ func main() {
 	keys := flag.Uint64("keys", 1<<20, "global key-space size the -shards sweep partitions")
 	shardWorkers := flag.Int("shard-workers", 4, "worker goroutines homed on each node in the -shards sweep")
 	shardingJSON := flag.String("sharding-json", "BENCH_sharding.json", "where -shards writes its sweep results as JSON")
+	migrate := flag.Bool("migrate", false, "run the migrate-under-load benchmark (skips the tables)")
+	migrateJSON := flag.String("migrate-json", "BENCH_migration.json", "where -migrate writes its results as JSON")
+	migratePhase := flag.Duration("migrate-phase", 600*time.Millisecond, "baseline and recovery workload window around the -migrate move")
 	faultSeed := flag.Int64("fault-seed", 0, "run the fault-injection torture harness with this seed (skips the tables; 0 disables)")
-	faultProfile := flag.String("fault-profile", "chaos", "torture fault profile: "+strings.Join(fault.ProfileNames(), ", "))
+	faultProfile := flag.String("fault-profile", "chaos", "torture fault profile: "+strings.Join(append(fault.ProfileNames(), "migrate"), ", "))
 	faultNodes := flag.Int("fault-nodes", 3, "torture cluster size")
 	faultTxns := flag.Int("fault-txns", 200, "torture workload transactions")
 	commitProtocol := flag.String("commit-protocol", "2pc", "commit protocol for the torture harness: 2pc or paxos")
@@ -60,6 +65,13 @@ func main() {
 
 	if *faultSeed != 0 {
 		if err := runTorture(*faultSeed, *faultProfile, *faultNodes, *faultTxns, *commitProtocol); err != nil {
+			fmt.Fprintln(os.Stderr, "tabsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *migrate {
+		if err := runMigration(*faultNodes, *shardWorkers, *migratePhase, *migrateJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "tabsbench:", err)
 			os.Exit(1)
 		}
@@ -104,6 +116,9 @@ func main() {
 // trace so the exact schedule reproduces.
 func runTorture(seed int64, profile string, nodes, txns int, protocol string) error {
 	fmt.Fprintf(os.Stderr, "torture: seed=%d profile=%s nodes=%d txns=%d protocol=%s\n", seed, profile, nodes, txns, protocol)
+	if profile == "migrate" {
+		return runMigrateTorture(seed, nodes)
+	}
 	start := time.Now()
 	rep, err := fault.RunTorture(fault.TortureOptions{
 		Seed:           seed,
@@ -122,6 +137,51 @@ func runTorture(seed int64, profile string, nodes, txns int, protocol string) er
 		return err
 	}
 	fmt.Printf("all invariants held in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runMigrateTorture drives the online-migration torture profile: shards
+// migrate between data nodes, data nodes crash and reboot, and every
+// worker write must commit (at worst after redirect retries).
+func runMigrateTorture(seed int64, nodes int) error {
+	start := time.Now()
+	rep, err := fault.RunMigrate(fault.MigrateOptions{
+		Seed:  seed,
+		Nodes: nodes,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		},
+	})
+	if rep != nil {
+		fmt.Println(rep.String())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all invariants held in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runMigration runs the migrate-under-load benchmark and records text +
+// JSON output (the throughput dip and redirect latency evidence).
+func runMigration(nodes, workers int, phase time.Duration, jsonPath string) error {
+	fmt.Fprintf(os.Stderr, "migrating a shard under live load (%d nodes, %d workers, %s windows)...\n", nodes, workers, phase)
+	res, err := bench.MeasureMigration(nodes, 0, workers, phase)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatMigration(res))
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil
 }
 

@@ -17,6 +17,8 @@
 //	tabsctl -peer a=localhost:7001 acp a          # commit-protocol + acceptor state
 //	tabsctl -peer a=localhost:7001 -peer b=localhost:7002 -commit-protocol paxos \
 //	    txn 'set a array 1 10' 'set b array 1 20'  # replicated (Paxos Commit) txn
+//	tabsctl -peer a=localhost:7001 migrate a array 0 b   # move shard 0 to node b
+//	tabsctl -peer a=localhost:7001 -peer b=localhost:7002 rebalance a array
 //	tabsctl -peer a=localhost:7001 metrics a      # live trace-layer metrics
 //	tabsctl -peer a=localhost:7001 trace a        # recent spans
 //	tabsctl -peer a=localhost:7001 -json trace a  # raw trace.Export JSON
@@ -67,7 +69,7 @@ func main() {
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: tabsctl [-peer n=addr]... <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics placement acp")
+		fmt.Fprintln(os.Stderr, "commands: get set enqueue dequeue insert lookup update delete txn trace metrics placement acp migrate rebalance")
 		os.Exit(2)
 	}
 	if err := run(*id, *listen, peers, *jsonOut, *protocol, *acceptors, flag.Args()); err != nil {
@@ -125,6 +127,10 @@ func run(id, listen string, peers peerList, jsonOut bool, protocol, acceptors st
 		return runPlacementQuery(node, jsonOut, args, peers)
 	case "acp":
 		return runACPQuery(node, jsonOut, args, peers)
+	case "migrate":
+		return runMigrate(node, jsonOut, args)
+	case "rebalance":
+		return runRebalance(node, jsonOut, args, peers)
 	}
 	return node.App.Run(func(tid types.TransID) error {
 		out, err := execute(node, tid, args)
@@ -274,6 +280,103 @@ func runACPQuery(node *core.Node, jsonOut bool, args []string, peers peerList) e
 		for _, tid := range rep.InDoubt {
 			fmt.Printf("  in doubt: %v\n", tid)
 		}
+	}
+	return nil
+}
+
+// migrateCtlMsg mirrors core's migratectl wire request (JSON keys must
+// match; the struct itself is core-internal).
+type migrateCtlMsg struct {
+	Cmd    string         `json:"cmd"`
+	Family string         `json:"family,omitempty"`
+	Shard  int            `json:"shard"`
+	Dest   types.NodeID   `json:"dest,omitempty"`
+	Nodes  []types.NodeID `json:"nodes,omitempty"`
+}
+
+// printMigrateReport renders one completed shard move.
+func printMigrateReport(rep *core.MigrateReport) {
+	fmt.Printf("moved %s#%d %s -> %s: %d pages (%d bytes) in %s, placement now v%d\n",
+		rep.Family, rep.Shard, rep.From, rep.To, rep.Pages, rep.Bytes,
+		rep.Duration.Round(time.Millisecond), rep.Version)
+}
+
+// runMigrate asks a node to migrate one shard:
+// migrate <node> <family> <shard> <dest>. Any live node may be addressed;
+// the request forwards to the shard's current home, which drives the copy
+// inside a system transaction and publishes the bumped placement.
+func runMigrate(node *core.Node, jsonOut bool, args []string) error {
+	if len(args) != 5 {
+		return fmt.Errorf("usage: migrate <node> <family> <shard> <dest>")
+	}
+	target := types.NodeID(args[1])
+	shard, err := strconv.Atoi(args[3])
+	if err != nil {
+		return fmt.Errorf("bad shard number %q: %w", args[3], err)
+	}
+	blob, err := json.Marshal(migrateCtlMsg{Cmd: "migrate", Family: args[2], Shard: shard, Dest: types.NodeID(args[4])})
+	if err != nil {
+		return err
+	}
+	body, err := node.CM.Call(target, core.MigrateControlService, types.NilTransID, blob)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		fmt.Println(string(body))
+		return nil
+	}
+	var rep core.MigrateReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decoding migrate reply: %w", err)
+	}
+	printMigrateReport(&rep)
+	return nil
+}
+
+// runRebalance asks a node to even a family's shard counts:
+// rebalance <node> <family> [home...]. Candidate homes default to the
+// -peer list (the addressed node drives one migration per planned move).
+func runRebalance(node *core.Node, jsonOut bool, args []string, peers peerList) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: rebalance <node> <family> [home...]")
+	}
+	target := types.NodeID(args[1])
+	var homes []types.NodeID
+	for _, h := range args[3:] {
+		homes = append(homes, types.NodeID(h))
+	}
+	if len(homes) == 0 {
+		for name := range peers {
+			homes = append(homes, name)
+		}
+		sort.Slice(homes, func(i, j int) bool { return homes[i] < homes[j] })
+	}
+	if len(homes) == 0 {
+		return fmt.Errorf("rebalance needs candidate homes (arguments or -peer flags)")
+	}
+	blob, err := json.Marshal(migrateCtlMsg{Cmd: "rebalance", Family: args[2], Nodes: homes})
+	if err != nil {
+		return err
+	}
+	body, err := node.CM.Call(target, core.MigrateControlService, types.NilTransID, blob)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		fmt.Println(string(body))
+		return nil
+	}
+	var reps []*core.MigrateReport
+	if err := json.Unmarshal(body, &reps); err != nil {
+		return fmt.Errorf("decoding rebalance reply: %w", err)
+	}
+	if len(reps) == 0 {
+		fmt.Println("already balanced: no moves needed")
+		return nil
+	}
+	for _, rep := range reps {
+		printMigrateReport(rep)
 	}
 	return nil
 }

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMigrationSmoke runs a small migrate-under-load measurement and
+// checks its structural guarantees: the move happened, the placement
+// advanced, throughput was measured on both sides of it, and no worker
+// transaction failed outright.
+func TestMigrationSmoke(t *testing.T) {
+	res, err := MeasureMigration(2, 1<<12, 2, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatMigration(res))
+	if res.PagesMoved == 0 {
+		t.Error("no pages moved")
+	}
+	if res.PlacementVersion < 2 {
+		t.Errorf("placement still at v%d after the move", res.PlacementVersion)
+	}
+	if res.From == res.To {
+		t.Errorf("shard moved from %s to itself", res.From)
+	}
+	if res.BaselineTps == 0 || res.AfterTps == 0 {
+		t.Errorf("throughput unmeasured: baseline %.0f after %.0f", res.BaselineTps, res.AfterTps)
+	}
+	if res.FailedTxns != 0 {
+		t.Errorf("%d transactions failed during the migration, want 0", res.FailedTxns)
+	}
+	if len(res.Buckets) == 0 {
+		t.Error("no throughput buckets sampled")
+	}
+}

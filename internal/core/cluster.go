@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"tabs/internal/comm"
@@ -45,6 +47,10 @@ type Cluster struct {
 	// reboots reapply it so a restarted coordinator proposes to the same
 	// quorum.
 	acceptors []types.NodeID
+	// placements is the newest map the cluster has applied per family;
+	// boots and reboots re-install it so a restarted node never serves
+	// from a stale map it recorded before a migration.
+	placements map[string]*nameserver.Placement
 }
 
 // ClusterOptions tune every node in a cluster.
@@ -86,11 +92,12 @@ func NewCluster(opts ClusterOptions, names ...types.NodeID) (*Cluster, error) {
 		opts = DefaultClusterOptions()
 	}
 	c := &Cluster{
-		Net:      comm.NewMemNetwork(),
-		Registry: stats.NewRegistry(),
-		nodes:    make(map[types.NodeID]*Node),
-		disks:    make(map[types.NodeID]*disk.Disk),
-		opts:     opts,
+		Net:        comm.NewMemNetwork(),
+		Registry:   stats.NewRegistry(),
+		nodes:      make(map[types.NodeID]*Node),
+		disks:      make(map[types.NodeID]*disk.Disk),
+		opts:       opts,
+		placements: make(map[string]*nameserver.Placement),
 	}
 	for _, name := range names {
 		if _, err := c.AddNode(name); err != nil {
@@ -171,6 +178,12 @@ func (c *Cluster) bootNode(name types.NodeID, d *disk.Disk) (*Node, error) {
 	if c.opts.Faults != nil {
 		c.opts.Faults.BindTracer(name, n.Tracer())
 	}
+	// Install the newest cluster placements before the node serves
+	// anything: a node rebooted (or added) after a migration must not
+	// recover a pre-migration view of where shards live.
+	for _, p := range c.placements {
+		n.NS.SetPlacement(p)
+	}
 	c.nodes[name] = n
 	return n, nil
 }
@@ -201,16 +214,62 @@ func (c *Cluster) NodeNames() []types.NodeID {
 }
 
 // ApplyPlacement installs a placement map in every live node's Name
-// Server (version-gated per node) and reports whether any node accepted
-// it.
-func (c *Cluster) ApplyPlacement(p *nameserver.Placement) bool {
-	applied := false
-	for _, n := range c.nodes {
+// Server. Each node's install is version-gated; a node that already holds
+// exactly this version is an idempotent re-apply and counts as success,
+// but a node holding a *newer* map means the caller is publishing a stale
+// version into a cluster that has moved on — a partial install that would
+// silently split routing between two maps — so every such node is
+// reported and the call fails loudly.
+func (c *Cluster) ApplyPlacement(p *nameserver.Placement) error {
+	if p == nil || p.Family == "" {
+		return errors.New("core: nil or unnamed placement")
+	}
+	var stale []string
+	for _, name := range c.NodeNames() {
+		n := c.nodes[name]
 		if n.NS.SetPlacement(p) {
-			applied = true
+			continue
+		}
+		cur := n.NS.PlacementFor(p.Family)
+		if cur != nil && cur.Version == p.Version {
+			continue // already installed: idempotent re-apply
+		}
+		have := uint64(0)
+		if cur != nil {
+			have = cur.Version
+		}
+		stale = append(stale, fmt.Sprintf("%s holds v%d", name, have))
+	}
+	if len(stale) > 0 {
+		return fmt.Errorf("core: placement %s v%d rejected by %d/%d nodes (%s): a newer map is already installed",
+			p.Family, p.Version, len(stale), len(c.nodes), strings.Join(stale, ", "))
+	}
+	c.notePlacement(p)
+	return nil
+}
+
+// notePlacement records p as the newest cluster map for its family if it
+// is; boots and reboots re-install from this record.
+func (c *Cluster) notePlacement(p *nameserver.Placement) {
+	if p == nil {
+		return
+	}
+	if cur := c.placements[p.Family]; cur == nil || p.Version > cur.Version {
+		c.placements[p.Family] = p
+	}
+}
+
+// Placement returns the newest placement map the cluster knows for
+// family: the recorded newest, cross-checked against every live node's
+// Name Server (a migration publishes through the Name Servers directly).
+func (c *Cluster) Placement(family string) *nameserver.Placement {
+	best := c.placements[family]
+	for _, n := range c.nodes {
+		if p := n.NS.PlacementFor(family); p != nil && (best == nil || p.Version > best.Version) {
+			best = p
 		}
 	}
-	return applied
+	return best
 }
 
 // Crash crashes the named node (volatile state lost, network detached).

@@ -331,3 +331,56 @@ func errFromString(err error) error {
 func containsTimeout(s string) bool {
 	return len(s) > 0 && (strings.Contains(s, "timed out") || strings.Contains(s, "deadlock"))
 }
+
+// TestRebootRefusesTrafficUntilRecovered pins the service gate that keeps
+// a rebooting node from racing its own log replay: with committed state on
+// disk, data-server calls answer ErrRecovering until Recover completes.
+// Without the gate a write can commit against pre-replay pages and then be
+// overwritten by the replay's own page installs — the torture harness
+// caught exactly that under migration churn (a fresh commit on a rebooted
+// destination vanished beneath the recovery scan).
+func TestRebootRefusesTrafficUntilRecovered(t *testing.T) {
+	c, n, arr := arrayNode(t, 100)
+	defer c.Shutdown()
+
+	if err := n.App.Run(func(tid types.TransID) error {
+		return arr.Set(tid, 3, 333)
+	}); err != nil {
+		t.Fatalf("seed txn: %v", err)
+	}
+
+	c.Crash("n1")
+	n2, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	if _, err := intarray.Attach(n2, "array", 1, 100, time.Second); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+
+	// Pre-recovery traffic must be refused, not served from stale pages.
+	arr2 := intarray.NewClient(n2, "n1", "array")
+	err = n2.App.Run(func(tid types.TransID) error {
+		_, err := arr2.Get(tid, 3)
+		return err
+	})
+	if !errors.Is(err, core.ErrRecovering) {
+		t.Fatalf("pre-recovery call: got %v, want ErrRecovering", err)
+	}
+
+	if _, err := n2.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := n2.App.Run(func(tid types.TransID) error {
+		v, err := arr2.Get(tid, 3)
+		if err != nil {
+			return err
+		}
+		if v != 333 {
+			t.Errorf("cell 3 after recovery: got %d, want 333", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("post-recovery txn: %v", err)
+	}
+}

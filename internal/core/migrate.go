@@ -1,0 +1,542 @@
+// Online shard migration: move one shard of a partitioned object family
+// to a new home node while the cluster serves traffic.
+//
+// The move is a system transaction. The source's export operation
+// write-locks every object in the shard through the ordinary lock manager
+// (quiescing new writes for the copy's duration; concurrent transactions
+// block and, past the lock time-out, abort and retry exactly as any
+// conflicting transaction would), the shard's pages stream to the
+// destination in bounded chunks, and the destination applies them with
+// the standard value-logging discipline — pin, write, log old/new — so
+// commit forces the copied pages through the destination's WAL. Just
+// before commit the source seals itself (new operations answer
+// ErrShardMoved instead of serving from the orphaned copy).
+//
+// Commit of the migration transaction is the atomicity point. Only after
+// commit does the driver publish a placement map with the version bumped
+// — installing it everywhere through the Name Server broadcast, which
+// drops routing caches so traffic re-resolves to the new home — and then
+// drop the source's registration. A crash anywhere before the publish
+// leaves the old placement authoritative: the source's data was only
+// read, the destination's half-written pages are undone by recovery, and
+// the volatile seal dies with the source. The driver is always the
+// shard's current home node (remote callers are forwarded), so "driver
+// crashed mid-move" and "source crashed mid-move" are the same failure
+// with the same clean outcome.
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tabs/internal/nameserver"
+	"tabs/internal/types"
+)
+
+// MigrateControlService is the Communication Manager service carrying
+// migration control traffic: operator commands from tabsctl ("migrate",
+// "rebalance") and the driver's own prepare/drop calls to the
+// destination and source nodes. Requests and replies are JSON.
+const MigrateControlService = "migratectl"
+
+// Migration operation names. A data server family that supports
+// migration implements these three in its dispatcher; the driver speaks
+// only this surface and stays ignorant of the family's layout.
+const (
+	// OpMigrateExport returns one chunk of the shard's pages. The first
+	// chunk (page 0) must quiesce the shard: write-lock every object
+	// under the migration transaction before reading.
+	OpMigrateExport = "MigrateExport"
+	// OpMigrateImport applies one chunk of pages on the destination with
+	// full value logging under the migration transaction.
+	OpMigrateImport = "MigrateImport"
+	// OpMigrateSeal marks the source moved (body {1}) so post-commit
+	// operations are refused, or clears the mark (body {0}) when the
+	// migration aborts.
+	OpMigrateSeal = "MigrateSeal"
+)
+
+// migrateChunkPages bounds one export/import exchange (pages per chunk),
+// keeping each message well under the session layer's comfort zone while
+// amortizing the per-call cost.
+const migrateChunkPages = 8
+
+// ShardFactory attaches one shard's data server on n, sized and
+// configured from the meta blob the source's export produced. Families
+// register a factory on every node that may become a migration
+// destination.
+type ShardFactory func(n *Node, shard int, meta []byte) error
+
+// RegisterShardFactory makes family's shards attachable on this node.
+func (n *Node) RegisterShardFactory(family string, f ShardFactory) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.factories == nil {
+		n.factories = make(map[string]ShardFactory)
+	}
+	n.factories[family] = f
+}
+
+func (n *Node) shardFactory(family string) ShardFactory {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.factories[family]
+}
+
+// DetachServer closes a data server and withdraws its Name Server
+// advertisement. The server's recoverable segment stays allocated on
+// disk (space reclamation is out of scope); re-attaching under the same
+// identifier re-maps it.
+func (n *Node) DetachServer(id types.ServerID) error {
+	n.mu.Lock()
+	s, ok := n.servers[id]
+	if ok {
+		delete(n.servers, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoServer, id)
+	}
+	seg := s.Segment()
+	s.Close()
+	n.NS.DeRegister(string(id), id, types.ObjectID{Segment: seg})
+	return nil
+}
+
+// MigrateReport summarizes one completed shard move.
+type MigrateReport struct {
+	Family   string        `json:"family"`
+	Shard    int           `json:"shard"`
+	From     types.NodeID  `json:"from"`
+	To       types.NodeID  `json:"to"`
+	Pages    uint32        `json:"pages"`
+	Bytes    uint64        `json:"bytes"`
+	Version  uint64        `json:"version"` // placement version published
+	Duration time.Duration `json:"duration_ns"`
+	// Placement is the published map, carried in the reply so the caller
+	// installs it synchronously instead of waiting on the best-effort
+	// broadcast (a rebalancer re-plans from it immediately).
+	Placement *nameserver.Placement `json:"placement,omitempty"`
+}
+
+// MigrateShard moves family's shard to dest and publishes the bumped
+// placement map. The call may be issued on any node; it is forwarded to
+// the shard's current home, which drives the move (so a driver crash is
+// a source crash, and the volatile seal cannot outlive an unresolved
+// migration). Migrating a shard onto its own home is an error.
+func (n *Node) MigrateShard(family string, shard int, dest types.NodeID) (*MigrateReport, error) {
+	p := n.NS.PlacementFor(family)
+	if p == nil {
+		return nil, fmt.Errorf("core: no placement installed for family %q on %s", family, n.id)
+	}
+	if shard < 0 || shard >= p.NumShards() {
+		return nil, fmt.Errorf("core: shard %d out of range for family %q (%d shards)", shard, family, p.NumShards())
+	}
+	src := p.Shards[shard]
+	if src.Node == dest {
+		return nil, fmt.Errorf("core: shard %d of %q already lives on %s", shard, family, dest)
+	}
+	if src.Node != n.id {
+		// Forward to the home node, which drives the move locally.
+		out, err := n.migrateCtl(src.Node, migrateCtlRequest{Cmd: "migrate", Family: family, Shard: shard, Dest: dest})
+		if err != nil {
+			return nil, err
+		}
+		var rep MigrateReport
+		if err := json.Unmarshal(out, &rep); err != nil {
+			return nil, fmt.Errorf("core: bad migrate reply from %s: %w", src.Node, err)
+		}
+		n.NS.SetPlacement(rep.Placement)
+		return &rep, nil
+	}
+
+	start := time.Now()
+	server := src.Server
+	var totalPages uint32
+	var bytesMoved uint64
+	sealed, prepared := false, false
+	err := n.App.Run(func(tid types.TransID) error {
+		var pg uint32
+		for {
+			out, err := n.Call(server, OpMigrateExport, tid, encodeMigrateExportReq(pg, migrateChunkPages))
+			if err != nil {
+				return fmt.Errorf("exporting page %d: %w", pg, err)
+			}
+			total, meta, chunkStart, data, err := decodeMigrateExportReply(out)
+			if err != nil {
+				return err
+			}
+			if pg == 0 {
+				totalPages = total
+				if err := n.migratePrepare(dest, family, shard, server, meta); err != nil {
+					return fmt.Errorf("preparing destination %s: %w", dest, err)
+				}
+				prepared = true
+			}
+			if len(data) > 0 {
+				if _, err := n.CallRemote(dest, server, OpMigrateImport, tid, EncodeMigrateImportReq(chunkStart, data)); err != nil {
+					return fmt.Errorf("importing page %d on %s: %w", chunkStart, dest, err)
+				}
+				bytesMoved += uint64(len(data))
+			}
+			pg = chunkStart + uint32(len(data))/types.PageSize
+			if pg >= total {
+				break
+			}
+		}
+		n.fireMigrateHook("copied")
+		// Seal the source while the quiesce locks are still held: every
+		// operation granted a lock after commit releases them will find
+		// the shard moved instead of serving from the orphaned copy.
+		if _, err := n.Call(server, OpMigrateSeal, tid, []byte{1}); err != nil {
+			return fmt.Errorf("sealing source: %w", err)
+		}
+		sealed = true
+		n.fireMigrateHook("sealed")
+		return nil
+	})
+	if err != nil {
+		// The transaction's effects are undone; roll back the two
+		// non-transactional side effects best-effort. An unreachable
+		// destination keeps its (sealed-by-placement, data-undone) stray
+		// server until a later migration re-prepares it.
+		if sealed {
+			_, _ = n.Call(server, OpMigrateSeal, types.NilTransID, []byte{0})
+		}
+		if prepared {
+			_ = n.migrateDrop(dest, server)
+		}
+		return nil, fmt.Errorf("core: migrating %s shard %d %s->%s: %w", family, shard, src.Node, dest, err)
+	}
+
+	// Commit happened: the destination's copy is durable and the source
+	// is sealed. Publish the new map (best-effort beyond the local
+	// install; stragglers converge via reboot re-install and the router's
+	// live-registration fallback), then withdraw the source registration.
+	np := &nameserver.Placement{
+		Family:  p.Family,
+		Version: p.Version + 1,
+		Shards:  append([]nameserver.ShardInfo(nil), p.Shards...),
+	}
+	np.Shards[shard] = nameserver.ShardInfo{Node: dest, Server: server}
+	_, _ = n.NS.PublishPlacement(np)
+	n.fireMigrateHook("published")
+	_ = n.DetachServer(server)
+	return &MigrateReport{
+		Family:    family,
+		Shard:     shard,
+		From:      src.Node,
+		To:        dest,
+		Pages:     totalPages,
+		Bytes:     bytesMoved,
+		Version:   np.Version,
+		Duration:  time.Since(start),
+		Placement: np,
+	}, nil
+}
+
+// fireMigrateHook invokes the test hook, if any, at a named stage of the
+// move ("copied", "sealed", "published"). Tests set MigrateHook on the
+// driver node before starting a migration to crash nodes at precise
+// points.
+func (n *Node) fireMigrateHook(stage string) {
+	if n.MigrateHook != nil {
+		n.MigrateHook(stage)
+	}
+}
+
+// RebalanceMove is one planned move: shard to new home.
+type RebalanceMove struct {
+	Shard int          `json:"shard"`
+	To    types.NodeID `json:"to"`
+}
+
+// PlanRebalance computes the minimal deterministic set of moves that
+// evens family's shard counts across nodes: every node ends with
+// floor(S/N) or ceil(S/N) shards, shards on nodes outside the list are
+// always moved, and already-balanced placements plan nothing. The node
+// list must be in canonical (sorted) order for every planner to agree.
+func PlanRebalance(p *nameserver.Placement, nodes []types.NodeID) []RebalanceMove {
+	if p == nil || len(nodes) == 0 {
+		return nil
+	}
+	member := make(map[types.NodeID]int, len(nodes)) // node -> quota remaining
+	base, extra := p.NumShards()/len(nodes), p.NumShards()%len(nodes)
+	for i, nd := range nodes {
+		member[nd] = base
+		if i < extra {
+			member[nd]++
+		}
+	}
+	// First pass: shards staying put consume their home's quota.
+	stays := make([]bool, p.NumShards())
+	for i, sh := range p.Shards {
+		if left, ok := member[sh.Node]; ok && left > 0 {
+			member[sh.Node] = left - 1
+			stays[i] = true
+		}
+	}
+	// Second pass: everything else moves to the first node with quota.
+	var moves []RebalanceMove
+	for i := range p.Shards {
+		if stays[i] {
+			continue
+		}
+		for _, nd := range nodes {
+			if member[nd] > 0 {
+				member[nd]--
+				moves = append(moves, RebalanceMove{Shard: i, To: nd})
+				break
+			}
+		}
+	}
+	return moves
+}
+
+// RebalanceFamily evens family's shard counts across nodes by running
+// the planned migrations one at a time, re-planning against the freshly
+// published placement after each move. Returns the reports of the moves
+// performed; on a failed move the completed reports accompany the error.
+func (n *Node) RebalanceFamily(family string, nodes []types.NodeID) ([]*MigrateReport, error) {
+	sorted := append([]types.NodeID(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var reps []*MigrateReport
+	for limit := 0; ; limit++ {
+		p := n.NS.PlacementFor(family)
+		if p == nil {
+			return reps, fmt.Errorf("core: no placement installed for family %q on %s", family, n.id)
+		}
+		if limit > p.NumShards() {
+			return reps, fmt.Errorf("core: rebalance of %q did not converge after %d moves", family, limit)
+		}
+		moves := PlanRebalance(p, sorted)
+		if len(moves) == 0 {
+			return reps, nil
+		}
+		rep, err := n.MigrateShard(family, moves[0].Shard, moves[0].To)
+		if err != nil {
+			return reps, err
+		}
+		reps = append(reps, rep)
+	}
+}
+
+// --- cluster wrappers -------------------------------------------------------
+
+// MigrateShard moves family's shard to dest, driving from the shard's
+// current home node.
+func (c *Cluster) MigrateShard(family string, shard int, dest types.NodeID) (*MigrateReport, error) {
+	p := c.Placement(family)
+	if p == nil {
+		return nil, fmt.Errorf("core: no placement known for family %q", family)
+	}
+	if shard < 0 || shard >= p.NumShards() {
+		return nil, fmt.Errorf("core: shard %d out of range for family %q (%d shards)", shard, family, p.NumShards())
+	}
+	driver := c.Node(p.Shards[shard].Node)
+	if driver == nil {
+		return nil, fmt.Errorf("core: shard %d's home %s is down", shard, p.Shards[shard].Node)
+	}
+	rep, err := driver.MigrateShard(family, shard, dest)
+	if err == nil {
+		c.installNewest(family, driver)
+	}
+	return rep, err
+}
+
+// installNewest pushes driver's (freshly published) map for family onto
+// every live node synchronously; the broadcast publish is asynchronous
+// and best-effort, and the harness wants determinism.
+func (c *Cluster) installNewest(family string, driver *Node) {
+	np := driver.NS.PlacementFor(family)
+	if np == nil {
+		return
+	}
+	for _, n := range c.nodes {
+		n.NS.SetPlacement(np)
+	}
+	c.notePlacement(np)
+}
+
+// Rebalance evens family's shard counts across the cluster's live nodes.
+func (c *Cluster) Rebalance(family string) ([]*MigrateReport, error) {
+	p := c.Placement(family)
+	if p == nil {
+		return nil, fmt.Errorf("core: no placement known for family %q", family)
+	}
+	driver := c.Node(p.Shards[0].Node)
+	if driver == nil {
+		// Any live node can coordinate; moves forward to each home.
+		for _, name := range c.NodeNames() {
+			driver = c.nodes[name]
+			break
+		}
+	}
+	if driver == nil {
+		return nil, errors.New("core: no live node to drive the rebalance")
+	}
+	reps, err := driver.RebalanceFamily(family, c.NodeNames())
+	c.installNewest(family, driver)
+	return reps, err
+}
+
+// --- control service --------------------------------------------------------
+
+// migrateCtlRequest is the migratectl wire request.
+type migrateCtlRequest struct {
+	Cmd    string         `json:"cmd"` // prepare | drop | migrate | rebalance
+	Family string         `json:"family,omitempty"`
+	Shard  int            `json:"shard"`
+	Server types.ServerID `json:"server,omitempty"`
+	Dest   types.NodeID   `json:"dest,omitempty"`
+	Nodes  []types.NodeID `json:"nodes,omitempty"`
+	Meta   []byte         `json:"meta,omitempty"`
+}
+
+// migrateCtl sends a control request to peer (or handles it locally).
+func (n *Node) migrateCtl(peer types.NodeID, req migrateCtlRequest) ([]byte, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if peer == n.id {
+		return n.handleMigrateControl(n.id, types.NilTransID, blob)
+	}
+	if n.CM == nil {
+		return nil, fmt.Errorf("core: node %s has no network", n.id)
+	}
+	return n.CM.Call(peer, MigrateControlService, types.NilTransID, blob)
+}
+
+func (n *Node) migratePrepare(dest types.NodeID, family string, shard int, server types.ServerID, meta []byte) error {
+	_, err := n.migrateCtl(dest, migrateCtlRequest{Cmd: "prepare", Family: family, Shard: shard, Server: server, Meta: meta})
+	return err
+}
+
+func (n *Node) migrateDrop(peer types.NodeID, server types.ServerID) error {
+	_, err := n.migrateCtl(peer, migrateCtlRequest{Cmd: "drop", Server: server})
+	return err
+}
+
+// handleMigrateControl serves migratectl requests: the driver's
+// prepare/drop legs and tabsctl's operator commands.
+func (n *Node) handleMigrateControl(_ types.NodeID, _ types.TransID, payload []byte) ([]byte, error) {
+	n.mu.Lock()
+	recovering := n.recovering
+	n.mu.Unlock()
+	if recovering {
+		// Attaching shards or driving moves while log replay is still
+		// installing pages would race the recovery scan; callers retry.
+		return nil, fmt.Errorf("%w: %s", ErrRecovering, n.id)
+	}
+	var req migrateCtlRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("core: bad migrate request: %w", err)
+	}
+	switch req.Cmd {
+	case "prepare":
+		if _, ok := n.Server(req.Server); ok {
+			return []byte("ok"), nil // already attached: idempotent re-prepare
+		}
+		f := n.shardFactory(req.Family)
+		if f == nil {
+			return nil, fmt.Errorf("core: node %s has no shard factory for family %q", n.id, req.Family)
+		}
+		if err := f(n, req.Shard, req.Meta); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "drop":
+		if err := n.DetachServer(req.Server); err != nil && !errors.Is(err, ErrNoServer) {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "migrate":
+		rep, err := n.MigrateShard(req.Family, req.Shard, req.Dest)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(rep)
+	case "rebalance":
+		reps, err := n.RebalanceFamily(req.Family, req.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(reps)
+	default:
+		return nil, fmt.Errorf("core: unknown migrate command %q", req.Cmd)
+	}
+}
+
+// --- wire format ------------------------------------------------------------
+
+// Export request: {startPage u32, maxPages u32}.
+
+func encodeMigrateExportReq(startPage, maxPages uint32) []byte {
+	b := binary.BigEndian.AppendUint32(nil, startPage)
+	return binary.BigEndian.AppendUint32(b, maxPages)
+}
+
+// DecodeMigrateExportReq unpacks an OpMigrateExport request body
+// (servers implementing the op call this).
+func DecodeMigrateExportReq(p []byte) (startPage, maxPages uint32, err error) {
+	if len(p) != 8 {
+		return 0, 0, errors.New("core: MigrateExport wants start page and max pages")
+	}
+	return binary.BigEndian.Uint32(p[0:4]), binary.BigEndian.Uint32(p[4:8]), nil
+}
+
+// EncodeMigrateExportReply packs an OpMigrateExport reply: the shard's
+// total page count, a family-specific meta blob (passed to the
+// destination's ShardFactory), and the chunk's pages.
+func EncodeMigrateExportReply(totalPages uint32, meta []byte, startPage uint32, data []byte) []byte {
+	b := make([]byte, 0, 10+len(meta)+len(data))
+	b = binary.BigEndian.AppendUint32(b, totalPages)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(meta)))
+	b = append(b, meta...)
+	b = binary.BigEndian.AppendUint32(b, startPage)
+	return append(b, data...)
+}
+
+func decodeMigrateExportReply(p []byte) (totalPages uint32, meta []byte, startPage uint32, data []byte, err error) {
+	if len(p) < 6 {
+		return 0, nil, 0, nil, errors.New("core: short MigrateExport reply")
+	}
+	totalPages = binary.BigEndian.Uint32(p[0:4])
+	ml := int(binary.BigEndian.Uint16(p[4:6]))
+	p = p[6:]
+	if len(p) < ml+4 {
+		return 0, nil, 0, nil, errors.New("core: short MigrateExport reply meta")
+	}
+	meta, p = p[:ml], p[ml:]
+	startPage = binary.BigEndian.Uint32(p[0:4])
+	data = p[4:]
+	if len(data)%int(types.PageSize) != 0 {
+		return 0, nil, 0, nil, errors.New("core: MigrateExport reply not page-aligned")
+	}
+	return totalPages, meta, startPage, data, nil
+}
+
+// EncodeMigrateImportReq packs an OpMigrateImport request: the chunk's
+// first page number and its page-aligned data.
+func EncodeMigrateImportReq(startPage uint32, data []byte) []byte {
+	b := binary.BigEndian.AppendUint32(nil, startPage)
+	return append(b, data...)
+}
+
+// DecodeMigrateImportReq unpacks an OpMigrateImport request body.
+func DecodeMigrateImportReq(p []byte) (startPage uint32, data []byte, err error) {
+	if len(p) < 4 {
+		return 0, nil, errors.New("core: short MigrateImport request")
+	}
+	startPage = binary.BigEndian.Uint32(p[0:4])
+	data = p[4:]
+	if len(data) == 0 || len(data)%int(types.PageSize) != 0 {
+		return 0, nil, errors.New("core: MigrateImport data not page-aligned")
+	}
+	return startPage, data, nil
+}

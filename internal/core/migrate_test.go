@@ -1,0 +1,545 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tabs/internal/core"
+	"tabs/internal/nameserver"
+	"tabs/internal/servers/intarray"
+	"tabs/internal/types"
+)
+
+// seedShardedValues commits value key*7 into every key < keys.
+func seedShardedValues(t *testing.T, c *core.Cluster, coord types.NodeID, keys uint64) *intarray.ShardedClient {
+	t.Helper()
+	client, err := intarray.NewShardedClient(c.Node(coord), "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := c.Node(coord).App
+	for key := uint64(0); key < keys; key++ {
+		key := key
+		if err := app.Run(func(tid types.TransID) error {
+			return client.Set(tid, key, int64(key*7))
+		}); err != nil {
+			t.Fatalf("seed key %d: %v", key, err)
+		}
+	}
+	return client
+}
+
+// verifyShardedValues checks every key < keys still reads key*7, retrying
+// transactions that lose a race with a routing change.
+func verifyShardedValues(t *testing.T, c *core.Cluster, coord types.NodeID, client *intarray.ShardedClient, keys uint64) {
+	t.Helper()
+	app := c.Node(coord).App
+	for key := uint64(0); key < keys; key++ {
+		key := key
+		var v int64
+		if err := runRetried(app, 10, func(tid types.TransID) error {
+			var err error
+			v, err = client.Get(tid, key)
+			return err
+		}); err != nil {
+			t.Fatalf("get key %d: %v", key, err)
+		}
+		if v != int64(key*7) {
+			t.Errorf("key %d = %d, want %d", key, v, key*7)
+		}
+	}
+}
+
+// runRetried retries proc-as-a-transaction up to attempts times; redirect
+// and routing errors during a migration are retryable by design.
+func runRetried(app interface {
+	Run(func(types.TransID) error) error
+}, attempts int, proc func(types.TransID) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = app.Run(proc); err == nil {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return err
+}
+
+// TestMigrateShardMovesDataAndTraffic is the tentpole happy path: the
+// shard's data moves, the placement version bumps everywhere, a client
+// router built before the move observes the bump (the long-lived-router
+// regression), the source's server is withdrawn and the destination
+// serves reads and writes.
+func TestMigrateShardMovesDataAndTraffic(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	// Client (and its router) built BEFORE the migration, on a node that
+	// is neither source nor destination.
+	client := seedShardedValues(t, c, names[0], 60)
+
+	rep, err := c.MigrateShard("array", 1, "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != "n2" || rep.To != "n3" || rep.Pages == 0 || rep.Bytes == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Version != 2 {
+		t.Fatalf("published version %d, want 2", rep.Version)
+	}
+	for _, name := range names {
+		p := c.Node(name).NS.PlacementFor("array")
+		if p == nil || p.Version != 2 {
+			t.Fatalf("%s placement = %+v, want version 2", name, p)
+		}
+		if p.Shards[1].Node != "n3" {
+			t.Fatalf("%s shard 1 home = %s, want n3", name, p.Shards[1].Node)
+		}
+	}
+	// Source dropped its server; destination holds it.
+	if _, ok := c.Node("n2").Server(nameserver.ShardServerID("array", 1)); ok {
+		t.Fatal("source still serves array#1 after migration")
+	}
+	if _, ok := c.Node("n3").Server(nameserver.ShardServerID("array", 1)); !ok {
+		t.Fatal("destination does not serve array#1 after migration")
+	}
+
+	// The pre-migration router redirects: reads see every committed value,
+	// including shard 1's, and new writes land on the destination.
+	verifyShardedValues(t, c, names[0], client, 60)
+	app := c.Node(names[0]).App
+	if err := runRetried(app, 10, func(tid types.TransID) error {
+		return client.Set(tid, 1, 4242)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := runRetried(app, 10, func(tid types.TransID) error {
+		var err error
+		got, err = client.Get(tid, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 4242 {
+		t.Fatalf("key 1 = %d after post-migration write, want 4242", got)
+	}
+}
+
+// TestMigrateShardUnderLoad moves a shard while writers hammer it from
+// another node: every transaction must eventually commit (redirected ones
+// retry) and no committed write may be lost.
+func TestMigrateShardUnderLoad(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	client := seedShardedValues(t, c, names[0], 9)
+	app := c.Node(names[0]).App
+
+	const workers = 4
+	const writesPerWorker = 30
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Worker w owns key 3*w+1: always shard 1, the migrating shard.
+			key := uint64(3*w + 1)
+			for i := 1; i <= writesPerWorker; i++ {
+				val := int64(w*1000 + i)
+				if err := runRetried(app, 50, func(tid types.TransID) error {
+					return client.Set(tid, key, val)
+				}); err != nil {
+					errs[w] = fmt.Errorf("worker %d write %d: %w", w, i, err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the load ramp
+	rep, err := c.MigrateShard("array", 1, "n3")
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("migration under load: %v", err)
+	}
+	if rep.Version != 2 {
+		t.Fatalf("published version %d, want 2", rep.Version)
+	}
+	for w, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d failed: %v", w, werr)
+		}
+	}
+	// Every worker's final committed value survived the move.
+	for w := 0; w < workers; w++ {
+		key := uint64(3*w + 1)
+		var v int64
+		if err := runRetried(app, 10, func(tid types.TransID) error {
+			var err error
+			v, err = client.Get(tid, key)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(w*1000+writesPerWorker) {
+			t.Errorf("worker %d key %d = %d, want %d", w, key, v, w*1000+writesPerWorker)
+		}
+	}
+}
+
+// TestMigrateCrashDestinationAborts crashes the destination after the
+// copy but before commit: the migration must abort, the old placement
+// stays authoritative, the source unseals and keeps serving, and no locks
+// are orphaned on the source.
+func TestMigrateCrashDestinationAborts(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	client := seedShardedValues(t, c, names[0], 30)
+
+	src := c.Node("n2") // shard 1's home drives the migration
+	src.MigrateHook = func(stage string) {
+		if stage == "copied" {
+			c.Crash("n3")
+		}
+	}
+	_, err := c.MigrateShard("array", 1, "n3")
+	src.MigrateHook = nil
+	if err == nil {
+		t.Fatal("migration with a dead destination committed")
+	}
+
+	// Old placement authoritative everywhere that is alive.
+	for _, name := range []types.NodeID{"n1", "n2"} {
+		p := c.Node(name).NS.PlacementFor("array")
+		if p.Version != 1 || p.Shards[1].Node != "n2" {
+			t.Fatalf("%s placement after aborted migration: %+v", name, p)
+		}
+	}
+	// Source serves immediately: unsealed, locks released by the abort.
+	// (Shard 2's keys live on the still-crashed n3; skip them until it
+	// reboots.)
+	app := c.Node(names[0]).App
+	for key := uint64(0); key < 30; key++ {
+		if key%3 == 2 {
+			continue
+		}
+		key := key
+		var v int64
+		if err := runRetried(app, 5, func(tid types.TransID) error {
+			var err error
+			v, err = client.Get(tid, key)
+			return err
+		}); err != nil {
+			t.Fatalf("get key %d after aborted migration: %v", key, err)
+		}
+		if v != int64(key*7) {
+			t.Errorf("key %d = %d after aborted migration, want %d", key, v, key*7)
+		}
+	}
+	if err := app.Run(func(tid types.TransID) error {
+		return client.Set(tid, 1, 777)
+	}); err != nil {
+		t.Fatalf("write to source after aborted migration: %v", err)
+	}
+
+	// The destination reboots with its stray half-copy; recovery undoes
+	// the imported pages and the placement check keeps it silent. A
+	// second migration attempt then succeeds.
+	n3, err := c.Reboot("n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.AttachShard(n3, "array", 2, intarray.ShardCells(300, 3, 2), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	intarray.RegisterMigration(n3, "array", 2*time.Second)
+	if _, err := n3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.MigrateShard("array", 1, "n3")
+	if err != nil {
+		t.Fatalf("re-migration after destination reboot: %v", err)
+	}
+	if rep.Version != 2 {
+		t.Fatalf("re-migration published version %d, want 2", rep.Version)
+	}
+	var v int64
+	if err := runRetried(app, 10, func(tid types.TransID) error {
+		var err error
+		v, err = client.Get(tid, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 777 {
+		t.Fatalf("key 1 = %d after re-migration, want 777", v)
+	}
+}
+
+// TestMigrateCrashSourceLeavesOldPlacement crashes the source (which is
+// also the driver) mid-move: after its reboot and recovery the old
+// placement is authoritative on every node, the data is intact at the
+// source, and writes flow again.
+func TestMigrateCrashSourceLeavesOldPlacement(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	client := seedShardedValues(t, c, names[0], 30)
+
+	src := c.Node("n2")
+	src.MigrateHook = func(stage string) {
+		if stage == "sealed" {
+			c.Crash("n2") // the driver kills itself before commit
+		}
+	}
+	if _, err := c.MigrateShard("array", 1, "n3"); err == nil {
+		t.Fatal("migration whose source crashed committed")
+	}
+
+	n2, err := c.Reboot("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.AttachShard(n2, "array", 1, intarray.ShardCells(300, 3, 1), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	intarray.RegisterMigration(n2, "array", 2*time.Second)
+	if _, err := n2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range names {
+		p := c.Node(name).NS.PlacementFor("array")
+		if p == nil || p.Version != 1 || p.Shards[1].Node != "n2" {
+			t.Fatalf("%s placement after source crash: %+v", name, p)
+		}
+	}
+	verifyShardedValues(t, c, names[0], client, 30)
+	if err := runRetried(c.Node(names[0]).App, 20, func(tid types.TransID) error {
+		return client.Set(tid, 4, 888)
+	}); err != nil {
+		t.Fatalf("write after source reboot: %v", err)
+	}
+}
+
+// TestRebootReinstallsPlacement is the stale-placement reboot regression:
+// a node that was down across a migration must come back with the newest
+// cluster map, not the pre-migration one it last saw.
+func TestRebootReinstallsPlacement(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	seedShardedValues(t, c, names[0], 30)
+
+	c.Crash("n1") // bystander: hosts shard 0, neither source nor dest
+	if _, err := c.MigrateShard("array", 1, "n3"); err != nil {
+		t.Fatal(err)
+	}
+
+	n1, err := c.Reboot("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intarray.AttachShard(n1, "array", 0, intarray.ShardCells(300, 3, 0), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	intarray.RegisterMigration(n1, "array", 2*time.Second)
+	if _, err := n1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	p := n1.NS.PlacementFor("array")
+	if p == nil || p.Version != 2 || p.Shards[1].Node != "n3" {
+		t.Fatalf("rebooted node placement = %+v, want v2 with shard 1 on n3", p)
+	}
+	// A fresh client on the rebooted node routes shard 1 to the new home.
+	client, err := intarray.NewShardedClient(n1, "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v int64
+	if err := runRetried(n1.App, 10, func(tid types.TransID) error {
+		var err error
+		v, err = client.Get(tid, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("key 1 = %d from rebooted node, want 7", v)
+	}
+}
+
+// TestApplyPlacementRejectsStaleMap is the partial-install regression:
+// publishing a version older than what any node holds must fail loudly
+// and name the holdouts.
+func TestApplyPlacementRejectsStaleMap(t *testing.T) {
+	c, _ := shardedCluster(t, 3, 300)
+	p1 := c.Placement("array")
+	if p1 == nil || p1.Version != 1 {
+		t.Fatalf("placement = %+v", p1)
+	}
+	// Idempotent re-apply of the installed version succeeds.
+	if err := c.ApplyPlacement(p1); err != nil {
+		t.Fatalf("idempotent re-apply: %v", err)
+	}
+	// One node quietly holds a newer map.
+	p3 := &nameserver.Placement{Family: "array", Version: 3, Shards: p1.Shards}
+	if !c.Node("n2").NS.SetPlacement(p3) {
+		t.Fatal("SetPlacement v3 on n2 failed")
+	}
+	p2 := &nameserver.Placement{Family: "array", Version: 2, Shards: p1.Shards}
+	err := c.ApplyPlacement(p2)
+	if err == nil {
+		t.Fatal("stale partial install did not fail")
+	}
+	if !strings.Contains(err.Error(), "n2") {
+		t.Fatalf("error does not name the holdout: %v", err)
+	}
+}
+
+// TestCallShardWrapsBothFailures: when the call fails and the retry also
+// fails, both errors must be inspectable in the returned chain.
+func TestCallShardWrapsBothFailures(t *testing.T) {
+	c, names := shardedCluster(t, 2, 100)
+	client := seedShardedValues(t, c, names[0], 4)
+	_ = client
+	r, err := core.NewRouter(c.Node(names[0]), "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the route, then kill the home without rebooting it.
+	if _, err := r.CallShard(1, intarray.OpGet, types.NilTransID, []byte{0, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash("n2")
+	_, err = r.CallShard(1, intarray.OpGet, types.NilTransID, []byte{0, 0, 0, 1})
+	if err == nil {
+		t.Fatal("call to a dead home succeeded")
+	}
+	if !strings.Contains(err.Error(), "array#1") {
+		t.Fatalf("error does not name the shard: %v", err)
+	}
+	// Both the original failure and the retry outcome are in the chain.
+	if !strings.Contains(err.Error(), "original failure") && !strings.Contains(err.Error(), "re-resolve also failed") {
+		t.Fatalf("error does not carry both failures: %v", err)
+	}
+}
+
+// TestErrShardMovedIsRoutingClass: a live client call that races a
+// migration may see ErrShardMoved from the sealed source; the error must
+// be retryable at the transaction layer, and a fresh transaction must
+// succeed against the new home.
+func TestErrShardMovedIsRoutingClass(t *testing.T) {
+	if !errors.Is(fmt.Errorf("wrap: %w", core.ErrShardMoved), core.ErrShardMoved) {
+		t.Fatal("ErrShardMoved does not wrap")
+	}
+	c, names := shardedCluster(t, 2, 100)
+	client := seedShardedValues(t, c, names[0], 4)
+	if _, err := c.MigrateShard("array", 1, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	// The old home rejects; the router redirects within the same call.
+	var v int64
+	if err := runRetried(c.Node(names[0]).App, 10, func(tid types.TransID) error {
+		var err error
+		v, err = client.Get(tid, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("key 1 = %d after migration, want 7", v)
+	}
+}
+
+// TestPlanRebalance checks the planner: minimal moves, determinism, and
+// off-list eviction.
+func TestPlanRebalance(t *testing.T) {
+	mk := func(homes ...types.NodeID) *nameserver.Placement {
+		p := &nameserver.Placement{Family: "array", Version: 1}
+		for i, h := range homes {
+			p.Shards = append(p.Shards, nameserver.ShardInfo{Node: h, Server: nameserver.ShardServerID("array", i)})
+		}
+		return p
+	}
+	// Balanced: nothing to do.
+	if moves := core.PlanRebalance(mk("a", "b", "c"), []types.NodeID{"a", "b", "c"}); len(moves) != 0 {
+		t.Fatalf("balanced placement planned %v", moves)
+	}
+	// Everything piled on one node: two of three move.
+	moves := core.PlanRebalance(mk("a", "a", "a"), []types.NodeID{"a", "b", "c"})
+	if len(moves) != 2 {
+		t.Fatalf("planned %v, want 2 moves", moves)
+	}
+	// A shard on a node outside the list always moves.
+	moves = core.PlanRebalance(mk("a", "z"), []types.NodeID{"a", "b"})
+	if len(moves) != 1 || moves[0].Shard != 1 || moves[0].To != "b" {
+		t.Fatalf("off-list shard planned %v", moves)
+	}
+}
+
+// TestRebalanceEvensCounts piles both shards onto one node, then lets
+// Rebalance spread them back out.
+func TestRebalanceEvensCounts(t *testing.T) {
+	c, names := shardedCluster(t, 2, 100)
+	client := seedShardedValues(t, c, names[0], 10)
+	if _, err := c.MigrateShard("array", 0, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := c.Rebalance("array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("rebalance performed %d moves, want 1", len(reps))
+	}
+	p := c.Placement("array")
+	count := map[types.NodeID]int{}
+	for _, sh := range p.Shards {
+		count[sh.Node]++
+	}
+	if count["n1"] != 1 || count["n2"] != 1 {
+		t.Fatalf("shard counts after rebalance: %v", count)
+	}
+	verifyShardedValues(t, c, names[0], client, 10)
+}
+
+// TestMigrateShardBackToFormerHome moves a shard away and then back. The
+// former home still has the shard's segment kernel-mapped (DetachServer
+// deliberately leaves it — the data stays on disk), so the destination
+// prepare must reuse the live mapping instead of failing with "segment
+// already mapped" and permanently refusing the node as a destination.
+// The same reuse covers re-preparing a destination after an aborted
+// import. Caught by the migrate torture profile at the tabsbench surface
+// (seed=7: move 5 arr#2 d0->d2 could never succeed).
+func TestMigrateShardBackToFormerHome(t *testing.T) {
+	c, names := shardedCluster(t, 3, 300)
+	client := seedShardedValues(t, c, names[0], 30)
+	if _, err := c.MigrateShard("array", 1, "n3"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.MigrateShard("array", 1, "n2")
+	if err != nil {
+		t.Fatalf("migrating back to former home: %v", err)
+	}
+	if rep.From != "n3" || rep.To != "n2" || rep.Version != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+	// The returned-home copy serves: all values visible, writes land.
+	verifyShardedValues(t, c, names[0], client, 30)
+	app := c.Node(names[0]).App
+	if err := runRetried(app, 10, func(tid types.TransID) error {
+		return client.Set(tid, 1, 777)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := runRetried(app, 10, func(tid types.TransID) error {
+		var err error
+		got, err = client.Get(tid, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 777 {
+		t.Fatalf("key 1 = %d after move-back write, want 777", got)
+	}
+}

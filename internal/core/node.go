@@ -62,6 +62,7 @@ const ACPControlService = "acpctl"
 var (
 	ErrCrashed      = errors.New("core: node has crashed")
 	ErrNoServer     = errors.New("core: no such data server")
+	ErrRecovering   = errors.New("core: node is recovering")
 	ErrSegmentSize  = errors.New("core: segment exists with different size")
 	ErrSegmentSpace = errors.New("core: disk space exhausted for segments")
 )
@@ -141,10 +142,17 @@ type Node struct {
 
 	mu         sync.Mutex
 	servers    map[types.ServerID]*srvlib.Server
+	factories  map[string]ShardFactory
 	segDir     map[types.SegmentID]segEntry
 	nextFree   disk.Addr
 	afterRecov []func() error
 	crashed    bool
+	recovering bool
+
+	// MigrateHook, when set before a migration is driven from this node,
+	// is called at named stages of the move ("copied", "sealed",
+	// "published"); crash tests use it to fail nodes at precise points.
+	MigrateHook func(stage string)
 }
 
 type segEntry struct {
@@ -212,6 +220,7 @@ func NewNode(cfg Config) (*Node, error) {
 		n.CM.RegisterService(TraceControlService, n.handleTraceControl)
 		n.CM.RegisterService(PlacementControlService, n.handlePlacementControl)
 		n.CM.RegisterService(ACPControlService, n.handleACPControl)
+		n.CM.RegisterService(MigrateControlService, n.handleMigrateControl)
 	} else {
 		n.TM = txn.New(cfg.ID, n.RM, nil, tmRec)
 	}
@@ -246,6 +255,13 @@ func NewNode(cfg Config) (*Node, error) {
 	if err := n.loadSegDir(); err != nil {
 		return nil, err
 	}
+	// A disk with prior state may hold committed effects only the log
+	// knows about: until Recover replays them, serving a data-server
+	// operation could read stale pages — or worse, commit a write that
+	// the still-running replay then overwrites with pre-crash images.
+	// Refuse data-server traffic until Recover completes. A fresh disk
+	// (empty segment directory) has nothing to replay and serves at once.
+	n.recovering = len(n.segDir) > 0
 	return n, nil
 }
 
@@ -330,6 +346,16 @@ func (n *Node) EnsureSegment(id types.SegmentID, pages uint32) error {
 		if e.pages != pages {
 			return fmt.Errorf("%w: segment %d has %d pages, requested %d", ErrSegmentSize, id, e.pages, pages)
 		}
+		// The segment may still be kernel-mapped from a former attachment:
+		// DetachServer withdraws the server but deliberately leaves its
+		// segment mapped (the data stays on disk). Re-attaching — a shard
+		// migrating back to a former home, or a destination re-prepared
+		// after an aborted import — reuses the live mapping; the size was
+		// just checked against the directory, which AddSegment enforced
+		// when the mapping was first made.
+		if _, err := n.Kernel.SegmentPages(id); err == nil {
+			return nil
+		}
 		return n.Kernel.AddSegment(id, e.base, pages)
 	}
 	geom := n.d.Geometry()
@@ -406,6 +432,9 @@ func (n *Node) Recover() (*recovery.RestartReport, error) {
 			return nil, err
 		}
 	}
+	n.mu.Lock()
+	n.recovering = false
+	n.mu.Unlock()
 	return report, nil
 }
 
@@ -425,10 +454,13 @@ func (n *Node) AfterRecover(fn func() error) {
 func (n *Node) Call(server types.ServerID, op string, tid types.TransID, body []byte) ([]byte, error) {
 	n.mu.Lock()
 	s, ok := n.servers[server]
-	crashed := n.crashed
+	crashed, recovering := n.crashed, n.recovering
 	n.mu.Unlock()
 	if crashed {
 		return nil, ErrCrashed
+	}
+	if recovering {
+		return nil, fmt.Errorf("%w: %s", ErrRecovering, n.id)
 	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoServer, server)
@@ -469,10 +501,13 @@ func (n *Node) handleRemoteCall(from types.NodeID, tid types.TransID, payload []
 	}
 	n.mu.Lock()
 	s, ok := n.servers[server]
-	crashed := n.crashed
+	crashed, recovering := n.crashed, n.recovering
 	n.mu.Unlock()
 	if crashed {
 		return nil, ErrCrashed
+	}
+	if recovering {
+		return nil, fmt.Errorf("%w: %s", ErrRecovering, n.id)
 	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoServer, server)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tabs/internal/comm"
@@ -17,17 +18,44 @@ import (
 // resolution broadcast needs a reply window.
 const routeResolveWait = 2 * time.Second
 
-// Router routes keyed operations to the shard data servers of one object
-// family. It captures the family's placement map at construction — the
-// map is immutable per version, so the shard arithmetic and the shard
-// names are precomputed once — and resolves each shard's current port
-// through the Name Server's routing cache on every call: placement
-// ("which shard, which home") is permanent, bindings ("which port") are
-// not (§3.1.3), and the cache makes resolving the latter per-call free.
-type Router struct {
-	node  *Node
+// ErrShardMoved reports that the addressed server no longer owns the
+// shard: a migration has moved (or is moving) it to another home. It is a
+// routing-class error — the route, not the request, failed — so the retry
+// machinery invalidates the cached binding, refreshes the placement and
+// re-resolves instead of surfacing it as an application failure.
+var ErrShardMoved = errors.New("core: shard moved")
+
+// routerState is the shard arithmetic derived from one placement version:
+// the map itself plus the precomputed advertised server names. It is
+// immutable; the Router swaps whole states through an atomic pointer (the
+// same copy-on-write idiom as the Name Server's routing cache).
+type routerState struct {
 	p     *nameserver.Placement
 	names []string // shard -> advertised server name, precomputed
+}
+
+func newRouterState(p *nameserver.Placement) *routerState {
+	names := make([]string, p.NumShards())
+	for i := range names {
+		names[i] = string(p.Shards[i].Server)
+	}
+	return &routerState{p: p, names: names}
+}
+
+// Router routes keyed operations to the shard data servers of one object
+// family. Placement ("which shard, which home") is re-checked against the
+// Name Server on every call — a long-lived router must observe a version
+// bump published by a migration, or it would keep sending traffic to the
+// old homes forever — while bindings ("which port serves that shard right
+// now") resolve through the routing cache as before (§3.1.3). The
+// placement check is one atomic load and a pointer compare; the derived
+// shard arithmetic is rebuilt only when the installed map actually
+// changed, keeping the fast path allocation-free per the allocgate
+// budget.
+type Router struct {
+	node   *Node
+	family string
+	state  atomic.Pointer[routerState]
 }
 
 // NewRouter builds a router for family from the placement map installed
@@ -37,62 +65,156 @@ func NewRouter(n *Node, family string) (*Router, error) {
 	if p == nil {
 		return nil, fmt.Errorf("core: no placement installed for family %q on %s", family, n.id)
 	}
-	names := make([]string, p.NumShards())
-	for i := range names {
-		names[i] = string(p.Shards[i].Server)
-	}
-	return &Router{node: n, p: p, names: names}, nil
+	r := &Router{node: n, family: family}
+	r.state.Store(newRouterState(p))
+	return r, nil
 }
 
-// Placement returns the captured placement map.
-func (r *Router) Placement() *nameserver.Placement { return r.p }
+// current returns the shard arithmetic for the placement now installed in
+// the node's Name Server, rebuilding it if a newer map has been published
+// since the last call. Rebuilds are idempotent — placements are immutable
+// per version — so concurrent rebuilds may race on the Store and any
+// winner is correct.
+func (r *Router) current() *routerState {
+	st := r.state.Load()
+	p := r.node.NS.PlacementFor(r.family)
+	if p == nil || p == st.p {
+		return st
+	}
+	st = newRouterState(p)
+	r.state.Store(st)
+	return st
+}
+
+// Placement returns the placement map currently in effect.
+func (r *Router) Placement() *nameserver.Placement { return r.current().p }
 
 // Shard returns the shard owning key.
-func (r *Router) Shard(key uint64) int { return r.p.Shard(key) }
+func (r *Router) Shard(key uint64) int { return r.current().p.Shard(key) }
 
 // Call invokes op on the shard owning key, within tid.
 func (r *Router) Call(key uint64, op string, tid types.TransID, body []byte) ([]byte, error) {
-	return r.CallShard(r.p.Shard(key), op, tid, body)
+	st := r.current()
+	return r.callShard(st, st.p.Shard(key), op, tid, body)
 }
 
-// CallShard invokes op on shard within tid. The shard's port comes from
-// the routing cache; if the cached port turns out dead — the call fails
-// with a routing-class error rather than an application error — the route
-// is invalidated and re-resolved once before the error is surfaced. A
-// rebooted shard server re-registers under the same name, so the retry
-// lands on the live port.
+// CallShard invokes op on shard within tid.
 func (r *Router) CallShard(shard int, op string, tid types.TransID, body []byte) ([]byte, error) {
-	if shard < 0 || shard >= len(r.names) {
-		return nil, fmt.Errorf("core: shard %d out of range for family %q (%d shards)", shard, r.p.Family, len(r.names))
+	return r.callShard(r.current(), shard, op, tid, body)
+}
+
+// callShard resolves the shard's port and invokes op. If the call fails
+// with a routing-class error — the cached port is dead, the home node
+// crashed, or a migration moved the shard — the route is invalidated, the
+// placement is refreshed (a version bump may have changed the shard's
+// home) and the call is re-resolved once. Both failures are wrapped when
+// the retry also fails, so callers can tell "route gone" from "re-resolve
+// failed" (errors.Is sees both).
+func (r *Router) callShard(st *routerState, shard int, op string, tid types.TransID, body []byte) ([]byte, error) {
+	if shard < 0 || shard >= len(st.names) {
+		return nil, fmt.Errorf("core: shard %d out of range for family %q (%d shards)", shard, st.p.Family, len(st.names))
 	}
-	name := r.names[shard]
-	bindings, err := r.node.NS.LookUp(name, 1, routeResolveWait)
+	b, err := r.resolve(st, shard, false, "")
 	if err != nil {
-		return nil, fmt.Errorf("core: resolving shard %s: %w", name, err)
+		return nil, fmt.Errorf("core: resolving shard %s: %w", st.names[shard], err)
 	}
-	out, err := r.node.Invoke(bindings[0], op, tid, body)
+	out, err := r.node.Invoke(b, op, tid, body)
 	if err == nil || !isRoutingError(err) {
 		return out, err
 	}
-	r.node.NS.Invalidate(name)
-	bindings, rerr := r.node.NS.LookUp(name, 1, routeResolveWait)
-	if rerr != nil {
-		return nil, err // surface the original failure
+	r.node.NS.Invalidate(st.names[shard])
+	redirectStart := time.Now()
+	// A shard-moved answer came from the addressed node itself: it knows it
+	// no longer owns the shard, so if this node's placement still points
+	// there the map is stale and re-addressing the same node is futile —
+	// exclude it, letting the re-resolve find the migration destination's
+	// registration before the new map arrives.
+	var avoid types.NodeID
+	if isMovedError(err) {
+		avoid = b.Node
 	}
-	return r.node.Invoke(bindings[0], op, tid, body)
+	st2 := r.current()
+	b2, rerr := r.resolve(st2, shard, true, avoid)
+	if rerr != nil {
+		return nil, fmt.Errorf("core: shard %s call failed: %w (re-resolve also failed: %w)", st.names[shard], err, rerr)
+	}
+	out, err2 := r.node.Invoke(b2, op, tid, body)
+	if err2 != nil && isRoutingError(err2) {
+		return out, fmt.Errorf("core: shard %s retry failed: %w (original failure: %w)", st.names[shard], err2, err)
+	}
+	// The redirect worked (or failed for non-routing reasons, which still
+	// means the route itself was repaired): surface it operationally — the
+	// counter and latency histogram are how a migration's client-visible
+	// cost shows up in tabsctl metrics and the migration benchmark.
+	tr := r.node.Tracer()
+	tr.Count("router.redirect", 1)
+	tr.ObserveSince("router.redirect.ms", redirectStart)
+	return out, err2
+}
+
+// resolve returns the binding to address for shard. The placement is
+// authoritative for the shard's home node: during a migration's
+// dual-registration window (destination attached, source not yet dropped)
+// both ends register the shard's name, and only the placement says which
+// one owns the traffic — so a looked-up binding is used only when it
+// agrees with the home, and otherwise the binding is synthesized from the
+// placement itself (server identifiers address their node directly; a
+// wrong guess fails with ErrNoServer and retries).
+//
+// fallback, set on the retry path, permits the opposite escape hatch: if
+// the home already failed and the only live registration is elsewhere —
+// this node missed a placement broadcast and still points at a dropped
+// source — address the live registration rather than fail forever. avoid,
+// also retry-path only, names a node that just answered shard-moved for
+// this shard: it is skipped at every preference level (except the
+// synthesized last resort) because it has disowned the shard itself.
+func (r *Router) resolve(st *routerState, shard int, fallback bool, avoid types.NodeID) (nameserver.Binding, error) {
+	home := st.p.Shards[shard].Node
+	name := st.names[shard]
+	bindings, err := r.node.NS.LookUp(name, 1, routeResolveWait)
+	if err == nil {
+		for _, b := range bindings {
+			if b.Node == home && b.Node != avoid {
+				return b, nil
+			}
+		}
+		if fallback {
+			for _, b := range bindings {
+				if b.Node != avoid {
+					return b, nil
+				}
+			}
+		}
+		// The cached binding points away from the placement's home: stale,
+		// or the other end of an in-flight migration. Drop it so the next
+		// lookup re-resolves instead of answering from it again.
+		r.node.NS.Invalidate(name)
+	} else if !errors.Is(err, nameserver.ErrNotFound) {
+		return nameserver.Binding{}, err
+	}
+	return nameserver.Binding{Node: home, Server: st.p.Shards[shard].Server}, nil
+}
+
+// isMovedError reports whether err is (or carries across the wire as) a
+// shard-moved answer.
+func isMovedError(err error) bool {
+	return errors.Is(err, ErrShardMoved) || strings.Contains(err.Error(), ErrShardMoved.Error())
 }
 
 // isRoutingError reports whether err indicates the route (not the
 // request) failed: the server is gone from its node, the node is
-// unreachable, or the session timed out. Remote errors cross the wire as
-// plain strings, so the local sentinels are matched by substring too.
+// unreachable, the session timed out, or the shard has been migrated
+// away. Remote errors cross the wire as plain strings, so the local
+// sentinels are matched by substring too.
 func isRoutingError(err error) bool {
 	if errors.Is(err, ErrNoServer) || errors.Is(err, ErrCrashed) ||
+		errors.Is(err, ErrShardMoved) ||
 		errors.Is(err, comm.ErrTimeout) || errors.Is(err, comm.ErrUnreachable) ||
 		errors.Is(err, comm.ErrClosed) {
 		return true
 	}
 	msg := err.Error()
 	return strings.Contains(msg, ErrNoServer.Error()) ||
-		strings.Contains(msg, ErrCrashed.Error())
+		strings.Contains(msg, ErrCrashed.Error()) ||
+		strings.Contains(msg, ErrShardMoved.Error())
 }

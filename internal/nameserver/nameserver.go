@@ -30,6 +30,7 @@ package nameserver
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -385,8 +386,28 @@ func (s *Server) SetPlacement(p *Placement) bool {
 	return true
 }
 
+// PublishPlacement installs p locally and broadcasts it to every peer's
+// Name Server, which install it through the same version gate. The
+// broadcast is best-effort — a partitioned or crashed peer misses it and
+// converges later (reboots re-install the newest cluster map, and routers
+// that keep failing against a stale home fall back to the live
+// registration) — so a send failure is reported but does not undo the
+// local install. Returns whether the local install took effect.
+func (s *Server) PublishPlacement(p *Placement) (bool, error) {
+	applied := s.SetPlacement(p)
+	if s.bc == nil {
+		return applied, nil
+	}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return applied, fmt.Errorf("nameserver: encoding placement %s v%d: %w", p.Family, p.Version, err)
+	}
+	return applied, s.bc.Broadcast(Service, encodeMsg(msgPlace, 0, string(blob)))
+}
+
 // PlacementFor returns the installed map for family, or nil. The read is
-// one atomic load; routers call it per construction, not per operation.
+// one atomic load; routers call it per call on their fast path, so it
+// must stay lock- and allocation-free.
 func (s *Server) PlacementFor(family string) *Placement {
 	ps := s.placements.Load()
 	if ps == nil {
@@ -575,6 +596,12 @@ func (s *Server) handle(from types.NodeID, _ types.TransID, payload []byte) ([]b
 		}
 	case msgInval:
 		s.cacheDelete(string(rest))
+	case msgPlace:
+		var p Placement
+		if err := json.Unmarshal(rest, &p); err != nil {
+			return nil, fmt.Errorf("nameserver: bad placement broadcast from %s: %w", from, err)
+		}
+		s.SetPlacement(&p)
 	}
 	return nil, nil
 }
@@ -585,6 +612,7 @@ const (
 	msgQuery byte = 1
 	msgReply byte = 2
 	msgInval byte = 3
+	msgPlace byte = 4
 )
 
 func encodeMsg(kind byte, qid uint64, name string) []byte {

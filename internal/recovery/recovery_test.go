@@ -378,3 +378,56 @@ func TestValueRecordRejectsOversize(t *testing.T) {
 		t.Error("value record larger than a page accepted (§2.1.3 limit)")
 	}
 }
+
+// TestValueRecoveryOverlappingObjects pins the ordering rule the single
+// backward pass must follow when logged objects overlap: a shard
+// migration logs whole-page images while client writes log single cells
+// within those pages. The newest record per object decides the value, but
+// installation must go oldest-first — applying the (older, larger) page
+// image after the (newer, smaller) cell write would wipe a committed
+// update, which is exactly the lost-write the migrate torture caught.
+func TestValueRecoveryOverlappingObjects(t *testing.T) {
+	r := newRig(t, nil)
+	page := types.ObjectID{Segment: 1, Offset: 0, Length: types.PageSize}
+
+	// Txn 1: a committed whole-page image (a migration import).
+	img := bytes.Repeat([]byte{0xAA}, types.PageSize)
+	if err := r.k.Write(page, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rm.LogUpdate(tid(1), "srv", &wal.UpdateBody{
+		Object: page, Old: make([]byte, types.PageSize), New: img,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rm.LogCommit(tid(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Txn 2: a committed cell write inside that page, logged later.
+	r.write(t, tid(2), "cell")
+	if err := r.rm.LogCommit(tid(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	r.k.Crash()
+	r.rm.Crash()
+	r2 := newRig(t, r.d)
+	report, err := r2.rm.Restart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Passes != 1 {
+		t.Fatalf("value-only log took %d passes, want 1", report.Passes)
+	}
+	if got := r2.read(t); got != "cell" {
+		t.Errorf("cell = %q after recovery, want %q (page image overwrote a newer committed cell write)", got, "cell")
+	}
+	rest, err := r2.k.Read(types.ObjectID{Segment: 1, Offset: 8, Length: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, []byte{0xAA, 0xAA, 0xAA, 0xAA}) {
+		t.Errorf("bytes outside the cell = %x, want the page image", rest)
+	}
+}

@@ -419,10 +419,24 @@ func (m *Manager) undoChainCounted(tid types.TransID, last wal.LSN, pre map[wal.
 // installed, losers' old values. CLRs written by completed aborts are
 // treated as winners' records, which installs the restored (pre-abort) old
 // value.
+//
+// Objects of different granularities may overlap: a shard migration logs
+// whole-page images while client writes log single cells within those
+// pages. The per-object decisions are therefore collected during the scan
+// and installed in ascending LSN order afterwards — an older page image
+// must land before the newer cell values it overlaps, or it would wipe
+// them (the ascending order also leaves each page's header sequence
+// number at its newest record, not its oldest).
 func (m *Manager) singleBackwardPass(a *analysis, report *RestartReport) error {
+	type decision struct {
+		obj types.ObjectID
+		val []byte
+		lsn wal.LSN
+	}
 	done := make(map[types.ObjectID]bool)
+	var decisions []decision
 	end := m.log.NextLSN()
-	return m.log.ScanBackward(end, func(r *wal.Record) (bool, error) {
+	err := m.log.ScanBackward(end, func(r *wal.Record) (bool, error) {
 		report.RecordsScanned++
 		if r.Type != wal.RecUpdate && r.Type != wal.RecUpdateCLR {
 			return true, nil
@@ -450,11 +464,20 @@ func (m *Manager) singleBackwardPass(a *analysis, report *RestartReport) error {
 		if uint32(len(val)) != body.Object.Length {
 			return false, fmt.Errorf("recovery: value record length mismatch for %v", body.Object)
 		}
-		if err := m.k.WriteDirect(body.Object, val, uint64(r.LSN)); err != nil {
-			return false, err
-		}
+		decisions = append(decisions, decision{obj: body.Object, val: val, lsn: r.LSN})
 		return true, nil
 	})
+	if err != nil {
+		return err
+	}
+	// The backward scan appended newest-first; install oldest-first.
+	for i := len(decisions) - 1; i >= 0; i-- {
+		d := decisions[i]
+		if err := m.k.WriteDirect(d.obj, d.val, uint64(d.lsn)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (m *Manager) undoerFor(s types.ServerID) Undoer {

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"tabs/internal/core"
@@ -37,12 +38,30 @@ type Server struct {
 	srv     *srvlib.Server
 	maxCell uint32
 	base    srvlib.VirtualAddress
+
+	// moved is the migration seal: set (within the migration transaction,
+	// while the quiesce locks are held) just before the move commits, so
+	// operations granted locks after commit find the shard gone instead
+	// of serving from the orphaned source copy. Volatile by design — a
+	// crash clears it, and after a crash the placement map alone decides
+	// who serves (an unpublished migration leaves the old map, and this
+	// copy, authoritative).
+	moved atomic.Bool
+	// homeCheck, when set (sharded deployments), refuses ordinary
+	// operations whenever the installed placement says this shard's home
+	// is another node — the belt to the seal's suspenders, covering a
+	// destination attached by a migration that never published.
+	homeCheck func() error
 }
 
 // Attach creates (or re-attaches after a crash) an integer array server
 // with cells elements on node n. The recoverable segment is sized to hold
 // the array exactly.
 func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, cells uint32, lockTimeout time.Duration) (*Server, error) {
+	return attach(n, id, seg, cells, lockTimeout, nil)
+}
+
+func attach(n *core.Node, id types.ServerID, seg types.SegmentID, cells uint32, lockTimeout time.Duration, homeCheck func() error) (*Server, error) {
 	pages := (cells*CellSize + types.PageSize - 1) / types.PageSize
 	if pages == 0 {
 		pages = 1
@@ -51,9 +70,22 @@ func Attach(n *core.Node, id types.ServerID, seg types.SegmentID, cells uint32, 
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{srv: srv, maxCell: cells, base: 0}
+	s := &Server{srv: srv, maxCell: cells, base: 0, homeCheck: homeCheck}
 	srv.AcceptRequests(s.dispatch)
 	return s, nil
+}
+
+// serveCheck refuses GetCell/SetCell on a shard this server no longer
+// owns: sealed by an in-flight migration, or — per the placement map —
+// homed on another node.
+func (s *Server) serveCheck() error {
+	if s.moved.Load() {
+		return fmt.Errorf("%w: %s is sealed by a migration", core.ErrShardMoved, s.srv.ID())
+	}
+	if s.homeCheck != nil {
+		return s.homeCheck()
+	}
+	return nil
 }
 
 // Lib exposes the underlying server library instance (tests, benches).
@@ -77,6 +109,9 @@ func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
 		if len(req.Body) != 4 {
 			return nil, errors.New("intarray: GetCell wants a 4-byte cell number")
 		}
+		if err := s.serveCheck(); err != nil {
+			return nil, err
+		}
 		cell := binary.BigEndian.Uint32(req.Body)
 		v, err := s.getCell(req.TID, cell)
 		if err != nil {
@@ -87,12 +122,100 @@ func (s *Server) dispatch(req *srvlib.Request) ([]byte, error) {
 		if len(req.Body) != 12 {
 			return nil, errors.New("intarray: SetCell wants cell number and value")
 		}
+		if err := s.serveCheck(); err != nil {
+			return nil, err
+		}
 		cell := binary.BigEndian.Uint32(req.Body[:4])
 		value := int64(binary.BigEndian.Uint64(req.Body[4:]))
 		return nil, s.setCell(req.TID, cell, value)
+	case core.OpMigrateExport:
+		return s.migrateExport(req.TID, req.Body)
+	case core.OpMigrateImport:
+		return nil, s.migrateImport(req.TID, req.Body)
+	case core.OpMigrateSeal:
+		if len(req.Body) != 1 {
+			return nil, errors.New("intarray: MigrateSeal wants one flag byte")
+		}
+		s.moved.Store(req.Body[0] == 1)
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("intarray: unknown operation %q", req.Op)
 	}
+}
+
+// migrateExport serves one chunk of the shard's pages to the migration
+// driver. The first chunk quiesces the shard: every cell is write-locked
+// under the migration transaction, through the ordinary lock manager, so
+// concurrent writers drain (or time out and abort) before any page is
+// read, and no write can slip in until the migration commits or aborts.
+func (s *Server) migrateExport(tid types.TransID, body []byte) ([]byte, error) {
+	start, maxPages, err := core.DecodeMigrateExportReq(body)
+	if err != nil {
+		return nil, err
+	}
+	_, size, err := s.srv.ReadPermanentData()
+	if err != nil {
+		return nil, err
+	}
+	ps := uint32(types.PageSize)
+	totalPages := size / ps
+	if start >= totalPages {
+		return nil, fmt.Errorf("intarray: export page %d beyond segment (%d pages)", start, totalPages)
+	}
+	if start == 0 {
+		for cell := uint32(1); cell <= s.maxCell; cell++ {
+			obj, err := s.cellObject(cell)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.srv.LockObject(tid, obj, lock.ModeWrite); err != nil {
+				return nil, err
+			}
+		}
+	}
+	end := totalPages
+	if maxPages > 0 && start+maxPages < end {
+		end = start + maxPages
+	}
+	data := make([]byte, 0, (end-start)*ps)
+	for pg := start; pg < end; pg++ {
+		raw, err := s.srv.Read(s.srv.CreateObjectID(srvlib.VirtualAddress(pg*ps), ps))
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, raw...)
+	}
+	meta := binary.BigEndian.AppendUint32(nil, s.maxCell)
+	return core.EncodeMigrateExportReply(totalPages, meta, start, data), nil
+}
+
+// migrateImport applies one chunk of pages on the migration destination
+// with the standard value-logging discipline — lock, pin and buffer,
+// write, log old/new and unpin — so commit of the migration transaction
+// forces the copied pages through this node's log, and an abort undoes
+// them.
+func (s *Server) migrateImport(tid types.TransID, body []byte) error {
+	start, data, err := core.DecodeMigrateImportReq(body)
+	if err != nil {
+		return err
+	}
+	ps := uint32(types.PageSize)
+	for i := uint32(0); i < uint32(len(data))/ps; i++ {
+		obj := s.srv.CreateObjectID(srvlib.VirtualAddress((start+i)*ps), ps)
+		if err := s.srv.LockObject(tid, obj, lock.ModeWrite); err != nil {
+			return err
+		}
+		if err := s.srv.PinAndBuffer(tid, obj); err != nil {
+			return err
+		}
+		if err := s.srv.Write(obj, data[i*ps:(i+1)*ps]); err != nil {
+			return err
+		}
+		if err := s.srv.LogAndUnPin(tid, obj); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // getCell reads array[cell] under a read lock.
@@ -102,6 +225,12 @@ func (s *Server) getCell(tid types.TransID, cell uint32) (int64, error) {
 		return 0, err
 	}
 	if err := s.srv.LockObject(tid, obj, lock.ModeRead); err != nil {
+		return 0, err
+	}
+	// Re-check after the lock grant: an operation that waited out a
+	// migration's quiesce would otherwise be granted its lock at commit
+	// and read the orphaned copy.
+	if err := s.serveCheck(); err != nil {
 		return 0, err
 	}
 	raw, err := s.srv.Read(obj)
@@ -120,6 +249,10 @@ func (s *Server) setCell(tid types.TransID, cell uint32, value int64) error {
 		return err
 	}
 	if err := s.srv.LockObject(tid, obj, lock.ModeWrite); err != nil {
+		return err
+	}
+	// See getCell: never write a shard that moved while we waited.
+	if err := s.serveCheck(); err != nil {
 		return err
 	}
 	if err := s.srv.PinAndBuffer(tid, obj); err != nil {

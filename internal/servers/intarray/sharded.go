@@ -18,6 +18,52 @@ import (
 	"tabs/internal/types"
 )
 
+// ShardCells returns shard i's cell count when totalKeys global keys are
+// partitioned identity-modulo over shards: shard i owns the keys {k :
+// k%shards == i}, whose local cells are 1..ceil((totalKeys-i)/shards).
+func ShardCells(totalKeys uint64, shards, i int) uint32 {
+	n := uint64(shards)
+	cells := totalKeys / n
+	if uint64(i) < totalKeys%n {
+		cells++
+	}
+	if cells == 0 {
+		cells = 1
+	}
+	return uint32(cells)
+}
+
+// AttachShard attaches shard `shard` of a sharded family on node n under
+// its canonical name and segment, with the placement home check wired in:
+// the server refuses to serve whenever the installed placement map says
+// the shard's home is another node, so a half-migrated or stale copy can
+// never answer for the live one.
+func AttachShard(n *core.Node, family string, shard int, cells uint32, lockTimeout time.Duration) (*Server, error) {
+	id := nameserver.ShardServerID(family, shard)
+	seg := types.SegmentID(ShardSegmentBase + shard)
+	home := func() error {
+		p := n.NS.PlacementFor(family)
+		if p == nil || shard >= p.NumShards() || p.Shards[shard].Node == n.ID() {
+			return nil
+		}
+		return fmt.Errorf("%w: %s#%d now lives on %s", core.ErrShardMoved, family, shard, p.Shards[shard].Node)
+	}
+	return attach(n, id, seg, cells, lockTimeout, home)
+}
+
+// RegisterMigration makes node n a valid migration destination for the
+// family: the registered factory attaches an identically sized shard
+// server from the source's export meta (the shard's cell count).
+func RegisterMigration(n *core.Node, family string, lockTimeout time.Duration) {
+	n.RegisterShardFactory(family, func(nn *core.Node, shard int, meta []byte) error {
+		if len(meta) != 4 {
+			return errors.New("intarray: bad migration meta (want 4-byte cell count)")
+		}
+		_, err := AttachShard(nn, family, shard, binary.BigEndian.Uint32(meta), lockTimeout)
+		return err
+	})
+}
+
 // ShardSegmentBase offsets shard segments away from the segment IDs the
 // standard single-array deployments use (Attach callers conventionally
 // pass small segment numbers).
@@ -34,28 +80,22 @@ func AttachSharded(c *core.Cluster, family string, totalKeys uint64, lockTimeout
 	if err != nil {
 		return nil, err
 	}
-	n := uint64(p.NumShards())
 	for i, sh := range p.Shards {
-		// Shard i owns global keys {k : k%n == i}; their local cells are
-		// 1..ceil((totalKeys-i)/n).
-		cells := totalKeys / n
-		if uint64(i) < totalKeys%n {
-			cells++
-		}
-		if cells == 0 {
-			cells = 1
-		}
 		node := c.Node(sh.Node)
 		if node == nil {
 			return nil, fmt.Errorf("intarray: placement names unknown node %s", sh.Node)
 		}
-		seg := types.SegmentID(ShardSegmentBase + i)
-		if _, err := Attach(node, sh.Server, seg, uint32(cells), lockTimeout); err != nil {
+		if _, err := AttachShard(node, family, i, ShardCells(totalKeys, p.NumShards(), i), lockTimeout); err != nil {
 			return nil, fmt.Errorf("intarray: attaching shard %d on %s: %w", i, sh.Node, err)
 		}
 	}
-	if !c.ApplyPlacement(p) {
-		return nil, errors.New("intarray: placement rejected by every node")
+	// Every node — shard home or not — may become a migration
+	// destination later.
+	for _, name := range nodes {
+		RegisterMigration(c.Node(name), family, lockTimeout)
+	}
+	if err := c.ApplyPlacement(p); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
